@@ -1,0 +1,63 @@
+// Ablation: value of the model-based search (Section V).  SURF vs
+// uniform random search vs exhaustive enumeration, same pool, matched
+// budgets, across seeds — reporting best-found-after-N curves.
+#include "bench_common.hpp"
+
+using namespace barracuda;
+
+int main() {
+  bench::print_header("Ablation: SURF vs random vs exhaustive search");
+
+  core::TuningProblem problem = benchsuite::lg3(256, 12).problem;
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  // Exhaustive over the materialized pool: the reference optimum.
+  core::TuneOptions ex = bench::paper_tune_options();
+  ex.method = core::TuneOptions::Method::kExhaustive;
+  ex.max_pool = 3000;
+  core::TuneResult exhaustive = core::tune(problem, device, ex);
+  std::printf("pool size %zu; exhaustive optimum: %.2f us (%zu evals)\n\n",
+              exhaustive.pool_size, exhaustive.best_timing.total_us,
+              exhaustive.search.evaluations());
+
+  TextTable table({"Method", "after 10", "after 25", "after 50",
+                   "after 100", "regret vs optimum"});
+  for (auto method : {core::TuneOptions::Method::kSurf,
+                      core::TuneOptions::Method::kGenetic,
+                      core::TuneOptions::Method::kAnnealing,
+                      core::TuneOptions::Method::kRandom}) {
+    double after[4] = {0, 0, 0, 0};
+    double final_best = 0;
+    const int seeds = 5;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      core::TuneOptions opt = bench::paper_tune_options(seed);
+      opt.method = method;
+      opt.max_pool = 3000;
+      opt.search.max_evaluations = 100;
+      core::TuneResult r = core::tune(problem, device, opt);
+      const std::size_t ns[4] = {10, 25, 50, 100};
+      for (int i = 0; i < 4; ++i) after[i] += r.search.best_after(ns[i]);
+      final_best += r.best_timing.total_us;
+    }
+    std::vector<std::string> row{
+        method == core::TuneOptions::Method::kSurf      ? "SURF"
+        : method == core::TuneOptions::Method::kGenetic ? "genetic"
+        : method == core::TuneOptions::Method::kAnnealing
+            ? "annealing"
+            : "random"};
+    for (int i = 0; i < 4; ++i) {
+      row.push_back(TextTable::fixed(after[i] / seeds, 2) + "us");
+    }
+    row.push_back(TextTable::fixed(
+        (final_best / seeds / exhaustive.best_timing.total_us - 1.0) * 100,
+        2) + "%");
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape target: the model-based SURF dominates the early part of the\n"
+      "curve (best results at 25 and 50 evaluations — the budgets that\n"
+      "matter when each evaluation costs ~4 s on hardware); every informed\n"
+      "strategy ends far below random's regret at 100 evals.\n");
+  return 0;
+}

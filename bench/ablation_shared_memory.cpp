@@ -1,0 +1,49 @@
+// Ablation: shared-memory data placement (this reproduction's faithful
+// extension of the memory-hierarchy axis of Khan's algorithm, which the
+// paper's simplified space omits).  Staging the small reused derivative
+// matrix D into shared memory removes its per-iteration global reads.
+#include "bench_common.hpp"
+
+using namespace barracuda;
+
+int main() {
+  bench::print_header(
+      "Ablation: shared-memory staging of reused inputs (extension)");
+
+  TextTable table({"Benchmark", "Device", "No staging (us)",
+                   "With staging (us)", "Speedup", "Best mapping uses"});
+  for (const auto& benchmark :
+       {benchsuite::lg3(512, 12), benchsuite::lg3t(512, 12)}) {
+    for (const auto& device : {vgpu::DeviceProfile::tesla_c2050(),
+                               vgpu::DeviceProfile::gtx980()}) {
+      core::TuneOptions off = bench::paper_tune_options();
+      core::TuneOptions on = off;
+      on.decision.use_shared_memory = true;
+
+      core::TuneResult plain = core::tune(benchmark.problem, device, off);
+      core::TuneResult staged = core::tune(benchmark.problem, device, on);
+      std::size_t staged_kernels = 0;
+      for (const auto& cfg : staged.best_recipe) {
+        staged_kernels += !cfg.shared_tensors.empty();
+      }
+      table.add_row(
+          {benchmark.name, device.name,
+           TextTable::fixed(plain.best_timing.kernel_us, 1),
+           TextTable::fixed(staged.best_timing.kernel_us, 1),
+           TextTable::speedup(plain.best_timing.kernel_us /
+                              staged.best_timing.kernel_us),
+           std::to_string(staged_kernels) + "/" +
+               std::to_string(staged.best_recipe.size()) + " staged"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: with warp-broadcast reads and L2 capture already pricing\n"
+      "the small derivative matrix as nearly free, staging buys little and\n"
+      "the axis doubles the space per candidate — diluting a fixed search\n"
+      "budget (the no-staging configurations are a subset, but the sampled\n"
+      "pool covers them more thinly).  This *validates the paper's choice*\n"
+      "to leave data placement out of its simplified space for these\n"
+      "kernels; the axis is here for workloads where it does pay.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// The paper's motivating claim (Section I): "mapping the problem to use
+// highly-tuned linear algebra libraries will not achieve high performance
+// as these libraries are optimized for large matrices."  This harness
+// makes that claim an experiment: each contraction is evaluated both by
+// Barracuda's tuned loop kernels and by the TTGT strategy (transpose to
+// GEMM-able layout + library GEMM), kernel-resident, across sizes — the
+// crossover should sit well above the paper's small-tensor regime.
+#include "bench_common.hpp"
+
+#include "ttgt/ttgt.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+double barracuda_kernel_us(const core::TuningProblem& problem,
+                           const vgpu::DeviceProfile& device) {
+  core::TuneOptions opt = bench::paper_tune_options();
+  opt.search.max_evaluations = 60;
+  return core::tune(problem, device, opt).best_timing.kernel_us;
+}
+
+}  // namespace
+
+int main() {
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  bench::print_header(
+      "Motivation: Barracuda vs TTGT (library GEMM) across matrix sizes");
+  TextTable sweep({"n", "Barracuda GF", "TTGT GF", "Winner"});
+  for (std::int64_t n : {8, 12, 16, 24, 32, 64, 128, 256, 512}) {
+    std::string dsl = "dim i j k = " + std::to_string(n) +
+                      "\nC[i k] += A[i j] * B[j k]\n";
+    core::TuningProblem problem = core::TuningProblem::from_dsl(dsl, "mm");
+    double flops = static_cast<double>(problem.direct_flops());
+    double barracuda_gf =
+        flops / 1e3 / barracuda_kernel_us(problem, device);
+    ttgt::TtgtPlan plan =
+        ttgt::plan_ttgt(problem.statements[0], problem.extents);
+    double ttgt_gf = flops / 1e3 / ttgt::model_ttgt_us(plan, device);
+    sweep.add_row({std::to_string(n), TextTable::gflops(barracuda_gf),
+                   TextTable::gflops(ttgt_gf),
+                   barracuda_gf >= ttgt_gf ? "Barracuda" : "TTGT"});
+  }
+  std::printf("%s", sweep.render().c_str());
+
+  bench::print_header(
+      "The paper's actual workloads, kernel-resident, vs TTGT");
+  TextTable table({"Workload", "Barracuda GF", "TTGT GF", "TTGT plan"});
+  struct Row {
+    const char* label;
+    core::TuningProblem problem;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"Lg3 direction (512 x 12^3)",
+                  core::TuningProblem::from_dsl(R"(
+dim e = 512
+dim i j k l = 12
+UR[e i j k] += D[i l] * U[e l j k]
+)",
+                                                "lg")});
+  rows.push_back({"NWChem d1_1 (16)",
+                  benchsuite::nwchem_d1(1).problem});
+  rows.push_back({"NWChem d2_1 (16)",
+                  benchsuite::nwchem_d2(1).problem});
+  for (const auto& row : rows) {
+    double flops = static_cast<double>(row.problem.direct_flops());
+    double barracuda_gf =
+        flops / 1e3 / barracuda_kernel_us(row.problem, device);
+    ttgt::TtgtPlan plan =
+        ttgt::plan_ttgt(row.problem.statements[0], row.problem.extents);
+    double ttgt_gf = flops / 1e3 / ttgt::model_ttgt_us(plan, device);
+    table.add_row({row.label, TextTable::gflops(barracuda_gf),
+                   TextTable::gflops(ttgt_gf), plan.to_string()});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape target: TTGT crawls at the paper's sizes (tile quantization\n"
+      "+ transpose traffic) and only overtakes the generated loop kernels\n"
+      "for matrices in the hundreds — outside the small-tensor regime\n"
+      "Barracuda targets.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "benchsuite/nekbone.hpp"
+#include "benchsuite/workloads.hpp"
+#include "support/table.hpp"
+
+namespace barracuda::bench {
+
+/// The paper measures each variant as the average of 100 repetitions, so
+/// host<->device transfer cost amortizes across repetitions.
+constexpr int kRepetitions = 100;
+
+/// Default tuning budget used by the harnesses (the paper runs SURF with
+/// 100 evaluations for Lg3t).
+inline core::TuneOptions paper_tune_options(std::uint64_t seed = 1) {
+  core::TuneOptions options;
+  options.search.max_evaluations = 100;
+  options.search.batch_size = 10;
+  options.search.seed = seed;
+  options.max_pool = 2048;
+  options.pool_seed = seed;
+  return options;
+}
+
+/// The "plain sequential loop nest" Haswell profile used as the Table II
+/// speedup baseline (unvectorized reference code), versus the tuned
+/// profile used for the hand-optimized OpenMP comparisons of Table IV.
+inline cpuexec::CpuProfile haswell_plain() {
+  cpuexec::CpuProfile cpu = cpuexec::CpuProfile::haswell();
+  cpu.core_gflops = 2.0;  // plain scalar loop nest, no blocking/SIMD
+  return cpu;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace barracuda::bench

@@ -1,0 +1,51 @@
+// Reproduces Figure 3: speedup of the optimized Barracuda and OpenACC
+// code versions over the naive OpenACC implementations of the 27 NWChem
+// excerpt kernels (d1_1..9, d2_1..9, s1_1..9) on the C2050 and K20.
+#include <functional>
+
+#include "bench_common.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+void run_family(const std::string& title,
+                const std::vector<benchsuite::Benchmark>& family) {
+  bench::print_header("Figure 3 — " + title +
+                      ": speedup over naive OpenACC");
+  TextTable table({"Kernel", "Barracuda C2050", "OpenACC C2050",
+                   "Barracuda K20", "OpenACC K20"});
+  for (const auto& kernel : family) {
+    std::vector<std::string> row{kernel.name};
+    for (const auto& device : {vgpu::DeviceProfile::tesla_c2050(),
+                               vgpu::DeviceProfile::tesla_k20()}) {
+      core::BaselineResult naive =
+          core::openacc_baseline(kernel.problem, device, false);
+      core::BaselineResult optimized =
+          core::openacc_baseline(kernel.problem, device, true);
+      core::TuneResult tuned =
+          core::tune(kernel.problem, device, bench::paper_tune_options());
+      double base = naive.timing.kernel_us;
+      row.push_back(
+          TextTable::speedup(base / tuned.best_timing.kernel_us));
+      row.push_back(
+          TextTable::speedup(base / optimized.timing.kernel_us));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  run_family("D1 kernels", benchsuite::d1_family());
+  run_family("D2 kernels", benchsuite::d2_family());
+  run_family("S1 kernels", benchsuite::s1_family());
+  std::printf(
+      "\nPaper (Figure 3) shape targets: D1 shows the largest speedups\n"
+      "(up to ~70x on the K20); D2 and S1 land in the ~5-25x band;\n"
+      "Barracuda >= optimized OpenACC on nearly every kernel, and both\n"
+      "are far above naive (1x).\n");
+  return 0;
+}

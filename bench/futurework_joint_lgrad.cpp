@@ -1,0 +1,66 @@
+// Future-work experiment (Section VIII): "jointly optimizing lgrad3,
+// lgrad3t and adjacent code".  Compares tuning Lg3 and Lg3t as separate
+// problems (each plan transfers its fields) against tuning the combined
+// six-statement problem, where the gradient fields UR/US/UT remain
+// device-resident between the two phases.
+#include <sstream>
+
+#include "bench_common.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+core::TuningProblem joint_problem(std::int64_t elements, std::int64_t p) {
+  std::ostringstream dsl;
+  dsl << "dim e = " << elements << "\n"
+      << "dim i j k l = " << p << "\n"
+      << "UR[e i j k] += D[i l] * U[e l j k]\n"
+      << "US[e i j k] += D[j l] * U[e i l k]\n"
+      << "UT[e i j k] += D[k l] * U[e i j l]\n"
+      << "W[e i j k] += D[l i] * UR[e l j k]\n"
+      << "W[e i j k] += D[l j] * US[e i l k]\n"
+      << "W[e i j k] += D[l k] * UT[e i j l]\n";
+  return core::TuningProblem::from_dsl(dsl.str(), "lgrad_joint");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Future work: joint tuning of lgrad3 + lgrad3t (Section VIII)");
+
+  const std::int64_t elements = 512, p = 12;
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  // Separate: two problems, two plans, two rounds of transfers.
+  core::TuneResult g3 = core::tune(benchsuite::lg3(elements, p).problem,
+                                   device, bench::paper_tune_options());
+  core::TuneResult g3t = core::tune(benchsuite::lg3t(elements, p).problem,
+                                    device, bench::paper_tune_options(2));
+  double separate_us = g3.best_timing.total_us + g3t.best_timing.total_us;
+
+  // Joint: one six-kernel plan; UR/US/UT never cross PCIe.
+  core::TuneOptions joint_opt = bench::paper_tune_options(3);
+  joint_opt.search.max_evaluations = 200;  // same total budget as 2 x 100
+  core::TuneResult joint = core::tune(joint_problem(elements, p), device,
+                                      joint_opt);
+
+  std::printf("separate tuning : %10.1f us total (%.2f + %.2f GFlop/s)\n",
+              separate_us, g3.modeled_gflops(), g3t.modeled_gflops());
+  std::printf("joint tuning    : %10.1f us total (%.2f GFlop/s)\n",
+              joint.best_timing.total_us, joint.modeled_gflops());
+  std::printf("joint transfers : h2d %.1f us, d2h %.1f us "
+              "(separate: %.1f us, %.1f us)\n",
+              joint.best_timing.h2d_us, joint.best_timing.d2h_us,
+              g3.best_timing.h2d_us + g3t.best_timing.h2d_us,
+              g3.best_timing.d2h_us + g3t.best_timing.d2h_us);
+  std::printf("end-to-end gain : %.2fx\n",
+              separate_us / joint.best_timing.total_us);
+  std::printf(
+      "\nShape target: the joint plan wins because the three gradient\n"
+      "fields (3 x %lld doubles) stay on the device instead of crossing\n"
+      "PCIe twice.\n",
+      static_cast<long long>(elements * p * p * p));
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks of the framework components: how fast
+// is the pipeline itself (enumeration, space derivation, lowering,
+// modeling, surrogate fitting, functional execution)?  These bound the
+// autotuning throughput reported by the table harnesses.
+#include <benchmark/benchmark.h>
+
+#include "benchsuite/workloads.hpp"
+#include "chill/lower.hpp"
+#include "surf/extratrees.hpp"
+#include "surf/features.hpp"
+#include "vgpu/executor.hpp"
+#include "vgpu/perfmodel.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+core::TuningProblem eqn1_problem() { return benchsuite::eqn1().problem; }
+
+void BM_OctopiEnumerateEqn1(benchmark::State& state) {
+  core::TuningProblem p = eqn1_problem();
+  for (auto _ : state) {
+    auto programs = core::enumerate_programs(p);
+    benchmark::DoNotOptimize(programs.size());
+  }
+}
+BENCHMARK(BM_OctopiEnumerateEqn1);
+
+void BM_DeriveSpaceAndEnumerateConfigs(benchmark::State& state) {
+  tcr::TcrProgram program =
+      core::enumerate_programs(eqn1_problem()).front();
+  auto nests = tcr::build_loop_nests(program);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& nest : nests) {
+      total += tcr::enumerate_configs(nest, tcr::derive_space(nest)).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_DeriveSpaceAndEnumerateConfigs);
+
+void BM_LowerAndModelPlan(benchmark::State& state) {
+  tcr::TcrProgram program =
+      core::enumerate_programs(benchsuite::lg3(512, 12).problem).front();
+  chill::Recipe recipe = chill::openacc_optimized_recipe(program);
+  auto device = vgpu::DeviceProfile::gtx980();
+  for (auto _ : state) {
+    chill::GpuPlan plan = chill::lower_program(program, recipe);
+    benchmark::DoNotOptimize(vgpu::model_plan(plan, device).total_us);
+  }
+}
+BENCHMARK(BM_LowerAndModelPlan);
+
+void BM_CudaSourceEmission(benchmark::State& state) {
+  tcr::TcrProgram program =
+      core::enumerate_programs(eqn1_problem()).front();
+  chill::GpuPlan plan = chill::lower_program(
+      program, chill::openacc_optimized_recipe(program));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.cuda_source().size());
+  }
+}
+BENCHMARK(BM_CudaSourceEmission);
+
+void BM_FunctionalExecutorEqn1(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::TuningProblem p = core::TuningProblem::from_dsl(
+      "dim i j k l m n = " + std::to_string(n) +
+          "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n",
+      "ex");
+  tcr::TcrProgram program = core::enumerate_programs(p).front();
+  chill::GpuPlan plan = chill::lower_program(
+      program, chill::openacc_optimized_recipe(program));
+  Rng rng(1);
+  tensor::TensorEnv env;
+  env.emplace("A", tensor::Tensor::random({n, n}, rng));
+  env.emplace("B", tensor::Tensor::random({n, n}, rng));
+  env.emplace("C", tensor::Tensor::random({n, n}, rng));
+  env.emplace("U", tensor::Tensor::random({n, n, n}, rng));
+  env.emplace("V", tensor::Tensor::zeros({n, n, n}));
+  for (auto _ : state) {
+    tensor::TensorEnv copy = env;
+    vgpu::execute_plan(plan, copy);
+    benchmark::DoNotOptimize(copy.at("V").flat(0));
+  }
+  state.SetItemsProcessed(state.iterations() * program.flops());
+}
+BENCHMARK(BM_FunctionalExecutorEqn1)->Arg(6)->Arg(10);
+
+void BM_ReferenceEinsumEqn1(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::TuningProblem p = core::TuningProblem::from_dsl(
+      "dim i j k l m n = " + std::to_string(n) +
+          "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n",
+      "ex");
+  Rng rng(1);
+  tensor::TensorEnv env;
+  env.emplace("A", tensor::Tensor::random({n, n}, rng));
+  env.emplace("B", tensor::Tensor::random({n, n}, rng));
+  env.emplace("C", tensor::Tensor::random({n, n}, rng));
+  env.emplace("U", tensor::Tensor::random({n, n, n}, rng));
+  for (auto _ : state) {
+    tensor::TensorEnv copy = env;
+    tensor::evaluate(p.statements[0], p.extents, copy);
+    benchmark::DoNotOptimize(copy.at("V").flat(0));
+  }
+}
+BENCHMARK(BM_ReferenceEinsumEqn1)->Arg(6)->Arg(10);
+
+void BM_ExtraTreesFit(benchmark::State& state) {
+  const std::size_t samples = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::vector<double> row(40);
+    for (auto& v : row) v = rng.uniform();
+    y.push_back(10 * row[0] + row[1]);
+    X.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    surf::ExtraTreesRegressor model;
+    model.fit(X, y);
+    benchmark::DoNotOptimize(model.predict(X[0]));
+  }
+}
+BENCHMARK(BM_ExtraTreesFit)->Arg(50)->Arg(100);
+
+void BM_SurfSearchOnModel(benchmark::State& state) {
+  core::TuningProblem p = benchsuite::lg3(128, 12).problem;
+  auto device = vgpu::DeviceProfile::gtx980();
+  for (auto _ : state) {
+    core::TuneOptions opt;
+    opt.search.max_evaluations = 40;
+    opt.max_pool = 500;
+    benchmark::DoNotOptimize(
+        core::tune(p, device, opt).best_timing.total_us);
+  }
+}
+BENCHMARK(BM_SurfSearchOnModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

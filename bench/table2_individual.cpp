@@ -1,0 +1,54 @@
+// Reproduces Table II: results summary for the individual
+// tensor-contraction computations (Eqn.(1), Lg3, Lg3t, TCE ex).
+//
+// Columns, as in the paper:
+//   Speedup — tuned GTX 980 versus plain sequential execution on Haswell
+//   GFlops / Search — per device (GTX 980, K20, C2050): modeled GFlop/s
+//     (transfers amortized over 100 repetitions, the paper's methodology)
+//     and wall-clock seconds spent in the SURF search.
+#include "bench_common.hpp"
+
+using namespace barracuda;
+
+int main() {
+  bench::print_header(
+      "Table II: results summary for individual tensor contractions");
+
+  auto devices = vgpu::DeviceProfile::paper_devices();
+  TextTable table({"Name", "Speedup",
+                   devices[0].name + " GF", "Search",
+                   devices[1].name + " GF", "Search",
+                   devices[2].name + " GF", "Search"});
+
+  for (const auto& benchmark : benchsuite::table2_benchmarks()) {
+    std::vector<std::string> row{benchmark.name};
+
+    // Plain sequential Haswell baseline (same strength-reduced flops).
+    cpuexec::CpuTiming cpu =
+        core::cpu_baseline(benchmark.problem, bench::haswell_plain(), 1);
+
+    bool first_device = true;
+    for (const auto& device : devices) {
+      core::TuneResult tuned =
+          core::tune(benchmark.problem, device, bench::paper_tune_options());
+      double us = tuned.best_timing.kernel_us +
+                  (tuned.best_timing.h2d_us + tuned.best_timing.d2h_us) /
+                      bench::kRepetitions;
+      if (first_device) {
+        row.push_back(TextTable::speedup(cpu.total_us / us));
+        first_device = false;
+      }
+      row.push_back(TextTable::gflops(
+          tuned.modeled_gflops_amortized(bench::kRepetitions)));
+      row.push_back(TextTable::seconds(tuned.search.seconds));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nPaper (Table II): Eqn.(1) 0.63x/1.99GF; Lg3 23.74x/42.74GF;\n"
+      "Lg3t 22.87x/41.11GF; TCE ex 29.77x/42.72GF (GTX 980 column).\n"
+      "Shape targets: Eqn.(1) near or below 1x (too little work for the\n"
+      "GPU); the other three tens-of-GFlops and >10x over sequential.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Table IV: Nekbone and NWChem excerpt performance,
+// OpenMP (Haswell 1 core / 4 cores) vs Barracuda (GTX 980), in GFlop/s.
+//
+// For the NWChem rows the socket-level computation is the whole family:
+// all nine kernels accumulating into one device-resident t3, transferred
+// once (Section VI: "the data remains on the GPU across these calls").
+#include "bench_common.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+struct FamilyModel {
+  double kernel_us = 0;
+  double transfer_us = 0;
+  std::int64_t flops = 0;
+  double gflops() const {
+    double us = kernel_us + transfer_us;
+    return us > 0 ? (static_cast<double>(flops) / 1e3) / us : 0;
+  }
+};
+
+FamilyModel model_family_barracuda(char family,
+                                   const vgpu::DeviceProfile& device) {
+  std::vector<benchsuite::Benchmark> members;
+  switch (family) {
+    case 's': members = benchsuite::s1_family(); break;
+    case 'd': members = benchsuite::d1_family(); break;
+    default: members = benchsuite::d2_family(); break;
+  }
+  FamilyModel m;
+  double input_bytes = 0;
+  std::int64_t transfers = 1;  // t3 up
+  for (const auto& member : members) {
+    core::TuneResult tuned =
+        core::tune(member.problem, device, bench::paper_tune_options());
+    m.kernel_us += tuned.best_timing.kernel_us;
+    m.flops += tuned.flops;
+    // Each kernel's own t1/t2/v2 slices head down once.
+    for (const auto& name : tuned.best_plan.h2d) {
+      if (name == "t3") continue;  // resident across the family
+      input_bytes += static_cast<double>(
+                         tuned.best_plan.tensor_sizes.at(name)) *
+                     8.0;
+      ++transfers;
+    }
+  }
+  const double t3_bytes = std::pow(16.0, 6) * 8.0;
+  m.transfer_us = (input_bytes + t3_bytes) /
+                      (device.pcie_bandwidth_gbs * 1e3) +
+                  device.pcie_latency_us * static_cast<double>(transfers);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table IV: Nekbone and NWChem excerpts, OpenMP vs Barracuda");
+
+  auto cpu = cpuexec::CpuProfile::haswell();
+  auto device = vgpu::DeviceProfile::gtx980();
+  TextTable table({"Benchmark", "1 core", "OpenMP 4 cores", "Barracuda"});
+
+  // --- Nekbone ----------------------------------------------------------
+  benchsuite::NekboneConfig config;
+  config.elements = 512;
+  config.p = 12;
+  config.cg_iterations = 100;
+  benchsuite::NekboneModel one = benchsuite::model_nekbone_cpu(config, cpu, 1);
+  benchsuite::NekboneModel four =
+      benchsuite::model_nekbone_cpu(config, cpu, 4);
+  benchsuite::NekboneModel gpu = benchsuite::model_nekbone_barracuda(
+      config, device, bench::paper_tune_options());
+  table.add_row({"Nekbone", TextTable::gflops(one.gflops) + "GF",
+                 TextTable::gflops(four.gflops) + "GF",
+                 TextTable::gflops(gpu.gflops) + "GF"});
+
+  // --- NWChem families ---------------------------------------------------
+  const char* labels[3] = {"NWCHEM s1", "NWCHEM d1", "NWCHEM d2"};
+  const char families[3] = {'s', 'd', '2'};
+  for (int f = 0; f < 3; ++f) {
+    benchsuite::Benchmark combined =
+        benchsuite::nwchem_family_combined(families[f]);
+    cpuexec::CpuTiming c1 = core::cpu_baseline(combined.problem, cpu, 1);
+    cpuexec::CpuTiming c4 = core::cpu_baseline(combined.problem, cpu, 4);
+    std::int64_t cpu_flops =
+        core::enumerate_programs(combined.problem).front().flops();
+    FamilyModel fm = model_family_barracuda(families[f], device);
+    table.add_row({labels[f],
+                   TextTable::gflops(c1.gflops(cpu_flops)) + "GF",
+                   TextTable::gflops(c4.gflops(cpu_flops)) + "GF",
+                   TextTable::gflops(fm.gflops()) + "GF"});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nPaper (Table IV): Nekbone 7.79/23.97/35.70; s1 2.47/2.61/16.14;\n"
+      "d1 3.90/25.29/115.37; d2 5.60/14.90/50.00 GFlop/s.\n"
+      "Shape targets: s1 gains almost nothing from 4 OpenMP cores\n"
+      "(bandwidth-bound) while Nekbone/d1/d2 scale; Barracuda beats the\n"
+      "4-core OpenMP on every row; d1 is the GPU's best family.\n");
+  return 0;
+}

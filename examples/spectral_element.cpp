@@ -1,0 +1,55 @@
+// Spectral-element scenario: the Nekbone mini-app.
+//
+// Demonstrates (1) a real conjugate-gradient solve whose operator is the
+// Lg3/Lg3t contraction pair executed through the library, and (2) the
+// modeled GPU-vs-CPU performance comparison of Tables III/IV at the
+// paper's 12^3 problem size.
+#include <cstdio>
+
+#include "benchsuite/nekbone.hpp"
+
+using namespace barracuda;
+
+int main() {
+  // --- 1. A real CG solve (small size; functional execution) ----------
+  benchsuite::NekboneConfig small;
+  small.elements = 4;
+  small.p = 6;
+  small.cg_iterations = 300;
+  std::printf("solving (Lg3t o Lg3 + I) x = b on %lld elements of order %lld\n",
+              static_cast<long long>(small.elements),
+              static_cast<long long>(small.p));
+  benchsuite::CgResult cg = benchsuite::solve_cg(small, 1e-9);
+  std::printf("CG %s in %d iterations (relative residual %.2e)\n\n",
+              cg.converged ? "converged" : "did NOT converge", cg.iterations,
+              cg.residual);
+
+  // --- 2. Modeled performance at the paper's scale --------------------
+  benchsuite::NekboneConfig config;
+  config.elements = 512;
+  config.p = 12;
+  config.cg_iterations = 100;
+
+  core::TuneOptions options;
+  options.search.max_evaluations = 60;
+
+  auto cpu = cpuexec::CpuProfile::haswell();
+  benchsuite::NekboneModel seq = benchsuite::model_nekbone_cpu(config, cpu, 1);
+  benchsuite::NekboneModel omp = benchsuite::model_nekbone_cpu(config, cpu, 4);
+  std::printf("Haswell 1 core        : %7.2f GFlop/s\n", seq.gflops);
+  std::printf("Haswell OpenMP 4 cores: %7.2f GFlop/s\n", omp.gflops);
+
+  for (const auto& device : vgpu::DeviceProfile::paper_devices()) {
+    benchsuite::NekboneModel naive =
+        benchsuite::model_nekbone_openacc(config, device, false);
+    benchsuite::NekboneModel opt =
+        benchsuite::model_nekbone_openacc(config, device, true);
+    benchsuite::NekboneModel tuned =
+        benchsuite::model_nekbone_barracuda(config, device, options);
+    std::printf(
+        "%-12s: OpenACC naive %6.2f | OpenACC optimized %6.2f | "
+        "Barracuda %6.2f GFlop/s\n",
+        device.name.c_str(), naive.gflops, opt.gflops, tuned.gflops);
+  }
+  return cg.converged ? 0 : 1;
+}

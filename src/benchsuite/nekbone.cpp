@@ -1,0 +1,174 @@
+#include "benchsuite/nekbone.hpp"
+
+#include <cmath>
+
+#include "cpuexec/interpreter.hpp"
+#include "support/error.hpp"
+
+namespace barracuda::benchsuite {
+namespace {
+
+/// Bytes moved per CG iteration by the non-contraction vector updates
+/// (residual/search-direction AXPYs and dot products): roughly 10 sweeps
+/// of the solution-sized field.
+double vector_traffic_bytes(const NekboneConfig& c) {
+  double n = static_cast<double>(c.elements) * c.p * c.p * c.p;
+  return 10.0 * n * 8.0;
+}
+
+std::int64_t vector_flops(const NekboneConfig& c) {
+  std::int64_t n = c.elements * c.p * c.p * c.p;
+  return 10 * n;
+}
+
+NekboneModel combine(const NekboneConfig& config, double contraction_us,
+                     double vector_us, double transfer_us,
+                     std::int64_t contraction_flops) {
+  NekboneModel m;
+  m.per_iteration_us = contraction_us + vector_us;
+  m.transfer_us = transfer_us;
+  m.total_us = m.per_iteration_us * config.cg_iterations + transfer_us;
+  m.flops = (contraction_flops + vector_flops(config)) *
+            static_cast<std::int64_t>(config.cg_iterations);
+  m.gflops = m.total_us > 0
+                 ? (static_cast<double>(m.flops) / 1e3) / m.total_us
+                 : 0;
+  return m;
+}
+
+}  // namespace
+
+NekboneModel model_nekbone_barracuda(const NekboneConfig& config,
+                                     const vgpu::DeviceProfile& device,
+                                     const core::TuneOptions& options) {
+  Benchmark g3 = lg3(config.elements, config.p);
+  Benchmark g3t = lg3t(config.elements, config.p);
+  core::TuneResult r3 = core::tune(g3.problem, device, options);
+  core::TuneResult r3t = core::tune(g3t.problem, device, options);
+  double contraction_us =
+      r3.best_timing.kernel_us + r3t.best_timing.kernel_us;
+  // Vector updates run on-device at DRAM bandwidth.
+  double vector_us =
+      vector_traffic_bytes(config) / (device.dram_bandwidth_gbs * 1e3);
+  // Fields cross PCIe once per solve (u down, x back).
+  double n_bytes =
+      static_cast<double>(config.elements) * config.p * config.p * config.p *
+      8.0;
+  double transfer_us = 2.0 * n_bytes / (device.pcie_bandwidth_gbs * 1e3) +
+                       2.0 * device.pcie_latency_us;
+  return combine(config, contraction_us, vector_us, transfer_us,
+                 r3.flops + r3t.flops);
+}
+
+NekboneModel model_nekbone_openacc(const NekboneConfig& config,
+                                   const vgpu::DeviceProfile& device,
+                                   bool optimized) {
+  Benchmark g3 = lg3(config.elements, config.p);
+  Benchmark g3t = lg3t(config.elements, config.p);
+  core::BaselineResult b3 =
+      core::openacc_baseline(g3.problem, device, optimized);
+  core::BaselineResult b3t =
+      core::openacc_baseline(g3t.problem, device, optimized);
+  double contraction_us = b3.timing.kernel_us + b3t.timing.kernel_us;
+  double vector_us =
+      vector_traffic_bytes(config) / (device.dram_bandwidth_gbs * 1e3);
+  double n_bytes =
+      static_cast<double>(config.elements) * config.p * config.p * config.p *
+      8.0;
+  double transfer_us = 2.0 * n_bytes / (device.pcie_bandwidth_gbs * 1e3) +
+                       2.0 * device.pcie_latency_us;
+  return combine(config, contraction_us, vector_us, transfer_us,
+                 b3.flops + b3t.flops);
+}
+
+NekboneModel model_nekbone_cpu(const NekboneConfig& config,
+                               const cpuexec::CpuProfile& cpu, int threads) {
+  Benchmark g3 = lg3(config.elements, config.p);
+  Benchmark g3t = lg3t(config.elements, config.p);
+  cpuexec::CpuTiming t3 = core::cpu_baseline(g3.problem, cpu, threads);
+  cpuexec::CpuTiming t3t = core::cpu_baseline(g3t.problem, cpu, threads);
+  double contraction_us = t3.total_us + t3t.total_us;
+  double bw = threads == 1 ? cpu.core_bandwidth_gbs
+                           : std::min(cpu.socket_bandwidth_gbs,
+                                      cpu.core_bandwidth_gbs * threads);
+  double vector_us = vector_traffic_bytes(config) / (bw * 1e3);
+  std::int64_t contraction_flops =
+      core::enumerate_programs(g3.problem).front().flops() +
+      core::enumerate_programs(g3t.problem).front().flops();
+  return combine(config, contraction_us, vector_us, /*transfer_us=*/0.0,
+                 contraction_flops);
+}
+
+CgResult solve_cg(const NekboneConfig& config, double tolerance) {
+  const std::int64_t p = config.p;
+  const std::int64_t e = config.elements;
+  const std::int64_t n = e * p * p * p;
+  BARRACUDA_CHECK_MSG(n <= (1 << 20),
+                      "solve_cg is a correctness vehicle; use small sizes");
+
+  Benchmark g3 = lg3(e, p);
+  Benchmark g3t = lg3t(e, p);
+  tcr::TcrProgram p3 = core::enumerate_programs(g3.problem).front();
+  tcr::TcrProgram p3t = core::enumerate_programs(g3t.problem).front();
+
+  // A fixed derivative-like matrix D (diagonally dominant keeps the
+  // operator well conditioned).
+  Rng rng(2026);
+  tensor::Tensor D = tensor::Tensor::random({p, p}, rng);
+  for (std::int64_t i = 0; i < p; ++i) D.at({i, i}) += 2.0;
+
+  // Operator application: w = Lg3t(Lg3(u)) + u  (SPD: M^T M + I).
+  auto apply = [&](const tensor::Tensor& u) {
+    tensor::TensorEnv env;
+    env.emplace("D", D);
+    env.emplace("U", u);
+    cpuexec::run_sequential(p3, env);
+    tensor::TensorEnv env2;
+    env2.emplace("D", D);
+    env2.emplace("UR", env.at("UR"));
+    env2.emplace("US", env.at("US"));
+    env2.emplace("UT", env.at("UT"));
+    const tensor::Tensor& w = cpuexec::run_sequential(p3t, env2);
+    tensor::Tensor out = w;
+    for (std::int64_t i = 0; i < n; ++i) out.flat(i) += u.flat(i);
+    return out;
+  };
+
+  auto dot = [&](const tensor::Tensor& a, const tensor::Tensor& b) {
+    double s = 0;
+    for (std::int64_t i = 0; i < n; ++i) s += a.flat(i) * b.flat(i);
+    return s;
+  };
+
+  tensor::Tensor b = tensor::Tensor::random({e, p, p, p}, rng);
+  tensor::Tensor x = tensor::Tensor::zeros({e, p, p, p});
+  tensor::Tensor r = b;
+  tensor::Tensor d = r;
+  double rho = dot(r, r);
+  const double b_norm = std::sqrt(dot(b, b));
+
+  CgResult result;
+  for (int it = 0; it < config.cg_iterations; ++it) {
+    tensor::Tensor q = apply(d);
+    double alpha = rho / dot(d, q);
+    for (std::int64_t i = 0; i < n; ++i) {
+      x.flat(i) += alpha * d.flat(i);
+      r.flat(i) -= alpha * q.flat(i);
+    }
+    double rho_next = dot(r, r);
+    result.iterations = it + 1;
+    result.residual = std::sqrt(rho_next) / b_norm;
+    if (result.residual < tolerance) {
+      result.converged = true;
+      break;
+    }
+    double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::int64_t i = 0; i < n; ++i) {
+      d.flat(i) = r.flat(i) + beta * d.flat(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace barracuda::benchsuite

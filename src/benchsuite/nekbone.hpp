@@ -1,0 +1,63 @@
+// Nekbone mini-app: a conjugate-gradient solve over spectral elements
+// whose operator application is dominated by the Lg3 / Lg3t tensor
+// contractions (Section VI: "a conjugate gradient loop that operates over
+// a sequence of tensor contractions", 12^3 problem size).
+//
+// Two faces:
+//   * a *real* CG solver (host execution of the TCR programs) used to
+//     validate that the tuned contractions compose into a correct,
+//     converging solver, and
+//   * *modeled* GPU/CPU timings of the CG loop used by the Table III/IV
+//     benches — contraction data stays resident on the device across the
+//     solve, transfers happen once.
+#pragma once
+
+#include <cstdint>
+
+#include "benchsuite/workloads.hpp"
+#include "cpuexec/cpumodel.hpp"
+#include "vgpu/device.hpp"
+
+namespace barracuda::benchsuite {
+
+struct NekboneConfig {
+  std::int64_t elements = 512;
+  std::int64_t p = 12;
+  int cg_iterations = 100;
+};
+
+/// Modeled performance of the CG loop.
+struct NekboneModel {
+  double per_iteration_us = 0;
+  double transfer_us = 0;  // once per solve
+  double total_us = 0;
+  std::int64_t flops = 0;  // whole solve
+  double gflops = 0;
+};
+
+/// Barracuda: lg3 and lg3t individually autotuned, then composed.
+NekboneModel model_nekbone_barracuda(const NekboneConfig& config,
+                                     const vgpu::DeviceProfile& device,
+                                     const core::TuneOptions& options = {});
+
+/// OpenACC baselines (naive / optimized) for Table III.
+NekboneModel model_nekbone_openacc(const NekboneConfig& config,
+                                   const vgpu::DeviceProfile& device,
+                                   bool optimized);
+
+/// Haswell baseline (1 thread = sequential) for Table IV.
+NekboneModel model_nekbone_cpu(const NekboneConfig& config,
+                               const cpuexec::CpuProfile& cpu, int threads);
+
+/// Result of the real (functionally executed) CG solve.
+struct CgResult {
+  int iterations = 0;
+  double residual = 0;
+  bool converged = false;
+};
+
+/// Solve (Lg3t∘Lg3 + I) x = b with CG, executing the contraction programs
+/// on the host.  Small sizes only (this is a correctness vehicle).
+CgResult solve_cg(const NekboneConfig& config, double tolerance = 1e-8);
+
+}  // namespace barracuda::benchsuite

@@ -1,0 +1,210 @@
+#include "benchsuite/workloads.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace barracuda::benchsuite {
+namespace {
+
+std::string dims_line(const std::vector<std::string>& names,
+                      std::int64_t extent) {
+  std::string line = "dim";
+  for (const auto& n : names) line += " " + n;
+  line += " = " + std::to_string(extent);
+  return line;
+}
+
+}  // namespace
+
+Benchmark eqn1() {
+  Benchmark b;
+  b.name = "Eqn.(1)";
+  b.description = "Spectral element example from Figure 2";
+  b.problem = core::TuningProblem::from_dsl(R"(
+dim i j k l m n = 10
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+)",
+                                            "eqn1");
+  return b;
+}
+
+Benchmark eqn1_2d(std::int64_t p) {
+  Benchmark b;
+  b.name = "Eqn.(1) 2D";
+  b.description = "Two-dimensional spectral element contraction (Sec. II)";
+  std::ostringstream dsl;
+  dsl << dims_line({"i", "j", "k", "l"}, p) << "\n"
+      << "V[i j] = Sum([k l], A[l j] * B[k i] * U[k l])\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), "eqn1_2d");
+  return b;
+}
+
+Benchmark lg3(std::int64_t elements, std::int64_t p) {
+  Benchmark b;
+  b.name = "Lg3";
+  b.description = "local_grad3 from Nekbone";
+  std::ostringstream dsl;
+  dsl << "dim e = " << elements << "\n"
+      << dims_line({"i", "j", "k", "l"}, p) << "\n"
+      << "UR[e i j k] += D[i l] * U[e l j k]\n"
+      << "US[e i j k] += D[j l] * U[e i l k]\n"
+      << "UT[e i j k] += D[k l] * U[e i j l]\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), "lg3");
+  return b;
+}
+
+Benchmark lg3t(std::int64_t elements, std::int64_t p) {
+  Benchmark b;
+  b.name = "Lg3t";
+  b.description = "local_grad3t from Nekbone";
+  std::ostringstream dsl;
+  dsl << "dim e = " << elements << "\n"
+      << dims_line({"i", "j", "k", "l"}, p) << "\n"
+      << "W[e i j k] += D[l i] * UR[e l j k]\n"
+      << "W[e i j k] += D[l j] * US[e i l k]\n"
+      << "W[e i j k] += D[l k] * UT[e i j l]\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), "lg3t");
+  return b;
+}
+
+Benchmark tce_ex(std::int64_t n) {
+  Benchmark b;
+  b.name = "TCE ex";
+  b.description = "TCE example tensor (Baumgartner et al.)";
+  std::ostringstream dsl;
+  dsl << dims_line({"a", "b", "i", "j", "c", "d", "e", "f", "k", "l"}, n)
+      << "\n"
+      << "S[a b i j] = Sum([c d e f k l], "
+         "A[a c i k] * B[b e f l] * C2[d f j k] * D2[c d e l])\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), "tce_ex");
+  return b;
+}
+
+namespace {
+
+/// The nine (h, p) role assignments shared by each CCSD(T) kernel family:
+/// which hole index pairs with the first tensor and which particle index
+/// is pulled out of v2.
+struct Roles {
+  // Partition of {h1,h2,h3}: `h` goes to the first tensor, {ha,hb} stay
+  // on v2; partition of {p4,p5,p6}: `p` goes to the first tensor for
+  // s1/d2 (or v2 for d1), the others stay.
+  const char* h;
+  const char* ha;
+  const char* hb;
+  const char* p;
+  const char* pa;
+  const char* pb;
+};
+
+Roles roles_for(int k) {
+  BARRACUDA_CHECK_MSG(k >= 1 && k <= 9, "kernel index must be in [1,9]");
+  static const Roles table[9] = {
+      // p-group cycles every 3 kernels, h-group cycles within.
+      {"h1", "h3", "h2", "p4", "p6", "p5"},  // _1
+      {"h2", "h3", "h1", "p4", "p6", "p5"},  // _2
+      {"h3", "h2", "h1", "p4", "p6", "p5"},  // _3
+      {"h1", "h3", "h2", "p5", "p6", "p4"},  // _4
+      {"h2", "h3", "h1", "p5", "p6", "p4"},  // _5
+      {"h3", "h2", "h1", "p5", "p6", "p4"},  // _6
+      {"h1", "h3", "h2", "p6", "p5", "p4"},  // _7
+      {"h2", "h3", "h1", "p6", "p5", "p4"},  // _8
+      {"h3", "h2", "h1", "p6", "p5", "p4"},  // _9
+  };
+  return table[k - 1];
+}
+
+std::string nwchem_dims(std::int64_t n) {
+  return dims_line({"h1", "h2", "h3", "p4", "p5", "p6", "h7", "p7"}, n);
+}
+
+}  // namespace
+
+Benchmark nwchem_s1(int k, std::int64_t n) {
+  Roles r = roles_for(k);
+  Benchmark b;
+  b.name = "s1_" + std::to_string(k);
+  b.description = "NWChem CCSD(T) singles kernel";
+  std::ostringstream dsl;
+  dsl << nwchem_dims(n) << "\n"
+      << "t3[h3 h2 h1 p6 p5 p4] += t1[" << r.p << " " << r.h << "] * v2["
+      << r.ha << " " << r.hb << " " << r.pa << " " << r.pb << "]\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), b.name);
+  return b;
+}
+
+Benchmark nwchem_d1(int k, std::int64_t n) {
+  Roles r = roles_for(k);
+  Benchmark b;
+  b.name = "d1_" + std::to_string(k);
+  b.description = "NWChem CCSD(T) doubles kernel (h7 contraction)";
+  std::ostringstream dsl;
+  // t2 carries h7, two particles and one hole; v2 carries the remaining
+  // holes, the remaining particle and h7.
+  dsl << nwchem_dims(n) << "\n"
+      << "t3[h3 h2 h1 p6 p5 p4] += t2[h7 " << r.pa << " " << r.pb << " "
+      << r.h << "] * v2[" << r.ha << " " << r.hb << " " << r.p
+      << " h7]\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), b.name);
+  return b;
+}
+
+Benchmark nwchem_d2(int k, std::int64_t n) {
+  Roles r = roles_for(k);
+  Benchmark b;
+  b.name = "d2_" + std::to_string(k);
+  b.description = "NWChem CCSD(T) doubles kernel (p7 contraction)";
+  std::ostringstream dsl;
+  dsl << nwchem_dims(n) << "\n"
+      << "t3[h3 h2 h1 p6 p5 p4] += t2[p7 " << r.p << " " << r.h << " "
+      << r.ha << "] * v2[p7 " << r.hb << " " << r.pa << " " << r.pb
+      << "]\n";
+  b.problem = core::TuningProblem::from_dsl(dsl.str(), b.name);
+  return b;
+}
+
+std::vector<Benchmark> s1_family(std::int64_t n) {
+  std::vector<Benchmark> out;
+  for (int k = 1; k <= 9; ++k) out.push_back(nwchem_s1(k, n));
+  return out;
+}
+
+std::vector<Benchmark> d1_family(std::int64_t n) {
+  std::vector<Benchmark> out;
+  for (int k = 1; k <= 9; ++k) out.push_back(nwchem_d1(k, n));
+  return out;
+}
+
+std::vector<Benchmark> d2_family(std::int64_t n) {
+  std::vector<Benchmark> out;
+  for (int k = 1; k <= 9; ++k) out.push_back(nwchem_d2(k, n));
+  return out;
+}
+
+Benchmark nwchem_family_combined(char family, std::int64_t n) {
+  std::vector<Benchmark> members;
+  std::string fname;
+  switch (family) {
+    case 's': members = s1_family(n); fname = "s1"; break;
+    case 'd': members = d1_family(n); fname = "d1"; break;
+    case '2': members = d2_family(n); fname = "d2"; break;
+    default:
+      throw InternalError("unknown NWChem family (use 's', 'd' or '2')");
+  }
+  Benchmark b;
+  b.name = "NWCHEM " + fname;
+  b.description = "all nine " + fname + " kernels accumulating into t3";
+  b.problem.name = fname + "_all";
+  b.problem.extents = members[0].problem.extents;
+  for (const auto& m : members) {
+    b.problem.statements.push_back(m.problem.statements.at(0));
+  }
+  return b;
+}
+
+std::vector<Benchmark> table2_benchmarks() {
+  return {eqn1(), lg3(), lg3t(), tce_ex()};
+}
+
+}  // namespace barracuda::benchsuite

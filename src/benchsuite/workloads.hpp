@@ -1,0 +1,68 @@
+// The benchmark workloads of Table I.
+//
+//   Eqn.(1)  spectral-element contraction from Figure 2 (10^3)
+//   Lg3      local_grad3 from Nekbone (batched, 12^3 elements)
+//   Lg3t     local_grad3 transpose-apply from Nekbone
+//   TCE ex   the classic four-tensor example of the Tensor Contraction
+//            Engine papers [Baumgartner et al.]
+//   S1/D1/D2 the 27 loop-driven CCSD(T) triples kernels extracted from
+//            NWChem (trip count 16 per dimension), reconstructed as einsum
+//            statements from jeffhammond/nwchem-tce-triples-kernels (see
+//            DESIGN.md: substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/barracuda.hpp"
+
+namespace barracuda::benchsuite {
+
+struct Benchmark {
+  std::string name;
+  std::string description;
+  core::TuningProblem problem;
+};
+
+/// Eqn (1): V[i j k] = Sum([l m n], A[l k] B[m j] C[n i] U[l m n]),
+/// all dims 10 (a single spectral element — the paper's "too little work
+/// for the GPU" case).
+Benchmark eqn1();
+
+/// The two-dimensional spectral-element contraction of Section II:
+/// V[i j] = Sum([k l], A[l j] B[k i] U[k l]) — O(p^4) naively, O(p^3)
+/// after strength reduction (W[i l] = B[k i] U[k l]; V = A W).
+Benchmark eqn1_2d(std::int64_t p = 10);
+
+/// local_grad3: ur/us/ut = derivative contractions of u along the three
+/// reference directions, batched over `elements` spectral elements of
+/// order p (paper: p=12).
+Benchmark lg3(std::int64_t elements = 512, std::int64_t p = 12);
+
+/// local_grad3 transpose-apply: w accumulates D^T contractions of the
+/// three gradient fields.
+Benchmark lg3t(std::int64_t elements = 512, std::int64_t p = 12);
+
+/// TCE example: S[a b i j] = Sum over c,d,e,f,k,l of
+/// A[a c i k] B[b e f l] C2[d f j k] D2[c d e l] (dims = `n`).
+Benchmark tce_ex(std::int64_t n = 16);
+
+/// NWChem CCSD(T) kernels.  `k` in [1,9].
+Benchmark nwchem_s1(int k, std::int64_t n = 16);
+Benchmark nwchem_d1(int k, std::int64_t n = 16);
+Benchmark nwchem_d2(int k, std::int64_t n = 16);
+
+/// All nine kernels of one family.
+std::vector<Benchmark> s1_family(std::int64_t n = 16);
+std::vector<Benchmark> d1_family(std::int64_t n = 16);
+std::vector<Benchmark> d2_family(std::int64_t n = 16);
+
+/// The whole family as one nine-statement problem accumulating into t3
+/// (t3 stays on the device across kernels) — the Table IV socket-level
+/// computation.
+Benchmark nwchem_family_combined(char family, std::int64_t n = 16);
+
+/// The four individual computations of Table II, in table order.
+std::vector<Benchmark> table2_benchmarks();
+
+}  // namespace barracuda::benchsuite

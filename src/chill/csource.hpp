@@ -1,0 +1,39 @@
+// C host-code emission for TCR programs: the sequential and OpenMP
+// baselines of Section VI as compilable artifacts.
+//
+// The generated translation unit contains one function
+//     void <name>_cpu(const double* in0, ..., double* out0, ...)
+// whose parameters are the program's input tensors (first-use order)
+// followed by its written tensors (temporaries are allocated and freed
+// inside).  Loop nests follow the program's fused structure; with
+// `openmp` the fused/outer parallel loops carry
+// `#pragma omp parallel for` annotations, mirroring the paper's
+// hand-parallelized outermost-loop OpenMP comparison.
+#pragma once
+
+#include <string>
+
+#include "tcr/program.hpp"
+
+namespace barracuda::chill {
+
+struct CSourceOptions {
+  bool openmp = false;
+  /// Fuse shareable outer loops (Section III); when false each operation
+  /// keeps its own perfect nest.
+  bool fuse = true;
+};
+
+/// Emit the full C translation unit.
+std::string c_source(const tcr::TcrProgram& program,
+                     const CSourceOptions& options = {});
+
+/// Name of the emitted entry point ("<name>_cpu").
+std::string c_entry_point(const tcr::TcrProgram& program);
+
+/// Parameter order of the entry point: inputs (first-use order), then
+/// written non-temporary outputs... concretely: inputs, then the final
+/// output; temporaries never appear in the signature.
+std::vector<std::string> c_parameters(const tcr::TcrProgram& program);
+
+}  // namespace barracuda::chill

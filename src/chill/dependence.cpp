@@ -1,0 +1,104 @@
+#include "chill/dependence.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "tcr/loopnest.hpp"
+
+namespace barracuda::chill {
+namespace {
+
+/// Depth-first search over delta components with interval pruning: at
+/// each level the remaining terms can move the partial sum by at most
+/// sum(|coef_d| * (extent_d - 1)); prune when the target is out of reach.
+bool solve(const std::vector<std::int64_t>& coefs,
+           const std::vector<std::int64_t>& extents,
+           const std::vector<std::int64_t>& reach, std::size_t level,
+           std::int64_t partial, std::size_t pivot, bool pivot_nonzero) {
+  if (level == coefs.size()) return partial == 0 && pivot_nonzero;
+  const std::int64_t remaining = reach[level];
+  if (partial > remaining || partial < -remaining) return false;
+  const std::int64_t extent = extents[level];
+  for (std::int64_t d = -(extent - 1); d <= extent - 1; ++d) {
+    if (level == pivot && d == 0) continue;  // pivot must move
+    bool nz = pivot_nonzero || (level == pivot && d != 0);
+    if (solve(coefs, extents, reach, level + 1,
+              partial + coefs[level] * d, pivot, nz)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool has_nonzero_solution(const std::vector<std::int64_t>& coefs,
+                          const std::vector<std::int64_t>& extents,
+                          std::size_t pivot) {
+  BARRACUDA_CHECK(coefs.size() == extents.size());
+  BARRACUDA_CHECK(pivot < coefs.size());
+  // A zero pivot coefficient always admits a solution (delta = e_pivot).
+  if (coefs[pivot] == 0) return true;
+  // reach[level]: maximum |sum| achievable by terms level..end.
+  std::vector<std::int64_t> reach(coefs.size() + 1, 0);
+  for (std::size_t d = coefs.size(); d-- > 0;) {
+    reach[d] = reach[d + 1] + std::llabs(coefs[d]) * (extents[d] - 1);
+  }
+  return solve(coefs, extents, reach, 0, 0, pivot, false);
+}
+
+DependenceAnalysis analyze_dependences(const tcr::TcrProgram& program,
+                                       std::size_t op_index) {
+  BARRACUDA_CHECK(op_index < program.operations.size());
+  std::vector<tcr::LoopNest> nests = tcr::build_loop_nests(program);
+  const tcr::LoopNest& nest = nests[op_index];
+  const tensor::Contraction& op = nest.stmt;
+
+  // Flattened output coefficients per loop, from the declared shape.
+  const tcr::TcrVariable& out_var = program.variable(op.output.name);
+  std::vector<std::int64_t> out_dims;
+  for (const auto& ix : out_var.indices) {
+    out_dims.push_back(program.extents.at(ix));
+  }
+  tensor::Shape out_shape(out_dims.empty() ? std::vector<std::int64_t>{1}
+                                           : out_dims);
+  auto coef_of = [&](const std::string& loop_index) {
+    std::int64_t coef = 0;
+    for (std::size_t d = 0; d < op.output.indices.size(); ++d) {
+      if (op.output.indices[d] == loop_index) {
+        coef += out_shape.stride(d);
+      }
+    }
+    return coef;
+  };
+
+  std::vector<std::int64_t> coefs;
+  std::vector<std::int64_t> extents;
+  for (const auto& loop : nest.loops) {
+    coefs.push_back(coef_of(loop.index));
+    extents.push_back(loop.extent);
+  }
+
+  // Reads of the output tensor with a different subscript force a
+  // conservative all-carried result (flow dependences in arbitrary
+  // directions); an identical subscript adds nothing beyond write/write.
+  bool conservative = false;
+  for (const auto& in : op.inputs) {
+    if (in.name == op.output.name && !(in.indices == op.output.indices)) {
+      conservative = true;
+    }
+  }
+
+  DependenceAnalysis result;
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    bool carried = conservative || has_nonzero_solution(coefs, extents, l);
+    if (carried) {
+      result.carried.push_back(nest.loops[l].index);
+    } else {
+      result.parallel.push_back(nest.loops[l].index);
+    }
+  }
+  return result;
+}
+
+}  // namespace barracuda::chill

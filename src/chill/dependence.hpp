@@ -1,0 +1,51 @@
+// General affine dependence analysis.
+//
+// Section IV: "data dependence analysis requires pairwise comparison of
+// access expressions to the same array, where one of the accesses is a
+// write, within the context of the iteration space of the common loops
+// ... While CUDA-CHiLL incorporates this general approach ... we can rely
+// on a simplified dependence analysis specialized to the domain of tensor
+// contractions."
+//
+// This module implements the *general* approach for the single-statement
+// affine nests Barracuda generates, so the specialized rule ("LHS indices
+// are parallel") can be validated against it — and so that adversarial
+// aliasing subscripts (which the specialized rule would misjudge) are
+// detected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcr/program.hpp"
+
+namespace barracuda::chill {
+
+/// Does a nonzero integer vector delta exist with |delta_d| < extents[d],
+/// delta[pivot] != 0, and sum(coefs[d] * delta[d]) == 0?  This is the
+/// dependence-distance equation of a write/write pair under one statement:
+/// a solution means two distinct iterations differing in loop `pivot`
+/// touch the same address.  Exact bounded search with interval pruning
+/// (a Banerjee-style test made exact by the small extents of this
+/// domain).
+bool has_nonzero_solution(const std::vector<std::int64_t>& coefs,
+                          const std::vector<std::int64_t>& extents,
+                          std::size_t pivot);
+
+/// Result of analyzing one operation of a TCR program.
+struct DependenceAnalysis {
+  std::vector<std::string> parallel;  // loops carrying no dependence
+  std::vector<std::string> carried;   // loops carrying one
+};
+
+/// Run the general test on operation `op_index`.  Loops whose subscript
+/// coefficient in the output is zero are trivially carried (every
+/// iteration of the loop hits the same output element); nonzero
+/// coefficients are checked for aliasing solutions.  An input reference
+/// to the output tensor makes every loop conservatively carried unless
+/// its subscript is identical to the write's.
+DependenceAnalysis analyze_dependences(const tcr::TcrProgram& program,
+                                       std::size_t op_index);
+
+}  // namespace barracuda::chill

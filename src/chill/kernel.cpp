@@ -1,0 +1,305 @@
+#include "chill/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace barracuda::chill {
+
+std::int64_t AffineAccess::coef_of(const std::string& index) const {
+  std::int64_t total = 0;
+  for (const auto& t : terms) {
+    if (t.index == index) total += t.coef;
+  }
+  return total;
+}
+
+std::int64_t AffineAccess::eval(
+    const std::function<std::int64_t(const std::string&)>& value) const {
+  std::int64_t addr = offset;
+  for (const auto& t : terms) addr += t.coef * value(t.index);
+  return addr;
+}
+
+std::string AffineAccess::to_source(
+    const std::function<std::string(const std::string&)>& rename) const {
+  std::ostringstream os;
+  os << tensor << "[";
+  bool first = true;
+  for (const auto& t : terms) {
+    if (t.coef == 0) continue;
+    if (!first) os << " + ";
+    if (t.coef == 1) {
+      os << rename(t.index);
+    } else {
+      os << rename(t.index) << " * " << t.coef;
+    }
+    first = false;
+  }
+  if (offset != 0 || first) {
+    if (!first) os << " + ";
+    os << offset;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::int64_t Kernel::points() const {
+  std::int64_t p = threads_per_block() * blocks();
+  for (const auto& loop : seq) p *= loop.extent;
+  return p;
+}
+
+std::int64_t Kernel::flops() const {
+  std::int64_t per_point =
+      std::max<std::int64_t>(static_cast<std::int64_t>(ins.size()), 1);
+  return points() * per_point;
+}
+
+std::map<std::string, std::int64_t> Kernel::index_extents() const {
+  std::map<std::string, std::int64_t> out_map;
+  for (const GridDim* d : {&thread_x, &thread_y, &block_x, &block_y}) {
+    if (d->used()) out_map[d->index] = d->extent;
+  }
+  for (const auto& loop : seq) out_map[loop.index] = loop.extent;
+  return out_map;
+}
+
+std::size_t Kernel::scalar_depth() const {
+  std::size_t depth = seq.size();
+  while (depth > 0 && out.coef_of(seq[depth - 1].index) == 0) --depth;
+  return depth;
+}
+
+namespace {
+
+/// Grid indices render as tx/ty/bx/by; sequential loops keep their names.
+std::function<std::string(const std::string&)> make_renamer(const Kernel& k) {
+  std::map<std::string, std::string> names;
+  if (k.thread_x.used()) names[k.thread_x.index] = "tx";
+  if (k.thread_y.used()) names[k.thread_y.index] = "ty";
+  if (k.block_x.used()) names[k.block_x.index] = "bx";
+  if (k.block_y.used()) names[k.block_y.index] = "by";
+  return [names](const std::string& ix) {
+    auto it = names.find(ix);
+    return it == names.end() ? ix : it->second;
+  };
+}
+
+/// "target = target + in0 * in1;" with `inner_expr` substituted for the
+/// innermost loop index (supports emitting unrolled copies).
+std::string statement_source(const Kernel& k, const std::string& target,
+                             const std::string& inner_index,
+                             const std::string& inner_expr) {
+  auto base = make_renamer(k);
+  auto rename = [&](const std::string& ix) {
+    if (!inner_index.empty() && ix == inner_index) return inner_expr;
+    return base(ix);
+  };
+  std::ostringstream os;
+  os << target << " = " << target << " + ";
+  for (std::size_t i = 0; i < k.ins.size(); ++i) {
+    if (i) os << " * ";
+    AffineAccess in = k.ins[i];
+    if (k.shared.contains(in.tensor)) in.tensor = "s_" + in.tensor;
+    os << in.to_source(rename);
+  }
+  os << ";";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Kernel::cuda_source() const {
+  std::ostringstream os;
+  auto rename = make_renamer(*this);
+
+  std::vector<std::string> params{out.tensor};
+  for (const auto& in : ins) {
+    if (std::find(params.begin(), params.end(), in.tensor) == params.end()) {
+      params.push_back(in.tensor);
+    }
+  }
+  os << "__global__ void " << name << "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) os << ", ";
+    os << "double *" << params[i];
+  }
+  os << ")\n{\n";
+  if (thread_x.used()) os << "  const int tx = threadIdx.x;\n";
+  if (thread_y.used()) os << "  const int ty = threadIdx.y;\n";
+  if (block_x.used()) os << "  const int bx = blockIdx.x;\n";
+  if (block_y.used()) os << "  const int by = blockIdx.y;\n";
+
+  // Cooperative staging of shared-memory tensors, then one barrier.
+  if (!shared.empty()) {
+    std::string tid = "0";
+    if (thread_x.used() && thread_y.used()) {
+      tid = "ty * " + std::to_string(thread_x.extent) + " + tx";
+    } else if (thread_x.used()) {
+      tid = "tx";
+    } else if (thread_y.used()) {
+      tid = "ty";
+    }
+    const std::int64_t nthreads = threads_per_block();
+    for (const auto& [name, elems] : shared) {
+      os << "  __shared__ double s_" << name << "[" << elems << "];\n";
+      os << "  for (int s_i = " << tid << "; s_i < " << elems
+         << "; s_i += " << nthreads << ") {\n";
+      os << "    s_" << name << "[s_i] = " << name << "[s_i];\n";
+      os << "  }\n";
+    }
+    os << "  __syncthreads();\n";
+  }
+
+  const std::string out_src = out.to_source(rename);
+  // Scalar replacement spans the trailing output-invariant loops; it is a
+  // no-op (and therefore skipped) when the innermost loop moves the output
+  // subscript or when there are no sequential loops to span.
+  const std::size_t sr_depth = scalar_depth();
+  const bool sr = scalar_replacement && sr_depth < seq.size();
+  const std::string target = sr ? "nv" : out_src;
+
+  std::string indent = "  ";
+  auto open_loop = [&](const SeqLoop& loop) {
+    os << indent << "for (int " << loop.index << " = 0; " << loop.index
+       << " < " << loop.extent << "; ++" << loop.index << ") {\n";
+    indent += "  ";
+  };
+  auto close_loop = [&]() {
+    indent.resize(indent.size() - 2);
+    os << indent << "}\n";
+  };
+
+  // Loops outside the scalar region.
+  for (std::size_t d = 0; d < sr_depth; ++d) open_loop(seq[d]);
+  if (sr) os << indent << "double nv = " << out_src << ";\n";
+
+  // Loops inside the scalar region, except the (possibly unrolled)
+  // innermost one.
+  for (std::size_t d = sr_depth; d + 1 < seq.size(); ++d) open_loop(seq[d]);
+
+  if (seq.empty()) {
+    os << indent << statement_source(*this, target, "", "") << "\n";
+  } else {
+    const SeqLoop& inner = seq.back();
+    const int uf = std::max(1, inner.unroll);
+    if (uf > 1) {
+      const std::int64_t main_trip = (inner.extent / uf) * uf;
+      os << indent << "for (int " << inner.index << " = 0; " << inner.index
+         << " < " << main_trip << "; " << inner.index << " += " << uf
+         << ") {\n";
+      for (int u = 0; u < uf; ++u) {
+        std::string expr =
+            u == 0 ? inner.index
+                   : "(" + inner.index + " + " + std::to_string(u) + ")";
+        os << indent << "  " << statement_source(*this, target, inner.index, expr)
+           << "\n";
+      }
+      os << indent << "}\n";
+      for (std::int64_t r = main_trip; r < inner.extent; ++r) {
+        os << indent
+           << statement_source(*this, target, inner.index, std::to_string(r))
+           << "\n";
+      }
+    } else {
+      open_loop(inner);
+      os << indent << statement_source(*this, target, inner.index, inner.index)
+         << "\n";
+      close_loop();
+    }
+    // Close the non-innermost loops inside the scalar region.
+    for (std::size_t d = seq.size() - 1; d-- > sr_depth;) close_loop();
+  }
+
+  if (sr) os << indent << out_src << " = nv;\n";
+  for (std::size_t d = sr_depth; d-- > 0;) close_loop();
+  os << "}\n";
+  return os.str();
+}
+
+std::int64_t GpuPlan::flops() const {
+  std::int64_t total = 0;
+  for (const auto& k : kernels) total += k.flops();
+  return total;
+}
+
+std::int64_t GpuPlan::bytes_h2d() const {
+  std::int64_t total = 0;
+  for (const auto& name : h2d) {
+    total += tensor_sizes.at(name) * static_cast<std::int64_t>(sizeof(double));
+  }
+  return total;
+}
+
+std::int64_t GpuPlan::bytes_d2h() const {
+  std::int64_t total = 0;
+  for (const auto& name : d2h) {
+    total += tensor_sizes.at(name) * static_cast<std::int64_t>(sizeof(double));
+  }
+  return total;
+}
+
+std::string GpuPlan::cuda_source() const {
+  std::ostringstream os;
+  os << "// Generated by Barracuda for program '" << name << "'\n";
+  os << "#include <cuda_runtime.h>\n\n";
+  for (const auto& k : kernels) os << k.cuda_source() << "\n";
+
+  os << "void " << name << "_run(";
+  bool first = true;
+  for (const auto& t : h2d) {
+    os << (first ? "" : ", ") << "const double *h_" << t;
+    first = false;
+  }
+  for (const auto& t : d2h) {
+    os << (first ? "" : ", ") << "double *h_" << t;
+    first = false;
+  }
+  os << ")\n{\n";
+  for (const auto& [t, elems] : tensor_sizes) {
+    os << "  double *d_" << t << ";\n";
+    os << "  cudaMalloc(&d_" << t << ", " << elems
+       << " * sizeof(double));\n";
+  }
+  for (const auto& t : zero_init) {
+    os << "  cudaMemset(d_" << t << ", 0, " << tensor_sizes.at(t)
+       << " * sizeof(double));\n";
+  }
+  for (const auto& t : h2d) {
+    os << "  cudaMemcpy(d_" << t << ", h_" << t << ", "
+       << tensor_sizes.at(t)
+       << " * sizeof(double), cudaMemcpyHostToDevice);\n";
+  }
+  for (const auto& k : kernels) {
+    os << "  {\n";
+    os << "    dim3 grid(" << k.block_x.extent << ", " << k.block_y.extent
+       << ");\n";
+    os << "    dim3 block(" << k.thread_x.extent << ", " << k.thread_y.extent
+       << ");\n";
+    std::vector<std::string> params{k.out.tensor};
+    for (const auto& in : k.ins) {
+      if (std::find(params.begin(), params.end(), in.tensor) ==
+          params.end()) {
+        params.push_back(in.tensor);
+      }
+    }
+    os << "    " << k.name << "<<<grid, block>>>(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i) os << ", ";
+      os << "d_" << params[i];
+    }
+    os << ");\n  }\n";
+  }
+  for (const auto& t : d2h) {
+    os << "  cudaMemcpy(h_" << t << ", d_" << t << ", "
+       << tensor_sizes.at(t)
+       << " * sizeof(double), cudaMemcpyDeviceToHost);\n";
+  }
+  for (const auto& [t, elems] : tensor_sizes) {
+    os << "  cudaFree(d_" << t << ");\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace barracuda::chill

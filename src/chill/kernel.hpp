@@ -1,0 +1,140 @@
+// The GPU kernel intermediate representation produced by applying a
+// CUDA-CHiLL transformation recipe (cuda/permute/unroll/registers) to a
+// TCR loop nest.
+//
+// A Kernel is one grid launch evaluating one contraction operation:
+// up to four loop indices are mapped onto (threadIdx.x, threadIdx.y,
+// blockIdx.x, blockIdx.y); the remaining loops run sequentially inside
+// each thread.  Array subscripts are flattened row-major affine functions
+// of the loop indices, which is exactly what both the functional executor
+// and the coalescing performance model need.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace barracuda::chill {
+
+/// One term of a flattened affine subscript: coefficient * index.
+struct AffineTerm {
+  std::string index;
+  std::int64_t coef = 0;
+
+  bool operator==(const AffineTerm&) const = default;
+};
+
+/// A flattened array access: tensor[offset + sum(coef_i * index_i)].
+struct AffineAccess {
+  std::string tensor;
+  std::int64_t offset = 0;
+  std::vector<AffineTerm> terms;
+
+  bool operator==(const AffineAccess&) const = default;
+
+  /// Coefficient of `index` (0 when absent) — the memory stride seen when
+  /// that loop advances by one.
+  std::int64_t coef_of(const std::string& index) const;
+
+  /// Evaluate the subscript under an index valuation.
+  std::int64_t eval(
+      const std::function<std::int64_t(const std::string&)>& value) const;
+
+  /// Render as C source, e.g. "V[ty * 100 + bx * 10 + tx]" after index
+  /// renaming via `rename` (identity renders raw index names).
+  std::string to_source(
+      const std::function<std::string(const std::string&)>& rename) const;
+};
+
+/// A sequential (intra-thread) loop.
+struct SeqLoop {
+  std::string index;
+  std::int64_t extent = 0;
+  /// Unroll factor (performance-only; semantics unchanged).  Applied to
+  /// the innermost loop by the recipe.
+  int unroll = 1;
+
+  bool operator==(const SeqLoop&) const = default;
+};
+
+/// One grid dimension: the loop index mapped to it and its extent.
+/// Unused dimensions have index "1" and extent 1.
+struct GridDim {
+  std::string index = "1";
+  std::int64_t extent = 1;
+
+  bool used() const { return index != "1"; }
+  bool operator==(const GridDim&) const = default;
+};
+
+/// One generated GPU kernel.
+struct Kernel {
+  std::string name;
+  GridDim thread_x, thread_y, block_x, block_y;
+  std::vector<SeqLoop> seq;  // outermost-first
+  /// Statement: out += product(ins).  Kernels uniformly accumulate into
+  /// pre-zeroed (or live prior) device memory; non-accumulating TCR
+  /// operations are handled by zero-initializing the output on device.
+  AffineAccess out;
+  std::vector<AffineAccess> ins;
+  bool scalar_replacement = true;
+  /// Input tensors staged whole into shared memory (name -> elements).
+  /// A cooperative per-block load fills the staging buffer; the statement
+  /// then reads the __shared__ copy.  Semantically transparent.
+  std::map<std::string, std::int64_t> shared;
+
+  /// Depth of the first loop of the maximal trailing run of sequential
+  /// loops that do not move the output subscript — the region a scalar
+  /// temporary may legally span.  Equals seq.size() when the innermost
+  /// loop moves the output (scalar replacement then has no effect).
+  std::size_t scalar_depth() const;
+
+  /// Flops executed by one full grid launch (2 per point for a binary
+  /// product, matching tensor::flop_count).
+  std::int64_t flops() const;
+
+  /// Total threads per block / blocks per grid.
+  std::int64_t threads_per_block() const {
+    return thread_x.extent * thread_y.extent;
+  }
+  std::int64_t blocks() const { return block_x.extent * block_y.extent; }
+  /// Points in the full iteration space (threads x sequential trips).
+  std::int64_t points() const;
+
+  /// All loop indices of the kernel with their extents.
+  std::map<std::string, std::int64_t> index_extents() const;
+
+  /// Emit compilable CUDA C for this kernel (Figure 2(d) style).
+  std::string cuda_source() const;
+};
+
+/// A full multi-kernel launch plan for one TCR program: kernels in
+/// dependence order plus the host-side data movement ("the data remains on
+/// the GPU across these calls").
+struct GpuPlan {
+  std::string name;
+  std::vector<Kernel> kernels;
+  /// Device allocation sizes in elements for every tensor touched.
+  std::map<std::string, std::int64_t> tensor_sizes;
+  /// Tensors copied host->device before the first kernel (program inputs,
+  /// plus accumulated outputs whose prior contents are live).
+  std::vector<std::string> h2d;
+  /// Tensors copied device->host after the last kernel.
+  std::vector<std::string> d2h;
+  /// Tensors zero-initialized on device before the first kernel:
+  /// temporaries plus any non-accumulating output not transferred down.
+  std::vector<std::string> zero_init;
+
+  std::int64_t flops() const;
+  std::int64_t bytes_h2d() const;
+  std::int64_t bytes_d2h() const;
+
+  /// Emit the kernels plus a host driver (allocation, copies, launches).
+  std::string cuda_source() const;
+};
+
+}  // namespace barracuda::chill

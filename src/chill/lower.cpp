@@ -1,0 +1,143 @@
+#include "chill/lower.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "tensor/shape.hpp"
+
+namespace barracuda::chill {
+namespace {
+
+/// Flatten a tensor reference into an affine subscript using the row-major
+/// strides of the tensor's *declared* shape.
+AffineAccess flatten(const tcr::TcrProgram& program,
+                     const tensor::TensorRef& ref) {
+  const tcr::TcrVariable& var = program.variable(ref.name);
+  std::vector<std::int64_t> dims;
+  dims.reserve(var.indices.size());
+  for (const auto& ix : var.indices) dims.push_back(program.extents.at(ix));
+  tensor::Shape shape(dims);
+
+  AffineAccess access;
+  access.tensor = ref.name;
+  for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+    const std::string& ix = ref.indices[d];
+    std::int64_t stride = shape.rank() == 0 ? 0 : shape.stride(d);
+    // Merge duplicate indices (diagonal accesses like A[i i]).
+    bool merged = false;
+    for (auto& term : access.terms) {
+      if (term.index == ix) {
+        term.coef += stride;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) access.terms.push_back(AffineTerm{ix, stride});
+  }
+  return access;
+}
+
+}  // namespace
+
+Kernel lower_kernel(const tcr::TcrProgram& program, std::size_t op_index,
+                    const tcr::KernelConfig& config) {
+  BARRACUDA_CHECK(op_index < program.operations.size());
+  std::vector<tcr::LoopNest> nests = tcr::build_loop_nests(program);
+  const tcr::LoopNest& nest = nests[op_index];
+  tcr::validate_config(nest, config);
+
+  const tensor::Contraction& op = program.operations[op_index];
+  Kernel k;
+  k.name = program.name + "_GPU_" + std::to_string(op_index + 1);
+  auto dim_for = [&](const std::string& ix) {
+    if (ix == tcr::kUnused) return GridDim{};
+    return GridDim{ix, nest.extent_of(ix)};
+  };
+  k.thread_x = dim_for(config.thread_x);
+  k.thread_y = dim_for(config.thread_y);
+  k.block_x = dim_for(config.block_x);
+  k.block_y = dim_for(config.block_y);
+  for (std::size_t d = 0; d < config.sequential.size(); ++d) {
+    const std::string& ix = config.sequential[d];
+    SeqLoop loop{ix, nest.extent_of(ix), 1};
+    if (d + 1 == config.sequential.size()) loop.unroll = config.unroll;
+    k.seq.push_back(loop);
+  }
+  k.out = flatten(program, op.output);
+  for (const auto& in : op.inputs) k.ins.push_back(flatten(program, in));
+  k.scalar_replacement = config.scalar_replacement;
+  for (const auto& name : config.shared_tensors) {
+    const tcr::TcrVariable& var = program.variable(name);
+    std::int64_t elems = 1;
+    for (const auto& ix : var.indices) elems *= program.extents.at(ix);
+    k.shared[name] = elems;
+  }
+  return k;
+}
+
+GpuPlan lower_program(const tcr::TcrProgram& program, const Recipe& recipe) {
+  program.validate();
+  BARRACUDA_CHECK_MSG(recipe.size() == program.operations.size(),
+                      "recipe must provide one config per operation");
+  GpuPlan plan;
+  plan.name = program.name;
+  for (std::size_t i = 0; i < recipe.size(); ++i) {
+    plan.kernels.push_back(lower_kernel(program, i, recipe[i]));
+  }
+
+  for (const auto& var : program.variables) {
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : var.indices) dims.push_back(program.extents.at(ix));
+    plan.tensor_sizes[var.name] = tensor::Shape(dims).size();
+  }
+
+  // Data movement.  Inputs are read-before-written names.  Every kernel
+  // accumulates, so each written tensor must start from either its live
+  // prior contents (accumulating output: transfer it down) or from zeros
+  // (temporaries and `=`-assigned outputs: device memset).  All
+  // user-visible outputs come back.
+  plan.h2d = program.input_names();
+  for (const auto& out : program.output_names()) {
+    bool transferred =
+        std::find(plan.h2d.begin(), plan.h2d.end(), out) != plan.h2d.end();
+    if (!transferred) {
+      // The first write to the output decides: += reads prior host
+      // contents, = starts from zero.
+      bool first_write_accumulates = true;
+      for (const auto& op : program.operations) {
+        if (op.output.name == out) {
+          first_write_accumulates = op.accumulate;
+          break;
+        }
+      }
+      if (first_write_accumulates) {
+        plan.h2d.push_back(out);
+      } else {
+        plan.zero_init.push_back(out);
+      }
+    }
+    plan.d2h.push_back(out);
+  }
+  for (const auto& name : program.written_names()) {
+    if (!program.is_output(name)) plan.zero_init.push_back(name);
+  }
+  return plan;
+}
+
+Recipe openacc_naive_recipe(const tcr::TcrProgram& program) {
+  Recipe recipe;
+  for (const auto& nest : tcr::build_loop_nests(program)) {
+    recipe.push_back(tcr::naive_openacc_config(nest));
+  }
+  return recipe;
+}
+
+Recipe openacc_optimized_recipe(const tcr::TcrProgram& program) {
+  Recipe recipe;
+  for (const auto& nest : tcr::build_loop_nests(program)) {
+    recipe.push_back(tcr::optimized_openacc_config(nest));
+  }
+  return recipe;
+}
+
+}  // namespace barracuda::chill

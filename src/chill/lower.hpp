@@ -1,0 +1,38 @@
+// Lowering: apply a transformation recipe — one KernelConfig per TCR
+// operation — to produce a GpuPlan (the CUDA-CHiLL role in Barracuda).
+//
+// The recipe corresponds to the CHiLL script of Figure 2(c):
+//   cuda(k, block={BX,BY}, thread={TX,TY})   <- KernelConfig grid mapping
+//   permute(k, ...)                          <- KernelConfig.sequential
+//   unroll(k, inner, UF)                     <- KernelConfig.unroll
+//   registers(k, out)                        <- KernelConfig.scalar_replacement
+#pragma once
+
+#include <vector>
+
+#include "chill/kernel.hpp"
+#include "tcr/decision.hpp"
+
+namespace barracuda::chill {
+
+/// The full recipe for a TCR program: one mapping decision per operation.
+using Recipe = std::vector<tcr::KernelConfig>;
+
+/// Lower one operation of `program` under `config`.  Validates the config
+/// against the operation's loop nest (throws on illegal recipes).
+Kernel lower_kernel(const tcr::TcrProgram& program, std::size_t op_index,
+                    const tcr::KernelConfig& config);
+
+/// Lower a whole program.  `recipe.size()` must equal the operation count.
+/// Data movement: program inputs (and accumulated live outputs) are copied
+/// host->device once, the final output copied back once, and temporaries
+/// stay device-resident across kernels (Section II.B: "the data remains on
+/// the GPU across these calls").
+GpuPlan lower_program(const tcr::TcrProgram& program, const Recipe& recipe);
+
+/// Convenience: a recipe of identical strategy built per-operation, used
+/// by the OpenACC baselines.
+Recipe openacc_naive_recipe(const tcr::TcrProgram& program);
+Recipe openacc_optimized_recipe(const tcr::TcrProgram& program);
+
+}  // namespace barracuda::chill

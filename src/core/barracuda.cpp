@@ -1,0 +1,404 @@
+#include "core/barracuda.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "surf/evolutionary.hpp"
+#include "surf/features.hpp"
+#include "vgpu/executor.hpp"
+
+namespace barracuda::core {
+namespace {
+
+using tensor::Contraction;
+
+/// Rename the temporaries of one statement's variant so that statements
+/// combined into a joint program cannot collide.
+std::vector<Contraction> rename_temporaries(
+    const std::vector<Contraction>& steps, const Contraction& statement,
+    std::set<std::string>& used, int& counter) {
+  std::map<std::string, std::string> renames;
+  auto fresh = [&] {
+    std::string name;
+    do {
+      name = "t" + std::to_string(counter++);
+    } while (used.contains(name));
+    used.insert(name);
+    return name;
+  };
+  std::vector<Contraction> out = steps;
+  for (auto& step : out) {
+    for (auto& in : step.inputs) {
+      auto it = renames.find(in.name);
+      if (it != renames.end()) in.name = it->second;
+    }
+    if (step.output.name != statement.output.name) {
+      auto it = renames.find(step.output.name);
+      if (it == renames.end()) {
+        it = renames.emplace(step.output.name, fresh()).first;
+      }
+      step.output.name = it->second;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TuningProblem TuningProblem::from_dsl(std::string_view text,
+                                      std::string_view name) {
+  octopi::OctopiProgram parsed = octopi::parse_octopi(text, name);
+  BARRACUDA_CHECK_MSG(!parsed.statements.empty(), "no statements in DSL");
+  BARRACUDA_CHECK_MSG(!parsed.extents.empty(),
+                      "DSL text must declare dims for tuning");
+  TuningProblem problem;
+  problem.name = std::string(name);
+  problem.extents = parsed.extents;
+  for (const auto& s : parsed.statements) {
+    problem.statements.push_back(s.to_contraction());
+  }
+  return problem;
+}
+
+std::int64_t TuningProblem::direct_flops() const {
+  std::int64_t total = 0;
+  for (const auto& s : statements) total += tensor::flop_count(s, extents);
+  return total;
+}
+
+std::vector<tcr::TcrProgram> enumerate_programs(
+    const TuningProblem& problem, const octopi::EnumerateOptions& opt,
+    std::size_t max_joint_variants) {
+  BARRACUDA_CHECK_MSG(!problem.statements.empty(), "empty problem");
+
+  // Per-statement variant lists (ascending flops).
+  std::vector<std::vector<octopi::Variant>> per_stmt;
+  for (const auto& s : problem.statements) {
+    per_stmt.push_back(octopi::enumerate_variants(s, problem.extents, opt));
+  }
+
+  // Cap the cross product by trimming each list to k entries with
+  // prod(k_i) <= max_joint_variants (k uniform across statements, lowest
+  // flops first — the most promising variants survive).
+  double total = 1;
+  for (const auto& vs : per_stmt) total *= static_cast<double>(vs.size());
+  if (total > static_cast<double>(max_joint_variants)) {
+    std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(std::pow(
+               static_cast<double>(max_joint_variants),
+               1.0 / static_cast<double>(per_stmt.size())))));
+    for (auto& vs : per_stmt) {
+      if (vs.size() > k) vs.resize(k);
+    }
+  }
+
+  // Names that must never be reused for temporaries.
+  std::set<std::string> used;
+  for (const auto& s : problem.statements) {
+    used.insert(s.output.name);
+    for (const auto& in : s.inputs) used.insert(in.name);
+  }
+
+  // Mixed-radix cross product.
+  std::vector<tcr::TcrProgram> programs;
+  std::vector<std::size_t> choice(per_stmt.size(), 0);
+  while (true) {
+    octopi::Variant joint;
+    std::set<std::string> names = used;
+    int counter = 1;
+    for (std::size_t s = 0; s < per_stmt.size(); ++s) {
+      auto steps = rename_temporaries(per_stmt[s][choice[s]].program.steps,
+                                      problem.statements[s], names, counter);
+      joint.program.steps.insert(joint.program.steps.end(), steps.begin(),
+                                 steps.end());
+    }
+    joint.flops = tensor::flop_count(joint.program, problem.extents);
+    tcr::TcrProgram program =
+        tcr::from_variant(joint, problem.extents, problem.name);
+    for (const auto& stmt : problem.statements) {
+      if (std::find(program.outputs.begin(), program.outputs.end(),
+                    stmt.output.name) == program.outputs.end()) {
+        program.outputs.push_back(stmt.output.name);
+      }
+    }
+    programs.push_back(std::move(program));
+
+    std::size_t d = per_stmt.size();
+    while (d > 0) {
+      --d;
+      if (++choice[d] < per_stmt[d].size()) break;
+      choice[d] = 0;
+      if (d == 0) {
+        std::stable_sort(programs.begin(), programs.end(),
+                         [](const tcr::TcrProgram& a,
+                            const tcr::TcrProgram& b) {
+                           return a.flops() < b.flops();
+                         });
+        return programs;
+      }
+    }
+  }
+}
+
+tcr::TcrProgram direct_program(const TuningProblem& problem) {
+  octopi::Variant v;
+  v.program.steps = problem.statements;
+  v.flops = problem.direct_flops();
+  tcr::TcrProgram program =
+      tcr::from_variant(v, problem.extents, problem.name);
+  for (const auto& stmt : problem.statements) {
+    if (std::find(program.outputs.begin(), program.outputs.end(),
+                  stmt.output.name) == program.outputs.end()) {
+      program.outputs.push_back(stmt.output.name);
+    }
+  }
+  return program;
+}
+
+double TuneResult::modeled_gflops_amortized(int repetitions) const {
+  BARRACUDA_CHECK(repetitions >= 1);
+  double us = best_timing.kernel_us +
+              (best_timing.h2d_us + best_timing.d2h_us) / repetitions;
+  return us > 0 ? (static_cast<double>(flops) / 1e3) / us : 0;
+}
+
+double BaselineResult::modeled_gflops_amortized(int repetitions) const {
+  BARRACUDA_CHECK(repetitions >= 1);
+  double us = timing.kernel_us +
+              (timing.h2d_us + timing.d2h_us) / repetitions;
+  return us > 0 ? (static_cast<double>(flops) / 1e3) / us : 0;
+}
+
+void TuneResult::run(tensor::TensorEnv& env) const {
+  vgpu::execute_plan(best_plan, env);
+}
+
+namespace {
+
+/// One entry of the joint tuning pool.
+struct PoolEntry {
+  std::size_t variant = 0;
+  std::vector<std::size_t> config;  // per-operation config index
+
+  auto operator<=>(const PoolEntry&) const = default;
+};
+
+struct VariantSpace {
+  std::vector<std::vector<tcr::KernelConfig>> op_configs;
+  double size = 1;  // product of per-op config counts
+};
+
+chill::Recipe recipe_of(const VariantSpace& space, const PoolEntry& e) {
+  chill::Recipe recipe;
+  for (std::size_t op = 0; op < space.op_configs.size(); ++op) {
+    recipe.push_back(space.op_configs[op][e.config[op]]);
+  }
+  return recipe;
+}
+
+}  // namespace
+
+TuneResult tune(const TuningProblem& problem,
+                const vgpu::DeviceProfile& device,
+                const TuneOptions& options) {
+  TuneResult result;
+  result.variants =
+      enumerate_programs(problem, options.octopi, options.max_joint_variants);
+
+  // Per-variant search spaces from the Section IV decision algorithm.
+  std::vector<VariantSpace> spaces;
+  double total_size = 0;
+  for (const auto& program : result.variants) {
+    VariantSpace space;
+    for (const auto& nest : tcr::build_loop_nests(program)) {
+      tcr::KernelSpace ks = tcr::derive_space(nest, options.decision);
+      space.op_configs.push_back(tcr::enumerate_configs(nest, ks));
+      space.size *= static_cast<double>(space.op_configs.back().size());
+    }
+    total_size += space.size;
+    spaces.push_back(std::move(space));
+  }
+  result.joint_space_size =
+      total_size < 9e18 ? static_cast<std::int64_t>(total_size)
+                        : std::numeric_limits<std::int64_t>::max();
+
+  // Materialize the pool: exact enumeration when small, uniform sample
+  // (variant weighted by its share of the joint space) otherwise.
+  std::vector<PoolEntry> pool;
+  if (total_size <= static_cast<double>(options.max_pool)) {
+    for (std::size_t v = 0; v < spaces.size(); ++v) {
+      PoolEntry e;
+      e.variant = v;
+      e.config.assign(spaces[v].op_configs.size(), 0);
+      while (true) {
+        pool.push_back(e);
+        std::size_t d = e.config.size();
+        bool done = true;
+        while (d > 0) {
+          --d;
+          if (++e.config[d] < spaces[v].op_configs[d].size()) {
+            done = false;
+            break;
+          }
+          e.config[d] = 0;
+        }
+        if (done) break;
+      }
+    }
+  } else {
+    // Stratified sample: equal shares per variant, so low-flop variants
+    // (small spaces) are as visible to the search as high-flop ones whose
+    // larger spaces would otherwise swamp a uniform joint sample.
+    Rng rng(options.pool_seed);
+    std::set<PoolEntry> seen;
+    const std::size_t share =
+        std::max<std::size_t>(1, options.max_pool / spaces.size());
+    for (std::size_t v = 0; v < spaces.size(); ++v) {
+      std::size_t quota = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(share), spaces[v].size));
+      std::size_t attempts = 0;
+      std::size_t taken = 0;
+      while (taken < quota && attempts < quota * 20) {
+        ++attempts;
+        PoolEntry e;
+        e.variant = v;
+        for (const auto& configs : spaces[v].op_configs) {
+          e.config.push_back(rng.index(configs.size()));
+        }
+        if (seen.insert(e).second) {
+          pool.push_back(std::move(e));
+          ++taken;
+        }
+      }
+    }
+  }
+  BARRACUDA_CHECK_MSG(!pool.empty(), "empty tuning pool");
+  result.pool_size = pool.size();
+
+  // Featurize (binarization, Section V) and define the objective.
+  surf::RecipeFeaturizer featurizer(result.variants);
+  std::vector<std::vector<double>> features;
+  features.reserve(pool.size());
+  for (const auto& e : pool) {
+    features.push_back(
+        featurizer.encode(e.variant, recipe_of(spaces[e.variant], e)));
+  }
+  auto objective = [&](std::size_t i) {
+    const PoolEntry& e = pool[i];
+    chill::GpuPlan plan = chill::lower_program(
+        result.variants[e.variant], recipe_of(spaces[e.variant], e));
+    double us = vgpu::model_plan(plan, device).total_us;
+    // Infeasible plans (exceed device memory) become a large finite
+    // penalty: infinities would poison the surrogate model's training set.
+    return std::isfinite(us) ? us : 1e15;
+  };
+
+  switch (options.method) {
+    case TuneOptions::Method::kSurf:
+      result.search = surf::surf_search(features, objective, options.search);
+      break;
+    case TuneOptions::Method::kRandom:
+      result.search =
+          surf::random_search(pool.size(), objective, options.search);
+      break;
+    case TuneOptions::Method::kExhaustive:
+      result.search = surf::exhaustive_search(pool.size(), objective);
+      break;
+    case TuneOptions::Method::kGenetic:
+      result.search =
+          surf::genetic_search(features, objective, options.search);
+      break;
+    case TuneOptions::Method::kAnnealing:
+      result.search =
+          surf::annealing_search(features, objective, options.search);
+      break;
+  }
+
+  // Named parameter importances from the final surrogate (SURF only).
+  if (!result.search.importances.empty()) {
+    std::vector<std::pair<std::string, double>> named;
+    for (std::size_t d = 0; d < result.search.importances.size(); ++d) {
+      double g = result.search.importances[d];
+      if (g > 0) named.emplace_back(featurizer.feature_name(d), g);
+    }
+    std::sort(named.begin(), named.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (named.size() > 8) named.resize(8);
+    result.parameter_importances = std::move(named);
+  }
+
+  const PoolEntry& best = pool[result.search.best_index];
+  result.best_variant = best.variant;
+  result.best_recipe = recipe_of(spaces[best.variant], best);
+
+  // The decision algorithm's own default mapping (the "optimized" static
+  // choice) is always a candidate: the search must never return something
+  // worse than the compiler would have picked without autotuning.
+  chill::Recipe default_recipe =
+      chill::openacc_optimized_recipe(result.variants.front());
+  double default_us =
+      vgpu::model_plan(
+          chill::lower_program(result.variants.front(), default_recipe),
+          device)
+          .total_us;
+  if (default_us < result.search.best_value) {
+    result.best_variant = 0;
+    result.best_recipe = std::move(default_recipe);
+  }
+
+  result.best_plan = chill::lower_program(result.variants[result.best_variant],
+                                          result.best_recipe);
+  result.best_timing = vgpu::model_plan(result.best_plan, device);
+  result.flops = result.variants[result.best_variant].flops();
+  return result;
+}
+
+BaselineResult openacc_baseline(const TuningProblem& problem,
+                                const vgpu::DeviceProfile& device,
+                                bool optimized) {
+  BaselineResult r;
+  r.program = enumerate_programs(problem).front();
+  chill::Recipe recipe = optimized
+                             ? chill::openacc_optimized_recipe(r.program)
+                             : chill::openacc_naive_recipe(r.program);
+  r.plan = chill::lower_program(r.program, recipe);
+  r.timing = vgpu::model_plan(r.plan, device);
+  r.flops = r.program.flops();
+  return r;
+}
+
+std::vector<SizeSpecialization> tune_specializations(
+    const octopi::OctopiProgram& program, const vgpu::DeviceProfile& device,
+    const TuneOptions& options, std::size_t max_points) {
+  BARRACUDA_CHECK_MSG(!program.statements.empty(), "no statements");
+  std::vector<SizeSpecialization> out;
+  for (auto& extents : program.specializations(max_points)) {
+    TuningProblem problem;
+    problem.name = "specialized";
+    problem.extents = extents;
+    for (const auto& s : program.statements) {
+      problem.statements.push_back(s.to_contraction());
+    }
+    SizeSpecialization spec;
+    spec.extents = std::move(extents);
+    spec.result = tune(problem, device, options);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+cpuexec::CpuTiming cpu_baseline(const TuningProblem& problem,
+                                const cpuexec::CpuProfile& cpu,
+                                int threads) {
+  // The CPU baselines run the same strength-reduced computation (Nekbone
+  // recasts its contractions as matrix multiplies; the paper's speedups
+  // compare equal-flop implementations).
+  tcr::TcrProgram program = enumerate_programs(problem).front();
+  return cpuexec::model_cpu(program, cpu, threads);
+}
+
+}  // namespace barracuda::core

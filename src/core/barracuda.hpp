@@ -1,0 +1,136 @@
+// Barracuda: the end-to-end autotuning pipeline (Figure 1 of the paper).
+//
+//   DSL text ──octopi──▶ algebraic variants ──tcr──▶ loop nests + search
+//   space ──chill──▶ GPU plans ──vgpu──▶ modeled time ──surf──▶ best plan
+//
+// This is the library's primary public entry point.  A TuningProblem names
+// a (possibly multi-statement) tensor computation; tune() explores the
+// joint space of OCTOPI variants x per-kernel mapping decisions with SURF
+// and returns the winning plan together with the full search record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chill/lower.hpp"
+#include "cpuexec/cpumodel.hpp"
+#include "octopi/parser.hpp"
+#include "surf/surf.hpp"
+#include "tcr/decision.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/perfmodel.hpp"
+
+namespace barracuda::core {
+
+/// A tensor computation to optimize: one or more contraction statements
+/// over shared index extents.
+struct TuningProblem {
+  std::string name;
+  std::vector<tensor::Contraction> statements;
+  tensor::Extents extents;
+
+  /// Parse from OCTOPI DSL text (with dim declarations).
+  static TuningProblem from_dsl(std::string_view text,
+                                std::string_view name = "ex");
+
+  /// Flops of the naive (direct, un-strength-reduced) evaluation.
+  std::int64_t direct_flops() const;
+};
+
+struct TuneOptions {
+  octopi::EnumerateOptions octopi;
+  tcr::DecisionOptions decision;
+  surf::SearchOptions search;
+  enum class Method { kSurf, kRandom, kExhaustive, kGenetic, kAnnealing };
+  Method method = Method::kSurf;
+  /// Cap on the materialized configuration pool handed to the search:
+  /// when the joint space exceeds it, the pool is a uniform sample (the
+  /// full size is still reported in TuneResult::joint_space_size).
+  std::size_t max_pool = 4096;
+  /// Cap on the cross product of per-statement OCTOPI variants.
+  std::size_t max_joint_variants = 60;
+  std::uint64_t pool_seed = 1;
+};
+
+/// Everything tune() learned, plus the artifacts to use it.
+struct TuneResult {
+  /// All enumerated variant programs (ascending flops).
+  std::vector<tcr::TcrProgram> variants;
+  std::size_t best_variant = 0;
+  chill::Recipe best_recipe;
+  chill::GpuPlan best_plan;
+  vgpu::PlanTiming best_timing;
+  /// Flops of the chosen variant.
+  std::int64_t flops = 0;
+  /// Exact size of the joint search space (variants x kernel configs).
+  std::int64_t joint_space_size = 0;
+  /// Size of the materialized pool the search ran over.
+  std::size_t pool_size = 0;
+  surf::SearchResult search;
+  /// The mapping parameters the surrogate model found most
+  /// performance-relevant, most important first (empty for searches that
+  /// fit no model).  Names come from the feature binarization, e.g.
+  /// "kernel1.TX=k" or "kernel2.unroll".
+  std::vector<std::pair<std::string, double>> parameter_importances;
+
+  const tcr::TcrProgram& best_program() const {
+    return variants[best_variant];
+  }
+  double modeled_us() const { return best_timing.total_us; }
+  double modeled_gflops() const { return best_timing.gflops(flops); }
+  /// GFlops with transfers amortized over `repetitions` kernel executions
+  /// (the paper's 100-repetition measurement methodology).
+  double modeled_gflops_amortized(int repetitions = 100) const;
+  /// Functionally execute the tuned plan against `env` (inputs present,
+  /// output pre-sized).
+  void run(tensor::TensorEnv& env) const;
+  std::string cuda_source() const { return best_plan.cuda_source(); }
+};
+
+/// Enumerate the joint variant programs for a problem: the cross product
+/// of per-statement OCTOPI variants, with temporaries renamed apart,
+/// sorted by total flops.
+std::vector<tcr::TcrProgram> enumerate_programs(
+    const TuningProblem& problem, const octopi::EnumerateOptions& opt = {},
+    std::size_t max_joint_variants = 60);
+
+/// The direct program: each statement lowered as-is, no strength
+/// reduction.  This is the CPU baseline code shape.
+tcr::TcrProgram direct_program(const TuningProblem& problem);
+
+/// Run the full pipeline against a modeled device.
+TuneResult tune(const TuningProblem& problem,
+                const vgpu::DeviceProfile& device,
+                const TuneOptions& options = {});
+
+/// OpenACC-style baselines (Section VI.B): the minimal-flop variant lowered
+/// with a fixed mapping strategy instead of autotuning.
+struct BaselineResult {
+  tcr::TcrProgram program;
+  chill::GpuPlan plan;
+  vgpu::PlanTiming timing;
+  std::int64_t flops = 0;
+  double modeled_gflops() const { return timing.gflops(flops); }
+  double modeled_gflops_amortized(int repetitions = 100) const;
+};
+BaselineResult openacc_baseline(const TuningProblem& problem,
+                                const vgpu::DeviceProfile& device,
+                                bool optimized);
+
+/// CPU baseline on the modeled Haswell (1 thread = sequential baseline).
+cpuexec::CpuTiming cpu_baseline(const TuningProblem& problem,
+                                const cpuexec::CpuProfile& cpu, int threads);
+
+/// Size specialization (Section III: the DSL accepts dimension *ranges*
+/// so the framework can "specialize the optimizations it applies for
+/// specific tensor sizes"): tune one plan per point of the range grid.
+struct SizeSpecialization {
+  tensor::Extents extents;
+  TuneResult result;
+};
+std::vector<SizeSpecialization> tune_specializations(
+    const octopi::OctopiProgram& program, const vgpu::DeviceProfile& device,
+    const TuneOptions& options = {}, std::size_t max_points = 16);
+
+}  // namespace barracuda::core

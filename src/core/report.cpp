@@ -1,0 +1,144 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::core {
+namespace {
+
+std::string join_or_dash(const std::vector<std::string>& items) {
+  return items.empty() ? "-" : join(items, ",");
+}
+
+std::vector<std::string> split_or_empty(std::string_view text) {
+  if (text == "-") return {};
+  std::vector<std::string> out;
+  for (const auto& part : split(text, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_recipe(const chill::Recipe& recipe) {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < recipe.size(); ++k) {
+    const tcr::KernelConfig& cfg = recipe[k];
+    os << "kernel " << (k + 1) << ": tx=" << cfg.thread_x
+       << " ty=" << cfg.thread_y << " bx=" << cfg.block_x
+       << " by=" << cfg.block_y << " seq=" << join_or_dash(cfg.sequential)
+       << " unroll=" << cfg.unroll
+       << " registers=" << (cfg.scalar_replacement ? 1 : 0)
+       << " shared=" << join_or_dash(cfg.shared_tensors) << "\n";
+  }
+  return os.str();
+}
+
+chill::Recipe parse_recipe(std::string_view text,
+                           std::string_view source_name) {
+  chill::Recipe recipe;
+  int line_number = 0;
+  for (const auto& raw : split(text, '\n')) {
+    ++line_number;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto fail = [&](const std::string& msg) -> chill::Recipe {
+      throw ParseError(source_name, line_number,
+                       msg + ": " + std::string(line));
+    };
+    if (!starts_with(line, "kernel ")) return fail("expected 'kernel N:'");
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos) return fail("missing ':'");
+
+    tcr::KernelConfig cfg;
+    bool saw_unroll = false;
+    for (const auto& field : split_ws(line.substr(colon + 1))) {
+      auto eq = field.find('=');
+      if (eq == std::string::npos) return fail("malformed field " + field);
+      std::string key = field.substr(0, eq);
+      std::string value = field.substr(eq + 1);
+      if (value.empty()) return fail("empty value for " + key);
+      if (key == "tx") {
+        cfg.thread_x = value;
+      } else if (key == "ty") {
+        cfg.thread_y = value;
+      } else if (key == "bx") {
+        cfg.block_x = value;
+      } else if (key == "by") {
+        cfg.block_y = value;
+      } else if (key == "seq") {
+        cfg.sequential = split_or_empty(value);
+      } else if (key == "unroll") {
+        try {
+          cfg.unroll = std::stoi(value);
+        } catch (const std::exception&) {
+          return fail("bad unroll value");
+        }
+        saw_unroll = true;
+      } else if (key == "registers") {
+        cfg.scalar_replacement = (value != "0");
+      } else if (key == "shared") {
+        cfg.shared_tensors = split_or_empty(value);
+      } else {
+        return fail("unknown field " + key);
+      }
+    }
+    if (!saw_unroll || cfg.unroll < 1) return fail("missing/invalid unroll");
+    recipe.push_back(std::move(cfg));
+  }
+  if (recipe.empty()) {
+    throw ParseError(source_name, line_number, "empty recipe");
+  }
+  return recipe;
+}
+
+std::string tuning_report(const TuneResult& result,
+                          const vgpu::DeviceProfile& device) {
+  std::ostringstream os;
+  os << "=== Barracuda tuning report ===\n";
+  os << "device          : " << device.name << " (" << device.arch << ", "
+     << TextTable::fixed(device.peak_dp_gflops(), 0) << " GF DP peak)\n";
+  os << "variants        : " << result.variants.size() << " enumerated, #"
+     << (result.best_variant + 1) << " chosen ("
+     << result.flops << " flops; minimal "
+     << result.variants.front().flops() << ")\n";
+  os << "search          : " << result.search.evaluations()
+     << " evaluations over a pool of " << result.pool_size << " (space "
+     << result.joint_space_size << "), "
+     << TextTable::fixed(result.search.seconds, 2) << "s\n";
+  os << "modeled         : " << TextTable::fixed(result.modeled_us(), 1)
+     << " us total; kernels "
+     << TextTable::fixed(result.best_timing.kernel_us, 1) << " us, h2d "
+     << TextTable::fixed(result.best_timing.h2d_us, 1) << " us, d2h "
+     << TextTable::fixed(result.best_timing.d2h_us, 1) << " us\n";
+  os << "throughput      : "
+     << TextTable::gflops(result.modeled_gflops()) << " GF cold, "
+     << TextTable::gflops(result.modeled_gflops_amortized())
+     << " GF with transfers amortized over 100 reps\n";
+  os << "--- chosen variant (TCR) ---\n"
+     << result.best_program().to_string();
+  os << "--- recipe ---\n" << serialize_recipe(result.best_recipe);
+  if (!result.parameter_importances.empty()) {
+    os << "--- what mattered (surrogate feature importances) ---\n";
+    for (const auto& [name, weight] : result.parameter_importances) {
+      os << "  " << name << " : " << TextTable::fixed(weight * 100, 1)
+         << "%\n";
+    }
+  }
+  os << "--- per-kernel model ---\n";
+  for (std::size_t k = 0; k < result.best_timing.kernels.size(); ++k) {
+    const auto& kt = result.best_timing.kernels[k];
+    os << "kernel " << (k + 1) << ": compute "
+       << TextTable::fixed(kt.compute_us, 2) << " us, memory "
+       << TextTable::fixed(kt.memory_us, 2) << " us, occupancy "
+       << TextTable::fixed(kt.occupancy * 100, 0) << "%, SM util "
+       << TextTable::fixed(kt.sm_utilization * 100, 0) << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace barracuda::core

@@ -1,0 +1,31 @@
+// Tuning reports and recipe persistence.
+//
+// Section VIII lists "facilitate integration of the generated code into
+// applications" as future work: an application wants to run the (slow)
+// search once, persist the winning recipe, and re-lower it on every
+// subsequent build without re-searching.  serialize_recipe/parse_recipe
+// give recipes a stable, diffable text form; tuning_report renders the
+// full outcome of a tune() run for humans.
+#pragma once
+
+#include <string>
+
+#include "core/barracuda.hpp"
+
+namespace barracuda::core {
+
+/// One line per kernel:
+///   kernel 1: tx=k ty=j bx=e by=1 seq=i,l unroll=8 registers=1 shared=D
+std::string serialize_recipe(const chill::Recipe& recipe);
+
+/// Inverse of serialize_recipe.  Throws barracuda::ParseError on
+/// malformed text.  The result can be fed straight to
+/// chill::lower_program (which validates it against the program).
+chill::Recipe parse_recipe(std::string_view text,
+                           std::string_view source_name = "<recipe>");
+
+/// Human-readable multi-section report of a tuning run.
+std::string tuning_report(const TuneResult& result,
+                          const vgpu::DeviceProfile& device);
+
+}  // namespace barracuda::core

@@ -1,0 +1,79 @@
+#include "cpuexec/cpumodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "tensor/einsum.hpp"
+
+namespace barracuda::cpuexec {
+namespace {
+
+constexpr double kBytesPerElem = 8.0;
+
+double tensor_bytes(const tcr::TcrProgram& program,
+                    const tensor::TensorRef& ref) {
+  return static_cast<double>(
+             tensor::shape_of(ref, program.extents).size()) *
+         kBytesPerElem;
+}
+
+/// Times a reference is re-swept from memory: the product of the extents
+/// of statement indices the reference does not carry.  Cache-resident
+/// tensors are fetched once regardless.
+double resweep_factor(const tcr::TcrProgram& program,
+                      const tensor::Contraction& op,
+                      const tensor::TensorRef& ref) {
+  double factor = 1.0;
+  for (const auto& ix : op.all_indices()) {
+    bool carried = std::find(ref.indices.begin(), ref.indices.end(), ix) !=
+                   ref.indices.end();
+    if (!carried) factor *= static_cast<double>(program.extents.at(ix));
+  }
+  return factor;
+}
+
+}  // namespace
+
+double traffic_bytes(const tcr::TcrProgram& program,
+                     const tensor::Contraction& op, const CpuProfile& cpu) {
+  double bytes = 0;
+  for (const auto& in : op.inputs) {
+    double size = tensor_bytes(program, in);
+    double sweeps =
+        size <= static_cast<double>(cpu.llc_bytes)
+            ? 1.0
+            : resweep_factor(program, op, in);
+    bytes += size * sweeps;
+  }
+  // The output is accumulated in registers across the reduction and
+  // read-modified-written once per element.
+  bytes += 2.0 * tensor_bytes(program, op.output);
+  return bytes;
+}
+
+CpuTiming model_cpu(const tcr::TcrProgram& program, const CpuProfile& cpu,
+                    int threads) {
+  BARRACUDA_CHECK(threads >= 1);
+  const int t = std::min(threads, cpu.cores);
+  const double eff = (t == 1) ? 1.0 : cpu.parallel_efficiency;
+  const double gflops = cpu.core_gflops * t * eff;
+  const double bw = (t == 1)
+                        ? cpu.core_bandwidth_gbs
+                        : std::min(cpu.socket_bandwidth_gbs,
+                                   cpu.core_bandwidth_gbs * t);
+  CpuTiming timing;
+  for (const auto& op : program.operations) {
+    const double flops =
+        static_cast<double>(tensor::flop_count(op, program.extents));
+    timing.compute_us += flops / (gflops * 1e3);
+    timing.memory_us += traffic_bytes(program, op, cpu) / (bw * 1e3);
+  }
+  // Per-operation overlap of compute and memory: take the max per program
+  // (operations are memory- or compute-bound as a whole here; the split
+  // per op barely differs for these kernels).
+  timing.total_us = std::max(timing.compute_us, timing.memory_us);
+  return timing;
+}
+
+}  // namespace barracuda::cpuexec

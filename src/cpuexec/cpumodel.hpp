@@ -1,0 +1,57 @@
+// Analytic CPU performance model: the Haswell sequential and OpenMP
+// baselines of Tables II and IV.
+//
+// The model is a two-bound roofline per operation: compute time at a
+// sustained per-core flop rate, and memory time from a streaming-traffic
+// estimate (re-sweep factors for tensors that exceed the last-level
+// cache).  This reproduces the paper's qualitative CPU behaviour —
+// bandwidth-bound kernels (NWChem S1) gain nothing from 4 OpenMP threads
+// while compute-bound contractions scale close to linearly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tcr/program.hpp"
+
+namespace barracuda::cpuexec {
+
+/// Modeled host CPU.  Defaults approximate the paper's Intel Haswell.
+struct CpuProfile {
+  std::string name = "Intel Haswell";
+  int cores = 4;
+  /// Sustained double-precision GFlop/s of one core running a tuned
+  /// small-tensor contraction loop nest (scalar + partial SIMD).
+  double core_gflops = 8.0;
+  /// DRAM bandwidth available to one core / to the full socket.  A single
+  /// Haswell core nearly saturates the socket on streaming kernels, which
+  /// is why bandwidth-bound kernels barely gain from OpenMP (Table IV S1).
+  double core_bandwidth_gbs = 18.0;
+  double socket_bandwidth_gbs = 25.6;
+  std::int64_t llc_bytes = 8 * 1024 * 1024;
+  /// Parallel efficiency of the OpenMP loop on compute-bound kernels.
+  double parallel_efficiency = 0.85;
+
+  static CpuProfile haswell() { return {}; }
+};
+
+struct CpuTiming {
+  double compute_us = 0;
+  double memory_us = 0;
+  double total_us = 0;
+
+  double gflops(std::int64_t flops) const {
+    return total_us > 0 ? (static_cast<double>(flops) / 1e3) / total_us : 0;
+  }
+};
+
+/// Model `program` on `cpu` with `threads` OpenMP threads (1 = the
+/// sequential baseline).
+CpuTiming model_cpu(const tcr::TcrProgram& program, const CpuProfile& cpu,
+                    int threads);
+
+/// Streaming-traffic estimate in bytes for one operation (diagnostic).
+double traffic_bytes(const tcr::TcrProgram& program,
+                     const tensor::Contraction& op, const CpuProfile& cpu);
+
+}  // namespace barracuda::cpuexec

@@ -1,0 +1,110 @@
+#include "cpuexec/interpreter.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+#include "tensor/shape.hpp"
+
+namespace barracuda::cpuexec {
+namespace {
+
+/// Ensure every written tensor exists in `env` (zeroed, declared shape).
+void materialize_outputs(const tcr::TcrProgram& program,
+                         tensor::TensorEnv& env) {
+  for (const auto& name : program.written_names()) {
+    if (env.contains(name)) continue;
+    const auto& var = program.variable(name);
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : var.indices) dims.push_back(program.extents.at(ix));
+    env.emplace(name, tensor::Tensor::zeros(dims));
+  }
+}
+
+}  // namespace
+
+const tensor::Tensor& run_sequential(const tcr::TcrProgram& program,
+                                     tensor::TensorEnv& env) {
+  program.validate();
+  materialize_outputs(program, env);
+  for (const auto& op : program.operations) {
+    tensor::evaluate(op, program.extents, env);
+  }
+  return env.at(program.output_name());
+}
+
+const tensor::Tensor& run_fused(const tcr::TcrProgram& program,
+                                const std::vector<tcr::FusedGroup>& groups,
+                                tensor::TensorEnv& env) {
+  program.validate();
+  materialize_outputs(program, env);
+
+  for (const auto& group : groups) {
+    std::vector<std::int64_t> shared_extents;
+    for (const auto& loop : group.shared) {
+      shared_extents.push_back(loop.extent);
+    }
+    tensor::for_each_index(
+        shared_extents, [&](const std::vector<std::int64_t>& shared_idx) {
+          for (const auto& body : group.bodies) {
+            // Iterate the body's remaining loops under the fixed shared
+            // prefix and evaluate the statement pointwise.
+            const auto& op = body.stmt;
+            std::vector<std::int64_t> inner_extents;
+            for (std::size_t d = group.shared.size(); d < body.loops.size();
+                 ++d) {
+              inner_extents.push_back(body.loops[d].extent);
+            }
+            auto value_of = [&](const std::string& ix,
+                                const std::vector<std::int64_t>& inner_idx)
+                -> std::int64_t {
+              for (std::size_t d = 0; d < group.shared.size(); ++d) {
+                if (group.shared[d].index == ix) return shared_idx[d];
+              }
+              for (std::size_t d = group.shared.size();
+                   d < body.loops.size(); ++d) {
+                if (body.loops[d].index == ix) {
+                  return inner_idx[d - group.shared.size()];
+                }
+              }
+              throw InternalError("fused body misses index " + ix);
+            };
+            tensor::Tensor& out = env.at(op.output.name);
+            tensor::for_each_index(
+                inner_extents,
+                [&](const std::vector<std::int64_t>& inner_idx) {
+                  double prod = 1.0;
+                  std::vector<std::int64_t> sub;
+                  for (const auto& in : op.inputs) {
+                    sub.clear();
+                    for (const auto& ix : in.indices) {
+                      sub.push_back(value_of(ix, inner_idx));
+                    }
+                    prod *= env.at(in.name).at(sub);
+                  }
+                  sub.clear();
+                  for (const auto& ix : op.output.indices) {
+                    sub.push_back(value_of(ix, inner_idx));
+                  }
+                  out.at(sub) += prod;
+                });
+          }
+        });
+  }
+  return env.at(program.output_name());
+}
+
+double measure_sequential_seconds(const tcr::TcrProgram& program,
+                                  tensor::TensorEnv env, int repeats) {
+  BARRACUDA_CHECK(repeats >= 1);
+  double best = INFINITY;
+  for (int r = 0; r < repeats; ++r) {
+    tensor::TensorEnv copy = env;
+    WallTimer timer;
+    run_sequential(program, copy);
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace barracuda::cpuexec

@@ -1,0 +1,29 @@
+// Host-CPU execution of TCR programs: the sequential baseline of
+// Section VI, plus execution of the fused form for validation of the
+// fusion transformation.
+#pragma once
+
+#include "tcr/fusion.hpp"
+#include "tcr/program.hpp"
+#include "tensor/einsum.hpp"
+
+namespace barracuda::cpuexec {
+
+/// Execute the program's operations in order against `env` (creating
+/// zeroed temporaries and outputs as needed).  Returns the final output.
+const tensor::Tensor& run_sequential(const tcr::TcrProgram& program,
+                                     tensor::TensorEnv& env);
+
+/// Execute the fused form produced by tcr::fuse_program.  Semantically
+/// identical to run_sequential; exists to validate fusion legality and to
+/// measure the locality effect on the real host.
+const tensor::Tensor& run_fused(const tcr::TcrProgram& program,
+                                const std::vector<tcr::FusedGroup>& groups,
+                                tensor::TensorEnv& env);
+
+/// Wall-clock seconds to run the program sequentially on this host
+/// (best of `repeats`); used by examples and the quickstart.
+double measure_sequential_seconds(const tcr::TcrProgram& program,
+                                  tensor::TensorEnv env, int repeats = 3);
+
+}  // namespace barracuda::cpuexec

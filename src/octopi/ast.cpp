@@ -1,0 +1,105 @@
+#include "octopi/ast.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::octopi {
+
+tensor::Contraction Einsum_to_contraction_impl(const EinsumStatement& s) {
+  tensor::Contraction c{s.output, s.factors, s.accumulate};
+  if (!s.sum_indices.empty()) {
+    // The explicit Sum list must be exactly the RHS-only indices, in any
+    // order; anything else indicates a malformed program.
+    std::set<std::string> declared(s.sum_indices.begin(),
+                                   s.sum_indices.end());
+    BARRACUDA_CHECK_MSG(declared.size() == s.sum_indices.size(),
+                        "duplicate index in Sum list");
+    auto inferred_vec = c.summed_indices();
+    std::set<std::string> inferred(inferred_vec.begin(), inferred_vec.end());
+    BARRACUDA_CHECK_MSG(
+        declared == inferred,
+        "Sum([" << join(s.sum_indices, " ")
+                << "]) does not match the indices that appear only on the "
+                   "right-hand side ["
+                << join(inferred_vec, " ") << "]");
+  }
+  return c;
+}
+
+tensor::Contraction EinsumStatement::to_contraction() const {
+  return Einsum_to_contraction_impl(*this);
+}
+
+std::string EinsumStatement::to_string() const {
+  std::ostringstream os;
+  os << output.to_string() << (accumulate ? " += " : " = ");
+  const bool with_sum = !sum_indices.empty();
+  if (with_sum) os << "Sum([" << join(sum_indices, " ") << "], ";
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (i) os << " * ";
+    os << factors[i].to_string();
+  }
+  if (with_sum) os << ")";
+  return os.str();
+}
+
+std::vector<tensor::Extents> OctopiProgram::specializations(
+    std::size_t max_points) const {
+  std::vector<tensor::Extents> out;
+  if (ranges.empty()) {
+    out.push_back(extents);
+    return out;
+  }
+  // One axis per range group; all of a group's indices take the same
+  // value at each grid point.
+  struct Axis {
+    std::vector<std::string> names;
+    ExtentRange range;
+  };
+  std::vector<Axis> axes;
+  for (const auto& group : range_groups) {
+    BARRACUDA_CHECK(!group.empty());
+    axes.push_back(Axis{group, ranges.at(group.front())});
+  }
+  std::vector<std::int64_t> cursor;
+  for (const auto& axis : axes) cursor.push_back(axis.range.lo);
+  while (out.size() < max_points) {
+    tensor::Extents point = extents;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      for (const auto& name : axes[a].names) point[name] = cursor[a];
+    }
+    out.push_back(std::move(point));
+    std::size_t a = axes.size();
+    bool done = true;
+    while (a > 0) {
+      --a;
+      if (++cursor[a] <= axes[a].range.hi) {
+        done = false;
+        break;
+      }
+      cursor[a] = axes[a].range.lo;
+    }
+    if (done) break;
+  }
+  return out;
+}
+
+std::string OctopiProgram::to_string() const {
+  std::ostringstream os;
+  for (const auto& [index, extent] : extents) {
+    os << "dim " << index << " = " << extent << "\n";
+  }
+  for (const auto& group : range_groups) {
+    const ExtentRange& range = ranges.at(group.front());
+    os << "dim " << join(group, " ") << " = " << range.lo << ".."
+       << range.hi << "\n";
+  }
+  for (const auto& s : statements) os << s.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace barracuda::octopi

@@ -1,0 +1,63 @@
+// OCTOPI abstract syntax: the user-facing tensor DSL of Figure 2(a).
+//
+//   dim i j k l m n = 10
+//   V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+//
+// A statement is an (optionally accumulating) assignment of a product of
+// tensor factors, with an explicit or inferred summation index list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/einsum.hpp"
+
+namespace barracuda::octopi {
+
+/// One DSL summation statement.
+struct EinsumStatement {
+  tensor::TensorRef output;
+  /// Explicit Sum([...]) index list; empty means "infer from indices that
+  /// appear on the right-hand side only".
+  std::vector<std::string> sum_indices;
+  std::vector<tensor::TensorRef> factors;
+  bool accumulate = false;  // += vs =
+
+  /// Lower to the index-inferred contraction form, validating that any
+  /// explicit Sum list matches the RHS-only indices.
+  tensor::Contraction to_contraction() const;
+
+  std::string to_string() const;
+};
+
+/// Inclusive extent range from a `dim i = 8..16` declaration — Section
+/// III: the user "can optionally specify the index dimension or a range
+/// of dimensions so that the framework can specialize the optimizations
+/// it applies for specific tensor sizes".
+struct ExtentRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  bool operator==(const ExtentRange&) const = default;
+};
+
+/// A parsed OCTOPI input: dimension declarations plus statements.
+struct OctopiProgram {
+  tensor::Extents extents;                       // fixed dims
+  std::map<std::string, ExtentRange> ranges;     // ranged dims
+  /// Indices declared on the same ranged `dim` line vary together (one
+  /// axis): `dim i j k l = 8..12` sweeps a single polynomial order, not
+  /// a 4-dimensional grid.
+  std::vector<std::vector<std::string>> range_groups;
+  std::vector<EinsumStatement> statements;
+
+  /// Concrete extent maps for every point of the range grid (cross
+  /// product over ranged dims), capped at `max_points` (the lowest
+  /// corners win when capping).  With no ranges returns just `extents`.
+  std::vector<tensor::Extents> specializations(
+      std::size_t max_points = 64) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace barracuda::octopi

@@ -1,0 +1,240 @@
+#include "octopi/enumerate.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace barracuda::octopi {
+namespace {
+
+using tensor::Contraction;
+using tensor::ContractionProgram;
+using tensor::Extents;
+using tensor::TensorRef;
+
+/// Mutable enumeration state threaded through the depth-first search.
+struct EnumState {
+  const Contraction* stmt = nullptr;
+  const Extents* extents = nullptr;
+  const EnumerateOptions* options = nullptr;
+
+  /// Terms indexed by global creation id (Algorithm 1's T_1..T_d); dead
+  /// (consumed) terms become nullopt.  Ids only grow, which is what the
+  /// cursor constraint `a < b, b > c` is defined over.
+  std::vector<std::optional<TensorRef>> terms;
+  std::set<std::string> used_names;
+  std::vector<Contraction> steps;
+  std::vector<Variant>* results = nullptr;
+
+  bool is_free(const std::string& ix) const {
+    const auto& out = stmt->output.indices;
+    return std::find(out.begin(), out.end(), ix) != out.end();
+  }
+
+  /// Number of *alive* terms whose index set contains `ix`, excluding the
+  /// term ids listed in `excluded`.
+  int occurrence_count(const std::string& ix,
+                       std::initializer_list<std::size_t> excluded) const {
+    int count = 0;
+    for (std::size_t id = 0; id < terms.size(); ++id) {
+      if (!terms[id]) continue;
+      if (std::find(excluded.begin(), excluded.end(), id) != excluded.end()) {
+        continue;
+      }
+      const auto& idxs = terms[id]->indices;
+      if (std::find(idxs.begin(), idxs.end(), ix) != idxs.end()) ++count;
+    }
+    return count;
+  }
+
+  std::string fresh_temp_name(std::size_t id) {
+    std::string name = "t" + std::to_string(id);
+    while (used_names.contains(name)) name.insert(name.begin(), '_');
+    used_names.insert(name);
+    return name;
+  }
+
+  std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const auto& t : terms) n += t.has_value();
+    return n;
+  }
+};
+
+/// Sum out every index that occurs in exactly one alive term and is not a
+/// free (output) index — Algorithm 1 lines 5–9.  Deterministic (no
+/// branching), so it runs at the top of each search node.  Returns the id
+/// of the last consumed term, used to advance the cursor.
+std::optional<std::size_t> apply_exclusive_sums(EnumState& st) {
+  std::optional<std::size_t> last_consumed;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t a = 0; a < st.terms.size() && !changed; ++a) {
+      if (!st.terms[a]) continue;
+      const TensorRef ta = *st.terms[a];
+      std::vector<std::string> kept;
+      for (const auto& ix : ta.indices) {
+        bool exclusive = !st.is_free(ix) && st.occurrence_count(ix, {a}) == 0;
+        if (!exclusive) kept.push_back(ix);
+      }
+      if (kept.size() == ta.indices.size()) continue;
+      // When this unary reduction is the final operation, write straight
+      // into the statement's output instead of a temporary.
+      std::size_t d = st.terms.size();
+      TensorRef td;
+      if (st.alive_count() == 1 && kept == st.stmt->output.indices) {
+        td = st.stmt->output;
+      } else {
+        td = TensorRef{st.fresh_temp_name(d), kept};
+      }
+      st.steps.push_back(Contraction{td, {ta}, /*accumulate=*/true});
+      st.terms.push_back(td);
+      st.terms[a].reset();
+      last_consumed = a;
+      changed = true;
+    }
+  }
+  return last_consumed;
+}
+
+void emit_variant(EnumState& st) {
+  if (st.results->size() >= st.options->max_variants) return;
+  Variant v;
+  v.program.steps = st.steps;
+  v.flops = tensor::flop_count(v.program, *st.extents);
+  st.results->push_back(std::move(v));
+}
+
+/// Depth-first enumeration over merge choices (Algorithm 1 lines 10–14).
+void search(EnumState st, std::size_t cursor) {
+  if (st.results->size() >= st.options->max_variants) return;
+
+  if (auto consumed = apply_exclusive_sums(st)) {
+    cursor = std::max(cursor, *consumed);
+  }
+
+  if (st.alive_count() == 1) {
+    // All contraction already performed; if the surviving term is a
+    // temporary other than the output (possible only for degenerate inputs),
+    // emit a final copy-accumulate into the declared output.
+    for (std::size_t id = 0; id < st.terms.size(); ++id) {
+      if (!st.terms[id]) continue;
+      if (!(*st.terms[id] == st.stmt->output)) {
+        Contraction finalize{st.stmt->output, {*st.terms[id]},
+                             st.stmt->accumulate};
+        st.steps.push_back(finalize);
+      }
+    }
+    if (!st.steps.empty()) {
+      st.steps.back().output = st.stmt->output;
+      st.steps.back().accumulate = st.stmt->accumulate;
+    }
+    emit_variant(st);
+    return;
+  }
+
+  for (std::size_t b = cursor + 1; b < st.terms.size(); ++b) {
+    if (!st.terms[b]) continue;
+    for (std::size_t a = 0; a < b; ++a) {
+      if (!st.terms[a]) continue;
+      EnumState next = st;
+      const TensorRef ta = *next.terms[a];
+      const TensorRef tb = *next.terms[b];
+
+      // Surviving indices: free, or still needed by some other alive term.
+      auto survives = [&](const std::string& ix) {
+        return next.is_free(ix) || next.occurrence_count(ix, {a, b}) > 0;
+      };
+      std::vector<std::string> out_indices;
+      auto add_surviving = [&](const TensorRef& t) {
+        for (const auto& ix : t.indices) {
+          if (survives(ix) && std::find(out_indices.begin(), out_indices.end(),
+                                        ix) == out_indices.end()) {
+            out_indices.push_back(ix);
+          }
+        }
+      };
+      add_surviving(ta);
+      add_surviving(tb);
+
+      std::size_t d = next.terms.size();
+      const bool is_final = next.alive_count() == 2;
+      TensorRef td = is_final ? next.stmt->output
+                              : TensorRef{next.fresh_temp_name(d), out_indices};
+      if (is_final) {
+        // The last merge must produce exactly the free indices.
+        std::set<std::string> got(out_indices.begin(), out_indices.end());
+        std::set<std::string> want(next.stmt->output.indices.begin(),
+                                   next.stmt->output.indices.end());
+        BARRACUDA_CHECK_MSG(got == want,
+                            "final merge indices do not match the output");
+      }
+      next.steps.push_back(Contraction{
+          td, {ta, tb}, is_final ? next.stmt->accumulate : true});
+      next.terms.push_back(td);
+      next.terms[a].reset();
+      next.terms[b].reset();
+      search(std::move(next), /*cursor=*/b);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Variant> enumerate_variants(const Contraction& stmt,
+                                        const Extents& extents,
+                                        const EnumerateOptions& options) {
+  BARRACUDA_CHECK_MSG(!stmt.inputs.empty(), "statement has no factors");
+  std::vector<Variant> results;
+
+  const bool direct_only =
+      !options.strength_reduction || stmt.inputs.size() <= 2;
+  if (direct_only) {
+    Variant v;
+    v.program.steps = {stmt};
+    v.flops = tensor::flop_count(v.program, extents);
+    results.push_back(std::move(v));
+    if (stmt.inputs.size() <= 2) return results;  // nothing else to enumerate
+    return results;
+  }
+
+  EnumState st;
+  st.stmt = &stmt;
+  st.extents = &extents;
+  st.options = &options;
+  st.results = &results;
+  st.used_names.insert(stmt.output.name);
+  for (const auto& in : stmt.inputs) {
+    st.terms.emplace_back(in);
+    st.used_names.insert(in.name);
+  }
+  search(std::move(st), /*cursor=*/0);
+
+  std::sort(results.begin(), results.end(),
+            [](const Variant& x, const Variant& y) {
+              if (x.flops != y.flops) return x.flops < y.flops;
+              return x.program.to_string() < y.program.to_string();
+            });
+  if (options.max_flops_ratio > 0 && !results.empty()) {
+    const double cutoff =
+        static_cast<double>(results.front().flops) * options.max_flops_ratio;
+    while (results.size() > 1 &&
+           static_cast<double>(results.back().flops) > cutoff) {
+      results.pop_back();
+    }
+  }
+  return results;
+}
+
+std::size_t count_min_flop_variants(const std::vector<Variant>& variants) {
+  if (variants.empty()) return 0;
+  std::int64_t best = variants.front().flops;
+  std::size_t count = 0;
+  for (const auto& v : variants) count += (v.flops == best);
+  return count;
+}
+
+}  // namespace barracuda::octopi

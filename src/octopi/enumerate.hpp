@@ -1,0 +1,55 @@
+// OCTOPI Algorithm 1: enumeration of algebraic transformations.
+//
+// Given an n-ary contraction, enumerate every way of evaluating it as a
+// sequence of unary/binary contractions over temporaries, exploiting
+// commutativity and associativity (the paper's "strength reduction").
+// The cursor constraint (choose term ids a < b with b > c) makes each
+// distinct association tree appear exactly once: for Eqn. (1)'s four-term
+// product this yields exactly 15 variants, of which 6 attain the minimal
+// O(N^4) operation count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/einsum.hpp"
+
+namespace barracuda::octopi {
+
+/// One enumerated evaluation order, lowered to a straight-line program of
+/// contraction steps writing temporaries t<k> and finally the output.
+struct Variant {
+  tensor::ContractionProgram program;
+  /// Total multiply-add flops under the extents supplied to enumerate().
+  std::int64_t flops = 0;
+
+  std::string to_string() const { return program.to_string(); }
+};
+
+/// Enumeration controls.
+struct EnumerateOptions {
+  /// Upper bound on variants produced (safety valve for large products;
+  /// all benchmarks in this repo stay far below it).
+  std::size_t max_variants = 100000;
+  /// When false, only the direct (single-statement, no-temporary) variant
+  /// is produced — the "strength reduction off" ablation.
+  bool strength_reduction = true;
+  /// Flops-ratio pruning (a Section VIII-style rule): drop variants whose
+  /// operation count exceeds this multiple of the minimum.  0 disables.
+  /// High-flop evaluation orders almost never win, so modest ratios
+  /// shrink the variant set without hurting quality.
+  double max_flops_ratio = 0;
+};
+
+/// Enumerate all evaluation orders of `stmt` (Algorithm 1).  `extents` is
+/// used only for flop costing.  Variants are returned sorted by ascending
+/// flops, ties broken by program text for determinism.
+std::vector<Variant> enumerate_variants(const tensor::Contraction& stmt,
+                                        const tensor::Extents& extents,
+                                        const EnumerateOptions& options = {});
+
+/// Number of variants attaining the minimum flop count.
+std::size_t count_min_flop_variants(const std::vector<Variant>& variants);
+
+}  // namespace barracuda::octopi

@@ -1,0 +1,210 @@
+#include "octopi/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::octopi {
+namespace {
+
+/// Character-cursor over one logical line with error context.
+class Cursor {
+ public:
+  Cursor(std::string_view text, std::string_view source, int line)
+      : text_(text), source_(source), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool try_consume(std::string_view token) {
+    skip_ws();
+    if (text_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void expect(std::string_view token) {
+    if (!try_consume(token)) {
+      fail("expected '" + std::string(token) + "'");
+    }
+  }
+
+  std::string ident() {
+    skip_ws();
+    if (pos_ >= text_.size() || !is_ident_start(text_[pos_])) {
+      fail("expected identifier");
+    }
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected integer");
+    return std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                        nullptr, 10);
+  }
+
+  /// Identifiers separated by whitespace and/or commas, up to a terminator.
+  std::vector<std::string> ident_list(char terminator) {
+    std::vector<std::string> out;
+    while (peek() != terminator && !at_end()) {
+      if (!out.empty() && peek() == ',') expect(",");
+      if (peek() == terminator) break;
+      out.push_back(ident());
+    }
+    return out;
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError(source_, line_,
+                     message + " at column " + std::to_string(pos_ + 1) +
+                         " in: " + std::string(text_));
+  }
+
+ private:
+  std::string_view text_;
+  std::string_view source_;
+  int line_;
+  std::size_t pos_ = 0;
+};
+
+tensor::TensorRef parse_ref(Cursor& cur) {
+  tensor::TensorRef ref;
+  ref.name = cur.ident();
+  cur.expect("[");
+  ref.indices = cur.ident_list(']');
+  cur.expect("]");
+  return ref;
+}
+
+std::vector<tensor::TensorRef> parse_product(Cursor& cur) {
+  std::vector<tensor::TensorRef> factors;
+  factors.push_back(parse_ref(cur));
+  while (cur.try_consume("*")) factors.push_back(parse_ref(cur));
+  return factors;
+}
+
+}  // namespace
+
+EinsumStatement parse_statement(std::string_view line,
+                                std::string_view source_name,
+                                int line_number) {
+  Cursor cur(line, source_name, line_number);
+  EinsumStatement stmt;
+  stmt.output = parse_ref(cur);
+  if (cur.try_consume("+=")) {
+    stmt.accumulate = true;
+  } else if (cur.try_consume("=")) {
+    stmt.accumulate = false;
+  } else {
+    cur.fail("expected '=' or '+='");
+  }
+  if (cur.try_consume("Sum")) {
+    cur.expect("(");
+    cur.expect("[");
+    stmt.sum_indices = cur.ident_list(']');
+    cur.expect("]");
+    cur.expect(",");
+    stmt.factors = parse_product(cur);
+    cur.expect(")");
+  } else {
+    stmt.factors = parse_product(cur);
+  }
+  if (!cur.at_end()) cur.fail("trailing input after statement");
+  if (stmt.factors.empty()) cur.fail("statement has no factors");
+  return stmt;
+}
+
+OctopiProgram parse_octopi(std::string_view text,
+                           std::string_view source_name) {
+  OctopiProgram program;
+  int line_number = 0;
+  for (const auto& raw : split(text, '\n')) {
+    ++line_number;
+    std::string_view line = trim(raw);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    if (starts_with(line, "dim ") || line == "dim") {
+      Cursor cur(line, source_name, line_number);
+      cur.expect("dim");
+      std::vector<std::string> names = cur.ident_list('=');
+      cur.expect("=");
+      std::int64_t extent = cur.integer();
+      // Optional range form: "dim p = 8..16".
+      std::optional<std::int64_t> hi;
+      if (cur.try_consume("..")) hi = cur.integer();
+      if (!cur.at_end()) cur.fail("trailing input after dim declaration");
+      if (names.empty()) cur.fail("dim declaration names no indices");
+      if (extent <= 0) cur.fail("dim extent must be positive");
+      if (hi && *hi < extent) cur.fail("range upper bound below lower");
+      for (const auto& n : names) {
+        if (program.extents.contains(n) || program.ranges.contains(n)) {
+          if (!hi && program.extents.contains(n) &&
+              program.extents.at(n) == extent) {
+            continue;  // benign re-declaration
+          }
+          throw ParseError(std::string(source_name), line_number,
+                           "conflicting extents for index " + n);
+        }
+        if (hi) {
+          program.ranges.emplace(n, ExtentRange{extent, *hi});
+        } else {
+          program.extents.emplace(n, extent);
+        }
+      }
+      if (hi) program.range_groups.push_back(names);
+      continue;
+    }
+    program.statements.push_back(
+        parse_statement(line, source_name, line_number));
+  }
+
+  // Every index used by a statement must have a declared extent if any
+  // dim declarations are present at all (otherwise extents are supplied by
+  // the caller at evaluation time).
+  if (!program.extents.empty() || !program.ranges.empty()) {
+    for (const auto& s : program.statements) {
+      for (const auto& ix : s.to_contraction().all_indices()) {
+        if (!program.extents.contains(ix) && !program.ranges.contains(ix)) {
+          throw ParseError(std::string(source_name), line_number,
+                           "index " + ix + " has no dim declaration");
+        }
+      }
+    }
+  }
+  return program;
+}
+
+}  // namespace barracuda::octopi

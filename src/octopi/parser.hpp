@@ -1,0 +1,30 @@
+// Parser for the OCTOPI tensor DSL (Figure 2(a) syntax).
+//
+// Line-oriented grammar:
+//   line      := comment | dim-decl | statement
+//   comment   := '#' ...
+//   dim-decl  := 'dim' ident+ '=' integer
+//   statement := ref ('='|'+=') rhs
+//   rhs       := 'Sum' '(' '[' ident-list ']' ',' product ')' | product
+//   product   := ref ('*' ref)*
+//   ref       := ident '[' ident-list ']'
+//   ident-list elements are separated by spaces and/or commas.
+#pragma once
+
+#include <string_view>
+
+#include "octopi/ast.hpp"
+
+namespace barracuda::octopi {
+
+/// Parse a full OCTOPI program.  Throws barracuda::ParseError (with the
+/// offending line number) on malformed input.  `source_name` labels errors.
+OctopiProgram parse_octopi(std::string_view text,
+                           std::string_view source_name = "<octopi>");
+
+/// Parse a single statement line (no dim declarations).
+EinsumStatement parse_statement(std::string_view line,
+                                std::string_view source_name = "<octopi>",
+                                int line_number = 1);
+
+}  // namespace barracuda::octopi

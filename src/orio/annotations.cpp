@@ -1,0 +1,97 @@
+#include "orio/annotations.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "tcr/loopnest.hpp"
+
+namespace barracuda::orio {
+namespace {
+
+std::string quoted_list(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ",";
+    out += "'" + items[i] + "'";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string emit_performance_params(
+    const tcr::TcrProgram& program,
+    const std::vector<tcr::KernelSpace>& spaces) {
+  BARRACUDA_CHECK(spaces.size() == program.operations.size());
+  std::ostringstream os;
+  os << "def performance_params {\n";
+  for (std::size_t k = 0; k < spaces.size(); ++k) {
+    const tcr::KernelSpace& space = spaces[k];
+    const std::string id = std::to_string(k + 1);
+    os << "  param PERMUTE_" << id << "_TX[] = " << quoted_list(space.thread_x)
+       << ";\n";
+    os << "  param PERMUTE_" << id << "_TY[] = " << quoted_list(space.thread_y)
+       << ";\n";
+    os << "  param PERMUTE_" << id << "_BX[] = " << quoted_list(space.block_x)
+       << ";\n";
+    os << "  param PERMUTE_" << id << "_BY[] = " << quoted_list(space.block_y)
+       << ";\n";
+    os << "  param UF_" << id << "[] = [";
+    for (std::size_t i = 0; i < space.unroll_factors.size(); ++i) {
+      if (i) os << ",";
+      os << space.unroll_factors[i];
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string emit_chill_recipe(const tcr::TcrProgram& program,
+                              const chill::Recipe& recipe) {
+  BARRACUDA_CHECK(recipe.size() == program.operations.size());
+  std::ostringstream os;
+  for (std::size_t k = 0; k < recipe.size(); ++k) {
+    const tcr::KernelConfig& cfg = recipe[k];
+    const std::string id = std::to_string(k + 1);
+    os << "cuda(" << id << ",block={" << cfg.block_x << "," << cfg.block_y
+       << "},thread={" << cfg.thread_x << "," << cfg.thread_y << "})\n";
+    if (!cfg.sequential.empty()) {
+      os << "permute(" << id << ",[" << join(cfg.sequential, ",") << "])\n";
+    }
+    if (cfg.scalar_replacement) {
+      os << "registers(" << id << ",\""
+         << program.operations[k].output.name << "\")\n";
+    }
+    if (!cfg.sequential.empty() && cfg.unroll > 1) {
+      os << "unroll(" << id << ",\"" << cfg.sequential.back() << "\","
+         << cfg.unroll << ")\n";
+    }
+    for (const auto& tensor_name : cfg.shared_tensors) {
+      os << "shared(" << id << ",\"" << tensor_name << "\")\n";
+    }
+  }
+  return os.str();
+}
+
+std::string emit_annotated_source(
+    const tcr::TcrProgram& program,
+    const std::vector<tcr::KernelSpace>& spaces,
+    const chill::Recipe& recipe) {
+  std::ostringstream os;
+  os << emit_performance_params(program, spaces);
+  os << "/*@ begin CHiLL (\n";
+  std::istringstream recipe_lines(emit_chill_recipe(program, recipe));
+  for (std::string line; std::getline(recipe_lines, line);) {
+    os << "  " << line << "\n";
+  }
+  os << ") @*/\n";
+  for (const auto& nest : tcr::build_loop_nests(program)) {
+    os << nest.to_string();
+  }
+  os << "/*@ end @*/\n";
+  return os.str();
+}
+
+}  // namespace barracuda::orio

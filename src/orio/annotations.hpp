@@ -1,0 +1,45 @@
+// Orio-style annotation emission (Figure 2(c) of the paper).
+//
+// Barracuda drives its search through Orio annotations: a
+// `def performance_params` block declaring the PERMUTE/UF parameter
+// domains, and a CHiLL transformation recipe (`cuda`, `permute`,
+// `registers`, `unroll`) describing one concrete code variant.  This
+// module renders both texts from the library's native structures so the
+// generated artifacts can be inspected, diffed and (on a machine with the
+// original toolchain) replayed through Orio + CUDA-CHiLL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chill/lower.hpp"
+#include "tcr/decision.hpp"
+#include "tcr/program.hpp"
+
+namespace barracuda::orio {
+
+/// The `def performance_params { ... }` block for a whole program: one
+/// PERMUTE_<k>_{TX,TY,BX,BY} parameter list per kernel plus UF_<k>
+/// unroll domains, matching Figure 2(c).
+std::string emit_performance_params(
+    const tcr::TcrProgram& program,
+    const std::vector<tcr::KernelSpace>& spaces);
+
+/// The CHiLL recipe for one concrete configuration of kernel `k`
+/// (1-based in the emitted text, as in the paper):
+///   cuda(k, block={BX,BY}, thread={TX,TY})
+///   permute(k, [seq order])
+///   registers(k, "<output>")
+///   unroll(k, "<inner>", UF)
+std::string emit_chill_recipe(const tcr::TcrProgram& program,
+                              const chill::Recipe& recipe);
+
+/// The full annotation: params + `/*@ begin CHiLL (...) @*/` wrapper
+/// around the recipe, followed by the sequential loop nests the
+/// annotations transform (the bottom half of Figure 2(c)).
+std::string emit_annotated_source(
+    const tcr::TcrProgram& program,
+    const std::vector<tcr::KernelSpace>& spaces,
+    const chill::Recipe& recipe);
+
+}  // namespace barracuda::orio

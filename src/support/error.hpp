@@ -1,0 +1,76 @@
+// Error handling primitives shared by every Barracuda module.
+//
+// All user-facing failures (DSL syntax errors, malformed TCR programs,
+// illegal transformation recipes) throw barracuda::Error with a formatted
+// message.  Internal invariant violations use BARRACUDA_CHECK, which throws
+// InternalError carrying the failing expression and source location so that
+// tests can assert on misuse without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace barracuda {
+
+/// Base class for all errors raised by the Barracuda library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed input program (DSL text, TCR text, bad shapes, ...).
+class ParseError : public Error {
+ public:
+  ParseError(std::string_view source, int line, const std::string& message)
+      : Error(format(source, line, message)), line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  static std::string format(std::string_view source, int line,
+                            const std::string& message) {
+    std::ostringstream os;
+    os << source << ":" << line << ": " << message;
+    return os.str();
+  }
+  int line_ = 0;
+};
+
+/// A violated internal invariant; indicates a bug in Barracuda itself or a
+/// misuse of an API precondition.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace barracuda
+
+/// Assert an invariant; throws barracuda::InternalError on failure.
+#define BARRACUDA_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::barracuda::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Assert an invariant with an explanatory message (streamed).
+#define BARRACUDA_CHECK_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream barracuda_check_os_;                              \
+      barracuda_check_os_ << msg;                                          \
+      ::barracuda::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                        barracuda_check_os_.str());        \
+    }                                                                      \
+  } while (0)

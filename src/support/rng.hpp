@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (SURF sampling, ExtraTrees split selection,
+// random-search baselines, test data generation) draws from an explicitly
+// seeded Rng so that runs, tests and benchmark tables are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace barracuda {
+
+/// Thin deterministic wrapper over a 64-bit Mersenne Twister with the
+/// sampling helpers the search components need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    BARRACUDA_CHECK(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    BARRACUDA_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool flip(double p = 0.5) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement
+  /// (partial Fisher-Yates).  Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    BARRACUDA_CHECK(k <= n);
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + index(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Fork a child generator whose stream is decorrelated from the parent.
+  /// Used so each ExtraTrees tree gets an independent stream.
+  Rng fork() {
+    std::uint64_t hi = engine_();
+    std::uint64_t lo = engine_();
+    return Rng(hi ^ (lo * 0x2545f4914f6cdd1dull));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace barracuda

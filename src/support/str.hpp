@@ -1,0 +1,32 @@
+// Small string utilities used by the DSL / TCR parsers and printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace barracuda {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `c` can begin an identifier ([A-Za-z_]).
+bool is_ident_start(char c);
+
+/// True if `c` can continue an identifier ([A-Za-z0-9_]).
+bool is_ident_char(char c);
+
+}  // namespace barracuda

@@ -1,0 +1,57 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace barracuda {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::speedup(double v) { return fixed(v, 2) + "x"; }
+
+std::string TextTable::gflops(double v) { return fixed(v, 2); }
+
+std::string TextTable::seconds(double v) { return fixed(v, 1) + "s"; }
+
+}  // namespace barracuda

@@ -1,0 +1,37 @@
+// Fixed-width text table rendering for benchmark harnesses.
+//
+// The bench binaries print paper-style tables (Table II–IV) to stdout; this
+// keeps the formatting logic in one place so every table lines up the same
+// way and can be diffed across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace barracuda {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and two-space column gaps.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Format helpers used by the bench harnesses.
+  static std::string fixed(double v, int precision);
+  static std::string speedup(double v);   // "23.74x"
+  static std::string gflops(double v);    // "42.74"
+  static std::string seconds(double v);   // "324.8s"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace barracuda

@@ -1,0 +1,25 @@
+// Wall-clock timing for search-time measurements (Table II "Search" column).
+#pragma once
+
+#include <chrono>
+
+namespace barracuda {
+
+/// Monotonic wall timer; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace barracuda

@@ -1,0 +1,159 @@
+#include "surf/evolutionary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace barracuda::surf {
+namespace {
+
+double sq_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// Index of the unevaluated pool entry closest to `target`; -1 when the
+/// pool is exhausted.
+std::ptrdiff_t nearest_unevaluated(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<bool>& evaluated, const std::vector<double>& target) {
+  std::ptrdiff_t best = -1;
+  double best_d = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (evaluated[i]) continue;
+    double d = sq_distance(features[i], target);
+    if (best < 0 || d < best_d) {
+      best = static_cast<std::ptrdiff_t>(i);
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+struct Tracker {
+  SearchResult result;
+  std::vector<bool> evaluated;
+  std::size_t budget;
+
+  bool exhausted() const {
+    return result.history.size() >= budget;
+  }
+  double eval(std::size_t i, const Objective& objective) {
+    double y = objective(i);
+    evaluated[i] = true;
+    result.history.emplace_back(i, y);
+    if (result.history.size() == 1 || y < result.best_value) {
+      result.best_value = y;
+      result.best_index = i;
+    }
+    return y;
+  }
+};
+
+}  // namespace
+
+SearchResult genetic_search(const std::vector<std::vector<double>>& features,
+                            const Objective& evaluate,
+                            const SearchOptions& options) {
+  BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
+  WallTimer timer;
+  Rng rng(options.seed);
+  Tracker t;
+  t.evaluated.assign(features.size(), false);
+  t.budget = std::min(options.max_evaluations, features.size());
+
+  // Initial population.
+  const std::size_t pop_size =
+      std::max<std::size_t>(2, std::min(options.batch_size, t.budget));
+  std::vector<std::pair<double, std::size_t>> population;  // (value, index)
+  for (auto i : rng.sample_without_replacement(features.size(),
+                                               std::min(pop_size,
+                                                        t.budget))) {
+    population.emplace_back(t.eval(i, evaluate), i);
+  }
+
+  while (!t.exhausted()) {
+    std::sort(population.begin(), population.end());
+    const std::size_t parents = std::max<std::size_t>(2, pop_size / 2);
+    std::vector<std::pair<double, std::size_t>> next(
+        population.begin(),
+        population.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(parents, population.size())));
+
+    while (next.size() < pop_size && !t.exhausted()) {
+      std::size_t a = next[rng.index(std::min(parents, next.size()))].second;
+      std::size_t b = next[rng.index(std::min(parents, next.size()))].second;
+      std::vector<double> target(features[a].size());
+      if (rng.flip(0.3)) {
+        // Mutation: a random point near parent a (jitter each feature).
+        for (std::size_t d = 0; d < target.size(); ++d) {
+          target[d] = features[a][d] + rng.normal(0.0, 0.5);
+        }
+      } else {
+        // Crossover: feature-space midpoint of the parents.
+        for (std::size_t d = 0; d < target.size(); ++d) {
+          target[d] = 0.5 * (features[a][d] + features[b][d]);
+        }
+      }
+      std::ptrdiff_t child = nearest_unevaluated(features, t.evaluated,
+                                                 target);
+      if (child < 0) break;
+      next.emplace_back(t.eval(static_cast<std::size_t>(child), evaluate),
+                        static_cast<std::size_t>(child));
+    }
+    if (next.size() == population.size() &&
+        std::equal(next.begin(), next.end(), population.begin())) {
+      break;  // no unevaluated neighbors left
+    }
+    population = std::move(next);
+  }
+  t.result.seconds = timer.seconds();
+  return t.result;
+}
+
+SearchResult annealing_search(
+    const std::vector<std::vector<double>>& features,
+    const Objective& evaluate, const SearchOptions& options) {
+  BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
+  WallTimer timer;
+  Rng rng(options.seed ^ 0x9e37u);
+  Tracker t;
+  t.evaluated.assign(features.size(), false);
+  t.budget = std::min(options.max_evaluations, features.size());
+
+  std::size_t current = rng.index(features.size());
+  double current_y = t.eval(current, evaluate);
+  // Geometric cooling from the scale of the first value.
+  double temperature = std::max(std::fabs(current_y), 1e-6);
+  const double cooling = 0.90;
+
+  while (!t.exhausted()) {
+    // Propose: a random jitter of the current point, snapped to the
+    // nearest unevaluated configuration.
+    std::vector<double> target = features[current];
+    for (auto& v : target) v += rng.normal(0.0, 1.0);
+    std::ptrdiff_t proposal = nearest_unevaluated(features, t.evaluated,
+                                                  target);
+    if (proposal < 0) break;
+    double y = t.eval(static_cast<std::size_t>(proposal), evaluate);
+    double delta = y - current_y;
+    if (delta <= 0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = static_cast<std::size_t>(proposal);
+      current_y = y;
+    }
+    temperature *= cooling;
+  }
+  t.result.seconds = timer.seconds();
+  return t.result;
+}
+
+}  // namespace barracuda::surf

@@ -1,0 +1,26 @@
+// Alternative search strategies over the same configuration pool:
+// a feature-space genetic algorithm (the strategy SPIRAL uses, per the
+// paper's related work) and simulated annealing.  Both consume the same
+// binarized features as SURF, so the three are directly comparable in
+// the search ablation.
+#pragma once
+
+#include "surf/surf.hpp"
+
+namespace barracuda::surf {
+
+/// Genetic algorithm: a population of evaluated configurations evolves by
+/// crossover (the unevaluated configuration nearest the feature-space
+/// midpoint of two parents) and mutation (a random unevaluated
+/// configuration near one parent).  Population size = batch_size.
+SearchResult genetic_search(const std::vector<std::vector<double>>& features,
+                            const Objective& evaluate,
+                            const SearchOptions& options = {});
+
+/// Simulated annealing: a random walk through feature-space neighbors
+/// with Metropolis acceptance under a geometric temperature schedule.
+SearchResult annealing_search(
+    const std::vector<std::vector<double>>& features,
+    const Objective& evaluate, const SearchOptions& options = {});
+
+}  // namespace barracuda::surf

@@ -1,0 +1,175 @@
+#include "surf/extratrees.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace barracuda::surf {
+namespace {
+
+double mean(const std::vector<double>& y,
+            const std::vector<std::size_t>& sample) {
+  double s = 0;
+  for (auto i : sample) s += y[i];
+  return s / static_cast<double>(sample.size());
+}
+
+double sum_sq_dev(const std::vector<double>& y,
+                  const std::vector<std::size_t>& sample) {
+  double m = mean(y, sample);
+  double s = 0;
+  for (auto i : sample) s += (y[i] - m) * (y[i] - m);
+  return s;
+}
+
+}  // namespace
+
+double ExtraTreesRegressor::Tree::predict(
+    const std::vector<double>& x) const {
+  int node = 0;
+  while (!nodes[static_cast<std::size_t>(node)].is_leaf()) {
+    const Node& n = nodes[static_cast<std::size_t>(node)];
+    node = (x[static_cast<std::size_t>(n.feature)] < n.threshold) ? n.left
+                                                                  : n.right;
+  }
+  return nodes[static_cast<std::size_t>(node)].value;
+}
+
+ExtraTreesRegressor::Tree ExtraTreesRegressor::build_tree(
+    const std::vector<std::vector<double>>& X, const std::vector<double>& y,
+    std::vector<std::size_t> sample, Rng& rng,
+    std::vector<double>& gain) const {
+  Tree tree;
+  // Iterative construction with an explicit stack of (node index, sample).
+  struct Work {
+    int node;
+    std::vector<std::size_t> sample;
+  };
+  tree.nodes.push_back(Node{});
+  std::vector<Work> stack;
+  stack.push_back({0, std::move(sample)});
+
+  const int k = options_.k_features > 0
+                    ? options_.k_features
+                    : static_cast<int>(std::ceil(std::sqrt(
+                          static_cast<double>(dim_))));
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+    Node& node = tree.nodes[static_cast<std::size_t>(w.node)];
+
+    const double node_ssd = sum_sq_dev(y, w.sample);
+    if (static_cast<int>(w.sample.size()) < options_.min_samples_split ||
+        node_ssd <= 1e-24) {
+      node.feature = -1;
+      node.value = mean(y, w.sample);
+      continue;
+    }
+
+    // Draw k candidate features (without replacement when possible) and a
+    // random threshold each; keep the best variance reduction.
+    int best_feature = -1;
+    double best_threshold = 0;
+    double best_score = node_ssd;  // must strictly improve
+    auto feats = rng.sample_without_replacement(
+        dim_, std::min<std::size_t>(static_cast<std::size_t>(k), dim_));
+    for (auto f : feats) {
+      double lo = INFINITY, hi = -INFINITY;
+      for (auto i : w.sample) {
+        lo = std::min(lo, X[i][f]);
+        hi = std::max(hi, X[i][f]);
+      }
+      if (!(hi > lo)) continue;  // constant feature in this node
+      double threshold = rng.uniform(lo, hi);
+      if (threshold <= lo) threshold = std::nextafter(lo, hi);
+      std::vector<std::size_t> left, right;
+      for (auto i : w.sample) {
+        (X[i][f] < threshold ? left : right).push_back(i);
+      }
+      if (left.empty() || right.empty()) continue;
+      double score = sum_sq_dev(y, left) + sum_sq_dev(y, right);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+
+    if (best_feature < 0) {
+      node.feature = -1;
+      node.value = mean(y, w.sample);
+      continue;
+    }
+
+    gain[static_cast<std::size_t>(best_feature)] += node_ssd - best_score;
+    std::vector<std::size_t> left, right;
+    for (auto i : w.sample) {
+      (X[i][static_cast<std::size_t>(best_feature)] < best_threshold ? left
+                                                                     : right)
+          .push_back(i);
+    }
+    // push_back may reallocate and invalidate `node`: compute the child
+    // indices first and write the split through the vector afterwards.
+    const int left_node = static_cast<int>(tree.nodes.size());
+    const int right_node = left_node + 1;
+    tree.nodes.push_back(Node{});
+    tree.nodes.push_back(Node{});
+    Node& parent = tree.nodes[static_cast<std::size_t>(w.node)];
+    parent.feature = best_feature;
+    parent.threshold = best_threshold;
+    parent.left = left_node;
+    parent.right = right_node;
+    stack.push_back({left_node, std::move(left)});
+    stack.push_back({right_node, std::move(right)});
+  }
+  return tree;
+}
+
+void ExtraTreesRegressor::fit(const std::vector<std::vector<double>>& X,
+                              const std::vector<double>& y) {
+  BARRACUDA_CHECK_MSG(!X.empty(), "cannot fit on an empty training set");
+  BARRACUDA_CHECK(X.size() == y.size());
+  dim_ = X[0].size();
+  for (const auto& row : X) {
+    BARRACUDA_CHECK_MSG(row.size() == dim_, "ragged feature matrix");
+  }
+  trees_.clear();
+  importances_.assign(dim_, 0.0);
+  Rng rng(options_.seed);
+  std::vector<std::size_t> all(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) all[i] = i;
+  for (int t = 0; t < options_.n_trees; ++t) {
+    Rng tree_rng = rng.fork();
+    trees_.push_back(build_tree(X, y, all, tree_rng, importances_));
+  }
+  double total = 0;
+  for (double g : importances_) total += g;
+  if (total > 0) {
+    for (double& g : importances_) g /= total;
+  }
+}
+
+std::vector<double> ExtraTreesRegressor::feature_importances() const {
+  BARRACUDA_CHECK_MSG(fitted(), "feature_importances() before fit()");
+  return importances_;
+}
+
+double ExtraTreesRegressor::predict(const std::vector<double>& x) const {
+  BARRACUDA_CHECK_MSG(fitted(), "predict() before fit()");
+  BARRACUDA_CHECK_MSG(x.size() == dim_, "feature dimension mismatch");
+  double s = 0;
+  for (const auto& tree : trees_) s += tree.predict(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+std::vector<double> ExtraTreesRegressor::predict_batch(
+    const std::vector<std::vector<double>>& X) const {
+  std::vector<double> out;
+  out.reserve(X.size());
+  for (const auto& x : X) out.push_back(predict(x));
+  return out;
+}
+
+}  // namespace barracuda::surf

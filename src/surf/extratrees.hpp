@@ -1,0 +1,79 @@
+// Extremely randomized trees (Geurts, Ernst & Wehenkel 2006) regression,
+// implemented from scratch — the surrogate model inside SURF.
+//
+// At each node a random subset of K features is drawn; for each, a single
+// random cut-point uniform between the node's min and max of that feature;
+// the split with the best variance reduction wins.  Leaves predict the
+// mean of their samples; the forest averages its trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace barracuda::surf {
+
+struct ExtraTreesOptions {
+  int n_trees = 30;
+  /// Features examined per split; 0 means ceil(sqrt(dim)).
+  int k_features = 0;
+  /// Nodes with fewer samples become leaves.
+  int min_samples_split = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Forest regressor over dense double feature vectors.
+class ExtraTreesRegressor {
+ public:
+  explicit ExtraTreesRegressor(ExtraTreesOptions options = {})
+      : options_(options) {}
+
+  /// Fit from scratch.  All rows must share one dimension; y.size() must
+  /// equal X.size() and be non-empty.
+  void fit(const std::vector<std::vector<double>>& X,
+           const std::vector<double>& y);
+
+  /// Mean prediction over trees.  Requires a prior fit().
+  double predict(const std::vector<double>& x) const;
+
+  /// Convenience batch prediction.
+  std::vector<double> predict_batch(
+      const std::vector<std::vector<double>>& X) const;
+
+  /// Per-feature importance: total variance reduction attributed to
+  /// splits on each feature, averaged over trees and normalized to sum
+  /// to 1 (all zeros when no split was ever made).  In Barracuda this
+  /// tells the user *which* mapping parameters the surrogate found
+  /// performance-relevant.
+  std::vector<double> feature_importances() const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold and child indices; leaf: value.
+    int feature = -1;
+    double threshold = 0;
+    int left = -1;
+    int right = -1;
+    double value = 0;
+    bool is_leaf() const { return feature < 0; }
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double predict(const std::vector<double>& x) const;
+  };
+
+  Tree build_tree(const std::vector<std::vector<double>>& X,
+                  const std::vector<double>& y,
+                  std::vector<std::size_t> sample, Rng& rng,
+                  std::vector<double>& gain) const;
+
+  ExtraTreesOptions options_;
+  std::vector<Tree> trees_;
+  std::vector<double> importances_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace barracuda::surf

@@ -1,0 +1,80 @@
+#include "surf/features.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace barracuda::surf {
+
+RecipeFeaturizer::RecipeFeaturizer(
+    const std::vector<tcr::TcrProgram>& variants) {
+  BARRACUDA_CHECK_MSG(!variants.empty(), "no variants to featurize");
+  variant_count_ = variants.size();
+  std::set<std::string> vocab;
+  vocab.insert(tcr::kUnused);
+  for (const auto& program : variants) {
+    max_kernels_ = std::max(max_kernels_, program.operations.size());
+    for (const auto& [ix, extent] : program.extents) vocab.insert(ix);
+  }
+  vocabulary_.assign(vocab.begin(), vocab.end());
+  // Per kernel: 4 grid one-hots + innermost/outermost sequential one-hots
+  // + 1 numeric unroll + 1 numeric sequential-loop count.
+  per_kernel_dim_ = 6 * vocabulary_.size() + 2;
+  dim_ = variant_count_ + max_kernels_ * per_kernel_dim_;
+}
+
+void RecipeFeaturizer::encode_one_hot(std::vector<double>& out,
+                                      std::size_t base,
+                                      const std::string& value) const {
+  auto it = std::find(vocabulary_.begin(), vocabulary_.end(), value);
+  BARRACUDA_CHECK_MSG(it != vocabulary_.end(),
+                      "index " << value << " not in featurizer vocabulary");
+  out[base + static_cast<std::size_t>(it - vocabulary_.begin())] = 1.0;
+}
+
+std::vector<double> RecipeFeaturizer::encode(
+    std::size_t variant_index,
+    const std::vector<tcr::KernelConfig>& recipe) const {
+  BARRACUDA_CHECK(variant_index < variant_count_);
+  BARRACUDA_CHECK_MSG(recipe.size() <= max_kernels_,
+                      "recipe longer than the widest variant");
+  std::vector<double> x(dim_, 0.0);
+  x[variant_index] = 1.0;
+  const std::size_t v = vocabulary_.size();
+  for (std::size_t k = 0; k < recipe.size(); ++k) {
+    const tcr::KernelConfig& cfg = recipe[k];
+    std::size_t base = variant_count_ + k * per_kernel_dim_;
+    encode_one_hot(x, base + 0 * v, cfg.thread_x);
+    encode_one_hot(x, base + 1 * v, cfg.thread_y);
+    encode_one_hot(x, base + 2 * v, cfg.block_x);
+    encode_one_hot(x, base + 3 * v, cfg.block_y);
+    encode_one_hot(x, base + 4 * v,
+                   cfg.sequential.empty() ? tcr::kUnused
+                                          : cfg.sequential.back());
+    encode_one_hot(x, base + 5 * v,
+                   cfg.sequential.empty() ? tcr::kUnused
+                                          : cfg.sequential.front());
+    x[base + 6 * v] = static_cast<double>(cfg.unroll);
+    x[base + 6 * v + 1] = static_cast<double>(cfg.sequential.size());
+  }
+  return x;
+}
+
+std::string RecipeFeaturizer::feature_name(std::size_t d) const {
+  BARRACUDA_CHECK(d < dim_);
+  if (d < variant_count_) return "variant#" + std::to_string(d + 1);
+  d -= variant_count_;
+  const std::size_t kernel = d / per_kernel_dim_;
+  const std::size_t within = d % per_kernel_dim_;
+  const std::size_t v = vocabulary_.size();
+  std::string prefix = "kernel" + std::to_string(kernel + 1) + ".";
+  static const char* kSlots[] = {"TX", "TY", "BX", "BY",
+                                 "inner_seq", "outer_seq"};
+  if (within < 6 * v) {
+    return prefix + kSlots[within / v] + "=" + vocabulary_[within % v];
+  }
+  return prefix + (within == 6 * v ? "unroll" : "seq_count");
+}
+
+}  // namespace barracuda::surf

@@ -1,0 +1,49 @@
+// Feature binarization for the Barracuda search space (Section V).
+//
+// SURF's surrogate model needs fixed-length numeric vectors, but a tuning
+// point is categorical: which OCTOPI variant, and per kernel which loop
+// index feeds each PERMUTE parameter (ThreadX/ThreadY/BlockX/BlockY) plus
+// the sequential order.  Categorical choices are one-hot encoded over the
+// union vocabulary of loop indices; unroll factors stay numeric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcr/decision.hpp"
+#include "tcr/program.hpp"
+
+namespace barracuda::surf {
+
+/// Encodes (variant index, per-kernel configs) into flat feature vectors
+/// of a fixed dimension across all variants of one tensor computation.
+class RecipeFeaturizer {
+ public:
+  explicit RecipeFeaturizer(const std::vector<tcr::TcrProgram>& variants);
+
+  std::size_t dim() const { return dim_; }
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+  /// Encode one tuning point.  `recipe.size()` must match the variant's
+  /// operation count; shorter variants are zero-padded to the widest.
+  std::vector<double> encode(
+      std::size_t variant_index,
+      const std::vector<tcr::KernelConfig>& recipe) const;
+
+  /// Human-readable name of feature dimension `d`, e.g. "variant#3",
+  /// "kernel2.TY=j", "kernel1.unroll".
+  std::string feature_name(std::size_t d) const;
+
+ private:
+  void encode_one_hot(std::vector<double>& out, std::size_t base,
+                      const std::string& value) const;
+
+  std::size_t variant_count_ = 0;
+  std::size_t max_kernels_ = 0;
+  std::vector<std::string> vocabulary_;  // all loop indices + "1"
+  std::size_t per_kernel_dim_ = 0;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace barracuda::surf

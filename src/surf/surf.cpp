@@ -1,0 +1,114 @@
+#include "surf/surf.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace barracuda::surf {
+namespace {
+
+void record(SearchResult& result, std::size_t index, double value) {
+  result.history.emplace_back(index, value);
+  if (result.history.size() == 1 || value < result.best_value) {
+    result.best_value = value;
+    result.best_index = index;
+  }
+}
+
+}  // namespace
+
+double SearchResult::best_after(std::size_t n) const {
+  BARRACUDA_CHECK(!history.empty());
+  double best = history.front().second;
+  for (std::size_t i = 0; i < std::min(n, history.size()); ++i) {
+    best = std::min(best, history[i].second);
+  }
+  return best;
+}
+
+SearchResult surf_search(const std::vector<std::vector<double>>& features,
+                         const Objective& evaluate,
+                         const SearchOptions& options) {
+  BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
+  BARRACUDA_CHECK(options.batch_size >= 1);
+  WallTimer timer;
+  SearchResult result;
+  Rng rng(options.seed);
+
+  const std::size_t pool_size = features.size();
+  const std::size_t budget = std::min(options.max_evaluations, pool_size);
+  std::vector<bool> evaluated(pool_size, false);
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+
+  auto run_batch = [&](const std::vector<std::size_t>& batch) {
+    // Evaluate_Parallel in the paper; sequential here (the evaluations
+    // share one modeled device), identical results.
+    for (auto i : batch) {
+      double y = evaluate(i);
+      evaluated[i] = true;
+      train_x.push_back(features[i]);
+      train_y.push_back(y);
+      record(result, i, y);
+    }
+  };
+
+  // Initialization: a random batch of min(bs, n_max) distinct configs.
+  run_batch([&] {
+    std::size_t n0 = std::min(options.batch_size, budget);
+    auto picks = rng.sample_without_replacement(pool_size, n0);
+    return std::vector<std::size_t>(picks.begin(), picks.end());
+  }());
+
+  ExtraTreesOptions model_options = options.model;
+  model_options.seed = options.seed ^ 0x5u;
+  ExtraTreesRegressor model(model_options);
+  while (result.evaluations() < budget) {
+    model.fit(train_x, train_y);
+
+    // Predict every unevaluated configuration; take the bs best.
+    std::vector<std::pair<double, std::size_t>> scored;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      if (!evaluated[i]) scored.emplace_back(model.predict(features[i]), i);
+    }
+    BARRACUDA_CHECK(!scored.empty());
+    std::size_t take = std::min(options.batch_size,
+                                std::min(budget - result.evaluations(),
+                                         scored.size()));
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),
+                      scored.end());
+    std::vector<std::size_t> batch;
+    for (std::size_t b = 0; b < take; ++b) batch.push_back(scored[b].second);
+    run_batch(batch);
+  }
+  if (!model.fitted() && !train_x.empty()) model.fit(train_x, train_y);
+  if (model.fitted()) result.importances = model.feature_importances();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SearchResult random_search(std::size_t pool_size, const Objective& evaluate,
+                           const SearchOptions& options) {
+  BARRACUDA_CHECK(pool_size > 0);
+  WallTimer timer;
+  SearchResult result;
+  Rng rng(options.seed);
+  const std::size_t budget = std::min(options.max_evaluations, pool_size);
+  auto picks = rng.sample_without_replacement(pool_size, budget);
+  for (auto i : picks) record(result, i, evaluate(i));
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SearchResult exhaustive_search(std::size_t pool_size,
+                               const Objective& evaluate) {
+  BARRACUDA_CHECK(pool_size > 0);
+  WallTimer timer;
+  SearchResult result;
+  for (std::size_t i = 0; i < pool_size; ++i) record(result, i, evaluate(i));
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace barracuda::surf

@@ -1,0 +1,62 @@
+// SURF: Search Using Random Forest (Algorithm 2 of the paper).
+//
+// Model-based search over a finite pool of configurations: evaluate an
+// initial random batch, fit an ExtraTrees surrogate over the feature
+// vectors, then repeatedly evaluate the `batch_size` unevaluated
+// configurations the model predicts to perform best, retraining after
+// each batch.  Minimization throughout (values are execution times).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "surf/extratrees.hpp"
+
+namespace barracuda::surf {
+
+/// Objective: maps a pool index to its measured performance (lower is
+/// better).  In Barracuda this runs the performance model (or, on real
+/// hardware, times the generated code variant).
+using Objective = std::function<double(std::size_t)>;
+
+struct SearchOptions {
+  /// Total evaluation budget n_max.  The paper uses 100 for Lg3t.
+  std::size_t max_evaluations = 100;
+  /// Concurrent evaluations per iteration (bs in Algorithm 2).
+  std::size_t batch_size = 10;
+  std::uint64_t seed = 1;
+  ExtraTreesOptions model;
+};
+
+struct SearchResult {
+  std::size_t best_index = 0;
+  double best_value = 0;
+  /// Every (pool index, value) evaluated, in evaluation order.
+  std::vector<std::pair<std::size_t, double>> history;
+  /// Wall seconds spent inside the search.
+  double seconds = 0;
+  /// Feature importances of the final surrogate model (empty for
+  /// searches that fit no model).
+  std::vector<double> importances;
+
+  std::size_t evaluations() const { return history.size(); }
+  /// Best value seen within the first `n` evaluations (search-quality
+  /// curves for the ablation benches).
+  double best_after(std::size_t n) const;
+};
+
+/// Algorithm 2.  `features[i]` is the binarized encoding of pool entry i.
+SearchResult surf_search(const std::vector<std::vector<double>>& features,
+                         const Objective& evaluate,
+                         const SearchOptions& options = {});
+
+/// Uniform-random search baseline (no surrogate model), same budget.
+SearchResult random_search(std::size_t pool_size, const Objective& evaluate,
+                           const SearchOptions& options = {});
+
+/// Exhaustive sweep of the whole pool (ignores max_evaluations).
+SearchResult exhaustive_search(std::size_t pool_size,
+                               const Objective& evaluate);
+
+}  // namespace barracuda::surf

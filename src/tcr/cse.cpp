@@ -1,0 +1,78 @@
+#include "tcr/cse.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace barracuda::tcr {
+namespace {
+
+/// Canonical key of an operation after input renaming: output index
+/// tuple plus the sorted (commutative product) input references.
+std::string operation_key(const tensor::Contraction& op) {
+  std::vector<std::string> inputs;
+  for (const auto& in : op.inputs) inputs.push_back(in.to_string());
+  std::sort(inputs.begin(), inputs.end());
+  std::ostringstream os;
+  os << "(";
+  for (const auto& ix : op.output.indices) os << ix << " ";
+  os << ")=";
+  for (const auto& in : inputs) os << in << "*";
+  return os.str();
+}
+
+}  // namespace
+
+CseResult eliminate_common_subexpressions(const TcrProgram& program) {
+  program.validate();
+
+  // Temporaries written exactly once are safe CSE candidates.
+  std::map<std::string, int> write_count;
+  for (const auto& op : program.operations) ++write_count[op.output.name];
+
+  CseResult result;
+  result.program.name = program.name;
+  result.program.extents = program.extents;
+  result.program.outputs = program.outputs;
+
+  std::map<std::string, std::string> rename;  // dup temp -> canonical temp
+  std::map<std::string, std::string> seen;    // key -> canonical temp
+  for (const auto& original : program.operations) {
+    tensor::Contraction op = original;
+    for (auto& in : op.inputs) {
+      auto it = rename.find(in.name);
+      if (it != rename.end()) in.name = it->second;
+    }
+    const bool candidate = !program.is_output(op.output.name) &&
+                           write_count[op.output.name] == 1;
+    if (candidate) {
+      std::string key = operation_key(op);
+      auto it = seen.find(key);
+      if (it != seen.end()) {
+        rename[op.output.name] = it->second;
+        ++result.eliminated_ops;
+        result.saved_flops += tensor::flop_count(op, program.extents);
+        continue;
+      }
+      seen.emplace(std::move(key), op.output.name);
+    }
+    result.program.operations.push_back(std::move(op));
+  }
+
+  // Re-declare only the variables still referenced.
+  std::set<std::string> live;
+  for (const auto& op : result.program.operations) {
+    live.insert(op.output.name);
+    for (const auto& in : op.inputs) live.insert(in.name);
+  }
+  for (const auto& var : program.variables) {
+    if (live.contains(var.name)) result.program.variables.push_back(var);
+  }
+  result.program.validate();
+  return result;
+}
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,27 @@
+// Common-subexpression elimination across the operations of a TCR
+// program — the optimization of the TCE lineage the paper builds on
+// (Hartono et al., "Identifying cost-effective common subexpressions to
+// reduce operation count in tensor contraction evaluations").
+//
+// Two operations compute the same value when they have identical input
+// reference lists (up to commutativity of the product) and the same
+// output index tuple, and their outputs start from zero (temporaries).
+// The second computation is dropped and its uses redirected to the first.
+#pragma once
+
+#include "tcr/program.hpp"
+
+namespace barracuda::tcr {
+
+struct CseResult {
+  TcrProgram program;
+  /// Operations removed and flops saved relative to the input program.
+  std::size_t eliminated_ops = 0;
+  std::int64_t saved_flops = 0;
+};
+
+/// Apply CSE.  Only temporaries (written once, not the program output)
+/// are candidates; semantics are preserved exactly.
+CseResult eliminate_common_subexpressions(const TcrProgram& program);
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,364 @@
+#include "tcr/decision.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::tcr {
+namespace {
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+void push_unique(std::vector<std::string>& v, const std::string& s) {
+  if (!contains(v, s)) v.push_back(s);
+}
+
+/// All permutations of `items` when small, else just the canonical and
+/// reversed orders (keeps rank-6 kernels' spaces enumerable).
+std::vector<std::vector<std::string>> loop_orders(
+    std::vector<std::string> items, bool permute) {
+  std::vector<std::vector<std::string>> orders;
+  if (!permute || items.size() <= 1) {
+    orders.push_back(std::move(items));
+    return orders;
+  }
+  if (items.size() > 4) {
+    std::vector<std::string> reversed(items.rbegin(), items.rend());
+    orders.push_back(std::move(items));
+    orders.push_back(std::move(reversed));
+    return orders;
+  }
+  std::vector<std::string> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  do {
+    orders.push_back(sorted);
+  } while (std::next_permutation(sorted.begin(), sorted.end()));
+  return orders;
+}
+
+}  // namespace
+
+std::vector<std::string> KernelConfig::assigned_indices() const {
+  std::vector<std::string> out;
+  for (const auto& ix : {thread_x, thread_y, block_x, block_y}) {
+    if (ix != kUnused) out.push_back(ix);
+  }
+  return out;
+}
+
+std::string KernelConfig::to_string() const {
+  std::ostringstream os;
+  os << "cuda(block={" << block_x << "," << block_y << "},thread={"
+     << thread_x << "," << thread_y << "}) seq=[" << join(sequential, ",")
+     << "] unroll=" << unroll
+     << (scalar_replacement ? " registers(out)" : "");
+  if (!shared_tensors.empty()) {
+    os << " shared(" << join(shared_tensors, ",") << ")";
+  }
+  return os.str();
+}
+
+std::int64_t ref_footprint_elements(const LoopNest& nest,
+                                    const tensor::TensorRef& ref) {
+  std::int64_t elems = 1;
+  for (const auto& ix : ref.indices) elems *= nest.extent_of(ix);
+  return elems;
+}
+
+std::string KernelSpace::to_string() const {
+  std::ostringstream os;
+  os << "param TX[] = [" << join(thread_x, ",") << "];\n";
+  os << "param TY[] = [" << join(thread_y, ",") << "];\n";
+  os << "param BX[] = [" << join(block_x, ",") << "];\n";
+  os << "param BY[] = [" << join(block_y, ",") << "];\n";
+  os << "param UF[] = [";
+  for (std::size_t i = 0; i < unroll_factors.size(); ++i) {
+    if (i) os << ",";
+    os << unroll_factors[i];
+  }
+  os << "];\n";
+  return os.str();
+}
+
+KernelSpace derive_space(const LoopNest& nest,
+                         const DecisionOptions& options) {
+  KernelSpace space;
+  space.permute_sequential = options.permute_sequential;
+  const std::vector<std::string> parallel = nest.parallel_indices();
+
+  // Degenerate scalar-output operations (full reductions) have no
+  // parallel loop to put on the grid: they run as a single-thread kernel
+  // with every loop sequential.  Rare, but OCTOPI variants can contain
+  // scalar intermediates.
+  if (parallel.empty()) {
+    space.thread_x = {kUnused};
+    space.thread_y = {kUnused};
+    space.block_x = {kUnused};
+    space.block_y = {kUnused};
+    std::int64_t max_extent = 1;
+    for (const auto& loop : nest.loops) {
+      max_extent = std::max(max_extent, loop.extent);
+    }
+    int hi = static_cast<int>(
+        std::min<std::int64_t>(options.max_unroll, max_extent));
+    for (int f = 1; f <= hi; ++f) space.unroll_factors.push_back(f);
+    return space;
+  }
+
+  // ThreadX: parallel loops such that adjacent threads touch adjacent
+  // elements of some input tensor — i.e. the loop index occupies the
+  // fastest-varying (last) dimension of an input reference.
+  if (options.coalescing_aware) {
+    for (const auto& in : nest.stmt.inputs) {
+      if (in.indices.empty()) continue;
+      const std::string& last = in.indices.back();
+      if (nest.is_parallel(last)) push_unique(space.thread_x, last);
+    }
+    // The accumulated output is read-modified-written, so its fastest
+    // dimension coalesces too.
+    if (!nest.stmt.output.indices.empty()) {
+      const std::string& last = nest.stmt.output.indices.back();
+      if (nest.is_parallel(last)) push_unique(space.thread_x, last);
+    }
+    // Degenerate nests (no coalescible parallel index) fall back on every
+    // parallel loop so the kernel still has a ThreadX choice.
+    if (space.thread_x.empty()) space.thread_x = parallel;
+  } else {
+    space.thread_x = parallel;
+  }
+
+  // Pool for ThreadY/BlockX/BlockY: parallel indices of contiguous
+  // tensors from innermost to outermost; if that yields fewer than four,
+  // continue with the non-contiguous tensors from outermost to innermost.
+  std::vector<std::string> pool;
+  for (const auto& ref : contiguous_refs(nest)) {
+    for (auto it = ref.indices.rbegin(); it != ref.indices.rend(); ++it) {
+      if (nest.is_parallel(*it)) push_unique(pool, *it);
+    }
+  }
+  if (pool.size() < 4) {
+    for (const auto& ref : noncontiguous_refs(nest)) {
+      for (const auto& ix : ref.indices) {
+        if (nest.is_parallel(ix)) push_unique(pool, ix);
+      }
+    }
+  }
+  if (pool.empty()) pool = parallel;
+
+  space.thread_y = pool;
+  push_unique(space.thread_y, kUnused);
+  space.block_x = pool;
+  // BlockX may also degenerate to unused (a single-block launch with the
+  // leftover parallel loops sequential inside the threads); without this
+  // the space collapses when ThreadX/ThreadY consume the whole pool.
+  push_unique(space.block_x, kUnused);
+  space.block_y = pool;
+  push_unique(space.block_y, kUnused);
+
+  // Shared-memory staging candidates: inputs small enough to stage whole
+  // and reused across a block's threads (some parallel loop index is
+  // absent from the reference, so distinct threads touch the same data).
+  if (options.use_shared_memory) {
+    for (const auto& in : nest.stmt.inputs) {
+      if (contains(space.shared_candidates, in.name)) continue;
+      std::int64_t bytes = ref_footprint_elements(nest, in) * 8;
+      if (bytes > options.shared_memory_bytes) continue;
+      bool reused = std::any_of(
+          parallel.begin(), parallel.end(), [&](const std::string& ix) {
+            return !contains(in.indices, ix);
+          });
+      if (reused && space.shared_candidates.size() < 3) {
+        space.shared_candidates.push_back(in.name);
+      }
+    }
+  }
+
+  // Unroll factors 1..min(max_unroll, largest loop extent).
+  std::int64_t max_extent = 1;
+  for (const auto& loop : nest.loops) {
+    max_extent = std::max(max_extent, loop.extent);
+  }
+  int hi = static_cast<int>(
+      std::min<std::int64_t>(options.max_unroll, max_extent));
+  for (int f = 1; f <= hi; ++f) space.unroll_factors.push_back(f);
+  return space;
+}
+
+namespace {
+
+/// Invoke `fn(config)` for every valid configuration.
+template <typename Fn>
+void for_each_config(const LoopNest& nest, const KernelSpace& space,
+                     Fn&& fn) {
+  for (const auto& tx : space.thread_x) {
+    for (const auto& ty : space.thread_y) {
+      if (ty != kUnused && ty == tx) continue;
+      for (const auto& bx : space.block_x) {
+        if (bx != kUnused && (bx == tx || bx == ty)) continue;
+        for (const auto& by : space.block_y) {
+          if (by != kUnused && (by == tx || by == ty || by == bx)) continue;
+          std::vector<std::string> assigned;
+          for (const auto& ix : {tx, ty, bx, by}) {
+            if (ix != kUnused) assigned.push_back(ix);
+          }
+          std::vector<std::string> leftover;
+          for (const auto& loop : nest.loops) {
+            if (!contains(assigned, loop.index)) leftover.push_back(loop.index);
+          }
+          for (auto& order :
+               loop_orders(leftover, space.permute_sequential)) {
+            for (int uf : space.unroll_factors) {
+              // Unrolling targets the innermost sequential loop; skip
+              // factors exceeding its trip count (they alias lower ones).
+              if (!order.empty() &&
+                  uf > nest.extent_of(order.back())) {
+                continue;
+              }
+              if (order.empty() && uf != 1) continue;
+              KernelConfig cfg;
+              cfg.thread_x = tx;
+              cfg.thread_y = ty;
+              cfg.block_x = bx;
+              cfg.block_y = by;
+              cfg.sequential = order;
+              cfg.unroll = uf;
+              cfg.scalar_replacement = true;
+              // Every subset of the staging candidates (empty first).
+              const std::size_t subsets =
+                  std::size_t{1} << space.shared_candidates.size();
+              for (std::size_t mask = 0; mask < subsets; ++mask) {
+                cfg.shared_tensors.clear();
+                for (std::size_t c = 0; c < space.shared_candidates.size();
+                     ++c) {
+                  if (mask & (std::size_t{1} << c)) {
+                    cfg.shared_tensors.push_back(space.shared_candidates[c]);
+                  }
+                }
+                fn(cfg);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<KernelConfig> enumerate_configs(const LoopNest& nest,
+                                            const KernelSpace& space) {
+  std::vector<KernelConfig> out;
+  for_each_config(nest, space, [&](const KernelConfig& cfg) {
+    out.push_back(cfg);
+  });
+  return out;
+}
+
+std::int64_t space_size(const LoopNest& nest, const KernelSpace& space) {
+  std::int64_t n = 0;
+  for_each_config(nest, space, [&](const KernelConfig&) { ++n; });
+  return n;
+}
+
+KernelConfig optimized_openacc_config(const LoopNest& nest) {
+  KernelSpace space = derive_space(nest);
+  KernelConfig cfg;
+  // The Barracuda-derived decomposition: coalesce the output write when
+  // possible (the output is the dominant stream for these kernels),
+  // otherwise the first input-driven candidate; then fill ThreadY/BlockX/
+  // BlockY from the contiguity-ordered pool.
+  cfg.thread_x = space.thread_x.front();
+  if (!nest.stmt.output.indices.empty()) {
+    const std::string& out_last = nest.stmt.output.indices.back();
+    if (contains(space.thread_x, out_last)) cfg.thread_x = out_last;
+  }
+  auto next_from = [&](const std::vector<std::string>& pool,
+                       std::string& slot) {
+    for (const auto& ix : pool) {
+      if (ix == kUnused) continue;
+      if (ix == cfg.thread_x || ix == cfg.thread_y || ix == cfg.block_x ||
+          ix == cfg.block_y) {
+        continue;
+      }
+      slot = ix;
+      return;
+    }
+  };
+  next_from(space.thread_y, cfg.thread_y);
+  next_from(space.block_x, cfg.block_x);
+  next_from(space.block_y, cfg.block_y);
+  for (const auto& loop : nest.loops) {
+    if (loop.index != cfg.thread_x && loop.index != cfg.thread_y &&
+        loop.index != cfg.block_x && loop.index != cfg.block_y) {
+      cfg.sequential.push_back(loop.index);
+    }
+  }
+  cfg.unroll = 1;
+  cfg.scalar_replacement = true;  // "performs scalar replacement on the output"
+  validate_config(nest, cfg);
+  return cfg;
+}
+
+KernelConfig naive_openacc_config(const LoopNest& nest) {
+  const std::vector<std::string> parallel = nest.parallel_indices();
+  KernelConfig cfg;
+  if (!parallel.empty()) {
+    cfg.block_x = parallel.front();  // gang on the outermost parallel loop
+    if (parallel.size() > 1) cfg.thread_x = parallel[1];  // vector next
+  }
+  for (const auto& loop : nest.loops) {
+    if (loop.index != cfg.block_x && loop.index != cfg.thread_x) {
+      cfg.sequential.push_back(loop.index);
+    }
+  }
+  cfg.unroll = 1;
+  cfg.scalar_replacement = false;  // private() does not registerize
+  validate_config(nest, cfg);
+  return cfg;
+}
+
+void validate_config(const LoopNest& nest, const KernelConfig& config) {
+  std::set<std::string> seen;
+  for (const auto& ix : config.assigned_indices()) {
+    BARRACUDA_CHECK_MSG(nest.is_parallel(ix),
+                        "grid index " << ix << " is not a parallel loop");
+    BARRACUDA_CHECK_MSG(seen.insert(ix).second,
+                        "grid index " << ix << " assigned twice");
+  }
+  for (const auto& ix : config.sequential) {
+    BARRACUDA_CHECK_MSG(!seen.contains(ix),
+                        "loop " << ix << " both grid-mapped and sequential");
+    seen.insert(ix);
+  }
+  for (const auto& loop : nest.loops) {
+    BARRACUDA_CHECK_MSG(seen.contains(loop.index),
+                        "loop " << loop.index << " not covered by config");
+  }
+  BARRACUDA_CHECK(seen.size() == nest.loops.size());
+  BARRACUDA_CHECK(config.unroll >= 1);
+  std::set<std::string> shared_seen;
+  for (const auto& name : config.shared_tensors) {
+    bool is_input = std::any_of(
+        nest.stmt.inputs.begin(), nest.stmt.inputs.end(),
+        [&](const tensor::TensorRef& in) { return in.name == name; });
+    BARRACUDA_CHECK_MSG(is_input,
+                        "shared tensor " << name << " is not an input");
+    BARRACUDA_CHECK_MSG(shared_seen.insert(name).second,
+                        "shared tensor " << name << " listed twice");
+  }
+  if (!config.sequential.empty()) {
+    BARRACUDA_CHECK_MSG(
+        config.unroll <= nest.extent_of(config.sequential.back()),
+        "unroll factor exceeds innermost sequential trip count");
+  } else {
+    BARRACUDA_CHECK(config.unroll == 1);
+  }
+}
+
+}  // namespace barracuda::tcr

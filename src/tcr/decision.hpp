@@ -1,0 +1,121 @@
+// The GPU decision algorithm of Section IV: given a loop nest, derive the
+// autotuning search space — candidate thread/block decompositions chosen
+// for global-memory coalescing, sequential-loop permutations, and unroll
+// factors — plus the fixed OpenACC-style mapping strategies used as
+// baselines in Section VI.B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcr/loopnest.hpp"
+
+namespace barracuda::tcr {
+
+/// Sentinel meaning "this grid dimension is unused" (extent 1), matching
+/// the '1' entries of the paper's PERMUTE parameter lists.
+inline const std::string kUnused = "1";
+
+/// One point of the per-kernel search space: a complete mapping decision.
+struct KernelConfig {
+  std::string thread_x = kUnused;
+  std::string thread_y = kUnused;
+  std::string block_x = kUnused;
+  std::string block_y = kUnused;
+  /// Remaining loops, outermost-first, executed sequentially inside each
+  /// thread.  Reduction loops always appear here.
+  std::vector<std::string> sequential;
+  /// Unroll factor applied to the innermost sequential loop (1 = none).
+  int unroll = 1;
+  /// Keep the output element in a register across the reduction and write
+  /// it back once (Section IV: always applied by Barracuda; the naive
+  /// OpenACC baseline lacks it).
+  bool scalar_replacement = true;
+  /// Input tensors staged whole into shared memory by a cooperative
+  /// per-block load (the "data placement in different levels of the
+  /// memory hierarchy" of Khan's algorithm, which the paper's simplified
+  /// space omits; opt-in via DecisionOptions::use_shared_memory).
+  std::vector<std::string> shared_tensors;
+
+  bool operator==(const KernelConfig&) const = default;
+  std::string to_string() const;
+
+  /// Grid indices actually assigned (excludes kUnused entries).
+  std::vector<std::string> assigned_indices() const;
+};
+
+/// The Orio-style parameter lists the decision algorithm produces for one
+/// kernel (Figure 2(c)): candidates for each PERMUTE parameter plus the
+/// unroll factor domain.
+struct KernelSpace {
+  std::vector<std::string> thread_x;  // coalescing-driven candidates
+  std::vector<std::string> thread_y;  // includes kUnused
+  std::vector<std::string> block_x;
+  std::vector<std::string> block_y;   // includes kUnused
+  std::vector<int> unroll_factors;
+  /// Input tensors eligible for shared-memory staging (small footprint,
+  /// reused across the threads of a block).  Each doubles the space
+  /// (staged or not).
+  std::vector<std::string> shared_candidates;
+  /// Permute the sequential loops too ("the search space also consists of
+  /// different loop orders").
+  bool permute_sequential = true;
+
+  std::string to_string() const;
+};
+
+struct DecisionOptions {
+  /// Cap on unroll factors considered ("relatively small because of the
+  /// small loop iteration counts").
+  int max_unroll = 10;
+  /// Enumerate sequential-loop permutations (ablation switch).
+  bool permute_sequential = true;
+  /// Choose ThreadX by the coalescing rule; when false every parallel
+  /// index is a ThreadX candidate (the "coalescing-blind" ablation).
+  bool coalescing_aware = true;
+  /// Include shared-memory staging decisions in the space.  Off by
+  /// default: the paper's space is a simplification of Khan's algorithm
+  /// without this placement axis; turning it on is this reproduction's
+  /// faithful extension of that axis.
+  bool use_shared_memory = false;
+  /// Shared-memory capacity assumed when selecting staging candidates.
+  std::int64_t shared_memory_bytes = 48 * 1024;
+};
+
+/// The extents (in elements) of a tensor reference under a loop nest;
+/// used for shared-memory footprint checks.
+std::int64_t ref_footprint_elements(const LoopNest& nest,
+                                    const tensor::TensorRef& ref);
+
+/// Run the Section IV decision algorithm on one loop nest.
+KernelSpace derive_space(const LoopNest& nest,
+                         const DecisionOptions& options = {});
+
+/// Enumerate every valid configuration of `space` for `nest`: distinct
+/// grid indices, all leftover loops sequential (reduction loops included),
+/// every sequential permutation (when enabled) and every unroll factor.
+/// Permutation fan-out is capped at seq-loop counts <= 4 (24 orders);
+/// beyond that only the canonical and fully-reversed orders are emitted.
+std::vector<KernelConfig> enumerate_configs(const LoopNest& nest,
+                                            const KernelSpace& space);
+
+/// |enumerate_configs| without materializing it.
+std::int64_t space_size(const LoopNest& nest, const KernelSpace& space);
+
+/// The Barracuda-derived single best-guess mapping used for the
+/// "Optimized OpenACC" baseline: coalescing-aware ThreadX, first block
+/// candidate, scalar replacement, no autotuned permutation or unrolling.
+KernelConfig optimized_openacc_config(const LoopNest& nest);
+
+/// The "Naive OpenACC" baseline: parallelization directives with no
+/// decomposition guidance — outermost parallel loop to blocks, innermost
+/// (in program order) parallel loop to threads, no scalar replacement.
+KernelConfig naive_openacc_config(const LoopNest& nest);
+
+/// Validate `config` against `nest` (grid indices are parallel loops, all
+/// loops covered exactly once, reduction loops sequential, unroll >= 1).
+/// Throws on violation.
+void validate_config(const LoopNest& nest, const KernelConfig& config);
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,188 @@
+#include "tcr/fusion.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace barracuda::tcr {
+namespace {
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+std::string FusedGroup::to_string() const {
+  std::ostringstream os;
+  std::string indent;
+  for (const auto& loop : shared) {
+    os << indent << "for " << loop.index << " in [0," << loop.extent
+       << ")  // fused\n";
+    indent += "  ";
+  }
+  for (const auto& body : bodies) {
+    std::string inner = indent;
+    for (std::size_t d = shared.size(); d < body.loops.size(); ++d) {
+      os << inner << "for " << body.loops[d].index << " in [0,"
+         << body.loops[d].extent << ")\n";
+      inner += "  ";
+    }
+    os << inner << body.stmt.to_string() << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> fusible_indices(const LoopNest& producer,
+                                         const LoopNest& consumer) {
+  std::vector<std::string> out;
+  // Temporaries flowing producer -> consumer.
+  std::vector<const tensor::TensorRef*> flows;
+  for (const auto& in : consumer.stmt.inputs) {
+    if (in.name == producer.stmt.output.name) flows.push_back(&in);
+  }
+  for (const auto& loop : producer.loops) {
+    const std::string& ix = loop.index;
+    if (!producer.is_parallel(ix) || !consumer.is_parallel(ix)) continue;
+    if (std::none_of(consumer.loops.begin(), consumer.loops.end(),
+                     [&](const Loop& l) { return l.index == ix; })) {
+      continue;
+    }
+    bool carried_by_all_flows = std::all_of(
+        flows.begin(), flows.end(), [&](const tensor::TensorRef* t) {
+          return contains(t->indices, ix);
+        });
+    if (carried_by_all_flows) out.push_back(ix);
+  }
+  return out;
+}
+
+LoopNest reorder_outer(const LoopNest& nest,
+                       const std::vector<std::string>& outer) {
+  LoopNest result;
+  result.stmt = nest.stmt;
+  for (const auto& ix : outer) {
+    auto it = std::find_if(nest.loops.begin(), nest.loops.end(),
+                           [&](const Loop& l) { return l.index == ix; });
+    BARRACUDA_CHECK_MSG(it != nest.loops.end(),
+                        "reorder_outer: no loop " << ix);
+    BARRACUDA_CHECK_MSG(nest.is_parallel(ix),
+                        "reorder_outer: " << ix << " is not parallel");
+    result.loops.push_back(*it);
+  }
+  for (const auto& loop : nest.loops) {
+    if (!contains(outer, loop.index)) result.loops.push_back(loop);
+  }
+  return result;
+}
+
+std::vector<FusedGroup> fuse_program(const TcrProgram& program) {
+  std::vector<LoopNest> nests = build_loop_nests(program);
+  std::vector<FusedGroup> groups;
+  for (const auto& nest : nests) {
+    if (!groups.empty()) {
+      FusedGroup& g = groups.back();
+      // Candidate shared indices: the current shared set intersected with
+      // what is fusible against every member of the group (data flows are
+      // producer->consumer from each member to the new nest).
+      std::vector<std::string> shared;
+      for (const auto& loop : g.shared) {
+        bool ok = std::all_of(
+            g.bodies.begin(), g.bodies.end(), [&](const LoopNest& body) {
+              auto f = fusible_indices(body, nest);
+              return contains(f, loop.index);
+            });
+        if (ok) shared.push_back(loop.index);
+      }
+      if (!shared.empty()) {
+        if (shared.size() != g.shared.size()) {
+          // Shrink the group's shared prefix to the surviving indices.
+          std::vector<Loop> kept;
+          for (const auto& loop : g.shared) {
+            if (contains(shared, loop.index)) kept.push_back(loop);
+          }
+          g.shared = kept;
+          for (auto& body : g.bodies) body = reorder_outer(body, shared);
+        }
+        g.bodies.push_back(reorder_outer(nest, shared));
+        continue;
+      }
+    }
+    // Start a new group seeded with this nest's parallel loops as the
+    // (maximal) tentative shared set; it shrinks as members join.
+    FusedGroup g;
+    for (const auto& ix : nest.parallel_indices()) {
+      g.shared.push_back(Loop{ix, nest.extent_of(ix)});
+    }
+    g.bodies.push_back(
+        reorder_outer(nest, [&] {
+          std::vector<std::string> idx;
+          for (const auto& l : g.shared) idx.push_back(l.index);
+          return idx;
+        }()));
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::int64_t unfused_temp_elements(const TcrProgram& program) {
+  std::int64_t total = 0;
+  std::set<std::string> counted;
+  for (const auto& op : program.operations) {
+    const std::string& name = op.output.name;
+    if (program.is_output(name) || counted.contains(name)) continue;
+    counted.insert(name);
+    total += tensor::shape_of(op.output, program.extents).size();
+  }
+  return total;
+}
+
+std::int64_t fused_temp_elements(const TcrProgram& program,
+                                 const std::vector<FusedGroup>& groups) {
+  std::int64_t total = 0;
+  for (const auto& g : groups) {
+    std::set<std::string> fused_idx;
+    for (const auto& loop : g.shared) fused_idx.insert(loop.index);
+    // Temporaries both written and read inside this group shrink to the
+    // slice not indexed by the fused loops.
+    std::set<std::string> written;
+    for (const auto& body : g.bodies) {
+      for (const auto& in : body.stmt.inputs) {
+        if (!written.contains(in.name)) continue;
+        std::int64_t slice = 1;
+        for (const auto& ix : in.indices) {
+          if (!fused_idx.contains(ix)) slice *= program.extents.at(ix);
+        }
+        total += slice;
+      }
+      if (!program.is_output(body.stmt.output.name)) {
+        written.insert(body.stmt.output.name);
+      }
+    }
+    // Temporaries escaping the group still materialize fully.
+    for (const auto& name : written) {
+      bool consumed_later = false;
+      for (const auto& other : groups) {
+        if (&other == &g) continue;
+        for (const auto& body : other.bodies) {
+          for (const auto& in : body.stmt.inputs) {
+            consumed_later |= (in.name == name);
+          }
+        }
+      }
+      if (consumed_later) {
+        for (const auto& op : program.operations) {
+          if (op.output.name == name) {
+            total += tensor::shape_of(op.output, program.extents).size();
+            break;
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace barracuda::tcr

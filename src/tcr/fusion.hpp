@@ -1,0 +1,55 @@
+// Loop fusion across the operations of a TCR program (Section III).
+//
+// After strength reduction, consecutive operations often share outer
+// parallel loops; fusing them shrinks the live range of temporaries from a
+// whole tensor to a slice, improving memory behaviour.  Fusing loop `i` of
+// a producer and consumer is legal when every temporary flowing between
+// them carries `i`, so each fused iteration produces exactly the slice the
+// consumer reads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/loopnest.hpp"
+
+namespace barracuda::tcr {
+
+/// A maximal run of operations fused at `shared` outer loops.  Each body
+/// nest has been reordered so the shared loops are its outermost loops, in
+/// the common order.
+struct FusedGroup {
+  std::vector<Loop> shared;       // fused outer loops, outermost-first
+  std::vector<LoopNest> bodies;   // one per operation, shared prefix first
+
+  std::string to_string() const;
+};
+
+/// Indices along which `producer` and `consumer` may legally fuse: parallel
+/// in both, and contained in every temporary written by the producer chain
+/// and read by the consumer.
+std::vector<std::string> fusible_indices(const LoopNest& producer,
+                                         const LoopNest& consumer);
+
+/// Reorder `nest` so `outer` (a subset of its loop indices) comes first in
+/// the given order; the remaining loops keep their relative order.
+/// Legal for any permutation of parallel loops (and of reduction loops
+/// relative to each other), which is all this module performs.
+LoopNest reorder_outer(const LoopNest& nest,
+                       const std::vector<std::string>& outer);
+
+/// Greedy maximal fusion over the program's operation sequence: extend the
+/// current group while the next operation shares a non-empty fusible
+/// prefix with *every* member, otherwise start a new group.
+std::vector<FusedGroup> fuse_program(const TcrProgram& program);
+
+/// Total temporary-tensor footprint (elements) if the program runs
+/// unfused: each temporary materializes wholly.
+std::int64_t unfused_temp_elements(const TcrProgram& program);
+
+/// Temporary footprint with `groups` fused: a temporary produced and
+/// consumed inside one group only materializes its per-iteration slice.
+std::int64_t fused_temp_elements(const TcrProgram& program,
+                                 const std::vector<FusedGroup>& groups);
+
+}  // namespace barracuda::tcr

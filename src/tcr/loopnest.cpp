@@ -1,0 +1,108 @@
+#include "tcr/loopnest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace barracuda::tcr {
+
+std::vector<std::string> LoopNest::parallel_indices() const {
+  std::vector<std::string> out;
+  for (const auto& loop : loops) {
+    if (is_parallel(loop.index)) out.push_back(loop.index);
+  }
+  return out;
+}
+
+std::vector<std::string> LoopNest::reduction_indices() const {
+  std::vector<std::string> out;
+  for (const auto& loop : loops) {
+    if (!is_parallel(loop.index)) out.push_back(loop.index);
+  }
+  return out;
+}
+
+bool LoopNest::is_parallel(const std::string& index) const {
+  const auto& lhs = stmt.output.indices;
+  return std::find(lhs.begin(), lhs.end(), index) != lhs.end();
+}
+
+std::int64_t LoopNest::extent_of(const std::string& index) const {
+  for (const auto& loop : loops) {
+    if (loop.index == index) return loop.extent;
+  }
+  throw InternalError("loop nest has no loop for index " + index);
+}
+
+std::string LoopNest::to_string() const {
+  std::ostringstream os;
+  std::string indent;
+  for (const auto& loop : loops) {
+    os << indent << "for " << loop.index << " in [0," << loop.extent << ")"
+       << (is_parallel(loop.index) ? "  // parallel" : "  // reduction")
+       << "\n";
+    indent += "  ";
+  }
+  os << indent << stmt.to_string() << "\n";
+  return os.str();
+}
+
+std::vector<LoopNest> build_loop_nests(const TcrProgram& program) {
+  program.validate();
+  std::vector<LoopNest> nests;
+  nests.reserve(program.operations.size());
+  for (const auto& op : program.operations) {
+    LoopNest nest;
+    nest.stmt = op;
+    for (const auto& ix : op.output.indices) {
+      nest.loops.push_back(Loop{ix, program.extents.at(ix)});
+    }
+    for (const auto& ix : op.summed_indices()) {
+      nest.loops.push_back(Loop{ix, program.extents.at(ix)});
+    }
+    nests.push_back(std::move(nest));
+  }
+  return nests;
+}
+
+bool is_contiguous(const tensor::TensorRef& ref,
+                   const std::vector<Loop>& loops) {
+  // Position of each of the reference's indices in the loop order; the
+  // reference is contiguous iff these positions are strictly increasing
+  // (every index must be a loop index).
+  std::int64_t prev = -1;
+  for (const auto& ix : ref.indices) {
+    auto it = std::find_if(loops.begin(), loops.end(),
+                           [&](const Loop& l) { return l.index == ix; });
+    if (it == loops.end()) return false;
+    std::int64_t pos = it - loops.begin();
+    if (pos <= prev) return false;
+    prev = pos;
+  }
+  return true;
+}
+
+std::vector<tensor::TensorRef> contiguous_refs(const LoopNest& nest) {
+  std::vector<tensor::TensorRef> out;
+  if (is_contiguous(nest.stmt.output, nest.loops)) {
+    out.push_back(nest.stmt.output);
+  }
+  for (const auto& in : nest.stmt.inputs) {
+    if (is_contiguous(in, nest.loops)) out.push_back(in);
+  }
+  return out;
+}
+
+std::vector<tensor::TensorRef> noncontiguous_refs(const LoopNest& nest) {
+  std::vector<tensor::TensorRef> out;
+  if (!is_contiguous(nest.stmt.output, nest.loops)) {
+    out.push_back(nest.stmt.output);
+  }
+  for (const auto& in : nest.stmt.inputs) {
+    if (!is_contiguous(in, nest.loops)) out.push_back(in);
+  }
+  return out;
+}
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,59 @@
+// Loop nests generated from TCR operations, plus the tensor-specialized
+// analyses of Section IV: dependence (parallel vs. reduction loops) and
+// the "contiguous tensor" memory-order analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcr/program.hpp"
+
+namespace barracuda::tcr {
+
+/// One loop of a nest: an index with its (constant) trip count.
+struct Loop {
+  std::string index;
+  std::int64_t extent = 0;
+
+  bool operator==(const Loop&) const = default;
+};
+
+/// A perfect loop nest evaluating one contraction operation.  `loops` is
+/// ordered outermost-first; the default order is output indices (in output
+/// layout order) followed by reduction indices.
+struct LoopNest {
+  std::vector<Loop> loops;
+  tensor::Contraction stmt;
+
+  /// Loop indices carrying no dependence: those present on the LHS.
+  /// (Section IV: "Dependences can be carried only by loops with indices
+  /// present in the right-hand side but not in the left-hand side.")
+  std::vector<std::string> parallel_indices() const;
+  /// Loop indices carrying the reduction (RHS-only).
+  std::vector<std::string> reduction_indices() const;
+  bool is_parallel(const std::string& index) const;
+
+  std::int64_t extent_of(const std::string& index) const;
+
+  /// Render as C-like pseudocode (for tests, docs and debugging).
+  std::string to_string() const;
+};
+
+/// Build the default loop nest for every operation of a TCR program.
+std::vector<LoopNest> build_loop_nests(const TcrProgram& program);
+
+/// A tensor reference is *contiguous* under a loop order if its indices,
+/// read left-to-right (slowest to fastest dimension, row-major), appear in
+/// the same relative order as the loops — i.e. the innermost loops touch
+/// the fastest-varying dimensions, so consecutive iterations access
+/// consecutive memory.
+bool is_contiguous(const tensor::TensorRef& ref,
+                   const std::vector<Loop>& loops);
+
+/// References (output first, then inputs) that are contiguous in `nest`.
+std::vector<tensor::TensorRef> contiguous_refs(const LoopNest& nest);
+/// References that are not contiguous in `nest`.
+std::vector<tensor::TensorRef> noncontiguous_refs(const LoopNest& nest);
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,340 @@
+#include "tcr/program.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::tcr {
+namespace {
+
+std::string upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+}  // namespace
+
+const TcrVariable& TcrProgram::variable(const std::string& name) const {
+  for (const auto& v : variables) {
+    if (v.name == name) return v;
+  }
+  throw InternalError("undeclared TCR variable: " + name);
+}
+
+bool TcrProgram::has_variable(const std::string& name) const {
+  return std::any_of(variables.begin(), variables.end(),
+                     [&](const TcrVariable& v) { return v.name == name; });
+}
+
+std::vector<std::string> TcrProgram::written_names() const {
+  std::vector<std::string> out;
+  for (const auto& op : operations) {
+    if (std::find(out.begin(), out.end(), op.output.name) == out.end()) {
+      out.push_back(op.output.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TcrProgram::input_names() const {
+  std::set<std::string> written;
+  std::vector<std::string> inputs;
+  for (const auto& op : operations) {
+    for (const auto& in : op.inputs) {
+      if (!written.contains(in.name) &&
+          std::find(inputs.begin(), inputs.end(), in.name) == inputs.end()) {
+        inputs.push_back(in.name);
+      }
+    }
+    written.insert(op.output.name);
+  }
+  return inputs;
+}
+
+const std::string& TcrProgram::output_name() const {
+  BARRACUDA_CHECK(!operations.empty());
+  return operations.back().output.name;
+}
+
+std::vector<std::string> TcrProgram::output_names() const {
+  if (!outputs.empty()) return outputs;
+  return {output_name()};
+}
+
+bool TcrProgram::is_output(const std::string& name) const {
+  auto names = output_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::int64_t TcrProgram::flops() const {
+  std::int64_t total = 0;
+  for (const auto& op : operations) total += tensor::flop_count(op, extents);
+  return total;
+}
+
+void TcrProgram::validate() const {
+  BARRACUDA_CHECK_MSG(!operations.empty(), "TCR program has no operations");
+  for (const auto& v : variables) {
+    for (const auto& ix : v.indices) {
+      BARRACUDA_CHECK_MSG(extents.contains(ix),
+                          "variable " << v.name << " uses index " << ix
+                                      << " with no extent");
+    }
+  }
+  auto check_ref = [&](const tensor::TensorRef& ref) {
+    const TcrVariable& v = variable(ref.name);  // throws if undeclared
+    BARRACUDA_CHECK_MSG(v.indices.size() == ref.indices.size(),
+                        "rank mismatch for " << ref.name);
+    for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+      const auto& ix = ref.indices[d];
+      BARRACUDA_CHECK_MSG(extents.contains(ix),
+                          "reference to " << ref.name << " uses index " << ix
+                                          << " with no extent");
+      // A tensor may be referenced under different index names than its
+      // declaration (e.g. the same derivative matrix contracted along
+      // different modes), but the per-dimension extents must agree.
+      BARRACUDA_CHECK_MSG(
+          extents.at(ix) == extents.at(v.indices[d]),
+          "extent mismatch in dimension " << d << " of " << ref.name);
+    }
+  };
+  for (const auto& op : operations) {
+    check_ref(op.output);
+    BARRACUDA_CHECK_MSG(!op.inputs.empty(),
+                        "operation with no inputs: " << op.to_string());
+    for (const auto& in : op.inputs) check_ref(in);
+  }
+  auto written = written_names();
+  for (const auto& out : outputs) {
+    BARRACUDA_CHECK_MSG(
+        std::find(written.begin(), written.end(), out) != written.end(),
+        "declared output " << out << " is never written");
+  }
+}
+
+std::string TcrProgram::to_string() const {
+  std::ostringstream os;
+  os << name << "\n";
+  os << "access: linearize\n";
+  os << "define:\n";
+  // Group indices by extent so the line reads like the paper's
+  // "N = J = M = I = L = K = 10".
+  std::map<std::int64_t, std::vector<std::string>> by_extent;
+  for (const auto& [ix, extent] : extents) {
+    by_extent[extent].push_back(upper(ix));
+  }
+  for (const auto& [extent, names] : by_extent) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      os << names[i] << " = ";
+    }
+    os << extent << "\n";
+  }
+  os << "variables:\n";
+  for (const auto& v : variables) {
+    os << v.name << ":(";
+    for (std::size_t i = 0; i < v.indices.size(); ++i) {
+      if (i) os << ",";
+      os << upper(v.indices[i]);
+    }
+    os << ")\n";
+  }
+  os << "operations:\n";
+  for (const auto& op : operations) {
+    os << op.output.name << ":(" << join(op.output.indices, ",") << ")"
+       << (op.accumulate ? " += " : " = ");
+    for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+      if (i) os << "*";
+      os << op.inputs[i].name << ":(" << join(op.inputs[i].indices, ",")
+         << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+TcrProgram from_variant(const octopi::Variant& variant,
+                        const tensor::Extents& extents,
+                        const std::string& name) {
+  TcrProgram p;
+  p.name = name;
+  p.operations = variant.program.steps;
+  BARRACUDA_CHECK_MSG(!p.operations.empty(), "empty OCTOPI variant");
+
+  // Collect the extents actually used, requiring each to be known.
+  for (const auto& op : p.operations) {
+    for (const auto& ix : op.all_indices()) {
+      auto it = extents.find(ix);
+      BARRACUDA_CHECK_MSG(it != extents.end(),
+                          "no extent for index " << ix);
+      p.extents[ix] = it->second;
+    }
+  }
+
+  // Declare every referenced tensor once, inputs first (in first-use
+  // order), then temporaries/outputs in definition order.
+  auto declare = [&](const tensor::TensorRef& ref) {
+    if (!p.has_variable(ref.name)) {
+      p.variables.push_back(TcrVariable{ref.name, ref.indices});
+    }
+  };
+  std::set<std::string> written;
+  for (const auto& op : p.operations) {
+    for (const auto& in : op.inputs) {
+      if (!written.contains(in.name)) declare(in);
+    }
+    written.insert(op.output.name);
+  }
+  for (const auto& op : p.operations) declare(op.output);
+
+  p.validate();
+  return p;
+}
+
+namespace {
+
+/// Parse "name:(i,l,m)" into a TensorRef with lower-cased indices.
+tensor::TensorRef parse_shaped_ref(std::string_view text,
+                                   std::string_view source, int line) {
+  auto fail = [&](const std::string& msg) -> tensor::TensorRef {
+    throw ParseError(source, line, msg + ": " + std::string(text));
+  };
+  auto colon = text.find(':');
+  if (colon == std::string_view::npos) return fail("expected ':' in reference");
+  tensor::TensorRef ref;
+  ref.name = std::string(trim(text.substr(0, colon)));
+  if (ref.name.empty()) return fail("empty tensor name");
+  std::string_view rest = trim(text.substr(colon + 1));
+  if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
+    return fail("expected '(indices)'");
+  }
+  std::string_view inner = rest.substr(1, rest.size() - 2);
+  if (!trim(inner).empty()) {
+    for (const auto& part : split(inner, ',')) {
+      std::string ix = lower(std::string(trim(part)));
+      if (ix.empty()) return fail("empty index");
+      ref.indices.push_back(ix);
+    }
+  }
+  return ref;
+}
+
+}  // namespace
+
+TcrProgram parse_tcr(std::string_view text, std::string_view source_name) {
+  TcrProgram p;
+  enum class Section { kHeader, kDefine, kVariables, kOperations };
+  Section section = Section::kHeader;
+  bool saw_name = false;
+  int line_number = 0;
+
+  for (const auto& raw : split(text, '\n')) {
+    ++line_number;
+    std::string_view line = trim(raw);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    if (line == "define:") { section = Section::kDefine; continue; }
+    if (line == "variables:") { section = Section::kVariables; continue; }
+    if (line == "operations:") { section = Section::kOperations; continue; }
+    if (starts_with(line, "access:")) {
+      std::string_view mode = trim(line.substr(7));
+      if (mode != "linearize") {
+        throw ParseError(source_name, line_number,
+                         "unsupported access mode: " + std::string(mode));
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kHeader: {
+        if (saw_name) {
+          throw ParseError(source_name, line_number,
+                           "unexpected line before define:");
+        }
+        p.name = std::string(line);
+        saw_name = true;
+        break;
+      }
+      case Section::kDefine: {
+        // "N = J = M = I = L = K = 10": all names share the final value.
+        auto parts = split(line, '=');
+        if (parts.size() < 2) {
+          throw ParseError(source_name, line_number,
+                           "malformed define line");
+        }
+        std::int64_t extent = 0;
+        try {
+          extent = std::stoll(std::string(trim(parts.back())));
+        } catch (const std::exception&) {
+          throw ParseError(source_name, line_number,
+                           "define line does not end in an integer");
+        }
+        if (extent <= 0) {
+          throw ParseError(source_name, line_number,
+                           "extent must be positive");
+        }
+        for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+          std::string ix = lower(std::string(trim(parts[i])));
+          if (ix.empty()) {
+            throw ParseError(source_name, line_number, "empty dim name");
+          }
+          p.extents[ix] = extent;
+        }
+        break;
+      }
+      case Section::kVariables: {
+        tensor::TensorRef ref =
+            parse_shaped_ref(line, source_name, line_number);
+        p.variables.push_back(TcrVariable{ref.name, ref.indices});
+        break;
+      }
+      case Section::kOperations: {
+        bool accumulate = true;
+        auto pos = line.find("+=");
+        std::size_t op_len = 2;
+        if (pos == std::string_view::npos) {
+          pos = line.find('=');
+          op_len = 1;
+          accumulate = false;
+        }
+        if (pos == std::string_view::npos) {
+          throw ParseError(source_name, line_number,
+                           "operation missing '=' or '+='");
+        }
+        tensor::Contraction op;
+        op.accumulate = accumulate;
+        op.output = parse_shaped_ref(trim(line.substr(0, pos)), source_name,
+                                     line_number);
+        for (const auto& factor : split(line.substr(pos + op_len), '*')) {
+          op.inputs.push_back(
+              parse_shaped_ref(trim(factor), source_name, line_number));
+        }
+        p.operations.push_back(std::move(op));
+        break;
+      }
+    }
+  }
+
+  try {
+    p.validate();
+  } catch (const Error& e) {
+    throw ParseError(source_name, line_number, e.what());
+  }
+  return p;
+}
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,86 @@
+// TCR: the Tensor Contraction Representation of Figure 2(b).
+//
+// A TCR program is the unit of work handed from OCTOPI to the code
+// generator: named tensor variables with explicit shapes plus a straight
+// line of unary/binary contraction operations.  The text format mirrors
+// the paper:
+//
+//   ex
+//   access: linearize
+//   define:
+//   I = J = K = L = M = N = 10
+//   variables:
+//   A:(L,K)
+//   temp1:(I,L,M)
+//   operations:
+//   temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+//
+// Dimension symbols are the upper-cased loop index names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "octopi/enumerate.hpp"
+#include "tensor/einsum.hpp"
+
+namespace barracuda::tcr {
+
+/// A declared tensor variable: name plus the loop indices that give its
+/// shape (extent of each index comes from the program's extents).
+struct TcrVariable {
+  std::string name;
+  std::vector<std::string> indices;
+
+  bool operator==(const TcrVariable&) const = default;
+};
+
+/// One TCR program: a lowered OCTOPI variant ready for code generation.
+struct TcrProgram {
+  std::string name = "ex";
+  tensor::Extents extents;
+  std::vector<TcrVariable> variables;   // inputs, temporaries, outputs
+  std::vector<tensor::Contraction> operations;
+  /// User-visible output tensors.  Empty means "the final operation's
+  /// output" (the single-statement case); multi-statement programs list
+  /// every statement's output so code generation transfers all of them.
+  std::vector<std::string> outputs;
+
+  bool operator==(const TcrProgram&) const = default;
+
+  /// The variable declaration for `name`; throws if undeclared.
+  const TcrVariable& variable(const std::string& name) const;
+  bool has_variable(const std::string& name) const;
+
+  /// Names written by some operation but never declared as program inputs:
+  /// temporaries plus final outputs.
+  std::vector<std::string> written_names() const;
+  /// Names read before ever being written: the program's input tensors.
+  std::vector<std::string> input_names() const;
+  /// Output of the final operation.
+  const std::string& output_name() const;
+  /// All user-visible outputs (see `outputs`; falls back to the final
+  /// operation's output).
+  std::vector<std::string> output_names() const;
+  bool is_output(const std::string& name) const;
+
+  /// Total flops of all operations under the program extents.
+  std::int64_t flops() const;
+
+  /// Validate internal consistency (all refs declared, index extents known,
+  /// ref index lists match declarations).  Throws on violation.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+/// Lower an OCTOPI variant to TCR, declaring every referenced tensor.
+TcrProgram from_variant(const octopi::Variant& variant,
+                        const tensor::Extents& extents,
+                        const std::string& name = "ex");
+
+/// Parse the Figure 2(b) text format.  Throws barracuda::ParseError.
+TcrProgram parse_tcr(std::string_view text,
+                     std::string_view source_name = "<tcr>");
+
+}  // namespace barracuda::tcr

@@ -1,0 +1,152 @@
+#include "tensor/einsum.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/str.hpp"
+
+namespace barracuda::tensor {
+
+std::string TensorRef::to_string() const {
+  std::ostringstream os;
+  os << name << "[";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i) os << " ";
+    os << indices[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string Contraction::to_string() const {
+  std::ostringstream os;
+  os << output.to_string() << (accumulate ? " += " : " = ");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i) os << " * ";
+    os << inputs[i].to_string();
+  }
+  return os.str();
+}
+
+std::vector<std::string> Contraction::all_indices() const {
+  std::vector<std::string> order;
+  auto add = [&](const std::vector<std::string>& idxs) {
+    for (const auto& ix : idxs) {
+      if (std::find(order.begin(), order.end(), ix) == order.end()) {
+        order.push_back(ix);
+      }
+    }
+  };
+  add(output.indices);
+  for (const auto& in : inputs) add(in.indices);
+  return order;
+}
+
+std::vector<std::string> Contraction::summed_indices() const {
+  std::vector<std::string> out;
+  for (const auto& ix : all_indices()) {
+    if (std::find(output.indices.begin(), output.indices.end(), ix) ==
+        output.indices.end()) {
+      out.push_back(ix);
+    }
+  }
+  return out;
+}
+
+std::string ContractionProgram::to_string() const {
+  std::ostringstream os;
+  for (const auto& s : steps) os << s.to_string() << "\n";
+  return os.str();
+}
+
+Shape shape_of(const TensorRef& ref, const Extents& extents) {
+  std::vector<std::int64_t> dims;
+  dims.reserve(ref.indices.size());
+  for (const auto& ix : ref.indices) {
+    auto it = extents.find(ix);
+    BARRACUDA_CHECK_MSG(it != extents.end(), "missing extent for index " << ix);
+    dims.push_back(it->second);
+  }
+  return Shape(std::move(dims));
+}
+
+std::int64_t flop_count(const Contraction& c, const Extents& extents) {
+  std::int64_t points = 1;
+  for (const auto& ix : c.all_indices()) {
+    auto it = extents.find(ix);
+    BARRACUDA_CHECK_MSG(it != extents.end(), "missing extent for index " << ix);
+    points *= it->second;
+  }
+  // Each iteration-space point performs (k-1) multiplies and 1 add for a
+  // k-ary product, i.e. k flops per point (the usual 2 flops/point for the
+  // binary contractions OCTOPI emits); a single-input accumulate is 1 add.
+  std::int64_t k = static_cast<std::int64_t>(c.inputs.size());
+  return points * std::max<std::int64_t>(k, 1);
+}
+
+std::int64_t flop_count(const ContractionProgram& p, const Extents& extents) {
+  std::int64_t total = 0;
+  for (const auto& s : p.steps) total += flop_count(s, extents);
+  return total;
+}
+
+void evaluate(const Contraction& c, const Extents& extents, TensorEnv& env) {
+  const Shape out_shape = shape_of(c.output, extents);
+  auto [it, inserted] = env.try_emplace(c.output.name, Tensor(out_shape));
+  Tensor& out = it->second;
+  if (!inserted) {
+    BARRACUDA_CHECK_MSG(out.shape() == out_shape,
+                        "shape mismatch for output " << c.output.name);
+    if (!c.accumulate) out.fill(0.0);
+  }
+
+  const std::vector<std::string> order = c.all_indices();
+  std::vector<std::int64_t> space;
+  space.reserve(order.size());
+  for (const auto& ix : order) space.push_back(extents.at(ix));
+
+  // Pre-resolve, for every operand, the position in `order` of each of its
+  // indices so the inner loop is a cheap gather.
+  auto positions = [&](const TensorRef& ref) {
+    std::vector<std::size_t> pos;
+    pos.reserve(ref.indices.size());
+    for (const auto& ix : ref.indices) {
+      auto p = std::find(order.begin(), order.end(), ix);
+      pos.push_back(static_cast<std::size_t>(p - order.begin()));
+    }
+    return pos;
+  };
+  const std::vector<std::size_t> out_pos = positions(c.output);
+  std::vector<const Tensor*> in_tensors;
+  std::vector<std::vector<std::size_t>> in_pos;
+  for (const auto& in : c.inputs) {
+    auto jt = env.find(in.name);
+    BARRACUDA_CHECK_MSG(jt != env.end(), "undefined input tensor " << in.name);
+    BARRACUDA_CHECK_MSG(jt->second.shape() == shape_of(in, extents),
+                        "shape mismatch for input " << in.name);
+    in_tensors.push_back(&jt->second);
+    in_pos.push_back(positions(in));
+  }
+
+  std::vector<std::int64_t> sub;
+  for_each_index(space, [&](const std::vector<std::int64_t>& idx) {
+    double prod = 1.0;
+    for (std::size_t t = 0; t < in_tensors.size(); ++t) {
+      sub.clear();
+      for (auto p : in_pos[t]) sub.push_back(idx[p]);
+      prod *= in_tensors[t]->at(sub);
+    }
+    sub.clear();
+    for (auto p : out_pos) sub.push_back(idx[p]);
+    out.at(sub) += prod;
+  });
+}
+
+const Tensor& evaluate(const ContractionProgram& p, const Extents& extents,
+                       TensorEnv& env) {
+  BARRACUDA_CHECK(!p.steps.empty());
+  for (const auto& s : p.steps) evaluate(s, extents, env);
+  return env.at(p.steps.back().output.name);
+}
+
+}  // namespace barracuda::tensor

@@ -1,0 +1,82 @@
+// Abstract einsum contraction statements and a naive reference evaluator.
+//
+// This is the semantic ground truth of the whole system: OCTOPI variants,
+// CHiLL-transformed kernels and vGPU executions are all validated against
+// the evaluator in this module.  Indices follow the paper's convention:
+// any index appearing on the right-hand side but not in the output is
+// implicitly summed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace barracuda::tensor {
+
+/// A named tensor with symbolic indices, e.g. A[l k] or t3[h3 h2 h1 p6 p5 p4].
+struct TensorRef {
+  std::string name;
+  std::vector<std::string> indices;
+
+  bool operator==(const TensorRef&) const = default;
+  std::string to_string() const;
+};
+
+/// One contraction statement: output (+)= product(inputs), summing every
+/// index not present in the output.
+struct Contraction {
+  TensorRef output;
+  std::vector<TensorRef> inputs;
+  bool accumulate = true;  // += when true, = when false
+
+  bool operator==(const Contraction&) const = default;
+  std::string to_string() const;
+
+  /// Indices appearing anywhere in the statement, in first-use order.
+  std::vector<std::string> all_indices() const;
+  /// Indices summed over (on some input but not the output).
+  std::vector<std::string> summed_indices() const;
+};
+
+/// Extent of each symbolic index, e.g. {i:10, j:10, k:10, l:10, m:10, n:10}.
+using Extents = std::map<std::string, std::int64_t>;
+
+/// A straight-line sequence of contractions writing temporaries then the
+/// final output(s) — the shape of an OCTOPI variant.
+struct ContractionProgram {
+  std::vector<Contraction> steps;
+
+  bool operator==(const ContractionProgram&) const = default;
+  std::string to_string() const;
+};
+
+/// Shape of a tensor reference under the given extents.
+Shape shape_of(const TensorRef& ref, const Extents& extents);
+
+/// Multiply-add count of one statement: 1 fused multiply + adds per input
+/// product term over the full (free x summed) iteration space, counted as
+/// 2*|inputs-1|... the paper counts a k-ary product accumulate as
+/// (k multiplies-1 + 1 add) flops per point; we use the standard
+/// 2*points*(k-1)+... — concretely: points * (2*(k-1)) for k>=2 and
+/// points * 2 for k==1 (multiply + accumulate).
+std::int64_t flop_count(const Contraction& c, const Extents& extents);
+std::int64_t flop_count(const ContractionProgram& p, const Extents& extents);
+
+/// Environment mapping tensor names to values.
+using TensorEnv = std::map<std::string, Tensor>;
+
+/// Evaluate one statement naively against `env`; the output tensor must
+/// already exist in `env` when accumulate==true (it is created/zeroed when
+/// accumulate==false or absent).
+void evaluate(const Contraction& c, const Extents& extents, TensorEnv& env);
+
+/// Evaluate a whole program; temporaries referenced before definition are
+/// created as zeros.  Returns a reference to the final statement's output.
+const Tensor& evaluate(const ContractionProgram& p, const Extents& extents,
+                       TensorEnv& env);
+
+}  // namespace barracuda::tensor

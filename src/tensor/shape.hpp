@@ -1,0 +1,90 @@
+// Shapes and row-major index arithmetic for dense tensors.
+//
+// Barracuda targets contractions over tensors with small per-dimension
+// extents (O(1)–O(10), up to 16 for the NWChem kernels) but possibly many
+// dimensions (rank 6 for the CCSD(T) triples kernels), so shapes are
+// dynamic-rank.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace barracuda::tensor {
+
+/// Dynamic-rank shape with row-major (C order) strides: the *last* dimension
+/// is contiguous, matching the paper's "assuming row-major layout" analysis.
+class Shape {
+ public:
+  Shape() = default;
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    for (auto d : dims_) BARRACUDA_CHECK_MSG(d > 0, "extent must be positive");
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const { return dims_.at(i); }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for rank-0 scalars).
+  std::int64_t size() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           std::multiplies<>());
+  }
+
+  /// Row-major stride of dimension `i` in elements.
+  std::int64_t stride(std::size_t i) const {
+    BARRACUDA_CHECK(i < dims_.size());
+    std::int64_t s = 1;
+    for (std::size_t k = dims_.size(); k-- > i + 1;) s *= dims_[k];
+    return s;
+  }
+
+  /// Flatten a multi-index (one entry per dimension, each in range).
+  std::int64_t linearize(const std::vector<std::int64_t>& idx) const {
+    BARRACUDA_CHECK(idx.size() == dims_.size());
+    std::int64_t lin = 0;
+    for (std::size_t k = 0; k < dims_.size(); ++k) {
+      BARRACUDA_CHECK(idx[k] >= 0 && idx[k] < dims_[k]);
+      lin = lin * dims_[k] + idx[k];
+    }
+    return lin;
+  }
+
+  bool operator==(const Shape& o) const = default;
+
+  std::string to_string() const {
+    std::string s = "(";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(dims_[i]);
+    }
+    return s + ")";
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+/// Odometer over a multi-dimensional iteration space.  Calls `fn` with a
+/// multi-index for every point in row-major order.  Zero-rank spaces call
+/// `fn` exactly once with an empty index.
+template <typename Fn>
+void for_each_index(const std::vector<std::int64_t>& extents, Fn&& fn) {
+  std::vector<std::int64_t> idx(extents.size(), 0);
+  while (true) {
+    fn(idx);
+    std::size_t k = extents.size();
+    while (k > 0) {
+      --k;
+      if (++idx[k] < extents[k]) break;
+      idx[k] = 0;
+      if (k == 0) return;
+    }
+    if (extents.empty()) return;
+  }
+}
+
+}  // namespace barracuda::tensor

@@ -1,0 +1,74 @@
+// Dense row-major tensor of doubles — the value type flowing through the
+// reference evaluator, the sequential CPU interpreter and the vGPU
+// functional executor.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace barracuda::tensor {
+
+/// Owning dense tensor.  Value-semantic; copies are deep.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, double fill = 0.0)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.size()), fill) {}
+
+  static Tensor zeros(std::vector<std::int64_t> dims) {
+    return Tensor(Shape(std::move(dims)));
+  }
+
+  /// Uniform [-1, 1) entries from a caller-supplied deterministic stream.
+  static Tensor random(std::vector<std::int64_t> dims, Rng& rng) {
+    Tensor t(Shape(std::move(dims)));
+    for (auto& v : t.data_) v = rng.uniform(-1.0, 1.0);
+    return t;
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t size() const { return shape_.size(); }
+
+  double& at(const std::vector<std::int64_t>& idx) {
+    return data_[static_cast<std::size_t>(shape_.linearize(idx))];
+  }
+  double at(const std::vector<std::int64_t>& idx) const {
+    return data_[static_cast<std::size_t>(shape_.linearize(idx))];
+  }
+
+  double& flat(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  double flat(std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  /// Max absolute elementwise difference; infinity on shape mismatch.
+  static double max_abs_diff(const Tensor& a, const Tensor& b) {
+    if (a.shape() != b.shape()) return INFINITY;
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.data_.size(); ++i) {
+      m = std::fmax(m, std::fabs(a.data_[i] - b.data_[i]));
+    }
+    return m;
+  }
+
+  /// Approximate equality with a tolerance covering FP reassociation across
+  /// differently-ordered contraction variants.
+  static bool allclose(const Tensor& a, const Tensor& b, double tol = 1e-9) {
+    return max_abs_diff(a, b) <= tol;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace barracuda::tensor

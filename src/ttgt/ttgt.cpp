@@ -1,0 +1,157 @@
+#include "ttgt/ttgt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace barracuda::ttgt {
+namespace {
+
+enum class Role { kBatch, kM, kN, kK };
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// True if the roles of `ref`'s indices appear as contiguous groups in
+/// the order given by `group_order` (so the tensor is GEMM-able without a
+/// physical transpose).
+bool grouped_in_order(const std::vector<Role>& roles,
+                      const std::vector<Role>& group_order) {
+  std::size_t group = 0;
+  for (Role r : roles) {
+    while (group < group_order.size() && r != group_order[group]) ++group;
+    if (group == group_order.size()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TtgtPlan::to_string() const {
+  std::ostringstream os;
+  os << "gemm(batch=" << gemm.batch << ", m=" << gemm.m << ", n=" << gemm.n
+     << ", k=" << gemm.k << ")";
+  if (transpose_a) os << " +transpose(A)";
+  if (transpose_b) os << " +transpose(B)";
+  if (transpose_out) os << " +transpose(out)";
+  return os.str();
+}
+
+TtgtPlan plan_ttgt(const tensor::Contraction& op,
+                   const tensor::Extents& extents) {
+  BARRACUDA_CHECK_MSG(op.inputs.size() == 2,
+                      "TTGT requires a binary contraction");
+  const auto& a = op.inputs[0];
+  const auto& b = op.inputs[1];
+
+  auto role_of = [&](const std::string& ix) {
+    const bool in_a = contains(a.indices, ix);
+    const bool in_b = contains(b.indices, ix);
+    const bool in_out = contains(op.output.indices, ix);
+    if (in_a && in_b && in_out) return Role::kBatch;
+    if (in_a && in_out) return Role::kM;
+    if (in_b && in_out) return Role::kN;
+    BARRACUDA_CHECK_MSG(in_a && in_b,
+                        "index " << ix
+                                 << " appears in only one tensor; sum it "
+                                    "out before TTGT planning");
+    return Role::kK;
+  };
+
+  TtgtPlan plan;
+  for (const auto& ix : op.all_indices()) {
+    std::int64_t extent = extents.at(ix);
+    switch (role_of(ix)) {
+      case Role::kBatch: plan.gemm.batch *= extent; break;
+      case Role::kM: plan.gemm.m *= extent; break;
+      case Role::kN: plan.gemm.n *= extent; break;
+      case Role::kK: plan.gemm.k *= extent; break;
+    }
+  }
+
+  auto roles_of = [&](const std::vector<std::string>& indices) {
+    std::vector<Role> roles;
+    for (const auto& ix : indices) roles.push_back(role_of(ix));
+    return roles;
+  };
+  auto bytes_of = [&](const tensor::TensorRef& ref) {
+    std::int64_t elems = 1;
+    for (const auto& ix : ref.indices) elems *= extents.at(ix);
+    return elems * 8;
+  };
+
+  // A must read as (batch, M, K); B as (batch, K, N); the output as
+  // (batch, M, N) — each up to within-group order, which GEMM leading
+  // dimensions absorb.
+  plan.transpose_a =
+      !grouped_in_order(roles_of(a.indices), {Role::kBatch, Role::kM, Role::kK});
+  plan.transpose_b =
+      !grouped_in_order(roles_of(b.indices), {Role::kBatch, Role::kK, Role::kN});
+  plan.transpose_out = !grouped_in_order(
+      roles_of(op.output.indices), {Role::kBatch, Role::kM, Role::kN});
+
+  plan.launches = 1;
+  if (plan.transpose_a) {
+    plan.transpose_bytes += 2 * bytes_of(a);
+    ++plan.launches;
+  }
+  if (plan.transpose_b) {
+    plan.transpose_bytes += 2 * bytes_of(b);
+    ++plan.launches;
+  }
+  if (plan.transpose_out) {
+    plan.transpose_bytes += 2 * bytes_of(op.output);
+    ++plan.launches;
+  }
+  return plan;
+}
+
+double model_gemm_us(const GemmShape& shape,
+                     const vgpu::DeviceProfile& device) {
+  // Tile quantization: a library GEMM schedules 64x64 output tiles over
+  // 16-deep K slices; partial tiles waste the difference.
+  constexpr double kTileM = 64, kTileN = 64, kTileK = 16;
+  auto padded = [](double v, double tile) {
+    return std::ceil(v / tile) * tile;
+  };
+  const double m = static_cast<double>(shape.m);
+  const double n = static_cast<double>(shape.n);
+  const double k = static_cast<double>(shape.k);
+  const double b = static_cast<double>(shape.batch);
+  const double quantization =
+      (m * n * k) / (padded(m, kTileM) * padded(n, kTileN) * padded(k, kTileK));
+
+  // Parallelism: output tiles (x batches) must cover the SMs.
+  const double tiles =
+      b * std::ceil(m / kTileM) * std::ceil(n / kTileN);
+  const double utilization =
+      std::min(1.0, tiles / (2.0 * device.sm_count));
+
+  const double peak_sustained = 0.85 * device.peak_dp_gflops();
+  const double eff = std::max(quantization * utilization, 1e-4);
+  const double compute_us =
+      static_cast<double>(shape.flops()) / (peak_sustained * eff * 1e3);
+
+  const double bytes = b * (m * k + k * n + 2 * m * n) * 8.0;
+  const double memory_us = bytes / (device.dram_bandwidth_gbs * 1e3);
+
+  return std::max(compute_us, memory_us) + device.kernel_launch_us;
+}
+
+double model_ttgt_us(const TtgtPlan& plan,
+                     const vgpu::DeviceProfile& device) {
+  double us = model_gemm_us(plan.gemm, device);
+  if (plan.transpose_bytes > 0) {
+    us += static_cast<double>(plan.transpose_bytes) /
+          (device.dram_bandwidth_gbs * 1e3);
+    us += device.kernel_launch_us * (plan.launches - 1);
+  }
+  // One host-side synchronize per invocation, same as Barracuda's plans.
+  us += device.sync_us;
+  return us;
+}
+
+}  // namespace barracuda::ttgt

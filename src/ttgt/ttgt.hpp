@@ -1,0 +1,71 @@
+// TTGT baseline: evaluate a binary tensor contraction as
+// Transpose-Transpose-GEMM-Transpose, the strategy of the TCE-era
+// libraries the paper positions itself against (§VII: "often, tensors
+// are transposed so that a high-performance matrix-matrix multiplication
+// can be used") and the reason Barracuda exists (§I: for small
+// dimensions, "mapping the problem to use highly-tuned linear algebra
+// libraries will not achieve high performance as these libraries are
+// optimized for large matrices").
+//
+// The planner classifies a binary contraction's indices into the GEMM
+// roles (batch L, M from the first operand, N from the second, K
+// contracted), decides which operands need a physical transpose to reach
+// GEMM-able layout, and the model prices the resulting pipeline on a
+// virtual device with a cuBLAS-like GEMM model whose efficiency collapses
+// under tile quantization at small M/N/K — which is exactly the effect
+// the paper's motivation rests on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/einsum.hpp"
+#include "vgpu/device.hpp"
+
+namespace barracuda::ttgt {
+
+/// GEMM problem extracted from a contraction.
+struct GemmShape {
+  std::int64_t batch = 1;  // product of indices shared by both inputs and the output
+  std::int64_t m = 1;      // output indices owned by the first operand
+  std::int64_t n = 1;      // output indices owned by the second operand
+  std::int64_t k = 1;      // contracted indices
+
+  std::int64_t flops() const { return 2 * batch * m * n * k; }
+};
+
+/// A full TTGT execution plan for one binary contraction.
+struct TtgtPlan {
+  GemmShape gemm;
+  bool transpose_a = false;
+  bool transpose_b = false;
+  bool transpose_out = false;
+  /// Bytes moved by the transpose kernels (read + write per tensor).
+  std::int64_t transpose_bytes = 0;
+  /// Number of kernel launches (transposes + the GEMM).
+  int launches = 1;
+
+  std::string to_string() const;
+};
+
+/// Build the plan.  The contraction must be binary; throws otherwise.
+/// Index classification: in both inputs and the output -> batch; in the
+/// first input and the output -> M; second input and output -> N; both
+/// inputs only -> K.  Indices appearing in just one tensor are rejected
+/// (sum them out first).
+TtgtPlan plan_ttgt(const tensor::Contraction& op,
+                   const tensor::Extents& extents);
+
+/// cuBLAS-like GEMM timing: peak DP throughput derated by tile
+/// quantization (tiles of 64x64x16) and SM occupancy, floored by the
+/// streaming-memory bound, plus one launch.
+double model_gemm_us(const GemmShape& shape,
+                     const vgpu::DeviceProfile& device);
+
+/// Whole-pipeline timing: transposes at DRAM bandwidth + GEMM + launch
+/// overhead per kernel.  Excludes host<->device transfer (compare
+/// kernel-resident, like the Figure 3 methodology).
+double model_ttgt_us(const TtgtPlan& plan, const vgpu::DeviceProfile& device);
+
+}  // namespace barracuda::ttgt

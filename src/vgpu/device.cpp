@@ -1,0 +1,64 @@
+#include "vgpu/device.hpp"
+
+namespace barracuda::vgpu {
+
+DeviceProfile DeviceProfile::tesla_c2050() {
+  DeviceProfile d;
+  d.name = "TESLA C2050";
+  d.arch = "Fermi";
+  d.sm_count = 14;
+  d.core_clock_ghz = 1.15;
+  d.dp_flops_per_clock_per_sm = 32;  // 16 FMA/clock at 1/2 SP rate
+  d.dram_bandwidth_gbs = 110.0;  // ECC enabled (~25% off the 144 peak)
+  d.l2_bytes = 768 * 1024;
+  d.max_threads_per_sm = 1536;
+  d.max_blocks_per_sm = 8;
+  d.registers_per_sm = 32768;
+  d.kernel_launch_us = 10.0;       // Fermi launch overhead (CUDA 5.5 era)
+  d.pcie_bandwidth_gbs = 5.0;      // PCIe 2.0 x16, effective
+  d.pcie_latency_us = 12.0;
+  d.global_mem_bytes = 3LL * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceProfile DeviceProfile::tesla_k20() {
+  DeviceProfile d;
+  d.name = "TESLA K20";
+  d.arch = "Kepler";
+  d.sm_count = 13;
+  d.core_clock_ghz = 0.706;
+  d.dp_flops_per_clock_per_sm = 128;  // 64 DP units x FMA
+  d.dram_bandwidth_gbs = 140.0;  // ECC enabled (~33% off the 208 peak)
+  d.l2_bytes = 1280 * 1024;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 16;
+  d.kernel_launch_us = 9.0;
+  d.pcie_bandwidth_gbs = 6.0;  // PCIe 2.0 x16, effective
+  d.pcie_latency_us = 10.0;
+  d.global_mem_bytes = 5LL * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceProfile DeviceProfile::gtx980() {
+  DeviceProfile d;
+  d.name = "GTX 980";
+  d.arch = "Maxwell";
+  d.sm_count = 16;
+  d.core_clock_ghz = 1.126;
+  d.dp_flops_per_clock_per_sm = 8;  // 4 DP units x FMA (1/32 SP rate)
+  d.dram_bandwidth_gbs = 224.0;
+  d.l2_bytes = 2 * 1024 * 1024;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.kernel_launch_us = 7.0;
+  d.pcie_bandwidth_gbs = 11.0;  // PCIe 3.0 x16, effective
+  d.pcie_latency_us = 8.0;
+  d.global_mem_bytes = 4LL * 1024 * 1024 * 1024;
+  return d;
+}
+
+std::vector<DeviceProfile> DeviceProfile::paper_devices() {
+  return {gtx980(), tesla_k20(), tesla_c2050()};
+}
+
+}  // namespace barracuda::vgpu

@@ -1,0 +1,67 @@
+// Virtual-GPU device profiles.
+//
+// The paper evaluates on three generations of NVIDIA hardware; since this
+// reproduction runs without a GPU, those devices are modeled analytically.
+// Profiles carry the published microarchitectural parameters that drive
+// the performance model: double-precision throughput, DRAM bandwidth, L2
+// capacity, occupancy limits, kernel-launch latency and PCIe transfer
+// characteristics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barracuda::vgpu {
+
+/// Modeled GPU.  All published numbers; derived helpers below.
+struct DeviceProfile {
+  std::string name;
+  std::string arch;
+  int sm_count = 0;
+  double core_clock_ghz = 0;
+  /// Double-precision flops per clock per SM (FMA counted as 2).
+  double dp_flops_per_clock_per_sm = 0;
+  double dram_bandwidth_gbs = 0;
+  std::int64_t l2_bytes = 0;
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  int max_threads_per_block = 1024;
+  int warp_size = 32;
+  /// 32-bit registers per SM; bounds occupancy under register pressure
+  /// (aggressive unrolling costs registers).
+  int registers_per_sm = 65536;
+  /// Memory transaction (cache line) size in bytes.
+  int transaction_bytes = 128;
+  /// Fixed cost of one kernel launch, microseconds.
+  double kernel_launch_us = 0;
+  /// Host-side synchronization/dispatch cost paid once per plan
+  /// invocation (cudaDeviceSynchronize and driver overhead).
+  double sync_us = 10.0;
+  /// Effective host<->device bandwidth (GB/s) and per-transfer latency.
+  double pcie_bandwidth_gbs = 0;
+  double pcie_latency_us = 10.0;
+  /// Device global memory; plans whose allocations exceed it are
+  /// infeasible (modeled as infinite time so the search avoids them).
+  std::int64_t global_mem_bytes = 0;
+
+  /// Peak double-precision GFlop/s.
+  double peak_dp_gflops() const {
+    return sm_count * core_clock_ghz * dp_flops_per_clock_per_sm;
+  }
+
+  /// TESLA C2050 (Fermi): 14 SMs x 32 cores, 1.15 GHz, 1/2-rate DP
+  /// (515 GF), 144 GB/s GDDR5, 768 KB L2.
+  static DeviceProfile tesla_c2050();
+  /// TESLA K20 (Kepler GK110): 13 SMX, 706 MHz, 64 DP units/SMX
+  /// (1170 GF), 208 GB/s, 1.25 MB L2.
+  static DeviceProfile tesla_k20();
+  /// GTX 980 (Maxwell GM204): 16 SMM, 1.126 GHz, 1/32-rate DP (144 GF),
+  /// 224 GB/s, 2 MB L2.
+  static DeviceProfile gtx980();
+
+  /// The three devices of the paper's evaluation, newest first.
+  static std::vector<DeviceProfile> paper_devices();
+};
+
+}  // namespace barracuda::vgpu

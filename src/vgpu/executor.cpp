@@ -1,0 +1,119 @@
+#include "vgpu/executor.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace barracuda::vgpu {
+namespace {
+
+/// An access precompiled against the iteration-variable slot layout:
+/// addr = offset + sum(coef * value[slot]).
+struct CompiledAccess {
+  const std::vector<double>* buffer_read = nullptr;
+  std::vector<double>* buffer_write = nullptr;
+  std::int64_t offset = 0;
+  std::vector<std::pair<std::size_t, std::int64_t>> terms;  // (slot, coef)
+
+  std::int64_t addr(const std::vector<std::int64_t>& value) const {
+    std::int64_t a = offset;
+    for (const auto& [slot, coef] : terms) a += coef * value[slot];
+    return a;
+  }
+};
+
+}  // namespace
+
+void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
+  // Iteration variables: grid dims then sequential loops, each a slot.
+  std::vector<std::string> names;
+  std::vector<std::int64_t> extents;
+  auto add_dim = [&](const chill::GridDim& d) {
+    if (d.used()) {
+      names.push_back(d.index);
+      extents.push_back(d.extent);
+    }
+  };
+  add_dim(kernel.block_x);
+  add_dim(kernel.block_y);
+  add_dim(kernel.thread_y);
+  add_dim(kernel.thread_x);
+  for (const auto& loop : kernel.seq) {
+    names.push_back(loop.index);
+    extents.push_back(loop.extent);
+  }
+
+  auto slot_of = [&](const std::string& ix) {
+    auto it = std::find(names.begin(), names.end(), ix);
+    BARRACUDA_CHECK_MSG(it != names.end(),
+                        "kernel " << kernel.name
+                                  << " references unmapped index " << ix);
+    return static_cast<std::size_t>(it - names.begin());
+  };
+
+  auto compile = [&](const chill::AffineAccess& access,
+                     bool writable) -> CompiledAccess {
+    auto it = memory.find(access.tensor);
+    BARRACUDA_CHECK_MSG(it != memory.end(),
+                        "tensor " << access.tensor << " not allocated");
+    CompiledAccess c;
+    c.buffer_read = &it->second;
+    if (writable) c.buffer_write = &it->second;
+    c.offset = access.offset;
+    std::int64_t max_addr = access.offset;
+    for (const auto& term : access.terms) {
+      if (term.coef == 0) continue;
+      std::size_t slot = slot_of(term.index);
+      c.terms.emplace_back(slot, term.coef);
+      if (term.coef > 0) max_addr += term.coef * (extents[slot] - 1);
+    }
+    BARRACUDA_CHECK_MSG(
+        max_addr < static_cast<std::int64_t>(it->second.size()),
+        "access to " << access.tensor << " overruns its allocation");
+    return c;
+  };
+
+  CompiledAccess out = compile(kernel.out, /*writable=*/true);
+  std::vector<CompiledAccess> ins;
+  ins.reserve(kernel.ins.size());
+  for (const auto& in : kernel.ins) ins.push_back(compile(in, false));
+
+  // Full grid sweep; execution order across threads is irrelevant because
+  // distinct threads never write the same output element (grid indices are
+  // parallel loops) and reductions run sequentially inside a thread.
+  tensor::for_each_index(extents, [&](const std::vector<std::int64_t>& iv) {
+    double prod = 1.0;
+    for (const auto& in : ins) prod *= (*in.buffer_read)[in.addr(iv)];
+    (*out.buffer_write)[out.addr(iv)] += prod;
+  });
+}
+
+void execute_plan(const chill::GpuPlan& plan, tensor::TensorEnv& env) {
+  DeviceMemory memory;
+  for (const auto& [name, elems] : plan.tensor_sizes) {
+    memory[name].assign(static_cast<std::size_t>(elems), 0.0);
+  }
+  for (const auto& name : plan.h2d) {
+    auto it = env.find(name);
+    BARRACUDA_CHECK_MSG(it != env.end(),
+                        "host tensor missing for h2d copy: " << name);
+    const tensor::Tensor& t = it->second;
+    BARRACUDA_CHECK_MSG(
+        t.size() == plan.tensor_sizes.at(name),
+        "host/device size mismatch for " << name);
+    std::copy_n(t.data(), t.size(), memory.at(name).begin());
+  }
+  for (const auto& kernel : plan.kernels) execute_kernel(kernel, memory);
+  for (const auto& name : plan.d2h) {
+    auto it = env.find(name);
+    BARRACUDA_CHECK_MSG(it != env.end(),
+                        "host tensor missing for d2h copy: " << name);
+    tensor::Tensor& t = it->second;
+    BARRACUDA_CHECK_MSG(
+        t.size() == plan.tensor_sizes.at(name),
+        "host/device size mismatch for " << name);
+    std::copy_n(memory.at(name).begin(), t.size(), t.data());
+  }
+}
+
+}  // namespace barracuda::vgpu

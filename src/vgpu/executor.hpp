@@ -1,0 +1,33 @@
+// Functional execution of GPU plans on the host.
+//
+// This is the correctness half of the virtual-GPU substrate: it runs a
+// GpuPlan with full grid/block/thread semantics (every (block, thread)
+// point executes the kernel body) against host-side buffers, so every
+// transformed code variant can be validated bit-for-bit against the
+// reference einsum evaluator.  Timing is the perfmodel's job, not this
+// module's.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chill/kernel.hpp"
+#include "tensor/einsum.hpp"
+
+namespace barracuda::vgpu {
+
+/// Flat device buffers by tensor name.
+using DeviceMemory = std::map<std::string, std::vector<double>>;
+
+/// Execute one kernel over its full grid.  All referenced tensors must be
+/// allocated in `memory` and large enough for every access (checked).
+void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory);
+
+/// Execute a full plan: allocate device buffers, zero-initialize
+/// temporaries, copy `h2d` tensors from `env`, launch each kernel, then
+/// copy `d2h` tensors back into `env` (which must already hold an
+/// appropriately-sized tensor for each, e.g. the zero/prior output).
+void execute_plan(const chill::GpuPlan& plan, tensor::TensorEnv& env);
+
+}  // namespace barracuda::vgpu

@@ -1,0 +1,282 @@
+#include "vgpu/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace barracuda::vgpu {
+namespace {
+
+constexpr double kBytesPerElem = 8.0;  // double precision throughout
+/// L2 serves hits at a multiple of DRAM bandwidth.
+constexpr double kL2BandwidthFactor = 3.0;
+/// Instruction-overhead model: non-flop instructions per statement point
+/// shrink with unrolling (loop control amortized, more ILP).
+constexpr double kLoopOverhead = 0.6;
+/// Full compute throughput needs roughly this occupancy to hide latency.
+constexpr double kOccupancyKnee = 0.5;
+
+/// Transactions one warp issues for a single visit of `access`, given the
+/// stride along threadIdx.x and the block's x-extent.
+double warp_transactions(const chill::Kernel& k,
+                         const chill::AffineAccess& access,
+                         const DeviceProfile& dev) {
+  const std::int64_t lanes_total =
+      std::min<std::int64_t>(dev.warp_size, k.threads_per_block());
+  if (!k.thread_x.used()) return 1.0;  // all lanes share one address stream
+  const std::int64_t sx = std::llabs(access.coef_of(k.thread_x.index));
+  const std::int64_t lanes_x =
+      std::min<std::int64_t>(k.thread_x.extent, lanes_total);
+  // Lanes of one warp fill x first, then wrap to the next y row.  Rows
+  // only touch *new* segments when threadIdx.y moves this access; a
+  // ty-invariant access re-reads the same addresses row after row.
+  const std::int64_t sy =
+      k.thread_y.used() ? std::llabs(access.coef_of(k.thread_y.index)) : 0;
+  const double rows =
+      static_cast<double>(lanes_total) / static_cast<double>(lanes_x);
+  const double row_factor = (sy == 0) ? 1.0 : std::max(1.0, rows);
+  if (sx == 0) return row_factor;  // broadcast within each row
+  const double row_bytes =
+      static_cast<double>(lanes_x) * static_cast<double>(sx) * kBytesPerElem;
+  double per_row = std::ceil(row_bytes / dev.transaction_bytes);
+  per_row = std::clamp<double>(per_row, 1.0, static_cast<double>(lanes_x));
+  return per_row * row_factor;
+}
+
+/// Distinct-address visits each thread makes to `access`: the product of
+/// extents of sequential loops the subscript depends on.  Revisits with an
+/// unchanged address are assumed to stay in registers.
+double visits_per_thread(const chill::Kernel& k,
+                         const chill::AffineAccess& access) {
+  double visits = 1.0;
+  for (const auto& loop : k.seq) {
+    if (access.coef_of(loop.index) != 0) {
+      visits *= static_cast<double>(loop.extent);
+    }
+  }
+  return visits;
+}
+
+/// When the deepest address-moving sequential loop walks the tensor with
+/// unit stride, successive iterations of a lane land in the same cache
+/// line (whether or not the warp's lanes are scattered): credit line
+/// reuse up to the line capacity.
+double line_reuse_factor(const chill::Kernel& k,
+                         const chill::AffineAccess& access,
+                         const DeviceProfile& dev) {
+  for (std::size_t d = k.seq.size(); d-- > 0;) {
+    const auto& loop = k.seq[d];
+    const std::int64_t coef = std::llabs(access.coef_of(loop.index));
+    if (coef == 0) continue;
+    if (coef == 1) {
+      const std::int64_t sx =
+          k.thread_x.used() ? std::llabs(access.coef_of(k.thread_x.index))
+                            : 0;
+      const double line_elems = dev.transaction_bytes / kBytesPerElem;
+      // With a unit-stride ThreadX the warp already consumes whole lines
+      // per visit; per-lane reuse then shares lines across fewer
+      // iterations.
+      const double capacity =
+          sx == 1 ? std::max(1.0, line_elems / dev.warp_size * 4) : line_elems;
+      return std::min(static_cast<double>(loop.extent), capacity);
+    }
+    return 1.0;
+  }
+  return 1.0;
+}
+
+/// Elements the launch touches in `access` (distinct addresses), capped by
+/// the iteration space.
+double unique_elements(const chill::Kernel& k,
+                       const chill::AffineAccess& access) {
+  auto extents = k.index_extents();
+  double uniq = 1.0;
+  for (const auto& [ix, extent] : extents) {
+    if (access.coef_of(ix) != 0) uniq *= static_cast<double>(extent);
+  }
+  return uniq;
+}
+
+struct AccessCost {
+  AccessTraffic traffic;
+  double memory_us = 0;
+};
+
+AccessCost cost_of_access(const chill::Kernel& k,
+                          const chill::AffineAccess& access,
+                          double visits, const DeviceProfile& dev) {
+  AccessCost cost;
+  cost.traffic.tensor = access.tensor;
+  const double per_warp = warp_transactions(k, access, dev);
+  cost.traffic.transactions_per_warp_visit = per_warp;
+
+  const double warps = std::ceil(
+      static_cast<double>(k.threads_per_block()) / dev.warp_size) *
+      static_cast<double>(k.blocks());
+  const double reuse = line_reuse_factor(k, access, dev);
+  const double total_tx = warps * per_warp * std::max(1.0, visits / reuse);
+  cost.traffic.total_transactions = total_tx;
+
+  const double raw_bytes = total_tx * dev.transaction_bytes;
+  const double uniq_bytes = unique_elements(k, access) * kBytesPerElem;
+  // First touch of each unique byte must come from DRAM; revisits hit L2
+  // if the tensor footprint fits, else they also pay DRAM bandwidth.
+  const double first = std::min(raw_bytes, std::max(uniq_bytes, 0.0));
+  const double rest = raw_bytes - first;
+  const bool fits_l2 = uniq_bytes <= static_cast<double>(dev.l2_bytes);
+  cost.traffic.dram_bytes = first + (fits_l2 ? 0.0 : rest);
+  cost.traffic.l2_bytes = fits_l2 ? rest : 0.0;
+
+  const double dram_gbs = dev.dram_bandwidth_gbs;
+  const double l2_gbs = dev.dram_bandwidth_gbs * kL2BandwidthFactor;
+  cost.memory_us = cost.traffic.dram_bytes / (dram_gbs * 1e3) +
+                   cost.traffic.l2_bytes / (l2_gbs * 1e3);
+  return cost;
+}
+
+}  // namespace
+
+KernelTiming model_kernel(const chill::Kernel& kernel,
+                          const DeviceProfile& device) {
+  KernelTiming t;
+
+  // --- Occupancy & SM utilization -------------------------------------
+  const std::int64_t tpb = std::max<std::int64_t>(kernel.threads_per_block(), 1);
+  const std::int64_t blocks = std::max<std::int64_t>(kernel.blocks(), 1);
+  const std::int64_t blocks_per_sm = std::min<std::int64_t>(
+      device.max_blocks_per_sm,
+      std::max<std::int64_t>(device.max_threads_per_sm / tpb, 1));
+  // Register pressure: base bookkeeping plus 2 (double) registers per
+  // live input value; unrolling keeps `unroll` partial products and
+  // addresses live at once.
+  const int uf = kernel.seq.empty() ? 1 : std::max(1, kernel.seq.back().unroll);
+  const std::int64_t regs_per_thread =
+      16 + 2 * static_cast<std::int64_t>(kernel.ins.size()) * (1 + uf);
+  const std::int64_t reg_limited_threads =
+      device.registers_per_sm / std::max<std::int64_t>(regs_per_thread, 1);
+  const std::int64_t resident = std::min<std::int64_t>(
+      std::min<std::int64_t>(blocks_per_sm * tpb, device.max_threads_per_sm),
+      reg_limited_threads);
+  t.occupancy = static_cast<double>(resident) / device.max_threads_per_sm;
+  t.sm_utilization = std::min(
+      1.0, static_cast<double>(blocks) / device.sm_count);
+
+  // --- Compute time ----------------------------------------------------
+  const double flops = static_cast<double>(kernel.flops());
+  const double inst_overhead = 1.0 + kLoopOverhead / uf;
+  const double latency_factor =
+      std::min(1.0, t.occupancy / kOccupancyKnee);
+  const double eff_gflops = device.peak_dp_gflops() * latency_factor *
+                            std::max(t.sm_utilization, 1.0 / device.sm_count);
+  t.compute_us = flops * inst_overhead / (eff_gflops * 1e3);
+
+  // --- Memory time -----------------------------------------------------
+  // Inputs: one read stream each.  Tensors staged into shared memory pay
+  // one coalesced cooperative load per block (L2-served across blocks
+  // when the tensor fits) plus cheap on-chip reads.  Output: read+write;
+  // scalar replacement confines traffic to the loops outside the scalar
+  // region.
+  constexpr double kSharedBandwidthFactor = 8.0;
+  for (const auto& in : kernel.ins) {
+    auto staged = kernel.shared.find(in.tensor);
+    if (staged != kernel.shared.end()) {
+      const double bytes = static_cast<double>(staged->second) * 8.0;
+      const double load_bytes = bytes * static_cast<double>(kernel.blocks());
+      const bool fits_l2 = bytes <= static_cast<double>(device.l2_bytes);
+      const double dram_bytes = fits_l2 ? bytes : load_bytes;
+      const double l2_bytes = fits_l2 ? load_bytes - bytes : 0.0;
+      const double reads =
+          static_cast<double>(kernel.threads_per_block()) *
+          static_cast<double>(kernel.blocks()) *
+          visits_per_thread(kernel, in) * 8.0;
+      AccessTraffic traffic;
+      traffic.tensor = in.tensor;
+      traffic.transactions_per_warp_visit = 0;  // served from shared memory
+      traffic.total_transactions = load_bytes / device.transaction_bytes;
+      traffic.dram_bytes = dram_bytes;
+      traffic.l2_bytes = l2_bytes;
+      t.memory_us +=
+          dram_bytes / (device.dram_bandwidth_gbs * 1e3) +
+          l2_bytes / (device.dram_bandwidth_gbs * kL2BandwidthFactor * 1e3) +
+          reads / (device.dram_bandwidth_gbs * kSharedBandwidthFactor * 1e3);
+      t.accesses.push_back(traffic);
+      continue;
+    }
+    AccessCost c = cost_of_access(kernel, in, visits_per_thread(kernel, in),
+                                  device);
+    t.memory_us += c.memory_us;
+    t.accesses.push_back(c.traffic);
+  }
+  double out_visits;
+  if (kernel.scalar_replacement) {
+    out_visits = 1.0;
+    for (std::size_t d = 0; d < kernel.scalar_depth(); ++d) {
+      out_visits *= static_cast<double>(kernel.seq[d].extent);
+    }
+  } else {
+    out_visits = 1.0;
+    for (const auto& loop : kernel.seq) {
+      out_visits *= static_cast<double>(loop.extent);
+    }
+  }
+  AccessCost out_read =
+      cost_of_access(kernel, kernel.out, out_visits, device);
+  t.memory_us += 2.0 * out_read.memory_us;  // read-modify-write
+  out_read.traffic.total_transactions *= 2;
+  out_read.traffic.dram_bytes *= 2;
+  out_read.traffic.l2_bytes *= 2;
+  t.accesses.push_back(out_read.traffic);
+
+  // Achievable DRAM bandwidth scales with the warps actually in flight:
+  // a handful of warps cannot cover memory latency, so a single-block
+  // launch sees a small fraction of peak bandwidth no matter how friendly
+  // its access pattern is.
+  const double warps_per_block =
+      std::ceil(static_cast<double>(tpb) / device.warp_size);
+  const double resident_cap =
+      static_cast<double>(device.sm_count) *
+      (static_cast<double>(device.max_threads_per_sm) / device.warp_size);
+  const double concurrent_warps = std::min(
+      static_cast<double>(blocks) * warps_per_block, resident_cap);
+  const double saturation_warps = 4.0 * device.sm_count;
+  const double bw_utilization =
+      std::min(1.0, concurrent_warps / saturation_warps);
+  t.memory_us /= std::max(0.02, bw_utilization);
+
+  t.launch_us = device.kernel_launch_us;
+  t.total_us = std::max(t.compute_us, t.memory_us) + t.launch_us;
+  return t;
+}
+
+PlanTiming model_plan(const chill::GpuPlan& plan,
+                      const DeviceProfile& device) {
+  PlanTiming t;
+  // Plans that do not fit in device memory are infeasible; the search
+  // must steer away from variants with oversized intermediates.
+  if (device.global_mem_bytes > 0) {
+    std::int64_t alloc = 0;
+    for (const auto& [name, elems] : plan.tensor_sizes) {
+      alloc += elems * static_cast<std::int64_t>(sizeof(double));
+    }
+    if (alloc > device.global_mem_bytes) {
+      t.total_us = std::numeric_limits<double>::infinity();
+      return t;
+    }
+  }
+  for (const auto& kernel : plan.kernels) {
+    KernelTiming kt = model_kernel(kernel, device);
+    t.kernel_us += kt.total_us;
+    t.kernels.push_back(std::move(kt));
+  }
+  auto transfer_us = [&](std::int64_t bytes, std::size_t transfers) {
+    return static_cast<double>(bytes) / (device.pcie_bandwidth_gbs * 1e3) +
+           device.pcie_latency_us * static_cast<double>(transfers);
+  };
+  t.h2d_us = transfer_us(plan.bytes_h2d(), plan.h2d.size());
+  t.d2h_us = transfer_us(plan.bytes_d2h(), plan.d2h.size());
+  t.kernel_us += device.sync_us;  // one host-side synchronize per plan
+  t.total_us = t.kernel_us + t.h2d_us + t.d2h_us;
+  return t;
+}
+
+}  // namespace barracuda::vgpu

@@ -1,0 +1,71 @@
+// Analytic GPU performance model — the timing half of the virtual-GPU
+// substrate.
+//
+// The model captures the first-order effects Barracuda's search space is
+// built around (Section IV of the paper):
+//   * warp-level global-memory coalescing as a function of the ThreadX
+//     stride of every array reference,
+//   * per-thread revisit traffic as a function of sequential loop order
+//     and scalar replacement (registers),
+//   * L2 reuse when a tensor's footprint fits on chip,
+//   * occupancy and SM utilization from the block decomposition,
+//   * instruction overhead shrinking with the unroll factor,
+//   * fixed kernel-launch latency and PCIe transfer cost.
+// Absolute numbers are estimates; what matters is that the model *ranks*
+// configurations the way the real devices do.
+#pragma once
+
+#include "chill/kernel.hpp"
+#include "vgpu/device.hpp"
+
+namespace barracuda::vgpu {
+
+/// Per-access traffic estimate (diagnostics for tests and ablations).
+struct AccessTraffic {
+  std::string tensor;
+  /// 32-lane coalescing quality: transactions issued per warp visit
+  /// (1 = broadcast, 2 = perfectly coalesced doubles, up to 32 = fully
+  /// scattered).
+  double transactions_per_warp_visit = 0;
+  /// Total DRAM+L2 transactions over the whole launch.
+  double total_transactions = 0;
+  /// Bytes served from DRAM after L2 reuse is credited.
+  double dram_bytes = 0;
+  /// Bytes served from L2.
+  double l2_bytes = 0;
+};
+
+/// Modeled timing of one kernel launch.
+struct KernelTiming {
+  double compute_us = 0;
+  double memory_us = 0;
+  double launch_us = 0;
+  /// max(compute, memory) + launch.
+  double total_us = 0;
+  double occupancy = 0;      // resident threads / max threads per SM
+  double sm_utilization = 0; // fraction of SMs with at least one block
+  std::vector<AccessTraffic> accesses;
+};
+
+/// Modeled timing of a full plan (kernels + transfers).
+struct PlanTiming {
+  std::vector<KernelTiming> kernels;
+  double kernel_us = 0;
+  double h2d_us = 0;
+  double d2h_us = 0;
+  double total_us = 0;
+
+  double gflops(std::int64_t flops) const {
+    return total_us > 0 ? (static_cast<double>(flops) / 1e3) / total_us : 0;
+  }
+};
+
+/// Model one kernel on `device`.
+KernelTiming model_kernel(const chill::Kernel& kernel,
+                          const DeviceProfile& device);
+
+/// Model a full plan, including host<->device transfers.
+PlanTiming model_plan(const chill::GpuPlan& plan,
+                      const DeviceProfile& device);
+
+}  // namespace barracuda::vgpu

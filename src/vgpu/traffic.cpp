@@ -1,0 +1,119 @@
+#include "vgpu/traffic.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "tensor/shape.hpp"
+
+namespace barracuda::vgpu {
+namespace {
+
+/// One access stream being measured.
+struct Stream {
+  std::string key;
+  const chill::AffineAccess* access = nullptr;
+  MeasuredTraffic traffic;
+  std::set<std::int64_t> unique;
+};
+
+}  // namespace
+
+TrafficMeasurement measure_traffic(const chill::Kernel& kernel,
+                                   const DeviceProfile& device,
+                                   std::int64_t max_blocks) {
+  BARRACUDA_CHECK(max_blocks >= 1);
+  const std::int64_t seg_elems = device.transaction_bytes / 8;
+  BARRACUDA_CHECK(seg_elems >= 1);
+
+  std::vector<Stream> streams;
+  for (std::size_t i = 0; i < kernel.ins.size(); ++i) {
+    streams.push_back(Stream{
+        kernel.ins[i].tensor + "#" + std::to_string(i), &kernel.ins[i], {},
+        {}});
+  }
+  streams.push_back(Stream{kernel.out.tensor + "#out", &kernel.out, {}, {}});
+
+  // Sequential loop extents (odometer space per thread).
+  std::vector<std::int64_t> seq_extents;
+  for (const auto& loop : kernel.seq) seq_extents.push_back(loop.extent);
+
+  const std::int64_t tpb = kernel.threads_per_block();
+  const std::int64_t warps_per_block =
+      (tpb + device.warp_size - 1) / device.warp_size;
+  const std::int64_t total_blocks = kernel.blocks();
+  const std::int64_t blocks_to_run = std::min(total_blocks, max_blocks);
+
+  TrafficMeasurement result;
+  result.blocks_sampled = blocks_to_run;
+
+  // Index valuation per lane: grid indices fixed per lane, seq indices
+  // from the odometer.
+  for (std::int64_t block = 0; block < blocks_to_run; ++block) {
+    const std::int64_t bx = block % std::max<std::int64_t>(
+                                        kernel.block_x.extent, 1);
+    const std::int64_t by = block / std::max<std::int64_t>(
+                                        kernel.block_x.extent, 1);
+    for (std::int64_t warp = 0; warp < warps_per_block; ++warp) {
+      // Lanes of this warp: linear tid = ty*dimX + tx.
+      std::vector<std::pair<std::int64_t, std::int64_t>> lanes;  // (tx,ty)
+      for (int lane = 0; lane < device.warp_size; ++lane) {
+        std::int64_t tid = warp * device.warp_size + lane;
+        if (tid >= tpb) break;
+        lanes.emplace_back(tid % kernel.thread_x.extent,
+                           tid / kernel.thread_x.extent);
+      }
+      // Previous address per (stream, lane); -1 = none.
+      std::vector<std::vector<std::int64_t>> prev(
+          streams.size(),
+          std::vector<std::int64_t>(lanes.size(), -1));
+
+      tensor::for_each_index(
+          seq_extents, [&](const std::vector<std::int64_t>& seq_idx) {
+            for (std::size_t s = 0; s < streams.size(); ++s) {
+              Stream& stream = streams[s];
+              bool moved = false;
+              std::set<std::int64_t> segments;
+              std::vector<std::int64_t> addrs(lanes.size());
+              for (std::size_t l = 0; l < lanes.size(); ++l) {
+                auto value = [&](const std::string& ix) -> std::int64_t {
+                  if (kernel.thread_x.used() && ix == kernel.thread_x.index)
+                    return lanes[l].first;
+                  if (kernel.thread_y.used() && ix == kernel.thread_y.index)
+                    return lanes[l].second;
+                  if (kernel.block_x.used() && ix == kernel.block_x.index)
+                    return bx;
+                  if (kernel.block_y.used() && ix == kernel.block_y.index)
+                    return by;
+                  for (std::size_t d = 0; d < kernel.seq.size(); ++d) {
+                    if (kernel.seq[d].index == ix) return seq_idx[d];
+                  }
+                  throw InternalError("unmapped index " + ix);
+                };
+                addrs[l] = stream.access->eval(value);
+                moved |= (addrs[l] != prev[s][l]);
+              }
+              if (!moved) continue;  // register-cached repeat
+              for (std::size_t l = 0; l < lanes.size(); ++l) {
+                segments.insert(addrs[l] / seg_elems);
+                stream.unique.insert(addrs[l]);
+                prev[s][l] = addrs[l];
+              }
+              stream.traffic.warp_visits += 1;
+              stream.traffic.transactions +=
+                  static_cast<std::int64_t>(segments.size());
+            }
+          });
+    }
+  }
+
+  for (auto& stream : streams) {
+    stream.traffic.unique_elements =
+        static_cast<std::int64_t>(stream.unique.size());
+    result.accesses.emplace(stream.key, stream.traffic);
+  }
+  return result;
+}
+
+}  // namespace barracuda::vgpu

@@ -1,0 +1,51 @@
+// Exact memory-traffic measurement: simulate the warp-level access
+// streams of a kernel and count the *actual* memory transactions
+// (distinct cache-line segments touched per warp access), giving a ground
+// truth against which the analytic performance model's coalescing
+// estimates are validated.  Exhaustive over the grid — use on small
+// kernels (tests) or with sampling (`max_blocks`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "chill/kernel.hpp"
+#include "vgpu/device.hpp"
+
+namespace barracuda::vgpu {
+
+/// Measured traffic of one access stream.
+struct MeasuredTraffic {
+  /// Total warp-level transactions over the sampled blocks.
+  std::int64_t transactions = 0;
+  /// Warp access events (one per warp per visit).
+  std::int64_t warp_visits = 0;
+  /// Distinct addresses touched (elements).
+  std::int64_t unique_elements = 0;
+
+  double transactions_per_warp_visit() const {
+    return warp_visits > 0
+               ? static_cast<double>(transactions) / warp_visits
+               : 0.0;
+  }
+};
+
+/// Per-tensor-access measurement (same order as the model's: inputs in
+/// statement order, then the output, keyed by "<tensor>#<position>").
+struct TrafficMeasurement {
+  std::map<std::string, MeasuredTraffic> accesses;
+  /// Blocks actually simulated (min(max_blocks, total blocks)).
+  std::int64_t blocks_sampled = 0;
+};
+
+/// Walk every warp of up to `max_blocks` blocks through the kernel's
+/// iteration space, recording for each access the distinct
+/// `transaction_bytes`-sized segments each warp touches at each visit.
+/// Registers are modeled exactly as the analytic model assumes: a lane
+/// re-reading an unchanged address does not issue a new access.
+TrafficMeasurement measure_traffic(const chill::Kernel& kernel,
+                                   const DeviceProfile& device,
+                                   std::int64_t max_blocks = 64);
+
+}  // namespace barracuda::vgpu

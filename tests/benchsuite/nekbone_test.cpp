@@ -1,0 +1,78 @@
+#include "benchsuite/nekbone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::benchsuite {
+namespace {
+
+core::TuneOptions fast_options() {
+  core::TuneOptions opt;
+  opt.search.max_evaluations = 25;
+  opt.search.batch_size = 5;
+  opt.max_pool = 200;
+  return opt;
+}
+
+TEST(Nekbone, RealCgSolveConverges) {
+  NekboneConfig config;
+  config.elements = 2;
+  config.p = 5;
+  config.cg_iterations = 200;
+  CgResult r = solve_cg(config, 1e-8);
+  EXPECT_TRUE(r.converged) << "residual " << r.residual << " after "
+                           << r.iterations << " iterations";
+  EXPECT_LT(r.residual, 1e-8);
+}
+
+TEST(Nekbone, CgRefusesHugeProblems) {
+  NekboneConfig config;
+  config.elements = 4096;
+  config.p = 12;
+  EXPECT_THROW(solve_cg(config), InternalError);
+}
+
+TEST(Nekbone, BarracudaBeatsNaiveOpenAcc) {
+  NekboneConfig config;
+  config.elements = 256;
+  config.p = 12;
+  config.cg_iterations = 50;
+  auto dev = vgpu::DeviceProfile::tesla_k20();
+  NekboneModel tuned = model_nekbone_barracuda(config, dev, fast_options());
+  NekboneModel naive = model_nekbone_openacc(config, dev, false);
+  NekboneModel optimized = model_nekbone_openacc(config, dev, true);
+  EXPECT_GT(tuned.gflops, naive.gflops);
+  EXPECT_GT(optimized.gflops, naive.gflops);
+  EXPECT_GE(tuned.gflops, optimized.gflops * 0.999);
+}
+
+TEST(Nekbone, GpuBeatsFourCoreCpu) {
+  // Table IV: Barracuda 35.70 GF vs OpenMP-4 23.97 GF vs 1-core 7.79 GF.
+  NekboneConfig config;
+  config.elements = 256;
+  config.p = 12;
+  config.cg_iterations = 50;
+  NekboneModel gpu = model_nekbone_barracuda(
+      config, vgpu::DeviceProfile::gtx980(), fast_options());
+  auto cpu = cpuexec::CpuProfile::haswell();
+  NekboneModel one = model_nekbone_cpu(config, cpu, 1);
+  NekboneModel four = model_nekbone_cpu(config, cpu, 4);
+  EXPECT_GT(four.gflops, one.gflops);
+  EXPECT_GT(gpu.gflops, four.gflops);
+}
+
+TEST(Nekbone, ModelAccountingConsistent) {
+  NekboneConfig config;
+  config.elements = 128;
+  config.p = 12;
+  config.cg_iterations = 10;
+  NekboneModel m = model_nekbone_openacc(
+      config, vgpu::DeviceProfile::tesla_c2050(), true);
+  EXPECT_NEAR(m.total_us,
+              m.per_iteration_us * config.cg_iterations + m.transfer_us,
+              1e-6);
+  EXPECT_GT(m.flops, 0);
+  EXPECT_GT(m.gflops, 0);
+}
+
+}  // namespace
+}  // namespace barracuda::benchsuite

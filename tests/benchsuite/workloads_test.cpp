@@ -1,0 +1,149 @@
+#include "benchsuite/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace barracuda::benchsuite {
+namespace {
+
+TEST(Workloads, Eqn1Shape) {
+  Benchmark b = eqn1();
+  EXPECT_EQ(b.name, "Eqn.(1)");
+  ASSERT_EQ(b.problem.statements.size(), 1u);
+  EXPECT_EQ(b.problem.statements[0].inputs.size(), 4u);
+  EXPECT_EQ(b.problem.extents.at("i"), 10);
+  // O(N^6) direct.
+  EXPECT_EQ(b.problem.direct_flops(), 4 * 1000000);
+}
+
+TEST(Workloads, Lg3HasThreeDirectionalContractions) {
+  Benchmark b = lg3(64, 12);
+  ASSERT_EQ(b.problem.statements.size(), 3u);
+  EXPECT_EQ(b.problem.extents.at("e"), 64);
+  EXPECT_EQ(b.problem.extents.at("i"), 12);
+  for (const auto& s : b.problem.statements) {
+    EXPECT_EQ(s.inputs.size(), 2u);
+    EXPECT_EQ(s.inputs[0].name, "D");
+    EXPECT_EQ(s.summed_indices(), (std::vector<std::string>{"l"}));
+  }
+  // 3 directions x 2 flops x E x p^4.
+  EXPECT_EQ(b.problem.direct_flops(), 3 * 2 * 64 * 12 * 12 * 12 * 12);
+}
+
+TEST(Workloads, Lg3tAccumulatesIntoOneOutput) {
+  Benchmark b = lg3t(64, 12);
+  ASSERT_EQ(b.problem.statements.size(), 3u);
+  for (const auto& s : b.problem.statements) {
+    EXPECT_EQ(s.output.name, "W");
+    EXPECT_TRUE(s.accumulate);
+  }
+  // Lg3 applies D along dim d; Lg3t applies D transposed (D[l i] vs D[i l]).
+  EXPECT_EQ(b.problem.statements[0].inputs[0].indices,
+            (std::vector<std::string>{"l", "i"}));
+}
+
+TEST(Workloads, TceExampleIsFourTensorContraction) {
+  Benchmark b = tce_ex(16);
+  ASSERT_EQ(b.problem.statements.size(), 1u);
+  const auto& s = b.problem.statements[0];
+  EXPECT_EQ(s.inputs.size(), 4u);
+  EXPECT_EQ(s.output.indices.size(), 4u);
+  EXPECT_EQ(s.summed_indices().size(), 6u);
+}
+
+TEST(Workloads, TceStrengthReductionGivesLargeSavings) {
+  Benchmark b = tce_ex(8);
+  auto programs = core::enumerate_programs(b.problem);
+  EXPECT_EQ(programs.size(), 15u);
+  EXPECT_GT(b.problem.direct_flops(), 10 * programs.front().flops());
+}
+
+TEST(Workloads, NwchemKernelShapes) {
+  for (int k = 1; k <= 9; ++k) {
+    for (auto make : {nwchem_s1, nwchem_d1, nwchem_d2}) {
+      Benchmark b = make(k, 16);
+      ASSERT_EQ(b.problem.statements.size(), 1u);
+      const auto& s = b.problem.statements[0];
+      EXPECT_EQ(s.output.name, "t3");
+      EXPECT_EQ(s.output.indices,
+                (std::vector<std::string>{"h3", "h2", "h1", "p6", "p5",
+                                          "p4"}));
+      EXPECT_EQ(s.inputs.size(), 2u);
+      EXPECT_TRUE(s.accumulate);
+    }
+  }
+}
+
+TEST(Workloads, S1IsOuterProductD1D2Contract) {
+  EXPECT_TRUE(nwchem_s1(1).problem.statements[0].summed_indices().empty());
+  EXPECT_EQ(nwchem_d1(1).problem.statements[0].summed_indices(),
+            (std::vector<std::string>{"h7"}));
+  EXPECT_EQ(nwchem_d2(1).problem.statements[0].summed_indices(),
+            (std::vector<std::string>{"p7"}));
+}
+
+TEST(Workloads, NwchemRanksMatchTableI) {
+  // S1: 2 objects with 2 & 4 dimensions; D1/D2: 2 objects with 4 dims.
+  EXPECT_EQ(nwchem_s1(3).problem.statements[0].inputs[0].indices.size(), 2u);
+  EXPECT_EQ(nwchem_s1(3).problem.statements[0].inputs[1].indices.size(), 4u);
+  for (auto make : {nwchem_d1, nwchem_d2}) {
+    EXPECT_EQ(make(5, 16).problem.statements[0].inputs[0].indices.size(),
+              4u);
+    EXPECT_EQ(make(5, 16).problem.statements[0].inputs[1].indices.size(),
+              4u);
+  }
+}
+
+TEST(Workloads, FamilyKernelsAreDistinct) {
+  for (auto family : {s1_family(8), d1_family(8), d2_family(8)}) {
+    ASSERT_EQ(family.size(), 9u);
+    std::set<std::string> texts;
+    for (const auto& b : family) {
+      texts.insert(b.problem.statements[0].to_string());
+    }
+    EXPECT_EQ(texts.size(), 9u);
+  }
+}
+
+TEST(Workloads, CombinedFamilyAccumulatesNineStatements) {
+  Benchmark b = nwchem_family_combined('d', 16);
+  EXPECT_EQ(b.problem.statements.size(), 9u);
+  for (const auto& s : b.problem.statements) {
+    EXPECT_EQ(s.output.name, "t3");
+  }
+  EXPECT_THROW(nwchem_family_combined('x'), InternalError);
+}
+
+TEST(Workloads, KernelIndexValidated) {
+  EXPECT_THROW(nwchem_s1(0), InternalError);
+  EXPECT_THROW(nwchem_d2(10), InternalError);
+}
+
+TEST(Workloads, Table2ListMatchesPaper) {
+  auto list = table2_benchmarks();
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0].name, "Eqn.(1)");
+  EXPECT_EQ(list[1].name, "Lg3");
+  EXPECT_EQ(list[2].name, "Lg3t");
+  EXPECT_EQ(list[3].name, "TCE ex");
+}
+
+TEST(Workloads, AllProblemsEnumerateAndValidate) {
+  std::vector<Benchmark> all{eqn1(), lg3(16, 6), lg3t(16, 6), tce_ex(4)};
+  for (int k = 1; k <= 9; ++k) {
+    all.push_back(nwchem_s1(k, 4));
+    all.push_back(nwchem_d1(k, 4));
+    all.push_back(nwchem_d2(k, 4));
+  }
+  for (const auto& b : all) {
+    auto programs = core::enumerate_programs(b.problem);
+    ASSERT_FALSE(programs.empty()) << b.name;
+    for (const auto& program : programs) {
+      EXPECT_NO_THROW(program.validate()) << b.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace barracuda::benchsuite

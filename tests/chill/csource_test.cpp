@@ -1,0 +1,110 @@
+#include "chill/csource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace barracuda::chill {
+namespace {
+
+tcr::TcrProgram eqn1_program() {
+  return tcr::parse_tcr(R"(
+ex
+define:
+I = J = K = L = M = N = 10
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)");
+}
+
+TEST(CSource, SignatureListsInputsThenOutput) {
+  tcr::TcrProgram p = eqn1_program();
+  EXPECT_EQ(c_entry_point(p), "ex_cpu");
+  auto params = c_parameters(p);
+  ASSERT_EQ(params.size(), 5u);
+  EXPECT_EQ(params.back(), "V");
+  std::string src = c_source(p);
+  EXPECT_NE(src.find("void ex_cpu(const double* C, const double* U, "
+                     "const double* B, const double* A, double* V)"),
+            std::string::npos)
+      << src;
+}
+
+TEST(CSource, TemporariesAllocatedAndFreed) {
+  std::string src = c_source(eqn1_program());
+  EXPECT_NE(src.find("double* temp1 = calloc(1000, sizeof(double));"),
+            std::string::npos);
+  EXPECT_NE(src.find("free(temp1);"), std::string::npos);
+  EXPECT_NE(src.find("free(temp3);"), std::string::npos);
+  // The output is caller-owned: never allocated or freed here.
+  EXPECT_EQ(src.find("double* V ="), std::string::npos);
+  EXPECT_EQ(src.find("free(V)"), std::string::npos);
+}
+
+TEST(CSource, RowMajorSubscripts) {
+  std::string src = c_source(eqn1_program());
+  EXPECT_NE(src.find("V[((i) * 10 + j) * 10 + k]"), std::string::npos);
+  EXPECT_NE(src.find("A[(l) * 10 + k]"), std::string::npos);
+}
+
+TEST(CSource, OpenMpPragmasOnFusedParallelLoops) {
+  CSourceOptions opt;
+  opt.openmp = true;
+  std::string src = c_source(eqn1_program(), opt);
+  EXPECT_NE(src.find("#include <omp.h>"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(CSource, SequentialHasNoPragmas) {
+  std::string src = c_source(eqn1_program());
+  EXPECT_EQ(src.find("#pragma"), std::string::npos);
+  EXPECT_EQ(src.find("omp.h"), std::string::npos);
+}
+
+TEST(CSource, UnfusedEmitsOneNestPerOperation) {
+  CSourceOptions opt;
+  opt.fuse = false;
+  std::string src = c_source(eqn1_program(), opt);
+  // Three operations, each opening its own i loop.
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = src.find("for (int i = 0;", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(CSource, BracesBalancedFusedAndUnfused) {
+  for (bool fuse : {true, false}) {
+    for (bool openmp : {true, false}) {
+      CSourceOptions opt;
+      opt.fuse = fuse;
+      opt.openmp = openmp;
+      std::string src = c_source(eqn1_program(), opt);
+      EXPECT_EQ(std::count(src.begin(), src.end(), '{'),
+                std::count(src.begin(), src.end(), '}'));
+    }
+  }
+}
+
+TEST(CSource, NonAccumulatingOutputMemset) {
+  tcr::TcrProgram p = eqn1_program();
+  p.operations.back().accumulate = false;
+  std::string src = c_source(p);
+  EXPECT_NE(src.find("memset(V, 0, 1000 * sizeof(double));"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::chill

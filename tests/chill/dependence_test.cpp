@@ -1,0 +1,127 @@
+#include "chill/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchsuite/workloads.hpp"
+#include "octopi/parser.hpp"
+
+namespace barracuda::chill {
+namespace {
+
+// --- the bounded integer solver ---------------------------------------
+
+TEST(DependenceSolver, ZeroCoefficientAlwaysDependent) {
+  // Reduction loop: coef 0 means every iteration hits the same element.
+  EXPECT_TRUE(has_nonzero_solution({10, 0}, {10, 10}, 1));
+}
+
+TEST(DependenceSolver, RowMajorStridesAreIndependent) {
+  // Proper row-major strides cannot alias within bounds.
+  EXPECT_FALSE(has_nonzero_solution({100, 10, 1}, {10, 10, 10}, 0));
+  EXPECT_FALSE(has_nonzero_solution({100, 10, 1}, {10, 10, 10}, 1));
+  EXPECT_FALSE(has_nonzero_solution({100, 10, 1}, {10, 10, 10}, 2));
+}
+
+TEST(DependenceSolver, AliasingStridesDetected) {
+  // A[i*4 + j] with j in [0,8): iterations (i, j) and (i+1, j-4)
+  // collide — the specialized LHS rule would wrongly call both parallel.
+  EXPECT_TRUE(has_nonzero_solution({4, 1}, {3, 8}, 0));
+  EXPECT_TRUE(has_nonzero_solution({4, 1}, {3, 8}, 1));
+  // With j in [0,4) no collision exists.
+  EXPECT_FALSE(has_nonzero_solution({4, 1}, {3, 4}, 0));
+}
+
+TEST(DependenceSolver, DiagonalAccessIndependent) {
+  // A[i*(N+1)]: merged diagonal coefficient, still injective.
+  EXPECT_FALSE(has_nonzero_solution({11}, {10}, 0));
+}
+
+TEST(DependenceSolver, OppositeCoefficientsAlias) {
+  // addr = i - j: (0,0) and (1,1) collide.
+  EXPECT_TRUE(has_nonzero_solution({1, -1}, {4, 4}, 0));
+}
+
+// --- agreement with the specialized tensor rule -----------------------
+
+TEST(Dependence, GeneralTestAgreesWithLhsRuleOnAllWorkloads) {
+  std::vector<benchsuite::Benchmark> workloads{
+      benchsuite::eqn1(),        benchsuite::eqn1_2d(),
+      benchsuite::lg3(8, 6),     benchsuite::lg3t(8, 6),
+      benchsuite::tce_ex(4),     benchsuite::nwchem_s1(1, 4),
+      benchsuite::nwchem_d1(4, 4), benchsuite::nwchem_d2(7, 4)};
+  for (const auto& b : workloads) {
+    for (const auto& program : core::enumerate_programs(b.problem)) {
+      auto nests = tcr::build_loop_nests(program);
+      for (std::size_t op = 0; op < program.operations.size(); ++op) {
+        DependenceAnalysis general = analyze_dependences(program, op);
+        EXPECT_EQ(general.parallel, nests[op].parallel_indices())
+            << b.name << " op " << op;
+        EXPECT_EQ(general.carried, nests[op].reduction_indices())
+            << b.name << " op " << op;
+      }
+    }
+  }
+}
+
+TEST(Dependence, ReductionLoopsCarriedOnEqn1) {
+  tcr::TcrProgram p = core::direct_program(benchsuite::eqn1().problem);
+  DependenceAnalysis a = analyze_dependences(p, 0);
+  EXPECT_EQ(a.parallel, (std::vector<std::string>{"i", "j", "k"}));
+  EXPECT_EQ(a.carried, (std::vector<std::string>{"l", "m", "n"}));
+}
+
+TEST(Dependence, OutputReadWithDifferentSubscriptIsConservative) {
+  // Y[i] += Y[p] * A[i p]: reading the written tensor under another
+  // subscript defeats the specialized rule; the general analysis must
+  // mark everything carried.
+  tcr::TcrProgram p = tcr::parse_tcr(R"(
+rw
+define:
+I = P = 4
+variables:
+A:(I,P)
+Y:(I)
+operations:
+Y:(i) += Y:(p)*A:(i,p)
+)");
+  DependenceAnalysis a = analyze_dependences(p, 0);
+  EXPECT_TRUE(a.parallel.empty());
+  EXPECT_EQ(a.carried.size(), 2u);
+}
+
+TEST(Dependence, IdenticalOutputReadSubscriptNotConservative) {
+  // Y[i] += Y[i] * A[i]: the read matches the write exactly; i stays
+  // parallel.
+  tcr::TcrProgram p = tcr::parse_tcr(R"(
+sq
+define:
+I = 4
+variables:
+A:(I)
+Y:(I)
+operations:
+Y:(i) += Y:(i)*A:(i)
+)");
+  DependenceAnalysis a = analyze_dependences(p, 0);
+  EXPECT_EQ(a.parallel, (std::vector<std::string>{"i"}));
+}
+
+TEST(Dependence, ScalarOutputAllCarried) {
+  tcr::TcrProgram p = tcr::parse_tcr(R"(
+dot
+define:
+I = 8
+variables:
+u:(I)
+v:(I)
+y:()
+operations:
+y:() += u:(i)*v:(i)
+)");
+  DependenceAnalysis a = analyze_dependences(p, 0);
+  EXPECT_TRUE(a.parallel.empty());
+  EXPECT_EQ(a.carried, (std::vector<std::string>{"i"}));
+}
+
+}  // namespace
+}  // namespace barracuda::chill

@@ -1,0 +1,173 @@
+#include "chill/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace barracuda::chill {
+namespace {
+
+AffineAccess v_access() {
+  // V[ty*100 + bx*10 + tx] from Figure 2(d), with indices i,j,k.
+  AffineAccess a;
+  a.tensor = "V";
+  a.terms = {{"i", 100}, {"j", 10}, {"k", 1}};
+  return a;
+}
+
+TEST(AffineAccess, CoefOfSumsDuplicates) {
+  AffineAccess a;
+  a.tensor = "A";
+  a.terms = {{"i", 10}, {"i", 1}, {"j", 5}};
+  EXPECT_EQ(a.coef_of("i"), 11);
+  EXPECT_EQ(a.coef_of("j"), 5);
+  EXPECT_EQ(a.coef_of("z"), 0);
+}
+
+TEST(AffineAccess, EvalAppliesOffsetAndTerms) {
+  AffineAccess a = v_access();
+  a.offset = 7;
+  auto value = [](const std::string& ix) -> std::int64_t {
+    if (ix == "i") return 2;
+    if (ix == "j") return 3;
+    return 4;
+  };
+  EXPECT_EQ(a.eval(value), 7 + 200 + 30 + 4);
+}
+
+TEST(AffineAccess, SourceRendering) {
+  AffineAccess a = v_access();
+  auto identity = [](const std::string& ix) { return ix; };
+  EXPECT_EQ(a.to_source(identity), "V[i * 100 + j * 10 + k]");
+  AffineAccess scalar;
+  scalar.tensor = "y";
+  EXPECT_EQ(scalar.to_source(identity), "y[0]");
+}
+
+Kernel sample_kernel() {
+  // V[i*100 + j*10 + k] += A[l*10 + k] * T[j*100 + i*10 + l]
+  // with k->tx, j->ty, i->bx, l sequential (reduction).
+  Kernel k;
+  k.name = "ex_GPU_3";
+  k.thread_x = {"k", 10};
+  k.thread_y = {"j", 10};
+  k.block_x = {"i", 10};
+  k.seq = {{"l", 10, 1}};
+  k.out = v_access();
+  AffineAccess a;
+  a.tensor = "A";
+  a.terms = {{"l", 10}, {"k", 1}};
+  AffineAccess t;
+  t.tensor = "T";
+  t.terms = {{"j", 100}, {"i", 10}, {"l", 1}};
+  k.ins = {a, t};
+  return k;
+}
+
+TEST(Kernel, GeometryAndFlops) {
+  Kernel k = sample_kernel();
+  EXPECT_EQ(k.threads_per_block(), 100);
+  EXPECT_EQ(k.blocks(), 10);
+  EXPECT_EQ(k.points(), 10000);
+  EXPECT_EQ(k.flops(), 20000);  // binary product: 2 flops per point
+}
+
+TEST(Kernel, IndexExtentsCoverGridAndSeq) {
+  auto ext = sample_kernel().index_extents();
+  EXPECT_EQ(ext.size(), 4u);
+  EXPECT_EQ(ext.at("k"), 10);
+  EXPECT_EQ(ext.at("l"), 10);
+}
+
+TEST(Kernel, ScalarDepthTrailingInvariantRun) {
+  Kernel k = sample_kernel();
+  // Innermost (only) seq loop l does not appear in V's subscript.
+  EXPECT_EQ(k.scalar_depth(), 0u);
+
+  // Make the innermost loop move the output: scalar region vanishes.
+  Kernel k2 = sample_kernel();
+  k2.seq = {{"l", 10, 1}, {"j", 10, 1}};
+  k2.thread_y = {};
+  EXPECT_EQ(k2.scalar_depth(), 2u);
+
+  // Reduction inside, parallel outside: region covers only the inner loop.
+  Kernel k3 = sample_kernel();
+  k3.seq = {{"j", 10, 1}, {"l", 10, 1}};
+  k3.thread_y = {};
+  EXPECT_EQ(k3.scalar_depth(), 1u);
+}
+
+TEST(Kernel, CudaSourceMatchesFigure2dShape) {
+  Kernel k = sample_kernel();
+  k.seq[0].unroll = 3;
+  std::string src = k.cuda_source();
+  EXPECT_NE(src.find("__global__ void ex_GPU_3"), std::string::npos);
+  EXPECT_NE(src.find("double nv = V[bx * 100 + ty * 10 + tx];"),
+            std::string::npos);
+  // Unroll-by-3 main loop with a remainder statement (10 = 3*3 + 1).
+  EXPECT_NE(src.find("for (int l = 0; l < 9; l += 3)"), std::string::npos);
+  EXPECT_NE(src.find("nv = nv + A[(l + 2) * 10 + tx]"), std::string::npos);
+  EXPECT_NE(src.find("nv = nv + A[9 * 10 + tx]"), std::string::npos);
+  EXPECT_NE(src.find("V[bx * 100 + ty * 10 + tx] = nv;"), std::string::npos);
+}
+
+TEST(Kernel, CudaSourceWithoutScalarReplacementWritesInPlace) {
+  Kernel k = sample_kernel();
+  k.scalar_replacement = false;
+  std::string src = k.cuda_source();
+  EXPECT_EQ(src.find("double nv"), std::string::npos);
+  EXPECT_NE(src.find("V[bx * 100 + ty * 10 + tx] = "
+                     "V[bx * 100 + ty * 10 + tx] + "),
+            std::string::npos);
+}
+
+TEST(Kernel, CudaSourceBalancedBraces) {
+  for (int uf : {1, 2, 3, 5, 10}) {
+    Kernel k = sample_kernel();
+    k.seq[0].unroll = uf;
+    std::string src = k.cuda_source();
+    EXPECT_EQ(std::count(src.begin(), src.end(), '{'),
+              std::count(src.begin(), src.end(), '}'))
+        << src;
+  }
+}
+
+TEST(Kernel, ScalarReplacementSkippedWhenOutputMovesInnermost) {
+  Kernel k = sample_kernel();
+  k.seq = {{"l", 10, 1}, {"j", 10, 1}};  // j moves V and is innermost
+  k.thread_y = {};
+  std::string src = k.cuda_source();
+  EXPECT_EQ(src.find("double nv"), std::string::npos);
+}
+
+TEST(GpuPlan, ByteAccounting) {
+  GpuPlan plan;
+  plan.name = "ex";
+  plan.tensor_sizes = {{"A", 100}, {"V", 1000}, {"t", 500}};
+  plan.h2d = {"A"};
+  plan.d2h = {"V"};
+  plan.zero_init = {"t"};
+  EXPECT_EQ(plan.bytes_h2d(), 800);
+  EXPECT_EQ(plan.bytes_d2h(), 8000);
+}
+
+TEST(GpuPlan, CudaSourceHasHostDriver) {
+  GpuPlan plan;
+  plan.name = "ex";
+  plan.kernels = {sample_kernel()};
+  plan.tensor_sizes = {{"A", 100}, {"T", 1000}, {"V", 1000}};
+  plan.h2d = {"A", "T"};
+  plan.d2h = {"V"};
+  std::string src = plan.cuda_source();
+  EXPECT_NE(src.find("cudaMalloc(&d_V, 1000 * sizeof(double));"),
+            std::string::npos);
+  EXPECT_NE(src.find("cudaMemcpyHostToDevice"), std::string::npos);
+  EXPECT_NE(src.find("dim3 grid(10, 1);"), std::string::npos);
+  EXPECT_NE(src.find("dim3 block(10, 10);"), std::string::npos);
+  EXPECT_NE(src.find("ex_GPU_3<<<grid, block>>>(d_V, d_A, d_T);"),
+            std::string::npos);
+  EXPECT_NE(src.find("cudaFree(d_A);"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::chill

@@ -1,0 +1,155 @@
+#include "chill/lower.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::chill {
+namespace {
+
+tcr::TcrProgram eqn1_program() {
+  return tcr::parse_tcr(R"(
+ex
+define:
+I = J = K = L = M = N = 10
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)");
+}
+
+Recipe default_recipe(const tcr::TcrProgram& p) {
+  Recipe r;
+  for (const auto& nest : tcr::build_loop_nests(p)) {
+    r.push_back(tcr::optimized_openacc_config(nest));
+  }
+  return r;
+}
+
+TEST(Lower, KernelSubscriptsUseDeclaredStrides) {
+  tcr::TcrProgram p = eqn1_program();
+  Kernel k = lower_kernel(p, 2, default_recipe(p)[2]);
+  // V:(I,J,K) row-major: strides 100, 10, 1.
+  EXPECT_EQ(k.out.coef_of("i"), 100);
+  EXPECT_EQ(k.out.coef_of("j"), 10);
+  EXPECT_EQ(k.out.coef_of("k"), 1);
+  // A:(L,K): strides 10, 1 on indices l, k.
+  EXPECT_EQ(k.ins[0].coef_of("l"), 10);
+  EXPECT_EQ(k.ins[0].coef_of("k"), 1);
+  // temp3:(J,I,L) referenced as (j,i,l): strides 100, 10, 1.
+  EXPECT_EQ(k.ins[1].coef_of("j"), 100);
+  EXPECT_EQ(k.ins[1].coef_of("l"), 1);
+}
+
+TEST(Lower, GridDimsComeFromConfig) {
+  tcr::TcrProgram p = eqn1_program();
+  auto nests = tcr::build_loop_nests(p);
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "k";
+  cfg.thread_y = "j";
+  cfg.block_x = "i";
+  cfg.sequential = {"l"};
+  cfg.unroll = 5;
+  Kernel k = lower_kernel(p, 2, cfg);
+  EXPECT_EQ(k.thread_x.index, "k");
+  EXPECT_EQ(k.thread_x.extent, 10);
+  EXPECT_EQ(k.thread_y.index, "j");
+  EXPECT_EQ(k.block_x.index, "i");
+  EXPECT_FALSE(k.block_y.used());
+  ASSERT_EQ(k.seq.size(), 1u);
+  EXPECT_EQ(k.seq[0].index, "l");
+  EXPECT_EQ(k.seq[0].unroll, 5);
+  EXPECT_EQ(k.name, "ex_GPU_3");
+}
+
+TEST(Lower, IllegalConfigRejected) {
+  tcr::TcrProgram p = eqn1_program();
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "l";  // reduction index on the grid
+  cfg.sequential = {"i", "j", "k"};
+  EXPECT_THROW(lower_kernel(p, 2, cfg), InternalError);
+}
+
+TEST(Lower, PlanDataMovement) {
+  tcr::TcrProgram p = eqn1_program();
+  GpuPlan plan = lower_program(p, default_recipe(p));
+  ASSERT_EQ(plan.kernels.size(), 3u);
+  // Inputs C, U, B, A head down; V heads down too (accumulating final
+  // output with live prior contents) and comes back.
+  for (const char* t : {"A", "B", "C", "U", "V"}) {
+    EXPECT_NE(std::find(plan.h2d.begin(), plan.h2d.end(), t),
+              plan.h2d.end())
+        << t;
+  }
+  EXPECT_EQ(plan.d2h, (std::vector<std::string>{"V"}));
+  // Temporaries stay resident and are zero-initialized.
+  EXPECT_EQ(plan.zero_init.size(), 2u);
+  EXPECT_EQ(plan.tensor_sizes.at("V"), 1000);
+  EXPECT_EQ(plan.tensor_sizes.at("A"), 100);
+}
+
+TEST(Lower, NonAccumulatingOutputZeroInitInsteadOfTransfer) {
+  tcr::TcrProgram p = eqn1_program();
+  p.operations.back().accumulate = false;
+  GpuPlan plan = lower_program(p, default_recipe(p));
+  EXPECT_EQ(std::find(plan.h2d.begin(), plan.h2d.end(), "V"),
+            plan.h2d.end());
+  EXPECT_NE(std::find(plan.zero_init.begin(), plan.zero_init.end(), "V"),
+            plan.zero_init.end());
+}
+
+TEST(Lower, RecipeSizeMustMatchOperationCount) {
+  tcr::TcrProgram p = eqn1_program();
+  Recipe r = default_recipe(p);
+  r.pop_back();
+  EXPECT_THROW(lower_program(p, r), InternalError);
+}
+
+TEST(Lower, OpenAccRecipesDifferInScalarReplacement) {
+  tcr::TcrProgram p = eqn1_program();
+  Recipe naive = openacc_naive_recipe(p);
+  Recipe opt = openacc_optimized_recipe(p);
+  ASSERT_EQ(naive.size(), 3u);
+  ASSERT_EQ(opt.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(naive[i].scalar_replacement);
+    EXPECT_TRUE(opt[i].scalar_replacement);
+  }
+}
+
+TEST(Lower, DiagonalAccessMergesTerms) {
+  tcr::TcrProgram p = tcr::parse_tcr(R"(
+diag
+define:
+I = 4
+variables:
+A:(I,I)
+y:(I)
+operations:
+y:(i) += A:(i,i)
+)");
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "i";
+  Kernel k = lower_kernel(p, 0, cfg);
+  EXPECT_EQ(k.ins[0].coef_of("i"), 5);  // 4 + 1
+}
+
+TEST(Lower, PlanCudaSourceContainsAllKernels) {
+  tcr::TcrProgram p = eqn1_program();
+  GpuPlan plan = lower_program(p, default_recipe(p));
+  std::string src = plan.cuda_source();
+  EXPECT_NE(src.find("ex_GPU_1"), std::string::npos);
+  EXPECT_NE(src.find("ex_GPU_2"), std::string::npos);
+  EXPECT_NE(src.find("ex_GPU_3"), std::string::npos);
+  EXPECT_NE(src.find("cudaMemset(d_temp1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::chill

@@ -1,0 +1,192 @@
+#include "core/barracuda.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace barracuda::core {
+namespace {
+
+constexpr const char* kEqn1Dsl = R"(
+dim i j k l m n = 6
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+)";
+
+TuneOptions fast_options() {
+  TuneOptions opt;
+  opt.search.max_evaluations = 40;
+  opt.search.batch_size = 8;
+  opt.max_pool = 400;
+  return opt;
+}
+
+TEST(Problem, FromDslParsesStatementsAndExtents) {
+  TuningProblem p = TuningProblem::from_dsl(kEqn1Dsl, "eqn1");
+  EXPECT_EQ(p.name, "eqn1");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_EQ(p.extents.at("l"), 6);
+  EXPECT_EQ(p.direct_flops(), 4 * 6 * 6 * 6 * 6 * 6 * 6);
+}
+
+TEST(Problem, DslWithoutDimsRejected) {
+  EXPECT_THROW(TuningProblem::from_dsl("V[i] = A[i]\n"), InternalError);
+}
+
+TEST(EnumeratePrograms, SingleStatementMatchesOctopiCount) {
+  TuningProblem p = TuningProblem::from_dsl(kEqn1Dsl);
+  auto programs = enumerate_programs(p);
+  EXPECT_EQ(programs.size(), 15u);
+  for (std::size_t i = 1; i < programs.size(); ++i) {
+    EXPECT_LE(programs[i - 1].flops(), programs[i].flops());
+  }
+}
+
+TEST(EnumeratePrograms, MultiStatementCrossProductAndTempRenaming) {
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim i j k l m = 4
+X[i k] = Sum([j], A[i j] * B[j k])
+Y[i m] = Sum([j l], A[i j] * B[j l] * C[l m])
+)");
+  // Statement 1: binary -> 1 variant; statement 2: 3 terms -> 3 variants.
+  auto programs = enumerate_programs(p);
+  EXPECT_EQ(programs.size(), 3u);
+  for (const auto& program : programs) {
+    EXPECT_NO_THROW(program.validate());
+    // Temporaries from different statements must not collide with user
+    // tensors or each other.
+    std::set<std::string> names;
+    for (const auto& v : program.variables) {
+      EXPECT_TRUE(names.insert(v.name).second) << v.name;
+    }
+  }
+}
+
+TEST(EnumeratePrograms, JointVariantCapRespected) {
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim a b c d e f g = 3
+X[a d] = Sum([b c], P[a b] * Q[b c] * R[c d])
+Y[d g] = Sum([e f], S[d e] * T[e f] * W[f g])
+)");
+  auto all = enumerate_programs(p, {}, 100);
+  EXPECT_EQ(all.size(), 9u);  // 3 x 3
+  auto capped = enumerate_programs(p, {}, 4);
+  EXPECT_EQ(capped.size(), 4u);  // 2 x 2 after per-statement trim
+}
+
+TEST(DirectProgram, KeepsStatementsUnreduced) {
+  TuningProblem p = TuningProblem::from_dsl(kEqn1Dsl);
+  tcr::TcrProgram d = direct_program(p);
+  ASSERT_EQ(d.operations.size(), 1u);
+  EXPECT_EQ(d.operations[0].inputs.size(), 4u);
+  EXPECT_EQ(d.flops(), p.direct_flops());
+}
+
+TEST(Tune, ProducesValidResultOnEqn1) {
+  TuningProblem p = TuningProblem::from_dsl(kEqn1Dsl);
+  TuneResult r = tune(p, vgpu::DeviceProfile::gtx980(), fast_options());
+  EXPECT_EQ(r.variants.size(), 15u);
+  EXPECT_LT(r.best_variant, r.variants.size());
+  EXPECT_GT(r.joint_space_size, 1000);
+  EXPECT_GT(r.pool_size, 0u);
+  EXPECT_LE(r.search.evaluations(), 40u);
+  EXPECT_GT(r.modeled_us(), 0);
+  EXPECT_GT(r.modeled_gflops(), 0);
+  EXPECT_GE(r.modeled_gflops_amortized(100), r.modeled_gflops());
+  EXPECT_FALSE(r.cuda_source().empty());
+}
+
+TEST(Tune, TunedPlanExecutesCorrectly) {
+  TuningProblem p = TuningProblem::from_dsl(kEqn1Dsl);
+  TuneResult r = tune(p, vgpu::DeviceProfile::tesla_k20(), fast_options());
+
+  Rng rng(9);
+  tensor::TensorEnv env;
+  env.emplace("A", tensor::Tensor::random({6, 6}, rng));
+  env.emplace("B", tensor::Tensor::random({6, 6}, rng));
+  env.emplace("C", tensor::Tensor::random({6, 6}, rng));
+  env.emplace("U", tensor::Tensor::random({6, 6, 6}, rng));
+  env.emplace("V", tensor::Tensor::zeros({6, 6, 6}));
+  tensor::TensorEnv ref_env = env;
+
+  r.run(env);
+  tensor::evaluate(p.statements[0], p.extents, ref_env);
+  EXPECT_TRUE(tensor::Tensor::allclose(env.at("V"), ref_env.at("V"), 1e-9));
+}
+
+TEST(Tune, SurfBeatsOrMatchesRandomOnAverage) {
+  // A batched contraction where coalescing structure dominates — the
+  // landscape SURF's surrogate is built to exploit.  (On Eqn(1), whose
+  // variants all perform nearly identically, the paper itself notes the
+  // search signal is weak.)
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim e = 256
+dim i j k l = 12
+UR[e i j k] += D[i l] * U[e l j k]
+)");
+  auto dev = vgpu::DeviceProfile::tesla_c2050();
+  double surf_total = 0, random_total = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    TuneOptions opt = fast_options();
+    opt.max_pool = 1500;
+    opt.search.max_evaluations = 100;  // the paper's budget
+    opt.search.batch_size = 10;
+    opt.search.seed = seed;
+    opt.pool_seed = seed;
+    opt.method = TuneOptions::Method::kSurf;
+    surf_total += tune(p, dev, opt).search.best_value;
+    opt.method = TuneOptions::Method::kRandom;
+    random_total += tune(p, dev, opt).search.best_value;
+  }
+  EXPECT_LE(surf_total, random_total * 1.05);
+}
+
+TEST(Tune, ExhaustiveOnTinySpaceFindsPoolOptimum) {
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim i j k = 4
+C[i k] += A[i j] * B[j k]
+)");
+  TuneOptions opt;
+  opt.method = TuneOptions::Method::kExhaustive;
+  opt.max_pool = 100000;
+  TuneResult ex = tune(p, vgpu::DeviceProfile::gtx980(), opt);
+  EXPECT_EQ(static_cast<std::int64_t>(ex.search.evaluations()),
+            ex.joint_space_size);
+
+  TuneOptions surf_opt = opt;
+  surf_opt.method = TuneOptions::Method::kSurf;
+  surf_opt.search.max_evaluations = ex.search.evaluations();
+  TuneResult s = tune(p, vgpu::DeviceProfile::gtx980(), surf_opt);
+  EXPECT_DOUBLE_EQ(s.best_timing.total_us, ex.best_timing.total_us);
+}
+
+TEST(Baselines, OpenAccOrderingNaiveSlowest) {
+  // naive <= optimized <= tuned (in performance), per Section VI.B.
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim e = 64
+dim i j k l = 12
+UR[e i j k] += D[i l] * U[e l j k]
+)");
+  auto dev = vgpu::DeviceProfile::tesla_k20();
+  BaselineResult naive = openacc_baseline(p, dev, /*optimized=*/false);
+  BaselineResult optimized = openacc_baseline(p, dev, /*optimized=*/true);
+  TuneOptions opt = fast_options();
+  opt.search.max_evaluations = 60;
+  TuneResult tuned = tune(p, dev, opt);
+  EXPECT_GT(naive.timing.kernel_us, optimized.timing.kernel_us);
+  EXPECT_GE(optimized.timing.kernel_us, tuned.best_timing.kernel_us * 0.999);
+}
+
+TEST(Baselines, CpuScalesWithThreadsOnComputeBoundProblem) {
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim e = 256
+dim i j k l = 12
+UR[e i j k] += D[i l] * U[e l j k]
+)");
+  auto cpu = cpuexec::CpuProfile::haswell();
+  auto one = cpu_baseline(p, cpu, 1);
+  auto four = cpu_baseline(p, cpu, 4);
+  EXPECT_GT(one.total_us / four.total_us, 2.0);
+}
+
+}  // namespace
+}  // namespace barracuda::core

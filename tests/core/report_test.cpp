@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vgpu/executor.hpp"
+
+namespace barracuda::core {
+namespace {
+
+TuneResult tuned_eqn1() {
+  TuningProblem p = TuningProblem::from_dsl(R"(
+dim i j k l m n = 6
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+)");
+  TuneOptions opt;
+  opt.search.max_evaluations = 20;
+  opt.max_pool = 200;
+  return tune(p, vgpu::DeviceProfile::gtx980(), opt);
+}
+
+TEST(Report, RecipeRoundTripsThroughText) {
+  TuneResult r = tuned_eqn1();
+  std::string text = serialize_recipe(r.best_recipe);
+  chill::Recipe parsed = parse_recipe(text);
+  EXPECT_EQ(parsed, r.best_recipe);
+}
+
+TEST(Report, RecipeWithSharedAndEmptySeqRoundTrips) {
+  chill::Recipe recipe(2);
+  recipe[0].thread_x = "k";
+  recipe[0].block_x = "e";
+  recipe[0].sequential = {};
+  recipe[0].unroll = 1;
+  recipe[0].shared_tensors = {"D", "G"};
+  recipe[1].thread_x = "i";
+  recipe[1].thread_y = "j";
+  recipe[1].sequential = {"l", "m"};
+  recipe[1].unroll = 4;
+  recipe[1].scalar_replacement = false;
+  chill::Recipe parsed = parse_recipe(serialize_recipe(recipe));
+  EXPECT_EQ(parsed, recipe);
+}
+
+TEST(Report, ParsedRecipeLowersAndExecutesIdentically) {
+  // The future-work scenario: persist the recipe, reload it later and
+  // re-lower without searching.
+  TuneResult r = tuned_eqn1();
+  chill::Recipe reloaded = parse_recipe(serialize_recipe(r.best_recipe));
+  chill::GpuPlan replayed =
+      chill::lower_program(r.best_program(), reloaded);
+
+  Rng rng(21);
+  tensor::TensorEnv env;
+  env.emplace("A", tensor::Tensor::random({6, 6}, rng));
+  env.emplace("B", tensor::Tensor::random({6, 6}, rng));
+  env.emplace("C", tensor::Tensor::random({6, 6}, rng));
+  env.emplace("U", tensor::Tensor::random({6, 6, 6}, rng));
+  env.emplace("V", tensor::Tensor::zeros({6, 6, 6}));
+  tensor::TensorEnv original = env;
+  vgpu::execute_plan(replayed, env);
+  r.run(original);
+  EXPECT_TRUE(tensor::Tensor::allclose(env.at("V"), original.at("V"), 0.0));
+}
+
+TEST(Report, ParseRejectsMalformedText) {
+  EXPECT_THROW(parse_recipe(""), ParseError);
+  EXPECT_THROW(parse_recipe("not a recipe\n"), ParseError);
+  EXPECT_THROW(parse_recipe("kernel 1 tx=k\n"), ParseError);
+  EXPECT_THROW(parse_recipe("kernel 1: tx=k zz=1 unroll=1\n"), ParseError);
+  EXPECT_THROW(parse_recipe("kernel 1: tx=k\n"), ParseError);  // no unroll
+  EXPECT_THROW(parse_recipe("kernel 1: tx=k unroll=zero\n"), ParseError);
+  EXPECT_THROW(parse_recipe("kernel 1: tx=k unroll=0\n"), ParseError);
+}
+
+TEST(Report, TuningReportContainsAllSections) {
+  TuneResult r = tuned_eqn1();
+  std::string report = tuning_report(r, vgpu::DeviceProfile::gtx980());
+  EXPECT_NE(report.find("GTX 980"), std::string::npos);
+  EXPECT_NE(report.find("variants        : 15"), std::string::npos);
+  EXPECT_NE(report.find("--- chosen variant (TCR) ---"), std::string::npos);
+  EXPECT_NE(report.find("--- recipe ---"), std::string::npos);
+  EXPECT_NE(report.find("kernel 1: tx="), std::string::npos);
+  EXPECT_NE(report.find("--- per-kernel model ---"), std::string::npos);
+  EXPECT_NE(report.find("occupancy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::core

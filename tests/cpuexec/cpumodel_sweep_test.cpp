@@ -1,0 +1,78 @@
+// Parameterized sweep of the CPU model over the NWChem families and
+// thread counts: boundedness classification and scaling behaviour must
+// hold across the whole population, not just hand-picked kernels.
+#include <gtest/gtest.h>
+
+#include "benchsuite/workloads.hpp"
+#include "cpuexec/cpumodel.hpp"
+
+namespace barracuda::cpuexec {
+namespace {
+
+struct SweepCase {
+  char family;
+  int index;
+};
+
+std::vector<SweepCase> cases() {
+  std::vector<SweepCase> out;
+  for (char f : {'s', 'd', '2'}) {
+    for (int k : {1, 4, 7}) out.push_back({f, k});
+  }
+  return out;
+}
+
+benchsuite::Benchmark make(const SweepCase& c) {
+  switch (c.family) {
+    case 's': return benchsuite::nwchem_s1(c.index);
+    case 'd': return benchsuite::nwchem_d1(c.index);
+    default: return benchsuite::nwchem_d2(c.index);
+  }
+}
+
+class CpuModelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CpuModelSweep, BoundednessMatchesFamily) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram program = core::direct_program(make(GetParam()).problem);
+  CpuTiming t = model_cpu(program, cpu, 1);
+  if (GetParam().family == 's') {
+    // Outer products stream the rank-6 output with no reuse.
+    EXPECT_GT(t.memory_us, t.compute_us);
+  } else {
+    // The h7/p7 contractions amortize the output over 16 flops/element.
+    EXPECT_GT(t.compute_us, t.memory_us);
+  }
+}
+
+TEST_P(CpuModelSweep, ScalingMonotoneAndBounded) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram program = core::direct_program(make(GetParam()).problem);
+  double prev = model_cpu(program, cpu, 1).total_us;
+  for (int threads : {2, 3, 4}) {
+    double t = model_cpu(program, cpu, threads).total_us;
+    EXPECT_LE(t, prev * 1.0001) << threads << " threads";
+    EXPECT_GE(t, prev / 2.5) << threads << " threads";  // <= ideal scaling
+    prev = t;
+  }
+}
+
+TEST_P(CpuModelSweep, PerFamilyGflopsInPlausibleBand) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram program = core::direct_program(make(GetParam()).problem);
+  double gf1 = model_cpu(program, cpu, 1).gflops(program.flops());
+  EXPECT_GT(gf1, 0.5);
+  EXPECT_LT(gf1, 2 * cpu.core_gflops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CpuModelSweep, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string f = info.param.family == 's'   ? "s1"
+                      : info.param.family == 'd' ? "d1"
+                                                 : "d2";
+      return f + "_" + std::to_string(info.param.index);
+    });
+
+}  // namespace
+}  // namespace barracuda::cpuexec

@@ -1,0 +1,105 @@
+#include "cpuexec/cpumodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::cpuexec {
+namespace {
+
+tcr::TcrProgram small_contraction() {
+  // Compute-bound: everything fits in cache, deep reduction.
+  return tcr::parse_tcr(R"(
+lg
+define:
+E = 512
+I = J = K = L = 12
+variables:
+D:(K,L)
+U:(E,I,J,L)
+UR:(E,I,J,K)
+operations:
+UR:(e,i,j,k) += D:(k,l)*U:(e,i,j,l)
+)");
+}
+
+tcr::TcrProgram s1_like() {
+  // Bandwidth-bound: rank-6 output streamed with almost no reuse.
+  return tcr::parse_tcr(R"(
+s1
+define:
+H1 = H2 = H3 = P4 = P5 = P6 = 16
+variables:
+t1:(P4,H1)
+v2:(H3,H2,P6,P5)
+t3:(H3,H2,H1,P6,P5,P4)
+operations:
+t3:(h3,h2,h1,p6,p5,p4) += t1:(p4,h1)*v2:(h3,h2,p6,p5)
+)");
+}
+
+TEST(CpuModel, FourThreadsSpeedUpComputeBoundKernels) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = small_contraction();
+  CpuTiming one = model_cpu(p, cpu, 1);
+  CpuTiming four = model_cpu(p, cpu, 4);
+  double speedup = one.total_us / four.total_us;
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LE(speedup, 4.0);
+}
+
+TEST(CpuModel, BandwidthBoundKernelsBarelyScale) {
+  // The paper's NWChem S1: 2.47 GF on 1 core, 2.61 GF on 4 (Table IV).
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = s1_like();
+  CpuTiming one = model_cpu(p, cpu, 1);
+  CpuTiming four = model_cpu(p, cpu, 4);
+  double speedup = one.total_us / four.total_us;
+  EXPECT_LT(speedup, 2.5);
+  EXPECT_GE(speedup, 1.0);
+}
+
+TEST(CpuModel, SequentialGflopsInHaswellBallpark) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = small_contraction();
+  CpuTiming t = model_cpu(p, cpu, 1);
+  double gf = t.gflops(p.flops());
+  EXPECT_GT(gf, 2.0);
+  EXPECT_LT(gf, 16.0);
+}
+
+TEST(CpuModel, S1LikeIsMemoryBound) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = s1_like();
+  CpuTiming t = model_cpu(p, cpu, 1);
+  EXPECT_GT(t.memory_us, t.compute_us);
+  // Modeled throughput lands near the paper's ~2.5 GF.
+  double gf = t.gflops(p.flops());
+  EXPECT_GT(gf, 0.5);
+  EXPECT_LT(gf, 6.0);
+}
+
+TEST(CpuModel, ThreadsBeyondCoresClamped) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = small_contraction();
+  EXPECT_NEAR(model_cpu(p, cpu, 4).total_us,
+              model_cpu(p, cpu, 16).total_us, 1e-9);
+}
+
+TEST(CpuModel, InvalidThreadCountThrows) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = small_contraction();
+  EXPECT_THROW(model_cpu(p, cpu, 0), InternalError);
+}
+
+TEST(CpuModel, TrafficAccountsForCacheResidence) {
+  auto cpu = CpuProfile::haswell();
+  tcr::TcrProgram p = s1_like();
+  const auto& op = p.operations[0];
+  double bytes = traffic_bytes(p, op, cpu);
+  // t3 is 16^6 doubles = 128 MiB, read+written once: at least 256 MiB.
+  EXPECT_GT(bytes, 2.0 * (1 << 27));
+  // Small cache-resident inputs add almost nothing on top.
+  EXPECT_LT(bytes, 2.2 * (1 << 27));
+}
+
+}  // namespace
+}  // namespace barracuda::cpuexec

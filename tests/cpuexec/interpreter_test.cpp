@@ -1,0 +1,104 @@
+#include "cpuexec/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::cpuexec {
+namespace {
+
+using tensor::Tensor;
+using tensor::TensorEnv;
+
+tcr::TcrProgram eqn1_program(std::int64_t n) {
+  std::string text = R"(
+ex
+define:
+I = J = K = L = M = N = )" + std::to_string(n) + R"(
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)";
+  return tcr::parse_tcr(text);
+}
+
+TensorEnv inputs(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  TensorEnv env;
+  env.emplace("A", Tensor::random({n, n}, rng));
+  env.emplace("B", Tensor::random({n, n}, rng));
+  env.emplace("C", Tensor::random({n, n}, rng));
+  env.emplace("U", Tensor::random({n, n, n}, rng));
+  return env;
+}
+
+TEST(Interpreter, SequentialMatchesReferenceEvaluator) {
+  tcr::TcrProgram p = eqn1_program(5);
+  TensorEnv env = inputs(5, 1);
+  TensorEnv ref_env = env;
+  const Tensor& got = run_sequential(p, env);
+  tensor::ContractionProgram cp{p.operations};
+  const Tensor& expect = tensor::evaluate(cp, p.extents, ref_env);
+  EXPECT_TRUE(Tensor::allclose(got, expect, 1e-10));
+}
+
+TEST(Interpreter, FusedMatchesSequential) {
+  tcr::TcrProgram p = eqn1_program(5);
+  auto groups = tcr::fuse_program(p);
+  TensorEnv seq_env = inputs(5, 2);
+  TensorEnv fused_env = seq_env;
+  const Tensor& seq = run_sequential(p, seq_env);
+  const Tensor& fused = run_fused(p, groups, fused_env);
+  EXPECT_TRUE(Tensor::allclose(seq, fused, 1e-10));
+}
+
+TEST(Interpreter, FusedMatchesSequentialOnMultiGroupProgram) {
+  tcr::TcrProgram p = tcr::parse_tcr(R"(
+two
+define:
+I = J = A = B = 4
+variables:
+X:(I,J)
+P:(I,J)
+Y:(A,B)
+Q:(A,B)
+operations:
+P:(i,j) += X:(i,j)
+Q:(a,b) += Y:(a,b)
+)");
+  Rng rng(3);
+  TensorEnv env;
+  env.emplace("X", Tensor::random({4, 4}, rng));
+  env.emplace("Y", Tensor::random({4, 4}, rng));
+  TensorEnv fused_env = env;
+  run_sequential(p, env);
+  run_fused(p, tcr::fuse_program(p), fused_env);
+  EXPECT_TRUE(Tensor::allclose(env.at("P"), fused_env.at("P"), 1e-12));
+  EXPECT_TRUE(Tensor::allclose(env.at("Q"), fused_env.at("Q"), 1e-12));
+}
+
+TEST(Interpreter, CreatesMissingOutputsAsZeros) {
+  tcr::TcrProgram p = eqn1_program(3);
+  TensorEnv env = inputs(3, 4);
+  EXPECT_FALSE(env.contains("V"));
+  run_sequential(p, env);
+  EXPECT_TRUE(env.contains("V"));
+  EXPECT_TRUE(env.contains("temp1"));
+}
+
+TEST(Interpreter, MeasureReturnsPositiveSeconds) {
+  tcr::TcrProgram p = eqn1_program(4);
+  double s = measure_sequential_seconds(p, inputs(4, 5), 2);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 10.0);
+}
+
+}  // namespace
+}  // namespace barracuda::cpuexec

@@ -1,0 +1,131 @@
+// The strongest validation of the C emitter: compile the generated
+// translation unit with the system C compiler, dlopen it, run it, and
+// compare against the reference einsum evaluator.
+#include <dlfcn.h>
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "chill/csource.hpp"
+#include "core/barracuda.hpp"
+#include "tensor/einsum.hpp"
+
+namespace barracuda {
+namespace {
+
+/// Compile `source` into a shared object and return its path ("" on
+/// failure).  Artifacts live under the test's temp directory.
+std::string compile_shared(const std::string& source, const std::string& tag,
+                           bool openmp) {
+  const std::string base = ::testing::TempDir() + "/barracuda_" + tag;
+  const std::string c_path = base + ".c";
+  const std::string so_path = base + ".so";
+  {
+    std::ofstream out(c_path);
+    out << source;
+  }
+  std::string cmd = "cc -O2 -shared -fPIC ";
+  if (openmp) cmd += "-fopenmp ";
+  cmd += "-o " + so_path + " " + c_path + " 2> " + base + ".log";
+  if (std::system(cmd.c_str()) != 0) return "";
+  return so_path;
+}
+
+using Eqn1Fn = void (*)(const double*, const double*, const double*,
+                        const double*, double*);
+
+class CCompileTest : public ::testing::TestWithParam<std::pair<bool, bool>> {
+};
+
+TEST_P(CCompileTest, EmittedEqn1ComputesReferenceResult) {
+  auto [openmp, fuse] = GetParam();
+  core::TuningProblem problem = core::TuningProblem::from_dsl(R"(
+dim i j k l m n = 8
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+)",
+                                                              "ex");
+  tcr::TcrProgram program = core::enumerate_programs(problem).front();
+  chill::CSourceOptions opt;
+  opt.openmp = openmp;
+  opt.fuse = fuse;
+  std::string so = compile_shared(
+      chill::c_source(program, opt),
+      std::string("eqn1_") + (openmp ? "omp" : "seq") +
+          (fuse ? "_fused" : "_unfused"),
+      openmp);
+  ASSERT_FALSE(so.empty()) << "generated C failed to compile";
+
+  void* handle = dlopen(so.c_str(), RTLD_NOW);
+  ASSERT_NE(handle, nullptr) << dlerror();
+  auto fn = reinterpret_cast<Eqn1Fn>(
+      dlsym(handle, chill::c_entry_point(program).c_str()));
+  ASSERT_NE(fn, nullptr) << dlerror();
+
+  // Parameter order is input first-use order: C, U, B, A (then V).
+  auto params = chill::c_parameters(program);
+  ASSERT_EQ(params, (std::vector<std::string>{"C", "U", "B", "A", "V"}));
+
+  Rng rng(77);
+  tensor::TensorEnv env;
+  env.emplace("A", tensor::Tensor::random({8, 8}, rng));
+  env.emplace("B", tensor::Tensor::random({8, 8}, rng));
+  env.emplace("C", tensor::Tensor::random({8, 8}, rng));
+  env.emplace("U", tensor::Tensor::random({8, 8, 8}, rng));
+  tensor::Tensor v = tensor::Tensor::zeros({8, 8, 8});
+
+  fn(env.at("C").data(), env.at("U").data(), env.at("B").data(),
+     env.at("A").data(), v.data());
+
+  tensor::TensorEnv reference = env;
+  tensor::evaluate(problem.statements[0], problem.extents, reference);
+  EXPECT_TRUE(tensor::Tensor::allclose(v, reference.at("V"), 1e-9));
+  dlclose(handle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, CCompileTest,
+    ::testing::Values(std::make_pair(false, true),
+                      std::make_pair(false, false),
+                      std::make_pair(true, true),
+                      std::make_pair(true, false)),
+    [](const ::testing::TestParamInfo<std::pair<bool, bool>>& info) {
+      return std::string(info.param.first ? "omp" : "seq") +
+             (info.param.second ? "_fused" : "_unfused");
+    });
+
+TEST(CCompile, NwchemKernelCompilesAndRuns) {
+  core::TuningProblem problem = core::TuningProblem::from_dsl(R"(
+dim h1 h2 h3 p4 p5 p6 h7 = 4
+t3[h3 h2 h1 p6 p5 p4] += t2[h7 p4 p5 h1] * v2[h3 h2 p6 h7]
+)",
+                                                              "d1_1");
+  tcr::TcrProgram program = core::direct_program(problem);
+  std::string so =
+      compile_shared(chill::c_source(program), "d1_small", false);
+  ASSERT_FALSE(so.empty());
+  void* handle = dlopen(so.c_str(), RTLD_NOW);
+  ASSERT_NE(handle, nullptr);
+  using Fn = void (*)(const double*, const double*, double*);
+  auto fn =
+      reinterpret_cast<Fn>(dlsym(handle, "d1_1_cpu"));
+  ASSERT_NE(fn, nullptr);
+
+  Rng rng(5);
+  tensor::Tensor t2 = tensor::Tensor::random({4, 4, 4, 4}, rng);
+  tensor::Tensor v2 = tensor::Tensor::random({4, 4, 4, 4}, rng);
+  tensor::Tensor t3 = tensor::Tensor::zeros({4, 4, 4, 4, 4, 4});
+  fn(t2.data(), v2.data(), t3.data());
+
+  tensor::TensorEnv env;
+  env.emplace("t2", t2);
+  env.emplace("v2", v2);
+  tensor::evaluate(problem.statements[0], problem.extents, env);
+  EXPECT_TRUE(tensor::Tensor::allclose(t3, env.at("t3"), 1e-10));
+  dlclose(handle);
+}
+
+}  // namespace
+}  // namespace barracuda

@@ -1,0 +1,246 @@
+// Randomized property tests over the whole pipeline: generate random
+// einsum contractions, then assert the system-level invariants of
+// DESIGN.md §5 on each —
+//   * every enumerated variant computes the reference result,
+//   * every sampled kernel configuration lowers to a plan whose
+//     functional execution matches the reference,
+//   * loop fusion preserves semantics,
+//   * the performance model stays finite on every sampled plan.
+// Seeds are fixed, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include "chill/lower.hpp"
+#include "core/barracuda.hpp"
+#include "cpuexec/interpreter.hpp"
+#include "tcr/fusion.hpp"
+#include "vgpu/executor.hpp"
+#include "vgpu/perfmodel.hpp"
+
+namespace barracuda {
+namespace {
+
+using tensor::Contraction;
+using tensor::Extents;
+using tensor::Tensor;
+using tensor::TensorEnv;
+using tensor::TensorRef;
+
+/// A randomly generated contraction problem with its input data.
+struct RandomProblem {
+  Contraction stmt;
+  Extents extents;
+  TensorEnv inputs;
+};
+
+/// Draw a random n-ary contraction: 2-4 factors over 3-6 indices with
+/// extents 2-5, output keeping a random nonempty subset of indices.
+/// Construction guarantees every index appears in some factor and the
+/// output only uses indices that appear on the right-hand side.
+RandomProblem make_random_problem(Rng& rng) {
+  RandomProblem p;
+  const int n_indices = rng.uniform_int(3, 6);
+  std::vector<std::string> indices;
+  for (int i = 0; i < n_indices; ++i) {
+    std::string ix(1, static_cast<char>('a' + i));
+    indices.push_back(ix);
+    p.extents[ix] = rng.uniform_int(2, 5);
+  }
+
+  const int n_factors = rng.uniform_int(2, 4);
+  std::vector<bool> used(indices.size(), false);
+  for (int f = 0; f < n_factors; ++f) {
+    TensorRef ref;
+    ref.name = "X" + std::to_string(f);
+    const int rank = rng.uniform_int(1, 3);
+    auto picks = rng.sample_without_replacement(
+        indices.size(),
+        std::min<std::size_t>(static_cast<std::size_t>(rank),
+                              indices.size()));
+    for (auto ixp : picks) {
+      ref.indices.push_back(indices[ixp]);
+      used[ixp] = true;
+    }
+    p.stmt.inputs.push_back(ref);
+  }
+  // Indices not covered by any factor are dropped from the problem.
+  std::vector<std::string> covered;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (used[i]) covered.push_back(indices[i]);
+  }
+  // Output: a random (possibly empty) subset of covered indices.
+  p.stmt.output.name = "OUT";
+  for (const auto& ix : covered) {
+    if (rng.flip(0.5)) p.stmt.output.indices.push_back(ix);
+  }
+  p.stmt.accumulate = true;
+
+  for (const auto& in : p.stmt.inputs) {
+    if (p.inputs.contains(in.name)) continue;
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : in.indices) dims.push_back(p.extents.at(ix));
+    p.inputs.emplace(in.name, Tensor::random(dims, rng));
+  }
+  return p;
+}
+
+Tensor reference_of(const RandomProblem& p) {
+  TensorEnv env = p.inputs;
+  tensor::evaluate(p.stmt, p.extents, env);
+  return env.at("OUT");
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, AllVariantsMatchReference) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomProblem p = make_random_problem(rng);
+    Tensor expect = reference_of(p);
+    octopi::EnumerateOptions opt;
+    opt.max_variants = 200;
+    for (const auto& v :
+         octopi::enumerate_variants(p.stmt, p.extents, opt)) {
+      TensorEnv env = p.inputs;
+      const Tensor& got = tensor::evaluate(v.program, p.extents, env);
+      ASSERT_TRUE(Tensor::allclose(expect, got, 1e-9))
+          << "seed " << GetParam() << " trial " << trial << "\n"
+          << p.stmt.to_string() << "\nvariant:\n"
+          << v.program.to_string();
+    }
+  }
+}
+
+TEST_P(FuzzTest, SampledConfigsExecuteCorrectly) {
+  Rng rng(GetParam() ^ 0xabcd);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomProblem p = make_random_problem(rng);
+    // Skip pure reductions to a scalar with no parallel loop (the grid
+    // mapping requires at least one parallel index).
+    if (p.stmt.output.indices.empty()) continue;
+    Tensor expect = reference_of(p);
+
+    octopi::Variant direct;
+    direct.program.steps = {p.stmt};
+    tcr::TcrProgram program = tcr::from_variant(direct, p.extents, "fuzz");
+    auto nests = tcr::build_loop_nests(program);
+    tcr::DecisionOptions dopt;
+    dopt.use_shared_memory = (trial % 2 == 0);
+    auto configs =
+        tcr::enumerate_configs(nests[0], tcr::derive_space(nests[0], dopt));
+    ASSERT_FALSE(configs.empty());
+    for (int pick = 0; pick < 8; ++pick) {
+      const tcr::KernelConfig& cfg = configs[rng.index(configs.size())];
+      chill::GpuPlan plan = chill::lower_program(program, {cfg});
+      TensorEnv env = p.inputs;
+      std::vector<std::int64_t> out_dims;
+      for (const auto& ix : p.stmt.output.indices) {
+        out_dims.push_back(p.extents.at(ix));
+      }
+      env.emplace("OUT", Tensor::zeros(out_dims));
+      vgpu::execute_plan(plan, env);
+      ASSERT_TRUE(Tensor::allclose(expect, env.at("OUT"), 1e-9))
+          << "seed " << GetParam() << " trial " << trial << "\n"
+          << p.stmt.to_string() << "\nconfig: " << cfg.to_string();
+
+      // The model must price every legal plan with a finite time.
+      for (const auto& device : vgpu::DeviceProfile::paper_devices()) {
+        double us = vgpu::model_plan(plan, device).total_us;
+        ASSERT_TRUE(std::isfinite(us) && us > 0)
+            << cfg.to_string() << " on " << device.name;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, FusionPreservesSemanticsOnVariantPrograms) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomProblem p = make_random_problem(rng);
+    auto variants = octopi::enumerate_variants(p.stmt, p.extents);
+    const auto& v = variants[rng.index(variants.size())];
+    tcr::TcrProgram program = tcr::from_variant(v, p.extents, "fuzz");
+    auto groups = tcr::fuse_program(program);
+
+    TensorEnv seq_env = p.inputs;
+    TensorEnv fused_env = p.inputs;
+    cpuexec::run_sequential(program, seq_env);
+    cpuexec::run_fused(program, groups, fused_env);
+    ASSERT_TRUE(Tensor::allclose(seq_env.at("OUT"), fused_env.at("OUT"),
+                                 1e-9))
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << v.program.to_string();
+  }
+}
+
+
+TEST_P(FuzzTest, MultiStatementProgramsCorrectThroughWholePipeline) {
+  // Chains of 2-3 random statements where later statements may consume
+  // earlier outputs: exercises enumerate_programs' cross product, the
+  // temporary renaming, CSE and the full lowering path.
+  Rng rng(GetParam() ^ 0x7777);
+  for (int trial = 0; trial < 3; ++trial) {
+    core::TuningProblem problem;
+    problem.name = "multi";
+    std::vector<RandomProblem> parts;
+    TensorEnv inputs;
+    for (int s = 0; s < 2; ++s) {
+      RandomProblem p = make_random_problem(rng);
+      if (p.stmt.output.indices.empty()) {
+        p.stmt.output.indices.push_back(p.stmt.inputs[0].indices.front());
+      }
+      // Rename tensors AND indices apart between statements (their
+      // extents differ per draw).
+      std::string suffix = "_" + std::to_string(s);
+      auto rename_ix = [&](std::vector<std::string>& idxs) {
+        for (auto& ix : idxs) ix += suffix;
+      };
+      p.stmt.output.name += suffix;
+      rename_ix(p.stmt.output.indices);
+      for (auto& in : p.stmt.inputs) {
+        in.name += suffix;
+        rename_ix(in.indices);
+      }
+      TensorEnv renamed;
+      for (auto& [name, t] : p.inputs) renamed.emplace(name + suffix, t);
+      p.inputs = renamed;
+      for (auto& [ix, e] : p.extents) problem.extents[ix + suffix] = e;
+      problem.statements.push_back(p.stmt);
+      for (auto& [name, t] : p.inputs) inputs.emplace(name, t);
+      parts.push_back(std::move(p));
+    }
+
+    // Reference: evaluate the statements directly.
+    TensorEnv reference = inputs;
+    for (const auto& stmt : problem.statements) {
+      tensor::evaluate(stmt, problem.extents, reference);
+    }
+
+    core::TuneOptions opt;
+    opt.search.max_evaluations = 8;
+    opt.max_pool = 64;
+    opt.search.seed = GetParam();
+    core::TuneResult r =
+        core::tune(problem, vgpu::DeviceProfile::gtx980(), opt);
+
+    TensorEnv env = inputs;
+    for (const auto& stmt : problem.statements) {
+      std::vector<std::int64_t> dims;
+      for (const auto& ix : stmt.output.indices) {
+        dims.push_back(problem.extents.at(ix));
+      }
+      env.emplace(stmt.output.name, Tensor::zeros(dims));
+    }
+    r.run(env);
+    for (const auto& stmt : problem.statements) {
+      ASSERT_TRUE(Tensor::allclose(env.at(stmt.output.name),
+                                   reference.at(stmt.output.name), 1e-9))
+          << "seed " << GetParam() << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace barracuda

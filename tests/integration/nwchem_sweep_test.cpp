@@ -1,0 +1,121 @@
+// Parameterized sweep over all 27 NWChem CCSD(T) kernels at the paper's
+// trip count of 16: the decision algorithm, baselines and performance
+// model must be well-formed on every kernel x device combination (the
+// population behind Figure 3 and Table IV).
+#include <gtest/gtest.h>
+
+#include "benchsuite/workloads.hpp"
+#include "chill/lower.hpp"
+#include "vgpu/perfmodel.hpp"
+
+namespace barracuda {
+namespace {
+
+struct KernelId {
+  char family;  // 's', 'd' (d1), '2' (d2)
+  int index;    // 1..9
+};
+
+void PrintTo(const KernelId& id, std::ostream* os) {
+  *os << id.family << id.index;
+}
+
+std::vector<KernelId> all_kernels() {
+  std::vector<KernelId> out;
+  for (char family : {'s', 'd', '2'}) {
+    for (int k = 1; k <= 9; ++k) out.push_back({family, k});
+  }
+  return out;
+}
+
+benchsuite::Benchmark make(const KernelId& id) {
+  switch (id.family) {
+    case 's': return benchsuite::nwchem_s1(id.index);
+    case 'd': return benchsuite::nwchem_d1(id.index);
+    default: return benchsuite::nwchem_d2(id.index);
+  }
+}
+
+class NwchemSweep : public ::testing::TestWithParam<KernelId> {};
+
+TEST_P(NwchemSweep, DecisionAlgorithmWellFormed) {
+  benchsuite::Benchmark b = make(GetParam());
+  tcr::TcrProgram program = core::direct_program(b.problem);
+  auto nests = tcr::build_loop_nests(program);
+  ASSERT_EQ(nests.size(), 1u);
+  tcr::KernelSpace space = tcr::derive_space(nests[0]);
+
+  // At least one coalescing-driven ThreadX candidate, and every candidate
+  // is the fastest dimension of some reference of the statement.
+  ASSERT_FALSE(space.thread_x.empty());
+  const auto& stmt = nests[0].stmt;
+  for (const auto& tx : space.thread_x) {
+    bool justifies = stmt.output.indices.back() == tx;
+    for (const auto& in : stmt.inputs) {
+      justifies |= (!in.indices.empty() && in.indices.back() == tx);
+    }
+    EXPECT_TRUE(justifies) << tx;
+    EXPECT_TRUE(nests[0].is_parallel(tx));
+  }
+  // All six output indices are parallel; reduction only for d-families.
+  EXPECT_EQ(nests[0].parallel_indices().size(), 6u);
+  EXPECT_EQ(nests[0].reduction_indices().size(),
+            GetParam().family == 's' ? 0u : 1u);
+  EXPECT_GT(tcr::space_size(nests[0], space), 100);
+}
+
+TEST_P(NwchemSweep, BaselineConfigsValidAndOrdered) {
+  benchsuite::Benchmark b = make(GetParam());
+  tcr::TcrProgram program = core::direct_program(b.problem);
+  auto nests = tcr::build_loop_nests(program);
+  tcr::KernelConfig naive = tcr::naive_openacc_config(nests[0]);
+  tcr::KernelConfig optimized = tcr::optimized_openacc_config(nests[0]);
+  EXPECT_NO_THROW(tcr::validate_config(nests[0], naive));
+  EXPECT_NO_THROW(tcr::validate_config(nests[0], optimized));
+
+  for (const auto& device : vgpu::DeviceProfile::paper_devices()) {
+    double naive_us =
+        vgpu::model_plan(chill::lower_program(program, {naive}), device)
+            .kernel_us;
+    double optimized_us =
+        vgpu::model_plan(chill::lower_program(program, {optimized}), device)
+            .kernel_us;
+    EXPECT_TRUE(std::isfinite(naive_us));
+    EXPECT_TRUE(std::isfinite(optimized_us));
+    // The Barracuda-derived decomposition never loses to the naive one.
+    EXPECT_LE(optimized_us, naive_us * 1.0001)
+        << device.name << ": " << optimized.to_string();
+  }
+}
+
+TEST_P(NwchemSweep, ModelFiniteAcrossSampledConfigs) {
+  benchsuite::Benchmark b = make(GetParam());
+  tcr::TcrProgram program = core::direct_program(b.problem);
+  auto nests = tcr::build_loop_nests(program);
+  auto configs =
+      tcr::enumerate_configs(nests[0], tcr::derive_space(nests[0]));
+  Rng rng(static_cast<std::uint64_t>(GetParam().index) * 131 +
+          static_cast<std::uint64_t>(GetParam().family));
+  auto device = vgpu::DeviceProfile::tesla_k20();
+  for (int pick = 0; pick < 10; ++pick) {
+    const auto& cfg = configs[rng.index(configs.size())];
+    chill::GpuPlan plan = chill::lower_program(program, {cfg});
+    vgpu::PlanTiming t = vgpu::model_plan(plan, device);
+    ASSERT_TRUE(std::isfinite(t.total_us) && t.total_us > 0)
+        << cfg.to_string();
+    // t3 dominates the transfers: 16^6 doubles each way.
+    EXPECT_GT(plan.bytes_d2h(), 100 << 20);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All27, NwchemSweep, ::testing::ValuesIn(all_kernels()),
+    [](const ::testing::TestParamInfo<KernelId>& info) {
+      std::string family = info.param.family == 's'   ? "s1"
+                           : info.param.family == 'd' ? "d1"
+                                                      : "d2";
+      return family + "_" + std::to_string(info.param.index);
+    });
+
+}  // namespace
+}  // namespace barracuda

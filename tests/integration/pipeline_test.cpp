@@ -1,0 +1,174 @@
+// End-to-end integration tests: every Table I workload (at host-checkable
+// sizes) goes through the whole pipeline — DSL -> OCTOPI variants -> TCR
+// -> decision algorithm -> SURF -> lowered plan — and the tuned plan's
+// functional execution must match the reference einsum evaluator.
+#include <gtest/gtest.h>
+
+#include "benchsuite/nekbone.hpp"
+#include "benchsuite/workloads.hpp"
+#include "orio/annotations.hpp"
+#include "vgpu/executor.hpp"
+
+namespace barracuda {
+namespace {
+
+struct PipelineCase {
+  std::string label;
+  benchsuite::Benchmark benchmark;
+};
+
+void PrintTo(const PipelineCase& c, std::ostream* os) { *os << c.label; }
+
+std::vector<PipelineCase> pipeline_cases() {
+  std::vector<PipelineCase> cases;
+  cases.push_back({"eqn1_n6", [] {
+                     benchsuite::Benchmark b = benchsuite::eqn1();
+                     for (auto& [ix, extent] : b.problem.extents) extent = 6;
+                     return b;
+                   }()});
+  cases.push_back({"eqn1_2d", benchsuite::eqn1_2d(6)});
+  cases.push_back({"lg3_small", benchsuite::lg3(6, 5)});
+  cases.push_back({"lg3t_small", benchsuite::lg3t(6, 5)});
+  cases.push_back({"tce_ex_n3", benchsuite::tce_ex(3)});
+  cases.push_back({"s1_1", benchsuite::nwchem_s1(1, 4)});
+  cases.push_back({"s1_5", benchsuite::nwchem_s1(5, 4)});
+  cases.push_back({"d1_1", benchsuite::nwchem_d1(1, 4)});
+  cases.push_back({"d1_9", benchsuite::nwchem_d1(9, 4)});
+  cases.push_back({"d2_1", benchsuite::nwchem_d2(1, 4)});
+  cases.push_back({"d2_6", benchsuite::nwchem_d2(6, 4)});
+  cases.push_back({"d_family_combined",
+                   benchsuite::nwchem_family_combined('d', 3)});
+  return cases;
+}
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+tensor::TensorEnv make_inputs(const tcr::TcrProgram& program, Rng& rng) {
+  tensor::TensorEnv env;
+  for (const auto& name : program.input_names()) {
+    const auto& var = program.variable(name);
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : var.indices) {
+      dims.push_back(program.extents.at(ix));
+    }
+    env.emplace(name, tensor::Tensor::random(dims, rng));
+  }
+  for (const auto& out : program.output_names()) {
+    const auto& out_var = program.variable(out);
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : out_var.indices) {
+      dims.push_back(program.extents.at(ix));
+    }
+    env.emplace(out, tensor::Tensor::zeros(dims));
+  }
+  return env;
+}
+
+TEST_P(PipelineTest, TunedPlanMatchesReference) {
+  const core::TuningProblem& problem = GetParam().benchmark.problem;
+  core::TuneOptions options;
+  options.search.max_evaluations = 30;
+  options.search.batch_size = 6;
+  options.max_pool = 300;
+  core::TuneResult result =
+      core::tune(problem, vgpu::DeviceProfile::gtx980(), options);
+
+  Rng rng(11);
+  tensor::TensorEnv env = make_inputs(result.best_program(), rng);
+  tensor::TensorEnv reference = env;
+  result.run(env);
+  for (const auto& stmt : problem.statements) {
+    tensor::evaluate(stmt, problem.extents, reference);
+  }
+  for (const auto& out : result.best_program().output_names()) {
+    EXPECT_TRUE(
+        tensor::Tensor::allclose(env.at(out), reference.at(out), 1e-9))
+        << "pipeline output mismatch for " << GetParam().label << " / "
+        << out;
+  }
+}
+
+TEST_P(PipelineTest, TunedPlanEmitsWellFormedArtifacts) {
+  const core::TuningProblem& problem = GetParam().benchmark.problem;
+  core::TuneOptions options;
+  options.search.max_evaluations = 15;
+  options.max_pool = 150;
+  core::TuneResult result =
+      core::tune(problem, vgpu::DeviceProfile::tesla_k20(), options);
+
+  // CUDA source: one __global__ per operation, balanced braces, host
+  // driver present.
+  std::string cuda = result.cuda_source();
+  std::size_t kernels = 0;
+  for (std::size_t pos = 0;
+       (pos = cuda.find("__global__", pos)) != std::string::npos; ++pos) {
+    ++kernels;
+  }
+  EXPECT_EQ(kernels, result.best_program().operations.size());
+  EXPECT_EQ(std::count(cuda.begin(), cuda.end(), '{'),
+            std::count(cuda.begin(), cuda.end(), '}'));
+  EXPECT_NE(cuda.find("cudaMemcpy"), std::string::npos);
+
+  // Orio annotations for the winning recipe render without error.
+  std::vector<tcr::KernelSpace> spaces;
+  for (const auto& nest : tcr::build_loop_nests(result.best_program())) {
+    spaces.push_back(tcr::derive_space(nest));
+  }
+  std::string orio_text = orio::emit_annotated_source(
+      result.best_program(), spaces, result.best_recipe);
+  EXPECT_NE(orio_text.find("def performance_params"), std::string::npos);
+  EXPECT_NE(orio_text.find("cuda(1,block="), std::string::npos);
+}
+
+TEST_P(PipelineTest, ModeledTimeIsFiniteAndPositive) {
+  const core::TuningProblem& problem = GetParam().benchmark.problem;
+  core::TuneOptions options;
+  options.search.max_evaluations = 10;
+  options.max_pool = 100;
+  for (const auto& device : vgpu::DeviceProfile::paper_devices()) {
+    core::TuneResult result = core::tune(problem, device, options);
+    EXPECT_TRUE(std::isfinite(result.modeled_us()));
+    EXPECT_GT(result.modeled_us(), 0);
+    EXPECT_GT(result.modeled_gflops(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PipelineTest, ::testing::ValuesIn(pipeline_cases()),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return info.param.label;
+    });
+
+TEST(PipelineIntegration, SharedMemoryTuningCorrectEndToEnd) {
+  core::TuningProblem problem = benchsuite::lg3(4, 5).problem;
+  core::TuneOptions options;
+  options.search.max_evaluations = 25;
+  options.max_pool = 250;
+  options.decision.use_shared_memory = true;
+  core::TuneResult result =
+      core::tune(problem, vgpu::DeviceProfile::tesla_c2050(), options);
+
+  Rng rng(13);
+  tensor::TensorEnv env = make_inputs(result.best_program(), rng);
+  tensor::TensorEnv reference = env;
+  result.run(env);
+  for (const auto& stmt : problem.statements) {
+    tensor::evaluate(stmt, problem.extents, reference);
+  }
+  EXPECT_TRUE(tensor::Tensor::allclose(env.at("UT"), reference.at("UT"),
+                                       1e-10));
+}
+
+TEST(PipelineIntegration, NekboneCgWithDifferentOrdersConverges) {
+  for (std::int64_t p : {3, 4, 6}) {
+    benchsuite::NekboneConfig config;
+    config.elements = 2;
+    config.p = p;
+    config.cg_iterations = 300;
+    benchsuite::CgResult r = benchsuite::solve_cg(config, 1e-8);
+    EXPECT_TRUE(r.converged) << "p=" << p << " residual " << r.residual;
+  }
+}
+
+}  // namespace
+}  // namespace barracuda

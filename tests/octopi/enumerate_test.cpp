@@ -1,0 +1,298 @@
+#include "octopi/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "octopi/parser.hpp"
+#include "tensor/einsum.hpp"
+
+namespace barracuda::octopi {
+namespace {
+
+using tensor::Contraction;
+using tensor::Extents;
+using tensor::Tensor;
+using tensor::TensorEnv;
+
+Contraction eqn1() {
+  return parse_statement(
+             "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])")
+      .to_contraction();
+}
+
+Extents eqn1_extents(std::int64_t n = 10) {
+  Extents e;
+  for (const char* ix : {"i", "j", "k", "l", "m", "n"}) e[ix] = n;
+  return e;
+}
+
+// --- The paper's headline enumeration facts (Sections II.B / III) ---
+
+TEST(Enumerate, Eqn1YieldsExactlyFifteenVariants) {
+  auto variants = enumerate_variants(eqn1(), eqn1_extents());
+  EXPECT_EQ(variants.size(), 15u);
+}
+
+TEST(Enumerate, Eqn1VariantsAreDistinctPrograms) {
+  auto variants = enumerate_variants(eqn1(), eqn1_extents());
+  std::set<std::string> texts;
+  for (const auto& v : variants) texts.insert(v.program.to_string());
+  EXPECT_EQ(texts.size(), variants.size());
+}
+
+TEST(Enumerate, Eqn1HasSixMinimalFlopVariants) {
+  auto variants = enumerate_variants(eqn1(), eqn1_extents());
+  // Minimal variants are three N^4 binary contractions = 3 * 2N^4 flops.
+  EXPECT_EQ(variants.front().flops, 3 * 2 * 10000);
+  EXPECT_EQ(count_min_flop_variants(variants), 6u);
+}
+
+TEST(Enumerate, Eqn1MinimalBeatsDirectByN2Factor) {
+  auto variants = enumerate_variants(eqn1(), eqn1_extents());
+  Contraction direct = eqn1();
+  std::int64_t direct_flops = tensor::flop_count(direct, eqn1_extents());
+  // O(N^6) direct vs O(N^4) strength-reduced.
+  EXPECT_GT(direct_flops, 50 * variants.front().flops);
+}
+
+TEST(Enumerate, VariantsSortedByFlops) {
+  auto variants = enumerate_variants(eqn1(), eqn1_extents());
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    EXPECT_LE(variants[i - 1].flops, variants[i].flops);
+  }
+}
+
+// --- Correctness: every variant computes the same tensor ---
+
+TEST(Enumerate, AllEqn1VariantsMatchDirectEvaluation) {
+  Extents ext = eqn1_extents(5);
+  Rng rng(101);
+  TensorEnv base;
+  base.emplace("A", Tensor::random({5, 5}, rng));
+  base.emplace("B", Tensor::random({5, 5}, rng));
+  base.emplace("C", Tensor::random({5, 5}, rng));
+  base.emplace("U", Tensor::random({5, 5, 5}, rng));
+
+  TensorEnv direct_env = base;
+  tensor::evaluate(eqn1(), ext, direct_env);
+  const Tensor& expect = direct_env.at("V");
+
+  auto variants = enumerate_variants(eqn1(), ext);
+  ASSERT_EQ(variants.size(), 15u);
+  for (const auto& v : variants) {
+    TensorEnv env = base;
+    const Tensor& got = tensor::evaluate(v.program, ext, env);
+    EXPECT_TRUE(Tensor::allclose(expect, got, 1e-9))
+        << "variant disagrees:\n"
+        << v.program.to_string();
+  }
+}
+
+TEST(Enumerate, VariantsCorrectUnderAsymmetricExtents) {
+  Contraction c = eqn1();
+  Extents ext{{"i", 2}, {"j", 3}, {"k", 4}, {"l", 5}, {"m", 2}, {"n", 3}};
+  Rng rng(7);
+  TensorEnv base;
+  base.emplace("A", Tensor::random({5, 4}, rng));
+  base.emplace("B", Tensor::random({2, 3}, rng));
+  base.emplace("C", Tensor::random({3, 2}, rng));
+  base.emplace("U", Tensor::random({5, 2, 3}, rng));
+  TensorEnv direct_env = base;
+  tensor::evaluate(c, ext, direct_env);
+
+  for (const auto& v : enumerate_variants(c, ext)) {
+    TensorEnv env = base;
+    const Tensor& got = tensor::evaluate(v.program, ext, env);
+    EXPECT_TRUE(Tensor::allclose(direct_env.at("V"), got, 1e-9))
+        << v.program.to_string();
+  }
+}
+
+// --- Structure of enumerated programs ---
+
+TEST(Enumerate, StepsAreAllUnaryOrBinary) {
+  for (const auto& v : enumerate_variants(eqn1(), eqn1_extents())) {
+    for (const auto& step : v.program.steps) {
+      EXPECT_GE(step.inputs.size(), 1u);
+      EXPECT_LE(step.inputs.size(), 2u);
+    }
+  }
+}
+
+TEST(Enumerate, FinalStepWritesDeclaredOutput) {
+  for (const auto& v : enumerate_variants(eqn1(), eqn1_extents())) {
+    const auto& last = v.program.steps.back();
+    EXPECT_EQ(last.output.name, "V");
+    EXPECT_EQ(last.output.indices,
+              (std::vector<std::string>{"i", "j", "k"}));
+  }
+}
+
+TEST(Enumerate, TemporariesAreDefinedBeforeUse) {
+  for (const auto& v : enumerate_variants(eqn1(), eqn1_extents())) {
+    std::set<std::string> defined{"A", "B", "C", "U"};
+    for (const auto& step : v.program.steps) {
+      for (const auto& in : step.inputs) {
+        EXPECT_TRUE(defined.contains(in.name))
+            << in.name << " used before definition in\n"
+            << v.program.to_string();
+      }
+      defined.insert(step.output.name);
+    }
+  }
+}
+
+TEST(Enumerate, MinimalVariantShapeMatchesPaperExample) {
+  // The paper's chosen variant: T1 <- C*U, T2 <- B*T1, V <- A*T2, all N^4.
+  auto variants = enumerate_variants(eqn1(), eqn1_extents());
+  bool found = false;
+  for (const auto& v : variants) {
+    if (v.flops != variants.front().flops) break;
+    if (v.program.steps.size() == 3 &&
+        v.program.steps[0].inputs[0].name == "C" &&
+        v.program.steps[0].inputs[1].name == "U" &&
+        v.program.steps[1].inputs[0].name == "B" &&
+        v.program.steps[2].inputs[0].name == "A") {
+      // T1 must carry [i l m]: C's surviving index then U's, per the paper.
+      EXPECT_EQ(v.program.steps[0].output.indices,
+                (std::vector<std::string>{"i", "l", "m"}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Binary / unary / degenerate inputs ---
+
+TEST(Enumerate, BinaryContractionHasSingleVariant) {
+  Contraction c =
+      parse_statement("C[i k] += A[i j] * B[j k]").to_contraction();
+  Extents ext{{"i", 4}, {"j", 4}, {"k", 4}};
+  auto variants = enumerate_variants(c, ext);
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_EQ(variants[0].program.steps.size(), 1u);
+  EXPECT_EQ(variants[0].program.steps[0], c);
+}
+
+TEST(Enumerate, SingleFactorReduction) {
+  Contraction c = parse_statement("y[i] = Sum([j], A[i j])").to_contraction();
+  Extents ext{{"i", 3}, {"j", 4}};
+  auto variants = enumerate_variants(c, ext);
+  ASSERT_EQ(variants.size(), 1u);
+  Rng rng(3);
+  TensorEnv env;
+  env.emplace("A", Tensor::random({3, 4}, rng));
+  const Tensor& y = tensor::evaluate(variants[0].program, ext, env);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    double acc = 0;
+    for (std::int64_t j = 0; j < 4; ++j) acc += env.at("A").at({i, j});
+    EXPECT_NEAR(y.at({i}), acc, 1e-12);
+  }
+}
+
+TEST(Enumerate, ThreeTermProductCounts) {
+  // Three terms: 3 association trees, no balanced-pair collapse.
+  Contraction c = parse_statement(
+                      "W[i l] = Sum([j k], A[i j] * B[j k] * C[k l])")
+                      .to_contraction();
+  Extents ext{{"i", 4}, {"j", 4}, {"k", 4}, {"l", 4}};
+  auto variants = enumerate_variants(c, ext);
+  EXPECT_EQ(variants.size(), 3u);
+}
+
+TEST(Enumerate, StrengthReductionOffGivesDirectOnly) {
+  EnumerateOptions opt;
+  opt.strength_reduction = false;
+  auto variants = enumerate_variants(eqn1(), eqn1_extents(), opt);
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_EQ(variants[0].program.steps.size(), 1u);
+  EXPECT_EQ(variants[0].program.steps[0].inputs.size(), 4u);
+  EXPECT_EQ(variants[0].flops, 4 * 1000000);
+}
+
+TEST(Enumerate, MaxVariantsCapRespected) {
+  EnumerateOptions opt;
+  opt.max_variants = 4;
+  auto variants = enumerate_variants(eqn1(), eqn1_extents(), opt);
+  EXPECT_EQ(variants.size(), 4u);
+}
+
+TEST(Enumerate, TempNamesAvoidUserTensorNames) {
+  // A user tensor named like a would-be temporary must not collide.
+  Contraction c = parse_statement(
+                      "V[i] = Sum([j k l], t4[i j] * t5[j k] * t6[k l] * w[l])")
+                      .to_contraction();
+  Extents ext{{"i", 2}, {"j", 2}, {"k", 2}, {"l", 2}};
+  for (const auto& v : enumerate_variants(c, ext)) {
+    std::set<std::string> defined{"t4", "t5", "t6", "w"};
+    for (const auto& step : v.program.steps) {
+      EXPECT_FALSE(defined.contains(step.output.name) &&
+                   step.output.name != "V")
+          << "temp name collides with input: " << step.output.name;
+      defined.insert(step.output.name);
+    }
+  }
+}
+
+TEST(Enumerate, FiveTermProductCountMatchesDoubleFactorial) {
+  // Distinct association trees over n leaves = (2n-3)!!; n=5 -> 105.
+  Contraction c =
+      parse_statement(
+          "V[a] = Sum([b c d e], P[a b] * Q[b c] * R[c d] * S[d e] * T[e])")
+          .to_contraction();
+  Extents ext{{"a", 2}, {"b", 2}, {"c", 2}, {"d", 2}, {"e", 2}};
+  auto variants = enumerate_variants(c, ext);
+  EXPECT_EQ(variants.size(), 105u);
+}
+
+TEST(Enumerate, FiveTermVariantsAllCorrect) {
+  Contraction c =
+      parse_statement(
+          "V[a] = Sum([b c d e], P[a b] * Q[b c] * R[c d] * S[d e] * T[e])")
+          .to_contraction();
+  Extents ext{{"a", 3}, {"b", 2}, {"c", 4}, {"d", 2}, {"e", 3}};
+  Rng rng(55);
+  TensorEnv base;
+  base.emplace("P", Tensor::random({3, 2}, rng));
+  base.emplace("Q", Tensor::random({2, 4}, rng));
+  base.emplace("R", Tensor::random({4, 2}, rng));
+  base.emplace("S", Tensor::random({2, 3}, rng));
+  base.emplace("T", Tensor::random({3}, rng));
+  TensorEnv direct_env = base;
+  tensor::evaluate(c, ext, direct_env);
+  for (const auto& v : enumerate_variants(c, ext)) {
+    TensorEnv env = base;
+    const Tensor& got = tensor::evaluate(v.program, ext, env);
+    EXPECT_TRUE(Tensor::allclose(direct_env.at("V"), got, 1e-9))
+        << v.program.to_string();
+  }
+}
+
+
+TEST(Enumerate, FlopsRatioPruningDropsExpensiveVariants) {
+  EnumerateOptions opt;
+  opt.max_flops_ratio = 1.0;  // keep only minimal-flop variants
+  auto minimal_only = enumerate_variants(eqn1(), eqn1_extents(), opt);
+  EXPECT_EQ(minimal_only.size(), 6u);
+  for (const auto& v : minimal_only) {
+    EXPECT_EQ(v.flops, minimal_only.front().flops);
+  }
+
+  opt.max_flops_ratio = 1e9;  // effectively no pruning
+  EXPECT_EQ(enumerate_variants(eqn1(), eqn1_extents(), opt).size(), 15u);
+
+  opt.max_flops_ratio = 0;  // disabled
+  EXPECT_EQ(enumerate_variants(eqn1(), eqn1_extents(), opt).size(), 15u);
+}
+
+TEST(Enumerate, FlopsRatioPruningNeverEmptiesTheSet) {
+  EnumerateOptions opt;
+  opt.max_flops_ratio = 0.0001;  // pathologically tight
+  opt.strength_reduction = true;
+  auto variants = enumerate_variants(eqn1(), eqn1_extents(), opt);
+  EXPECT_GE(variants.size(), 1u);
+}
+
+}  // namespace
+}  // namespace barracuda::octopi

@@ -1,0 +1,132 @@
+#include "octopi/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::octopi {
+namespace {
+
+constexpr const char* kEqn1 = R"(
+# Spectral element example, Eqn (1) of the paper.
+dim i j k l m n = 10
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+)";
+
+TEST(Parser, ParsesEqn1) {
+  OctopiProgram p = parse_octopi(kEqn1);
+  ASSERT_EQ(p.statements.size(), 1u);
+  const EinsumStatement& s = p.statements[0];
+  EXPECT_EQ(s.output.name, "V");
+  EXPECT_EQ(s.output.indices, (std::vector<std::string>{"i", "j", "k"}));
+  EXPECT_EQ(s.sum_indices, (std::vector<std::string>{"l", "m", "n"}));
+  ASSERT_EQ(s.factors.size(), 4u);
+  EXPECT_EQ(s.factors[0].name, "A");
+  EXPECT_EQ(s.factors[3].indices,
+            (std::vector<std::string>{"l", "m", "n"}));
+  EXPECT_FALSE(s.accumulate);
+  EXPECT_EQ(p.extents.at("i"), 10);
+  EXPECT_EQ(p.extents.at("n"), 10);
+}
+
+TEST(Parser, SumListOptionalAndInferred) {
+  EinsumStatement s = parse_statement("C[i k] += A[i j] * B[j k]");
+  EXPECT_TRUE(s.accumulate);
+  EXPECT_TRUE(s.sum_indices.empty());
+  auto c = s.to_contraction();
+  EXPECT_EQ(c.summed_indices(), (std::vector<std::string>{"j"}));
+}
+
+TEST(Parser, CommaSeparatedIndexListsAccepted) {
+  EinsumStatement s =
+      parse_statement("V[i, j, k] = Sum([l, m, n], A[l,k] * U[l m n] * B[m j] * C[n i])");
+  EXPECT_EQ(s.output.indices, (std::vector<std::string>{"i", "j", "k"}));
+  EXPECT_EQ(s.sum_indices, (std::vector<std::string>{"l", "m", "n"}));
+}
+
+TEST(Parser, MultipleStatementsAndSharedDims) {
+  OctopiProgram p = parse_octopi(R"(
+dim i j = 4
+dim k = 8
+W[i k] = A[i j] * B[j k]
+V[i k] += W[i k] * D[k]
+)");
+  ASSERT_EQ(p.statements.size(), 2u);
+  EXPECT_EQ(p.extents.at("k"), 8);
+  EXPECT_TRUE(p.statements[1].accumulate);
+}
+
+TEST(Parser, SumListMismatchThrows) {
+  EinsumStatement s =
+      parse_statement("C[i k] = Sum([j z], A[i j] * B[j k])");
+  EXPECT_THROW(s.to_contraction(), InternalError);
+}
+
+TEST(Parser, SumListDuplicateThrows) {
+  EinsumStatement s =
+      parse_statement("C[i k] = Sum([j j], A[i j] * B[j k])");
+  EXPECT_THROW(s.to_contraction(), InternalError);
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers) {
+  try {
+    parse_octopi("dim i = 4\nC[i] == A[i]\n", "bad.oct");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("bad.oct:2"), std::string::npos);
+  }
+}
+
+TEST(Parser, MissingBracketThrows) {
+  EXPECT_THROW(parse_statement("C[i k = A[i j] * B[j k]"), ParseError);
+  EXPECT_THROW(parse_statement("C[i k] = A[i j * B[j k]"), ParseError);
+}
+
+TEST(Parser, TrailingGarbageThrows) {
+  EXPECT_THROW(parse_statement("C[i] = A[i] zzz"), ParseError);
+}
+
+TEST(Parser, UndeclaredIndexWithDimsThrows) {
+  EXPECT_THROW(parse_octopi("dim i = 4\nC[i] = A[i j]\n"), ParseError);
+}
+
+TEST(Parser, ConflictingDimThrows) {
+  EXPECT_THROW(parse_octopi("dim i = 4\ndim i = 5\nC[i] = A[i]\n"),
+               ParseError);
+}
+
+TEST(Parser, NonPositiveDimThrows) {
+  EXPECT_THROW(parse_octopi("dim i = 0\nC[i] = A[i]\n"), ParseError);
+}
+
+TEST(Parser, NoDimsLeavesExtentsToCaller) {
+  OctopiProgram p = parse_octopi("C[i k] = A[i j] * B[j k]\n");
+  EXPECT_TRUE(p.extents.empty());
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  OctopiProgram p = parse_octopi(R"(
+# leading comment
+
+dim i = 2   # trailing comment
+C[i] = A[i]  # another
+)");
+  EXPECT_EQ(p.statements.size(), 1u);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  OctopiProgram p = parse_octopi(kEqn1);
+  OctopiProgram q = parse_octopi(p.to_string());
+  ASSERT_EQ(q.statements.size(), 1u);
+  EXPECT_EQ(q.statements[0].to_string(), p.statements[0].to_string());
+  EXPECT_EQ(q.extents, p.extents);
+}
+
+TEST(Parser, ScalarOutputAllowed) {
+  EinsumStatement s = parse_statement("y[] = Sum([i], u[i] * v[i])");
+  EXPECT_TRUE(s.output.indices.empty());
+  EXPECT_EQ(s.to_contraction().summed_indices(),
+            (std::vector<std::string>{"i"}));
+}
+
+}  // namespace
+}  // namespace barracuda::octopi

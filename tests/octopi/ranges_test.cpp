@@ -1,0 +1,111 @@
+// Tests for ranged dimension declarations and size specialization
+// (Section III: "the user can optionally specify the index dimension or a
+// range of dimensions").
+#include <gtest/gtest.h>
+
+#include "core/barracuda.hpp"
+#include "octopi/parser.hpp"
+
+namespace barracuda::octopi {
+namespace {
+
+TEST(Ranges, ParseRangeDeclaration) {
+  OctopiProgram p = parse_octopi(R"(
+dim e = 64
+dim i j k l = 8..12
+UR[e i j k] += D[i l] * U[e l j k]
+)");
+  EXPECT_EQ(p.extents.at("e"), 64);
+  EXPECT_FALSE(p.extents.contains("i"));
+  ASSERT_TRUE(p.ranges.contains("i"));
+  EXPECT_EQ(p.ranges.at("i"), (ExtentRange{8, 12}));
+  EXPECT_EQ(p.ranges.at("l"), (ExtentRange{8, 12}));
+}
+
+TEST(Ranges, DegenerateRangeAccepted) {
+  OctopiProgram p = parse_octopi("dim i = 4..4\nC[i] = A[i]\n");
+  EXPECT_EQ(p.ranges.at("i"), (ExtentRange{4, 4}));
+  EXPECT_EQ(p.specializations().size(), 1u);
+}
+
+TEST(Ranges, InvertedRangeRejected) {
+  EXPECT_THROW(parse_octopi("dim i = 8..4\nC[i] = A[i]\n"), ParseError);
+}
+
+TEST(Ranges, ConflictWithFixedDimRejected) {
+  EXPECT_THROW(parse_octopi("dim i = 4\ndim i = 4..8\nC[i] = A[i]\n"),
+               ParseError);
+}
+
+TEST(Ranges, SpecializationsEnumerateGrid) {
+  OctopiProgram p = parse_octopi(R"(
+dim a = 2..4
+dim b = 5
+C[a] += A[a b]
+)");
+  auto specs = p.specializations();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].at("a"), 2);
+  EXPECT_EQ(specs[2].at("a"), 4);
+  for (const auto& s : specs) EXPECT_EQ(s.at("b"), 5);
+}
+
+TEST(Ranges, CrossProductOfTwoRanges) {
+  OctopiProgram p = parse_octopi(R"(
+dim a = 2..3
+dim b = 7..9
+C[a] += A[a b]
+)");
+  auto specs = p.specializations();
+  EXPECT_EQ(specs.size(), 2u * 3u);
+}
+
+TEST(Ranges, SpecializationCapKeepsLowCorners) {
+  OctopiProgram p = parse_octopi(R"(
+dim a = 1..100
+C[a] += A[a]
+)");
+  auto specs = p.specializations(5);
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs.front().at("a"), 1);
+  EXPECT_EQ(specs.back().at("a"), 5);
+}
+
+TEST(Ranges, NoRangesYieldsSinglePoint) {
+  OctopiProgram p = parse_octopi("dim i = 4\nC[i] = A[i]\n");
+  auto specs = p.specializations();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].at("i"), 4);
+}
+
+TEST(Ranges, RoundTripThroughToString) {
+  OctopiProgram p = parse_octopi("dim i = 8..12\nC[i] = A[i]\n");
+  OctopiProgram q = parse_octopi(p.to_string());
+  EXPECT_EQ(q.ranges.at("i"), (ExtentRange{8, 12}));
+}
+
+TEST(Ranges, TuneSpecializationsProducesPerSizePlans) {
+  OctopiProgram p = parse_octopi(R"(
+dim e = 32
+dim i j k l = 4..6
+UR[e i j k] += D[i l] * U[e l j k]
+)");
+  core::TuneOptions opt;
+  opt.search.max_evaluations = 15;
+  opt.max_pool = 150;
+  auto specs = core::tune_specializations(
+      p, vgpu::DeviceProfile::gtx980(), opt);
+  ASSERT_EQ(specs.size(), 3u);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_EQ(specs[s].extents.at("i"),
+              static_cast<std::int64_t>(4 + s));
+    EXPECT_GT(specs[s].result.modeled_gflops(), 0);
+    // The grid geometry tracks the specialized size.
+    const auto& k = specs[s].result.best_plan.kernels[0];
+    auto ext = k.index_extents();
+    EXPECT_EQ(ext.at("i"), static_cast<std::int64_t>(4 + s));
+  }
+}
+
+}  // namespace
+}  // namespace barracuda::octopi

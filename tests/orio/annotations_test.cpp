@@ -1,0 +1,120 @@
+#include "orio/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::orio {
+namespace {
+
+tcr::TcrProgram eqn1_program() {
+  return tcr::parse_tcr(R"(
+ex
+define:
+I = J = K = L = M = N = 10
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)");
+}
+
+std::vector<tcr::KernelSpace> spaces_of(const tcr::TcrProgram& p) {
+  std::vector<tcr::KernelSpace> spaces;
+  for (const auto& nest : tcr::build_loop_nests(p)) {
+    spaces.push_back(tcr::derive_space(nest));
+  }
+  return spaces;
+}
+
+chill::Recipe recipe_of(const tcr::TcrProgram& p) {
+  chill::Recipe recipe;
+  for (const auto& nest : tcr::build_loop_nests(p)) {
+    recipe.push_back(tcr::optimized_openacc_config(nest));
+  }
+  return recipe;
+}
+
+TEST(Annotations, PerformanceParamsMatchFigure2cShape) {
+  tcr::TcrProgram p = eqn1_program();
+  std::string text = emit_performance_params(p, spaces_of(p));
+  EXPECT_NE(text.find("def performance_params {"), std::string::npos);
+  // One PERMUTE block per kernel, 1-based ids.
+  for (int k = 1; k <= 3; ++k) {
+    std::string id = std::to_string(k);
+    EXPECT_NE(text.find("param PERMUTE_" + id + "_TX[] = ["),
+              std::string::npos);
+    EXPECT_NE(text.find("param PERMUTE_" + id + "_TY[] = ["),
+              std::string::npos);
+    EXPECT_NE(text.find("param PERMUTE_" + id + "_BX[] = ["),
+              std::string::npos);
+    EXPECT_NE(text.find("param PERMUTE_" + id + "_BY[] = ["),
+              std::string::npos);
+    EXPECT_NE(text.find("param UF_" + id + "[] = [1,2,3,4,5,6,7,8,9,10];"),
+              std::string::npos);
+  }
+  // The '1' (unused) sentinel appears in the TY domains, as in the paper.
+  EXPECT_NE(text.find("'1'"), std::string::npos);
+}
+
+TEST(Annotations, ChillRecipeListsAllTransformations) {
+  tcr::TcrProgram p = eqn1_program();
+  chill::Recipe recipe = recipe_of(p);
+  recipe[0].unroll = 5;
+  std::string text = emit_chill_recipe(p, recipe);
+  EXPECT_NE(text.find("cuda(1,block={"), std::string::npos);
+  EXPECT_NE(text.find("cuda(3,block={"), std::string::npos);
+  EXPECT_NE(text.find("registers(1,\"temp1\")"), std::string::npos);
+  EXPECT_NE(text.find("registers(3,\"V\")"), std::string::npos);
+  EXPECT_NE(text.find("unroll(1,\"n\",5)"), std::string::npos);
+  // unroll(k, ..., 1) is a no-op and must not be emitted.
+  EXPECT_EQ(text.find("unroll(2"), std::string::npos);
+}
+
+TEST(Annotations, RecipeOmitsRegistersWhenDisabled) {
+  tcr::TcrProgram p = eqn1_program();
+  chill::Recipe recipe = recipe_of(p);
+  for (auto& cfg : recipe) cfg.scalar_replacement = false;
+  std::string text = emit_chill_recipe(p, recipe);
+  EXPECT_EQ(text.find("registers("), std::string::npos);
+}
+
+TEST(Annotations, AnnotatedSourceWrapsRecipeAndLoops) {
+  tcr::TcrProgram p = eqn1_program();
+  std::string text = emit_annotated_source(p, spaces_of(p), recipe_of(p));
+  EXPECT_NE(text.find("/*@ begin CHiLL ("), std::string::npos);
+  EXPECT_NE(text.find(") @*/"), std::string::npos);
+  EXPECT_NE(text.find("/*@ end @*/"), std::string::npos);
+  // The sequential loop nests follow the annotation block.
+  EXPECT_NE(text.find("for i in [0,10)"), std::string::npos);
+  EXPECT_LT(text.find("begin CHiLL"), text.find("for i in [0,10)"));
+}
+
+TEST(Annotations, SizeMismatchRejected) {
+  tcr::TcrProgram p = eqn1_program();
+  auto spaces = spaces_of(p);
+  spaces.pop_back();
+  EXPECT_THROW(emit_performance_params(p, spaces), InternalError);
+  chill::Recipe recipe = recipe_of(p);
+  recipe.pop_back();
+  EXPECT_THROW(emit_chill_recipe(p, recipe), InternalError);
+}
+
+
+TEST(Annotations, SharedStagingEmitted) {
+  tcr::TcrProgram p = eqn1_program();
+  chill::Recipe recipe = recipe_of(p);
+  recipe[0].shared_tensors = {"C"};
+  std::string text = emit_chill_recipe(p, recipe);
+  EXPECT_NE(text.find("shared(1,\"C\")"), std::string::npos);
+  EXPECT_EQ(text.find("shared(2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::orio

@@ -1,0 +1,44 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(BARRACUDA_CHECK(1 + 1 == 2));
+}
+
+TEST(Error, CheckThrowsInternalErrorWithExpression) {
+  try {
+    BARRACUDA_CHECK(2 + 2 == 5);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMsgIncludesStreamedMessage) {
+  try {
+    BARRACUDA_CHECK_MSG(false, "extent " << 42 << " is bad");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("extent 42 is bad"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, ParseErrorCarriesLineAndSource) {
+  ParseError e("input.tcr", 7, "unexpected token");
+  EXPECT_EQ(e.line(), 7);
+  EXPECT_NE(std::string(e.what()).find("input.tcr:7"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("unexpected token"), std::string::npos);
+}
+
+TEST(Error, HierarchyCatchableAsError) {
+  EXPECT_THROW(throw ParseError("x", 1, "m"), Error);
+  EXPECT_THROW(throw InternalError("m"), Error);
+}
+
+}  // namespace
+}  // namespace barracuda

@@ -1,0 +1,101 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace barracuda {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.index(1000), b.index(1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.index(1 << 20) == b.index(1 << 20)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(13), 13u);
+  }
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng;
+  EXPECT_THROW(rng.index(0), InternalError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(11);
+  auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullPopulationIsPermutation) {
+  Rng rng(13);
+  auto s = rng.sample_without_replacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleMoreThanPopulationThrows) {
+  Rng rng;
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), InternalError);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkDecorrelatesStreams) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.index(1 << 20) == child.index(1 << 20)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, FlipProbabilityRoughlyHonored) {
+  Rng rng(23);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.flip(0.25);
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace barracuda

@@ -1,0 +1,57 @@
+#include "support/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda {
+namespace {
+
+TEST(Str, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Str, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Str, SplitWsDropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_ws(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_ws("   "), (std::vector<std::string>{}));
+  EXPECT_EQ(split_ws("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(Str, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("param X", "param"));
+  EXPECT_FALSE(starts_with("par", "param"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Str, IdentifierClassification) {
+  EXPECT_TRUE(is_ident_start('a'));
+  EXPECT_TRUE(is_ident_start('_'));
+  EXPECT_FALSE(is_ident_start('3'));
+  EXPECT_TRUE(is_ident_char('3'));
+  EXPECT_FALSE(is_ident_char('['));
+}
+
+TEST(Str, SplitRoundTripsJoin) {
+  const std::string s = "h3,h2,h1,p6,p5,p4";
+  EXPECT_EQ(join(split(s, ','), ","), s);
+}
+
+}  // namespace
+}  // namespace barracuda

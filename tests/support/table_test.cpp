@@ -1,0 +1,48 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "GFlops"});
+  t.add_row({"Lg3", "42.74"});
+  t.add_row({"TCE ex", "42.72"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name    GFlops"), std::string::npos);
+  EXPECT_NE(out.find("Lg3     42.74"), std::string::npos);
+  EXPECT_NE(out.find("TCE ex  42.72"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, HeaderRuleSpansAllColumns) {
+  TextTable t({"AA", "BB"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  // "AA  BB" is 6 wide -> rule of 6 dashes.
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::speedup(23.739), "23.74x");
+  EXPECT_EQ(TextTable::gflops(42.736), "42.74");
+  EXPECT_EQ(TextTable::seconds(324.82), "324.8s");
+}
+
+TEST(TextTable, WideCellGrowsColumn) {
+  TextTable t({"X"});
+  t.add_row({"a-very-wide-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a-very-wide-cell"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda

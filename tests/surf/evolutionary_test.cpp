@@ -1,0 +1,103 @@
+#include "surf/evolutionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace barracuda::surf {
+namespace {
+
+struct Landscape {
+  std::vector<std::vector<double>> features;
+  std::vector<double> values;
+
+  static Landscape make(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    Landscape l;
+    for (std::size_t i = 0; i < n; ++i) {
+      double a = rng.uniform(), b = rng.uniform(), c = rng.uniform();
+      l.features.push_back({a, b, c});
+      l.values.push_back(10.0 * a + 0.5 * b + 0.1 * c);
+    }
+    return l;
+  }
+
+  Objective objective() const {
+    return [this](std::size_t i) { return values[i]; };
+  }
+
+  double optimum() const {
+    double best = values[0];
+    for (double v : values) best = std::min(best, v);
+    return best;
+  }
+};
+
+using SearchFn = SearchResult (*)(const std::vector<std::vector<double>>&,
+                                  const Objective&, const SearchOptions&);
+
+class EvolutionaryTest : public ::testing::TestWithParam<SearchFn> {};
+
+TEST_P(EvolutionaryTest, RespectsBudgetAndNeverRepeats) {
+  Landscape l = Landscape::make(400, 1);
+  SearchOptions opt;
+  opt.max_evaluations = 70;
+  SearchResult r = GetParam()(l.features, l.objective(), opt);
+  EXPECT_LE(r.evaluations(), 70u);
+  EXPECT_GE(r.evaluations(), 10u);
+  std::set<std::size_t> seen;
+  for (const auto& [i, v] : r.history) {
+    EXPECT_TRUE(seen.insert(i).second);
+    EXPECT_DOUBLE_EQ(v, l.values[i]);
+  }
+  EXPECT_DOUBLE_EQ(l.values[r.best_index], r.best_value);
+}
+
+TEST_P(EvolutionaryTest, DeterministicGivenSeed) {
+  Landscape l = Landscape::make(300, 2);
+  SearchOptions opt;
+  opt.max_evaluations = 50;
+  opt.seed = 9;
+  SearchResult a = GetParam()(l.features, l.objective(), opt);
+  SearchResult b = GetParam()(l.features, l.objective(), opt);
+  EXPECT_EQ(a.history, b.history);
+}
+
+TEST_P(EvolutionaryTest, FullBudgetOnTinyPoolFindsOptimum) {
+  Landscape l = Landscape::make(12, 3);
+  SearchOptions opt;
+  opt.max_evaluations = 100;
+  SearchResult r = GetParam()(l.features, l.objective(), opt);
+  EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
+  EXPECT_EQ(r.evaluations(), 12u);
+}
+
+TEST_P(EvolutionaryTest, EmptyPoolThrows) {
+  EXPECT_THROW(
+      GetParam()({}, [](std::size_t) { return 0.0; }, SearchOptions{}),
+      InternalError);
+}
+
+TEST_P(EvolutionaryTest, BeatsRandomOnStructuredLandscapeOnAverage) {
+  double evo_total = 0, random_total = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Landscape l = Landscape::make(1500, 200 + seed);
+    SearchOptions opt;
+    opt.max_evaluations = 50;
+    opt.seed = seed;
+    evo_total += GetParam()(l.features, l.objective(), opt).best_value;
+    random_total +=
+        random_search(l.features.size(), l.objective(), opt).best_value;
+  }
+  EXPECT_LE(evo_total, random_total * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, EvolutionaryTest,
+                         ::testing::Values(&genetic_search,
+                                           &annealing_search),
+                         [](const ::testing::TestParamInfo<SearchFn>& info) {
+                           return info.index == 0 ? "genetic" : "annealing";
+                         });
+
+}  // namespace
+}  // namespace barracuda::surf

@@ -1,0 +1,156 @@
+#include "surf/extratrees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace barracuda::surf {
+namespace {
+
+TEST(ExtraTrees, FitsConstantFunctionExactly) {
+  std::vector<std::vector<double>> X{{0}, {1}, {2}, {3}};
+  std::vector<double> y{5, 5, 5, 5};
+  ExtraTreesRegressor model;
+  model.fit(X, y);
+  EXPECT_DOUBLE_EQ(model.predict({1.5}), 5.0);
+}
+
+TEST(ExtraTrees, SeparatesTwoClusters) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    X.push_back({static_cast<double>(i % 2), static_cast<double>(i)});
+    y.push_back(i % 2 ? 10.0 : -10.0);
+  }
+  ExtraTreesOptions opt;
+  opt.min_samples_split = 2;
+  ExtraTreesRegressor model(opt);
+  model.fit(X, y);
+  EXPECT_NEAR(model.predict({1.0, 7.0}), 10.0, 2.0);
+  EXPECT_NEAR(model.predict({0.0, 8.0}), -10.0, 2.0);
+}
+
+TEST(ExtraTrees, LearnsSmoothFunctionApproximately) {
+  Rng rng(7);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+    X.push_back({a, b});
+    y.push_back(3 * a - 2 * b);
+  }
+  ExtraTreesOptions opt;
+  opt.n_trees = 50;
+  opt.min_samples_split = 2;
+  ExtraTreesRegressor model(opt);
+  model.fit(X, y);
+  double err = 0;
+  int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    double a = rng.uniform(0.1, 0.9), b = rng.uniform(0.1, 0.9);
+    err += std::fabs(model.predict({a, b}) - (3 * a - 2 * b));
+  }
+  EXPECT_LT(err / trials, 0.5);
+}
+
+TEST(ExtraTrees, DeterministicGivenSeed) {
+  Rng rng(9);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    X.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    y.push_back(rng.uniform());
+  }
+  ExtraTreesOptions opt;
+  opt.seed = 42;
+  ExtraTreesRegressor a(opt), b(opt);
+  a.fit(X, y);
+  b.fit(X, y);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(ExtraTrees, HandlesOneHotFeatures) {
+  // Binarized categorical input, as SURF uses: value determined by which
+  // of 4 one-hot slots is set.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int c = 0; c < 4; ++c) {
+      std::vector<double> x(4, 0.0);
+      x[static_cast<std::size_t>(c)] = 1.0;
+      X.push_back(x);
+      y.push_back(c * 2.0);
+    }
+  }
+  ExtraTreesOptions opt;
+  opt.n_trees = 40;
+  opt.min_samples_split = 2;
+  opt.k_features = 4;
+  ExtraTreesRegressor model(opt);
+  model.fit(X, y);
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> x(4, 0.0);
+    x[static_cast<std::size_t>(c)] = 1.0;
+    EXPECT_NEAR(model.predict(x), c * 2.0, 0.6);
+  }
+}
+
+TEST(ExtraTrees, SingleSampleFit) {
+  ExtraTreesRegressor model;
+  model.fit({{1.0, 2.0}}, {7.0});
+  EXPECT_DOUBLE_EQ(model.predict({0.0, 0.0}), 7.0);
+}
+
+TEST(ExtraTrees, ErrorsOnMisuse) {
+  ExtraTreesRegressor model;
+  EXPECT_THROW(model.predict({1.0}), InternalError);
+  EXPECT_THROW(model.fit({}, {}), InternalError);
+  EXPECT_THROW(model.fit({{1.0}, {2.0, 3.0}}, {1.0, 2.0}), InternalError);
+  model.fit({{1.0}, {2.0}}, {1.0, 2.0});
+  EXPECT_THROW(model.predict({1.0, 2.0}), InternalError);
+}
+
+
+TEST(ExtraTrees, FeatureImportancesIdentifyTheSignal) {
+  // y depends overwhelmingly on feature 0; importances must say so.
+  Rng rng(31);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> row{rng.uniform(), rng.uniform(), rng.uniform(),
+                            rng.uniform()};
+    y.push_back(20.0 * row[0] + 0.1 * row[2]);
+    X.push_back(std::move(row));
+  }
+  ExtraTreesOptions opt;
+  opt.n_trees = 40;
+  opt.min_samples_split = 4;
+  ExtraTreesRegressor model(opt);
+  model.fit(X, y);
+  auto imp = model.feature_importances();
+  ASSERT_EQ(imp.size(), 4u);
+  double total = imp[0] + imp[1] + imp[2] + imp[3];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.6);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[3]);
+}
+
+TEST(ExtraTrees, ImportancesZeroWhenNoSplitPossible) {
+  ExtraTreesRegressor model;
+  model.fit({{1.0}, {1.0}, {1.0}, {1.0}}, {2.0, 2.0, 2.0, 2.0});
+  auto imp = model.feature_importances();
+  ASSERT_EQ(imp.size(), 1u);
+  EXPECT_DOUBLE_EQ(imp[0], 0.0);
+}
+
+TEST(ExtraTrees, ImportancesBeforeFitThrows) {
+  ExtraTreesRegressor model;
+  EXPECT_THROW(model.feature_importances(), InternalError);
+}
+
+}  // namespace
+}  // namespace barracuda::surf

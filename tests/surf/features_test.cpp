@@ -1,0 +1,127 @@
+#include "surf/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "octopi/parser.hpp"
+
+namespace barracuda::surf {
+namespace {
+
+std::vector<tcr::TcrProgram> eqn1_variants(std::int64_t n = 10) {
+  auto stmt = octopi::parse_statement(
+                  "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])")
+                  .to_contraction();
+  tensor::Extents ext;
+  for (const char* ix : {"i", "j", "k", "l", "m", "n"}) ext[ix] = n;
+  std::vector<tcr::TcrProgram> programs;
+  for (const auto& v : octopi::enumerate_variants(stmt, ext)) {
+    programs.push_back(tcr::from_variant(v, ext));
+  }
+  return programs;
+}
+
+TEST(Features, DimensionIsFixedAcrossVariants) {
+  auto variants = eqn1_variants();
+  RecipeFeaturizer fz(variants);
+  ASSERT_EQ(variants.size(), 15u);
+  // Vocabulary: i,j,k,l,m,n plus the unused sentinel.
+  EXPECT_EQ(fz.vocabulary().size(), 7u);
+  // All encodings share fz.dim().
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::vector<tcr::KernelConfig> recipe;
+    for (const auto& nest : tcr::build_loop_nests(variants[v])) {
+      recipe.push_back(tcr::optimized_openacc_config(nest));
+    }
+    EXPECT_EQ(fz.encode(v, recipe).size(), fz.dim());
+  }
+}
+
+TEST(Features, VariantIndexOneHot) {
+  auto variants = eqn1_variants();
+  RecipeFeaturizer fz(variants);
+  std::vector<tcr::KernelConfig> recipe;
+  for (const auto& nest : tcr::build_loop_nests(variants[3])) {
+    recipe.push_back(tcr::optimized_openacc_config(nest));
+  }
+  auto x = fz.encode(3, recipe);
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    EXPECT_DOUBLE_EQ(x[v], v == 3 ? 1.0 : 0.0);
+  }
+}
+
+TEST(Features, DistinctConfigsEncodeDistinctly) {
+  auto variants = eqn1_variants();
+  RecipeFeaturizer fz(variants);
+  auto nests = tcr::build_loop_nests(variants[0]);
+  auto configs =
+      tcr::enumerate_configs(nests[0], tcr::derive_space(nests[0]));
+  ASSERT_GE(configs.size(), 2u);
+  std::vector<tcr::KernelConfig> base;
+  for (std::size_t k = 1; k < nests.size(); ++k) {
+    base.push_back(tcr::optimized_openacc_config(nests[k]));
+  }
+  std::vector<tcr::KernelConfig> r1{configs[0]};
+  std::vector<tcr::KernelConfig> r2{configs[configs.size() / 2]};
+  r1.insert(r1.end(), base.begin(), base.end());
+  r2.insert(r2.end(), base.begin(), base.end());
+  EXPECT_NE(fz.encode(0, r1), fz.encode(0, r2));
+}
+
+TEST(Features, UnrollIsNumericNotOneHot) {
+  auto variants = eqn1_variants();
+  RecipeFeaturizer fz(variants);
+  auto nests = tcr::build_loop_nests(variants[0]);
+  std::vector<tcr::KernelConfig> recipe;
+  for (const auto& nest : nests) {
+    recipe.push_back(tcr::optimized_openacc_config(nest));
+  }
+  recipe[0].unroll = 7;
+  auto x7 = fz.encode(0, recipe);
+  recipe[0].unroll = 3;
+  auto x3 = fz.encode(0, recipe);
+  // Exactly one feature differs, by exactly 4.
+  int diffs = 0;
+  double delta = 0;
+  for (std::size_t d = 0; d < x7.size(); ++d) {
+    if (x7[d] != x3[d]) {
+      ++diffs;
+      delta = x7[d] - x3[d];
+    }
+  }
+  EXPECT_EQ(diffs, 1);
+  EXPECT_DOUBLE_EQ(delta, 4.0);
+}
+
+TEST(Features, UnknownIndexRejected) {
+  auto variants = eqn1_variants();
+  RecipeFeaturizer fz(variants);
+  std::vector<tcr::KernelConfig> recipe(3);
+  recipe[0].thread_x = "zz";
+  EXPECT_THROW(fz.encode(0, recipe), InternalError);
+}
+
+TEST(Features, EmptyVariantListRejected) {
+  EXPECT_THROW(RecipeFeaturizer fz({}), InternalError);
+}
+
+
+TEST(Features, FeatureNamesDecodeEveryDimension) {
+  auto variants = eqn1_variants();
+  RecipeFeaturizer fz(variants);
+  std::set<std::string> names;
+  for (std::size_t d = 0; d < fz.dim(); ++d) {
+    EXPECT_TRUE(names.insert(fz.feature_name(d)).second)
+        << "duplicate name at dim " << d;
+  }
+  EXPECT_EQ(fz.feature_name(0), "variant#1");
+  EXPECT_EQ(fz.feature_name(14), "variant#15");
+  // The first per-kernel dimension is kernel1.TX over the vocabulary.
+  std::string first = fz.feature_name(15);
+  EXPECT_EQ(first.rfind("kernel1.TX=", 0), 0u) << first;
+  EXPECT_THROW(fz.feature_name(fz.dim()), InternalError);
+}
+
+}  // namespace
+}  // namespace barracuda::surf

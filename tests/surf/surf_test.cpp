@@ -1,0 +1,156 @@
+#include "surf/surf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace barracuda::surf {
+namespace {
+
+/// Synthetic tuning landscape: a sharp optimum at one configuration plus
+/// structure the model can learn (feature 0 strongly predictive).
+struct Landscape {
+  std::vector<std::vector<double>> features;
+  std::vector<double> values;
+
+  static Landscape make(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    Landscape l;
+    for (std::size_t i = 0; i < n; ++i) {
+      double a = rng.uniform(), b = rng.uniform(), c = rng.uniform();
+      l.features.push_back({a, b, c});
+      // Time: mostly driven by a, small noise-like contribution from b,c.
+      l.values.push_back(10.0 * a + 0.5 * b + 0.1 * c);
+    }
+    return l;
+  }
+
+  Objective objective(int* count = nullptr) const {
+    return [this, count](std::size_t i) {
+      if (count) ++*count;
+      return values[i];
+    };
+  }
+
+  double optimum() const {
+    double best = values[0];
+    for (double v : values) best = std::min(best, v);
+    return best;
+  }
+};
+
+TEST(Surf, RespectsEvaluationBudget) {
+  Landscape l = Landscape::make(500, 1);
+  int evals = 0;
+  SearchOptions opt;
+  opt.max_evaluations = 60;
+  opt.batch_size = 10;
+  SearchResult r = surf_search(l.features, l.objective(&evals), opt);
+  EXPECT_EQ(evals, 60);
+  EXPECT_EQ(r.evaluations(), 60u);
+}
+
+TEST(Surf, NeverEvaluatesSameConfigurationTwice) {
+  Landscape l = Landscape::make(300, 2);
+  SearchOptions opt;
+  opt.max_evaluations = 120;
+  opt.batch_size = 15;
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  std::set<std::size_t> seen;
+  for (const auto& [i, v] : r.history) {
+    EXPECT_TRUE(seen.insert(i).second) << "re-evaluated " << i;
+  }
+}
+
+TEST(Surf, BudgetAtPoolSizeFindsGlobalOptimum) {
+  Landscape l = Landscape::make(80, 3);
+  SearchOptions opt;
+  opt.max_evaluations = 80;
+  opt.batch_size = 8;
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
+}
+
+TEST(Surf, BeatsRandomSearchOnStructuredLandscape) {
+  // Averaged over seeds, the model-guided search should find better
+  // configurations than uniform random sampling at the same budget.
+  double surf_total = 0, random_total = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Landscape l = Landscape::make(2000, 100 + seed);
+    SearchOptions opt;
+    opt.max_evaluations = 60;
+    opt.batch_size = 10;
+    opt.seed = seed;
+    surf_total += surf_search(l.features, l.objective(), opt).best_value;
+    random_total +=
+        random_search(l.features.size(), l.objective(), opt).best_value;
+  }
+  EXPECT_LT(surf_total, random_total);
+}
+
+TEST(Surf, HistoryTracksBestCorrectly) {
+  Landscape l = Landscape::make(100, 4);
+  SearchOptions opt;
+  opt.max_evaluations = 50;
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  double best = INFINITY;
+  for (const auto& [i, v] : r.history) {
+    best = std::min(best, v);
+    EXPECT_DOUBLE_EQ(v, l.values[i]);
+  }
+  EXPECT_DOUBLE_EQ(r.best_value, best);
+  EXPECT_DOUBLE_EQ(l.values[r.best_index], r.best_value);
+  EXPECT_DOUBLE_EQ(r.best_after(r.evaluations()), best);
+  EXPECT_GE(r.best_after(10), best);
+}
+
+TEST(Surf, DeterministicGivenSeed) {
+  Landscape l = Landscape::make(400, 5);
+  SearchOptions opt;
+  opt.max_evaluations = 40;
+  opt.seed = 77;
+  SearchResult a = surf_search(l.features, l.objective(), opt);
+  SearchResult b = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(a.history, b.history);
+}
+
+TEST(Surf, PoolSmallerThanBatchStillWorks) {
+  Landscape l = Landscape::make(5, 6);
+  SearchOptions opt;
+  opt.max_evaluations = 100;
+  opt.batch_size = 10;
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(r.evaluations(), 5u);
+  EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
+}
+
+TEST(RandomSearch, SamplesWithoutReplacementWithinBudget) {
+  Landscape l = Landscape::make(50, 7);
+  SearchOptions opt;
+  opt.max_evaluations = 50;
+  SearchResult r = random_search(50, l.objective(), opt);
+  std::set<std::size_t> seen;
+  for (const auto& [i, v] : r.history) seen.insert(i);
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
+}
+
+TEST(ExhaustiveSearch, AlwaysFindsOptimum) {
+  Landscape l = Landscape::make(123, 8);
+  SearchResult r = exhaustive_search(123, l.objective());
+  EXPECT_EQ(r.evaluations(), 123u);
+  EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
+}
+
+TEST(Surf, EmptyPoolThrows) {
+  EXPECT_THROW(
+      surf_search({}, [](std::size_t) { return 0.0; }, SearchOptions{}),
+      InternalError);
+  EXPECT_THROW(
+      random_search(0, [](std::size_t) { return 0.0; }, SearchOptions{}),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace barracuda::surf

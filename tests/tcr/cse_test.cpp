@@ -1,0 +1,185 @@
+#include "tcr/cse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpuexec/interpreter.hpp"
+
+namespace barracuda::tcr {
+namespace {
+
+TEST(Cse, MergesIdenticalTemporaryComputations) {
+  // Two outputs sharing the intermediate t1 = A*B.
+  TcrProgram p = parse_tcr(R"(
+two
+define:
+I = J = K = M = 6
+variables:
+A:(I,J)
+B:(J,K)
+C:(K,M)
+D:(K,M)
+t1:(I,K)
+t2:(I,K)
+X:(I,M)
+Y:(I,M)
+operations:
+t1:(i,k) += A:(i,j)*B:(j,k)
+X:(i,m) += t1:(i,k)*C:(k,m)
+t2:(i,k) += A:(i,j)*B:(j,k)
+Y:(i,m) += t2:(i,k)*D:(k,m)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  EXPECT_EQ(r.eliminated_ops, 1u);
+  EXPECT_EQ(r.saved_flops, 2 * 6 * 6 * 6);
+  ASSERT_EQ(r.program.operations.size(), 3u);
+  // Y now reads t1 instead of t2; t2's declaration is gone.
+  EXPECT_EQ(r.program.operations[2].inputs[0].name, "t1");
+  EXPECT_FALSE(r.program.has_variable("t2"));
+}
+
+TEST(Cse, PreservesSemantics) {
+  TcrProgram p = parse_tcr(R"(
+two
+define:
+I = J = K = M = 5
+variables:
+A:(I,J)
+B:(J,K)
+C:(K,M)
+D:(K,M)
+t1:(I,K)
+t2:(I,K)
+X:(I,M)
+Y:(I,M)
+operations:
+t1:(i,k) += A:(i,j)*B:(j,k)
+X:(i,m) += t1:(i,k)*C:(k,m)
+t2:(i,k) += A:(i,j)*B:(j,k)
+Y:(i,m) += t2:(i,k)*D:(k,m)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  Rng rng(6);
+  tensor::TensorEnv env;
+  env.emplace("A", tensor::Tensor::random({5, 5}, rng));
+  env.emplace("B", tensor::Tensor::random({5, 5}, rng));
+  env.emplace("C", tensor::Tensor::random({5, 5}, rng));
+  env.emplace("D", tensor::Tensor::random({5, 5}, rng));
+  tensor::TensorEnv cse_env = env;
+  cpuexec::run_sequential(p, env);
+  cpuexec::run_sequential(r.program, cse_env);
+  EXPECT_TRUE(tensor::Tensor::allclose(env.at("X"), cse_env.at("X"), 1e-12));
+  EXPECT_TRUE(tensor::Tensor::allclose(env.at("Y"), cse_env.at("Y"), 1e-12));
+}
+
+TEST(Cse, CommutativityOfProductRecognized) {
+  TcrProgram p = parse_tcr(R"(
+comm
+define:
+I = J = K = 4
+variables:
+A:(I,J)
+B:(J,K)
+t1:(I,K)
+t2:(I,K)
+X:(I,K)
+operations:
+t1:(i,k) += A:(i,j)*B:(j,k)
+t2:(i,k) += B:(j,k)*A:(i,j)
+X:(i,k) += t1:(i,k)*t2:(i,k)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  EXPECT_EQ(r.eliminated_ops, 1u);
+}
+
+TEST(Cse, DifferentOutputLayoutNotMerged) {
+  // Same math, different temporary layout: layouts matter downstream, so
+  // these are distinct.
+  TcrProgram p = parse_tcr(R"(
+lay
+define:
+I = J = K = 4
+variables:
+A:(I,J)
+B:(J,K)
+t1:(I,K)
+t2:(K,I)
+X:(I,K)
+operations:
+t1:(i,k) += A:(i,j)*B:(j,k)
+t2:(k,i) += A:(i,j)*B:(j,k)
+X:(i,k) += t1:(i,k)*t2:(k,i)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  EXPECT_EQ(r.eliminated_ops, 0u);
+}
+
+TEST(Cse, MultiplyWrittenTensorsNotCandidates) {
+  // W accumulates two contributions; eliminating either would be wrong.
+  TcrProgram p = parse_tcr(R"(
+acc
+define:
+I = J = 4
+variables:
+A:(I,J)
+W:(I)
+X:(I)
+operations:
+W:(i) += A:(i,j)
+W:(i) += A:(i,j)
+X:(i) += W:(i)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  EXPECT_EQ(r.eliminated_ops, 0u);
+  EXPECT_EQ(r.program.operations.size(), 3u);
+}
+
+TEST(Cse, NoOpOnProgramsWithoutDuplicates) {
+  TcrProgram p = parse_tcr(R"(
+mm
+define:
+I = J = K = 4
+variables:
+A:(I,J)
+B:(J,K)
+C:(I,K)
+operations:
+C:(i,k) += A:(i,j)*B:(j,k)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  EXPECT_EQ(r.eliminated_ops, 0u);
+  EXPECT_EQ(r.program.operations, p.operations);
+}
+
+TEST(Cse, ChainsThroughRenamedInputs) {
+  // After t2 := t1, the consumers of t2 rename to t1, making the two
+  // second-level temporaries identical too.
+  TcrProgram p = parse_tcr(R"(
+chain
+define:
+I = J = K = M = 4
+variables:
+A:(I,J)
+B:(J,K)
+C:(K,M)
+t1:(I,K)
+t2:(I,K)
+u1:(I,M)
+u2:(I,M)
+X:(I,M)
+operations:
+t1:(i,k) += A:(i,j)*B:(j,k)
+t2:(i,k) += A:(i,j)*B:(j,k)
+u1:(i,m) += t1:(i,k)*C:(k,m)
+u2:(i,m) += t2:(i,k)*C:(k,m)
+X:(i,m) += u1:(i,m)*u2:(i,m)
+)");
+  CseResult r = eliminate_common_subexpressions(p);
+  EXPECT_EQ(r.eliminated_ops, 2u);
+  ASSERT_EQ(r.program.operations.size(), 3u);
+  // X reads u1 twice now.
+  EXPECT_EQ(r.program.operations[2].inputs[0].name, "u1");
+  EXPECT_EQ(r.program.operations[2].inputs[1].name, "u1");
+}
+
+}  // namespace
+}  // namespace barracuda::tcr

@@ -1,0 +1,218 @@
+#include "tcr/decision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace barracuda::tcr {
+namespace {
+
+TcrProgram eqn1_program() {
+  return parse_tcr(R"(
+ex
+define:
+I = J = K = L = M = N = 10
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)");
+}
+
+TEST(Decision, ThreadXDrivenByCoalescing) {
+  auto nests = build_loop_nests(eqn1_program());
+  // Final op: V:(i,j,k) += A:(l,k)*temp3:(j,i,l); loops (i,j,k,l).
+  // A's last index k is parallel -> ThreadX candidate; temp3's last index
+  // l is a reduction -> excluded.
+  KernelSpace space = derive_space(nests[2]);
+  EXPECT_EQ(space.thread_x, (std::vector<std::string>{"k"}));
+}
+
+TEST(Decision, PoolBuiltFromContiguousTensorsInnermostFirst) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelSpace space = derive_space(nests[2]);
+  // Contiguous refs under (i,j,k,l): V (i,j,k). A:(l,k) positions 3,2 no;
+  // temp3:(j,i,l) positions 1,0,3 no.  Pool from V innermost-first:
+  // k,j,i — then noncontiguous outer-to-inner adds nothing new parallel.
+  EXPECT_EQ(space.block_x, (std::vector<std::string>{"k", "j", "i", "1"}));
+  // ThreadY and BlockY get the pool plus the unused sentinel.
+  EXPECT_EQ(space.thread_y, (std::vector<std::string>{"k", "j", "i", "1"}));
+  EXPECT_EQ(space.block_y, (std::vector<std::string>{"k", "j", "i", "1"}));
+}
+
+TEST(Decision, UnrollFactorsBoundedByExtentAndCap) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelSpace space = derive_space(nests[0]);
+  ASSERT_EQ(space.unroll_factors.size(), 10u);  // min(10, N=10)
+  EXPECT_EQ(space.unroll_factors.front(), 1);
+  EXPECT_EQ(space.unroll_factors.back(), 10);
+
+  DecisionOptions opt;
+  opt.max_unroll = 4;
+  EXPECT_EQ(derive_space(nests[0], opt).unroll_factors.size(), 4u);
+}
+
+TEST(Decision, ConfigsAreValidAndDistinct) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelSpace space = derive_space(nests[0]);
+  auto configs = enumerate_configs(nests[0], space);
+  ASSERT_FALSE(configs.empty());
+  std::set<std::string> texts;
+  for (const auto& cfg : configs) {
+    EXPECT_NO_THROW(validate_config(nests[0], cfg));
+    texts.insert(cfg.to_string());
+  }
+  EXPECT_EQ(texts.size(), configs.size());
+  EXPECT_EQ(space_size(nests[0], space),
+            static_cast<std::int64_t>(configs.size()));
+}
+
+TEST(Decision, GridIndicesAreDistinctParallelLoops) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelSpace space = derive_space(nests[0]);
+  for (const auto& cfg : enumerate_configs(nests[0], space)) {
+    auto assigned = cfg.assigned_indices();
+    std::set<std::string> uniq(assigned.begin(), assigned.end());
+    EXPECT_EQ(uniq.size(), assigned.size());
+    for (const auto& ix : assigned) {
+      EXPECT_TRUE(nests[0].is_parallel(ix));
+    }
+  }
+}
+
+TEST(Decision, ReductionLoopsAlwaysSequential) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelSpace space = derive_space(nests[0]);
+  for (const auto& cfg : enumerate_configs(nests[0], space)) {
+    bool found = false;
+    for (const auto& ix : cfg.sequential) found |= (ix == "n");
+    EXPECT_TRUE(found) << cfg.to_string();
+  }
+}
+
+TEST(Decision, UnrollNeverExceedsInnermostSequentialExtent) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelSpace space = derive_space(nests[0]);
+  for (const auto& cfg : enumerate_configs(nests[0], space)) {
+    if (!cfg.sequential.empty()) {
+      EXPECT_LE(cfg.unroll, nests[0].extent_of(cfg.sequential.back()));
+    } else {
+      EXPECT_EQ(cfg.unroll, 1);
+    }
+  }
+}
+
+TEST(Decision, CoalescingBlindAblationWidensThreadX) {
+  auto nests = build_loop_nests(eqn1_program());
+  DecisionOptions blind;
+  blind.coalescing_aware = false;
+  KernelSpace aware = derive_space(nests[2]);
+  KernelSpace blind_space = derive_space(nests[2], blind);
+  EXPECT_LT(aware.thread_x.size(), blind_space.thread_x.size());
+  EXPECT_EQ(blind_space.thread_x.size(), 3u);  // all parallel loops
+}
+
+TEST(Decision, PermutationAblationShrinksSpace) {
+  auto nests = build_loop_nests(eqn1_program());
+  DecisionOptions no_perm;
+  no_perm.permute_sequential = false;
+  KernelSpace with = derive_space(nests[0]);
+  KernelSpace without = derive_space(nests[0], no_perm);
+  EXPECT_GT(space_size(nests[0], with), space_size(nests[0], without));
+}
+
+TEST(Decision, OptimizedOpenAccUsesCoalescedThreadX) {
+  auto nests = build_loop_nests(eqn1_program());
+  KernelConfig cfg = optimized_openacc_config(nests[2]);
+  EXPECT_EQ(cfg.thread_x, "k");
+  EXPECT_NE(cfg.block_x, "k");
+  EXPECT_TRUE(cfg.scalar_replacement);
+  EXPECT_EQ(cfg.unroll, 1);
+}
+
+TEST(Decision, NaiveOpenAccIgnoresCoalescing) {
+  auto nests = build_loop_nests(eqn1_program());
+  // Final op loops (i,j,k,l); naive gangs the outermost parallel loop i
+  // and vectors j — not the coalesced k.
+  KernelConfig cfg = naive_openacc_config(nests[2]);
+  EXPECT_EQ(cfg.block_x, "i");
+  EXPECT_EQ(cfg.thread_x, "j");
+  EXPECT_FALSE(cfg.scalar_replacement);
+}
+
+TEST(Decision, SinglePassKernelWithOneParallelLoop) {
+  TcrProgram p = parse_tcr(R"(
+mv
+define:
+I = J = 16
+variables:
+A:(I,J)
+x:(J)
+y:(I)
+operations:
+y:(i) += A:(i,j)*x:(j)
+)");
+  auto nests = build_loop_nests(p);
+  KernelSpace space = derive_space(nests[0]);
+  auto configs = enumerate_configs(nests[0], space);
+  EXPECT_FALSE(configs.empty());
+  for (const auto& cfg : configs) {
+    EXPECT_NO_THROW(validate_config(nests[0], cfg));
+  }
+  // Naive config: only one parallel loop -> gang only.
+  KernelConfig naive = naive_openacc_config(nests[0]);
+  EXPECT_EQ(naive.block_x, "i");
+  EXPECT_EQ(naive.thread_x, kUnused);
+}
+
+TEST(Decision, ValidateConfigRejectsBadConfigs) {
+  auto nests = build_loop_nests(eqn1_program());
+  const LoopNest& nest = nests[0];  // loops i,l,m,n
+
+  KernelConfig missing;  // loop m missing entirely
+  missing.thread_x = "i";
+  missing.block_x = "l";
+  missing.sequential = {"n"};
+  EXPECT_THROW(validate_config(nest, missing), InternalError);
+
+  KernelConfig reduction_on_grid;
+  reduction_on_grid.thread_x = "n";  // reduction loop on the grid
+  reduction_on_grid.block_x = "i";
+  reduction_on_grid.sequential = {"l", "m"};
+  EXPECT_THROW(validate_config(nest, reduction_on_grid), InternalError);
+
+  KernelConfig duplicate;
+  duplicate.thread_x = "i";
+  duplicate.thread_y = "i";
+  duplicate.sequential = {"l", "m", "n"};
+  EXPECT_THROW(validate_config(nest, duplicate), InternalError);
+
+  KernelConfig big_unroll;
+  big_unroll.thread_x = "i";
+  big_unroll.block_x = "l";
+  big_unroll.sequential = {"m", "n"};
+  big_unroll.unroll = 11;  // n has extent 10
+  EXPECT_THROW(validate_config(nest, big_unroll), InternalError);
+}
+
+TEST(Decision, SpaceSizeMagnitudeIsLargeEnoughToMotivateSearch) {
+  // The paper motivates SURF with spaces in the 10^2..10^6 range per
+  // program; Eqn(1)'s per-kernel spaces should be comfortably >100.
+  auto nests = build_loop_nests(eqn1_program());
+  std::int64_t total = 1;
+  for (const auto& nest : nests) {
+    total *= space_size(nest, derive_space(nest));
+  }
+  EXPECT_GT(total, 100000);
+}
+
+}  // namespace
+}  // namespace barracuda::tcr

@@ -1,0 +1,142 @@
+#include "tcr/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::tcr {
+namespace {
+
+TcrProgram eqn1_program() {
+  return parse_tcr(R"(
+ex
+define:
+I = J = K = L = M = N = 10
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)");
+}
+
+TEST(Fusion, FusibleIndicesRequireTempToCarryIndex) {
+  auto nests = build_loop_nests(eqn1_program());
+  // temp1:(i,l,m) feeds temp3:(j,i,l): i and l are in both nests' parallel
+  // sets and in temp1's index set; m is parallel in nest0 but a reduction
+  // in nest1 (not on temp3's LHS)... m IS parallel in nest0 and reduction
+  // in nest1, so only i,l qualify.
+  auto fusible = fusible_indices(nests[0], nests[1]);
+  std::set<std::string> got(fusible.begin(), fusible.end());
+  EXPECT_EQ(got, (std::set<std::string>{"i", "l"}));
+}
+
+TEST(Fusion, NoFlowMeansAnySharedParallelLoopFusible) {
+  TcrProgram p = parse_tcr(R"(
+pair
+define:
+I = J = K = 8
+variables:
+A:(I,J)
+B:(I,J)
+X:(I,K)
+Y:(I,K)
+operations:
+X:(i,k) += A:(i,j)*A:(j,k)
+Y:(i,k) += B:(i,j)*B:(j,k)
+)");
+  auto nests = build_loop_nests(p);
+  auto fusible = fusible_indices(nests[0], nests[1]);
+  std::set<std::string> got(fusible.begin(), fusible.end());
+  EXPECT_EQ(got, (std::set<std::string>{"i", "k"}));
+}
+
+TEST(Fusion, ReorderOuterMovesRequestedLoopsFirst) {
+  auto nests = build_loop_nests(eqn1_program());
+  LoopNest reordered = reorder_outer(nests[0], {"l", "i"});
+  std::vector<std::string> order;
+  for (const auto& loop : reordered.loops) order.push_back(loop.index);
+  EXPECT_EQ(order, (std::vector<std::string>{"l", "i", "m", "n"}));
+}
+
+TEST(Fusion, ReorderOuterRejectsReductionLoops) {
+  auto nests = build_loop_nests(eqn1_program());
+  EXPECT_THROW(reorder_outer(nests[0], {"n"}), InternalError);
+  EXPECT_THROW(reorder_outer(nests[0], {"z"}), InternalError);
+}
+
+TEST(Fusion, Eqn1FusesAtSharedLoops) {
+  auto groups = fuse_program(eqn1_program());
+  // All three ops share parallel loops pairwise (i,l then i,j...), so the
+  // greedy pass should form fewer than three groups.
+  std::size_t total_bodies = 0;
+  for (const auto& g : groups) total_bodies += g.bodies.size();
+  EXPECT_EQ(total_bodies, 3u);
+  EXPECT_LT(groups.size(), 3u);
+  // The first group must share a non-empty prefix.
+  EXPECT_FALSE(groups.front().shared.empty());
+  for (const auto& g : groups) {
+    for (const auto& body : g.bodies) {
+      // Shared loops must be the outermost loops of every body.
+      for (std::size_t d = 0; d < g.shared.size(); ++d) {
+        EXPECT_EQ(body.loops[d].index, g.shared[d].index);
+      }
+    }
+  }
+}
+
+TEST(Fusion, FusionReducesTemporaryFootprint) {
+  TcrProgram p = eqn1_program();
+  auto groups = fuse_program(p);
+  EXPECT_LT(fused_temp_elements(p, groups), unfused_temp_elements(p));
+  EXPECT_EQ(unfused_temp_elements(p), 1000 + 1000);  // temp1 + temp3
+}
+
+TEST(Fusion, IndependentOpsWithDisjointLoopsDoNotFuse) {
+  TcrProgram p = parse_tcr(R"(
+two
+define:
+I = J = A = B = 4
+variables:
+X:(I,J)
+P:(I,J)
+Y:(A,B)
+Q:(A,B)
+operations:
+P:(i,j) += X:(i,j)
+Q:(a,b) += Y:(a,b)
+)");
+  auto groups = fuse_program(p);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Fusion, SingleOpProgramIsOneGroup) {
+  TcrProgram p = parse_tcr(R"(
+mm
+define:
+I = J = K = 8
+variables:
+A:(I,J)
+B:(J,K)
+C:(I,K)
+operations:
+C:(i,k) += A:(i,j)*B:(j,k)
+)");
+  auto groups = fuse_program(p);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].bodies.size(), 1u);
+}
+
+TEST(Fusion, ToStringShowsFusedStructure) {
+  auto groups = fuse_program(eqn1_program());
+  std::string s = groups.front().to_string();
+  EXPECT_NE(s.find("// fused"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::tcr

@@ -1,0 +1,112 @@
+#include "tcr/loopnest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::tcr {
+namespace {
+
+TcrProgram eqn1_program() {
+  return parse_tcr(R"(
+ex
+define:
+I = J = K = L = M = N = 10
+variables:
+A:(L,K)
+B:(M,J)
+C:(N,I)
+U:(L,M,N)
+temp1:(I,L,M)
+temp3:(J,I,L)
+V:(I,J,K)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)");
+}
+
+TEST(LoopNest, DefaultOrderIsOutputThenReduction) {
+  auto nests = build_loop_nests(eqn1_program());
+  ASSERT_EQ(nests.size(), 3u);
+  std::vector<std::string> order;
+  for (const auto& loop : nests[0].loops) order.push_back(loop.index);
+  EXPECT_EQ(order, (std::vector<std::string>{"i", "l", "m", "n"}));
+  EXPECT_EQ(nests[0].loops[0].extent, 10);
+}
+
+TEST(LoopNest, DependenceAnalysisLhsIndicesAreParallel) {
+  auto nests = build_loop_nests(eqn1_program());
+  // temp1:(i,l,m) += C:(n,i)*U:(l,m,n): i,l,m parallel; n reduction.
+  EXPECT_EQ(nests[0].parallel_indices(),
+            (std::vector<std::string>{"i", "l", "m"}));
+  EXPECT_EQ(nests[0].reduction_indices(), (std::vector<std::string>{"n"}));
+  EXPECT_TRUE(nests[0].is_parallel("i"));
+  EXPECT_FALSE(nests[0].is_parallel("n"));
+}
+
+TEST(LoopNest, ExtentLookup) {
+  auto nests = build_loop_nests(eqn1_program());
+  EXPECT_EQ(nests[0].extent_of("n"), 10);
+  EXPECT_THROW(nests[0].extent_of("z"), InternalError);
+}
+
+TEST(LoopNest, ContiguityOutputContiguousByConstruction) {
+  auto nests = build_loop_nests(eqn1_program());
+  // Default order puts output indices first in output order, so the
+  // output is always contiguous.
+  for (const auto& nest : nests) {
+    EXPECT_TRUE(is_contiguous(nest.stmt.output, nest.loops));
+  }
+}
+
+TEST(LoopNest, ContiguityOfInputsMatchesPaperExample) {
+  auto nests = build_loop_nests(eqn1_program());
+  // Nest 0 loops (i,l,m,n): U:(l,m,n) is contiguous (positions 1,2,3);
+  // C:(n,i) is not (positions 3,0).
+  EXPECT_TRUE(is_contiguous(nests[0].stmt.inputs[1], nests[0].loops));
+  EXPECT_FALSE(is_contiguous(nests[0].stmt.inputs[0], nests[0].loops));
+  auto contig = contiguous_refs(nests[0]);
+  ASSERT_EQ(contig.size(), 2u);
+  EXPECT_EQ(contig[0].name, "temp1");
+  EXPECT_EQ(contig[1].name, "U");
+  auto noncontig = noncontiguous_refs(nests[0]);
+  ASSERT_EQ(noncontig.size(), 1u);
+  EXPECT_EQ(noncontig[0].name, "C");
+}
+
+TEST(LoopNest, ContiguityRequiresStrictlyIncreasingPositions) {
+  std::vector<Loop> loops{{"i", 4}, {"j", 4}, {"k", 4}};
+  EXPECT_TRUE(is_contiguous(tensor::TensorRef{"A", {"i", "k"}}, loops));
+  EXPECT_TRUE(is_contiguous(tensor::TensorRef{"A", {"j"}}, loops));
+  EXPECT_FALSE(is_contiguous(tensor::TensorRef{"A", {"k", "i"}}, loops));
+  EXPECT_FALSE(is_contiguous(tensor::TensorRef{"A", {"i", "i"}}, loops));
+  // Index not in the loop order at all -> not contiguous.
+  EXPECT_FALSE(is_contiguous(tensor::TensorRef{"A", {"z"}}, loops));
+}
+
+TEST(LoopNest, ScalarOutputHasNoParallelLoops) {
+  TcrProgram p = parse_tcr(R"(
+dot
+define:
+I = 8
+variables:
+u:(I)
+v:(I)
+y:()
+operations:
+y:() += u:(i)*v:(i)
+)");
+  auto nests = build_loop_nests(p);
+  EXPECT_TRUE(nests[0].parallel_indices().empty());
+  EXPECT_EQ(nests[0].reduction_indices(), (std::vector<std::string>{"i"}));
+}
+
+TEST(LoopNest, ToStringShowsLoopKinds) {
+  auto nests = build_loop_nests(eqn1_program());
+  std::string s = nests[0].to_string();
+  EXPECT_NE(s.find("for i in [0,10)  // parallel"), std::string::npos);
+  EXPECT_NE(s.find("for n in [0,10)  // reduction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barracuda::tcr

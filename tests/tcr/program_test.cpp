@@ -1,0 +1,209 @@
+#include "tcr/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "octopi/parser.hpp"
+
+namespace barracuda::tcr {
+namespace {
+
+tensor::Extents eqn1_extents() {
+  tensor::Extents e;
+  for (const char* ix : {"i", "j", "k", "l", "m", "n"}) e[ix] = 10;
+  return e;
+}
+
+octopi::Variant best_eqn1_variant() {
+  auto stmt = octopi::parse_statement(
+                  "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])")
+                  .to_contraction();
+  auto variants = octopi::enumerate_variants(stmt, eqn1_extents());
+  // Find the paper's variant: C*U first, then B, then A.
+  for (const auto& v : variants) {
+    if (v.program.steps[0].inputs[0].name == "C" &&
+        v.program.steps.size() == 3 &&
+        v.program.steps[1].inputs[0].name == "B") {
+      return v;
+    }
+  }
+  throw std::runtime_error("paper variant not found");
+}
+
+TEST(TcrProgram, FromVariantDeclaresAllTensors) {
+  TcrProgram p = from_variant(best_eqn1_variant(), eqn1_extents());
+  EXPECT_TRUE(p.has_variable("A"));
+  EXPECT_TRUE(p.has_variable("B"));
+  EXPECT_TRUE(p.has_variable("C"));
+  EXPECT_TRUE(p.has_variable("U"));
+  EXPECT_TRUE(p.has_variable("V"));
+  EXPECT_EQ(p.operations.size(), 3u);
+  EXPECT_EQ(p.output_name(), "V");
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(TcrProgram, InputAndWrittenNames) {
+  TcrProgram p = from_variant(best_eqn1_variant(), eqn1_extents());
+  auto inputs = p.input_names();
+  EXPECT_EQ(inputs.size(), 4u);  // A, B, C, U in some first-use order
+  for (const char* n : {"A", "B", "C", "U"}) {
+    EXPECT_NE(std::find(inputs.begin(), inputs.end(), n), inputs.end());
+  }
+  auto written = p.written_names();
+  EXPECT_EQ(written.size(), 3u);  // two temps + V
+  EXPECT_EQ(written.back(), "V");
+}
+
+TEST(TcrProgram, FlopsMatchVariant) {
+  octopi::Variant v = best_eqn1_variant();
+  TcrProgram p = from_variant(v, eqn1_extents());
+  EXPECT_EQ(p.flops(), v.flops);
+  EXPECT_EQ(p.flops(), 3 * 2 * 10000);
+}
+
+TEST(TcrProgram, PrintMatchesPaperShape) {
+  TcrProgram p = from_variant(best_eqn1_variant(), eqn1_extents());
+  std::string text = p.to_string();
+  EXPECT_NE(text.find("access: linearize"), std::string::npos);
+  EXPECT_NE(text.find("define:"), std::string::npos);
+  EXPECT_NE(text.find("variables:"), std::string::npos);
+  EXPECT_NE(text.find("operations:"), std::string::npos);
+  EXPECT_NE(text.find("A:(L,K)"), std::string::npos);
+  EXPECT_NE(text.find("V:(I,J,K)"), std::string::npos);
+}
+
+TEST(TcrProgram, TextRoundTrips) {
+  TcrProgram p = from_variant(best_eqn1_variant(), eqn1_extents());
+  TcrProgram q = parse_tcr(p.to_string());
+  EXPECT_EQ(p.extents, q.extents);
+  EXPECT_EQ(p.operations, q.operations);
+  // Variable sets must agree (order may differ).
+  for (const auto& v : p.variables) {
+    EXPECT_TRUE(q.has_variable(v.name));
+    EXPECT_EQ(q.variable(v.name).indices.size(), v.indices.size());
+  }
+}
+
+TEST(TcrProgram, ParsesPaperFigure2b) {
+  // Verbatim structure of Figure 2(b).
+  const char* text = R"(
+ex
+access: linearize
+define:
+N = J = M = I = L = K = 10
+variables:
+temp3:(J,I,L)
+A:(L,K)
+C:(N,I)
+B:(M,J)
+U:(L,M,N)
+V:(I,J,K)
+temp1:(I,L,M)
+operations:
+temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+)";
+  TcrProgram p = parse_tcr(text);
+  EXPECT_EQ(p.name, "ex");
+  EXPECT_EQ(p.extents.at("n"), 10);
+  EXPECT_EQ(p.operations.size(), 3u);
+  EXPECT_EQ(p.operations[0].output.name, "temp1");
+  EXPECT_EQ(p.operations[0].inputs[1].indices,
+            (std::vector<std::string>{"l", "m", "n"}));
+  EXPECT_TRUE(p.operations[2].accumulate);
+  EXPECT_EQ(p.output_name(), "V");
+}
+
+TEST(TcrProgram, UndeclaredVariableRejected) {
+  const char* text = R"(
+ex
+define:
+I = J = 4
+variables:
+A:(I,J)
+operations:
+B:(i) += A:(i,j)
+)";
+  EXPECT_THROW(parse_tcr(text), ParseError);
+}
+
+TEST(TcrProgram, RankMismatchRejected) {
+  const char* text = R"(
+ex
+define:
+I = J = 4
+variables:
+A:(I,J)
+B:(I)
+operations:
+B:(i) += A:(i)
+)";
+  EXPECT_THROW(parse_tcr(text), ParseError);
+}
+
+TEST(TcrProgram, ExtentMismatchOnReuseRejected) {
+  const char* text = R"(
+ex
+define:
+I = 4
+J = 8
+variables:
+A:(I,I)
+B:(I)
+operations:
+B:(i) += A:(i,j)
+)";
+  EXPECT_THROW(parse_tcr(text), ParseError);
+}
+
+TEST(TcrProgram, ReuseUnderDifferentIndexNamesAllowed) {
+  // The same derivative matrix D contracted along different modes, as in
+  // Nekbone's local_grad3.
+  const char* text = R"(
+lg3
+define:
+I = J = K = L = 12
+variables:
+D:(I,J)
+U:(I,J,K)
+UR:(I,J,K)
+US:(I,J,K)
+operations:
+UR:(i,j,k) += D:(k,l)*U:(i,j,l)
+US:(i,j,k) += D:(j,l)*U:(i,l,k)
+)";
+  TcrProgram p = parse_tcr(text);
+  EXPECT_EQ(p.operations.size(), 2u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(TcrProgram, UnsupportedAccessModeRejected) {
+  EXPECT_THROW(parse_tcr("ex\naccess: tiled\ndefine:\nI = 2\nvariables:\n"
+                         "A:(I)\noperations:\nA:(i) += A:(i)\n"),
+               ParseError);
+}
+
+TEST(TcrProgram, EmptyProgramRejected) {
+  EXPECT_THROW(parse_tcr("ex\ndefine:\nI = 2\nvariables:\nA:(I)\n"
+                         "operations:\n"),
+               ParseError);
+}
+
+TEST(TcrProgram, ScalarVariableParses) {
+  const char* text = R"(
+dot
+define:
+I = 8
+variables:
+u:(I)
+v:(I)
+y:()
+operations:
+y:() += u:(i)*v:(i)
+)";
+  TcrProgram p = parse_tcr(text);
+  EXPECT_TRUE(p.variable("y").indices.empty());
+}
+
+}  // namespace
+}  // namespace barracuda::tcr

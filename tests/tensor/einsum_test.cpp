@@ -1,0 +1,190 @@
+#include "tensor/einsum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::tensor {
+namespace {
+
+Contraction matmul() {
+  // C[i k] += A[i j] * B[j k]
+  return Contraction{{"C", {"i", "k"}},
+                     {{"A", {"i", "j"}}, {"B", {"j", "k"}}},
+                     /*accumulate=*/true};
+}
+
+TEST(Einsum, MatrixMultiplyMatchesManualLoops) {
+  Extents ext{{"i", 3}, {"j", 4}, {"k", 5}};
+  barracuda::Rng rng(2);
+  TensorEnv env;
+  env.emplace("A", Tensor::random({3, 4}, rng));
+  env.emplace("B", Tensor::random({4, 5}, rng));
+  evaluate(matmul(), ext, env);
+  const Tensor& C = env.at("C");
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t k = 0; k < 5; ++k) {
+      double acc = 0;
+      for (std::int64_t j = 0; j < 4; ++j) {
+        acc += env.at("A").at({i, j}) * env.at("B").at({j, k});
+      }
+      EXPECT_NEAR(C.at({i, k}), acc, 1e-12);
+    }
+  }
+}
+
+TEST(Einsum, InnerProductProducesScalar) {
+  // y[] += u[i] * v[i]
+  Contraction c{{"y", {}}, {{"u", {"i"}}, {"v", {"i"}}}, true};
+  Extents ext{{"i", 4}};
+  TensorEnv env;
+  env.emplace("u", Tensor::zeros({4}));
+  env.emplace("v", Tensor::zeros({4}));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    env.at("u").at({i}) = static_cast<double>(i + 1);
+    env.at("v").at({i}) = 2.0;
+  }
+  evaluate(c, ext, env);
+  EXPECT_DOUBLE_EQ(env.at("y").at({}), 2.0 * (1 + 2 + 3 + 4));
+}
+
+TEST(Einsum, SummedIndicesAreRhsOnly) {
+  Contraction c = matmul();
+  EXPECT_EQ(c.summed_indices(), (std::vector<std::string>{"j"}));
+  // Rank-3 x rank-3 two-index contraction from the paper (Section II.A):
+  // C[l i] += A[i j k] * B[l j k]
+  Contraction c2{{"C", {"l", "i"}},
+                 {{"A", {"i", "j", "k"}}, {"B", {"l", "j", "k"}}},
+                 true};
+  EXPECT_EQ(c2.summed_indices(), (std::vector<std::string>{"j", "k"}));
+}
+
+TEST(Einsum, AccumulateFalseZeroesExistingOutput) {
+  Contraction c = matmul();
+  c.accumulate = false;
+  Extents ext{{"i", 2}, {"j", 2}, {"k", 2}};
+  TensorEnv env;
+  env.emplace("A", Tensor::zeros({2, 2}));
+  env.emplace("B", Tensor::zeros({2, 2}));
+  env.emplace("C", Tensor(Shape({2, 2}), 99.0));
+  evaluate(c, ext, env);
+  EXPECT_DOUBLE_EQ(env.at("C").at({0, 0}), 0.0);
+}
+
+TEST(Einsum, AccumulateTrueAddsToExistingOutput) {
+  Contraction c = matmul();
+  Extents ext{{"i", 2}, {"j", 2}, {"k", 2}};
+  TensorEnv env;
+  env.emplace("A", Tensor(Shape({2, 2}), 1.0));
+  env.emplace("B", Tensor(Shape({2, 2}), 1.0));
+  env.emplace("C", Tensor(Shape({2, 2}), 10.0));
+  evaluate(c, ext, env);
+  EXPECT_DOUBLE_EQ(env.at("C").at({0, 0}), 10.0 + 2.0);
+}
+
+TEST(Einsum, FourTermProductMatchesPairwisePrograms) {
+  // Eqn (1): V[i j k] += A[l k] * B[m j] * C[n i] * U[l m n],
+  // evaluated directly versus via the OCTOPI-style two-temporary program.
+  Extents ext{{"i", 4}, {"j", 3}, {"k", 5}, {"l", 4}, {"m", 3}, {"n", 2}};
+  barracuda::Rng rng(33);
+  TensorEnv direct_env;
+  direct_env.emplace("A", Tensor::random({4, 5}, rng));
+  direct_env.emplace("B", Tensor::random({3, 3}, rng));
+  direct_env.emplace("C", Tensor::random({2, 4}, rng));
+  direct_env.emplace("U", Tensor::random({4, 3, 2}, rng));
+  TensorEnv staged_env = direct_env;
+
+  Contraction direct{{"V", {"i", "j", "k"}},
+                     {{"A", {"l", "k"}},
+                      {"B", {"m", "j"}},
+                      {"C", {"n", "i"}},
+                      {"U", {"l", "m", "n"}}},
+                     true};
+  evaluate(direct, ext, direct_env);
+
+  ContractionProgram staged;
+  staged.steps.push_back(Contraction{
+      {"T1", {"i", "l", "m"}},
+      {{"C", {"n", "i"}}, {"U", {"l", "m", "n"}}},
+      true});
+  staged.steps.push_back(Contraction{
+      {"T2", {"j", "i", "l"}},
+      {{"B", {"m", "j"}}, {"T1", {"i", "l", "m"}}},
+      true});
+  staged.steps.push_back(Contraction{
+      {"V", {"i", "j", "k"}},
+      {{"A", {"l", "k"}}, {"T2", {"j", "i", "l"}}},
+      true});
+  const Tensor& v_staged = evaluate(staged, ext, staged_env);
+
+  EXPECT_TRUE(Tensor::allclose(direct_env.at("V"), v_staged, 1e-10));
+}
+
+TEST(Einsum, FlopCountBinaryContraction) {
+  // C[i k] += A[i j] B[j k] over 3x4x5 space: 2 flops per point.
+  Extents ext{{"i", 3}, {"j", 4}, {"k", 5}};
+  EXPECT_EQ(flop_count(matmul(), ext), 2 * 3 * 4 * 5);
+}
+
+TEST(Einsum, FlopCountQuaternaryAndProgram) {
+  Extents ext{{"i", 10}, {"j", 10}, {"k", 10},
+              {"l", 10}, {"m", 10}, {"n", 10}};
+  Contraction direct{{"V", {"i", "j", "k"}},
+                     {{"A", {"l", "k"}},
+                      {"B", {"m", "j"}},
+                      {"C", {"n", "i"}},
+                      {"U", {"l", "m", "n"}}},
+                     true};
+  // O(N^6) with 4 flops per point for the 4-ary product.
+  EXPECT_EQ(flop_count(direct, ext), 4 * 1000000);
+
+  ContractionProgram staged;
+  staged.steps.push_back(Contraction{
+      {"T1", {"i", "l", "m"}},
+      {{"C", {"n", "i"}}, {"U", {"l", "m", "n"}}}, true});
+  staged.steps.push_back(Contraction{
+      {"T2", {"j", "i", "l"}},
+      {{"B", {"m", "j"}}, {"T1", {"i", "l", "m"}}}, true});
+  staged.steps.push_back(Contraction{
+      {"V", {"i", "j", "k"}},
+      {{"A", {"l", "k"}}, {"T2", {"j", "i", "l"}}}, true});
+  // Three O(N^4) binary stages: the strength-reduction payoff.
+  EXPECT_EQ(flop_count(staged, ext), 3 * 2 * 10000);
+}
+
+TEST(Einsum, UndefinedInputThrows) {
+  Extents ext{{"i", 2}, {"j", 2}, {"k", 2}};
+  TensorEnv env;
+  env.emplace("A", Tensor::zeros({2, 2}));
+  EXPECT_THROW(evaluate(matmul(), ext, env), barracuda::InternalError);
+}
+
+TEST(Einsum, ShapeMismatchThrows) {
+  Extents ext{{"i", 2}, {"j", 2}, {"k", 2}};
+  TensorEnv env;
+  env.emplace("A", Tensor::zeros({2, 3}));  // wrong j extent
+  env.emplace("B", Tensor::zeros({2, 2}));
+  EXPECT_THROW(evaluate(matmul(), ext, env), barracuda::InternalError);
+}
+
+TEST(Einsum, MissingExtentThrows) {
+  Extents ext{{"i", 2}, {"j", 2}};  // no k
+  EXPECT_THROW(shape_of(TensorRef{"B", {"j", "k"}}, ext),
+               barracuda::InternalError);
+  EXPECT_THROW(flop_count(matmul(), ext), barracuda::InternalError);
+}
+
+TEST(Einsum, ToStringFormats) {
+  EXPECT_EQ(matmul().to_string(), "C[i k] += A[i j] * B[j k]");
+  Contraction assign = matmul();
+  assign.accumulate = false;
+  EXPECT_EQ(assign.to_string(), "C[i k] = A[i j] * B[j k]");
+}
+
+TEST(Einsum, AllIndicesFirstUseOrder) {
+  Contraction c{{"V", {"i", "j"}},
+                {{"A", {"k", "i"}}, {"B", {"k", "j"}}},
+                true};
+  EXPECT_EQ(c.all_indices(), (std::vector<std::string>{"i", "j", "k"}));
+}
+
+}  // namespace
+}  // namespace barracuda::tensor

@@ -1,0 +1,87 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::tensor {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s({10, 12, 16});
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.dim(0), 10);
+  EXPECT_EQ(s.dim(2), 16);
+  EXPECT_EQ(s.size(), 10 * 12 * 16);
+}
+
+TEST(Shape, ScalarShape) {
+  Shape s{std::vector<std::int64_t>{}};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.linearize({}), 0);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s({4, 5, 6});
+  EXPECT_EQ(s.stride(2), 1);   // last dim contiguous
+  EXPECT_EQ(s.stride(1), 6);
+  EXPECT_EQ(s.stride(0), 30);
+}
+
+TEST(Shape, LinearizeMatchesStrideDotProduct) {
+  Shape s({3, 4, 5});
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      for (std::int64_t k = 0; k < 5; ++k)
+        EXPECT_EQ(s.linearize({i, j, k}),
+                  i * s.stride(0) + j * s.stride(1) + k * s.stride(2));
+}
+
+TEST(Shape, LinearizeIsBijectiveOverSpace) {
+  Shape s({3, 2, 4});
+  std::vector<bool> seen(static_cast<std::size_t>(s.size()), false);
+  for_each_index(s.dims(), [&](const std::vector<std::int64_t>& idx) {
+    std::int64_t lin = s.linearize(idx);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(lin)]);
+    seen[static_cast<std::size_t>(lin)] = true;
+  });
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Shape, OutOfRangeIndexThrows) {
+  Shape s({2, 2});
+  EXPECT_THROW(s.linearize({2, 0}), barracuda::InternalError);
+  EXPECT_THROW(s.linearize({0, -1}), barracuda::InternalError);
+  EXPECT_THROW(s.linearize({0}), barracuda::InternalError);
+}
+
+TEST(Shape, NonPositiveExtentRejected) {
+  EXPECT_THROW(Shape({3, 0, 2}), barracuda::InternalError);
+  EXPECT_THROW(Shape({-1}), barracuda::InternalError);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({10, 12}).to_string(), "(10,12)");
+}
+
+TEST(ForEachIndex, VisitsRowMajorOrder) {
+  std::vector<std::vector<std::int64_t>> visits;
+  for_each_index({2, 2}, [&](const std::vector<std::int64_t>& idx) {
+    visits.push_back(idx);
+  });
+  ASSERT_EQ(visits.size(), 4u);
+  EXPECT_EQ(visits[0], (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(visits[1], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(visits[2], (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(visits[3], (std::vector<std::int64_t>{1, 1}));
+}
+
+TEST(ForEachIndex, EmptySpaceVisitsOnce) {
+  int count = 0;
+  for_each_index({}, [&](const std::vector<std::int64_t>&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace barracuda::tensor

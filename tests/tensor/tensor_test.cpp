@@ -1,0 +1,73 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace barracuda::tensor {
+namespace {
+
+TEST(Tensor, ZerosInitialized) {
+  Tensor t = Tensor::zeros({3, 4});
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.flat(i), 0.0);
+}
+
+TEST(Tensor, AtReadWriteRoundTrip) {
+  Tensor t = Tensor::zeros({2, 3});
+  t.at({1, 2}) = 7.5;
+  EXPECT_EQ(t.at({1, 2}), 7.5);
+  EXPECT_EQ(t.flat(1 * 3 + 2), 7.5);
+}
+
+TEST(Tensor, RandomIsDeterministicGivenSeed) {
+  barracuda::Rng a(5), b(5);
+  Tensor x = Tensor::random({4, 4}, a);
+  Tensor y = Tensor::random({4, 4}, b);
+  EXPECT_TRUE(Tensor::allclose(x, y, 0.0));
+}
+
+TEST(Tensor, RandomValuesInRange) {
+  barracuda::Rng rng(9);
+  Tensor t = Tensor::random({100}, rng);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.flat(i), -1.0);
+    EXPECT_LT(t.flat(i), 1.0);
+  }
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::zeros({2, 2});
+  b.at({0, 1}) = 0.25;
+  EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(a, b), 0.25);
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchIsInfinite) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::zeros({4});
+  EXPECT_TRUE(std::isinf(Tensor::max_abs_diff(a, b)));
+  EXPECT_FALSE(Tensor::allclose(a, b));
+}
+
+TEST(Tensor, AllcloseTolerance) {
+  Tensor a = Tensor::zeros({3});
+  Tensor b = Tensor::zeros({3});
+  b.at({1}) = 1e-12;
+  EXPECT_TRUE(Tensor::allclose(a, b, 1e-9));
+  EXPECT_FALSE(Tensor::allclose(a, b, 1e-13));
+}
+
+TEST(Tensor, CopiesAreDeep) {
+  Tensor a = Tensor::zeros({2});
+  Tensor b = a;
+  b.at({0}) = 1.0;
+  EXPECT_EQ(a.at({0}), 0.0);
+}
+
+TEST(Tensor, FillOverwrites) {
+  barracuda::Rng rng(1);
+  Tensor t = Tensor::random({5}, rng);
+  t.fill(2.5);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.flat(i), 2.5);
+}
+
+}  // namespace
+}  // namespace barracuda::tensor

@@ -1,0 +1,123 @@
+#include "ttgt/ttgt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "octopi/parser.hpp"
+
+namespace barracuda::ttgt {
+namespace {
+
+tensor::Contraction parse(const std::string& s) {
+  return octopi::parse_statement(s).to_contraction();
+}
+
+TEST(TtgtPlan, PlainMatmulNeedsNoTransposes) {
+  auto op = parse("C[i k] += A[i j] * B[j k]");
+  tensor::Extents ext{{"i", 32}, {"j", 16}, {"k", 24}};
+  TtgtPlan p = plan_ttgt(op, ext);
+  EXPECT_EQ(p.gemm.m, 32);
+  EXPECT_EQ(p.gemm.k, 16);
+  EXPECT_EQ(p.gemm.n, 24);
+  EXPECT_EQ(p.gemm.batch, 1);
+  EXPECT_FALSE(p.transpose_a);
+  EXPECT_FALSE(p.transpose_b);
+  EXPECT_FALSE(p.transpose_out);
+  EXPECT_EQ(p.launches, 1);
+  EXPECT_EQ(p.gemm.flops(), 2 * 32 * 16 * 24);
+}
+
+TEST(TtgtPlan, MultiIndexRolesMultiply) {
+  // d1-like: t3[h3 h2 h1 p6 p5 p4] += t2[h7 p4 p5 h1] v2[h3 h2 p6 h7].
+  auto op = parse(
+      "t3[h3 h2 h1 p6 p5 p4] += t2[h7 p4 p5 h1] * v2[h3 h2 p6 h7]");
+  tensor::Extents ext;
+  for (const char* ix : {"h1", "h2", "h3", "p4", "p5", "p6", "h7"}) {
+    ext[ix] = 16;
+  }
+  TtgtPlan p = plan_ttgt(op, ext);
+  EXPECT_EQ(p.gemm.k, 16);            // h7
+  EXPECT_EQ(p.gemm.m, 16 * 16 * 16);  // p4, p5, h1 (from t2)
+  EXPECT_EQ(p.gemm.n, 16 * 16 * 16);  // h3, h2, p6 (from v2)
+  // t2 reads (K, M...) -> grouped, GEMM absorbs the K-major layout? No:
+  // required order is (M group, K); t2 is K first -> transpose needed.
+  EXPECT_TRUE(p.transpose_a);
+  // v2 is (N group..., K): required (K, N...) -> transpose needed.
+  EXPECT_TRUE(p.transpose_b);
+  // t3 interleaves N (h3 h2) M (h1) N (p6) M (p5 p4) -> transpose.
+  EXPECT_TRUE(p.transpose_out);
+  EXPECT_EQ(p.launches, 4);
+  EXPECT_GT(p.transpose_bytes, 0);
+}
+
+TEST(TtgtPlan, BatchedContractionDetected) {
+  // Lg3 direction: UR[e i j k] += D[k l] * U[e i j l] — e,i,j are shared
+  // by U and UR only... e,i,j live in the second input and output -> N;
+  // no batch role here (D lacks them).  Swap operands to probe batch:
+  auto op = parse("C[b i k] += A[b i j] * B[b j k]");
+  tensor::Extents ext{{"b", 8}, {"i", 12}, {"j", 12}, {"k", 12}};
+  TtgtPlan p = plan_ttgt(op, ext);
+  EXPECT_EQ(p.gemm.batch, 8);
+  EXPECT_EQ(p.gemm.m, 12);
+  EXPECT_EQ(p.gemm.n, 12);
+  EXPECT_EQ(p.gemm.k, 12);
+}
+
+TEST(TtgtPlan, GroupedButPermutedWithinGroupIsFine) {
+  // Output N-group order differs from B's N order: leading dimensions
+  // absorb within-group permutations in this model.
+  auto op = parse("C[i k l] += A[i j] * B[j k l]");
+  tensor::Extents ext{{"i", 8}, {"j", 8}, {"k", 8}, {"l", 8}};
+  TtgtPlan p = plan_ttgt(op, ext);
+  EXPECT_FALSE(p.transpose_a);
+  EXPECT_FALSE(p.transpose_b);
+  EXPECT_FALSE(p.transpose_out);
+}
+
+TEST(TtgtPlan, RejectsNonBinaryAndUnsummedIndices) {
+  tensor::Extents ext{{"i", 4}, {"j", 4}, {"k", 4}};
+  EXPECT_THROW(plan_ttgt(parse("C[i] += A[i j] * B[j i] * D[i]"), ext),
+               InternalError);
+  // j appears only in A: must be summed out before TTGT.
+  EXPECT_THROW(plan_ttgt(parse("C[i k] += A[i j] * B[i k]"), ext),
+               InternalError);
+}
+
+TEST(TtgtModel, TileQuantizationPunishesSmallGemms) {
+  auto dev = vgpu::DeviceProfile::tesla_k20();
+  GemmShape small{1, 12, 12, 12};
+  GemmShape large{1, 1536, 1536, 1536};
+  double small_gf = static_cast<double>(small.flops()) / 1e3 /
+                    model_gemm_us(small, dev);
+  double large_gf = static_cast<double>(large.flops()) / 1e3 /
+                    model_gemm_us(large, dev);
+  EXPECT_LT(small_gf, 2.0);            // crawls: the paper's motivation
+  EXPECT_GT(large_gf, 300.0);          // near peak for big matrices
+}
+
+TEST(TtgtModel, TransposesAddBandwidthAndLaunchCost) {
+  auto dev = vgpu::DeviceProfile::gtx980();
+  TtgtPlan with;
+  with.gemm = {1, 256, 256, 256};
+  TtgtPlan without = with;
+  with.transpose_a = true;
+  with.transpose_bytes = 2 * 256 * 256 * 8;
+  with.launches = 2;
+  EXPECT_GT(model_ttgt_us(with, dev), model_ttgt_us(without, dev));
+}
+
+TEST(TtgtModel, BatchingRestoresUtilizationForSmallGemms) {
+  // One 12^3 GEMM starves the device; 4096 of them do not.
+  auto dev = vgpu::DeviceProfile::gtx980();
+  GemmShape lone{1, 12, 12, 12};
+  GemmShape batched{4096, 12, 12, 12};
+  double lone_gf =
+      static_cast<double>(lone.flops()) / 1e3 / model_gemm_us(lone, dev);
+  double batched_gf = static_cast<double>(batched.flops()) / 1e3 /
+                      model_gemm_us(batched, dev);
+  EXPECT_GT(batched_gf, 4 * lone_gf);
+  // But tile quantization still caps batched small GEMMs far below peak.
+  EXPECT_LT(batched_gf, 0.2 * dev.peak_dp_gflops());
+}
+
+}  // namespace
+}  // namespace barracuda::ttgt

@@ -1,0 +1,187 @@
+#include "vgpu/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chill/lower.hpp"
+#include "octopi/parser.hpp"
+#include "tcr/decision.hpp"
+
+namespace barracuda::vgpu {
+namespace {
+
+using tensor::Tensor;
+using tensor::TensorEnv;
+
+tcr::TcrProgram matmul_program(std::int64_t n = 6) {
+  octopi::Variant v;
+  v.program.steps = {
+      octopi::parse_statement("C[i k] += A[i j] * B[j k]").to_contraction()};
+  tensor::Extents ext{{"i", n}, {"j", n}, {"k", n}};
+  return tcr::from_variant(v, ext, "mm");
+}
+
+tcr::TcrProgram eqn1_program(std::int64_t n) {
+  auto stmt = octopi::parse_statement(
+                  "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])")
+                  .to_contraction();
+  tensor::Extents ext;
+  for (const char* ix : {"i", "j", "k", "l", "m", "n"}) ext[ix] = n;
+  auto variants = octopi::enumerate_variants(stmt, ext);
+  return tcr::from_variant(variants.front(), ext, "ex");
+}
+
+TensorEnv random_inputs(const tcr::TcrProgram& p, Rng& rng) {
+  TensorEnv env;
+  for (const auto& name : p.input_names()) {
+    const auto& var = p.variable(name);
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : var.indices) dims.push_back(p.extents.at(ix));
+    env.emplace(name, Tensor::random(dims, rng));
+  }
+  // Output starts from zero.
+  const auto& out_var = p.variable(p.output_name());
+  std::vector<std::int64_t> dims;
+  for (const auto& ix : out_var.indices) dims.push_back(p.extents.at(ix));
+  env.emplace(p.output_name(), Tensor::zeros(dims));
+  return env;
+}
+
+Tensor reference_result(const tcr::TcrProgram& p, const TensorEnv& inputs) {
+  TensorEnv env = inputs;
+  tensor::ContractionProgram cp{p.operations};
+  return tensor::evaluate(cp, p.extents, env);
+}
+
+TEST(Executor, MatmulMatchesReference) {
+  tcr::TcrProgram p = matmul_program();
+  Rng rng(1);
+  TensorEnv env = random_inputs(p, rng);
+  Tensor expect = reference_result(p, env);
+
+  auto nests = tcr::build_loop_nests(p);
+  chill::Recipe recipe{tcr::optimized_openacc_config(nests[0])};
+  chill::GpuPlan plan = chill::lower_program(p, recipe);
+  execute_plan(plan, env);
+  EXPECT_TRUE(Tensor::allclose(env.at("C"), expect, 1e-10));
+}
+
+// The central semantic property: EVERY configuration in the derived search
+// space yields a plan whose functional execution matches the reference.
+TEST(Executor, EveryConfigOfMatmulSpaceIsCorrect) {
+  tcr::TcrProgram p = matmul_program(5);
+  auto nests = tcr::build_loop_nests(p);
+  tcr::KernelSpace space = tcr::derive_space(nests[0]);
+  auto configs = tcr::enumerate_configs(nests[0], space);
+  ASSERT_GT(configs.size(), 10u);
+
+  Rng rng(2);
+  TensorEnv base = random_inputs(p, rng);
+  Tensor expect = reference_result(p, base);
+
+  for (const auto& cfg : configs) {
+    TensorEnv env = base;
+    chill::GpuPlan plan = chill::lower_program(p, {cfg});
+    execute_plan(plan, env);
+    EXPECT_TRUE(Tensor::allclose(env.at("C"), expect, 1e-10))
+        << cfg.to_string();
+  }
+}
+
+TEST(Executor, SampledConfigsOfEqn1AreCorrect) {
+  tcr::TcrProgram p = eqn1_program(4);
+  auto nests = tcr::build_loop_nests(p);
+  Rng rng(3);
+  TensorEnv base = random_inputs(p, rng);
+  Tensor expect = reference_result(p, base);
+
+  // Sample a handful of configs per kernel (full cross product is large).
+  std::vector<std::vector<tcr::KernelConfig>> per_op;
+  for (const auto& nest : nests) {
+    auto configs = tcr::enumerate_configs(nest, tcr::derive_space(nest));
+    std::vector<tcr::KernelConfig> picks;
+    for (std::size_t s = 0; s < 5; ++s) {
+      picks.push_back(configs[rng.index(configs.size())]);
+    }
+    per_op.push_back(picks);
+  }
+  for (std::size_t trial = 0; trial < 5; ++trial) {
+    chill::Recipe recipe;
+    for (const auto& picks : per_op) recipe.push_back(picks[trial]);
+    TensorEnv env = base;
+    chill::GpuPlan plan = chill::lower_program(p, recipe);
+    execute_plan(plan, env);
+    EXPECT_TRUE(Tensor::allclose(env.at("V"), expect, 1e-9));
+  }
+}
+
+TEST(Executor, AccumulatesIntoPriorOutput) {
+  tcr::TcrProgram p = matmul_program(3);
+  Rng rng(4);
+  TensorEnv env = random_inputs(p, rng);
+  env.at("C").fill(5.0);  // live prior contents
+  TensorEnv ref_env = env;
+  Tensor expect = reference_result(p, ref_env);
+
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan =
+      chill::lower_program(p, {tcr::optimized_openacc_config(nests[0])});
+  execute_plan(plan, env);
+  EXPECT_TRUE(Tensor::allclose(env.at("C"), expect, 1e-10));
+  EXPECT_NEAR(env.at("C").at({0, 0}) - 5.0,
+              expect.at({0, 0}) - 5.0, 1e-10);
+}
+
+TEST(Executor, NaiveAndOptimizedOpenAccAgree) {
+  tcr::TcrProgram p = eqn1_program(3);
+  Rng rng(5);
+  TensorEnv base = random_inputs(p, rng);
+  Tensor expect = reference_result(p, base);
+
+  for (auto make :
+       {chill::openacc_naive_recipe, chill::openacc_optimized_recipe}) {
+    TensorEnv env = base;
+    chill::GpuPlan plan = chill::lower_program(p, make(p));
+    execute_plan(plan, env);
+    EXPECT_TRUE(Tensor::allclose(env.at("V"), expect, 1e-9));
+  }
+}
+
+TEST(Executor, MissingTensorThrows) {
+  chill::Kernel k;
+  k.name = "k";
+  k.thread_x = {"i", 4};
+  k.out.tensor = "missing";
+  k.out.terms = {{"i", 1}};
+  DeviceMemory memory;
+  EXPECT_THROW(execute_kernel(k, memory), InternalError);
+}
+
+TEST(Executor, OverrunningAccessThrows) {
+  chill::Kernel k;
+  k.name = "k";
+  k.thread_x = {"i", 8};
+  k.out.tensor = "V";
+  k.out.terms = {{"i", 1}};
+  chill::AffineAccess in;
+  in.tensor = "V";
+  in.terms = {{"i", 2}};  // reaches element 14 of an 8-element buffer
+  k.ins = {in};
+  DeviceMemory memory;
+  memory["V"].assign(8, 0.0);
+  EXPECT_THROW(execute_kernel(k, memory), InternalError);
+}
+
+TEST(Executor, HostSizeMismatchThrows) {
+  tcr::TcrProgram p = matmul_program(3);
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan =
+      chill::lower_program(p, {tcr::optimized_openacc_config(nests[0])});
+  TensorEnv env;
+  env.emplace("A", Tensor::zeros({2, 2}));  // wrong size
+  env.emplace("B", Tensor::zeros({3, 3}));
+  env.emplace("C", Tensor::zeros({3, 3}));
+  EXPECT_THROW(execute_plan(plan, env), InternalError);
+}
+
+}  // namespace
+}  // namespace barracuda::vgpu

@@ -1,0 +1,131 @@
+// Cross-device property sweep of the performance model: the qualitative
+// laws the autotuner relies on must hold on every modeled device, not
+// just the one a unit test happened to pick.
+#include <gtest/gtest.h>
+
+#include "chill/lower.hpp"
+#include "octopi/parser.hpp"
+#include "vgpu/perfmodel.hpp"
+
+namespace barracuda::vgpu {
+namespace {
+
+class ModelProperties : public ::testing::TestWithParam<DeviceProfile> {};
+
+tcr::TcrProgram batched(std::int64_t elements, std::int64_t p) {
+  octopi::Variant v;
+  v.program.steps = {
+      octopi::parse_statement("UR[e i j k] += D[k l] * U[e i j l]")
+          .to_contraction()};
+  tensor::Extents ext{{"e", elements}, {"i", p}, {"j", p}, {"k", p},
+                      {"l", p}};
+  return tcr::from_variant(v, ext, "lg");
+}
+
+tcr::KernelConfig config(const tcr::TcrProgram& p, const std::string& tx,
+                         const std::string& ty, const std::string& bx,
+                         const std::string& by,
+                         std::vector<std::string> seq, int uf = 1) {
+  auto nests = tcr::build_loop_nests(p);
+  tcr::KernelConfig cfg;
+  cfg.thread_x = tx;
+  cfg.thread_y = ty;
+  cfg.block_x = bx;
+  cfg.block_y = by;
+  cfg.sequential = std::move(seq);
+  cfg.unroll = uf;
+  tcr::validate_config(nests[0], cfg);
+  return cfg;
+}
+
+TEST_P(ModelProperties, CoalescedBeatsUncoalesced) {
+  tcr::TcrProgram p = batched(512, 12);
+  chill::Kernel good = chill::lower_kernel(
+      p, 0, config(p, "k", "j", "e", "i", {"l"}));
+  chill::Kernel bad = chill::lower_kernel(
+      p, 0, config(p, "i", "j", "e", "k", {"l"}));
+  EXPECT_LT(model_kernel(good, GetParam()).total_us,
+            model_kernel(bad, GetParam()).total_us);
+}
+
+TEST_P(ModelProperties, ScalarReplacementNeverHurts) {
+  tcr::TcrProgram p = batched(256, 12);
+  tcr::KernelConfig with = config(p, "k", "j", "e", "i", {"l"});
+  tcr::KernelConfig without = with;
+  without.scalar_replacement = false;
+  EXPECT_LE(model_kernel(chill::lower_kernel(p, 0, with), GetParam())
+                .total_us,
+            model_kernel(chill::lower_kernel(p, 0, without), GetParam())
+                    .total_us *
+                1.0001);
+}
+
+TEST_P(ModelProperties, MoreParallelismNeverSlowsMemoryBoundKernels) {
+  // A single block vs a full grid of the same total work.
+  tcr::TcrProgram p = batched(256, 12);
+  chill::Kernel wide = chill::lower_kernel(
+      p, 0, config(p, "k", "j", "e", "i", {"l"}));
+  chill::Kernel narrow = chill::lower_kernel(
+      p, 0, config(p, "k", "j", "1", "1", {"e", "i", "l"}));
+  EXPECT_LE(model_kernel(wide, GetParam()).total_us,
+            model_kernel(narrow, GetParam()).total_us);
+}
+
+TEST_P(ModelProperties, UnrollMonotoneForComputeSide) {
+  tcr::TcrProgram p = batched(1024, 12);
+  double prev = 1e300;
+  for (int uf : {1, 2, 4, 6}) {
+    chill::Kernel k = chill::lower_kernel(
+        p, 0, config(p, "k", "j", "e", "i", {"l"}, uf));
+    double compute = model_kernel(k, GetParam()).compute_us;
+    EXPECT_LE(compute, prev * 1.0001) << "unroll " << uf;
+    prev = compute;
+  }
+}
+
+TEST_P(ModelProperties, ExtremeUnrollCanHurtViaRegisterPressure) {
+  // Register pressure caps occupancy eventually: occupancy at unroll 10
+  // must not exceed occupancy at unroll 1.
+  tcr::TcrProgram p = batched(1024, 12);
+  chill::Kernel u1 = chill::lower_kernel(
+      p, 0, config(p, "k", "j", "e", "i", {"l"}, 1));
+  chill::Kernel u10 = chill::lower_kernel(
+      p, 0, config(p, "k", "j", "e", "i", {"l"}, 10));
+  EXPECT_GE(model_kernel(u1, GetParam()).occupancy,
+            model_kernel(u10, GetParam()).occupancy);
+}
+
+TEST_P(ModelProperties, MoreWorkMoreTime) {
+  for (std::int64_t e : {64, 128, 256, 512}) {
+    tcr::TcrProgram small = batched(e, 12);
+    tcr::TcrProgram big = batched(2 * e, 12);
+    chill::Kernel ks = chill::lower_kernel(
+        small, 0, config(small, "k", "j", "e", "i", {"l"}));
+    chill::Kernel kb = chill::lower_kernel(
+        big, 0, config(big, "k", "j", "e", "i", {"l"}));
+    EXPECT_LT(model_kernel(ks, GetParam()).total_us,
+              model_kernel(kb, GetParam()).total_us);
+  }
+}
+
+TEST_P(ModelProperties, PlanTimeDecomposes) {
+  tcr::TcrProgram p = batched(128, 12);
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan = chill::lower_program(
+      p, {tcr::optimized_openacc_config(nests[0])});
+  PlanTiming t = model_plan(plan, GetParam());
+  EXPECT_NEAR(t.total_us, t.kernel_us + t.h2d_us + t.d2h_us, 1e-9);
+  double kernel_sum = GetParam().sync_us;
+  for (const auto& kt : t.kernels) kernel_sum += kt.total_us;
+  EXPECT_NEAR(t.kernel_us, kernel_sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDevices, ModelProperties,
+    ::testing::ValuesIn(DeviceProfile::paper_devices()),
+    [](const ::testing::TestParamInfo<DeviceProfile>& info) {
+      return info.param.arch;  // Maxwell / Kepler / Fermi
+    });
+
+}  // namespace
+}  // namespace barracuda::vgpu

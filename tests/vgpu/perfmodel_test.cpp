@@ -1,0 +1,207 @@
+#include "vgpu/perfmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chill/lower.hpp"
+#include "octopi/parser.hpp"
+#include "tcr/decision.hpp"
+
+namespace barracuda::vgpu {
+namespace {
+
+tcr::TcrProgram batched_contraction(std::int64_t elems, std::int64_t p) {
+  // One direction of local_grad3: UR[e i j k] += D[k l] * U[e i j l],
+  // batched over `elems` spectral elements of size p^3.
+  octopi::Variant v;
+  v.program.steps = {octopi::parse_statement("UR[e i j k] += D[k l] * U[e i j l]")
+                         .to_contraction()};
+  tensor::Extents ext{{"e", elems}, {"i", p}, {"j", p}, {"k", p}, {"l", p}};
+  return tcr::from_variant(v, ext, "lg");
+}
+
+chill::Kernel lowered(const tcr::TcrProgram& p,
+                      const tcr::KernelConfig& cfg) {
+  return chill::lower_kernel(p, 0, cfg);
+}
+
+tcr::KernelConfig coalesced_config(const tcr::TcrProgram& p) {
+  auto nests = tcr::build_loop_nests(p);
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "k";   // stride-1 on UR and D
+  cfg.thread_y = "j";
+  cfg.block_x = "e";
+  cfg.block_y = "i";
+  cfg.sequential = {"l"};
+  tcr::validate_config(nests[0], cfg);
+  return cfg;
+}
+
+tcr::KernelConfig uncoalesced_config(const tcr::TcrProgram& p) {
+  auto nests = tcr::build_loop_nests(p);
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "i";   // large stride on UR and U
+  cfg.thread_y = "j";
+  cfg.block_x = "e";
+  cfg.block_y = "k";
+  cfg.sequential = {"l"};
+  tcr::validate_config(nests[0], cfg);
+  return cfg;
+}
+
+TEST(Device, PaperDevicesPublishedPeaks) {
+  auto c2050 = DeviceProfile::tesla_c2050();
+  auto k20 = DeviceProfile::tesla_k20();
+  auto gtx980 = DeviceProfile::gtx980();
+  EXPECT_NEAR(c2050.peak_dp_gflops(), 515.0, 1.0);
+  EXPECT_NEAR(k20.peak_dp_gflops(), 1174.0, 5.0);
+  EXPECT_NEAR(gtx980.peak_dp_gflops(), 144.1, 1.0);
+  EXPECT_EQ(DeviceProfile::paper_devices().size(), 3u);
+}
+
+TEST(PerfModel, CoalescedBeatsUncoalesced) {
+  tcr::TcrProgram p = batched_contraction(512, 12);
+  auto dev = DeviceProfile::gtx980();
+  KernelTiming good = model_kernel(lowered(p, coalesced_config(p)), dev);
+  KernelTiming bad = model_kernel(lowered(p, uncoalesced_config(p)), dev);
+  EXPECT_LT(good.total_us, bad.total_us);
+  // And the transaction model should show why.
+  EXPECT_LT(good.accesses.back().transactions_per_warp_visit,
+            bad.accesses.back().transactions_per_warp_visit);
+}
+
+TEST(PerfModel, UnitStrideCostsTwoTransactionsPerWarp) {
+  tcr::TcrProgram p = batched_contraction(512, 32);
+  tcr::KernelConfig cfg = coalesced_config(p);
+  chill::Kernel k = lowered(p, cfg);
+  auto dev = DeviceProfile::gtx980();
+  KernelTiming t = model_kernel(k, dev);
+  // Output UR has stride 1 along tx=k with 32 lanes: 32*8B/128B = 2.
+  EXPECT_DOUBLE_EQ(t.accesses.back().transactions_per_warp_visit, 2.0);
+}
+
+TEST(PerfModel, BroadcastCostsOneTransaction) {
+  tcr::TcrProgram p = batched_contraction(512, 32);
+  chill::Kernel k = lowered(p, coalesced_config(p));
+  auto dev = DeviceProfile::gtx980();
+  KernelTiming t = model_kernel(k, dev);
+  // Input U: coef(k)=0 under tx=k? U[e i j l] has no k -> broadcast.
+  // accesses[1] is U (ins order: D, U).
+  EXPECT_DOUBLE_EQ(t.accesses[1].transactions_per_warp_visit, 1.0);
+}
+
+TEST(PerfModel, StridePenaltyMonotone) {
+  // Same kernel, increasing tx stride on the output: modeled transactions
+  // per warp must not decrease.
+  auto dev = DeviceProfile::gtx980();
+  double prev = 0;
+  for (std::int64_t stride : {1, 2, 4, 8, 16, 32}) {
+    chill::Kernel k;
+    k.name = "s";
+    k.thread_x = {"i", 32};
+    k.block_x = {"b", 64};
+    k.out.tensor = "V";
+    k.out.terms = {{"b", 1024}, {"i", stride}};
+    chill::AffineAccess in;
+    in.tensor = "X";
+    in.terms = {{"b", 1024}, {"i", stride}};
+    k.ins = {in};
+    KernelTiming t = model_kernel(k, dev);
+    double tx = t.accesses[0].transactions_per_warp_visit;
+    EXPECT_GE(tx, prev);
+    prev = tx;
+  }
+  EXPECT_DOUBLE_EQ(prev, 32.0);  // fully scattered
+}
+
+TEST(PerfModel, ScalarReplacementReducesOutputTraffic) {
+  tcr::TcrProgram p = batched_contraction(512, 12);
+  tcr::KernelConfig with_sr = coalesced_config(p);
+  tcr::KernelConfig without_sr = with_sr;
+  without_sr.scalar_replacement = false;
+  auto dev = DeviceProfile::tesla_k20();
+  KernelTiming a = model_kernel(lowered(p, with_sr), dev);
+  KernelTiming b = model_kernel(lowered(p, without_sr), dev);
+  // Output traffic (last access) shrinks by ~the reduction trip count.
+  EXPECT_LT(a.accesses.back().total_transactions,
+            b.accesses.back().total_transactions);
+  EXPECT_LE(a.total_us, b.total_us);
+}
+
+TEST(PerfModel, UnrollingImprovesComputeBoundKernels) {
+  tcr::TcrProgram p = batched_contraction(2048, 12);
+  tcr::KernelConfig cfg = coalesced_config(p);
+  auto dev = DeviceProfile::gtx980();  // weak DP -> compute-bound
+  cfg.unroll = 1;
+  KernelTiming u1 = model_kernel(lowered(p, cfg), dev);
+  cfg.unroll = 6;
+  KernelTiming u6 = model_kernel(lowered(p, cfg), dev);
+  EXPECT_LT(u6.compute_us, u1.compute_us);
+}
+
+TEST(PerfModel, TinyGridsSufferLowOccupancyAndUtilization) {
+  // One 10x10 block: a single SM active, low occupancy.
+  tcr::TcrProgram p = batched_contraction(1, 10);
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "k";
+  cfg.thread_y = "j";
+  cfg.block_x = "e";
+  cfg.sequential = {"i", "l"};
+  auto dev = DeviceProfile::tesla_k20();
+  KernelTiming t = model_kernel(chill::lower_kernel(p, 0, cfg), dev);
+  EXPECT_LT(t.sm_utilization, 0.1);
+  EXPECT_LT(t.occupancy, 1.0);
+}
+
+TEST(PerfModel, LaunchOverheadDominatesTinyKernels) {
+  tcr::TcrProgram p = batched_contraction(1, 4);
+  tcr::KernelConfig cfg;
+  cfg.thread_x = "k";
+  cfg.thread_y = "j";
+  cfg.block_x = "e";
+  cfg.block_y = "i";
+  cfg.sequential = {"l"};
+  auto dev = DeviceProfile::gtx980();
+  KernelTiming t = model_kernel(chill::lower_kernel(p, 0, cfg), dev);
+  EXPECT_GT(t.launch_us / t.total_us, 0.5);
+}
+
+TEST(PerfModel, PlanAddsTransferCosts) {
+  tcr::TcrProgram p = batched_contraction(512, 12);
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan =
+      chill::lower_program(p, {tcr::optimized_openacc_config(nests[0])});
+  auto dev = DeviceProfile::tesla_k20();
+  PlanTiming t = model_plan(plan, dev);
+  EXPECT_GT(t.h2d_us, 0);
+  EXPECT_GT(t.d2h_us, 0);
+  EXPECT_NEAR(t.total_us, t.kernel_us + t.h2d_us + t.d2h_us, 1e-9);
+  // 512 elements x 12^3 x 8B x (U + UR + prior UR) dominates transfers.
+  EXPECT_GT(t.h2d_us, t.d2h_us);
+  EXPECT_GT(t.gflops(plan.flops()), 0);
+}
+
+TEST(PerfModel, BatchedWorkloadReachesTensOfGflops) {
+  // The Lg3-like batched contraction should land in the paper's ballpark
+  // (tens of GFlops including transfers), not 0.1 or 1000.
+  tcr::TcrProgram p = batched_contraction(4096, 12);
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan =
+      chill::lower_program(p, {tcr::optimized_openacc_config(nests[0])});
+  auto dev = DeviceProfile::gtx980();
+  PlanTiming t = model_plan(plan, dev);
+  double gf = t.gflops(plan.flops());
+  EXPECT_GT(gf, 5.0);
+  EXPECT_LT(gf, 200.0);
+}
+
+TEST(PerfModel, FasterDeviceFasterKernelCompute) {
+  tcr::TcrProgram p = batched_contraction(4096, 12);
+  chill::Kernel k = lowered(p, coalesced_config(p));
+  KernelTiming k20 = model_kernel(k, DeviceProfile::tesla_k20());
+  KernelTiming gtx = model_kernel(k, DeviceProfile::gtx980());
+  // K20 has ~8x the DP peak of the GTX 980.
+  EXPECT_LT(k20.compute_us, gtx.compute_us);
+}
+
+}  // namespace
+}  // namespace barracuda::vgpu

@@ -1,0 +1,147 @@
+// Cross-validation of the analytic coalescing model against exact
+// warp-level traffic measurement.
+#include "vgpu/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vgpu/perfmodel.hpp"
+
+namespace barracuda::vgpu {
+namespace {
+
+/// A single-statement kernel: OUT[b*S + i*stride] += IN[b*S + i*stride]
+/// with 32 threads in x and `blocks` blocks — the canonical coalescing
+/// microbenchmark.
+chill::Kernel strided_kernel(std::int64_t stride, std::int64_t blocks) {
+  chill::Kernel k;
+  k.name = "strided";
+  k.thread_x = {"i", 32};
+  k.block_x = {"b", blocks};
+  k.out.tensor = "OUT";
+  k.out.terms = {{"b", 32 * stride}, {"i", stride}};
+  chill::AffineAccess in;
+  in.tensor = "IN";
+  in.terms = {{"b", 32 * stride}, {"i", stride}};
+  k.ins = {in};
+  return k;
+}
+
+TEST(Traffic, UnitStrideMeasuresTwoTransactionsPerWarp) {
+  auto dev = DeviceProfile::gtx980();
+  TrafficMeasurement m = measure_traffic(strided_kernel(1, 4), dev);
+  const MeasuredTraffic& in = m.accesses.at("IN#0");
+  // 32 lanes x 8B doubles = 256B = two 128B segments.
+  EXPECT_DOUBLE_EQ(in.transactions_per_warp_visit(), 2.0);
+  EXPECT_EQ(in.warp_visits, 4);  // one visit per block's single warp
+  EXPECT_EQ(in.unique_elements, 4 * 32);
+}
+
+TEST(Traffic, ScatteredStrideMeasuresThirtyTwoTransactions) {
+  auto dev = DeviceProfile::gtx980();
+  TrafficMeasurement m = measure_traffic(strided_kernel(16, 2), dev);
+  EXPECT_DOUBLE_EQ(m.accesses.at("IN#0").transactions_per_warp_visit(),
+                   32.0);
+}
+
+TEST(Traffic, MeasurementMatchesModelAcrossStrides) {
+  auto dev = DeviceProfile::gtx980();
+  for (std::int64_t stride : {1, 2, 4, 8, 16, 32}) {
+    chill::Kernel k = strided_kernel(stride, 2);
+    TrafficMeasurement measured = measure_traffic(k, dev);
+    KernelTiming modeled = model_kernel(k, dev);
+    // accesses[0] in the model is IN.
+    EXPECT_DOUBLE_EQ(
+        modeled.accesses[0].transactions_per_warp_visit,
+        measured.accesses.at("IN#0").transactions_per_warp_visit())
+        << "stride " << stride;
+  }
+}
+
+TEST(Traffic, BroadcastAccessIsOneTransaction) {
+  auto dev = DeviceProfile::gtx980();
+  chill::Kernel k = strided_kernel(1, 2);
+  chill::AffineAccess scalar;
+  scalar.tensor = "S";
+  scalar.terms = {{"b", 1}};  // same address for all lanes of a warp
+  k.ins.push_back(scalar);
+  TrafficMeasurement m = measure_traffic(k, dev);
+  EXPECT_DOUBLE_EQ(m.accesses.at("S#1").transactions_per_warp_visit(), 1.0);
+}
+
+TEST(Traffic, RegisterReuseSuppressesRepeatVisits) {
+  // A sequential loop that does not move the input: only the first
+  // iteration issues an access.
+  auto dev = DeviceProfile::gtx980();
+  chill::Kernel k = strided_kernel(1, 1);
+  k.seq = {{"r", 10, 1}};
+  k.out.terms.push_back({"r", 0});  // r does not move anything
+  TrafficMeasurement m = measure_traffic(k, dev);
+  EXPECT_EQ(m.accesses.at("IN#0").warp_visits, 1);
+}
+
+TEST(Traffic, SequentialUnitStrideWalksLines) {
+  // IN[r]: broadcast across lanes, advancing by 1 per iteration —
+  // 16 consecutive iterations share one 128B line.
+  auto dev = DeviceProfile::gtx980();
+  chill::Kernel k = strided_kernel(1, 1);
+  k.seq = {{"r", 32, 1}};
+  chill::AffineAccess walk;
+  walk.tensor = "W";
+  walk.terms = {{"r", 1}};
+  k.ins.push_back(walk);
+  TrafficMeasurement m = measure_traffic(k, dev);
+  const MeasuredTraffic& w = m.accesses.at("W#1");
+  // 32 iterations, each a 1-transaction broadcast; unique lines = 2.
+  EXPECT_EQ(w.warp_visits, 32);
+  EXPECT_EQ(w.unique_elements, 32);
+  // Transactions counted per visit: 32 (the model credits line reuse via
+  // its line_reuse_factor; the measured per-visit stream shows why the
+  // credit caps at 16 elements per 128B line).
+  EXPECT_EQ(w.transactions, 32);
+}
+
+TEST(Traffic, RealKernelModelWithinMeasuredFactor) {
+  // The lg3-style kernel from the perf-model tests: the model's per-warp
+  // transaction estimates must agree with ground truth within 2x for
+  // every access stream.
+  chill::Kernel k;
+  k.name = "lg";
+  k.thread_x = {"k", 12};
+  k.thread_y = {"j", 12};
+  k.block_x = {"e", 8};
+  k.block_y = {"i", 12};
+  k.seq = {{"l", 12, 1}};
+  // UR[e,i,j,k] strides (1728, 144, 12, 1)
+  k.out.tensor = "UR";
+  k.out.terms = {{"e", 1728}, {"i", 144}, {"j", 12}, {"k", 1}};
+  chill::AffineAccess d;
+  d.tensor = "D";
+  d.terms = {{"k", 12}, {"l", 1}};
+  chill::AffineAccess u;
+  u.tensor = "U";
+  u.terms = {{"e", 1728}, {"i", 144}, {"j", 12}, {"l", 1}};
+  k.ins = {d, u};
+
+  auto dev = DeviceProfile::tesla_k20();
+  TrafficMeasurement measured = measure_traffic(k, dev, 8);
+  KernelTiming modeled = model_kernel(k, dev);
+  const char* keys[] = {"D#0", "U#1"};
+  for (int i = 0; i < 2; ++i) {
+    double got = modeled.accesses[static_cast<std::size_t>(i)]
+                     .transactions_per_warp_visit;
+    double want =
+        measured.accesses.at(keys[i]).transactions_per_warp_visit();
+    EXPECT_LE(got, want * 2.0) << keys[i];
+    EXPECT_GE(got, want / 2.0) << keys[i];
+  }
+}
+
+TEST(Traffic, BlockSamplingCapRespected) {
+  auto dev = DeviceProfile::gtx980();
+  TrafficMeasurement m = measure_traffic(strided_kernel(1, 1000), dev, 16);
+  EXPECT_EQ(m.blocks_sampled, 16);
+  EXPECT_EQ(m.accesses.at("IN#0").warp_visits, 16);
+}
+
+}  // namespace
+}  // namespace barracuda::vgpu

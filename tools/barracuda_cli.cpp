@@ -1,0 +1,283 @@
+// barracuda — command-line front end to the tuning pipeline.
+//
+//   barracuda <input.oct> [options]
+//
+//   --device gtx980|k20|c2050    target device model     (default gtx980)
+//   --evals N                    SURF evaluation budget  (default 100)
+//   --method surf|random|exhaustive                      (default surf)
+//   --shared                     enable shared-memory staging decisions
+//   --emit-cuda FILE             write the tuned CUDA source
+//   --emit-orio FILE             write the Orio/CHiLL annotation text
+//   --emit-c FILE                write the sequential C baseline source
+//   --save-recipe FILE           persist the winning recipe (+ variant)
+//   --load-recipe FILE           replay a saved recipe instead of searching
+//   --report                     print the full tuning report
+//   --verify                     functionally execute the tuned plan
+//                                against the reference evaluator
+//
+// The input file is OCTOPI DSL text with dim declarations, e.g.
+//   dim i j k l m n = 10
+//   V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chill/csource.hpp"
+#include "core/barracuda.hpp"
+#include "core/report.hpp"
+#include "orio/annotations.hpp"
+#include "tensor/einsum.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.oct> [--device gtx980|k20|c2050] "
+               "[--evals N] [--method surf|random|exhaustive] [--shared] "
+               "[--emit-cuda FILE] [--emit-orio FILE] [--verify]\n",
+               argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Functionally execute the tuned plan on random inputs and compare with
+/// the reference evaluator.  Returns the max absolute error.
+double verify(const core::TuningProblem& problem,
+              const core::TuneResult& result) {
+  Rng rng(12345);
+  tensor::TensorEnv env;
+  const tcr::TcrProgram& program = result.best_program();
+  for (const auto& name : program.input_names()) {
+    const auto& var = program.variable(name);
+    std::vector<std::int64_t> dims;
+    for (const auto& ix : var.indices) dims.push_back(program.extents.at(ix));
+    env.emplace(name, tensor::Tensor::random(dims, rng));
+  }
+  for (const auto& out : program.output_names()) {
+    const auto& out_var = program.variable(out);
+    std::vector<std::int64_t> out_dims;
+    for (const auto& ix : out_var.indices) {
+      out_dims.push_back(program.extents.at(ix));
+    }
+    env.emplace(out, tensor::Tensor::zeros(out_dims));
+  }
+
+  tensor::TensorEnv reference = env;
+  result.run(env);
+  for (const auto& stmt : problem.statements) {
+    tensor::evaluate(stmt, problem.extents, reference);
+  }
+  double err = 0;
+  for (const auto& out : program.output_names()) {
+    err = std::max(err, tensor::Tensor::max_abs_diff(env.at(out),
+                                                     reference.at(out)));
+  }
+  return err;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string input_path;
+  std::string device_name = "gtx980";
+  std::string method = "surf";
+  std::string emit_cuda, emit_orio, emit_c, save_recipe, load_recipe;
+  std::size_t evals = 100;
+  bool shared = false, do_verify = false, do_report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--device") {
+      device_name = next();
+    } else if (arg == "--evals") {
+      evals = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--method") {
+      method = next();
+    } else if (arg == "--shared") {
+      shared = true;
+    } else if (arg == "--emit-cuda") {
+      emit_cuda = next();
+    } else if (arg == "--emit-orio") {
+      emit_orio = next();
+    } else if (arg == "--emit-c") {
+      emit_c = next();
+    } else if (arg == "--save-recipe") {
+      save_recipe = next();
+    } else if (arg == "--load-recipe") {
+      load_recipe = next();
+    } else if (arg == "--report") {
+      do_report = true;
+    } else if (arg == "--verify") {
+      do_verify = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input_path.empty() || evals == 0) return usage(argv[0]);
+
+  vgpu::DeviceProfile device;
+  if (device_name == "gtx980") {
+    device = vgpu::DeviceProfile::gtx980();
+  } else if (device_name == "k20") {
+    device = vgpu::DeviceProfile::tesla_k20();
+  } else if (device_name == "c2050") {
+    device = vgpu::DeviceProfile::tesla_c2050();
+  } else {
+    std::fprintf(stderr, "error: unknown device %s\n", device_name.c_str());
+    return 2;
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", input_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  try {
+    core::TuningProblem problem =
+        core::TuningProblem::from_dsl(text.str(), input_path);
+    core::TuneOptions options;
+    options.search.max_evaluations = evals;
+    options.decision.use_shared_memory = shared;
+    if (method == "random") {
+      options.method = core::TuneOptions::Method::kRandom;
+    } else if (method == "exhaustive") {
+      options.method = core::TuneOptions::Method::kExhaustive;
+    } else if (method != "surf") {
+      std::fprintf(stderr, "error: unknown method %s\n", method.c_str());
+      return 2;
+    }
+
+    core::TuneResult result;
+    if (!load_recipe.empty()) {
+      // Replay a persisted recipe: no search, just re-lower and model.
+      std::ifstream rin(load_recipe);
+      if (!rin) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     load_recipe.c_str());
+        return 1;
+      }
+      std::ostringstream rtext;
+      rtext << rin.rdbuf();
+      std::size_t variant = 0;
+      std::string body = rtext.str();
+      if (body.rfind("# variant ", 0) == 0) {
+        variant = static_cast<std::size_t>(
+                      std::strtoull(body.c_str() + 10, nullptr, 10)) -
+                  1;
+      }
+      result.variants = core::enumerate_programs(problem);
+      if (variant >= result.variants.size()) {
+        std::fprintf(stderr, "error: recipe variant out of range\n");
+        return 1;
+      }
+      result.best_variant = variant;
+      result.best_recipe = core::parse_recipe(body, load_recipe);
+      result.best_plan = chill::lower_program(result.variants[variant],
+                                              result.best_recipe);
+      result.best_timing = vgpu::model_plan(result.best_plan, device);
+      result.flops = result.variants[variant].flops();
+      result.joint_space_size = 0;
+      result.pool_size = 0;
+      result.search.history = {{0, result.best_timing.total_us}};
+      result.search.best_value = result.best_timing.total_us;
+      std::printf("recipe           : replayed from %s (no search)\n",
+                  load_recipe.c_str());
+    } else {
+      result = core::tune(problem, device, options);
+    }
+
+    std::printf("input            : %s (%zu statement%s)\n",
+                input_path.c_str(), problem.statements.size(),
+                problem.statements.size() == 1 ? "" : "s");
+    std::printf("device           : %s (%s, %.0f GF DP peak)\n",
+                device.name.c_str(), device.arch.c_str(),
+                device.peak_dp_gflops());
+    std::printf("variants         : %zu (best: #%zu, %lld flops)\n",
+                result.variants.size(), result.best_variant + 1,
+                static_cast<long long>(result.flops));
+    std::printf("search space     : %lld configurations (pool %zu, %zu "
+                "evaluations, %.2fs)\n",
+                static_cast<long long>(result.joint_space_size),
+                result.pool_size, result.search.evaluations(),
+                result.search.seconds);
+    for (std::size_t k = 0; k < result.best_recipe.size(); ++k) {
+      std::printf("kernel %zu mapping : %s\n", k + 1,
+                  result.best_recipe[k].to_string().c_str());
+    }
+    std::printf("modeled time     : %.1f us (%.2f GFlop/s; %.2f GFlop/s "
+                "with transfers amortized over 100 reps)\n",
+                result.modeled_us(), result.modeled_gflops(),
+                result.modeled_gflops_amortized());
+
+    if (do_report) {
+      std::printf("\n%s", core::tuning_report(result, device).c_str());
+    }
+    if (!emit_cuda.empty() &&
+        !write_file(emit_cuda, result.cuda_source())) {
+      return 1;
+    }
+    if (!emit_c.empty() &&
+        !write_file(emit_c, chill::c_source(result.best_program()))) {
+      return 1;
+    }
+    if (!save_recipe.empty()) {
+      std::string body = "# variant " +
+                         std::to_string(result.best_variant + 1) + "\n" +
+                         core::serialize_recipe(result.best_recipe);
+      if (!write_file(save_recipe, body)) return 1;
+    }
+    if (!emit_orio.empty()) {
+      std::vector<tcr::KernelSpace> spaces;
+      for (const auto& nest :
+           tcr::build_loop_nests(result.best_program())) {
+        spaces.push_back(tcr::derive_space(nest, options.decision));
+      }
+      if (!write_file(emit_orio,
+                      orio::emit_annotated_source(result.best_program(),
+                                                  spaces,
+                                                  result.best_recipe))) {
+        return 1;
+      }
+    }
+    if (do_verify) {
+      double err = verify(problem, result);
+      std::printf("verification     : max |err| = %.3g (%s)\n", err,
+                  err < 1e-9 ? "PASS" : "FAIL");
+      if (err >= 1e-9) return 1;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
