@@ -287,14 +287,24 @@ TuneResult tune(const TuningProblem& problem,
     features.push_back(
         featurizer.encode(e.variant, recipe_of(spaces[e.variant], e)));
   }
+  // The objective runs concurrently from pool workers when
+  // options.search.n_jobs > 1: it only reads the shared pool/variant
+  // state, and the cache (when present) is internally synchronized.
   auto objective = [&](std::size_t i) {
     const PoolEntry& e = pool[i];
-    chill::GpuPlan plan = chill::lower_program(
-        result.variants[e.variant], recipe_of(spaces[e.variant], e));
-    double us = vgpu::model_plan(plan, device).total_us;
-    // Infeasible plans (exceed device memory) become a large finite
-    // penalty: infinities would poison the surrogate model's training set.
-    return std::isfinite(us) ? us : 1e15;
+    chill::Recipe recipe = recipe_of(spaces[e.variant], e);
+    auto measure = [&] {
+      chill::GpuPlan plan =
+          chill::lower_program(result.variants[e.variant], recipe);
+      double us = vgpu::model_plan(plan, device).total_us;
+      // Infeasible plans (exceed device memory) become a large finite
+      // penalty: infinities would poison the surrogate model's training
+      // set.
+      return std::isfinite(us) ? us : 1e15;
+    };
+    if (!options.eval_cache) return measure();
+    return options.eval_cache->get_or_eval(
+        EvalCache::key(device, result.variants[e.variant], recipe), measure);
   };
 
   switch (options.method) {

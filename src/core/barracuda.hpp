@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "chill/lower.hpp"
+#include "core/evalcache.hpp"
 #include "cpuexec/cpumodel.hpp"
 #include "octopi/parser.hpp"
 #include "surf/surf.hpp"
@@ -51,6 +52,11 @@ struct TuneOptions {
   /// Cap on the cross product of per-statement OCTOPI variants.
   std::size_t max_joint_variants = 60;
   std::uint64_t pool_seed = 1;
+  /// Optional memo table consulted before each variant measurement and
+  /// updated after it (see core/evalcache.hpp).  Share one instance
+  /// across repeated tune() calls (multi-seed sweeps, per-device loops)
+  /// to never re-execute an already-measured variant.  Not owned.
+  EvalCache* eval_cache = nullptr;
 };
 
 /// Everything tune() learned, plus the artifacts to use it.

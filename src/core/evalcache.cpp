@@ -1,0 +1,63 @@
+#include "core/evalcache.hpp"
+
+#include <sstream>
+
+namespace barracuda::core {
+
+std::string EvalCache::key(const vgpu::DeviceProfile& device,
+                           const tcr::TcrProgram& program,
+                           const chill::Recipe& recipe) {
+  std::ostringstream os;
+  os << device.name << '|';
+  // Contraction signature: extents + statements, not the program name —
+  // "ex" and "specialized" pools over the same computation must collide.
+  for (const auto& [index, extent] : program.extents) {
+    os << index << '=' << extent << ',';
+  }
+  os << '|';
+  for (const auto& op : program.operations) os << op.to_string() << ';';
+  os << '|';
+  for (const auto& config : recipe) os << config.to_string() << ';';
+  return os.str();
+}
+
+bool EvalCache::lookup(const std::string& key, double* value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *value = it->second;
+  return true;
+}
+
+void EvalCache::store(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.emplace(key, value);
+}
+
+std::size_t EvalCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t EvalCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_.size();
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace barracuda::core

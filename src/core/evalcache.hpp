@@ -1,0 +1,67 @@
+// Memoizing cache for variant measurements.
+//
+// Every search trial funnels through one evaluation: lower (variant,
+// recipe) to a GpuPlan and time it on the modeled device.  That value is
+// a pure function of the device, the variant's contraction program and
+// the mapping configuration — so repeated sweeps (multi-seed ablations,
+// per-device re-tunes, re-run harnesses sharing one cache) can skip
+// re-executing variants they have already measured.  Keys are canonical:
+// they are built from the contraction statements, extents and recipe
+// text, never from program display names, so two pools that materialize
+// the same computation share entries.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chill/lower.hpp"
+#include "tcr/program.hpp"
+#include "vgpu/device.hpp"
+
+namespace barracuda::core {
+
+/// Thread-safe memo table from canonical evaluation keys to measured
+/// values.  Safe to share across concurrent Evaluate_Parallel workers and
+/// across sequential tune() calls alike.
+class EvalCache {
+ public:
+  /// Canonical key of one measurement: device identity + the variant's
+  /// contraction signature (statements + extents, name-independent) + the
+  /// per-operation mapping recipe.
+  static std::string key(const vgpu::DeviceProfile& device,
+                         const tcr::TcrProgram& program,
+                         const chill::Recipe& recipe);
+
+  /// True (and sets *value) when `key` was measured before.  Counts as a
+  /// hit or miss.
+  bool lookup(const std::string& key, double* value) const;
+
+  /// Record a measurement.  Re-storing an existing key keeps the original
+  /// value (measurements are deterministic; first write wins).
+  void store(const std::string& key, double value);
+
+  /// Memoized lookup-or-compute in one step.
+  template <typename Fn>
+  double get_or_eval(const std::string& k, Fn&& compute) {
+    double value = 0;
+    if (lookup(k, &value)) return value;
+    value = compute();
+    store(k, value);
+    return value;
+  }
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, double> values_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace barracuda::core

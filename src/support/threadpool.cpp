@@ -1,0 +1,76 @@
+#include "support/threadpool.hpp"
+
+#include "support/error.hpp"
+
+namespace barracuda::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  BARRACUDA_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Shared batch state, touched only under `state->mutex` (the error
+  // slot) or atomically via the counter-under-mutex pattern; `fn` itself
+  // runs unlocked.
+  struct BatchState {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+  BatchState state;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks_.emplace_back([&state, &fn, i, n] {
+        std::exception_ptr err;
+        try {
+          fn(i);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(state.mutex);
+        if (err && !state.error) state.error = err;
+        if (++state.done == n) state.done_cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done_cv.wait(lock, [&state, n] { return state.done == n; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace barracuda::support

@@ -1,0 +1,65 @@
+// Fixed-size thread pool for parallel batch evaluation.
+//
+// The pool backs Evaluate_Parallel (Algorithm 2): a search hands it a
+// batch of independent candidate evaluations and receives every result
+// before continuing.  Deliberately minimal — a fixed set of workers and a
+// blocking parallel_for, no work stealing, no futures — because the
+// callers' unit of work (one variant measurement) is orders of magnitude
+// larger than any scheduling overhead, and a simple pool is easy to prove
+// race-free under TSan (see BARRACUDA_SANITIZE in the top-level
+// CMakeLists).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace barracuda::support {
+
+/// A fixed set of worker threads executing submitted tasks FIFO.
+/// Construction spawns the workers; destruction stops them after the
+/// queue drains (every parallel_for has returned by then, since the call
+/// blocks until its whole batch completed).
+///
+/// Thread-safety contract: parallel_for is safe to call from multiple
+/// driver threads (each batch carries its own completion state), but the
+/// tasks of one batch must only touch state disjoint per index or
+/// internally synchronized.  Nested parallel_for (calling it from inside
+/// a task) is not supported and would deadlock a fully-busy pool.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (>= 1 checked).  A pool of 1 still runs
+  /// tasks on its single worker, which keeps the execution environment
+  /// (stack, thread identity) uniform across n_jobs settings.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(0), ..., fn(n-1) across the workers and block until every
+  /// call returned.  Results must be written by `fn` into per-index
+  /// slots; the pool imposes no ordering between indices.  The first
+  /// exception thrown by any fn is rethrown here after the batch drains
+  /// (remaining indices still run, so per-index output slots stay
+  /// consistent).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace barracuda::support

@@ -55,6 +55,14 @@ struct Tracker {
     }
     return y;
   }
+  /// Record an already-computed batch value (Evaluate_Parallel path).
+  void record(std::size_t i, double y) {
+    result.history.emplace_back(i, y);
+    if (result.history.size() == 1 || y < result.best_value) {
+      result.best_value = y;
+      result.best_index = i;
+    }
+  }
 };
 
 }  // namespace
@@ -65,18 +73,24 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
   BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
   WallTimer timer;
   Rng rng(options.seed);
+  BatchEvaluator batches(evaluate, options.n_jobs);
   Tracker t;
   t.evaluated.assign(features.size(), false);
   t.budget = std::min(options.max_evaluations, features.size());
 
-  // Initial population.
+  // Initial population, measured as one parallel batch.
   const std::size_t pop_size =
       std::max<std::size_t>(2, std::min(options.batch_size, t.budget));
   std::vector<std::pair<double, std::size_t>> population;  // (value, index)
-  for (auto i : rng.sample_without_replacement(features.size(),
-                                               std::min(pop_size,
-                                                        t.budget))) {
-    population.emplace_back(t.eval(i, evaluate), i);
+  {
+    std::vector<std::size_t> seed_batch = rng.sample_without_replacement(
+        features.size(), std::min(pop_size, t.budget));
+    for (auto i : seed_batch) t.evaluated[i] = true;
+    std::vector<double> values = batches(seed_batch);
+    for (std::size_t b = 0; b < seed_batch.size(); ++b) {
+      t.record(seed_batch[b], values[b]);
+      population.emplace_back(values[b], seed_batch[b]);
+    }
   }
 
   while (!t.exhausted()) {
@@ -88,7 +102,14 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
             static_cast<std::ptrdiff_t>(
                 std::min(parents, population.size())));
 
-    while (next.size() < pop_size && !t.exhausted()) {
+    // Select the whole generation's offspring first — selection only
+    // needs parent *indices* (values are used by the sort above), so the
+    // chosen children and the rng stream are exactly those of the
+    // sequential algorithm — then evaluate them as one parallel batch.
+    std::vector<std::size_t> offspring;
+    std::size_t first_child = next.size();
+    while (next.size() < pop_size &&
+           t.result.history.size() + offspring.size() < t.budget) {
       std::size_t a = next[rng.index(std::min(parents, next.size()))].second;
       std::size_t b = next[rng.index(std::min(parents, next.size()))].second;
       std::vector<double> target(features[a].size());
@@ -106,8 +127,16 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
       std::ptrdiff_t child = nearest_unevaluated(features, t.evaluated,
                                                  target);
       if (child < 0) break;
-      next.emplace_back(t.eval(static_cast<std::size_t>(child), evaluate),
-                        static_cast<std::size_t>(child));
+      // Reserve immediately so the next nearest_unevaluated call skips
+      // it, exactly as the sequential eval-as-you-go loop did.
+      t.evaluated[static_cast<std::size_t>(child)] = true;
+      offspring.push_back(static_cast<std::size_t>(child));
+      next.emplace_back(0.0, static_cast<std::size_t>(child));
+    }
+    std::vector<double> values = batches(offspring);
+    for (std::size_t b = 0; b < offspring.size(); ++b) {
+      t.record(offspring[b], values[b]);
+      next[first_child + b].first = values[b];
     }
     if (next.size() == population.size() &&
         std::equal(next.begin(), next.end(), population.begin())) {
@@ -122,6 +151,9 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
 SearchResult annealing_search(
     const std::vector<std::vector<double>>& features,
     const Objective& evaluate, const SearchOptions& options) {
+  // Annealing is inherently sequential — every proposal depends on the
+  // accept/reject outcome of the previous evaluation — so n_jobs does
+  // not apply here (a batch would change the Markov chain).
   BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
   WallTimer timer;
   Rng rng(options.seed ^ 0x9e37u);

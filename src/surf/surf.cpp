@@ -1,6 +1,7 @@
 #include "surf/surf.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -18,7 +19,55 @@ void record(SearchResult& result, std::size_t index, double value) {
 
 }  // namespace
 
+BatchEvaluator::BatchEvaluator(Objective objective, std::size_t n_jobs)
+    : objective_(std::move(objective)) {
+  BARRACUDA_CHECK_MSG(objective_, "null objective");
+  if (n_jobs > 1) pool_ = std::make_unique<support::ThreadPool>(n_jobs);
+}
+
+BatchEvaluator::BatchEvaluator(StochasticObjective objective,
+                               std::uint64_t seed, std::size_t n_jobs)
+    : stochastic_(std::move(objective)),
+      // Decorrelate the evaluation stream from the search's sampling
+      // stream (which uses the raw seed).
+      fork_source_(seed ^ 0xe7a1ba7c4e5ull) {
+  BARRACUDA_CHECK_MSG(stochastic_, "null objective");
+  if (n_jobs > 1) pool_ = std::make_unique<support::ThreadPool>(n_jobs);
+}
+
+BatchEvaluator::~BatchEvaluator() = default;
+
+std::vector<double> BatchEvaluator::operator()(
+    const std::vector<std::size_t>& batch) {
+  std::vector<double> values(batch.size());
+
+  // Fork one child engine per candidate *before* dispatching: the fork
+  // order is the batch order, so the streams each candidate sees do not
+  // depend on how the pool schedules the work.  The parent engine is
+  // only ever touched here, on the driver thread.
+  std::vector<Rng> rngs;
+  if (stochastic_) {
+    rngs.reserve(batch.size());
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      rngs.push_back(fork_source_.fork());
+    }
+  }
+
+  auto evaluate_one = [&](std::size_t b) {
+    values[b] = stochastic_ ? stochastic_(batch[b], rngs[b])
+                            : objective_(batch[b]);
+  };
+  if (pool_ && batch.size() > 1) {
+    pool_->parallel_for(batch.size(), evaluate_one);
+  } else {
+    for (std::size_t b = 0; b < batch.size(); ++b) evaluate_one(b);
+  }
+  return values;
+}
+
 double SearchResult::best_after(std::size_t n) const {
+  BARRACUDA_CHECK_MSG(n >= 1,
+                      "best_after(0) is meaningless: no evaluations seen");
   BARRACUDA_CHECK(!history.empty());
   double best = history.front().second;
   for (std::size_t i = 0; i < std::min(n, history.size()); ++i) {
@@ -27,9 +76,11 @@ double SearchResult::best_after(std::size_t n) const {
   return best;
 }
 
-SearchResult surf_search(const std::vector<std::vector<double>>& features,
-                         const Objective& evaluate,
-                         const SearchOptions& options) {
+namespace {
+
+SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
+                              BatchEvaluator& evaluate,
+                              const SearchOptions& options) {
   BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
   BARRACUDA_CHECK(options.batch_size >= 1);
   WallTimer timer;
@@ -43,14 +94,16 @@ SearchResult surf_search(const std::vector<std::vector<double>>& features,
   std::vector<double> train_y;
 
   auto run_batch = [&](const std::vector<std::size_t>& batch) {
-    // Evaluate_Parallel in the paper; sequential here (the evaluations
-    // share one modeled device), identical results.
-    for (auto i : batch) {
-      double y = evaluate(i);
-      evaluated[i] = true;
-      train_x.push_back(features[i]);
-      train_y.push_back(y);
-      record(result, i, y);
+    // Evaluate_Parallel in the paper: the candidates run concurrently
+    // (n_jobs workers), but results are recorded in batch order, so the
+    // history — and everything trained on it — is identical to the
+    // sequential path.
+    std::vector<double> values = evaluate(batch);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      evaluated[batch[b]] = true;
+      train_x.push_back(features[batch[b]]);
+      train_y.push_back(values[b]);
+      record(result, batch[b], values[b]);
     }
   };
 
@@ -88,17 +141,59 @@ SearchResult surf_search(const std::vector<std::vector<double>>& features,
   return result;
 }
 
-SearchResult random_search(std::size_t pool_size, const Objective& evaluate,
-                           const SearchOptions& options) {
+SearchResult random_search_impl(std::size_t pool_size,
+                                BatchEvaluator& evaluate,
+                                const SearchOptions& options) {
   BARRACUDA_CHECK(pool_size > 0);
+  BARRACUDA_CHECK(options.batch_size >= 1);
   WallTimer timer;
   SearchResult result;
   Rng rng(options.seed);
   const std::size_t budget = std::min(options.max_evaluations, pool_size);
   auto picks = rng.sample_without_replacement(pool_size, budget);
-  for (auto i : picks) record(result, i, evaluate(i));
+  // Evaluate in batch_size chunks through Evaluate_Parallel; history
+  // order stays the pick order.
+  for (std::size_t start = 0; start < picks.size();
+       start += options.batch_size) {
+    std::size_t end = std::min(picks.size(), start + options.batch_size);
+    std::vector<std::size_t> batch(picks.begin() + static_cast<long>(start),
+                                   picks.begin() + static_cast<long>(end));
+    std::vector<double> values = evaluate(batch);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      record(result, batch[b], values[b]);
+    }
+  }
   result.seconds = timer.seconds();
   return result;
+}
+
+}  // namespace
+
+SearchResult surf_search(const std::vector<std::vector<double>>& features,
+                         const Objective& evaluate,
+                         const SearchOptions& options) {
+  BatchEvaluator batches(evaluate, options.n_jobs);
+  return surf_search_impl(features, batches, options);
+}
+
+SearchResult surf_search(const std::vector<std::vector<double>>& features,
+                         const StochasticObjective& evaluate,
+                         const SearchOptions& options) {
+  BatchEvaluator batches(evaluate, options.seed, options.n_jobs);
+  return surf_search_impl(features, batches, options);
+}
+
+SearchResult random_search(std::size_t pool_size, const Objective& evaluate,
+                           const SearchOptions& options) {
+  BatchEvaluator batches(evaluate, options.n_jobs);
+  return random_search_impl(pool_size, batches, options);
+}
+
+SearchResult random_search(std::size_t pool_size,
+                           const StochasticObjective& evaluate,
+                           const SearchOptions& options) {
+  BatchEvaluator batches(evaluate, options.seed, options.n_jobs);
+  return random_search_impl(pool_size, batches, options);
 }
 
 SearchResult exhaustive_search(std::size_t pool_size,

@@ -9,16 +9,27 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "support/threadpool.hpp"
 #include "surf/extratrees.hpp"
 
 namespace barracuda::surf {
 
 /// Objective: maps a pool index to its measured performance (lower is
 /// better).  In Barracuda this runs the performance model (or, on real
-/// hardware, times the generated code variant).
+/// hardware, times the generated code variant).  When a search runs with
+/// n_jobs > 1 the objective is invoked concurrently from pool workers on
+/// distinct indices, so it must be safe for concurrent calls (pure
+/// functions of the index, or internally synchronized state).
 using Objective = std::function<double(std::size_t)>;
+
+/// Stochastic objective: like Objective but handed a private Rng forked
+/// deterministically from the search seed in batch order, so noisy
+/// measurements reproduce bit-identically for every n_jobs setting.  The
+/// parent search engine is never shared across threads.
+using StochasticObjective = std::function<double(std::size_t, Rng&)>;
 
 struct SearchOptions {
   /// Total evaluation budget n_max.  The paper uses 100 for Lg3t.
@@ -26,7 +37,36 @@ struct SearchOptions {
   /// Concurrent evaluations per iteration (bs in Algorithm 2).
   std::size_t batch_size = 10;
   std::uint64_t seed = 1;
+  /// Worker threads for Evaluate_Parallel (1 = sequential, no pool).
+  /// Results are bit-identical for every value: batches are recorded in
+  /// batch order and candidate evaluations are independent.
+  std::size_t n_jobs = 1;
   ExtraTreesOptions model;
+};
+
+/// Evaluate_Parallel (Algorithm 2): evaluates a batch of candidates,
+/// across a fixed thread pool when n_jobs > 1, and returns the values in
+/// batch order regardless of completion order.  For stochastic
+/// objectives a child Rng is forked per candidate, in batch order,
+/// before any evaluation is dispatched — the fork sequence (and thus the
+/// result) is independent of thread scheduling.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(Objective objective, std::size_t n_jobs);
+  /// `seed` feeds the per-candidate Rng forks (decorrelated from the
+  /// search's own sampling stream).
+  BatchEvaluator(StochasticObjective objective, std::uint64_t seed,
+                 std::size_t n_jobs);
+  ~BatchEvaluator();
+
+  /// Values of `batch`, in batch order.
+  std::vector<double> operator()(const std::vector<std::size_t>& batch);
+
+ private:
+  Objective objective_;
+  StochasticObjective stochastic_;
+  Rng fork_source_{0};
+  std::unique_ptr<support::ThreadPool> pool_;  // null when n_jobs <= 1
 };
 
 struct SearchResult {
@@ -50,9 +90,15 @@ struct SearchResult {
 SearchResult surf_search(const std::vector<std::vector<double>>& features,
                          const Objective& evaluate,
                          const SearchOptions& options = {});
+SearchResult surf_search(const std::vector<std::vector<double>>& features,
+                         const StochasticObjective& evaluate,
+                         const SearchOptions& options = {});
 
 /// Uniform-random search baseline (no surrogate model), same budget.
 SearchResult random_search(std::size_t pool_size, const Objective& evaluate,
+                           const SearchOptions& options = {});
+SearchResult random_search(std::size_t pool_size,
+                           const StochasticObjective& evaluate,
                            const SearchOptions& options = {});
 
 /// Exhaustive sweep of the whole pool (ignores max_evaluations).

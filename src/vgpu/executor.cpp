@@ -60,13 +60,28 @@ void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
     c.buffer_read = &it->second;
     if (writable) c.buffer_write = &it->second;
     c.offset = access.offset;
+    // Reachable address interval over the full iteration space: positive
+    // coefficients push the maximum up, negative ones pull the minimum
+    // down (index values range over [0, extent)).  Both ends must land
+    // inside the allocation — a negative coefficient can underrun the
+    // buffer even when the maximum address is in bounds.
+    std::int64_t min_addr = access.offset;
     std::int64_t max_addr = access.offset;
     for (const auto& term : access.terms) {
       if (term.coef == 0) continue;
       std::size_t slot = slot_of(term.index);
       c.terms.emplace_back(slot, term.coef);
-      if (term.coef > 0) max_addr += term.coef * (extents[slot] - 1);
+      if (term.coef > 0) {
+        max_addr += term.coef * (extents[slot] - 1);
+      } else {
+        min_addr += term.coef * (extents[slot] - 1);
+      }
     }
+    BARRACUDA_CHECK_MSG(
+        min_addr >= 0,
+        "access to " << access.tensor
+                     << " underruns its allocation (minimum address "
+                     << min_addr << ")");
     BARRACUDA_CHECK_MSG(
         max_addr < static_cast<std::int64_t>(it->second.size()),
         "access to " << access.tensor << " overruns its allocation");

@@ -21,13 +21,24 @@ namespace barracuda::vgpu {
 using DeviceMemory = std::map<std::string, std::vector<double>>;
 
 /// Execute one kernel over its full grid.  All referenced tensors must be
-/// allocated in `memory` and large enough for every access (checked).
+/// allocated in `memory` and large enough for every access: the compiled
+/// bounds check rejects both overruns (maximum reachable address past the
+/// allocation) and underruns (negative-coefficient subscripts reaching
+/// below address 0).
+///
+/// Thread safety: the kernel is only read, and all mutable state lives in
+/// `memory` and call-local compiled accesses, so concurrent calls on
+/// *disjoint* DeviceMemory instances are safe — this is what lets
+/// Evaluate_Parallel measure independent candidates from pool workers
+/// (even sharing one const Kernel/GpuPlan across threads).
 void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory);
 
 /// Execute a full plan: allocate device buffers, zero-initialize
 /// temporaries, copy `h2d` tensors from `env`, launch each kernel, then
 /// copy `d2h` tensors back into `env` (which must already hold an
 /// appropriately-sized tensor for each, e.g. the zero/prior output).
+/// Same thread-safety contract as execute_kernel: safe concurrently on
+/// disjoint TensorEnv instances, with the plan shared read-only.
 void execute_plan(const chill::GpuPlan& plan, tensor::TensorEnv& env);
 
 }  // namespace barracuda::vgpu

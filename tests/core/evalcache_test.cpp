@@ -1,0 +1,128 @@
+#include "core/evalcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/barracuda.hpp"
+#include "support/threadpool.hpp"
+
+namespace barracuda::core {
+namespace {
+
+constexpr const char* kDsl = R"(
+dim i j k l = 6
+C[i k] += A[i j] * B[j k]
+D[i l] += C[i k] * A[k l]
+)";
+
+TEST(EvalCache, LookupStoreAndCounters) {
+  EvalCache cache;
+  double value = 0;
+  EXPECT_FALSE(cache.lookup("a", &value));
+  cache.store("a", 3.5);
+  EXPECT_TRUE(cache.lookup("a", &value));
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // First write wins: measurements are deterministic.
+  cache.store("a", 99.0);
+  cache.lookup("a", &value);
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(EvalCache, KeyIsCanonicalAcrossProgramNames) {
+  TuningProblem problem = TuningProblem::from_dsl(kDsl, "one");
+  auto variants_a = enumerate_programs(problem);
+  auto variants_b = enumerate_programs(problem);
+  variants_b.front().name = "a-different-display-name";
+  chill::Recipe recipe =
+      chill::openacc_optimized_recipe(variants_a.front());
+  auto device = vgpu::DeviceProfile::gtx980();
+  EXPECT_EQ(EvalCache::key(device, variants_a.front(), recipe),
+            EvalCache::key(device, variants_b.front(), recipe));
+  // Different device or recipe means a different measurement.
+  EXPECT_NE(EvalCache::key(device, variants_a.front(), recipe),
+            EvalCache::key(vgpu::DeviceProfile::tesla_k20(),
+                           variants_a.front(), recipe));
+}
+
+// The memoization contract: a repeated identical sweep performs zero
+// re-evaluations — every objective call in the second tune() is a hit.
+TEST(EvalCache, RepeatedSweepPerformsZeroReEvaluations) {
+  TuningProblem problem = TuningProblem::from_dsl(kDsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+  EvalCache cache;
+  TuneOptions options;
+  options.search.max_evaluations = 30;
+  options.eval_cache = &cache;
+
+  TuneResult first = tune(problem, device, options);
+  const std::size_t misses_after_first = cache.misses();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GE(misses_after_first, first.search.evaluations());
+
+  TuneResult second = tune(problem, device, options);
+  EXPECT_EQ(cache.misses(), misses_after_first)
+      << "second sweep re-executed an already-measured variant";
+  EXPECT_GE(cache.hits(), second.search.evaluations());
+  EXPECT_EQ(first.search.history, second.search.history);
+}
+
+// Caching is transparent: the search record with and without the cache
+// is identical (the cache only skips redundant work).
+TEST(EvalCache, CachingDoesNotChangeSearchResults) {
+  TuningProblem problem = TuningProblem::from_dsl(kDsl);
+  auto device = vgpu::DeviceProfile::tesla_c2050();
+  TuneOptions plain;
+  plain.search.max_evaluations = 25;
+  TuneResult uncached = tune(problem, device, plain);
+
+  EvalCache cache;
+  TuneOptions memo = plain;
+  memo.eval_cache = &cache;
+  TuneResult cached = tune(problem, device, memo);
+  EXPECT_EQ(uncached.search.history, cached.search.history);
+  EXPECT_EQ(uncached.best_variant, cached.best_variant);
+  EXPECT_EQ(uncached.best_timing.total_us, cached.best_timing.total_us);
+}
+
+// Concurrent lookups/stores from pool workers (the n_jobs > 1 path).
+TEST(EvalCache, ThreadSafeUnderConcurrentAccess) {
+  EvalCache cache;
+  support::ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    std::string key = "k" + std::to_string(i % 8);
+    cache.get_or_eval(key, [&] { return static_cast<double>(i % 8); });
+  });
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 64u);
+  double value = 0;
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_TRUE(cache.lookup("k" + std::to_string(k), &value));
+    EXPECT_DOUBLE_EQ(value, static_cast<double>(k));
+  }
+}
+
+// Parallel evaluation inside tune() is bit-identical to sequential and
+// composes with the cache.
+TEST(EvalCache, TuneWithJobsMatchesSequential) {
+  TuningProblem problem = TuningProblem::from_dsl(kDsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+  TuneOptions options;
+  options.search.max_evaluations = 30;
+  TuneResult sequential = tune(problem, device, options);
+
+  EvalCache cache;
+  options.search.n_jobs = 4;
+  options.eval_cache = &cache;
+  TuneResult parallel = tune(problem, device, options);
+  EXPECT_EQ(sequential.search.history, parallel.search.history);
+  EXPECT_EQ(sequential.best_variant, parallel.best_variant);
+  EXPECT_EQ(sequential.best_timing.total_us, parallel.best_timing.total_us);
+}
+
+}  // namespace
+}  // namespace barracuda::core

@@ -92,6 +92,23 @@ TEST_P(EvolutionaryTest, BeatsRandomOnStructuredLandscapeOnAverage) {
   EXPECT_LE(evo_total, random_total * 1.05);
 }
 
+// Each generation's offspring are selected up front and measured as one
+// Evaluate_Parallel batch; the search record must not depend on n_jobs.
+TEST(Genetic, ParallelEvaluationBitIdenticalToSequential) {
+  Landscape l = Landscape::make(500, 6);
+  SearchOptions opt;
+  opt.max_evaluations = 60;
+  opt.batch_size = 12;
+  opt.seed = 4;
+  opt.n_jobs = 1;
+  SearchResult sequential = genetic_search(l.features, l.objective(), opt);
+  opt.n_jobs = 4;
+  SearchResult parallel = genetic_search(l.features, l.objective(), opt);
+  EXPECT_EQ(sequential.history, parallel.history);
+  EXPECT_EQ(sequential.best_index, parallel.best_index);
+  EXPECT_EQ(sequential.best_value, parallel.best_value);
+}
+
 INSTANTIATE_TEST_SUITE_P(Strategies, EvolutionaryTest,
                          ::testing::Values(&genetic_search,
                                            &annealing_search),

@@ -89,6 +89,25 @@ TEST(Surf, BeatsRandomSearchOnStructuredLandscape) {
   EXPECT_LT(surf_total, random_total);
 }
 
+// best_after(n) is the best value among the first n evaluations — a
+// prefix query.  n = 0 names an empty prefix and is rejected.
+TEST(SearchResult, BestAfterPrefixSemantics) {
+  SearchResult r;
+  r.history = {{4, 7.0}, {2, 3.0}, {9, 5.0}, {1, 1.0}};
+  EXPECT_DOUBLE_EQ(r.best_after(1), 7.0);
+  EXPECT_DOUBLE_EQ(r.best_after(2), 3.0);
+  EXPECT_DOUBLE_EQ(r.best_after(3), 3.0);
+  EXPECT_DOUBLE_EQ(r.best_after(4), 1.0);
+  // n past the end clamps to the full history.
+  EXPECT_DOUBLE_EQ(r.best_after(100), 1.0);
+}
+
+TEST(SearchResult, BestAfterZeroThrows) {
+  SearchResult r;
+  r.history = {{0, 2.0}, {1, 1.0}};
+  EXPECT_THROW(r.best_after(0), InternalError);
+}
+
 TEST(Surf, HistoryTracksBestCorrectly) {
   Landscape l = Landscape::make(100, 4);
   SearchOptions opt;
@@ -113,6 +132,83 @@ TEST(Surf, DeterministicGivenSeed) {
   SearchResult a = surf_search(l.features, l.objective(), opt);
   SearchResult b = surf_search(l.features, l.objective(), opt);
   EXPECT_EQ(a.history, b.history);
+}
+
+// The Evaluate_Parallel determinism contract: farming batches across
+// worker threads must not change a single bit of the search record.
+TEST(Surf, ParallelEvaluationBitIdenticalToSequential) {
+  Landscape l = Landscape::make(400, 11);
+  SearchOptions opt;
+  opt.max_evaluations = 60;
+  opt.batch_size = 10;
+  opt.seed = 13;
+  opt.n_jobs = 1;
+  SearchResult sequential = surf_search(l.features, l.objective(), opt);
+  opt.n_jobs = 4;
+  SearchResult parallel = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(sequential.history, parallel.history);
+  EXPECT_EQ(sequential.best_index, parallel.best_index);
+  EXPECT_EQ(sequential.best_value, parallel.best_value);
+  EXPECT_EQ(sequential.importances, parallel.importances);
+}
+
+TEST(RandomSearch, ParallelEvaluationBitIdenticalToSequential) {
+  Landscape l = Landscape::make(200, 12);
+  SearchOptions opt;
+  opt.max_evaluations = 64;
+  opt.batch_size = 7;  // deliberately not dividing the budget
+  opt.seed = 5;
+  opt.n_jobs = 1;
+  SearchResult sequential = random_search(200, l.objective(), opt);
+  opt.n_jobs = 4;
+  SearchResult parallel = random_search(200, l.objective(), opt);
+  EXPECT_EQ(sequential.history, parallel.history);
+  EXPECT_EQ(sequential.best_index, parallel.best_index);
+  EXPECT_EQ(sequential.best_value, parallel.best_value);
+}
+
+// Stochastic objectives draw from a per-candidate Rng forked in batch
+// order, so even noisy measurements reproduce for every n_jobs setting.
+TEST(Surf, StochasticObjectiveReproducibleAcrossJobCounts) {
+  Landscape l = Landscape::make(300, 13);
+  StochasticObjective noisy = [&](std::size_t i, Rng& rng) {
+    return l.values[i] + rng.normal(0.0, 0.01);
+  };
+  SearchOptions opt;
+  opt.max_evaluations = 50;
+  opt.seed = 21;
+  opt.n_jobs = 1;
+  SearchResult sequential = surf_search(l.features, noisy, opt);
+  opt.n_jobs = 4;
+  SearchResult parallel = surf_search(l.features, noisy, opt);
+  EXPECT_EQ(sequential.history, parallel.history);
+
+  opt.n_jobs = 1;
+  SearchResult rand_seq = random_search(300, noisy, opt);
+  opt.n_jobs = 3;
+  SearchResult rand_par = random_search(300, noisy, opt);
+  EXPECT_EQ(rand_seq.history, rand_par.history);
+}
+
+TEST(BatchEvaluator, ReturnsValuesInBatchOrder) {
+  BatchEvaluator evaluate(
+      [](std::size_t i) { return static_cast<double>(i) * 2.0; }, 4);
+  std::vector<std::size_t> batch{9, 1, 4, 7, 0, 3};
+  std::vector<double> values = evaluate(batch);
+  ASSERT_EQ(values.size(), batch.size());
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    EXPECT_DOUBLE_EQ(values[b], static_cast<double>(batch[b]) * 2.0);
+  }
+}
+
+TEST(BatchEvaluator, PropagatesObjectiveExceptions) {
+  BatchEvaluator evaluate(
+      [](std::size_t i) -> double {
+        if (i == 2) throw Error("measurement failed");
+        return 0.0;
+      },
+      4);
+  EXPECT_THROW(evaluate({0, 1, 2, 3}), Error);
 }
 
 TEST(Surf, PoolSmallerThanBatchStillWorks) {

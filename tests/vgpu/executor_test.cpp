@@ -4,6 +4,7 @@
 
 #include "chill/lower.hpp"
 #include "octopi/parser.hpp"
+#include "support/threadpool.hpp"
 #include "tcr/decision.hpp"
 
 namespace barracuda::vgpu {
@@ -169,6 +170,87 @@ TEST(Executor, OverrunningAccessThrows) {
   DeviceMemory memory;
   memory["V"].assign(8, 0.0);
   EXPECT_THROW(execute_kernel(k, memory), InternalError);
+}
+
+// Regression: a negative coefficient can drive the address *below* the
+// allocation even when the maximum reachable address is in bounds.  The
+// old bounds check only tracked the maximum, so this access silently
+// read out of bounds at memory["V"] - 7.
+TEST(Executor, UnderrunningAccessThrows) {
+  chill::Kernel k;
+  k.name = "k";
+  k.thread_x = {"i", 8};
+  k.out.tensor = "V";
+  k.out.terms = {{"i", 1}};
+  chill::AffineAccess in;
+  in.tensor = "V";
+  in.offset = 0;
+  in.terms = {{"i", -1}};  // i = 7 reaches address -7
+  k.ins = {in};
+  DeviceMemory memory;
+  memory["V"].assign(8, 0.0);
+  try {
+    execute_kernel(k, memory);
+    FAIL() << "underrunning access was not rejected";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("underruns"), std::string::npos)
+        << e.what();
+  }
+}
+
+// A negative coefficient balanced by an offset is legal (reversed
+// traversal): offset 7 - i covers exactly [0, 7].
+TEST(Executor, NegativeCoefficientWithinBoundsExecutes) {
+  chill::Kernel k;
+  k.name = "k";
+  k.thread_x = {"i", 8};
+  k.out.tensor = "V";
+  k.out.terms = {{"i", 1}};
+  chill::AffineAccess in;
+  in.tensor = "U";
+  in.offset = 7;
+  in.terms = {{"i", -1}};
+  k.ins = {in};
+  DeviceMemory memory;
+  memory["V"].assign(8, 0.0);
+  memory["U"].assign(8, 0.0);
+  for (int i = 0; i < 8; ++i) memory["U"][static_cast<std::size_t>(i)] = i;
+  execute_kernel(k, memory);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(memory["V"][static_cast<std::size_t>(i)], 7.0 - i);
+  }
+}
+
+// The Evaluate_Parallel prerequisite: concurrent executions of one shared
+// (const) plan on disjoint TensorEnv instances match the sequential
+// results exactly.  Run under -DBARRACUDA_SANITIZE=thread this also
+// proves the executor keeps no hidden shared state.
+TEST(Executor, ConcurrentExecutionsOnDisjointEnvsMatchSequential) {
+  tcr::TcrProgram p = eqn1_program(4);
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan =
+      chill::lower_program(p, chill::openacc_optimized_recipe(p));
+
+  constexpr std::size_t kRuns = 8;
+  std::vector<TensorEnv> sequential_envs, parallel_envs;
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    Rng rng(100 + r);  // distinct inputs per run
+    TensorEnv env = random_inputs(p, rng);
+    sequential_envs.push_back(env);
+    parallel_envs.push_back(env);
+  }
+
+  for (auto& env : sequential_envs) execute_plan(plan, env);
+  support::ThreadPool pool(4);
+  pool.parallel_for(kRuns, [&](std::size_t r) {
+    execute_plan(plan, parallel_envs[r]);
+  });
+
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    EXPECT_TRUE(Tensor::allclose(parallel_envs[r].at("V"),
+                                 sequential_envs[r].at("V"), 0.0))
+        << "run " << r << " diverged from sequential execution";
+  }
 }
 
 TEST(Executor, HostSizeMismatchThrows) {

@@ -4,6 +4,8 @@
 //
 //   --device gtx980|k20|c2050    target device model     (default gtx980)
 //   --evals N                    SURF evaluation budget  (default 100)
+//   --jobs N                     parallel evaluation workers (default 1;
+//                                results are identical for every N)
 //   --method surf|random|exhaustive                      (default surf)
 //   --shared                     enable shared-memory staging decisions
 //   --emit-cuda FILE             write the tuned CUDA source
@@ -38,7 +40,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.oct> [--device gtx980|k20|c2050] "
-               "[--evals N] [--method surf|random|exhaustive] [--shared] "
+               "[--evals N] [--jobs N] "
+               "[--method surf|random|exhaustive] [--shared] "
                "[--emit-cuda FILE] [--emit-orio FILE] [--verify]\n",
                argv0);
   return 2;
@@ -98,6 +101,7 @@ int main(int argc, char** argv) {
   std::string method = "surf";
   std::string emit_cuda, emit_orio, emit_c, save_recipe, load_recipe;
   std::size_t evals = 100;
+  std::size_t jobs = 1;
   bool shared = false, do_verify = false, do_report = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
       device_name = next();
     } else if (arg == "--evals") {
       evals = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--method") {
       method = next();
     } else if (arg == "--shared") {
@@ -140,7 +146,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (input_path.empty() || evals == 0) return usage(argv[0]);
+  if (input_path.empty() || evals == 0 || jobs == 0) return usage(argv[0]);
 
   vgpu::DeviceProfile device;
   if (device_name == "gtx980") {
@@ -167,7 +173,10 @@ int main(int argc, char** argv) {
         core::TuningProblem::from_dsl(text.str(), input_path);
     core::TuneOptions options;
     options.search.max_evaluations = evals;
+    options.search.n_jobs = jobs;
     options.decision.use_shared_memory = shared;
+    core::EvalCache eval_cache;
+    options.eval_cache = &eval_cache;
     if (method == "random") {
       options.method = core::TuneOptions::Method::kRandom;
     } else if (method == "exhaustive") {
