@@ -2,11 +2,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "benchsuite/nekbone.hpp"
 #include "benchsuite/workloads.hpp"
 #include "support/table.hpp"
+#include "support/threadpool.hpp"
 
 namespace barracuda::bench {
 
@@ -39,6 +42,68 @@ inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+/// Worker lanes for the harness's own outer loops (independent tune()
+/// calls per kernel/grid point), from BARRACUDA_JOBS (default 1,
+/// 0 = hardware concurrency).  Searches inside pooled tune() calls fall
+/// back to sequential via the pool-depth guard, so this never
+/// oversubscribes.
+inline std::size_t jobs() {
+  const char* env = std::getenv("BARRACUDA_JOBS");
+  return support::resolve_jobs(env && *env ? std::atoi(env) : 1);
+}
+
+/// BARRACUDA_CACHE=path hook: loads `path` into the cache on
+/// construction (when the file exists) and saves the cache back on
+/// destruction, so a re-run of the harness re-measures nothing.
+class PersistentCache {
+ public:
+  explicit PersistentCache(core::EvalCache& cache) : cache_(cache) {
+    const char* env = std::getenv("BARRACUDA_CACHE");
+    if (!env || !*env) return;
+    path_ = env;
+    std::ifstream probe(path_);
+    if (probe.good()) {
+      probe.close();
+      std::printf("evaluation cache: loaded %zu entries from %s\n",
+                  cache_.load(path_), path_.c_str());
+    }
+  }
+  ~PersistentCache() {
+    if (path_.empty()) return;
+    try {
+      cache_.save(path_);
+      std::printf("evaluation cache: %zu entries saved to %s\n",
+                  cache_.size(), path_.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "evaluation cache: save failed: %s\n", e.what());
+    }
+  }
+  PersistentCache(const PersistentCache&) = delete;
+  PersistentCache& operator=(const PersistentCache&) = delete;
+
+ private:
+  core::EvalCache& cache_;
+  std::string path_;
+};
+
+/// The hit/miss summary table the harnesses append after their result
+/// tables (every objective call is either a hit — skipped work — or a
+/// miss — one real measurement).
+inline void print_cache_summary(const core::EvalCache& cache) {
+  TextTable table({"Lookups", "Hits", "Misses", "Hit rate", "Entries"});
+  const std::size_t lookups = cache.hits() + cache.misses();
+  table.add_row({std::to_string(lookups), std::to_string(cache.hits()),
+                 std::to_string(cache.misses()),
+                 lookups ? TextTable::fixed(100.0 *
+                                                static_cast<double>(
+                                                    cache.hits()) /
+                                                static_cast<double>(lookups),
+                                            1) + "%"
+                         : "-",
+                 std::to_string(cache.size())});
+  std::printf("%s", table.render().c_str());
 }
 
 }  // namespace barracuda::bench

@@ -1,0 +1,149 @@
+// Pipeline parallelism scaling: wall-clock for the three parallelized
+// layers — ExtraTrees fit/predict, Evaluate_Parallel batch evaluation,
+// and whole tune() calls — at n_jobs in {1, 2, 4, 8}, with bit-identity
+// checks against the sequential run at every width.  Emits the raw
+// numbers to BENCH_parallel.json for plotting/regression tracking.
+//
+// Note: real speedups require real cores; on a single-core host the
+// CPU-bound fit/tune sections show ~1x while the sleep-latency
+// Evaluate_Parallel section still overlaps its waits.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "support/timer.hpp"
+#include "surf/extratrees.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+constexpr int kJobs[] = {1, 2, 4, 8};
+constexpr std::size_t kWidths = sizeof(kJobs) / sizeof(kJobs[0]);
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main() {
+  bench::print_header("Pipeline parallelism: wall clock vs n_jobs");
+  std::printf("hardware concurrency: %u\n",
+              std::thread::hardware_concurrency());
+
+  // --- ExtraTrees fit/predict: 30 trees on 500 samples x 8 features.
+  constexpr std::size_t kSamples = 500, kDim = 8, kQueries = 200;
+  Rng rng(42);
+  std::vector<std::vector<double>> X(kSamples, std::vector<double>(kDim));
+  std::vector<double> y(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    for (std::size_t d = 0; d < kDim; ++d) X[i][d] = rng.uniform(-1, 1);
+    y[i] = X[i][0] * X[i][1] + std::sin(3 * X[i][2]) + 0.1 * X[i][3];
+  }
+  std::vector<std::vector<double>> Q(X.begin(), X.begin() + kQueries);
+
+  double fit_s[kWidths], predict_s[kWidths];
+  bool fit_identical[kWidths], imp_identical[kWidths];
+  std::vector<double> ref_pred, ref_imp;
+  for (std::size_t j = 0; j < kWidths; ++j) {
+    surf::ExtraTreesOptions opt;
+    opt.n_trees = 30;
+    opt.seed = 7;
+    opt.n_jobs = kJobs[j];
+    surf::ExtraTreesRegressor forest(opt);
+    WallTimer timer;
+    forest.fit(X, y);
+    fit_s[j] = timer.seconds();
+    timer.reset();
+    std::vector<double> pred = forest.predict_batch(Q);
+    predict_s[j] = timer.seconds();
+    std::vector<double> imp = forest.feature_importances();
+    if (j == 0) {
+      ref_pred = pred;
+      ref_imp = imp;
+    }
+    fit_identical[j] = pred == ref_pred;
+    imp_identical[j] = imp == ref_imp;
+  }
+
+  // --- Evaluate_Parallel: 16 candidates, 5 ms emulated measurement
+  // latency each (the paper quotes ~4 s per real evaluation).
+  constexpr std::size_t kBatch = 16;
+  surf::Objective timed = [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return static_cast<double>(i);
+  };
+  std::vector<std::size_t> batch(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) batch[i] = i;
+  double eval_s[kWidths];
+  for (std::size_t j = 0; j < kWidths; ++j) {
+    surf::BatchEvaluator evaluate(timed, kJobs[j]);
+    WallTimer timer;
+    evaluate(batch);
+    eval_s[j] = timer.seconds();
+  }
+
+  // --- Whole tune() calls: one SURF run per width, same seed; the best
+  // value must not depend on the width.
+  core::TuningProblem problem = benchsuite::lg3(128, 10).problem;
+  auto device = vgpu::DeviceProfile::tesla_k20();
+  double tune_s[kWidths], tune_best[kWidths];
+  for (std::size_t j = 0; j < kWidths; ++j) {
+    core::TuneOptions opt = bench::paper_tune_options();
+    opt.search.max_evaluations = 60;
+    opt.search.n_jobs = kJobs[j];
+    WallTimer timer;
+    core::TuneResult r = core::tune(problem, device, opt);
+    tune_s[j] = timer.seconds();
+    tune_best[j] = r.best_timing.total_us;
+  }
+
+  TextTable table({"n_jobs", "fit ms", "predict ms", "evaluate ms",
+                   "tune ms", "bit-identical"});
+  for (std::size_t j = 0; j < kWidths; ++j) {
+    bool identical = fit_identical[j] && imp_identical[j] &&
+                     tune_best[j] == tune_best[0];
+    table.add_row({std::to_string(kJobs[j]),
+                   TextTable::fixed(fit_s[j] * 1e3, 1),
+                   TextTable::fixed(predict_s[j] * 1e3, 1),
+                   TextTable::fixed(eval_s[j] * 1e3, 1),
+                   TextTable::fixed(tune_s[j] * 1e3, 1),
+                   identical ? "yes" : "NO — BUG"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nDeterminism contract: every column of results (predictions,\n"
+      "importances, tuned best) is byte-identical across widths; only the\n"
+      "wall clock is allowed to move.\n");
+
+  const char* json_path = "BENCH_parallel.json";
+  std::ofstream out(json_path);
+  out << "{\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"runs\": [\n";
+  for (std::size_t j = 0; j < kWidths; ++j) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"n_jobs\": %d, \"fit_s\": %.6f, \"predict_s\": %.6f, "
+        "\"evaluate_s\": %.6f, \"tune_s\": %.6f, "
+        "\"predictions_identical\": %s, \"importances_identical\": %s, "
+        "\"tune_best_identical\": %s}%s\n",
+        kJobs[j], fit_s[j], predict_s[j], eval_s[j], tune_s[j],
+        json_bool(fit_identical[j]).c_str(),
+        json_bool(imp_identical[j]).c_str(),
+        json_bool(tune_best[j] == tune_best[0]).c_str(),
+        j + 1 < kWidths ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("\nraw wall-times written to %s\n", json_path);
+
+  bool all_identical = true;
+  for (std::size_t j = 0; j < kWidths; ++j) {
+    all_identical = all_identical && fit_identical[j] && imp_identical[j] &&
+                    tune_best[j] == tune_best[0];
+  }
+  return all_identical ? 0 : 1;
+}

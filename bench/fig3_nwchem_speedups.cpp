@@ -1,6 +1,13 @@
 // Reproduces Figure 3: speedup of the optimized Barracuda and OpenACC
 // code versions over the naive OpenACC implementations of the 27 NWChem
 // excerpt kernels (d1_1..9, d2_1..9, s1_1..9) on the C2050 and K20.
+//
+// The 27 kernel x 2 device tune() calls are independent, so the rows of
+// each family table are farmed across the shared thread pool
+// (BARRACUDA_JOBS=N lanes; searches inside a pooled tune() run
+// sequentially via the pool-depth guard).  With BARRACUDA_CACHE=path the
+// measurement table survives the process: a second run looks up every
+// variant instead of re-measuring it and reproduces the same report.
 #include <functional>
 
 #include "bench_common.hpp"
@@ -11,16 +18,19 @@ namespace {
 
 // One evaluation cache for the whole 27-kernel x 2-device sweep:
 // families that share contraction structure (and re-runs of a family) hit
-// already-measured variants instead of re-executing them.
+// already-measured variants instead of re-executing them.  Internally
+// synchronized, so concurrent per-kernel tune() calls may share it.
 core::EvalCache g_cache;
 
 void run_family(const std::string& title,
                 const std::vector<benchsuite::Benchmark>& family) {
   bench::print_header("Figure 3 — " + title +
                       ": speedup over naive OpenACC");
-  TextTable table({"Kernel", "Barracuda C2050", "OpenACC C2050",
-                   "Barracuda K20", "OpenACC K20"});
-  for (const auto& kernel : family) {
+  // Each kernel's row is an independent computation; build them in
+  // parallel, emit them in kernel order.
+  std::vector<std::vector<std::string>> rows(family.size());
+  support::parallel_apply(bench::jobs(), family.size(), [&](std::size_t k) {
+    const auto& kernel = family[k];
     std::vector<std::string> row{kernel.name};
     for (const auto& device : {vgpu::DeviceProfile::tesla_c2050(),
                                vgpu::DeviceProfile::tesla_k20()}) {
@@ -37,19 +47,27 @@ void run_family(const std::string& title,
       row.push_back(
           TextTable::speedup(base / optimized.timing.kernel_us));
     }
-    table.add_row(row);
-  }
+    rows[k] = std::move(row);
+  });
+  TextTable table({"Kernel", "Barracuda C2050", "OpenACC C2050",
+                   "Barracuda K20", "OpenACC K20"});
+  for (auto& row : rows) table.add_row(row);
   std::printf("%s", table.render().c_str());
 }
 
 }  // namespace
 
 int main() {
+  bench::PersistentCache persist(g_cache);
   run_family("D1 kernels", benchsuite::d1_family());
   run_family("D2 kernels", benchsuite::d2_family());
   run_family("S1 kernels", benchsuite::s1_family());
-  std::printf("\nevaluation cache: %zu hits, %zu misses, %zu entries\n",
-              g_cache.hits(), g_cache.misses(), g_cache.size());
+
+  bench::print_header("Evaluation cache over the whole sweep");
+  bench::print_cache_summary(g_cache);
+  std::printf(
+      "\nA warm BARRACUDA_CACHE re-run performs zero new measurements:\n"
+      "every lookup above is a hit and the tables reproduce exactly.\n");
   std::printf(
       "\nPaper (Figure 3) shape targets: D1 shows the largest speedups\n"
       "(up to ~70x on the K20); D2 and S1 land in the ~5-25x band;\n"

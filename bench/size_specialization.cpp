@@ -23,6 +23,13 @@ UR[e i j k] += D[i l] * U[e l j k]
   auto device = vgpu::DeviceProfile::gtx980();
   core::TuneOptions options = bench::paper_tune_options();
   options.search.max_evaluations = 60;
+  // The 9 per-size tune() calls are independent; BARRACUDA_JOBS=N farms
+  // them across the shared pool, and BARRACUDA_CACHE=path persists the
+  // measurement table across runs.
+  options.search.n_jobs = static_cast<int>(bench::jobs());
+  core::EvalCache cache;
+  bench::PersistentCache persist(cache);
+  options.eval_cache = &cache;
 
   auto specs = core::tune_specializations(program, device, options);
   TextTable table({"p", "GFlop/s", "Kernel us", "Best mapping"});

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 #include "surf/evolutionary.hpp"
 #include "surf/features.hpp"
 #include "vgpu/executor.hpp"
@@ -290,6 +291,9 @@ TuneResult tune(const TuningProblem& problem,
   // The objective runs concurrently from pool workers when
   // options.search.n_jobs > 1: it only reads the shared pool/variant
   // state, and the cache (when present) is internally synchronized.
+  // (The enumerate/lower layers it calls — chill::lower_program,
+  // vgpu::model_plan — keep all mutable state in their arguments; see
+  // the threading contract in docs/ARCHITECTURE.md.)
   auto objective = [&](std::size_t i) {
     const PoolEntry& e = pool[i];
     chill::Recipe recipe = recipe_of(spaces[e.variant], e);
@@ -307,24 +311,37 @@ TuneResult tune(const TuningProblem& problem,
         EvalCache::key(device, result.variants[e.variant], recipe), measure);
   };
 
+  surf::SearchOptions search_options = options.search;
+  if (options.eval_cache && options.free_cache_hits) {
+    // Budget accounting: configurations the warm cache already knows are
+    // free lookups, so they cost nothing against max_evaluations.  The
+    // probe uses contains() (counter-free) on the driver thread.
+    search_options.prepaid = [&](std::size_t i) {
+      const PoolEntry& e = pool[i];
+      return options.eval_cache->contains(EvalCache::key(
+          device, result.variants[e.variant],
+          recipe_of(spaces[e.variant], e)));
+    };
+  }
+
   switch (options.method) {
     case TuneOptions::Method::kSurf:
-      result.search = surf::surf_search(features, objective, options.search);
+      result.search = surf::surf_search(features, objective, search_options);
       break;
     case TuneOptions::Method::kRandom:
       result.search =
-          surf::random_search(pool.size(), objective, options.search);
+          surf::random_search(pool.size(), objective, search_options);
       break;
     case TuneOptions::Method::kExhaustive:
       result.search = surf::exhaustive_search(pool.size(), objective);
       break;
     case TuneOptions::Method::kGenetic:
       result.search =
-          surf::genetic_search(features, objective, options.search);
+          surf::genetic_search(features, objective, search_options);
       break;
     case TuneOptions::Method::kAnnealing:
       result.search =
-          surf::annealing_search(features, objective, options.search);
+          surf::annealing_search(features, objective, search_options);
       break;
   }
 
@@ -385,19 +402,27 @@ std::vector<SizeSpecialization> tune_specializations(
     const octopi::OctopiProgram& program, const vgpu::DeviceProfile& device,
     const TuneOptions& options, std::size_t max_points) {
   BARRACUDA_CHECK_MSG(!program.statements.empty(), "no statements");
-  std::vector<SizeSpecialization> out;
-  for (auto& extents : program.specializations(max_points)) {
-    TuningProblem problem;
-    problem.name = "specialized";
-    problem.extents = extents;
-    for (const auto& s : program.statements) {
-      problem.statements.push_back(s.to_contraction());
-    }
-    SizeSpecialization spec;
-    spec.extents = std::move(extents);
-    spec.result = tune(problem, device, options);
-    out.push_back(std::move(spec));
-  }
+  // The grid points are independent tune() calls: farm them across the
+  // shared pool (options.search.n_jobs lanes — the same knob that
+  // parallelizes a single search).  Each point writes its own slot, so
+  // the result is identical for every job count; the searches *inside* a
+  // pooled tune() hit the pool-depth guard and run sequentially, keeping
+  // one bounded pool for the whole pipeline.  A shared eval_cache (when
+  // set) is internally synchronized.
+  std::vector<tensor::Extents> points = program.specializations(max_points);
+  std::vector<SizeSpecialization> out(points.size());
+  support::parallel_apply(
+      support::resolve_jobs(options.search.n_jobs), points.size(),
+      [&](std::size_t p) {
+        TuningProblem problem;
+        problem.name = "specialized";
+        problem.extents = points[p];
+        for (const auto& s : program.statements) {
+          problem.statements.push_back(s.to_contraction());
+        }
+        out[p].extents = std::move(points[p]);
+        out[p].result = tune(problem, device, options);
+      });
   return out;
 }
 

@@ -57,6 +57,15 @@ struct TuneOptions {
   /// across repeated tune() calls (multi-seed sweeps, per-device loops)
   /// to never re-execute an already-measured variant.  Not owned.
   EvalCache* eval_cache = nullptr;
+  /// When true (and eval_cache is set), configurations already in the
+  /// cache are charged nothing against search.max_evaluations — a warm
+  /// cache stretches the budget into genuinely new measurements instead
+  /// of re-spending it on known ones.  Off by default because it changes
+  /// what the search explores: a warm re-run no longer replays the cold
+  /// run's record (it goes further), so leave it off when byte-identical
+  /// re-runs are the goal (e.g. BARRACUDA_CACHE re-runs of the bench
+  /// harnesses) and turn it on when best-found-per-measurement is.
+  bool free_cache_hits = false;
 };
 
 /// Everything tune() learned, plus the artifacts to use it.

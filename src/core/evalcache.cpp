@@ -1,8 +1,30 @@
 #include "core/evalcache.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
 
 namespace barracuda::core {
+namespace {
+
+// On-disk format (line-oriented text; one measurement per line):
+//
+//   barracuda-evalcache v1
+//   <value>\t<key>
+//   ...
+//
+// Values print with %.17g, which round-trips IEEE doubles exactly; keys
+// are the canonical EvalCache::key strings (they never contain newlines
+// or tabs — they are built from '|'/','/';'-separated to_string()s).
+constexpr const char* kHeader = "barracuda-evalcache v1";
+
+}  // namespace
 
 std::string EvalCache::key(const vgpu::DeviceProfile& device,
                            const tcr::TcrProgram& program,
@@ -53,11 +75,73 @@ std::size_t EvalCache::size() const {
   return values_.size();
 }
 
+bool EvalCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_.find(key) != values_.end();
+}
+
 void EvalCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   values_.clear();
   hits_ = 0;
   misses_ = 0;
+}
+
+void EvalCache::save(const std::string& path) const {
+  std::vector<std::pair<std::string, double>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.assign(values_.begin(), values_.end());
+  }
+  std::sort(entries.begin(), entries.end());
+
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write evaluation cache: " + path);
+  out << kHeader << '\n';
+  char value_text[64];
+  for (const auto& [key, value] : entries) {
+    if (key.find_first_of("\t\n") != std::string::npos) {
+      throw Error("evaluation cache key contains tab/newline, "
+                  "not serializable: " + key);
+    }
+    std::snprintf(value_text, sizeof value_text, "%.17g", value);
+    out << value_text << '\t' << key << '\n';
+  }
+  out.flush();
+  if (!out) throw Error("failed writing evaluation cache: " + path);
+}
+
+std::size_t EvalCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read evaluation cache: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw Error("not a barracuda evaluation cache (bad or missing '" +
+                std::string(kHeader) + "' header): " + path);
+  }
+  std::size_t loaded = 0;
+  std::size_t line_no = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab + 1 >= line.size()) {
+      throw Error("corrupt evaluation cache at " + path + ":" +
+                  std::to_string(line_no) + ": expected <value>\\t<key>");
+    }
+    const std::string value_text = line.substr(0, tab);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      throw Error("corrupt evaluation cache at " + path + ":" +
+                  std::to_string(line_no) + ": bad value '" + value_text +
+                  "'");
+    }
+    values_.emplace(line.substr(tab + 1), value);
+    ++loaded;
+  }
+  return loaded;
 }
 
 }  // namespace barracuda::core

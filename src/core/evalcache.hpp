@@ -9,6 +9,11 @@
 // they are built from the contraction statements, extents and recipe
 // text, never from program display names, so two pools that materialize
 // the same computation share entries.
+//
+// The cache also survives the process: save()/load() use a versioned,
+// line-oriented text format (see evalcache.cpp), and the bench harnesses
+// honor BARRACUDA_CACHE=path so a re-run re-measures nothing (cuTT's
+// standard remedy for measurement-based tuning cost: persist the plans).
 #pragma once
 
 #include <cstddef>
@@ -38,6 +43,12 @@ class EvalCache {
   /// hit or miss.
   bool lookup(const std::string& key, double* value) const;
 
+  /// True when `key` is present, WITHOUT touching the hit/miss counters
+  /// — the probe behind "cache hits are free evaluations" budget
+  /// accounting (surf::SearchOptions::prepaid), which must not distort
+  /// the measured hit rate.
+  bool contains(const std::string& key) const;
+
   /// Record a measurement.  Re-storing an existing key keeps the original
   /// value (measurements are deterministic; first write wins).
   void store(const std::string& key, double value);
@@ -56,6 +67,19 @@ class EvalCache {
   std::size_t misses() const;
   std::size_t size() const;
   void clear();
+
+  /// Write every entry to `path` (versioned text, sorted by key so the
+  /// file is deterministic).  Throws Error when the file cannot be
+  /// written.  Counters are not persisted — they describe a process, not
+  /// the measurements.
+  void save(const std::string& path) const;
+
+  /// Merge entries from a save()d file into this cache (existing keys
+  /// keep their value; counters are untouched).  Returns the number of
+  /// entries read.  Throws Error on an unreadable file, an unrecognized
+  /// header/version, or a malformed line — a corrupt cache must fail
+  /// loudly, not seed the tuner with garbage.
+  std::size_t load(const std::string& path);
 
  private:
   mutable std::mutex mutex_;

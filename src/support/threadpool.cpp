@@ -1,11 +1,20 @@
 #include "support/threadpool.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace barracuda::support {
+namespace {
+
+/// Set for the lifetime of every pool worker thread; the depth guard.
+thread_local bool tl_on_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   BARRACUDA_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+  std::lock_guard<std::mutex> lock(mutex_);
   workers_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -21,7 +30,21 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BARRACUDA_CHECK_MSG(!stop_, "ensure() on a stopping pool");
+  while (workers_.size() < threads) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
 void ThreadPool::worker_loop() {
+  tl_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -38,6 +61,24 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+
+  // Pool-depth guard: a batch issued from inside a pooled task runs
+  // inline on the calling worker — queueing it could deadlock a
+  // fully-busy pool, and the outer batch already owns the parallelism
+  // budget.  Same semantics as the pooled path: every index runs, the
+  // first exception is rethrown after the batch drains.
+  if (on_worker_thread()) {
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
 
   // Shared batch state, touched only under `state->mutex` (the error
   // slot) or atomically via the counter-under-mutex pattern; `fn` itself
@@ -71,6 +112,39 @@ void ThreadPool::parallel_for(std::size_t n,
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done_cv.wait(lock, [&state, n] { return state.done == n; });
   if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tl_on_pool_worker; }
+
+std::size_t resolve_jobs(int n_jobs) {
+  if (n_jobs < 0) {
+    throw Error("n_jobs must be >= 0 (0 means hardware concurrency), got " +
+                std::to_string(n_jobs));
+  }
+  if (n_jobs == 0) {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return static_cast<std::size_t>(n_jobs);
+}
+
+void parallel_apply(std::size_t jobs, std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+  const std::size_t shards = std::min(jobs, n);
+  if (shards <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure(shards);
+  pool.parallel_for(shards, [&fn, n, shards](std::size_t s) {
+    for (std::size_t i = s; i < n; i += shards) fn(i);
+  });
 }
 
 }  // namespace barracuda::support

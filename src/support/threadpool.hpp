@@ -1,13 +1,22 @@
-// Fixed-size thread pool for parallel batch evaluation.
+// Fixed-size thread pool for parallel batch work across the pipeline.
 //
-// The pool backs Evaluate_Parallel (Algorithm 2): a search hands it a
-// batch of independent candidate evaluations and receives every result
-// before continuing.  Deliberately minimal — a fixed set of workers and a
+// One process-wide pool (ThreadPool::shared) backs every parallel layer:
+// Evaluate_Parallel batches (Algorithm 2), ExtraTrees tree construction
+// and batch prediction, tune_specializations and the bench harness
+// per-kernel loops.  Deliberately minimal — a fixed set of workers and a
 // blocking parallel_for, no work stealing, no futures — because the
-// callers' unit of work (one variant measurement) is orders of magnitude
-// larger than any scheduling overhead, and a simple pool is easy to prove
-// race-free under TSan (see BARRACUDA_SANITIZE in the top-level
-// CMakeLists).
+// callers' unit of work (one variant measurement, one tree build) is
+// orders of magnitude larger than any scheduling overhead, and a simple
+// pool is easy to prove race-free under TSan (see BARRACUDA_SANITIZE in
+// the top-level CMakeLists).
+//
+// Nested parallelism is governed by a pool-depth guard: a parallel_for
+// (or parallel_apply) issued from inside a pooled task runs inline on the
+// calling worker instead of re-entering the queue.  One `n_jobs` knob at
+// the outermost parallel layer therefore bounds the worker count of the
+// whole pipeline — an outer parallel tune_specializations makes every
+// search/fit inside it sequential, with no oversubscription and no
+// deadlock.
 #pragma once
 
 #include <condition_variable>
@@ -29,8 +38,9 @@ namespace barracuda::support {
 /// Thread-safety contract: parallel_for is safe to call from multiple
 /// driver threads (each batch carries its own completion state), but the
 /// tasks of one batch must only touch state disjoint per index or
-/// internally synchronized.  Nested parallel_for (calling it from inside
-/// a task) is not supported and would deadlock a fully-busy pool.
+/// internally synchronized.  parallel_for called from inside a pooled
+/// task does not deadlock: the depth guard detects the worker thread and
+/// runs the batch inline.
 class ThreadPool {
  public:
   /// Spawn `threads` workers (>= 1 checked).  A pool of 1 still runs
@@ -42,24 +52,55 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  std::size_t size() const;
+
+  /// Grow the pool to at least `threads` workers (never shrinks).  Used
+  /// by the shared pool so an explicit `--jobs N` above the current size
+  /// gets its N concurrent lanes even when N exceeds the core count
+  /// (measurement-latency-bound batches overlap waits, not compute).
+  void ensure(std::size_t threads);
 
   /// Run fn(0), ..., fn(n-1) across the workers and block until every
   /// call returned.  Results must be written by `fn` into per-index
   /// slots; the pool imposes no ordering between indices.  The first
   /// exception thrown by any fn is rethrown here after the batch drains
   /// (remaining indices still run, so per-index output slots stay
-  /// consistent).
+  /// consistent).  Called from a pool worker (any pool), the batch runs
+  /// inline on the caller with the same exception semantics.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool, lazily created with hardware_concurrency()
+  /// workers and grown on demand by ensure().
+  static ThreadPool& shared();
+
+  /// True on a thread owned by any ThreadPool — the pool-depth guard the
+  /// parallel helpers consult before dispatching.
+  static bool on_worker_thread();
 
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers wait for tasks
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// Resolve a user-facing jobs knob into a worker count: positive values
+/// pass through, 0 means "hardware concurrency" and negative values throw
+/// Error (a silent clamp would hide a caller bug).
+std::size_t resolve_jobs(int n_jobs);
+
+/// Run fn(0), ..., fn(n-1) with at most `jobs` concurrent lanes on the
+/// shared pool: the index range is split into min(jobs, n) strided shards
+/// (shard s handles s, s+jobs, s+2*jobs, ...), one pooled task per shard,
+/// so a bounded jobs count holds even when the shared pool is larger.
+/// Runs inline — plain sequential loop — when jobs <= 1, n <= 1, or the
+/// caller is already a pool worker (the depth guard).  Exception
+/// semantics: within a shard, indices after a throwing index are skipped;
+/// other shards complete; the first exception is rethrown.
+void parallel_apply(std::size_t jobs, std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
 
 }  // namespace barracuda::support

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 
 namespace barracuda::surf {
 namespace {
@@ -135,14 +136,39 @@ void ExtraTreesRegressor::fit(const std::vector<std::vector<double>>& X,
   for (const auto& row : X) {
     BARRACUDA_CHECK_MSG(row.size() == dim_, "ragged feature matrix");
   }
-  trees_.clear();
-  importances_.assign(dim_, 0.0);
+  const std::size_t n_trees =
+      static_cast<std::size_t>(std::max(options_.n_trees, 0));
+  BARRACUDA_CHECK_MSG(n_trees >= 1, "n_trees must be >= 1");
+
+  // Per-tree Rngs are forked from the seed in tree order on the calling
+  // thread, so the stream each tree sees never depends on how (or
+  // whether) the build is parallelized.
   Rng rng(options_.seed);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) tree_rngs.push_back(rng.fork());
+
   std::vector<std::size_t> all(X.size());
   for (std::size_t i = 0; i < X.size(); ++i) all[i] = i;
-  for (int t = 0; t < options_.n_trees; ++t) {
-    Rng tree_rng = rng.fork();
-    trees_.push_back(build_tree(X, y, all, tree_rng, importances_));
+
+  // Trees are independent: build them across the shared pool, each
+  // writing its own slot and its own gain vector.  The gains are reduced
+  // in tree order below, so importances are bit-identical for every
+  // n_jobs value (including the sequential path, which runs the exact
+  // same per-tree-then-reduce arithmetic).  Built into locals so a
+  // throwing build leaves the model unfitted rather than half-built.
+  std::vector<Tree> trees(n_trees);
+  std::vector<std::vector<double>> gains(n_trees,
+                                         std::vector<double>(dim_, 0.0));
+  support::parallel_apply(
+      support::resolve_jobs(options_.n_jobs), n_trees, [&](std::size_t t) {
+        trees[t] = build_tree(X, y, all, tree_rngs[t], gains[t]);
+      });
+  trees_ = std::move(trees);
+
+  importances_.assign(dim_, 0.0);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    for (std::size_t d = 0; d < dim_; ++d) importances_[d] += gains[t][d];
   }
   double total = 0;
   for (double g : importances_) total += g;
@@ -166,9 +192,11 @@ double ExtraTreesRegressor::predict(const std::vector<double>& x) const {
 
 std::vector<double> ExtraTreesRegressor::predict_batch(
     const std::vector<std::vector<double>>& X) const {
-  std::vector<double> out;
-  out.reserve(X.size());
-  for (const auto& x : X) out.push_back(predict(x));
+  // Rows are independent and each lands in its own slot, so sharding
+  // across the pool is trivially bit-identical to the sequential loop.
+  std::vector<double> out(X.size());
+  support::parallel_apply(support::resolve_jobs(options_.n_jobs), X.size(),
+                          [&](std::size_t i) { out[i] = predict(X[i]); });
   return out;
 }
 

@@ -21,6 +21,14 @@ struct ExtraTreesOptions {
   /// Nodes with fewer samples become leaves.
   int min_samples_split = 4;
   std::uint64_t seed = 1;
+  /// Worker threads for fit() (trees are independent) and
+  /// predict_batch() (rows are independent).  0 means hardware
+  /// concurrency; negative throws Error.  Predictions and
+  /// feature_importances() are bit-identical for every value: per-tree
+  /// Rngs are forked from the seed in tree order on the calling thread,
+  /// trees land in index order, and per-tree split gains are reduced in
+  /// tree order.
+  int n_jobs = 1;
 };
 
 /// Forest regressor over dense double feature vectors.

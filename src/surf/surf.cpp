@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 #include "support/timer.hpp"
 
 namespace barracuda::surf {
@@ -19,20 +20,20 @@ void record(SearchResult& result, std::size_t index, double value) {
 
 }  // namespace
 
-BatchEvaluator::BatchEvaluator(Objective objective, std::size_t n_jobs)
-    : objective_(std::move(objective)) {
+BatchEvaluator::BatchEvaluator(Objective objective, int n_jobs)
+    : objective_(std::move(objective)),
+      jobs_(support::resolve_jobs(n_jobs)) {
   BARRACUDA_CHECK_MSG(objective_, "null objective");
-  if (n_jobs > 1) pool_ = std::make_unique<support::ThreadPool>(n_jobs);
 }
 
 BatchEvaluator::BatchEvaluator(StochasticObjective objective,
-                               std::uint64_t seed, std::size_t n_jobs)
+                               std::uint64_t seed, int n_jobs)
     : stochastic_(std::move(objective)),
       // Decorrelate the evaluation stream from the search's sampling
       // stream (which uses the raw seed).
-      fork_source_(seed ^ 0xe7a1ba7c4e5ull) {
+      fork_source_(seed ^ 0xe7a1ba7c4e5ull),
+      jobs_(support::resolve_jobs(n_jobs)) {
   BARRACUDA_CHECK_MSG(stochastic_, "null objective");
-  if (n_jobs > 1) pool_ = std::make_unique<support::ThreadPool>(n_jobs);
 }
 
 BatchEvaluator::~BatchEvaluator() = default;
@@ -53,15 +54,12 @@ std::vector<double> BatchEvaluator::operator()(
     }
   }
 
-  auto evaluate_one = [&](std::size_t b) {
+  // Candidates run on the shared pool with jobs_ concurrent lanes;
+  // every value lands in its batch-order slot.
+  support::parallel_apply(jobs_, batch.size(), [&](std::size_t b) {
     values[b] = stochastic_ ? stochastic_(batch[b], rngs[b])
                             : objective_(batch[b]);
-  };
-  if (pool_ && batch.size() > 1) {
-    pool_->parallel_for(batch.size(), evaluate_one);
-  } else {
-    for (std::size_t b = 0; b < batch.size(); ++b) evaluate_one(b);
-  }
+  });
   return values;
 }
 
@@ -86,12 +84,22 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
   WallTimer timer;
   SearchResult result;
   Rng rng(options.seed);
+  const std::size_t jobs = support::resolve_jobs(options.n_jobs);
 
   const std::size_t pool_size = features.size();
   const std::size_t budget = std::min(options.max_evaluations, pool_size);
   std::vector<bool> evaluated(pool_size, false);
   std::vector<std::vector<double>> train_x;
   std::vector<double> train_y;
+
+  // Budget accounting: every evaluation costs 1 unless the caller marks
+  // it prepaid (already measured — a warm cache makes it a free lookup).
+  // Checked on the driver thread at proposal time, so the accounting is
+  // independent of n_jobs.
+  std::size_t charged = 0;
+  auto charge_of = [&](std::size_t index) -> std::size_t {
+    return options.prepaid && options.prepaid(index) ? 0 : 1;
+  };
 
   auto run_batch = [&](const std::vector<std::size_t>& batch) {
     // Evaluate_Parallel in the paper: the candidates run concurrently
@@ -108,31 +116,52 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
   };
 
   // Initialization: a random batch of min(bs, n_max) distinct configs.
-  run_batch([&] {
+  {
     std::size_t n0 = std::min(options.batch_size, budget);
     auto picks = rng.sample_without_replacement(pool_size, n0);
-    return std::vector<std::size_t>(picks.begin(), picks.end());
-  }());
+    std::vector<std::size_t> batch(picks.begin(), picks.end());
+    for (auto i : batch) charged += charge_of(i);
+    run_batch(batch);
+  }
 
   ExtraTreesOptions model_options = options.model;
   model_options.seed = options.seed ^ 0x5u;
+  model_options.n_jobs = options.n_jobs;
   ExtraTreesRegressor model(model_options);
-  while (result.evaluations() < budget) {
+  while (charged < budget && result.evaluations() < pool_size) {
     model.fit(train_x, train_y);
 
-    // Predict every unevaluated configuration; take the bs best.
-    std::vector<std::pair<double, std::size_t>> scored;
+    // Predict every unevaluated configuration (sharded across the pool —
+    // this scoring pass is the per-iteration hot path on large pools);
+    // take the bs best whose combined cost still fits the budget.
+    std::vector<std::size_t> candidates;
+    candidates.reserve(pool_size - result.evaluations());
     for (std::size_t i = 0; i < pool_size; ++i) {
-      if (!evaluated[i]) scored.emplace_back(model.predict(features[i]), i);
+      if (!evaluated[i]) candidates.push_back(i);
     }
-    BARRACUDA_CHECK(!scored.empty());
-    std::size_t take = std::min(options.batch_size,
-                                std::min(budget - result.evaluations(),
-                                         scored.size()));
-    std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),
-                      scored.end());
+    BARRACUDA_CHECK(!candidates.empty());
+    std::vector<double> predicted(candidates.size());
+    support::parallel_apply(jobs, candidates.size(), [&](std::size_t c) {
+      predicted[c] = model.predict(features[candidates[c]]);
+    });
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      scored.emplace_back(predicted[c], candidates[c]);
+    }
+    std::sort(scored.begin(), scored.end());
+
     std::vector<std::size_t> batch;
-    for (std::size_t b = 0; b < take; ++b) batch.push_back(scored[b].second);
+    std::size_t pending = 0;
+    for (const auto& [value, index] : scored) {
+      if (batch.size() >= options.batch_size) break;
+      std::size_t cost = charge_of(index);
+      if (charged + pending + cost > budget) continue;
+      pending += cost;
+      batch.push_back(index);
+    }
+    if (batch.empty()) break;  // nothing affordable left
+    charged += pending;
     run_batch(batch);
   }
   if (!model.fitted() && !train_x.empty()) model.fit(train_x, train_y);
@@ -150,14 +179,25 @@ SearchResult random_search_impl(std::size_t pool_size,
   SearchResult result;
   Rng rng(options.seed);
   const std::size_t budget = std::min(options.max_evaluations, pool_size);
-  auto picks = rng.sample_without_replacement(pool_size, budget);
-  // Evaluate in batch_size chunks through Evaluate_Parallel; history
-  // order stays the pick order.
-  for (std::size_t start = 0; start < picks.size();
-       start += options.batch_size) {
-    std::size_t end = std::min(picks.size(), start + options.batch_size);
-    std::vector<std::size_t> batch(picks.begin() + static_cast<long>(start),
-                                   picks.begin() + static_cast<long>(end));
+  // A full pool permutation, walked front to back: its prefix is exactly
+  // the sample_without_replacement(pool, budget) draw (partial
+  // Fisher-Yates), so without a prepaid predicate the history matches
+  // the fixed-size draw bit for bit, while a warm cache lets the walk
+  // continue past `budget` picks for free.
+  auto picks = rng.sample_without_replacement(pool_size, pool_size);
+  std::size_t charged = 0;
+  std::size_t pos = 0;
+  while (pos < picks.size() && charged < budget) {
+    // Evaluate in batch_size chunks through Evaluate_Parallel; history
+    // order stays the pick order and charging happens at proposal time
+    // on the driver thread.
+    std::vector<std::size_t> batch;
+    while (pos < picks.size() && batch.size() < options.batch_size &&
+           charged < budget) {
+      std::size_t index = picks[pos++];
+      if (!options.prepaid || !options.prepaid(index)) ++charged;
+      batch.push_back(index);
+    }
     std::vector<double> values = evaluate(batch);
     for (std::size_t b = 0; b < batch.size(); ++b) {
       record(result, batch[b], values[b]);

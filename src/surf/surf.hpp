@@ -9,10 +9,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
-#include "support/threadpool.hpp"
 #include "surf/extratrees.hpp"
 
 namespace barracuda::surf {
@@ -33,14 +31,31 @@ using StochasticObjective = std::function<double(std::size_t, Rng&)>;
 
 struct SearchOptions {
   /// Total evaluation budget n_max.  The paper uses 100 for Lg3t.
+  /// Entries the `prepaid` predicate marks as already known are charged
+  /// nothing against this budget.
   std::size_t max_evaluations = 100;
   /// Concurrent evaluations per iteration (bs in Algorithm 2).
   std::size_t batch_size = 10;
   std::uint64_t seed = 1;
-  /// Worker threads for Evaluate_Parallel (1 = sequential, no pool).
-  /// Results are bit-identical for every value: batches are recorded in
-  /// batch order and candidate evaluations are independent.
-  std::size_t n_jobs = 1;
+  /// Worker threads for the whole search — Evaluate_Parallel batches,
+  /// ExtraTrees fitting and the predict-over-pool scoring all run on the
+  /// shared support::ThreadPool with this many lanes.  1 = sequential,
+  /// 0 = hardware concurrency, negative throws Error.  Results are
+  /// bit-identical for every value: batches are recorded in batch order,
+  /// candidate evaluations are independent, and the surrogate forks
+  /// per-tree Rngs in tree order.
+  int n_jobs = 1;
+  /// Optional: true when pool entry i has already been measured (e.g. a
+  /// warm core::EvalCache holds its key).  Prepaid entries still run
+  /// through the objective (a cache lookup) and enter the history, but
+  /// cost nothing against max_evaluations — a warm cache stretches the
+  /// budget instead of wasting it.  Consulted only on the driver thread
+  /// at proposal time.  Honored by surf_search and random_search;
+  /// genetic/annealing charge every evaluation.
+  std::function<bool(std::size_t)> prepaid;
+  /// Surrogate options.  surf_search overrides `model.seed` and
+  /// `model.n_jobs` from the search's own seed/n_jobs so one knob
+  /// governs evaluation and fitting alike.
   ExtraTreesOptions model;
 };
 
@@ -52,11 +67,12 @@ struct SearchOptions {
 /// result) is independent of thread scheduling.
 class BatchEvaluator {
  public:
-  BatchEvaluator(Objective objective, std::size_t n_jobs);
+  /// `n_jobs`: 0 = hardware concurrency, negative throws Error.
+  BatchEvaluator(Objective objective, int n_jobs);
   /// `seed` feeds the per-candidate Rng forks (decorrelated from the
   /// search's own sampling stream).
   BatchEvaluator(StochasticObjective objective, std::uint64_t seed,
-                 std::size_t n_jobs);
+                 int n_jobs);
   ~BatchEvaluator();
 
   /// Values of `batch`, in batch order.
@@ -66,7 +82,7 @@ class BatchEvaluator {
   Objective objective_;
   StochasticObjective stochastic_;
   Rng fork_source_{0};
-  std::unique_ptr<support::ThreadPool> pool_;  // null when n_jobs <= 1
+  std::size_t jobs_ = 1;  // lanes on the shared pool; 1 = sequential
 };
 
 struct SearchResult {

@@ -188,5 +188,79 @@ UR[e i j k] += D[i l] * U[e l j k]
   EXPECT_GT(one.total_us / four.total_us, 2.0);
 }
 
+// Parallel size specialization: farming the per-size tune() calls over
+// the shared pool must reproduce the sequential results exactly, in the
+// same grid order.
+TEST(TuneSpecializations, ParallelMatchesSequential) {
+  octopi::OctopiProgram program = octopi::parse_octopi(R"(
+dim e = 32
+dim i j k l = 4..7
+UR[e i j k] += D[i l] * U[e l j k]
+)");
+  auto device = vgpu::DeviceProfile::gtx980();
+  TuneOptions opt;
+  opt.search.max_evaluations = 12;
+  opt.max_pool = 120;
+
+  opt.search.n_jobs = 1;
+  auto sequential = tune_specializations(program, device, opt);
+  opt.search.n_jobs = 4;
+  auto parallel = tune_specializations(program, device, opt);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  ASSERT_EQ(sequential.size(), 4u);
+  for (std::size_t s = 0; s < sequential.size(); ++s) {
+    EXPECT_EQ(sequential[s].extents, parallel[s].extents);
+    EXPECT_EQ(sequential[s].result.search.history,
+              parallel[s].result.search.history);
+    EXPECT_EQ(sequential[s].result.best_variant,
+              parallel[s].result.best_variant);
+    EXPECT_EQ(sequential[s].result.best_timing.total_us,
+              parallel[s].result.best_timing.total_us);
+  }
+}
+
+// TuneOptions::free_cache_hits: with a warm cache, replayed evaluations
+// are charged 0 against the budget, so the warm run's search record
+// strictly extends the cold run's and its best can only improve or tie.
+TEST(Tune, FreeCacheHitsStretchTheWarmBudget) {
+  TuningProblem problem = TuningProblem::from_dsl(kEqn1Dsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+  EvalCache cache;
+  TuneOptions opt = fast_options();
+  opt.search.max_evaluations = 20;
+  opt.eval_cache = &cache;
+
+  TuneResult cold = tune(problem, device, opt);
+  EXPECT_EQ(cold.search.evaluations(), 20u);
+  const std::size_t cold_misses = cache.misses();
+
+  opt.free_cache_hits = true;
+  TuneResult warm = tune(problem, device, opt);
+  EXPECT_GT(warm.search.evaluations(), 20u);
+  // The budget paid for exactly 20 NEW measurements.
+  EXPECT_EQ(cache.misses() - cold_misses, 20u);
+  EXPECT_LE(warm.best_timing.total_us, cold.best_timing.total_us);
+  // The warm history replays the cold history as its prefix.
+  for (std::size_t n = 0; n < cold.search.history.size(); ++n) {
+    EXPECT_EQ(warm.search.history[n], cold.search.history[n]);
+  }
+}
+
+// Default accounting is unchanged: without free_cache_hits a warm rerun
+// reproduces the cold record byte-for-byte (hits still consume budget).
+TEST(Tune, CacheHitsChargedByDefault) {
+  TuningProblem problem = TuningProblem::from_dsl(kEqn1Dsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+  EvalCache cache;
+  TuneOptions opt = fast_options();
+  opt.search.max_evaluations = 20;
+  opt.eval_cache = &cache;
+  TuneResult cold = tune(problem, device, opt);
+  TuneResult warm = tune(problem, device, opt);
+  EXPECT_EQ(warm.search.history, cold.search.history);
+  EXPECT_EQ(warm.search.evaluations(), 20u);
+}
+
 }  // namespace
 }  // namespace barracuda::core

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/barracuda.hpp"
+#include "support/error.hpp"
 #include "support/threadpool.hpp"
 
 namespace barracuda::core {
@@ -104,6 +109,138 @@ TEST(EvalCache, ThreadSafeUnderConcurrentAccess) {
     ASSERT_TRUE(cache.lookup("k" + std::to_string(k), &value));
     EXPECT_DOUBLE_EQ(value, static_cast<double>(k));
   }
+}
+
+/// Temp-file helper: unique path under the gtest temp dir, removed on
+/// destruction.
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(EvalCachePersistence, SaveLoadRoundTripsExactDoubles) {
+  TempFile file("evalcache_roundtrip.cache");
+  EvalCache cache;
+  // Values chosen to stress %.17g round-tripping: non-terminating binary
+  // fractions, subnormal-adjacent magnitudes, negative zero.
+  cache.store("k20|variant 1|recipe a", 1.0 / 3.0);
+  cache.store("k20|variant 2|recipe b", 4646.0900000000001);
+  cache.store("tiny", 5e-300);
+  cache.store("huge", 1.7e308);
+  cache.store("negzero", -0.0);
+  cache.save(file.path);
+
+  EvalCache loaded;
+  EXPECT_EQ(loaded.load(file.path), 5u);
+  EXPECT_EQ(loaded.size(), 5u);
+  for (const char* key : {"k20|variant 1|recipe a", "k20|variant 2|recipe b",
+                          "tiny", "huge", "negzero"}) {
+    double expect = 0, got = 0;
+    ASSERT_TRUE(cache.lookup(key, &expect));
+    ASSERT_TRUE(loaded.lookup(key, &got));
+    EXPECT_EQ(expect, got) << key;  // bit-exact, not just approximately
+  }
+}
+
+TEST(EvalCachePersistence, ContainsDoesNotTouchCounters) {
+  EvalCache cache;
+  cache.store("present", 1.0);
+  EXPECT_TRUE(cache.contains("present"));
+  EXPECT_FALSE(cache.contains("absent"));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(EvalCachePersistence, LoadMergesWithFirstWriteWins) {
+  TempFile file("evalcache_merge.cache");
+  EvalCache disk;
+  disk.store("shared", 111.0);
+  disk.store("disk-only", 2.0);
+  disk.save(file.path);
+
+  EvalCache cache;
+  cache.store("shared", 999.0);  // in-memory value predates the load
+  EXPECT_EQ(cache.load(file.path), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  double value = 0;
+  ASSERT_TRUE(cache.lookup("shared", &value));
+  EXPECT_DOUBLE_EQ(value, 999.0);
+  ASSERT_TRUE(cache.lookup("disk-only", &value));
+  EXPECT_DOUBLE_EQ(value, 2.0);
+}
+
+TEST(EvalCachePersistence, LoadRejectsMissingFile) {
+  EvalCache cache;
+  EXPECT_THROW(cache.load(testing::TempDir() + "does_not_exist.cache"),
+               Error);
+}
+
+TEST(EvalCachePersistence, LoadRejectsVersionMismatch) {
+  TempFile file("evalcache_badversion.cache");
+  std::ofstream(file.path) << "barracuda-evalcache v99\n1.5\tkey\n";
+  EvalCache cache;
+  EXPECT_THROW(cache.load(file.path), Error);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EvalCachePersistence, LoadRejectsCorruptLines) {
+  {
+    TempFile file("evalcache_notab.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v1\n1.5 key-no-tab\n";
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error);
+  }
+  {
+    TempFile file("evalcache_badvalue.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v1\nnot-a-number\tk\n";
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error);
+  }
+  {
+    TempFile file("evalcache_empty.cache");
+    std::ofstream(file.path) << "";  // not even a header
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error);
+  }
+}
+
+TEST(EvalCachePersistence, SaveRejectsUnwritablePathAndBadKeys) {
+  EvalCache cache;
+  cache.store("fine", 1.0);
+  EXPECT_THROW(cache.save("/nonexistent-dir/evalcache.cache"), Error);
+
+  EvalCache tabbed;
+  tabbed.store("bad\tkey", 1.0);
+  TempFile file("evalcache_badkey.cache");
+  EXPECT_THROW(tabbed.save(file.path), Error);
+}
+
+// End-to-end: a tune() warmed from disk re-measures nothing and
+// reproduces the cold run's record exactly.
+TEST(EvalCachePersistence, WarmTuneFromDiskMatchesColdRun) {
+  TempFile file("evalcache_warmtune.cache");
+  TuningProblem problem = TuningProblem::from_dsl(kDsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+
+  EvalCache cold;
+  TuneOptions options;
+  options.search.max_evaluations = 25;
+  options.eval_cache = &cold;
+  TuneResult first = tune(problem, device, options);
+  cold.save(file.path);
+
+  EvalCache warm;
+  warm.load(file.path);
+  options.eval_cache = &warm;
+  TuneResult second = tune(problem, device, options);
+  EXPECT_EQ(warm.misses(), 0u)
+      << "warm tune re-measured a variant already on disk";
+  EXPECT_EQ(first.search.history, second.search.history);
+  EXPECT_EQ(first.best_timing.total_us, second.best_timing.total_us);
 }
 
 // Parallel evaluation inside tune() is bit-identical to sequential and

@@ -77,5 +77,104 @@ TEST(ThreadPool, ZeroWorkersRejected) {
   EXPECT_THROW(ThreadPool pool(0), InternalError);
 }
 
+TEST(ThreadPool, EnsureGrowsButNeverShrinks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.ensure(5);
+  EXPECT_EQ(pool.size(), 5u);
+  pool.ensure(3);
+  EXPECT_EQ(pool.size(), 5u);
+  std::atomic<int> total{0};
+  pool.parallel_for(50, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+// The pool-depth guard: a parallel_for issued from inside a pool worker
+// runs inline on that worker instead of enqueueing (which could
+// deadlock a saturated pool) — and still runs every index and
+// propagates exceptions.
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> counts(6 * 7);
+  std::atomic<int> nested_on_worker{0};
+  pool.parallel_for(6, [&](std::size_t outer) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    std::thread::id outer_thread = std::this_thread::get_id();
+    pool.parallel_for(7, [&, outer](std::size_t inner) {
+      // Inline fallback: the nested body stays on the outer task's
+      // thread.
+      if (std::this_thread::get_id() == outer_thread) ++nested_on_worker;
+      ++counts[outer * 7 + inner];
+    });
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(nested_on_worker.load(), 6 * 7);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [](std::size_t i) {
+                                     if (i == 2) throw Error("inner");
+                                   });
+                                 }),
+               Error);
+}
+
+TEST(ResolveJobs, ZeroMeansHardwareConcurrencyAndNegativeThrows) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_THROW(resolve_jobs(-1), Error);
+  EXPECT_THROW(resolve_jobs(-8), Error);
+}
+
+TEST(ParallelApply, CoversEveryIndexForAnyJobCount) {
+  for (std::size_t jobs : {1u, 2u, 4u, 8u, 100u}) {
+    std::vector<std::atomic<int>> counts(23);
+    parallel_apply(jobs, counts.size(), [&](std::size_t i) { ++counts[i]; });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+  // n == 0 never invokes the body.
+  parallel_apply(4, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelApply, PropagatesExceptionsFromShards) {
+  EXPECT_THROW(parallel_apply(4, 16,
+                              [](std::size_t i) {
+                                if (i == 11) throw Error("shard boom");
+                              }),
+               Error);
+  // Sequential path too.
+  EXPECT_THROW(parallel_apply(1, 4,
+                              [](std::size_t i) {
+                                if (i == 2) throw Error("seq boom");
+                              }),
+               Error);
+}
+
+TEST(ParallelApply, RunsInlineWhenCalledFromAPoolWorker) {
+  std::vector<std::atomic<int>> counts(12);
+  std::atomic<int> inline_calls{0};
+  parallel_apply(3, 4, [&](std::size_t outer) {
+    std::thread::id outer_thread = std::this_thread::get_id();
+    parallel_apply(4, 3, [&, outer](std::size_t inner) {
+      if (std::this_thread::get_id() == outer_thread) ++inline_calls;
+      ++counts[outer * 3 + inner];
+    });
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(inline_calls.load(), 12);
+}
+
 }  // namespace
 }  // namespace barracuda::support

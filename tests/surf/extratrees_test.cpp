@@ -152,5 +152,64 @@ TEST(ExtraTrees, ImportancesBeforeFitThrows) {
   EXPECT_THROW(model.feature_importances(), InternalError);
 }
 
+// The parallel-fit determinism contract: every n_jobs produces the
+// bit-identical forest — same predictions, same batch predictions, same
+// importances — because per-tree Rngs are forked in tree order on the
+// calling thread and reductions run in tree order.
+TEST(ExtraTrees, ParallelFitIsBitIdenticalForEveryJobCount) {
+  Rng rng(17);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> row{rng.uniform(), rng.uniform(), rng.uniform(),
+                            rng.uniform(), rng.uniform()};
+    y.push_back(7 * row[0] - 3 * row[1] * row[2] + row[4]);
+    X.push_back(std::move(row));
+  }
+  std::vector<std::vector<double>> Q;
+  for (int i = 0; i < 40; ++i) {
+    Q.push_back({rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform(),
+                 rng.uniform()});
+  }
+
+  ExtraTreesOptions base;
+  base.n_trees = 16;
+  base.seed = 5;
+  base.n_jobs = 1;
+  ExtraTreesRegressor reference(base);
+  reference.fit(X, y);
+  const std::vector<double> ref_pred = reference.predict_batch(Q);
+  const std::vector<double> ref_imp = reference.feature_importances();
+
+  for (int jobs : {2, 4, 8, 0}) {  // 0 = hardware concurrency
+    ExtraTreesOptions opt = base;
+    opt.n_jobs = jobs;
+    ExtraTreesRegressor model(opt);
+    model.fit(X, y);
+    EXPECT_EQ(model.predict_batch(Q), ref_pred) << "n_jobs=" << jobs;
+    EXPECT_EQ(model.feature_importances(), ref_imp) << "n_jobs=" << jobs;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(model.predict(Q[static_cast<std::size_t>(i)]),
+                ref_pred[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(ExtraTrees, NegativeJobsThrows) {
+  ExtraTreesOptions opt;
+  opt.n_jobs = -2;
+  ExtraTreesRegressor model(opt);
+  EXPECT_THROW(model.fit({{1.0}, {2.0}}, {1.0, 2.0}), Error);
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(ExtraTrees, FailedParallelFitLeavesModelUnfitted) {
+  ExtraTreesOptions opt;
+  opt.n_trees = 0;  // invalid: no trees
+  ExtraTreesRegressor model(opt);
+  EXPECT_THROW(model.fit({{1.0}, {2.0}}, {1.0, 2.0}), Error);
+  EXPECT_FALSE(model.fitted());
+}
+
 }  // namespace
 }  // namespace barracuda::surf

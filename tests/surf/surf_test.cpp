@@ -239,6 +239,100 @@ TEST(ExhaustiveSearch, AlwaysFindsOptimum) {
   EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
 }
 
+TEST(Surf, NegativeJobsThrows) {
+  Landscape l = Landscape::make(20, 9);
+  SearchOptions opt;
+  opt.n_jobs = -1;
+  EXPECT_THROW(surf_search(l.features, l.objective(), opt), Error);
+  EXPECT_THROW(random_search(20, l.objective(), opt), Error);
+}
+
+// Prepaid ("free cache hit") accounting: configurations the predicate
+// marks prepaid cost 0 against max_evaluations, so a warm search walks
+// past its budget's worth of known configurations and spends the whole
+// budget on new measurements.
+TEST(Surf, PrepaidEvaluationsDoNotConsumeBudget) {
+  Landscape l = Landscape::make(200, 14);
+  SearchOptions opt;
+  opt.max_evaluations = 30;
+  opt.batch_size = 10;
+  opt.seed = 3;
+
+  // Cold run: everything is paid.
+  int cold_calls = 0;
+  SearchResult cold = surf_search(l.features, l.objective(&cold_calls), opt);
+  EXPECT_EQ(cold.evaluations(), 30u);
+
+  // Warm run: the cold run's picks are prepaid.  The search replays them
+  // for free and still pays for 30 new configurations.
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  int warm_paid = 0;
+  Objective counting = [&](std::size_t i) {
+    if (!known.count(i)) ++warm_paid;
+    return l.values[i];
+  };
+  opt.prepaid = [&](std::size_t i) { return known.count(i) > 0; };
+  SearchResult warm = surf_search(l.features, counting, opt);
+  EXPECT_GT(warm.evaluations(), 30u);
+  EXPECT_EQ(warm_paid, 30);
+  // More information can only help: the warm best is at least as good.
+  EXPECT_LE(warm.best_value, cold.best_value);
+}
+
+TEST(RandomSearch, PrepaidEvaluationsDoNotConsumeBudget) {
+  Landscape l = Landscape::make(100, 15);
+  SearchOptions opt;
+  opt.max_evaluations = 20;
+  opt.seed = 4;
+  SearchResult cold = random_search(100, l.objective(), opt);
+  EXPECT_EQ(cold.evaluations(), 20u);
+
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  opt.prepaid = [&](std::size_t i) { return known.count(i) > 0; };
+  int warm_paid = 0;
+  Objective counting = [&](std::size_t i) {
+    if (!known.count(i)) ++warm_paid;
+    return l.values[i];
+  };
+  SearchResult warm = random_search(100, counting, opt);
+  // The permutation prefix is shared, so the first 20 draws replay free
+  // and 20 more are paid.
+  EXPECT_EQ(warm.evaluations(), 40u);
+  EXPECT_EQ(warm_paid, 20);
+  for (std::size_t n = 1; n <= 20; ++n) {
+    EXPECT_EQ(warm.history[n - 1], cold.history[n - 1]);
+  }
+}
+
+// Degenerate prepaid case: when every configuration in the pool is
+// prepaid, the search terminates by pool exhaustion, not budget.
+TEST(Surf, AllPrepaidPoolWalksToExhaustion) {
+  Landscape l = Landscape::make(60, 16);
+  SearchOptions opt;
+  opt.max_evaluations = 10;
+  opt.batch_size = 8;
+  opt.prepaid = [](std::size_t) { return true; };
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(r.evaluations(), 60u);
+  EXPECT_DOUBLE_EQ(r.best_value, l.optimum());
+
+  SearchResult rr = random_search(60, l.objective(), opt);
+  EXPECT_EQ(rr.evaluations(), 60u);
+  EXPECT_DOUBLE_EQ(rr.best_value, l.optimum());
+}
+
+// Without a prepaid predicate the reworked loops must behave exactly as
+// before (the budget counts every evaluation).
+TEST(Surf, NoPrepaidPredicateMeansEveryEvaluationIsCharged) {
+  Landscape l = Landscape::make(150, 18);
+  SearchOptions opt;
+  opt.max_evaluations = 25;
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(r.evaluations(), 25u);
+}
+
 TEST(Surf, EmptyPoolThrows) {
   EXPECT_THROW(
       surf_search({}, [](std::size_t) { return 0.0; }, SearchOptions{}),

@@ -4,8 +4,10 @@
 //
 //   --device gtx980|k20|c2050    target device model     (default gtx980)
 //   --evals N                    SURF evaluation budget  (default 100)
-//   --jobs N                     parallel evaluation workers (default 1;
-//                                results are identical for every N)
+//   --jobs N                     worker threads for evaluation AND model
+//                                fitting (default 1; 0 = hardware
+//                                concurrency; results are identical for
+//                                every N)
 //   --method surf|random|exhaustive                      (default surf)
 //   --shared                     enable shared-memory staging decisions
 //   --emit-cuda FILE             write the tuned CUDA source
@@ -17,11 +19,16 @@
 //   --verify                     functionally execute the tuned plan
 //                                against the reference evaluator
 //
+// With BARRACUDA_CACHE=path in the environment, measured values are
+// loaded from `path` before tuning (if it exists) and saved back after,
+// so repeated invocations skip re-measurement entirely.
+//
 // The input file is OCTOPI DSL text with dim declarations, e.g.
 //   dim i j k l m n = 10
 //   V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
 #include <cstdio>
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -101,7 +108,7 @@ int main(int argc, char** argv) {
   std::string method = "surf";
   std::string emit_cuda, emit_orio, emit_c, save_recipe, load_recipe;
   std::size_t evals = 100;
-  std::size_t jobs = 1;
+  int jobs = 1;
   bool shared = false, do_verify = false, do_report = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -118,7 +125,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--evals") {
       evals = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--jobs") {
-      jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      jobs = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (jobs < 0) {
+        std::fprintf(stderr,
+                     "error: --jobs must be >= 0 (0 = hardware "
+                     "concurrency)\n");
+        return 2;
+      }
     } else if (arg == "--method") {
       method = next();
     } else if (arg == "--shared") {
@@ -146,7 +159,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (input_path.empty() || evals == 0 || jobs == 0) return usage(argv[0]);
+  if (input_path.empty() || evals == 0) return usage(argv[0]);
 
   vgpu::DeviceProfile device;
   if (device_name == "gtx980") {
@@ -177,6 +190,15 @@ int main(int argc, char** argv) {
     options.decision.use_shared_memory = shared;
     core::EvalCache eval_cache;
     options.eval_cache = &eval_cache;
+    const char* cache_path = std::getenv("BARRACUDA_CACHE");
+    if (cache_path && *cache_path) {
+      std::ifstream probe(cache_path);
+      if (probe.good()) {
+        std::size_t n = eval_cache.load(cache_path);
+        std::printf("evaluation cache : loaded %zu entries from %s\n", n,
+                    cache_path);
+      }
+    }
     if (method == "random") {
       options.method = core::TuneOptions::Method::kRandom;
     } else if (method == "exhaustive") {
@@ -223,6 +245,13 @@ int main(int argc, char** argv) {
                   load_recipe.c_str());
     } else {
       result = core::tune(problem, device, options);
+      if (cache_path && *cache_path) {
+        eval_cache.save(cache_path);
+        std::printf("evaluation cache : %zu entries (%zu hits / %zu misses) "
+                    "saved to %s\n",
+                    eval_cache.size(), eval_cache.hits(),
+                    eval_cache.misses(), cache_path);
+      }
     }
 
     std::printf("input            : %s (%zu statement%s)\n",
