@@ -1,12 +1,17 @@
 #include "core/evalcache.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "support/error.hpp"
 
@@ -23,6 +28,16 @@ namespace {
 // are the canonical EvalCache::key strings (they never contain newlines
 // or tabs — they are built from '|'/','/';'-separated to_string()s).
 constexpr const char* kHeader = "barracuda-evalcache v1";
+
+// Uniquifies this process's temp-file names so uncoordinated savers
+// sharing one directory never write to the same temp path.
+unsigned long save_tag() {
+#ifndef _WIN32
+  return static_cast<unsigned long>(::getpid());
+#else
+  return 0;
+#endif
+}
 
 }  // namespace
 
@@ -95,20 +110,49 @@ void EvalCache::save(const std::string& path) const {
   }
   std::sort(entries.begin(), entries.end());
 
-  std::ofstream out(path);
-  if (!out) throw Error("cannot write evaluation cache: " + path);
-  out << kHeader << '\n';
-  char value_text[64];
+  // Validate before touching the filesystem so a serialization error
+  // never leaves a partial temp file behind.
   for (const auto& [key, value] : entries) {
     if (key.find_first_of("\t\n") != std::string::npos) {
       throw Error("evaluation cache key contains tab/newline, "
                   "not serializable: " + key);
     }
-    std::snprintf(value_text, sizeof value_text, "%.17g", value);
-    out << value_text << '\t' << key << '\n';
+    if (!std::isfinite(value)) {
+      throw Error("evaluation cache value for '" + key +
+                  "' is not finite, not serializable");
+    }
   }
-  out.flush();
-  if (!out) throw Error("failed writing evaluation cache: " + path);
+
+  // Atomic publish: write the complete file to a sibling temp path, then
+  // rename(2) it over the target.  The rename is atomic within a
+  // filesystem, so a concurrent reader (or anyone inspecting the file
+  // after this process crashes mid-save) sees either the previous
+  // complete cache or the new one — never a torn or truncated file.
+  // The pid suffix keeps uncoordinated writers from scribbling on each
+  // other's temp files (their *renames* still race: concurrent writers
+  // remain last-writer-wins, just never torn).
+  const std::string tmp = path + ".tmp." + std::to_string(save_tag());
+  {
+    std::ofstream out(tmp);
+    if (!out) throw Error("cannot write evaluation cache: " + tmp);
+    out << kHeader << '\n';
+    char value_text[64];
+    for (const auto& [key, value] : entries) {
+      std::snprintf(value_text, sizeof value_text, "%.17g", value);
+      out << value_text << '\t' << key << '\n';
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("failed writing evaluation cache: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot publish evaluation cache: rename " + tmp + " -> " +
+                path);
+  }
 }
 
 std::size_t EvalCache::load(const std::string& path) {

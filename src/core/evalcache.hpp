@@ -69,9 +69,13 @@ class EvalCache {
   void clear();
 
   /// Write every entry to `path` (versioned text, sorted by key so the
-  /// file is deterministic).  Throws Error when the file cannot be
-  /// written.  Counters are not persisted — they describe a process, not
-  /// the measurements.
+  /// file is deterministic).  Crash-safe: the file is written to a
+  /// temporary sibling and atomically rename(2)d into place, so no
+  /// reader — concurrent or post-crash — can observe a torn file.
+  /// Throws Error when the file cannot be written, or when an entry is
+  /// not serializable (tab/newline in a key, non-finite value).
+  /// Counters are not persisted — they describe a process, not the
+  /// measurements.
   void save(const std::string& path) const;
 
   /// Merge entries from a save()d file into this cache (existing keys
