@@ -55,8 +55,11 @@ inline std::size_t jobs() {
 }
 
 /// BARRACUDA_CACHE=path hook: loads `path` into the cache on
-/// construction (when the file exists) and saves the cache back on
-/// destruction, so a re-run of the harness re-measures nothing.
+/// construction (when the file exists) and merges the cache back on
+/// destruction, so a re-run of the harness re-measures nothing.  The
+/// write-back is merge_save(): concurrent harness invocations sharing
+/// one path compose to the union of their measurements instead of
+/// last-writer-wins, and a crash mid-save never tears the file.
 class PersistentCache {
  public:
   explicit PersistentCache(core::EvalCache& cache) : cache_(cache) {
@@ -73,7 +76,7 @@ class PersistentCache {
   ~PersistentCache() {
     if (path_.empty()) return;
     try {
-      cache_.save(path_);
+      cache_.merge_save(path_);
       std::printf("evaluation cache: %zu entries saved to %s\n",
                   cache_.size(), path_.c_str());
     } catch (const Error& e) {

@@ -312,16 +312,26 @@ TuneResult tune(const TuningProblem& problem,
   };
 
   surf::SearchOptions search_options = options.search;
-  if (options.eval_cache && options.free_cache_hits) {
-    // Budget accounting: configurations the warm cache already knows are
-    // free lookups, so they cost nothing against max_evaluations.  The
-    // probe uses contains() (counter-free) on the driver thread.
-    search_options.prepaid = [&](std::size_t i) {
+  if (options.eval_cache) {
+    // Counter-free contains() probe of a pool entry's canonical key,
+    // consulted only on the driver thread at proposal time (so it never
+    // distorts the measured hit rate or depends on n_jobs).
+    auto in_cache = [&, cache = options.eval_cache](std::size_t i) {
       const PoolEntry& e = pool[i];
-      return options.eval_cache->contains(EvalCache::key(
-          device, result.variants[e.variant],
-          recipe_of(spaces[e.variant], e)));
+      return cache->contains(EvalCache::key(device,
+                                            result.variants[e.variant],
+                                            recipe_of(spaces[e.variant], e)));
     };
+    // Duplicate-proposal metering is always on when a cache is present;
+    // it only counts, never reorders, so default searches are unchanged.
+    search_options.cached = in_cache;
+    if (options.free_cache_hits) {
+      // Budget accounting: configurations the warm cache already knows
+      // are free lookups, so they cost nothing against max_evaluations.
+      search_options.prepaid = in_cache;
+    }
+    // Reordering (replay-first or skip) is the separate opt-in.
+    search_options.cache_aware = options.cache_aware_proposals;
   }
 
   switch (options.method) {

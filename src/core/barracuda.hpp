@@ -66,6 +66,20 @@ struct TuneOptions {
   /// re-runs are the goal (e.g. BARRACUDA_CACHE re-runs of the bench
   /// harnesses) and turn it on when best-found-per-measurement is.
   bool free_cache_hits = false;
+  /// When true (and eval_cache is set), SURF's batch proposal is
+  /// cache-aware: configurations whose canonical key the cache already
+  /// holds are deprioritized so the measurement budget goes to genuinely
+  /// new ones.  Combined with free_cache_hits, every cached pool entry
+  /// is replayed up front as free lookups (the warm search keeps the
+  /// cold run's best and its surrogate starts from everything known);
+  /// without free_cache_hits, cached configurations are skipped from
+  /// the measurement batches outright.  Off by default for the same
+  /// reason as free_cache_hits: it changes what a warm search explores,
+  /// so byte-identical warm re-runs need it off.  Results remain
+  /// bit-identical for every search.n_jobs.  SearchResult::
+  /// duplicate_proposals meters the budget wasted on already-measured
+  /// configurations whenever eval_cache is set.
+  bool cache_aware_proposals = false;
 };
 
 /// Everything tune() learned, plus the artifacts to use it.

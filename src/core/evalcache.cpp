@@ -10,6 +10,8 @@
 #include <vector>
 
 #ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #endif
 
@@ -38,6 +40,47 @@ unsigned long save_tag() {
   return 0;
 #endif
 }
+
+// Advisory inter-process lock guarding merge_save's read-modify-write.
+//
+// Protocol: the lock file is `<path>.lock`, created on first use and
+// never deleted; a writer holds an exclusive flock(2) on it across
+// load-merge-publish.  flock locks belong to the open file description,
+// so the kernel releases them when the holder exits or crashes — a
+// leftover `.lock` FILE is therefore harmless (stale-lock recovery needs
+// no timeouts or pid probes; the next flock simply succeeds).  Readers
+// that skip the lock are still safe because the data file is only ever
+// replaced via atomic rename.  On platforms without flock the lock
+// degrades to a no-op: merge_save stays crash-safe (rename) but
+// concurrent writers may lose updates.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+#ifndef _WIN32
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+    if (fd_ < 0) {
+      throw Error("cannot open evaluation cache lock file: " + path);
+    }
+    if (::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      throw Error("cannot lock evaluation cache lock file: " + path);
+    }
+#else
+    (void)path;
+#endif
+  }
+  ~FileLock() {
+#ifndef _WIN32
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+#endif
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
 
 }  // namespace
 
@@ -129,8 +172,8 @@ void EvalCache::save(const std::string& path) const {
   // after this process crashes mid-save) sees either the previous
   // complete cache or the new one — never a torn or truncated file.
   // The pid suffix keeps uncoordinated writers from scribbling on each
-  // other's temp files (their *renames* still race: concurrent writers
-  // remain last-writer-wins, just never torn).
+  // other's temp files (their *renames* still race; merge_save is the
+  // lock-protected path that also prevents lost updates).
   const std::string tmp = path + ".tmp." + std::to_string(save_tag());
   {
     std::ofstream out(tmp);
@@ -182,10 +225,39 @@ std::size_t EvalCache::load(const std::string& path) {
                   std::to_string(line_no) + ": bad value '" + value_text +
                   "'");
     }
+    if (!std::isfinite(value)) {
+      // Measurements are finite by construction (infeasible plans become
+      // a large finite penalty), so NaN/±inf can only mean corruption.
+      throw Error("corrupt evaluation cache at " + path + ":" +
+                  std::to_string(line_no) + ": non-finite value '" +
+                  value_text + "'");
+    }
     values_.emplace(line.substr(tab + 1), value);
     ++loaded;
   }
   return loaded;
+}
+
+std::size_t EvalCache::merge_save(const std::string& path) {
+  // Serialize the whole read-modify-write against every other
+  // merge_save on this path — other threads (flock conflicts between
+  // file descriptions, even within one process) and other processes
+  // alike — so concurrent writers compose to the union instead of
+  // last-writer-wins.  See FileLock for the lock-file protocol.
+  FileLock lock(path + ".lock");
+  std::size_t absorbed = 0;
+  {
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      // load()'s merge rule applies: keys this cache already holds keep
+      // their value (first-write-wins; measurements are deterministic,
+      // so colliding values agree anyway).
+      absorbed = load(path);
+    }
+  }
+  save(path);
+  return absorbed;
 }
 
 }  // namespace barracuda::core

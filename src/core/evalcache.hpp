@@ -14,6 +14,10 @@
 // line-oriented text format (see evalcache.cpp), and the bench harnesses
 // honor BARRACUDA_CACHE=path so a re-run re-measures nothing (cuTT's
 // standard remedy for measurement-based tuning cost: persist the plans).
+// Concurrent harness invocations may share one path: merge_save() holds
+// an advisory inter-process lock across load-merge-publish so parallel
+// writers compose to the union of their measurements, and every publish
+// is an atomic rename, so a crash never leaves a torn file.
 #pragma once
 
 #include <cstddef>
@@ -75,14 +79,28 @@ class EvalCache {
   /// Throws Error when the file cannot be written, or when an entry is
   /// not serializable (tab/newline in a key, non-finite value).
   /// Counters are not persisted — they describe a process, not the
-  /// measurements.
+  /// measurements.  NOTE: plain save() is still whole-file replacement;
+  /// concurrent writers sharing one path should use merge_save().
   void save(const std::string& path) const;
+
+  /// Cross-process-safe persistence: atomically merge this cache into
+  /// the file at `path`.  Takes an exclusive advisory lock (flock(2) on
+  /// `path + ".lock"`), absorbs any existing file via load() (existing
+  /// in-memory keys keep their value — load()'s first-write-wins rule),
+  /// then publishes the union with the atomic save().  Locks die with
+  /// their holder, so a crashed writer never wedges the path (the
+  /// leftover .lock file is inert).  Returns the number of entries
+  /// absorbed from the pre-existing file (0 when absent).  Throws Error
+  /// on an unwritable path, a corrupt existing file, or lock failure.
+  std::size_t merge_save(const std::string& path);
 
   /// Merge entries from a save()d file into this cache (existing keys
   /// keep their value; counters are untouched).  Returns the number of
-  /// entries read.  Throws Error on an unreadable file, an unrecognized
-  /// header/version, or a malformed line — a corrupt cache must fail
-  /// loudly, not seed the tuner with garbage.
+  /// entry lines read (on duplicate keys — in the file or against the
+  /// in-memory table — the first-seen value sticks).  Throws Error on an
+  /// unreadable file, an unrecognized header/version, or a malformed
+  /// line (missing tab, unparseable or non-finite value) — a corrupt
+  /// cache must fail loudly, not seed the tuner with garbage.
   std::size_t load(const std::string& path);
 
  private:

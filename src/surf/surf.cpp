@@ -100,6 +100,19 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
   auto charge_of = [&](std::size_t index) -> std::size_t {
     return options.prepaid && options.prepaid(index) ? 0 : 1;
   };
+  auto is_cached = [&](std::size_t index) {
+    return options.cached && options.cached(index);
+  };
+  // Counts a proposal against the budget and, when it pays full price
+  // for a configuration the cache already holds, against the
+  // duplicate-proposal meter.
+  auto charge = [&](std::size_t index) {
+    const std::size_t cost = charge_of(index);
+    if (cost > 0 && is_cached(index)) ++result.duplicate_proposals;
+    charged += cost;
+  };
+  const bool cache_aware =
+      options.cache_aware && static_cast<bool>(options.cached);
 
   auto run_batch = [&](const std::vector<std::size_t>& batch) {
     // Evaluate_Parallel in the paper: the candidates run concurrently
@@ -115,12 +128,52 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
     }
   };
 
-  // Initialization: a random batch of min(bs, n_max) distinct configs.
-  {
-    std::size_t n0 = std::min(options.batch_size, budget);
-    auto picks = rng.sample_without_replacement(pool_size, n0);
-    std::vector<std::size_t> batch(picks.begin(), picks.end());
-    for (auto i : batch) charged += charge_of(i);
+  // Cache replay (cache-aware + prepaid): every already-cached pool
+  // entry is a free lookup, so replay them all — in pool order, chunked
+  // by batch_size — before spending any budget.  This seeds the
+  // surrogate with everything the cache knows and guarantees a warm
+  // search never loses sight of the cold run's best, while the model
+  // rounds below then propose only genuinely new configurations.
+  bool replayed = false;
+  if (cache_aware && options.prepaid) {
+    std::vector<std::size_t> known;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      if (is_cached(i)) known.push_back(i);
+    }
+    for (std::size_t begin = 0; begin < known.size();
+         begin += options.batch_size) {
+      std::vector<std::size_t> batch(
+          known.begin() + begin,
+          known.begin() +
+              std::min(known.size(), begin + options.batch_size));
+      for (auto i : batch) charge(i);
+      run_batch(batch);
+    }
+    replayed = !known.empty();
+  }
+
+  // Initialization: a random batch of min(bs, n_max) distinct configs
+  // (unnecessary when the cache replay already bootstrapped the model).
+  if (!replayed) {
+    const std::size_t n0 = std::min(options.batch_size, budget);
+    std::vector<std::size_t> batch;
+    if (cache_aware) {
+      // Draw past already-cached entries: walk the full pool
+      // permutation (its prefix is exactly the plain n0 draw) and keep
+      // the first n0 uncached configurations, falling back to the plain
+      // prefix when the whole pool is cached.
+      auto perm = rng.sample_without_replacement(pool_size, pool_size);
+      for (std::size_t p = 0; p < perm.size() && batch.size() < n0; ++p) {
+        if (!is_cached(perm[p])) batch.push_back(perm[p]);
+      }
+      if (batch.empty()) {
+        batch.assign(perm.begin(), perm.begin() + n0);
+      }
+    } else {
+      auto picks = rng.sample_without_replacement(pool_size, n0);
+      batch.assign(picks.begin(), picks.end());
+    }
+    for (auto i : batch) charge(i);
     run_batch(batch);
   }
 
@@ -150,18 +203,35 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
       scored.emplace_back(predicted[c], candidates[c]);
     }
     std::sort(scored.begin(), scored.end());
+    if (cache_aware) {
+      // Deprioritize already-cached candidates (stable, so the model's
+      // ranking is preserved within each class): the paid batch slots
+      // go to the best *new* configurations first.
+      std::stable_partition(scored.begin(), scored.end(),
+                            [&](const std::pair<double, std::size_t>& s) {
+                              return !is_cached(s.second);
+                            });
+    }
 
     std::vector<std::size_t> batch;
     std::size_t pending = 0;
+    std::size_t pending_duplicates = 0;
     for (const auto& [value, index] : scored) {
       if (batch.size() >= options.batch_size) break;
+      if (cache_aware && !options.prepaid && is_cached(index)) {
+        // Skip mode (no free-hit accounting): re-measuring a cached
+        // configuration would burn budget on a known value.
+        continue;
+      }
       std::size_t cost = charge_of(index);
       if (charged + pending + cost > budget) continue;
+      if (cost > 0 && is_cached(index)) ++pending_duplicates;
       pending += cost;
       batch.push_back(index);
     }
     if (batch.empty()) break;  // nothing affordable left
     charged += pending;
+    result.duplicate_proposals += pending_duplicates;
     run_batch(batch);
   }
   if (!model.fitted() && !train_x.empty()) model.fit(train_x, train_y);
@@ -195,7 +265,15 @@ SearchResult random_search_impl(std::size_t pool_size,
     while (pos < picks.size() && batch.size() < options.batch_size &&
            charged < budget) {
       std::size_t index = picks[pos++];
-      if (!options.prepaid || !options.prepaid(index)) ++charged;
+      if (!options.prepaid || !options.prepaid(index)) {
+        ++charged;
+        // Random search stays cache-oblivious by design (it is the
+        // uninformed baseline) but still meters the budget it burns
+        // re-proposing configurations the cache already holds.
+        if (options.cached && options.cached(index)) {
+          ++result.duplicate_proposals;
+        }
+      }
       batch.push_back(index);
     }
     std::vector<double> values = evaluate(batch);

@@ -53,6 +53,27 @@ struct SearchOptions {
   /// at proposal time.  Honored by surf_search and random_search;
   /// genetic/annealing charge every evaluation.
   std::function<bool(std::size_t)> prepaid;
+  /// Optional: true when pool entry i's canonical key is already in the
+  /// evaluation cache.  Consulted only on the driver thread at proposal
+  /// time.  When set, every search counts SearchResult::
+  /// duplicate_proposals (budget-charged proposals of already-measured
+  /// configurations); surf_search additionally reorders batch selection
+  /// when `cache_aware` is on.
+  std::function<bool(std::size_t)> cached;
+  /// Cache-aware batch proposal (surf_search only; needs `cached`).
+  /// Already-cached candidates are deprioritized so the measurement
+  /// budget goes to genuinely new configurations:
+  ///   - with `prepaid` set (free cache hits), every cached pool entry
+  ///     is replayed up front as free lookups — in pool order, before
+  ///     the model rounds, replacing the random bootstrap batch — and
+  ///     the model rounds then propose only unevaluated configurations;
+  ///   - without `prepaid`, cached candidates are skipped from the
+  ///     measurement batches outright (the random bootstrap draws past
+  ///     them, falling back to the plain draw when the whole pool is
+  ///     cached).
+  /// Off by default because, like `prepaid`, it changes what a warm
+  /// search explores; results stay bit-identical for every n_jobs.
+  bool cache_aware = false;
   /// Surrogate options.  surf_search overrides `model.seed` and
   /// `model.n_jobs` from the search's own seed/n_jobs so one knob
   /// governs evaluation and fitting alike.
@@ -92,6 +113,11 @@ struct SearchResult {
   std::vector<std::pair<std::size_t, double>> history;
   /// Wall seconds spent inside the search.
   double seconds = 0;
+  /// Budget-charged proposals whose configuration the evaluation cache
+  /// already held at proposal time (always 0 when SearchOptions::cached
+  /// is unset).  These are wasted measurements a cache-aware search
+  /// avoids: free replays (prepaid) and skipped candidates don't count.
+  std::size_t duplicate_proposals = 0;
   /// Feature importances of the final surrogate model (empty for
   /// searches that fit no model).
   std::vector<double> importances;

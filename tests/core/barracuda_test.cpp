@@ -260,6 +260,80 @@ TEST(Tune, CacheHitsChargedByDefault) {
   TuneResult warm = tune(problem, device, opt);
   EXPECT_EQ(warm.search.history, cold.search.history);
   EXPECT_EQ(warm.search.evaluations(), 20u);
+  // The warm run re-proposed only already-measured configurations; the
+  // meter reports every one of its 20 charged evaluations as waste.
+  EXPECT_EQ(warm.search.duplicate_proposals, 20u);
+  EXPECT_EQ(cold.search.duplicate_proposals, 0u);
+}
+
+// Warm-vs-cold determinism regression (fig3-style re-run): with
+// free_cache_hits + cache_aware_proposals, a warm tune() over a pool the
+// cold run fully covered must return the same best recipe and score —
+// the replayed cache IS the cold run's knowledge — and its cache-aware
+// record must be bit-identical for every n_jobs.
+TEST(Tune, WarmCacheAwareRunReproducesColdBestDeterministically) {
+  TuningProblem problem = TuningProblem::from_dsl(kEqn1Dsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+  EvalCache cache;
+  TuneOptions opt = fast_options();
+  opt.max_pool = 64;  // budget >= pool: the cold run measures everything
+  opt.search.max_evaluations = 64;
+  opt.eval_cache = &cache;
+
+  TuneResult cold = tune(problem, device, opt);
+  EXPECT_EQ(cold.search.evaluations(), cold.pool_size);
+
+  auto recipe_text = [](const chill::Recipe& recipe) {
+    std::string text;
+    for (const auto& config : recipe) text += config.to_string() + ";";
+    return text;
+  };
+
+  opt.free_cache_hits = true;
+  opt.cache_aware_proposals = true;
+  TuneResult warm = tune(problem, device, opt);
+  // Every configuration replays free: zero new measurements, zero
+  // duplicates charged, and the cold run's winner is reproduced exactly.
+  EXPECT_EQ(warm.search.duplicate_proposals, 0u);
+  EXPECT_EQ(warm.best_variant, cold.best_variant);
+  EXPECT_EQ(recipe_text(warm.best_recipe), recipe_text(cold.best_recipe));
+  EXPECT_DOUBLE_EQ(warm.best_timing.total_us, cold.best_timing.total_us);
+  EXPECT_DOUBLE_EQ(warm.search.best_value, cold.search.best_value);
+
+  // Cache-aware ordering is part of the determinism contract: the warm
+  // record is bit-identical whatever the job count.
+  for (int jobs : {2, 4}) {
+    TuneOptions jopt = opt;
+    jopt.search.n_jobs = jobs;
+    TuneResult again = tune(problem, device, jopt);
+    EXPECT_EQ(again.search.history, warm.search.history) << jobs;
+    EXPECT_EQ(again.search.duplicate_proposals,
+              warm.search.duplicate_proposals);
+    EXPECT_EQ(recipe_text(again.best_recipe), recipe_text(warm.best_recipe));
+  }
+}
+
+// Cache-aware without free hits: the warm budget is spent on new
+// configurations only (duplicates are skipped from the batches), so on a
+// half-covered pool a warm run completes the coverage.
+TEST(Tune, CacheAwareProposalsSkipMeasuredConfigurations) {
+  TuningProblem problem = TuningProblem::from_dsl(kEqn1Dsl);
+  auto device = vgpu::DeviceProfile::gtx980();
+  EvalCache cache;
+  TuneOptions opt = fast_options();
+  opt.search.max_evaluations = 20;
+  opt.eval_cache = &cache;
+  TuneResult cold = tune(problem, device, opt);
+  const std::size_t cold_misses = cache.misses();
+
+  opt.cache_aware_proposals = true;
+  TuneResult warm = tune(problem, device, opt);
+  EXPECT_EQ(warm.search.evaluations(), 20u);
+  EXPECT_EQ(warm.search.duplicate_proposals, 0u);
+  // All 20 warm evaluations were genuinely new measurements.  (No claim
+  // about warm vs cold best here: skip mode explores disjoint configs;
+  // pair cache_aware_proposals with free_cache_hits to keep the best.)
+  EXPECT_EQ(cache.misses() - cold_misses, 20u);
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+// Multi-process harness for EvalCache::merge_save: concurrent and
+// crashing writers sharing one BARRACUDA_CACHE path must compose to the
+// exact union of their measurements — no lost updates, no torn files.
+//
+// This suite lives in its own test binary on purpose: the fork()ed
+// writers must be spawned from a single-threaded process (fork of a
+// multithreaded parent is undefined enough that TSan rejects it), so
+// nothing here may touch support::ThreadPool.  Keep it that way.
+#include "core/evalcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace barracuda::core {
+namespace {
+
+/// Unique path under the gtest temp dir, removed (with its lock and any
+/// stray temp siblings) on destruction.
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {
+    cleanup();
+  }
+  ~TempFile() { cleanup(); }
+  void cleanup() {
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+  }
+  std::string path;
+};
+
+std::string entry_key(int writer, int entry) {
+  return "writer" + std::to_string(writer) + "|entry" + std::to_string(entry);
+}
+
+double entry_value(int writer, int entry) {
+  // Non-trivial doubles so the union check also exercises exact
+  // round-tripping.
+  return writer * 1000.0 + entry + 1.0 / 3.0;
+}
+
+#ifndef _WIN32
+
+/// Fork `writers` child processes; each stores its own disjoint entries
+/// and merge_saves them into `path`.  Every child must exit 0.
+void run_writers(const std::string& path, int writers, int entries,
+                 bool crash_after_save = false) {
+  std::vector<pid_t> pids;
+  for (int w = 0; w < writers; ++w) {
+    pid_t pid = fork();
+    ASSERT_NE(pid, -1) << "fork failed";
+    if (pid == 0) {
+      // Child: no gtest assertions here (a child failure must surface
+      // as its exit status, not a half-reported gtest result).
+      int status = 0;
+      try {
+        EvalCache cache;
+        for (int e = 0; e < entries; ++e) {
+          cache.store(entry_key(w, e), entry_value(w, e));
+        }
+        cache.merge_save(path);
+      } catch (...) {
+        status = 1;
+      }
+      if (crash_after_save && status == 0) {
+        // Simulate a crash at the worst post-publish moment: no exit
+        // handlers, no flushes — the on-disk state must already be
+        // complete because every publish is an atomic rename.
+        _exit(42);
+      }
+      _exit(status);
+    }
+    pids.push_back(pid);
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "writer killed by signal";
+    if (crash_after_save) {
+      EXPECT_EQ(WEXITSTATUS(status), 42) << "writer failed before crash";
+    } else {
+      EXPECT_EQ(WEXITSTATUS(status), 0) << "writer failed";
+    }
+  }
+}
+
+/// The final file must hold exactly the union of every writer's entries.
+void expect_exact_union(const std::string& path, int writers, int entries) {
+  EvalCache merged;
+  EXPECT_EQ(merged.load(path),
+            static_cast<std::size_t>(writers) * entries);
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(writers) * entries);
+  for (int w = 0; w < writers; ++w) {
+    for (int e = 0; e < entries; ++e) {
+      double value = 0;
+      ASSERT_TRUE(merged.lookup(entry_key(w, e), &value))
+          << "lost update: writer " << w << " entry " << e;
+      EXPECT_EQ(value, entry_value(w, e)) << entry_key(w, e);  // bit-exact
+    }
+  }
+}
+
+// N processes race merge_save on one path; the advisory lock serializes
+// their load-merge-publish cycles, so the file ends as the exact union
+// (with last-writer-wins plain save(), most writers' entries would be
+// silently dropped).
+TEST(CacheConcurrency, ConcurrentMergeSaveKeepsEveryWritersEntries) {
+  TempFile file("cache_concurrency_union.cache");
+  constexpr int kWriters = 8;
+  constexpr int kEntries = 25;
+  run_writers(file.path, kWriters, kEntries);
+  expect_exact_union(file.path, kWriters, kEntries);
+}
+
+// Writers that die immediately after publishing (no exit handlers) must
+// leave a complete, loadable union behind: crash-safety is a property
+// of the publish protocol, not of orderly shutdown.
+TEST(CacheConcurrency, WritersCrashingAfterPublishLoseNothing) {
+  TempFile file("cache_concurrency_crash.cache");
+  constexpr int kWriters = 4;
+  constexpr int kEntries = 10;
+  run_writers(file.path, kWriters, kEntries, /*crash_after_save=*/true);
+  expect_exact_union(file.path, kWriters, kEntries);
+}
+
+// Repeated merge rounds converge: a second wave of the same writers
+// (plus one new one) re-merges idempotently — first-write-wins keeps
+// the original values and only genuinely new entries are added.
+TEST(CacheConcurrency, RemergingIsIdempotentAndAdditive) {
+  TempFile file("cache_concurrency_remerge.cache");
+  run_writers(file.path, 3, 5);
+  run_writers(file.path, 4, 5);  // writers 0-2 again + writer 3
+  expect_exact_union(file.path, 4, 5);
+}
+
+// A stale lock FILE left by a crashed writer must not wedge later
+// writers: flock(2) locks die with their holder, so the leftover file
+// is inert and the next merge_save just proceeds.
+TEST(CacheConcurrency, StaleLockFileFromDeadWriterIsRecovered) {
+  TempFile file("cache_concurrency_stale.cache");
+  // A writer that crashed after taking the lock leaves the lock file
+  // behind; simulate the leftover.
+  std::ofstream(file.path + ".lock") << "";
+  run_writers(file.path, 2, 5);
+  expect_exact_union(file.path, 2, 5);
+  // The data file parses and no temp files linger next to it.
+  std::ifstream lock(file.path + ".lock");
+  EXPECT_TRUE(lock.good()) << "lock file is part of the protocol";
+}
+
+#endif  // !_WIN32
+
+// Same-process concurrent writers: flock serializes distinct file
+// descriptions even within one process, so threads composing through
+// merge_save also end at the union.  (Plain std::thread on purpose —
+// see the header comment about keeping ThreadPool out of this binary.
+// This test runs after the fork tests only by file order; gtest runs
+// tests sequentially, and these threads are joined before returning, so
+// no thread outlives the test into a later fork.)
+TEST(CacheConcurrency, ThreadedMergeSaveAlsoComposesToUnion) {
+  TempFile file("cache_concurrency_threads.cache");
+  constexpr int kWriters = 4;
+  constexpr int kEntries = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      EvalCache cache;
+      for (int e = 0; e < kEntries; ++e) {
+        cache.store(entry_key(w, e), entry_value(w, e));
+      }
+      cache.merge_save(file.path);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EvalCache merged;
+  EXPECT_EQ(merged.load(file.path),
+            static_cast<std::size_t>(kWriters) * kEntries);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int e = 0; e < kEntries; ++e) {
+      double value = 0;
+      ASSERT_TRUE(merged.lookup(entry_key(w, e), &value))
+          << "lost update: writer " << w << " entry " << e;
+      EXPECT_EQ(value, entry_value(w, e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace barracuda::core

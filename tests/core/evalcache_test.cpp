@@ -2,13 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "core/barracuda.hpp"
 #include "support/error.hpp"
 #include "support/threadpool.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace barracuda::core {
 namespace {
@@ -116,9 +122,13 @@ TEST(EvalCache, ThreadSafeUnderConcurrentAccess) {
 struct TempFile {
   explicit TempFile(const std::string& name)
       : path(testing::TempDir() + name) {
-    std::remove(path.c_str());
+    cleanup();
   }
-  ~TempFile() { std::remove(path.c_str()); }
+  ~TempFile() { cleanup(); }
+  void cleanup() {
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());  // merge_save's advisory lock
+  }
   std::string path;
 };
 
@@ -206,6 +216,192 @@ TEST(EvalCachePersistence, LoadRejectsCorruptLines) {
     EvalCache cache;
     EXPECT_THROW(cache.load(file.path), Error);
   }
+}
+
+// Corrupt-file corpus: every way a file can deviate from the
+// "barracuda-evalcache v1" contract either loads by rule or fails
+// loudly.  (With the atomic-rename publish a torn file should never
+// exist, but load() must still never trust one.)
+TEST(EvalCachePersistence, CorruptCorpusMatchesDocumentedContract) {
+  // Torn mid-line (writer died between value and key): the tab is
+  // missing or the key is empty — rejected.
+  {
+    TempFile file("evalcache_torn_value.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v1\n1.5\tok\n3.25";
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error);
+  }
+  {
+    TempFile file("evalcache_torn_tab.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v1\n1.5\tok\n3.25\t";
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error);
+  }
+  // A complete last line without the trailing newline is NOT torn: the
+  // final byte of a valid file is allowed to be the key's last char.
+  {
+    TempFile file("evalcache_no_trailing_newline.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v1\n1.5\tok";
+    EvalCache cache;
+    EXPECT_EQ(cache.load(file.path), 1u);
+    double value = 0;
+    ASSERT_TRUE(cache.lookup("ok", &value));
+    EXPECT_DOUBLE_EQ(value, 1.5);
+  }
+  // Blank lines are skipped, not rejected (they carry no measurement).
+  {
+    TempFile file("evalcache_blank_lines.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v1\n\n1.5\tok\n\n";
+    EvalCache cache;
+    EXPECT_EQ(cache.load(file.path), 1u);
+  }
+  // Wrong version header (including a v2 from the future) — rejected.
+  {
+    TempFile file("evalcache_future.cache");
+    std::ofstream(file.path) << "barracuda-evalcache v2\n1.5\tok\n";
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error);
+    EXPECT_EQ(cache.size(), 0u);
+  }
+  // Duplicate keys: first occurrence wins (load()'s merge rule applied
+  // within one file); both lines still count as read.
+  {
+    TempFile file("evalcache_dup_keys.cache");
+    std::ofstream(file.path)
+        << "barracuda-evalcache v1\n1.5\tdup\n99\tdup\n";
+    EvalCache cache;
+    EXPECT_EQ(cache.load(file.path), 2u);
+    EXPECT_EQ(cache.size(), 1u);
+    double value = 0;
+    ASSERT_TRUE(cache.lookup("dup", &value));
+    EXPECT_DOUBLE_EQ(value, 1.5);
+  }
+  // NaN/±inf: measurements are finite by construction (infeasible plans
+  // become a large finite penalty), so non-finite values mean
+  // corruption — rejected, never silently seeded into the tuner.
+  for (const char* bad : {"nan", "-nan", "inf", "-inf", "NAN", "INF"}) {
+    TempFile file(std::string("evalcache_nonfinite_") + bad + ".cache");
+    std::ofstream(file.path)
+        << "barracuda-evalcache v1\n" << bad << "\tk\n";
+    EvalCache cache;
+    EXPECT_THROW(cache.load(file.path), Error) << bad;
+  }
+}
+
+// save() refuses to serialize non-finite values outright, so a cache
+// can never produce a file its own load() would reject.
+TEST(EvalCachePersistence, SaveRejectsNonFiniteValues) {
+  TempFile file("evalcache_nonfinite_save.cache");
+  EvalCache cache;
+  cache.store("bad", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(cache.save(file.path), Error);
+  std::ifstream probe(file.path);
+  EXPECT_FALSE(probe.good()) << "rejected save must not create the file";
+}
+
+// %.17g round-trips bit-exactly through save+load, including the
+// denormal floor and the largest finite double.
+TEST(EvalCachePersistence, ExtremeDoublesRoundTripBitExactly) {
+  TempFile file("evalcache_extremes.cache");
+  EvalCache cache;
+  cache.store("denorm-min", std::numeric_limits<double>::denorm_min());
+  cache.store("dbl-min", std::numeric_limits<double>::min());
+  cache.store("dbl-max", std::numeric_limits<double>::max());
+  cache.store("dbl-epsilon", std::numeric_limits<double>::epsilon());
+  cache.store("third", 1.0 / 3.0);
+  cache.save(file.path);
+  EvalCache loaded;
+  EXPECT_EQ(loaded.load(file.path), 5u);
+  for (const char* key :
+       {"denorm-min", "dbl-min", "dbl-max", "dbl-epsilon", "third"}) {
+    double expect = 0, got = 0;
+    ASSERT_TRUE(cache.lookup(key, &expect));
+    ASSERT_TRUE(loaded.lookup(key, &got));
+    EXPECT_EQ(std::signbit(expect), std::signbit(got)) << key;
+    EXPECT_EQ(expect, got) << key;
+  }
+}
+
+// Atomic publish: while a save is being observed, the path holds either
+// the previous complete file or the new one — and after save() returns,
+// no temp sibling lingers.
+TEST(EvalCachePersistence, SaveReplacesPreviousFileAtomically) {
+  TempFile file("evalcache_atomic.cache");
+  EvalCache first;
+  first.store("a", 1.0);
+  first.save(file.path);
+
+  EvalCache second;
+  second.store("b", 2.0);
+  second.save(file.path);  // whole-file replacement, never truncate-in-place
+
+  EvalCache loaded;
+  EXPECT_EQ(loaded.load(file.path), 1u);
+  EXPECT_TRUE(loaded.contains("b"));
+  EXPECT_FALSE(loaded.contains("a"));
+#ifndef _WIN32
+  std::ifstream tmp(file.path + ".tmp." + std::to_string(getpid()));
+  EXPECT_FALSE(tmp.good()) << "temp file must not survive save()";
+#endif
+}
+
+TEST(EvalCacheMergeSave, CreatesFileAndReportsNothingAbsorbed) {
+  TempFile file("evalcache_mergesave_fresh.cache");
+  EvalCache cache;
+  cache.store("k", 1.0);
+  EXPECT_EQ(cache.merge_save(file.path), 0u);  // nothing pre-existing
+  EvalCache loaded;
+  EXPECT_EQ(loaded.load(file.path), 1u);
+}
+
+TEST(EvalCacheMergeSave, MergesDisjointWritersToUnion) {
+  TempFile file("evalcache_mergesave_union.cache");
+  EvalCache a;
+  a.store("a-only", 1.0);
+  EXPECT_EQ(a.merge_save(file.path), 0u);
+
+  EvalCache b;
+  b.store("b-only", 2.0);
+  EXPECT_EQ(b.merge_save(file.path), 1u);  // absorbed a's entry
+
+  EvalCache loaded;
+  EXPECT_EQ(loaded.load(file.path), 2u);
+  EXPECT_TRUE(loaded.contains("a-only"));
+  EXPECT_TRUE(loaded.contains("b-only"));
+  // The absorbing cache also holds the union in memory afterwards.
+  EXPECT_TRUE(b.contains("a-only"));
+}
+
+TEST(EvalCacheMergeSave, CollisionsKeepFirstWrittenValue) {
+  TempFile file("evalcache_mergesave_collide.cache");
+  EvalCache a;
+  a.store("shared", 1.0);
+  a.merge_save(file.path);
+
+  EvalCache b;
+  b.store("shared", 999.0);  // b's in-memory value predates its merge
+  b.merge_save(file.path);
+
+  // load()'s first-write-wins rule: b keeps its own value, so that is
+  // what the union publishes.
+  EvalCache loaded;
+  loaded.load(file.path);
+  double value = 0;
+  ASSERT_TRUE(loaded.lookup("shared", &value));
+  EXPECT_DOUBLE_EQ(value, 999.0);
+}
+
+TEST(EvalCacheMergeSave, CorruptExistingFileFailsLoudly) {
+  TempFile file("evalcache_mergesave_corrupt.cache");
+  std::ofstream(file.path) << "not a cache at all\n";
+  EvalCache cache;
+  cache.store("k", 1.0);
+  EXPECT_THROW(cache.merge_save(file.path), Error);
+  // The corrupt file is left for forensics, not clobbered.
+  std::ifstream in(file.path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "not a cache at all");
 }
 
 TEST(EvalCachePersistence, SaveRejectsUnwritablePathAndBadKeys) {

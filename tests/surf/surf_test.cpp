@@ -333,6 +333,164 @@ TEST(Surf, NoPrepaidPredicateMeansEveryEvaluationIsCharged) {
   EXPECT_EQ(r.evaluations(), 25u);
 }
 
+// Cache-aware skip mode (cached predicate, no prepaid accounting):
+// already-cached configurations are excluded from the measurement
+// batches entirely, so the budget buys only new measurements and the
+// duplicate meter stays at zero.
+TEST(Surf, CacheAwareSkipsCachedConfigurations) {
+  Landscape l = Landscape::make(200, 21);
+  SearchOptions opt;
+  opt.max_evaluations = 30;
+  opt.batch_size = 10;
+  opt.seed = 5;
+  SearchResult cold = surf_search(l.features, l.objective(), opt);
+
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  opt.cached = [&](std::size_t i) { return known.count(i) > 0; };
+  opt.cache_aware = true;
+  SearchResult warm = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(warm.evaluations(), 30u);
+  EXPECT_EQ(warm.duplicate_proposals, 0u);
+  for (const auto& [i, v] : warm.history) {
+    EXPECT_EQ(known.count(i), 0u) << "proposed cached config " << i;
+  }
+}
+
+// Cache-aware + prepaid (the free_cache_hits pairing): every cached
+// pool entry replays for free up front, in pool order, so the warm
+// search starts from everything the cache knows — including the cold
+// run's best — and then spends the full budget on new configurations.
+TEST(Surf, CacheAwareReplaysCachedEntriesFirstWhenPrepaid) {
+  Landscape l = Landscape::make(200, 22);
+  SearchOptions opt;
+  opt.max_evaluations = 30;
+  opt.batch_size = 10;
+  opt.seed = 6;
+  SearchResult cold = surf_search(l.features, l.objective(), opt);
+
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  auto in_cache = [&](std::size_t i) { return known.count(i) > 0; };
+  opt.cached = in_cache;
+  opt.prepaid = in_cache;
+  opt.cache_aware = true;
+  int warm_paid = 0;
+  Objective counting = [&](std::size_t i) {
+    if (!known.count(i)) ++warm_paid;
+    return l.values[i];
+  };
+  SearchResult warm = surf_search(l.features, counting, opt);
+
+  // Replay prefix: the cached entries, in ascending pool order.
+  std::vector<std::size_t> expected(known.begin(), known.end());
+  ASSERT_GE(warm.history.size(), expected.size());
+  for (std::size_t n = 0; n < expected.size(); ++n) {
+    EXPECT_EQ(warm.history[n].first, expected[n]) << "replay slot " << n;
+  }
+  // Free replays are not duplicates — the whole budget bought new
+  // measurements on top of the replayed knowledge.
+  EXPECT_EQ(warm.duplicate_proposals, 0u);
+  EXPECT_EQ(warm_paid, 30);
+  EXPECT_EQ(warm.evaluations(), known.size() + 30);
+  // The warm search holds everything the cold one saw, so its best can
+  // only match or improve.
+  EXPECT_LE(warm.best_value, cold.best_value);
+}
+
+// Metering without reordering: a warm re-run with only `cached` set
+// (cache_aware off) replays the cold search bit for bit and reports how
+// much of its budget went to already-measured configurations.
+TEST(Surf, DuplicateProposalsAreMeteredWithoutReordering) {
+  Landscape l = Landscape::make(150, 23);
+  SearchOptions opt;
+  opt.max_evaluations = 25;
+  opt.batch_size = 8;
+  opt.seed = 7;
+  SearchResult cold = surf_search(l.features, l.objective(), opt);
+  EXPECT_EQ(cold.duplicate_proposals, 0u);  // no cached predicate at all
+
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  opt.cached = [&](std::size_t i) { return known.count(i) > 0; };
+  SearchResult warm = surf_search(l.features, l.objective(), opt);
+  // Identical trajectory (metering must not perturb the search)...
+  ASSERT_EQ(warm.history.size(), cold.history.size());
+  for (std::size_t n = 0; n < cold.history.size(); ++n) {
+    EXPECT_EQ(warm.history[n], cold.history[n]);
+  }
+  // ...and every charged proposal was a duplicate.
+  EXPECT_EQ(warm.duplicate_proposals, warm.evaluations());
+}
+
+TEST(RandomSearch, DuplicateProposalsAreMeteredWithoutReordering) {
+  Landscape l = Landscape::make(100, 24);
+  SearchOptions opt;
+  opt.max_evaluations = 20;
+  opt.seed = 8;
+  SearchResult cold = random_search(100, l.objective(), opt);
+
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  opt.cached = [&](std::size_t i) { return known.count(i) > 0; };
+  SearchResult warm = random_search(100, l.objective(), opt);
+  ASSERT_EQ(warm.history.size(), cold.history.size());
+  for (std::size_t n = 0; n < cold.history.size(); ++n) {
+    EXPECT_EQ(warm.history[n], cold.history[n]);
+  }
+  EXPECT_EQ(warm.duplicate_proposals, warm.evaluations());
+}
+
+// The determinism contract extends to cache-aware ordering: proposal
+// selection, replay order, and the duplicate meter all live on the
+// driver thread, so every n_jobs produces the identical search.
+TEST(Surf, CacheAwareSearchIsBitIdenticalForEveryJobCount) {
+  Landscape l = Landscape::make(200, 25);
+  SearchOptions base;
+  base.max_evaluations = 30;
+  base.batch_size = 10;
+  base.seed = 9;
+  SearchResult cold = surf_search(l.features, l.objective(), base);
+  std::set<std::size_t> known;
+  for (const auto& [i, v] : cold.history) known.insert(i);
+  auto in_cache = [&](std::size_t i) { return known.count(i) > 0; };
+
+  for (bool with_prepaid : {false, true}) {
+    SearchOptions opt = base;
+    opt.cached = in_cache;
+    if (with_prepaid) opt.prepaid = in_cache;
+    opt.cache_aware = true;
+    opt.n_jobs = 1;
+    SearchResult reference = surf_search(l.features, l.objective(), opt);
+    for (int jobs : {2, 4}) {
+      opt.n_jobs = jobs;
+      SearchResult r = surf_search(l.features, l.objective(), opt);
+      ASSERT_EQ(r.history.size(), reference.history.size()) << jobs;
+      for (std::size_t n = 0; n < reference.history.size(); ++n) {
+        EXPECT_EQ(r.history[n], reference.history[n]) << jobs;
+      }
+      EXPECT_EQ(r.duplicate_proposals, reference.duplicate_proposals);
+      EXPECT_DOUBLE_EQ(r.best_value, reference.best_value);
+    }
+  }
+}
+
+// Degenerate case: everything is cached but there is no free-hit
+// accounting.  Skipping all of it would deadlock the search at zero
+// evaluations, so the init batch falls back to the plain random prefix
+// and the budget is (meterably) spent on duplicates.
+TEST(Surf, AllCachedPoolWithoutPrepaidStillSearches) {
+  Landscape l = Landscape::make(60, 26);
+  SearchOptions opt;
+  opt.max_evaluations = 10;
+  opt.batch_size = 8;
+  opt.cached = [](std::size_t) { return true; };
+  opt.cache_aware = true;
+  SearchResult r = surf_search(l.features, l.objective(), opt);
+  EXPECT_GE(r.evaluations(), 8u);  // at least the fallback init batch
+  EXPECT_EQ(r.duplicate_proposals, r.evaluations());
+}
+
 TEST(Surf, EmptyPoolThrows) {
   EXPECT_THROW(
       surf_search({}, [](std::size_t) { return 0.0; }, SearchOptions{}),

@@ -20,8 +20,10 @@
 //                                against the reference evaluator
 //
 // With BARRACUDA_CACHE=path in the environment, measured values are
-// loaded from `path` before tuning (if it exists) and saved back after,
-// so repeated invocations skip re-measurement entirely.
+// loaded from `path` before tuning (if it exists) and merged back after
+// (atomically, under an advisory lock), so repeated invocations skip
+// re-measurement entirely and concurrent invocations sharing one path
+// keep the union of their measurements.
 //
 // The input file is OCTOPI DSL text with dim declarations, e.g.
 //   dim i j k l m n = 10
@@ -246,7 +248,9 @@ int main(int argc, char** argv) {
     } else {
       result = core::tune(problem, device, options);
       if (cache_path && *cache_path) {
-        eval_cache.save(cache_path);
+        // Merge under the advisory lock: concurrent invocations sharing
+        // one cache path keep each other's measurements.
+        eval_cache.merge_save(cache_path);
         std::printf("evaluation cache : %zu entries (%zu hits / %zu misses) "
                     "saved to %s\n",
                     eval_cache.size(), eval_cache.hits(),
