@@ -1,0 +1,191 @@
+// Plan-serving throughput and latency: cold registry vs warm registry
+// on a repeated-signature workload, at 1..8 client threads.
+//
+// Workload: a handful of distinct contraction signatures (the paper's
+// Eqn (1) shape at several extents), each requested many times — the
+// traffic shape a production tuning service sees, where millions of
+// requests collapse onto a small set of hot signatures.
+//
+//   cold phase  : fresh registry, one pass — every client requests every
+//                 signature once, so requests pay the cold cost: the
+//                 fallback construction (enumerate + lower + model) and
+//                 the tune enqueue, or at best a race on a signature
+//                 another client is concurrently publishing.
+//   warm phase  : after drain(), every signature is tuned and every
+//                 request is a registry hit — a mutex-guarded map
+//                 lookup.  This is the steady state a long-running
+//                 service lives in, and must be >= 10x the cold
+//                 throughput (the acceptance gate this harness checks;
+//                 in practice it is orders of magnitude beyond that).
+//
+// Emits the raw rows to BENCH_serve.json for plotting/regression
+// tracking.  Exit status is the 10x gate.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/service.hpp"
+#include "support/timer.hpp"
+
+using namespace barracuda;
+
+namespace {
+
+constexpr std::size_t kClientWidths[] = {1, 2, 4, 8};
+constexpr std::size_t kRequestsPerSignature = 50;
+
+/// Distinct signatures: Eqn (1) at different extents (different extents
+/// -> different canonical signatures and different tuned plans).
+std::vector<core::TuningProblem> workload() {
+  std::vector<core::TuningProblem> problems;
+  for (int n : {4, 5, 6, 7}) {
+    std::string dsl =
+        "dim i j k l m n = " + std::to_string(n) +
+        "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n";
+    problems.push_back(
+        core::TuningProblem::from_dsl(dsl, "eqn1_n" + std::to_string(n)));
+  }
+  return problems;
+}
+
+struct PhaseResult {
+  double seconds = 0;
+  std::size_t requests = 0;
+  double p50_us = 0, p95_us = 0, max_us = 0;
+  double throughput() const { return requests / std::max(seconds, 1e-12); }
+};
+
+/// Fire `passes` round-robin passes over the signatures at `service`
+/// from `clients` threads (disjoint latency slots) and summarize.
+PhaseResult run_phase(serve::TuningService& service,
+                      const std::vector<core::TuningProblem>& problems,
+                      const vgpu::DeviceProfile& device,
+                      std::size_t clients, std::size_t passes) {
+  const std::size_t per_client = problems.size() * passes;
+  std::vector<std::vector<double>> latency(clients);
+  PhaseResult phase;
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latency[c].reserve(per_client);
+      for (std::size_t r = 0; r < per_client; ++r) {
+        const core::TuningProblem& p =
+            problems[(c + r) % problems.size()];
+        WallTimer t;
+        (void)service.get_plan(p, device);
+        latency[c].push_back(t.seconds() * 1e6);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  phase.seconds = wall.seconds();
+  std::vector<double> all;
+  for (const auto& v : latency) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  phase.requests = all.size();
+  if (!all.empty()) {
+    phase.p50_us = all[all.size() / 2];
+    phase.p95_us = all[std::min(all.size() - 1, all.size() * 95 / 100)];
+    phase.max_us = all.back();
+  }
+  return phase;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Plan serving: cold vs warm registry, repeated signatures");
+  std::vector<core::TuningProblem> problems = workload();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  core::TuneOptions tune = bench::paper_tune_options();
+  tune.search.max_evaluations = 30;
+  tune.max_pool = 256;
+
+  struct Row {
+    std::size_t clients;
+    PhaseResult cold, warm;
+    std::size_t tunes = 0;
+    bool single_flight = false;
+  };
+  std::vector<Row> rows;
+
+  for (std::size_t clients : kClientWidths) {
+    Row row;
+    row.clients = clients;
+    serve::PlanRegistry registry;
+    serve::ServeOptions options;
+    options.tune = tune;
+    serve::TuningService service(registry, options);
+
+    row.cold = run_phase(service, problems, device, clients, 1);
+    service.drain();  // all background tunes land before the warm phase
+    row.warm =
+        run_phase(service, problems, device, clients, kRequestsPerSignature);
+    service.drain();
+
+    serve::ServeStats stats = service.stats();
+    row.tunes = stats.tunes_started;
+    // Single-flight gate: exactly one tune per distinct signature, no
+    // matter how many clients raced on it.
+    row.single_flight =
+        stats.tunes_started == problems.size() && stats.rejected == 0;
+    rows.push_back(row);
+  }
+
+  TextTable table({"clients", "cold req/s", "warm req/s", "speedup",
+                   "warm p50 us", "warm p95 us", "tunes", "single-flight"});
+  bool all_pass = true;
+  for (const Row& row : rows) {
+    const double speedup = row.warm.throughput() / row.cold.throughput();
+    all_pass = all_pass && speedup >= 10.0 && row.single_flight;
+    table.add_row({std::to_string(row.clients),
+                   TextTable::fixed(row.cold.throughput(), 0),
+                   TextTable::fixed(row.warm.throughput(), 0),
+                   TextTable::fixed(speedup, 1),
+                   TextTable::fixed(row.warm.p50_us, 1),
+                   TextTable::fixed(row.warm.p95_us, 1),
+                   std::to_string(row.tunes),
+                   row.single_flight ? "yes" : "NO — BUG"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nGate: warm-registry throughput >= 10x cold on the repeated-\n"
+      "signature workload, and tune count == distinct signatures (%zu)\n"
+      "at every client width.\n",
+      problems.size());
+
+  const char* json_path = "BENCH_serve.json";
+  std::ofstream out(json_path);
+  out << "{\n  \"distinct_signatures\": " << problems.size()
+      << ",\n  \"requests_per_signature\": " << kRequestsPerSignature
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"clients\": %zu, \"cold_req_per_s\": %.1f, "
+        "\"warm_req_per_s\": %.1f, \"speedup\": %.2f, "
+        "\"cold_p95_us\": %.2f, \"warm_p50_us\": %.2f, "
+        "\"warm_p95_us\": %.2f, \"tunes\": %zu, "
+        "\"single_flight\": %s}%s\n",
+        row.clients, row.cold.throughput(), row.warm.throughput(),
+        row.warm.throughput() / row.cold.throughput(), row.cold.p95_us,
+        row.warm.p50_us, row.warm.p95_us, row.tunes,
+        row.single_flight ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("raw rows written to %s\n", json_path);
+  return all_pass ? 0 : 1;
+}

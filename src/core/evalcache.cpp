@@ -9,13 +9,8 @@
 #include <utility>
 #include <vector>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <sys/file.h>
-#include <unistd.h>
-#endif
-
 #include "support/error.hpp"
+#include "support/filelock.hpp"
 
 namespace barracuda::core {
 namespace {
@@ -30,57 +25,6 @@ namespace {
 // are the canonical EvalCache::key strings (they never contain newlines
 // or tabs — they are built from '|'/','/';'-separated to_string()s).
 constexpr const char* kHeader = "barracuda-evalcache v1";
-
-// Uniquifies this process's temp-file names so uncoordinated savers
-// sharing one directory never write to the same temp path.
-unsigned long save_tag() {
-#ifndef _WIN32
-  return static_cast<unsigned long>(::getpid());
-#else
-  return 0;
-#endif
-}
-
-// Advisory inter-process lock guarding merge_save's read-modify-write.
-//
-// Protocol: the lock file is `<path>.lock`, created on first use and
-// never deleted; a writer holds an exclusive flock(2) on it across
-// load-merge-publish.  flock locks belong to the open file description,
-// so the kernel releases them when the holder exits or crashes — a
-// leftover `.lock` FILE is therefore harmless (stale-lock recovery needs
-// no timeouts or pid probes; the next flock simply succeeds).  Readers
-// that skip the lock are still safe because the data file is only ever
-// replaced via atomic rename.  On platforms without flock the lock
-// degrades to a no-op: merge_save stays crash-safe (rename) but
-// concurrent writers may lose updates.
-class FileLock {
- public:
-  explicit FileLock(const std::string& path) {
-#ifndef _WIN32
-    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
-    if (fd_ < 0) {
-      throw Error("cannot open evaluation cache lock file: " + path);
-    }
-    if (::flock(fd_, LOCK_EX) != 0) {
-      ::close(fd_);
-      throw Error("cannot lock evaluation cache lock file: " + path);
-    }
-#else
-    (void)path;
-#endif
-  }
-  ~FileLock() {
-#ifndef _WIN32
-    ::flock(fd_, LOCK_UN);
-    ::close(fd_);
-#endif
-  }
-  FileLock(const FileLock&) = delete;
-  FileLock& operator=(const FileLock&) = delete;
-
- private:
-  int fd_ = -1;
-};
 
 }  // namespace
 
@@ -174,7 +118,8 @@ void EvalCache::save(const std::string& path) const {
   // The pid suffix keeps uncoordinated writers from scribbling on each
   // other's temp files (their *renames* still race; merge_save is the
   // lock-protected path that also prevents lost updates).
-  const std::string tmp = path + ".tmp." + std::to_string(save_tag());
+  const std::string tmp =
+      path + ".tmp." + std::to_string(support::process_tag());
   {
     std::ofstream out(tmp);
     if (!out) throw Error("cannot write evaluation cache: " + tmp);
@@ -243,8 +188,8 @@ std::size_t EvalCache::merge_save(const std::string& path) {
   // merge_save on this path — other threads (flock conflicts between
   // file descriptions, even within one process) and other processes
   // alike — so concurrent writers compose to the union instead of
-  // last-writer-wins.  See FileLock for the lock-file protocol.
-  FileLock lock(path + ".lock");
+  // last-writer-wins.  See support::FileLock for the lock-file protocol.
+  support::FileLock lock(path + ".lock");
   std::size_t absorbed = 0;
   {
     std::ifstream probe(path);

@@ -1,0 +1,276 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/filelock.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+// On-disk format (line-oriented text; one plan per line):
+//
+//   barracuda-planregistry v1
+//   <modeled_us>\t<tuned 0|1>\t<variant>\t<recipe>\t<signature>
+//   ...
+//
+// modeled_us prints with %.17g (exact IEEE round-trip).  The recipe
+// field is core::serialize_recipe text with its newlines replaced by
+// ';' so the whole entry stays one line; recipe lines themselves never
+// contain ';' (identifiers, digits, ',', '-', '=').  Signatures are
+// '|'/','/';'-separated to_string()s, free of tabs and newlines.
+constexpr const char* kHeader = "barracuda-planregistry v1";
+
+std::string encode_recipe(const std::string& recipe_text) {
+  std::string flat = recipe_text;
+  std::replace(flat.begin(), flat.end(), '\n', ';');
+  while (!flat.empty() && flat.back() == ';') flat.pop_back();
+  return flat;
+}
+
+std::string decode_recipe(const std::string& flat) {
+  std::string text = flat;
+  std::replace(text.begin(), text.end(), ';', '\n');
+  text.push_back('\n');
+  return text;
+}
+
+}  // namespace
+
+bool better_plan(const PlanEntry& a, const PlanEntry& b) {
+  if (a.modeled_us != b.modeled_us) return a.modeled_us < b.modeled_us;
+  return a.tuned && !b.tuned;
+}
+
+bool PlanRegistry::lookup(const std::string& signature,
+                          PlanEntry* entry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(signature);
+  if (it == plans_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *entry = it->second;
+  return true;
+}
+
+bool PlanRegistry::contains(const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.find(signature) != plans_.end();
+}
+
+bool PlanRegistry::peek(const std::string& signature,
+                        PlanEntry* entry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(signature);
+  if (it == plans_.end()) return false;
+  *entry = it->second;
+  return true;
+}
+
+bool PlanRegistry::publish(const std::string& signature,
+                           const PlanEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(signature);
+  if (it == plans_.end()) {
+    plans_.emplace(signature, entry);
+    return true;
+  }
+  if (!better_plan(entry, it->second)) return false;
+  it->second = entry;
+  ++upgrades_;
+  return true;
+}
+
+PlanEntry PlanRegistry::publish_and_get(const std::string& signature,
+                                        const PlanEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(signature);
+  if (it == plans_.end()) {
+    it = plans_.emplace(signature, entry).first;
+  } else if (better_plan(entry, it->second)) {
+    it->second = entry;
+    ++upgrades_;
+  }
+  return it->second;
+}
+
+std::size_t PlanRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::size_t PlanRegistry::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t PlanRegistry::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t PlanRegistry::upgrades() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return upgrades_;
+}
+
+void PlanRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  upgrades_ = 0;
+}
+
+void PlanRegistry::save(const std::string& path) const {
+  std::vector<std::pair<std::string, PlanEntry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.assign(plans_.begin(), plans_.end());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Validate before touching the filesystem so a serialization error
+  // never leaves a partial temp file behind.
+  for (const auto& [signature, entry] : entries) {
+    if (signature.find_first_of("\t\n") != std::string::npos) {
+      throw Error("plan registry signature contains tab/newline, "
+                  "not serializable: " + signature);
+    }
+    if (entry.recipe_text.find_first_of("\t;") != std::string::npos) {
+      throw Error("plan registry recipe contains tab/';', "
+                  "not serializable (signature " + signature + ")");
+    }
+    if (encode_recipe(entry.recipe_text).empty()) {
+      throw Error("plan registry entry has an empty recipe (signature " +
+                  signature + ")");
+    }
+    if (!std::isfinite(entry.modeled_us)) {
+      throw Error("plan registry modeled time for '" + signature +
+                  "' is not finite, not serializable");
+    }
+  }
+
+  // Atomic publish, exactly like EvalCache::save: complete temp file,
+  // then rename(2) over the target — readers see the previous complete
+  // registry or the new one, never a torn file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(support::process_tag());
+  {
+    std::ofstream out(tmp);
+    if (!out) throw Error("cannot write plan registry: " + tmp);
+    out << kHeader << '\n';
+    char time_text[64];
+    for (const auto& [signature, entry] : entries) {
+      std::snprintf(time_text, sizeof time_text, "%.17g", entry.modeled_us);
+      out << time_text << '\t' << (entry.tuned ? 1 : 0) << '\t'
+          << entry.variant << '\t' << encode_recipe(entry.recipe_text)
+          << '\t' << signature << '\n';
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("failed writing plan registry: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot publish plan registry: rename " + tmp + " -> " +
+                path);
+  }
+}
+
+std::size_t PlanRegistry::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read plan registry: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw Error("not a barracuda plan registry (bad or missing '" +
+                std::string(kHeader) + "' header): " + path);
+  }
+  std::size_t loaded = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& msg) -> std::size_t {
+      throw Error("corrupt plan registry at " + path + ":" +
+                  std::to_string(line_no) + ": " + msg);
+    };
+    std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() != 5) {
+      return fail("expected <us>\\t<tuned>\\t<variant>\\t<recipe>\\t<sig>");
+    }
+    PlanEntry entry;
+    char* end = nullptr;
+    entry.modeled_us = std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str() || *end != '\0' ||
+        !std::isfinite(entry.modeled_us)) {
+      return fail("bad modeled time '" + fields[0] + "'");
+    }
+    if (fields[1] == "0") {
+      entry.tuned = false;
+    } else if (fields[1] == "1") {
+      entry.tuned = true;
+    } else {
+      return fail("bad tuned flag '" + fields[1] + "'");
+    }
+    entry.variant =
+        static_cast<std::size_t>(std::strtoull(fields[2].c_str(), &end, 10));
+    if (end == fields[2].c_str() || *end != '\0') {
+      return fail("bad variant index '" + fields[2] + "'");
+    }
+    entry.recipe_text = decode_recipe(fields[3]);
+    try {
+      // The recipe must at least parse; lowering validates it against
+      // the program at serve time.
+      core::parse_recipe(entry.recipe_text, path);
+    } catch (const Error& e) {
+      return fail("unparseable recipe: " + std::string(e.what()));
+    }
+    // Better-wins merge: a loaded entry only displaces what this
+    // registry already serves when it is actually faster.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = plans_.find(fields[4]);
+      if (it == plans_.end()) {
+        plans_.emplace(std::move(fields[4]), std::move(entry));
+      } else if (better_plan(entry, it->second)) {
+        it->second = std::move(entry);
+      }
+    }
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::size_t PlanRegistry::merge_save(const std::string& path) {
+  // Serialize the whole read-modify-write against every other
+  // merge_save on this path (threads and processes alike), exactly like
+  // EvalCache::merge_save — see support::FileLock for the protocol.
+  support::FileLock lock(path + ".lock");
+  std::size_t absorbed = 0;
+  {
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      absorbed = load(path);
+    }
+  }
+  save(path);
+  return absorbed;
+}
+
+}  // namespace barracuda::serve

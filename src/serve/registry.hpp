@@ -1,0 +1,125 @@
+// PlanRegistry: the serving layer's thread-safe map from canonical
+// contraction signatures (serve/signature.hpp) to the best plan known
+// for them.
+//
+// Unlike core::EvalCache (first-write-wins: measurements are
+// deterministic, colliding values agree), the registry's merge rule is
+// BETTER-WINS: an entry only ever replaces another when it serves a
+// strictly faster plan (or breaks a modeled-time tie by being tuned
+// rather than a static fallback).  That one rule is what makes the whole
+// serving story monotone — a signature's served plan never gets slower,
+// not across background upgrades within a process, not across load()
+// from a file, not across concurrent processes composing through
+// merge_save().
+//
+// Persistence reuses the EvalCache machinery wholesale: a versioned,
+// line-oriented text format, save() publishing via temp file + atomic
+// rename(2) (readers and post-crash inspectors never see a torn file),
+// merge_save() holding an exclusive flock(2) on `<path>.lock` across
+// load-merge-publish so concurrent processes compose losslessly, and
+// load() rejecting corrupt files loudly instead of serving garbage.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace barracuda::serve {
+
+/// The best known plan for one signature: which joint variant to lower
+/// (an index into core::enumerate_programs' deterministic ascending-flops
+/// order for the problem) under which recipe, what the model predicts
+/// for it, and whether it came from a full tune() or the static fallback
+/// mapping.
+struct PlanEntry {
+  std::size_t variant = 0;
+  /// core::serialize_recipe form (one "kernel N: ..." line per kernel);
+  /// feed through core::parse_recipe + chill::lower_program to execute.
+  std::string recipe_text;
+  double modeled_us = 0;
+  bool tuned = false;
+
+  bool operator==(const PlanEntry&) const = default;
+};
+
+/// True when `a` should replace `b` as the served plan: strictly faster,
+/// or equally fast but tuned where `b` is a fallback.  Ties (equal time,
+/// equal tuned-ness) keep the incumbent, so merges are idempotent.
+bool better_plan(const PlanEntry& a, const PlanEntry& b);
+
+/// Thread-safe signature -> PlanEntry map with better-wins publication.
+/// Safe to share across concurrent get_plan requests and background
+/// tuning workers alike.
+class PlanRegistry {
+ public:
+  /// True (and sets *entry) when a plan is registered for `signature`.
+  /// Counts as a hit or miss.
+  bool lookup(const std::string& signature, PlanEntry* entry) const;
+
+  /// True when `signature` has a plan, WITHOUT touching the hit/miss
+  /// counters (scheduling probes must not distort the serve hit rate).
+  bool contains(const std::string& signature) const;
+
+  /// lookup() without the hit/miss counters — the TuningService's
+  /// scheduling probe ("is this entry already tuned?"), which must not
+  /// distort the serve hit rate.
+  bool peek(const std::string& signature, PlanEntry* entry) const;
+
+  /// Better-wins publication: installs `entry` when the signature is new
+  /// or `entry` beats the incumbent (see better_plan), otherwise keeps
+  /// the incumbent.  Returns true when `entry` was installed.  Replacing
+  /// an existing entry counts as an upgrade.
+  bool publish(const std::string& signature, const PlanEntry& entry);
+
+  /// publish() and read back the resulting incumbent in one atomic step.
+  /// This is how a cold request serves its freshly computed fallback
+  /// without ever answering slower than the registry's current best: if
+  /// a concurrent tune upgraded the signature between this request's
+  /// miss and its publish, the returned entry is that better plan, not
+  /// the fallback.
+  PlanEntry publish_and_get(const std::string& signature,
+                            const PlanEntry& entry);
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+  /// publish() calls that replaced an existing entry with a better one.
+  std::size_t upgrades() const;
+  void clear();
+
+  /// Write every entry to `path` (versioned text, sorted by signature so
+  /// the file is deterministic), via temp file + atomic rename — no
+  /// reader, concurrent or post-crash, can observe a torn file.  Throws
+  /// Error on an unwritable path or an unserializable entry (tab/newline
+  /// in a signature, ';' or tab in recipe text, non-finite modeled_us,
+  /// empty recipe).  Counters are not persisted.
+  void save(const std::string& path) const;
+
+  /// Merge entries from a save()d file into this registry under the
+  /// better-wins rule (never counts upgrades — load is replication, not
+  /// tuning progress).  Returns the number of entry lines read.  Throws
+  /// Error on an unreadable file, an unrecognized header/version, or any
+  /// malformed line (wrong field count, unparseable or non-finite time,
+  /// bad tuned flag, recipe text that does not parse) — a corrupt
+  /// registry must fail loudly, not serve garbage plans.
+  std::size_t load(const std::string& path);
+
+  /// Cross-process-safe persistence: atomically merge this registry into
+  /// the file at `path` under an exclusive flock(2) on `path + ".lock"`,
+  /// absorbing any existing file via load() (better-wins) before
+  /// publishing the merged result with the atomic save().  Concurrent
+  /// processes sharing one path therefore converge to the per-signature
+  /// best of everything any of them found.  Returns the number of
+  /// entries absorbed from the pre-existing file (0 when absent).
+  std::size_t merge_save(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, PlanEntry> plans_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+  std::size_t upgrades_ = 0;
+};
+
+}  // namespace barracuda::serve

@@ -1,0 +1,197 @@
+#include "serve/service.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/threadpool.hpp"
+#include "support/timer.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+/// Infeasible plans model to +inf; clamp to the same large finite
+/// penalty the tuning objective uses so entries stay serializable and
+/// comparable under better_plan.
+double finite_us(double us) { return std::isfinite(us) ? us : 1e15; }
+
+}  // namespace
+
+TuningService::TuningService(PlanRegistry& registry, ServeOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  BARRACUDA_CHECK_MSG(options_.queue_capacity >= 1,
+                      "serve queue capacity must be >= 1");
+}
+
+TuningService::~TuningService() {
+  // In-flight tasks capture `this`; they must finish before the members
+  // they touch are destroyed.  Their upgrades still land in the
+  // registry, which outlives the service by contract.
+  drain();
+}
+
+ServedPlan TuningService::get_plan(const core::TuningProblem& problem,
+                                   const vgpu::DeviceProfile& device) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
+  }
+  ServedPlan served;
+  served.signature = signature(problem, device);
+
+  if (registry_.lookup(served.signature, &served.plan)) {
+    served.source = ServedPlan::Source::kWarm;
+    if (!served.plan.tuned) {
+      served.scheduled_tune =
+          maybe_schedule(served.signature, problem, device);
+    }
+    return served;
+  }
+
+  // Cold signature: compute the cheap fallback, publish it better-wins
+  // and serve whatever the registry then holds — if a concurrent tune
+  // finished in the window since our miss, that's the tuned plan, never
+  // anything slower than a previous answer for this signature.
+  served.source = ServedPlan::Source::kCold;
+  served.plan = registry_.publish_and_get(
+      served.signature, fallback_plan(problem, device, options_.tune));
+  if (!served.plan.tuned) {
+    served.scheduled_tune = maybe_schedule(served.signature, problem, device);
+  }
+  return served;
+}
+
+bool TuningService::maybe_schedule(const std::string& sig,
+                                   const core::TuningProblem& problem,
+                                   const vgpu::DeviceProfile& device) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Single-flight dedup.  Order matters: a finishing tune publishes
+    // its upgrade BEFORE erasing itself from inflight_ (under this
+    // mutex), so "not in flight" here means any completed tune is
+    // already visible in the registry — the peek below closes the
+    // completion race (a request that read the untuned entry before the
+    // upgrade landed must not schedule a second tune after it).
+    if (inflight_.contains(sig)) return false;
+    PlanEntry current;
+    if (registry_.peek(sig, &current) && current.tuned) return false;
+    if (scheduled_ + running_ >= options_.queue_capacity) {
+      // Backpressure: refuse the enqueue, not the request.  The caller
+      // already holds the fallback plan; the signature stays untuned
+      // and a later request retries once the queue drained.
+      ++rejected_;
+      return false;
+    }
+    inflight_.insert(sig);
+    ++scheduled_;
+    ++tunes_started_;
+  }
+  // Copies, not references: the tune outlives the request.
+  support::ThreadPool::shared().submit(
+      [this, sig, problem, device] { run_tune(sig, problem, device); });
+  return true;
+}
+
+void TuningService::run_tune(const std::string& sig,
+                             const core::TuningProblem& problem,
+                             const vgpu::DeviceProfile& device) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --scheduled_;
+    ++running_;
+  }
+  WallTimer timer;
+  bool failed = false;
+  try {
+    core::TuneResult result = core::tune(problem, device, options_.tune);
+    PlanEntry tuned;
+    tuned.variant = result.best_variant;
+    tuned.recipe_text = core::serialize_recipe(result.best_recipe);
+    tuned.modeled_us = finite_us(result.modeled_us());
+    tuned.tuned = true;
+    // Better-wins: an upgrade only lands when the tuned plan actually
+    // beats the fallback (it always should — the static mapping is a
+    // candidate the search compares against), so the served latency for
+    // this signature is monotone non-increasing.
+    registry_.publish(sig, tuned);
+  } catch (...) {
+    // A failed tune leaves the fallback in place; the signature stays
+    // untuned so a later request may retry.
+    failed = true;
+  }
+  const double seconds = timer.seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Publish-then-erase: see maybe_schedule for why this order is the
+    // single-flight guarantee.
+    inflight_.erase(sig);
+    --running_;
+    if (failed) {
+      ++tune_failures_;
+    } else {
+      ++tunes_completed_;
+      tune_seconds_total_ += seconds;
+    }
+    if (scheduled_ + running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void TuningService::drain() {
+  BARRACUDA_CHECK_MSG(!support::ThreadPool::on_worker_thread(),
+                      "TuningService::drain() would deadlock on a pool "
+                      "worker thread");
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return scheduled_ + running_ == 0; });
+}
+
+ServeStats TuningService::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.requests = requests_;
+    s.tunes_started = tunes_started_;
+    s.tunes_completed = tunes_completed_;
+    s.tune_failures = tune_failures_;
+    s.rejected = rejected_;
+    s.in_flight = running_;
+    s.queue_depth = scheduled_;
+    s.tune_seconds_total = tune_seconds_total_;
+  }
+  s.registry_hits = registry_.hits();
+  s.registry_misses = registry_.misses();
+  s.upgrades = registry_.upgrades();
+  return s;
+}
+
+chill::GpuPlan materialize(const core::TuningProblem& problem,
+                           const PlanEntry& entry,
+                           const core::TuneOptions& options) {
+  std::vector<tcr::TcrProgram> variants = core::enumerate_programs(
+      problem, options.octopi, options.max_joint_variants);
+  BARRACUDA_CHECK_MSG(entry.variant < variants.size(),
+                      "served plan variant out of range for this problem");
+  chill::Recipe recipe =
+      core::parse_recipe(entry.recipe_text, "<plan-registry>");
+  return chill::lower_program(variants[entry.variant], recipe);
+}
+
+PlanEntry fallback_plan(const core::TuningProblem& problem,
+                        const vgpu::DeviceProfile& device,
+                        const core::TuneOptions& options) {
+  // Lowest-flops variant (enumerate_programs sorts ascending) under the
+  // decision algorithm's static "optimized OpenACC" mapping — exactly
+  // the default candidate tune() guarantees never to lose against.
+  std::vector<tcr::TcrProgram> variants = core::enumerate_programs(
+      problem, options.octopi, options.max_joint_variants);
+  chill::Recipe recipe = chill::openacc_optimized_recipe(variants.front());
+  chill::GpuPlan plan = chill::lower_program(variants.front(), recipe);
+  PlanEntry entry;
+  entry.variant = 0;
+  entry.recipe_text = core::serialize_recipe(recipe);
+  entry.modeled_us = finite_us(vgpu::model_plan(plan, device).total_us);
+  entry.tuned = false;
+  return entry;
+}
+
+}  // namespace barracuda::serve

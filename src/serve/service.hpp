@@ -1,0 +1,162 @@
+// TuningService: answer every contraction request immediately, tune in
+// the background, and never serve a slower plan than before.
+//
+// The serving protocol (cuTT's plan-cache shape, with Peise-style
+// model-first answers):
+//
+//   get_plan(problem, device)
+//     warm signature  -> the registry's current best plan, instantly.
+//     cold signature  -> a cheap static fallback (lowest-flops variant
+//                        under the decision algorithm's default mapping
+//                        — what the compiler would pick without
+//                        autotuning), published to the registry and
+//                        served instantly, while a full core::tune()
+//                        is queued on the shared support::ThreadPool.
+//                        When the tune finishes it upgrades the
+//                        registry entry (better-wins), so later
+//                        requests get the tuned plan.
+//
+// Single-flight: concurrent requests for the same untuned signature
+// schedule exactly one background tune — the first requester enqueues
+// it, everyone else is served the fallback and rides the same upgrade.
+// The in-flight set is checked together with the registry's tuned flag
+// under one mutex, and a finished tune publishes its upgrade BEFORE
+// leaving the in-flight set, so the dedup has no completion-race hole.
+//
+// Backpressure: at most `queue_capacity` background tunes may be
+// scheduled-or-running at once.  Beyond that the service REJECTS the
+// enqueue, not the request: the caller still gets the fallback plan
+// immediately (counted in Stats::rejected), the signature stays
+// untuned, and a later request retries the enqueue once the queue has
+// drained.  Nothing ever blocks a client on tuning.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "core/barracuda.hpp"
+#include "serve/registry.hpp"
+#include "serve/signature.hpp"
+
+namespace barracuda::serve {
+
+struct ServeOptions {
+  /// Configuration for the background core::tune() runs.  To share
+  /// measurements across tunes (and with offline runs), point
+  /// tune.eval_cache at a core::EvalCache — it is internally
+  /// synchronized, so concurrent background tunes may share one.
+  core::TuneOptions tune;
+  /// Bound on scheduled-plus-running background tunes (the backpressure
+  /// knob).  Must be >= 1.
+  std::size_t queue_capacity = 16;
+};
+
+/// What one get_plan request was answered with.
+struct ServedPlan {
+  std::string signature;
+  /// The plan to lower and run (see materialize()).  Always the
+  /// registry's current best for the signature at answer time.
+  PlanEntry plan;
+  enum class Source {
+    kWarm,  ///< registry hit
+    kCold,  ///< fallback computed by this request
+  };
+  Source source = Source::kWarm;
+  /// True when this request enqueued the background tune (at most one
+  /// request per tune run returns true).
+  bool scheduled_tune = false;
+};
+
+/// Point-in-time service counters.  hits/misses/upgrades come from the
+/// shared PlanRegistry and include other services or loads touching it.
+struct ServeStats {
+  std::size_t requests = 0;
+  std::size_t registry_hits = 0;
+  std::size_t registry_misses = 0;
+  std::size_t upgrades = 0;
+  std::size_t tunes_started = 0;
+  std::size_t tunes_completed = 0;
+  std::size_t tune_failures = 0;
+  /// Enqueues refused by the backpressure policy (the request itself
+  /// was still answered with the fallback).
+  std::size_t rejected = 0;
+  /// Background tunes currently executing.
+  std::size_t in_flight = 0;
+  /// Background tunes submitted but not yet picked up by a worker.
+  std::size_t queue_depth = 0;
+  /// Total wall seconds inside completed background tunes; divide by
+  /// tunes_completed for the mean tune latency.
+  double tune_seconds_total = 0;
+};
+
+/// Concurrent plan-serving front end over a PlanRegistry.  Thread-safe:
+/// any number of client threads may call get_plan concurrently.  The
+/// registry must outlive the service.  Destruction drains in-flight
+/// tunes (their upgrades still land in the registry).
+class TuningService {
+ public:
+  explicit TuningService(PlanRegistry& registry, ServeOptions options = {});
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Answer a request: never blocks on tuning, never returns a plan
+  /// slower than any previously served for the same signature.
+  ServedPlan get_plan(const core::TuningProblem& problem,
+                      const vgpu::DeviceProfile& device);
+
+  /// Block until no background tune is scheduled or running.  Must not
+  /// be called from a ThreadPool worker (it would wait on the very pool
+  /// it occupies).
+  void drain();
+
+  ServeStats stats() const;
+
+ private:
+  /// Enqueue the background tune for `sig` unless it is already
+  /// in flight, already tuned, or the queue is full.  Returns whether
+  /// this call scheduled it.
+  bool maybe_schedule(const std::string& sig,
+                      const core::TuningProblem& problem,
+                      const vgpu::DeviceProfile& device);
+  void run_tune(const std::string& sig, const core::TuningProblem& problem,
+                const vgpu::DeviceProfile& device);
+
+  PlanRegistry& registry_;
+  ServeOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  /// Signatures with a scheduled-or-running background tune.
+  std::unordered_set<std::string> inflight_;
+  std::size_t scheduled_ = 0;
+  std::size_t running_ = 0;
+  std::size_t requests_ = 0;
+  std::size_t tunes_started_ = 0;
+  std::size_t tunes_completed_ = 0;
+  std::size_t tune_failures_ = 0;
+  std::size_t rejected_ = 0;
+  double tune_seconds_total_ = 0;
+};
+
+/// Re-lower a served plan for execution or code emission: enumerate the
+/// problem's joint variants (the same deterministic ascending-flops
+/// order the tuner used), parse the recipe and lower.  `options` must
+/// match the enumeration knobs of the ServeOptions::tune that produced
+/// the entry (octopi + max_joint_variants; defaults match defaults).
+chill::GpuPlan materialize(const core::TuningProblem& problem,
+                           const PlanEntry& entry,
+                           const core::TuneOptions& options = {});
+
+/// The cold-path fallback: the lowest-flops variant under the decision
+/// algorithm's static default mapping, modeled on `device`.  Cheap (no
+/// search) and exposed for tests and benchmarks.
+PlanEntry fallback_plan(const core::TuningProblem& problem,
+                        const vgpu::DeviceProfile& device,
+                        const core::TuneOptions& options = {});
+
+}  // namespace barracuda::serve

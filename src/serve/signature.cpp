@@ -1,0 +1,26 @@
+#include "serve/signature.hpp"
+
+#include <sstream>
+
+namespace barracuda::serve {
+
+std::string signature(const core::TuningProblem& problem,
+                      const vgpu::DeviceProfile& device) {
+  std::ostringstream os;
+  os << device.name << '|';
+  // tensor::Extents is an ordered map, so iteration order is the sorted
+  // index order regardless of how the DSL declared them.
+  for (const auto& [index, extent] : problem.extents) {
+    os << index << '=' << extent << ',';
+  }
+  os << '|';
+  for (const auto& stmt : problem.statements) os << stmt.to_string() << ';';
+  return os.str();
+}
+
+std::string signature_of_dsl(std::string_view dsl_text,
+                             const vgpu::DeviceProfile& device) {
+  return signature(core::TuningProblem::from_dsl(dsl_text), device);
+}
+
+}  // namespace barracuda::serve

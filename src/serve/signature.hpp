@@ -1,0 +1,33 @@
+// Canonical contraction signatures for the serving layer.
+//
+// A signature names "the same request" across clients, threads and
+// processes: two requests that would tune to interchangeable plans must
+// produce byte-identical signatures, and two requests that may tune
+// differently must not collide.  It is built from the normalized
+// statement text (tensor::Contraction::to_string of the parsed
+// statements — whitespace, statement order within a line and DSL
+// surface syntax are already gone), the index extents (a sorted map, so
+// declaration order is irrelevant) and the device identity — never from
+// the problem's display name, mirroring core::EvalCache::key.
+#pragma once
+
+#include <string>
+
+#include "core/barracuda.hpp"
+#include "vgpu/device.hpp"
+
+namespace barracuda::serve {
+
+/// The canonical signature of (problem, device).  Deterministic, free of
+/// tabs and newlines (so it can be a field of the registry's
+/// line-oriented text format), and independent of problem.name.
+std::string signature(const core::TuningProblem& problem,
+                      const vgpu::DeviceProfile& device);
+
+/// Convenience: parse DSL text and signature it in one step — the
+/// normalization path for clients that hold raw request text.  Throws
+/// like core::TuningProblem::from_dsl on malformed text.
+std::string signature_of_dsl(std::string_view dsl_text,
+                             const vgpu::DeviceProfile& device);
+
+}  // namespace barracuda::serve

@@ -1,0 +1,68 @@
+// Advisory inter-process file locking + atomic-publish helpers shared by
+// the persistent stores (core::EvalCache, serve::PlanRegistry).
+//
+// Protocol: the lock file is `<path>.lock`, created on first use and
+// never deleted; a writer holds an exclusive flock(2) on it across its
+// whole read-modify-write.  flock locks belong to the open file
+// description, so the kernel releases them when the holder exits or
+// crashes — a leftover `.lock` FILE is therefore harmless (stale-lock
+// recovery needs no timeouts or pid probes; the next flock simply
+// succeeds).  Readers that skip the lock are still safe as long as the
+// data file is only ever replaced via atomic rename.  On platforms
+// without flock the lock degrades to a no-op: writers stay crash-safe
+// (rename) but concurrent writers may lose updates.
+#pragma once
+
+#include <string>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "support/error.hpp"
+
+namespace barracuda::support {
+
+/// Exclusive advisory lock on `path`, held for the object's lifetime.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+#ifndef _WIN32
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+    if (fd_ < 0) {
+      throw Error("cannot open lock file: " + path);
+    }
+    if (::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      throw Error("cannot lock lock file: " + path);
+    }
+#else
+    (void)path;
+#endif
+  }
+  ~FileLock() {
+#ifndef _WIN32
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+#endif
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Uniquifies a process's temp-file names so uncoordinated savers
+/// sharing one directory never write to the same temp path.
+inline unsigned long process_tag() {
+#ifndef _WIN32
+  return static_cast<unsigned long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace barracuda::support

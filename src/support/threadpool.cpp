@@ -58,6 +58,16 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  BARRACUDA_CHECK_MSG(task != nullptr, "submit() needs a callable task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BARRACUDA_CHECK_MSG(!stop_, "submit() on a stopping pool");
+    tasks_.emplace_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;

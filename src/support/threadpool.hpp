@@ -60,6 +60,18 @@ class ThreadPool {
   /// (measurement-latency-bound batches overlap waits, not compute).
   void ensure(std::size_t threads);
 
+  /// Enqueue one fire-and-forget task and return immediately.  The task
+  /// runs on some worker in FIFO order relative to other submissions;
+  /// the pool provides no completion signal — callers that need one
+  /// (e.g. serve::TuningService's background tunes) track it themselves
+  /// with a counter + condition variable captured by the task.  A task
+  /// that throws is considered a caller bug: the exception would have
+  /// nowhere to go, so it terminates the process — wrap fallible work
+  /// in try/catch inside the task.  Submitting from a pool worker is
+  /// allowed (the task is queued, not run inline): submit never blocks,
+  /// so it cannot deadlock the way a nested blocking batch could.
+  void submit(std::function<void()> task);
+
   /// Run fn(0), ..., fn(n-1) across the workers and block until every
   /// call returned.  Results must be written by `fn` into per-index
   /// slots; the pool imposes no ordering between indices.  The first

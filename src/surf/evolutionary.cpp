@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 #include "support/timer.hpp"
 
 namespace barracuda::surf {
@@ -148,18 +149,19 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
   return t.result;
 }
 
-SearchResult annealing_search(
+namespace {
+
+/// One annealing Markov chain: the sequential algorithm, unchanged.
+/// `budget` caps this chain's evaluations (already clamped to the pool
+/// size by the caller).
+SearchResult annealing_chain(
     const std::vector<std::vector<double>>& features,
-    const Objective& evaluate, const SearchOptions& options) {
-  // Annealing is inherently sequential — every proposal depends on the
-  // accept/reject outcome of the previous evaluation — so n_jobs does
-  // not apply here (a batch would change the Markov chain).
-  BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
-  WallTimer timer;
-  Rng rng(options.seed ^ 0x9e37u);
+    const Objective& evaluate, std::uint64_t seed, std::size_t budget) {
+  Rng rng(seed);
   Tracker t;
   t.evaluated.assign(features.size(), false);
-  t.budget = std::min(options.max_evaluations, features.size());
+  t.budget = budget;
+  if (budget == 0) return t.result;
 
   std::size_t current = rng.index(features.size());
   double current_y = t.eval(current, evaluate);
@@ -184,8 +186,87 @@ SearchResult annealing_search(
     }
     temperature *= cooling;
   }
-  t.result.seconds = timer.seconds();
   return t.result;
+}
+
+}  // namespace
+
+SearchResult annealing_search(
+    const std::vector<std::vector<double>>& features,
+    const Objective& evaluate, const SearchOptions& options) {
+  // One annealing chain is inherently sequential — every proposal
+  // depends on the accept/reject outcome of the previous evaluation —
+  // so n_jobs cannot batch a single chain.  Instead, n_jobs > 1 runs
+  // that many DECORRELATED RESTART CHAINS concurrently and keeps the
+  // best: the evaluation budget is split evenly across the chains
+  // (earlier chains absorb the remainder), chain c is seeded with a
+  // fork of (options.seed ^ 0x9e37u) advanced c times (chain 0 seeds
+  // exactly like the sequential search, so n_jobs = 1 reproduces the
+  // historical record byte-for-byte), and chains do NOT coordinate —
+  // each explores with its own evaluated-set, so two chains may re-walk
+  // the same configuration (that is what makes restarts decorrelated).
+  //
+  // Determinism story: each chain is a deterministic function of
+  // (features, seed, budget); results are merged in chain order
+  // (histories concatenated, best taken with ties broken by the LOWEST
+  // chain index, then by that chain's own earliest-best rule) — so the
+  // outcome is bit-identical for every thread schedule and for every
+  // pool width, and depends only on the chain *count*.
+  BARRACUDA_CHECK_MSG(!features.empty(), "empty configuration pool");
+  WallTimer timer;
+  const std::size_t chains = support::resolve_jobs(options.n_jobs);
+  if (chains <= 1) {
+    SearchResult result = annealing_chain(
+        features, evaluate, options.seed ^ 0x9e37u,
+        std::min(options.max_evaluations, features.size()));
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  // Per-chain seeds: forked deterministically in chain order from one
+  // source stream, before any chain runs.
+  Rng seeder(options.seed ^ 0x9e37u);
+  std::vector<std::uint64_t> seeds(chains);
+  seeds[0] = options.seed ^ 0x9e37u;  // chain 0 == the sequential chain
+  for (std::size_t c = 1; c < chains; ++c) {
+    std::uint64_t hi = seeder.engine()();
+    std::uint64_t lo = seeder.engine()();
+    seeds[c] = hi ^ (lo * 0x2545f4914f6cdd1dull);
+  }
+
+  // Budget split: total stays min(max_evaluations, ...); chain budgets
+  // differ by at most one, earlier chains take the remainder.
+  const std::size_t total = options.max_evaluations;
+  std::vector<std::size_t> budgets(chains);
+  for (std::size_t c = 0; c < chains; ++c) {
+    budgets[c] = std::min(total / chains + (c < total % chains ? 1 : 0),
+                          features.size());
+  }
+
+  // The objective must already be safe for concurrent calls (the same
+  // Evaluate_Parallel contract every other search relies on).
+  std::vector<SearchResult> per_chain(chains);
+  support::parallel_apply(chains, chains, [&](std::size_t c) {
+    per_chain[c] = annealing_chain(features, evaluate, seeds[c], budgets[c]);
+  });
+
+  // Chain-order merge: deterministic regardless of scheduling.
+  SearchResult merged;
+  bool have_best = false;
+  for (std::size_t c = 0; c < chains; ++c) {
+    const SearchResult& r = per_chain[c];
+    merged.history.insert(merged.history.end(), r.history.begin(),
+                          r.history.end());
+    if (r.history.empty()) continue;
+    if (!have_best || r.best_value < merged.best_value) {
+      merged.best_value = r.best_value;
+      merged.best_index = r.best_index;
+      have_best = true;
+    }
+  }
+  BARRACUDA_CHECK_MSG(have_best, "annealing restarts evaluated nothing");
+  merged.seconds = timer.seconds();
+  return merged;
 }
 
 }  // namespace barracuda::surf

@@ -19,6 +19,16 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
 
 /// Simulated annealing: a random walk through feature-space neighbors
 /// with Metropolis acceptance under a geometric temperature schedule.
+///
+/// n_jobs semantics differ from the batched searches: one chain cannot
+/// be batched (every proposal depends on the previous accept/reject),
+/// so n_jobs > 1 runs that many decorrelated restart chains
+/// concurrently — the budget split evenly across them, each chain
+/// independently seeded (chain 0 identically to the n_jobs = 1 search)
+/// — and keeps the best, ties broken deterministically by the lowest
+/// chain index.  The result is bit-identical for every thread schedule
+/// and depends only on the chain count; n_jobs = 1 reproduces the
+/// historical sequential record exactly.
 SearchResult annealing_search(
     const std::vector<std::vector<double>>& features,
     const Objective& evaluate, const SearchOptions& options = {});

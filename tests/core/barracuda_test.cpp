@@ -32,6 +32,61 @@ TEST(Problem, DslWithoutDimsRejected) {
   EXPECT_THROW(TuningProblem::from_dsl("V[i] = A[i]\n"), InternalError);
 }
 
+// from_dsl error paths: every malformed input must surface as a clean
+// barracuda exception (never a crash, hang, or silently empty problem),
+// with a message that names the offence.
+TEST(Problem, FromDslMalformedStatementThrowsParseError) {
+  // No '=' / '+=' between output and factors.
+  EXPECT_THROW(TuningProblem::from_dsl("dim i = 4\nC[i] A[i]\n"),
+               ParseError);
+  // Unterminated index list.
+  EXPECT_THROW(TuningProblem::from_dsl("dim i = 4\nC[i = A[i]\n"),
+               ParseError);
+  // Trailing garbage after a well-formed statement.
+  EXPECT_THROW(TuningProblem::from_dsl("dim i = 4\nC[i] = A[i] extra\n"),
+               ParseError);
+  // Malformed dim declaration.
+  EXPECT_THROW(TuningProblem::from_dsl("dim i = \nC[i] = A[i]\n"),
+               ParseError);
+  try {
+    TuningProblem::from_dsl("dim i = 4\nC[i] A[i]\n", "bad.dsl");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    // The message carries the source name and the offending line.
+    EXPECT_NE(std::string(e.what()).find("bad.dsl:2:"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Problem, FromDslUndeclaredIndexThrowsParseError) {
+  EXPECT_THROW(
+      TuningProblem::from_dsl("dim i j = 4\nC[i j] = Sum([k], A[i k] * B[k j])\n"),
+      ParseError);
+  try {
+    TuningProblem::from_dsl("dim i j = 4\nC[i j] = A[j q]\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("q"), std::string::npos)
+        << "message should name the undeclared index: " << e.what();
+  }
+}
+
+TEST(Problem, FromDslEmptyInputThrowsCleanly) {
+  EXPECT_THROW(TuningProblem::from_dsl(""), InternalError);
+  // Whitespace/comments only, or dims with no statements: same story —
+  // there is nothing to tune, and the error says so.
+  EXPECT_THROW(TuningProblem::from_dsl("\n  \n# comment only\n"),
+               InternalError);
+  EXPECT_THROW(TuningProblem::from_dsl("dim i j = 8\n"), InternalError);
+  try {
+    TuningProblem::from_dsl("dim i j = 8\n");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("no statements"), std::string::npos);
+  }
+}
+
 TEST(EnumeratePrograms, SingleStatementMatchesOctopiCount) {
   TuningProblem p = TuningProblem::from_dsl(kEqn1Dsl);
   auto programs = enumerate_programs(p);

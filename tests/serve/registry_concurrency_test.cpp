@@ -1,0 +1,200 @@
+// Multi-process harness for PlanRegistry::merge_save: concurrent and
+// crashing writers sharing one registry path must converge to the
+// per-signature BEST of everything any of them published — better-wins
+// across processes, no lost signatures, no torn files.
+//
+// This suite lives in its own test binary on purpose: the fork()ed
+// writers must be spawned from a single-threaded process (fork of a
+// multithreaded parent is undefined enough that TSan rejects it), so
+// nothing here may touch support::ThreadPool — in particular no
+// serve::TuningService, whose background tunes run on the shared pool.
+// Keep it that way.
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace barracuda::serve {
+namespace {
+
+/// Unique path under the gtest temp dir, removed (with its lock) on
+/// destruction.
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {
+    cleanup();
+  }
+  ~TempFile() { cleanup(); }
+  void cleanup() {
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+  }
+  std::string path;
+};
+
+constexpr int kSignatures = 12;
+
+std::string sig(int s) { return "device|n=4,|sig" + std::to_string(s); }
+
+/// Writer w's plan for signature s: every writer knows every signature,
+/// but at different quality — writer w models signature s at
+/// 100 + ((s + w) % kWriters) us, so for each signature exactly one
+/// writer holds the global best (100 us) and the merged file must end
+/// with that one.  Only the best writer's entry is tuned, making the
+/// variant/tuned fields an extra provenance check on who won.
+PlanEntry plan_of(int writer, int s, int writers) {
+  PlanEntry e;
+  const int rank = (s + writer) % writers;
+  e.variant = static_cast<std::size_t>(writer);
+  e.recipe_text =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=" +
+      std::to_string(writer + 1) + " registers=1 shared=-\n";
+  e.modeled_us = 100.0 + rank + 1.0 / 3.0 * rank;
+  e.tuned = rank == 0;
+  return e;
+}
+
+int best_writer(int s, int writers) {
+  // The writer for whom (s + w) % writers == 0.
+  return (writers - s % writers) % writers;
+}
+
+#ifndef _WIN32
+
+/// Fork `writers` children; each publishes its plans for every signature
+/// and merge_saves into `path`.
+void run_writers(const std::string& path, int writers,
+                 bool crash_after_save = false) {
+  std::vector<pid_t> pids;
+  for (int w = 0; w < writers; ++w) {
+    pid_t pid = fork();
+    ASSERT_NE(pid, -1) << "fork failed";
+    if (pid == 0) {
+      // Child: no gtest assertions (failures surface as exit status).
+      int status = 0;
+      try {
+        PlanRegistry registry;
+        for (int s = 0; s < kSignatures; ++s) {
+          registry.publish(sig(s), plan_of(w, s, writers));
+        }
+        registry.merge_save(path);
+      } catch (...) {
+        status = 1;
+      }
+      if (crash_after_save && status == 0) _exit(42);
+      _exit(status);
+    }
+    pids.push_back(pid);
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "writer killed by signal";
+    EXPECT_EQ(WEXITSTATUS(status), crash_after_save ? 42 : 0)
+        << "writer failed";
+  }
+}
+
+/// The final file must hold, for every signature, exactly the best
+/// writer's entry — better-wins composed across all interleavings.
+void expect_per_signature_best(const std::string& path, int writers) {
+  PlanRegistry merged;
+  merged.load(path);
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(kSignatures));
+  for (int s = 0; s < kSignatures; ++s) {
+    PlanEntry entry;
+    ASSERT_TRUE(merged.peek(sig(s), &entry)) << "lost signature " << s;
+    PlanEntry expected = plan_of(best_writer(s, writers), s, writers);
+    EXPECT_EQ(entry, expected) << "signature " << s
+                               << " did not converge to the best plan";
+  }
+}
+
+// N processes race merge_save on one path; the advisory lock serializes
+// load-merge-publish, so every signature ends at the global best no
+// matter the interleaving (plain save() would keep the last writer's
+// plans — mostly non-best).
+TEST(RegistryConcurrency, ConcurrentMergeSaveConvergesToPerSignatureBest) {
+  TempFile file("registry_concurrency_best.txt");
+  run_writers(file.path, 6);
+  expect_per_signature_best(file.path, 6);
+}
+
+// Writers dying immediately after publish (no exit handlers) leave a
+// complete, loadable best-of file: crash-safety comes from the atomic
+// rename, not orderly shutdown.
+TEST(RegistryConcurrency, WritersCrashingAfterPublishLoseNothing) {
+  TempFile file("registry_concurrency_crash.txt");
+  run_writers(file.path, 4, /*crash_after_save=*/true);
+  expect_per_signature_best(file.path, 4);
+}
+
+// Re-merging the same writers is idempotent: better-wins ties keep the
+// incumbent, so a second full wave changes nothing.
+TEST(RegistryConcurrency, RemergingIsIdempotent) {
+  TempFile file("registry_concurrency_remerge.txt");
+  run_writers(file.path, 4);
+  PlanRegistry before;
+  before.load(file.path);
+  run_writers(file.path, 4);
+  expect_per_signature_best(file.path, 4);
+  PlanRegistry after;
+  after.load(file.path);
+  EXPECT_EQ(after.size(), before.size());
+}
+
+// A stale lock file from a crashed writer must not wedge later writers:
+// flock(2) locks die with their holder.
+TEST(RegistryConcurrency, StaleLockFileFromDeadWriterIsRecovered) {
+  TempFile file("registry_concurrency_stale.txt");
+  std::ofstream(file.path + ".lock") << "";
+  run_writers(file.path, 3);
+  expect_per_signature_best(file.path, 3);
+}
+
+#endif  // !_WIN32
+
+// Same-process concurrent writers: flock serializes distinct file
+// descriptions within one process too, so threads composing through
+// merge_save also converge to the per-signature best.  (Plain
+// std::thread on purpose — no ThreadPool in this binary; threads are
+// joined before returning, so none outlives the test into a later
+// fork.)
+TEST(RegistryConcurrency, ThreadedMergeSaveAlsoConverges) {
+  TempFile file("registry_concurrency_threads.txt");
+  constexpr int kWriters = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      PlanRegistry registry;
+      for (int s = 0; s < kSignatures; ++s) {
+        registry.publish(sig(s), plan_of(w, s, kWriters));
+      }
+      registry.merge_save(file.path);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  PlanRegistry merged;
+  merged.load(file.path);
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(kSignatures));
+  for (int s = 0; s < kSignatures; ++s) {
+    PlanEntry entry;
+    ASSERT_TRUE(merged.peek(sig(s), &entry)) << "lost signature " << s;
+    EXPECT_EQ(entry, plan_of(best_writer(s, kWriters), s, kWriters));
+  }
+}
+
+}  // namespace
+}  // namespace barracuda::serve

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -174,6 +175,72 @@ TEST(ParallelApply, RunsInlineWhenCalledFromAPoolWorker) {
   });
   for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
   EXPECT_EQ(inline_calls.load(), 12);
+}
+
+// submit() is fire-and-forget: no completion signal from the pool, so
+// the test provides its own (counter + condition variable) — exactly the
+// pattern the contract prescribes for callers.
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 50;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int done = 0;
+  std::vector<int> ran(kTasks, 0);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&, i] {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++ran[i];
+      if (++done == kTasks) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return done == kTasks; });
+  for (int r : ran) EXPECT_EQ(r, 1);
+}
+
+// Submitting from inside a pooled task queues the new task instead of
+// running it inline — submit never blocks, so a worker can safely chain
+// follow-up work.
+TEST(ThreadPool, SubmitFromWorkerIsQueuedNotInline) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::thread::id outer_id, inner_id;
+  pool.submit([&] {
+    std::thread::id my_id = std::this_thread::get_id();
+    pool.submit([&, my_id] {
+      std::lock_guard<std::mutex> lock(mutex);
+      outer_id = my_id;
+      inner_id = std::this_thread::get_id();
+      done = true;
+      done_cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return done; });
+  // Both ran on pool workers (which one is scheduling's business).
+  EXPECT_NE(inner_id, std::thread::id());
+  EXPECT_NE(outer_id, std::thread::id());
+}
+
+// Destruction drains the queue: every task submitted before the
+// destructor runs, none is dropped.
+TEST(ThreadPool, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&] { ++ran; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, SubmitRejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), InternalError);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace barracuda::surf {
@@ -107,6 +108,83 @@ TEST(Genetic, ParallelEvaluationBitIdenticalToSequential) {
   EXPECT_EQ(sequential.history, parallel.history);
   EXPECT_EQ(sequential.best_index, parallel.best_index);
   EXPECT_EQ(sequential.best_value, parallel.best_value);
+}
+
+// n_jobs > 1 turns annealing into decorrelated restart chains: the
+// budget splits across the chains, results merge in chain order, and the
+// record depends only on the chain count — never on the thread schedule.
+TEST(Annealing, RestartChainsDeterministicAcrossRuns) {
+  Landscape l = Landscape::make(600, 11);
+  SearchOptions opt;
+  opt.max_evaluations = 60;
+  opt.seed = 5;
+  opt.n_jobs = 4;
+  SearchResult a = annealing_search(l.features, l.objective(), opt);
+  SearchResult b = annealing_search(l.features, l.objective(), opt);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_EQ(a.best_value, b.best_value);
+}
+
+// Chain 0 is seeded exactly like the sequential search, so the merged
+// history leads with what a sequential run at chain 0's budget produces
+// (n_jobs = 1 stays bit-identical to the historical algorithm).
+TEST(Annealing, ChainZeroReproducesSequentialRecord) {
+  Landscape l = Landscape::make(600, 12);
+  SearchOptions opt;
+  opt.max_evaluations = 60;
+  opt.seed = 7;
+  opt.n_jobs = 4;
+  SearchResult multi = annealing_search(l.features, l.objective(), opt);
+
+  opt.n_jobs = 1;
+  opt.max_evaluations = 15;  // 60 / 4: chain 0's share
+  SearchResult sequential = annealing_search(l.features, l.objective(), opt);
+  ASSERT_GE(multi.history.size(), sequential.history.size());
+  for (std::size_t i = 0; i < sequential.history.size(); ++i) {
+    EXPECT_EQ(multi.history[i], sequential.history[i]) << "entry " << i;
+  }
+}
+
+// The total budget is respected exactly when the pool is large enough
+// (chain budgets differ by at most one and sum to max_evaluations), the
+// merged best is the minimum over the whole merged history, and restarts
+// never do worse than a single chain on the same budget can guarantee —
+// the merge takes the best chain.
+TEST(Annealing, RestartBudgetSplitsAcrossChains) {
+  Landscape l = Landscape::make(500, 13);
+  SearchOptions opt;
+  opt.max_evaluations = 50;
+  opt.seed = 3;
+  opt.n_jobs = 3;
+  SearchResult r = annealing_search(l.features, l.objective(), opt);
+  EXPECT_EQ(r.evaluations(), 50u);
+  double best = r.history.front().second;
+  for (const auto& [i, v] : r.history) {
+    EXPECT_DOUBLE_EQ(v, l.values[i]);
+    best = std::min(best, v);
+  }
+  EXPECT_DOUBLE_EQ(r.best_value, best);
+  EXPECT_DOUBLE_EQ(l.values[r.best_index], r.best_value);
+}
+
+// On a constant objective every chain ties; the merge must break the
+// tie deterministically toward the LOWEST chain index, i.e. chain 0's
+// own (earliest-entry) best — which is also what the sequential search
+// reports.
+TEST(Annealing, ConstantObjectiveTieBreaksToChainZero) {
+  Landscape l = Landscape::make(200, 14);
+  Objective constant = [](std::size_t) { return 42.0; };
+  SearchOptions opt;
+  opt.max_evaluations = 40;
+  opt.seed = 9;
+  opt.n_jobs = 1;
+  SearchResult sequential = annealing_search(l.features, constant, opt);
+  opt.n_jobs = 4;
+  SearchResult multi = annealing_search(l.features, constant, opt);
+  EXPECT_EQ(multi.best_value, 42.0);
+  EXPECT_EQ(multi.best_index, sequential.best_index);
+  EXPECT_EQ(multi.best_index, multi.history.front().first);
 }
 
 INSTANTIATE_TEST_SUITE_P(Strategies, EvolutionaryTest,

@@ -19,11 +19,29 @@
 //   --verify                     functionally execute the tuned plan
 //                                against the reference evaluator
 //
+// Serve mode (the serve-bench driver for the src/serve subsystem):
+//   --serve                      run the plan-serving driver instead of
+//                                a one-shot tune: N client threads fire
+//                                M requests each at a TuningService and
+//                                the driver prints serve statistics
+//                                (hits, misses, single-flight tunes,
+//                                upgrades, latencies)
+//   --clients N                  serve-mode client threads (default 4)
+//   --requests M                 requests per client     (default 8)
+//   --registry FILE              persistent plan registry: loaded before
+//                                serving (if present), merged back after
+//                                under an advisory lock — repeated
+//                                invocations start warm and concurrent
+//                                invocations compose to the per-signature
+//                                best (BARRACUDA_REGISTRY works too)
+//
 // With BARRACUDA_CACHE=path in the environment, measured values are
 // loaded from `path` before tuning (if it exists) and merged back after
 // (atomically, under an advisory lock), so repeated invocations skip
 // re-measurement entirely and concurrent invocations sharing one path
-// keep the union of their measurements.
+// keep the union of their measurements.  An end-of-run cache summary
+// (entries, hits, misses, hit rate) prints whenever BARRACUDA_CACHE is
+// set.
 //
 // The input file is OCTOPI DSL text with dim declarations, e.g.
 //   dim i j k l m n = 10
@@ -35,11 +53,15 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "chill/csource.hpp"
 #include "core/barracuda.hpp"
 #include "core/report.hpp"
 #include "orio/annotations.hpp"
+#include "serve/service.hpp"
+#include "support/timer.hpp"
 #include "tensor/einsum.hpp"
 
 using namespace barracuda;
@@ -51,7 +73,8 @@ int usage(const char* argv0) {
                "usage: %s <input.oct> [--device gtx980|k20|c2050] "
                "[--evals N] [--jobs N] "
                "[--method surf|random|exhaustive] [--shared] "
-               "[--emit-cuda FILE] [--emit-orio FILE] [--verify]\n",
+               "[--emit-cuda FILE] [--emit-orio FILE] [--verify] "
+               "[--serve [--clients N] [--requests M] [--registry FILE]]\n",
                argv0);
   return 2;
 }
@@ -101,6 +124,92 @@ double verify(const core::TuningProblem& problem,
   return err;
 }
 
+/// The serve-bench driver: N client threads fire M requests each at a
+/// TuningService over one PlanRegistry, then the single-flight tune
+/// drains and the stats print.  Returns the process exit code.
+int run_serve(const core::TuningProblem& problem,
+              const vgpu::DeviceProfile& device,
+              const core::TuneOptions& tune_options,
+              std::size_t clients, std::size_t requests,
+              const std::string& registry_path) {
+  serve::PlanRegistry registry;
+  if (!registry_path.empty()) {
+    std::ifstream probe(registry_path);
+    if (probe.good()) {
+      probe.close();
+      std::printf("plan registry    : loaded %zu entries from %s\n",
+                  registry.load(registry_path), registry_path.c_str());
+    }
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.tune = tune_options;
+  serve::TuningService service(registry, serve_options);
+
+  // Each client thread records its own latencies; slots are disjoint.
+  std::vector<std::vector<double>> latency_us(clients);
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latency_us[c].reserve(requests);
+      for (std::size_t r = 0; r < requests; ++r) {
+        WallTimer t;
+        serve::ServedPlan served = service.get_plan(problem, device);
+        latency_us[c].push_back(t.seconds() * 1e6);
+        (void)served;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double serve_seconds = wall.seconds();
+  service.drain();
+
+  serve::ServeStats stats = service.stats();
+  std::vector<double> all;
+  for (const auto& v : latency_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    return all.empty()
+               ? 0.0
+               : all[std::min(all.size() - 1,
+                              static_cast<std::size_t>(p * all.size()))];
+  };
+
+  std::printf("serve clients    : %zu threads x %zu requests\n", clients,
+              requests);
+  std::printf("requests         : %zu answered in %.3fs (%.0f req/s)\n",
+              stats.requests, serve_seconds,
+              serve_seconds > 0 ? stats.requests / serve_seconds : 0.0);
+  std::printf("registry         : %zu hits / %zu misses, %zu entries\n",
+              stats.registry_hits, stats.registry_misses, registry.size());
+  std::printf("tunes            : %zu started (single-flight), %zu "
+              "completed, %zu failed, %zu rejected by backpressure\n",
+              stats.tunes_started, stats.tunes_completed,
+              stats.tune_failures, stats.rejected);
+  std::printf("upgrades         : %zu (mean tune latency %.1f ms)\n",
+              stats.upgrades,
+              stats.tunes_completed
+                  ? 1e3 * stats.tune_seconds_total / stats.tunes_completed
+                  : 0.0);
+  std::printf("serve latency    : p50 %.1f us, p95 %.1f us, max %.1f us\n",
+              pct(0.50), pct(0.95), all.empty() ? 0.0 : all.back());
+
+  // The post-drain answer is the tuned plan every later request gets.
+  serve::ServedPlan final = service.get_plan(problem, device);
+  std::printf("served plan      : variant #%zu, %.1f us modeled (%s)\n",
+              final.plan.variant + 1, final.plan.modeled_us,
+              final.plan.tuned ? "tuned" : "fallback");
+
+  if (!registry_path.empty()) {
+    registry.merge_save(registry_path);
+    std::printf("plan registry    : %zu entries saved to %s\n",
+                registry.size(), registry_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +221,10 @@ int main(int argc, char** argv) {
   std::size_t evals = 100;
   int jobs = 1;
   bool shared = false, do_verify = false, do_report = false;
+  bool do_serve = false;
+  std::size_t clients = 4, requests = 8;
+  const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
+  std::string registry_path = registry_env ? registry_env : "";
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -148,6 +261,14 @@ int main(int argc, char** argv) {
       save_recipe = next();
     } else if (arg == "--load-recipe") {
       load_recipe = next();
+    } else if (arg == "--serve") {
+      do_serve = true;
+    } else if (arg == "--clients") {
+      clients = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--requests") {
+      requests = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--registry") {
+      registry_path = next();
     } else if (arg == "--report") {
       do_report = true;
     } else if (arg == "--verify") {
@@ -162,6 +283,10 @@ int main(int argc, char** argv) {
     }
   }
   if (input_path.empty() || evals == 0) return usage(argv[0]);
+  if (do_serve && (clients == 0 || requests == 0)) {
+    std::fprintf(stderr, "error: --clients and --requests must be >= 1\n");
+    return 2;
+  }
 
   vgpu::DeviceProfile device;
   if (device_name == "gtx980") {
@@ -208,6 +333,32 @@ int main(int argc, char** argv) {
     } else if (method != "surf") {
       std::fprintf(stderr, "error: unknown method %s\n", method.c_str());
       return 2;
+    }
+
+    // End-of-run cache summary, printed on every path whenever
+    // BARRACUDA_CACHE is set (hit rate measures how much re-measurement
+    // the cache saved this run).
+    auto cache_summary = [&] {
+      if (!(cache_path && *cache_path)) return;
+      const std::size_t probes = eval_cache.hits() + eval_cache.misses();
+      std::printf("cache summary    : %zu entries, %zu hits / %zu misses "
+                  "(%.1f%% hit rate)\n",
+                  eval_cache.size(), eval_cache.hits(), eval_cache.misses(),
+                  probes ? 100.0 * static_cast<double>(eval_cache.hits()) /
+                               static_cast<double>(probes)
+                         : 0.0);
+    };
+
+    if (do_serve) {
+      int rc = run_serve(problem, device, options, clients, requests,
+                         registry_path);
+      if (cache_path && *cache_path) {
+        eval_cache.merge_save(cache_path);
+        std::printf("evaluation cache : %zu entries saved to %s\n",
+                    eval_cache.size(), cache_path);
+      }
+      cache_summary();
+      return rc;
     }
 
     core::TuneResult result;
@@ -280,6 +431,7 @@ int main(int argc, char** argv) {
                 "with transfers amortized over 100 reps)\n",
                 result.modeled_us(), result.modeled_gflops(),
                 result.modeled_gflops_amortized());
+    cache_summary();
 
     if (do_report) {
       std::printf("\n%s", core::tuning_report(result, device).c_str());
