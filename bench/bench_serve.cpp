@@ -19,7 +19,9 @@
 //                 in practice it is orders of magnitude beyond that).
 //
 // Emits the raw rows to BENCH_serve.json for plotting/regression
-// tracking.  Exit status is the 10x gate.
+// tracking.  Exit status is the 10x gate plus a cleanliness gate on
+// the resilience counters: no faults are injected here, so any retry,
+// tune failure, or open circuit breaker is a real pipeline bug.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -113,6 +115,9 @@ int main() {
     std::size_t clients;
     PhaseResult cold, warm;
     std::size_t tunes = 0;
+    std::size_t retries = 0;
+    std::size_t failures = 0;
+    std::size_t breakers = 0;
     bool single_flight = false;
   };
   std::vector<Row> rows;
@@ -133,6 +138,12 @@ int main() {
 
     serve::ServeStats stats = service.stats();
     row.tunes = stats.tunes_started;
+    // Resilience counters: this harness injects no faults, so any
+    // retry, tune failure, or open breaker is a real pipeline bug and
+    // fails the gate below.
+    row.retries = stats.retries;
+    row.failures = stats.tune_failures;
+    row.breakers = stats.breaker_open;
     // Single-flight gate: exactly one tune per distinct signature, no
     // matter how many clients raced on it.
     row.single_flight =
@@ -141,11 +152,14 @@ int main() {
   }
 
   TextTable table({"clients", "cold req/s", "warm req/s", "speedup",
-                   "warm p50 us", "warm p95 us", "tunes", "single-flight"});
+                   "warm p50 us", "warm p95 us", "tunes", "retries",
+                   "single-flight"});
   bool all_pass = true;
   for (const Row& row : rows) {
     const double speedup = row.warm.throughput() / row.cold.throughput();
-    all_pass = all_pass && speedup >= 10.0 && row.single_flight;
+    const bool clean = row.retries == 0 && row.failures == 0 &&
+                       row.breakers == 0;
+    all_pass = all_pass && speedup >= 10.0 && row.single_flight && clean;
     table.add_row({std::to_string(row.clients),
                    TextTable::fixed(row.cold.throughput(), 0),
                    TextTable::fixed(row.warm.throughput(), 0),
@@ -153,13 +167,15 @@ int main() {
                    TextTable::fixed(row.warm.p50_us, 1),
                    TextTable::fixed(row.warm.p95_us, 1),
                    std::to_string(row.tunes),
+                   std::to_string(row.retries),
                    row.single_flight ? "yes" : "NO — BUG"});
   }
   std::printf("%s", table.render().c_str());
   std::printf(
       "\nGate: warm-registry throughput >= 10x cold on the repeated-\n"
-      "signature workload, and tune count == distinct signatures (%zu)\n"
-      "at every client width.\n",
+      "signature workload, tune count == distinct signatures (%zu) at\n"
+      "every client width, and zero retries/failures/open breakers\n"
+      "(nothing injects faults here, so any retry is a pipeline bug).\n",
       problems.size());
 
   const char* json_path = "BENCH_serve.json";
@@ -176,10 +192,12 @@ int main() {
         "\"warm_req_per_s\": %.1f, \"speedup\": %.2f, "
         "\"cold_p95_us\": %.2f, \"warm_p50_us\": %.2f, "
         "\"warm_p95_us\": %.2f, \"tunes\": %zu, "
-        "\"single_flight\": %s}%s\n",
+        "\"retries\": %zu, \"tune_failures\": %zu, "
+        "\"breakers_open\": %zu, \"single_flight\": %s}%s\n",
         row.clients, row.cold.throughput(), row.warm.throughput(),
         row.warm.throughput() / row.cold.throughput(), row.cold.p95_us,
-        row.warm.p50_us, row.warm.p95_us, row.tunes,
+        row.warm.p50_us, row.warm.p95_us, row.tunes, row.retries,
+        row.failures, row.breakers,
         row.single_flight ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
     out << buf;

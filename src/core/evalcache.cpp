@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/filelock.hpp"
 
 namespace barracuda::core {
@@ -121,7 +122,11 @@ void EvalCache::save(const std::string& path) const {
   const std::string tmp =
       path + ".tmp." + std::to_string(support::process_tag());
   {
-    std::ofstream out(tmp);
+    // `evalcache.save.open` models the temp file failing to open (full
+    // disk, unwritable directory) — the same path a real ofstream
+    // failure takes.
+    std::ofstream out(support::fault::hit("evalcache.save.open") ? ""
+                                                                 : tmp);
     if (!out) throw Error("cannot write evaluation cache: " + tmp);
     out << kHeader << '\n';
     char value_text[64];
@@ -136,54 +141,98 @@ void EvalCache::save(const std::string& path) const {
       throw Error("failed writing evaluation cache: " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  // `evalcache.save.rename` models a failed publish: the complete temp
+  // file exists but never replaces the target — exactly what a cross-
+  // device or permission rename failure leaves behind (minus the temp,
+  // which both paths clean up).
+  if (support::fault::hit("evalcache.save.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw Error("cannot publish evaluation cache: rename " + tmp + " -> " +
                 path);
   }
 }
 
-std::size_t EvalCache::load(const std::string& path) {
+std::size_t EvalCache::load(const std::string& path,
+                            support::RecoveryPolicy policy,
+                            support::SalvageReport* report) {
+  const bool salvage = policy == support::RecoveryPolicy::kSalvage;
+  support::SalvageReport local;
+  // `evalcache.load` models an unreadable file — failing before any
+  // record lands keeps load() all-or-nothing under fault injection too.
+  support::fault::maybe_throw("evalcache.load");
   std::ifstream in(path);
   if (!in) throw Error("cannot read evaluation cache: " + path);
+
+  // Under kSalvage a malformed line is dropped instead of thrown;
+  // `reject` centralizes the policy split so the per-line validation
+  // below stays identical for both modes.
+  auto reject = [&](const std::string& message) {
+    if (!salvage) throw Error(message);
+    ++local.dropped;
+  };
+
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
-    throw Error("not a barracuda evaluation cache (bad or missing '" +
-                std::string(kHeader) + "' header): " + path);
-  }
   std::size_t loaded = 0;
-  std::size_t line_no = 1;
-  std::lock_guard<std::mutex> lock(mutex_);
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    const std::size_t tab = line.find('\t');
-    if (tab == std::string::npos || tab + 1 >= line.size()) {
-      throw Error("corrupt evaluation cache at " + path + ":" +
-                  std::to_string(line_no) + ": expected <value>\\t<key>");
-    }
-    const std::string value_text = line.substr(0, tab);
-    char* end = nullptr;
-    const double value = std::strtod(value_text.c_str(), &end);
-    if (end == value_text.c_str() || *end != '\0') {
-      throw Error("corrupt evaluation cache at " + path + ":" +
-                  std::to_string(line_no) + ": bad value '" + value_text +
-                  "'");
-    }
-    if (!std::isfinite(value)) {
-      // Measurements are finite by construction (infeasible plans become
-      // a large finite penalty), so NaN/±inf can only mean corruption.
-      throw Error("corrupt evaluation cache at " + path + ":" +
-                  std::to_string(line_no) + ": non-finite value '" +
-                  value_text + "'");
-    }
-    values_.emplace(line.substr(tab + 1), value);
-    ++loaded;
+  if (!std::getline(in, line) || line != kHeader) {
+    reject("not a barracuda evaluation cache (bad or missing '" +
+           std::string(kHeader) + "' header): " + path);
+    // A wrong header means nothing after it can be trusted as v1
+    // records: salvage keeps zero entries and quarantines below.
+    in.setstate(std::ios::eofbit);
   }
+  std::size_t line_no = 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      const std::size_t tab = line.find('\t');
+      if (tab == std::string::npos || tab + 1 >= line.size()) {
+        reject("corrupt evaluation cache at " + path + ":" +
+               std::to_string(line_no) + ": expected <value>\\t<key>");
+        continue;
+      }
+      const std::string value_text = line.substr(0, tab);
+      char* end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        reject("corrupt evaluation cache at " + path + ":" +
+               std::to_string(line_no) + ": bad value '" + value_text + "'");
+        continue;
+      }
+      if (!std::isfinite(value)) {
+        // Measurements are finite by construction (infeasible plans
+        // become a large finite penalty), so NaN/±inf can only mean
+        // corruption.
+        reject("corrupt evaluation cache at " + path + ":" +
+               std::to_string(line_no) + ": non-finite value '" +
+               value_text + "'");
+        continue;
+      }
+      values_.emplace(line.substr(tab + 1), value);
+      ++loaded;
+    }
+  }
+  in.close();
+  local.kept = loaded;
+  if (salvage && local.dropped > 0) {
+    // Quarantine the damaged original so the next strict load of `path`
+    // finds no file instead of tripping over the same corruption; the
+    // salvaged state gets re-published by the caller's next save.
+    const std::string quarantine = path + ".corrupt";
+    if (std::rename(path.c_str(), quarantine.c_str()) != 0) {
+      throw Error("cannot quarantine corrupt evaluation cache: rename " +
+                  path + " -> " + quarantine);
+    }
+    local.quarantine_path = quarantine;
+  }
+  if (report) *report = local;
   return loaded;
 }
 
-std::size_t EvalCache::merge_save(const std::string& path) {
+std::size_t EvalCache::merge_save(const std::string& path,
+                                  support::RecoveryPolicy policy) {
   // Serialize the whole read-modify-write against every other
   // merge_save on this path — other threads (flock conflicts between
   // file descriptions, even within one process) and other processes
@@ -197,8 +246,10 @@ std::size_t EvalCache::merge_save(const std::string& path) {
       probe.close();
       // load()'s merge rule applies: keys this cache already holds keep
       // their value (first-write-wins; measurements are deterministic,
-      // so colliding values agree anyway).
-      absorbed = load(path);
+      // so colliding values agree anyway).  Under kSalvage a corrupt
+      // existing file contributes whatever still parses and is
+      // quarantined; the save below then republishes a clean file.
+      absorbed = load(path, policy);
     }
   }
   save(path);

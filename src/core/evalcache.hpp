@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "chill/lower.hpp"
+#include "support/recovery.hpp"
 #include "tcr/program.hpp"
 #include "vgpu/device.hpp"
 
@@ -91,17 +92,31 @@ class EvalCache {
   /// their holder, so a crashed writer never wedges the path (the
   /// leftover .lock file is inert).  Returns the number of entries
   /// absorbed from the pre-existing file (0 when absent).  Throws Error
-  /// on an unwritable path, a corrupt existing file, or lock failure.
-  std::size_t merge_save(const std::string& path);
+  /// on an unwritable path, a corrupt existing file (unless `policy` is
+  /// kSalvage — see load()), or lock failure.
+  std::size_t merge_save(
+      const std::string& path,
+      support::RecoveryPolicy policy = support::RecoveryPolicy::kStrict);
 
   /// Merge entries from a save()d file into this cache (existing keys
   /// keep their value; counters are untouched).  Returns the number of
   /// entry lines read (on duplicate keys — in the file or against the
-  /// in-memory table — the first-seen value sticks).  Throws Error on an
-  /// unreadable file, an unrecognized header/version, or a malformed
-  /// line (missing tab, unparseable or non-finite value) — a corrupt
-  /// cache must fail loudly, not seed the tuner with garbage.
-  std::size_t load(const std::string& path);
+  /// in-memory table — the first-seen value sticks).
+  ///
+  /// Failure handling is governed by `policy` (default kStrict): a
+  /// corrupt file — unrecognized header/version, missing tab,
+  /// unparseable or non-finite value — throws Error, because a corrupt
+  /// cache must fail loudly, not seed the tuner with garbage.  Under
+  /// kSalvage a damaged file is recovered instead: every line that still
+  /// parses is merged, malformed lines are dropped, and the original
+  /// file is quarantined to `<path>.corrupt` (atomic rename; a later
+  /// strict load of `path` then simply finds no file).  `report`, when
+  /// non-null, receives the kept/dropped counts and the quarantine path.
+  /// An unreadable/missing file still throws under both policies.
+  std::size_t load(const std::string& path,
+                   support::RecoveryPolicy policy =
+                       support::RecoveryPolicy::kStrict,
+                   support::SalvageReport* report = nullptr);
 
  private:
   mutable std::mutex mutex_;

@@ -10,6 +10,7 @@
 
 #include "core/report.hpp"
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/filelock.hpp"
 #include "support/str.hpp"
 
@@ -168,7 +169,9 @@ void PlanRegistry::save(const std::string& path) const {
   const std::string tmp =
       path + ".tmp." + std::to_string(support::process_tag());
   {
-    std::ofstream out(tmp);
+    // `registry.save.open` models the temp file failing to open (full
+    // disk, unwritable directory) — same path as a real ofstream error.
+    std::ofstream out(support::fault::hit("registry.save.open") ? "" : tmp);
     if (!out) throw Error("cannot write plan registry: " + tmp);
     out << kHeader << '\n';
     char time_text[64];
@@ -185,52 +188,76 @@ void PlanRegistry::save(const std::string& path) const {
       throw Error("failed writing plan registry: " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  // `registry.save.rename` models a failed publish: the target is left
+  // unchanged, exactly like a cross-device or permission rename failure.
+  if (support::fault::hit("registry.save.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw Error("cannot publish plan registry: rename " + tmp + " -> " +
                 path);
   }
 }
 
-std::size_t PlanRegistry::load(const std::string& path) {
+std::size_t PlanRegistry::load(const std::string& path,
+                               support::RecoveryPolicy policy,
+                               support::SalvageReport* report) {
+  const bool salvage = policy == support::RecoveryPolicy::kSalvage;
+  support::SalvageReport local;
+  // `registry.load` models an unreadable file — failing before any
+  // record lands keeps load() all-or-nothing under fault injection too.
+  support::fault::maybe_throw("registry.load");
   std::ifstream in(path);
   if (!in) throw Error("cannot read plan registry: " + path);
+
+  // Under kSalvage a malformed line is dropped instead of thrown.
+  auto reject = [&](const std::string& message) {
+    if (!salvage) throw Error(message);
+    ++local.dropped;
+  };
+
   std::string line;
   if (!std::getline(in, line) || line != kHeader) {
-    throw Error("not a barracuda plan registry (bad or missing '" +
-                std::string(kHeader) + "' header): " + path);
+    reject("not a barracuda plan registry (bad or missing '" +
+           std::string(kHeader) + "' header): " + path);
+    // A wrong header means nothing after it is trustworthy as v1
+    // records: salvage keeps zero entries and quarantines below.
+    in.setstate(std::ios::eofbit);
   }
   std::size_t loaded = 0;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    auto fail = [&](const std::string& msg) -> std::size_t {
-      throw Error("corrupt plan registry at " + path + ":" +
-                  std::to_string(line_no) + ": " + msg);
+    auto fail = [&](const std::string& msg) {
+      reject("corrupt plan registry at " + path + ":" +
+             std::to_string(line_no) + ": " + msg);
     };
     std::vector<std::string> fields = split(line, '\t');
     if (fields.size() != 5) {
-      return fail("expected <us>\\t<tuned>\\t<variant>\\t<recipe>\\t<sig>");
+      fail("expected <us>\\t<tuned>\\t<variant>\\t<recipe>\\t<sig>");
+      continue;
     }
     PlanEntry entry;
     char* end = nullptr;
     entry.modeled_us = std::strtod(fields[0].c_str(), &end);
     if (end == fields[0].c_str() || *end != '\0' ||
         !std::isfinite(entry.modeled_us)) {
-      return fail("bad modeled time '" + fields[0] + "'");
+      fail("bad modeled time '" + fields[0] + "'");
+      continue;
     }
     if (fields[1] == "0") {
       entry.tuned = false;
     } else if (fields[1] == "1") {
       entry.tuned = true;
     } else {
-      return fail("bad tuned flag '" + fields[1] + "'");
+      fail("bad tuned flag '" + fields[1] + "'");
+      continue;
     }
     entry.variant =
         static_cast<std::size_t>(std::strtoull(fields[2].c_str(), &end, 10));
     if (end == fields[2].c_str() || *end != '\0') {
-      return fail("bad variant index '" + fields[2] + "'");
+      fail("bad variant index '" + fields[2] + "'");
+      continue;
     }
     entry.recipe_text = decode_recipe(fields[3]);
     try {
@@ -238,7 +265,8 @@ std::size_t PlanRegistry::load(const std::string& path) {
       // the program at serve time.
       core::parse_recipe(entry.recipe_text, path);
     } catch (const Error& e) {
-      return fail("unparseable recipe: " + std::string(e.what()));
+      fail("unparseable recipe: " + std::string(e.what()));
+      continue;
     }
     // Better-wins merge: a loaded entry only displaces what this
     // registry already serves when it is actually faster.
@@ -253,10 +281,24 @@ std::size_t PlanRegistry::load(const std::string& path) {
     }
     ++loaded;
   }
+  in.close();
+  local.kept = loaded;
+  if (salvage && local.dropped > 0) {
+    // Quarantine the damaged original; the salvaged state gets
+    // re-published by the caller's next save.
+    const std::string quarantine = path + ".corrupt";
+    if (std::rename(path.c_str(), quarantine.c_str()) != 0) {
+      throw Error("cannot quarantine corrupt plan registry: rename " + path +
+                  " -> " + quarantine);
+    }
+    local.quarantine_path = quarantine;
+  }
+  if (report) *report = local;
   return loaded;
 }
 
-std::size_t PlanRegistry::merge_save(const std::string& path) {
+std::size_t PlanRegistry::merge_save(const std::string& path,
+                                     support::RecoveryPolicy policy) {
   // Serialize the whole read-modify-write against every other
   // merge_save on this path (threads and processes alike), exactly like
   // EvalCache::merge_save — see support::FileLock for the protocol.
@@ -266,7 +308,7 @@ std::size_t PlanRegistry::merge_save(const std::string& path) {
     std::ifstream probe(path);
     if (probe.good()) {
       probe.close();
-      absorbed = load(path);
+      absorbed = load(path, policy);
     }
   }
   save(path);

@@ -25,6 +25,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "support/recovery.hpp"
+
 namespace barracuda::serve {
 
 /// The best known plan for one signature: which joint variant to lower
@@ -98,21 +100,34 @@ class PlanRegistry {
 
   /// Merge entries from a save()d file into this registry under the
   /// better-wins rule (never counts upgrades — load is replication, not
-  /// tuning progress).  Returns the number of entry lines read.  Throws
-  /// Error on an unreadable file, an unrecognized header/version, or any
-  /// malformed line (wrong field count, unparseable or non-finite time,
-  /// bad tuned flag, recipe text that does not parse) — a corrupt
-  /// registry must fail loudly, not serve garbage plans.
-  std::size_t load(const std::string& path);
+  /// tuning progress).  Returns the number of entry lines read.
+  ///
+  /// Failure handling is governed by `policy` (default kStrict): any
+  /// corruption — unrecognized header/version, wrong field count,
+  /// unparseable or non-finite time, bad tuned flag, recipe text that
+  /// does not parse — throws Error, because a corrupt registry must fail
+  /// loudly, not serve garbage plans.  Under kSalvage every record that
+  /// still parses is merged (better-wins), malformed lines are dropped,
+  /// and the damaged original is quarantined to `<path>.corrupt` so the
+  /// next strict load finds no file; `report` receives the kept/dropped
+  /// counts and the quarantine path.  An unreadable/missing file throws
+  /// under both policies.
+  std::size_t load(const std::string& path,
+                   support::RecoveryPolicy policy =
+                       support::RecoveryPolicy::kStrict,
+                   support::SalvageReport* report = nullptr);
 
   /// Cross-process-safe persistence: atomically merge this registry into
   /// the file at `path` under an exclusive flock(2) on `path + ".lock"`,
-  /// absorbing any existing file via load() (better-wins) before
-  /// publishing the merged result with the atomic save().  Concurrent
-  /// processes sharing one path therefore converge to the per-signature
-  /// best of everything any of them found.  Returns the number of
-  /// entries absorbed from the pre-existing file (0 when absent).
-  std::size_t merge_save(const std::string& path);
+  /// absorbing any existing file via load() (better-wins, honoring
+  /// `policy`) before publishing the merged result with the atomic
+  /// save().  Concurrent processes sharing one path therefore converge
+  /// to the per-signature best of everything any of them found.  Returns
+  /// the number of entries absorbed from the pre-existing file (0 when
+  /// absent).
+  std::size_t merge_save(
+      const std::string& path,
+      support::RecoveryPolicy policy = support::RecoveryPolicy::kStrict);
 
  private:
   mutable std::mutex mutex_;

@@ -1,10 +1,16 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
+#include <thread>
 #include <utility>
 
 #include "core/report.hpp"
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/threadpool.hpp"
 #include "support/timer.hpp"
 
@@ -15,6 +21,33 @@ namespace {
 /// penalty the tuning objective uses so entries stay serializable and
 /// comparable under better_plan.
 double finite_us(double us) { return std::isfinite(us) ? us : 1e15; }
+
+/// splitmix64 finisher: full-avalanche mixing for the jitter hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Backoff before retry attempt `attempt` (2-based): capped exponential
+/// with a deterministic jitter factor in [0.5, 1.0] — a pure function
+/// of (jitter_seed, sig, attempt), so retry spacing reproduces exactly
+/// and distinct signatures decorrelate.
+double backoff_ms(const RetryPolicy& retry, const std::string& sig,
+                  std::size_t attempt) {
+  double exp_ms = retry.base_delay_ms;
+  for (std::size_t k = 2; k < attempt; ++k) exp_ms *= 2.0;
+  exp_ms = std::min(exp_ms, retry.cap_ms);
+  std::uint64_t h = retry.jitter_seed;
+  for (char c : sig) h = mix64(h ^ static_cast<unsigned char>(c));
+  h = mix64(h ^ attempt);
+  const double unit =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return exp_ms * (0.5 + 0.5 * unit);
+}
 
 }  // namespace
 
@@ -74,6 +107,11 @@ bool TuningService::maybe_schedule(const std::string& sig,
     // completion race (a request that read the untuned entry before the
     // upgrade landed must not schedule a second tune after it).
     if (inflight_.contains(sig)) return false;
+    // Circuit breaker: a signature that exhausted its retries stays on
+    // its fallback plan (served instantly, like any other answer) and
+    // is not rescheduled until reset_breakers() — a poisoned problem
+    // must not eat the tuning queue forever.
+    if (breaker_.contains(sig)) return false;
     PlanEntry current;
     if (registry_.peek(sig, &current) && current.tuned) return false;
     if (scheduled_ + running_ >= options_.queue_capacity) {
@@ -102,36 +140,107 @@ void TuningService::run_tune(const std::string& sig,
     ++running_;
   }
   WallTimer timer;
-  bool failed = false;
-  try {
-    core::TuneResult result = core::tune(problem, device, options_.tune);
-    PlanEntry tuned;
-    tuned.variant = result.best_variant;
-    tuned.recipe_text = core::serialize_recipe(result.best_recipe);
-    tuned.modeled_us = finite_us(result.modeled_us());
-    tuned.tuned = true;
-    // Better-wins: an upgrade only lands when the tuned plan actually
-    // beats the fallback (it always should — the static mapping is a
-    // candidate the search compares against), so the served latency for
-    // this signature is monotone non-increasing.
-    registry_.publish(sig, tuned);
-  } catch (...) {
-    // A failed tune leaves the fallback in place; the signature stays
-    // untuned so a later request may retry.
-    failed = true;
+
+  // Cooperative deadline: one wall clock spans the whole run (every
+  // retry attempt included).  The search consults it between evaluation
+  // batches via SearchOptions::should_stop — possibly from concurrent
+  // annealing chains, hence the shared_ptr + atomic flag — and an
+  // expired search returns its best-so-far, which publishes like any
+  // other result.  The timer lives in a shared_ptr because the options
+  // copy (and the lambda in it) is moved into core::tune.
+  core::TuneOptions tune_options = options_.tune;
+  auto expired = std::make_shared<std::atomic<bool>>(false);
+  if (options_.tune_deadline > 0) {
+    auto clock = std::make_shared<WallTimer>();
+    const double budget = options_.tune_deadline;
+    auto inner = tune_options.search.should_stop;
+    tune_options.search.should_stop = [clock, budget, expired, inner] {
+      if (clock->seconds() >= budget) {
+        expired->store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return inner && inner();
+    };
   }
+
+  // Retry loop: every attempt's error text is captured (satellite for
+  // the old bare `catch (...)`); between attempts the worker sleeps the
+  // deterministic backoff.  An exhausted run trips the breaker.
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, options_.retry.max_attempts);
+  bool succeeded = false;
+  std::size_t attempts = 0;
+  std::size_t extra_attempts = 0;
+  std::string error_text;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Retrying after the deadline expired (or an external should_stop
+      // fired) would spend time the run no longer has; stop and let the
+      // failure record tell the story.  Calling the lambda — not just
+      // reading the flag — matters: an attempt that throws before its
+      // search starts never consults should_stop, so the flag alone
+      // would let a failing run retry far past its deadline.
+      if (tune_options.search.should_stop &&
+          tune_options.search.should_stop()) {
+        break;
+      }
+      ++extra_attempts;
+      const double ms = backoff_ms(options_.retry, sig, attempt);
+      if (ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+    ++attempts;
+    try {
+      // `serve.tune` models the tune pipeline itself throwing (OOM in
+      // enumeration, a lowering bug on one problem shape, ...).
+      support::fault::maybe_throw("serve.tune");
+      core::TuneResult result = core::tune(problem, device, tune_options);
+      PlanEntry tuned;
+      tuned.variant = result.best_variant;
+      tuned.recipe_text = core::serialize_recipe(result.best_recipe);
+      tuned.modeled_us = finite_us(result.modeled_us());
+      tuned.tuned = true;
+      // Better-wins: an upgrade only lands when the tuned plan actually
+      // beats the fallback (it always should — the static mapping is a
+      // candidate the search compares against), so the served latency
+      // for this signature is monotone non-increasing.
+      registry_.publish(sig, tuned);
+      succeeded = true;
+      break;
+    } catch (const std::exception& e) {
+      error_text = e.what();
+    } catch (...) {
+      error_text = "non-standard exception";
+    }
+  }
+
   const double seconds = timer.seconds();
+  const bool was_expired = expired->load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Publish-then-erase: see maybe_schedule for why this order is the
     // single-flight guarantee.
     inflight_.erase(sig);
     --running_;
-    if (failed) {
-      ++tune_failures_;
-    } else {
+    retries_ += extra_attempts;
+    if (!error_text.empty()) {
+      last_error_ = error_text;
+      TuneFailure& record = failures_[sig];
+      record.attempts = attempts;
+      record.last_error = error_text;
+    }
+    if (was_expired) ++deadline_expired_;
+    if (succeeded) {
       ++tunes_completed_;
       tune_seconds_total_ += seconds;
+    } else {
+      // Exhausted (or deadline-cut) run: the fallback stays in place
+      // and the breaker quarantines the signature until
+      // reset_breakers().
+      ++tune_failures_;
+      breaker_.insert(sig);
     }
     if (scheduled_ + running_ == 0) idle_cv_.notify_all();
   }
@@ -153,6 +262,10 @@ ServeStats TuningService::stats() const {
     s.tunes_started = tunes_started_;
     s.tunes_completed = tunes_completed_;
     s.tune_failures = tune_failures_;
+    s.retries = retries_;
+    s.breaker_open = breaker_.size();
+    s.deadline_expired = deadline_expired_;
+    s.last_error = last_error_;
     s.rejected = rejected_;
     s.in_flight = running_;
     s.queue_depth = scheduled_;
@@ -162,6 +275,21 @@ ServeStats TuningService::stats() const {
   s.registry_misses = registry_.misses();
   s.upgrades = registry_.upgrades();
   return s;
+}
+
+bool TuningService::last_failure(const std::string& signature,
+                                 TuneFailure* failure) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = failures_.find(signature);
+  if (it == failures_.end()) return false;
+  *failure = it->second;
+  failure->breaker_open = breaker_.contains(signature);
+  return true;
+}
+
+void TuningService::reset_breakers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  breaker_.clear();
 }
 
 chill::GpuPlan materialize(const core::TuningProblem& problem,

@@ -29,12 +29,34 @@
 // immediately (counted in Stats::rejected), the signature stays
 // untuned, and a later request retries the enqueue once the queue has
 // drained.  Nothing ever blocks a client on tuning.
+//
+// Resilience (clients are NEVER failed by a failing tuner):
+//
+//   Retry    a background tune that throws is retried in place, up to
+//            RetryPolicy::max_attempts total attempts, with capped
+//            exponential backoff and deterministic jitter (a pure
+//            function of jitter_seed, signature and attempt — no
+//            wall-clock or global randomness, so failure schedules
+//            reproduce exactly).  Each attempt's error text is kept.
+//   Breaker  a signature whose run exhausts every attempt trips a
+//            per-signature circuit breaker: it keeps being served its
+//            fallback plan instantly, but no further tunes are
+//            scheduled for it until reset_breakers().  A poisoned
+//            problem cannot eat the tuning queue forever.
+//   Deadline tune_deadline > 0 bounds each tune run's wall time
+//            cooperatively: the search checks the budget between
+//            evaluation batches (surf::SearchOptions::should_stop) and
+//            an expired run publishes the best plan found so far —
+//            an answer, not an error.  Counted in Stats::
+//            deadline_expired.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/barracuda.hpp"
@@ -42,6 +64,23 @@
 #include "serve/signature.hpp"
 
 namespace barracuda::serve {
+
+/// Retry schedule for failed background tunes.  Attempt k (2-based)
+/// sleeps min(cap_ms, base_delay_ms * 2^(k-2)) scaled by a
+/// deterministic jitter factor in [0.5, 1.0] derived from
+/// (jitter_seed, signature, k) — retries of the same signature under
+/// the same seed always space out identically, and distinct signatures
+/// decorrelate instead of thundering together.  The sleep happens on
+/// the tuning worker (cheap for the millisecond delays this is meant
+/// for; it is backoff, not a scheduler).
+struct RetryPolicy {
+  /// Total attempts per tune run, first try included.  Must be >= 1;
+  /// 1 = no retries.
+  std::size_t max_attempts = 3;
+  double base_delay_ms = 10.0;
+  double cap_ms = 1000.0;
+  std::uint64_t jitter_seed = 1;
+};
 
 struct ServeOptions {
   /// Configuration for the background core::tune() runs.  To share
@@ -52,6 +91,14 @@ struct ServeOptions {
   /// Bound on scheduled-plus-running background tunes (the backpressure
   /// knob).  Must be >= 1.
   std::size_t queue_capacity = 16;
+  /// Retry/backoff schedule for failing background tunes.
+  RetryPolicy retry;
+  /// Wall-clock budget in seconds for one background tune run, spanning
+  /// all its retry attempts.  0 = unbounded.  Enforced cooperatively
+  /// between search batches (never mid-batch), so an expired tune still
+  /// publishes the best plan it found — the deadline shapes latency,
+  /// it does not discard work.
+  double tune_deadline = 0;
 };
 
 /// What one get_plan request was answered with.
@@ -79,7 +126,23 @@ struct ServeStats {
   std::size_t upgrades = 0;
   std::size_t tunes_started = 0;
   std::size_t tunes_completed = 0;
+  /// Tune runs that exhausted every retry attempt (each trips the
+  /// signature's circuit breaker).
   std::size_t tune_failures = 0;
+  /// Tune attempts beyond a run's first — i.e. how often the retry
+  /// policy actually fired, across all runs.
+  std::size_t retries = 0;
+  /// Signatures currently quarantined by the circuit breaker (a gauge;
+  /// reset_breakers() drops it to 0).
+  std::size_t breaker_open = 0;
+  /// Tune runs stopped by the cooperative deadline.  Normally such a
+  /// run still publishes its best-so-far plan and counts as completed;
+  /// a run whose attempts were all failing when the clock ran out
+  /// counts as a failure instead.
+  std::size_t deadline_expired = 0;
+  /// Error text of the most recent failed tune attempt ("" when none
+  /// has failed).
+  std::string last_error;
   /// Enqueues refused by the backpressure policy (the request itself
   /// was still answered with the fallback).
   std::size_t rejected = 0;
@@ -90,6 +153,21 @@ struct ServeStats {
   /// Total wall seconds inside completed background tunes; divide by
   /// tunes_completed for the mean tune latency.
   double tune_seconds_total = 0;
+};
+
+/// Per-signature failure record, kept from the most recent tune run
+/// that had at least one failing attempt.  A run that eventually
+/// succeeds after retries still leaves its record (the error history
+/// is diagnostic), with breaker_open = false.
+struct TuneFailure {
+  /// Attempts the recorded run made (== ServeOptions::retry.
+  /// max_attempts when the breaker tripped).
+  std::size_t attempts = 0;
+  /// what() of the run's last failing attempt.
+  std::string last_error;
+  /// True while the signature is quarantined: no further tunes will be
+  /// scheduled for it until reset_breakers().
+  bool breaker_open = false;
 };
 
 /// Concurrent plan-serving front end over a PlanRegistry.  Thread-safe:
@@ -116,10 +194,19 @@ class TuningService {
 
   ServeStats stats() const;
 
+  /// True (and fills *failure) when `signature`'s most recent tune run
+  /// had at least one failing attempt.
+  bool last_failure(const std::string& signature, TuneFailure* failure) const;
+
+  /// Close every open circuit breaker: quarantined signatures become
+  /// schedulable again on their next untuned request.  Failure records
+  /// are kept (with breaker_open cleared) — the history is diagnostic.
+  void reset_breakers();
+
  private:
   /// Enqueue the background tune for `sig` unless it is already
-  /// in flight, already tuned, or the queue is full.  Returns whether
-  /// this call scheduled it.
+  /// in flight, already tuned, quarantined by its circuit breaker, or
+  /// the queue is full.  Returns whether this call scheduled it.
   bool maybe_schedule(const std::string& sig,
                       const core::TuningProblem& problem,
                       const vgpu::DeviceProfile& device);
@@ -133,12 +220,20 @@ class TuningService {
   std::condition_variable idle_cv_;
   /// Signatures with a scheduled-or-running background tune.
   std::unordered_set<std::string> inflight_;
+  /// Signatures quarantined by the circuit breaker.
+  std::unordered_set<std::string> breaker_;
+  /// Most recent failing run per signature (attempts + error text;
+  /// breaker_open is derived from breaker_ at query time).
+  std::unordered_map<std::string, TuneFailure> failures_;
   std::size_t scheduled_ = 0;
   std::size_t running_ = 0;
   std::size_t requests_ = 0;
   std::size_t tunes_started_ = 0;
   std::size_t tunes_completed_ = 0;
   std::size_t tune_failures_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t deadline_expired_ = 0;
+  std::string last_error_;
   std::size_t rejected_ = 0;
   double tune_seconds_total_ = 0;
 };

@@ -1,0 +1,179 @@
+#include "support/faultinject.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::support::fault {
+namespace {
+
+struct Site {
+  double probability = 0;
+  std::size_t limit = 0;  // 0 = unlimited
+  bool armed = false;
+  Rng rng{0};
+  SiteStats counters;
+};
+
+struct Table {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+  std::size_t armed_count = 0;
+};
+
+Table& table() {
+  static Table t;
+  return t;
+}
+
+/// Must be called with the table lock held after any arm/disarm.
+void refresh_armed_flag(const Table& t) {
+  detail::g_armed.store(t.armed_count > 0, std::memory_order_relaxed);
+}
+
+/// Applies BARRACUDA_FAULTS once, before main() can issue any probe.
+/// Construction order against other statics is irrelevant: the ctor only
+/// touches the function-local table.  A malformed spec must not escape
+/// as an exception — that would std::terminate during static init
+/// (SIGABRT, core dump) — and must not be silently ignored either (a
+/// chaos run with nothing armed would "pass" vacuously), so it prints
+/// the parse error and exits.
+struct EnvLoader {
+  EnvLoader() {
+    const char* spec = std::getenv("BARRACUDA_FAULTS");
+    if (!spec || !*spec) return;
+    try {
+      configure(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
+    }
+  }
+};
+const EnvLoader env_loader;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+bool hit_slow(const char* site) {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.sites.find(site);
+  if (it == t.sites.end() || !it->second.armed) return false;
+  Site& s = it->second;
+  ++s.counters.probes;
+  // One draw per probe, in probe order under this lock: the hit count
+  // for a fixed probe count is deterministic regardless of which thread
+  // issues which probe.
+  if (s.rng.uniform() >= s.probability) return false;
+  ++s.counters.hits;
+  if (s.limit > 0 && s.counters.hits >= s.limit) {
+    s.armed = false;
+    --t.armed_count;
+    refresh_armed_flag(t);
+  }
+  return true;
+}
+
+}  // namespace detail
+
+void maybe_throw(const char* site) {
+  if (hit(site)) {
+    throw Error(std::string("injected fault at ") + site);
+  }
+}
+
+void enable(const std::string& site, double probability, std::uint64_t seed,
+            std::size_t limit) {
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    throw Error("fault probability must be in [0, 1] for site " + site);
+  }
+  BARRACUDA_CHECK_MSG(!site.empty(), "fault site name must be non-empty");
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  auto [it, inserted] = t.sites.try_emplace(site);
+  Site& s = it->second;
+  if (!inserted && s.armed) --t.armed_count;
+  s.probability = probability;
+  s.limit = limit;
+  s.armed = true;
+  s.rng = Rng(seed);
+  s.counters = SiteStats{};
+  ++t.armed_count;
+  refresh_armed_flag(t);
+}
+
+void disable(const std::string& site) {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.sites.find(site);
+  if (it == t.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  --t.armed_count;
+  refresh_armed_flag(t);
+}
+
+void clear() {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  t.sites.clear();
+  t.armed_count = 0;
+  refresh_armed_flag(t);
+}
+
+void configure(const std::string& spec) {
+  for (const std::string& item : split(spec, ',')) {
+    if (item.empty()) continue;
+    std::vector<std::string> fields = split(item, ':');
+    if (fields.size() < 3 || fields.size() > 4 || fields[0].empty()) {
+      throw Error("bad BARRACUDA_FAULTS entry '" + item +
+                  "' (want site:prob:seed[:limit])");
+    }
+    char* end = nullptr;
+    const double prob = std::strtod(fields[1].c_str(), &end);
+    if (end == fields[1].c_str() || *end != '\0') {
+      throw Error("bad fault probability '" + fields[1] + "' in '" + item +
+                  "'");
+    }
+    const std::uint64_t seed = std::strtoull(fields[2].c_str(), &end, 10);
+    if (end == fields[2].c_str() || *end != '\0') {
+      throw Error("bad fault seed '" + fields[2] + "' in '" + item + "'");
+    }
+    std::size_t limit = 0;
+    if (fields.size() == 4) {
+      limit = static_cast<std::size_t>(
+          std::strtoull(fields[3].c_str(), &end, 10));
+      if (end == fields[3].c_str() || *end != '\0') {
+        throw Error("bad fault limit '" + fields[3] + "' in '" + item + "'");
+      }
+    }
+    enable(fields[0], prob, seed, limit);
+  }
+}
+
+SiteStats stats(const std::string& site) {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.sites.find(site);
+  return it == t.sites.end() ? SiteStats{} : it->second.counters;
+}
+
+std::vector<std::string> armed_sites() {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : t.sites) {
+    if (site.armed) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace barracuda::support::fault

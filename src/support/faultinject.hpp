@@ -1,0 +1,96 @@
+// Deterministic fault injection for chaos-testing the persistence and
+// serving layers.
+//
+// Every fallible operation worth testing carries a named probe — e.g.
+// `fault::maybe_throw("registry.save.rename")` right before the rename —
+// and the probe fires only when its site has been armed, either
+// programmatically (fault::enable) or through the environment:
+//
+//   BARRACUDA_FAULTS=site:prob:seed[:limit],site2:prob2:seed2,...
+//
+//   site   probe name (dotted lowercase, subsystem.operation[.step])
+//   prob   firing probability per probe in [0, 1]
+//   seed   seeds the site's private deterministic draw stream
+//   limit  optional: disarm after this many fired probes (0 = unlimited),
+//          the knob for exact fault schedules ("fail the first 2 saves")
+//
+// Determinism: each site owns a seeded Rng and draws once per probe, in
+// probe order, under the site table's lock — for a fixed probe count the
+// hit count is a pure function of (prob, seed, limit), independent of
+// thread interleaving.  prob=1 with a limit gives exact schedules:
+// precisely the first `limit` probes fire.
+//
+// Zero-cost when disabled: fault::hit() is an inline relaxed atomic load
+// of a process-wide "anything armed" flag — no lock, no string hashing,
+// no map lookup — so production binaries pay one predictable branch per
+// probe site.
+//
+// Registered sites (grep for fault::hit / fault::maybe_throw):
+//   evalcache.save.open      EvalCache::save, before writing the temp
+//   evalcache.save.rename    EvalCache::save, before the atomic rename
+//   evalcache.load           EvalCache::load, before reading
+//   registry.save.open       PlanRegistry::save, before writing the temp
+//   registry.save.rename     PlanRegistry::save, before the atomic rename
+//   registry.load            PlanRegistry::load, before reading
+//   filelock.acquire         FileLock, before taking the flock
+//   threadpool.task          ThreadPool::submit, at task invocation
+//   serve.tune               TuningService, at each background tune attempt
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barracuda::support::fault {
+
+namespace detail {
+/// True when any site is armed; the only thing a disabled probe reads.
+extern std::atomic<bool> g_armed;
+/// The locked slow path: look the site up, count the probe, draw.
+bool hit_slow(const char* site);
+}  // namespace detail
+
+/// True when the armed probe at `site` fires this call.  Counts a probe
+/// against the site either way (see stats()).  Unarmed sites — and every
+/// site when injection is disabled — return false.
+inline bool hit(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::hit_slow(site);
+}
+
+/// hit(), and on a firing probe throw Error("injected fault at <site>").
+/// The standard probe for call sites whose real failure mode is an
+/// exception (I/O errors, lock failures, a crashing tune candidate).
+void maybe_throw(const char* site);
+
+/// Arm `site`: each probe fires with `probability`, drawn from a stream
+/// seeded by `seed`; after `limit` fired probes the site disarms itself
+/// (0 = unlimited).  Re-enabling a site resets its stream and counters.
+/// Throws Error for probability outside [0, 1].
+void enable(const std::string& site, double probability, std::uint64_t seed,
+            std::size_t limit = 0);
+
+/// Disarm one site (no-op when not armed).
+void disable(const std::string& site);
+
+/// Disarm every site and drop all counters.
+void clear();
+
+/// Parse and apply a BARRACUDA_FAULTS spec ("site:prob:seed[:limit],...",
+/// see the file comment for the grammar).  Throws Error on a malformed
+/// spec.  An empty spec is a no-op.
+void configure(const std::string& spec);
+
+/// Per-site probe accounting (zeros for never-armed sites).
+struct SiteStats {
+  std::size_t probes = 0;  ///< times the armed site was evaluated
+  std::size_t hits = 0;    ///< times it fired
+};
+SiteStats stats(const std::string& site);
+
+/// Names of currently armed sites (disarmed-by-limit sites excluded).
+std::vector<std::string> armed_sites();
+
+}  // namespace barracuda::support::fault

@@ -22,6 +22,7 @@
 #endif
 
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 
 namespace barracuda::support {
 
@@ -29,6 +30,10 @@ namespace barracuda::support {
 class FileLock {
  public:
   explicit FileLock(const std::string& path) {
+    // Chaos probe: a lock-acquisition failure (EMFILE, a read-only
+    // filesystem, ...) must surface as a clean Error from merge_save,
+    // never a partial merge.
+    fault::maybe_throw("filelock.acquire");
 #ifndef _WIN32
     fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
     if (fd_ < 0) {

@@ -1,0 +1,48 @@
+// Startup-time validation of user-supplied persistence paths
+// (BARRACUDA_CACHE, BARRACUDA_REGISTRY, --registry).
+//
+// The persistent stores publish via sibling temp files + rename, so a
+// path in an unwritable directory fails at the FIRST BACKGROUND SAVE —
+// minutes into a serve run, on a pool worker, long after the operator
+// stopped watching.  validate_writable_path() front-loads that failure:
+// the CLI calls it before serving a single request, so a bad path is a
+// clear startup error instead of a buried background one.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/filelock.hpp"
+
+namespace barracuda::support {
+
+/// Throw Error unless `path` can be created/written and its directory
+/// accepts the sibling temp files the atomic-save protocol needs.
+/// Probes by creating and removing `<path>.probe.<pid>`; the data file
+/// itself is never touched (an existing file is left exactly as is, a
+/// missing one is not created).
+inline void validate_writable_path(const std::string& path,
+                                   const std::string& what) {
+  const std::string probe =
+      path + ".probe." + std::to_string(process_tag());
+  {
+    std::ofstream out(probe);
+    if (!out) {
+      throw Error(what + " path is not writable: " + path +
+                  " (cannot create files next to it — check that the "
+                  "directory exists and is writable)");
+    }
+    out << "probe\n";
+    out.flush();
+    if (!out) {
+      std::remove(probe.c_str());
+      throw Error(what + " path is not writable: " + path +
+                  " (write to its directory failed)");
+    }
+  }
+  std::remove(probe.c_str());
+}
+
+}  // namespace barracuda::support

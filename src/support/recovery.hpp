@@ -1,0 +1,37 @@
+// Persistence recovery policy shared by the on-disk stores
+// (core::EvalCache, serve::PlanRegistry).
+//
+// The default contract is loud rejection: a corrupt file throws, because
+// silently seeding the tuner or the serving layer with garbage is worse
+// than failing.  kSalvage is the opt-in production-recovery mode: keep
+// every record that still parses, drop the rest, and quarantine the
+// original file to `<path>.corrupt` so the next strict load never trips
+// over it again — the caller re-publishes the salvaged state with the
+// usual atomic save.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace barracuda::support {
+
+enum class RecoveryPolicy {
+  /// Reject corrupt files loudly (throw on the first malformed line).
+  kStrict,
+  /// Keep the parseable records, drop malformed lines, and move the
+  /// original file aside to `<path>.corrupt`.
+  kSalvage,
+};
+
+/// What a kSalvage load did (all zeros / empty after a clean load).
+struct SalvageReport {
+  std::size_t kept = 0;     ///< records loaded
+  std::size_t dropped = 0;  ///< malformed lines skipped (header counts as 1)
+  /// Path the damaged original was moved to (empty when the file was
+  /// clean and no quarantine happened).
+  std::string quarantine_path;
+
+  bool salvaged() const { return !quarantine_path.empty(); }
+};
+
+}  // namespace barracuda::support

@@ -1,8 +1,10 @@
 #include "support/threadpool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 
 namespace barracuda::support {
 namespace {
@@ -60,12 +62,29 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::submit(std::function<void()> task) {
   BARRACUDA_CHECK_MSG(task != nullptr, "submit() needs a callable task");
+  // Containment wrapper: a submitted task's exception has nowhere to
+  // propagate (fire-and-forget), so an escape must not unwind through
+  // worker_loop and kill the worker (std::terminate).  Swallow, count,
+  // survive.  The `threadpool.task` probe injects exactly this caller
+  // bug so the containment itself stays tested.
+  auto contained = [this, task = std::move(task)] {
+    try {
+      fault::maybe_throw("threadpool.task");
+      task();
+    } catch (...) {
+      dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
   {
     std::lock_guard<std::mutex> lock(mutex_);
     BARRACUDA_CHECK_MSG(!stop_, "submit() on a stopping pool");
-    tasks_.emplace_back(std::move(task));
+    tasks_.emplace_back(std::move(contained));
   }
   work_cv_.notify_one();
+}
+
+std::size_t ThreadPool::dropped_exceptions() const {
+  return dropped_exceptions_.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -19,6 +19,7 @@
 // deadlock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,12 +66,20 @@ class ThreadPool {
   /// the pool provides no completion signal — callers that need one
   /// (e.g. serve::TuningService's background tunes) track it themselves
   /// with a counter + condition variable captured by the task.  A task
-  /// that throws is considered a caller bug: the exception would have
-  /// nowhere to go, so it terminates the process — wrap fallible work
-  /// in try/catch inside the task.  Submitting from a pool worker is
-  /// allowed (the task is queued, not run inline): submit never blocks,
-  /// so it cannot deadlock the way a nested blocking batch could.
+  /// that throws is still a caller bug (the exception has nowhere to
+  /// go), but it must not take the worker — or the process — down with
+  /// it: the invocation is wrapped, the escape is swallowed and counted
+  /// in dropped_exceptions(), and the worker moves on to the next task.
+  /// Submitting from a pool worker is allowed (the task is queued, not
+  /// run inline): submit never blocks, so it cannot deadlock the way a
+  /// nested blocking batch could.
   void submit(std::function<void()> task);
+
+  /// Exceptions that escaped submitted tasks and were swallowed to keep
+  /// the worker alive.  Nonzero means some caller broke the submit
+  /// contract (fallible work belongs in try/catch inside the task) —
+  /// surface this counter in health reports, not just tests.
+  std::size_t dropped_exceptions() const;
 
   /// Run fn(0), ..., fn(n-1) across the workers and block until every
   /// call returned.  Results must be written by `fn` into per-index
@@ -97,6 +106,7 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> dropped_exceptions_{0};
 };
 
 /// Resolve a user-facing jobs knob into a worker count: positive values

@@ -95,6 +95,9 @@ SearchResult genetic_search(const std::vector<std::vector<double>>& features,
   }
 
   while (!t.exhausted()) {
+    // Cooperative cancellation between generations (the seed batch above
+    // always runs, so the result is never empty).
+    if (options.should_stop && options.should_stop()) break;
     std::sort(population.begin(), population.end());
     const std::size_t parents = std::max<std::size_t>(2, pop_size / 2);
     std::vector<std::pair<double, std::size_t>> next(
@@ -156,7 +159,8 @@ namespace {
 /// size by the caller).
 SearchResult annealing_chain(
     const std::vector<std::vector<double>>& features,
-    const Objective& evaluate, std::uint64_t seed, std::size_t budget) {
+    const Objective& evaluate, std::uint64_t seed, std::size_t budget,
+    const std::function<bool()>& should_stop) {
   Rng rng(seed);
   Tracker t;
   t.evaluated.assign(features.size(), false);
@@ -170,6 +174,10 @@ SearchResult annealing_chain(
   const double cooling = 0.90;
 
   while (!t.exhausted()) {
+    // Cooperative cancellation between steps (the first evaluation above
+    // always runs; with restart chains this is consulted concurrently,
+    // see SearchOptions::should_stop).
+    if (should_stop && should_stop()) break;
     // Propose: a random jitter of the current point, snapped to the
     // nearest unevaluated configuration.
     std::vector<double> target = features[current];
@@ -218,7 +226,8 @@ SearchResult annealing_search(
   if (chains <= 1) {
     SearchResult result = annealing_chain(
         features, evaluate, options.seed ^ 0x9e37u,
-        std::min(options.max_evaluations, features.size()));
+        std::min(options.max_evaluations, features.size()),
+        options.should_stop);
     result.seconds = timer.seconds();
     return result;
   }
@@ -247,7 +256,8 @@ SearchResult annealing_search(
   // Evaluate_Parallel contract every other search relies on).
   std::vector<SearchResult> per_chain(chains);
   support::parallel_apply(chains, chains, [&](std::size_t c) {
-    per_chain[c] = annealing_chain(features, evaluate, seeds[c], budgets[c]);
+    per_chain[c] = annealing_chain(features, evaluate, seeds[c], budgets[c],
+                                   options.should_stop);
   });
 
   // Chain-order merge: deterministic regardless of scheduling.

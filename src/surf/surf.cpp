@@ -113,6 +113,12 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
   };
   const bool cache_aware =
       options.cache_aware && static_cast<bool>(options.cached);
+  // Cooperative cancellation (between batches, driver thread only): the
+  // budget-slicing that lets a tune deadline cut the search off without
+  // abandoning a batch mid-flight.
+  auto stop_requested = [&] {
+    return options.should_stop && options.should_stop();
+  };
 
   auto run_batch = [&](const std::vector<std::size_t>& batch) {
     // Evaluate_Parallel in the paper: the candidates run concurrently
@@ -142,6 +148,9 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
     }
     for (std::size_t begin = 0; begin < known.size();
          begin += options.batch_size) {
+      // Replay slices are free but not instantaneous (cache lookups);
+      // honor the deadline between them once the first landed.
+      if (begin > 0 && stop_requested()) break;
       std::vector<std::size_t> batch(
           known.begin() + begin,
           known.begin() +
@@ -181,7 +190,8 @@ SearchResult surf_search_impl(const std::vector<std::vector<double>>& features,
   model_options.seed = options.seed ^ 0x5u;
   model_options.n_jobs = options.n_jobs;
   ExtraTreesRegressor model(model_options);
-  while (charged < budget && result.evaluations() < pool_size) {
+  while (charged < budget && result.evaluations() < pool_size &&
+         !stop_requested()) {
     model.fit(train_x, train_y);
 
     // Predict every unevaluated configuration (sharded across the pool —
@@ -257,7 +267,10 @@ SearchResult random_search_impl(std::size_t pool_size,
   auto picks = rng.sample_without_replacement(pool_size, pool_size);
   std::size_t charged = 0;
   std::size_t pos = 0;
-  while (pos < picks.size() && charged < budget) {
+  while (pos < picks.size() && charged < budget &&
+         // Cooperative cancellation between chunks; the first chunk
+         // always runs so the result is never empty.
+         !(pos > 0 && options.should_stop && options.should_stop())) {
     // Evaluate in batch_size chunks through Evaluate_Parallel; history
     // order stays the pick order and charging happens at proposal time
     // on the driver thread.

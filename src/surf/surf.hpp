@@ -74,6 +74,18 @@ struct SearchOptions {
   /// Off by default because, like `prepaid`, it changes what a warm
   /// search explores; results stay bit-identical for every n_jobs.
   bool cache_aware = false;
+  /// Optional cooperative cancellation (serve::TuningService's tune
+  /// deadline): consulted between evaluation batches — never mid-batch,
+  /// so in-flight work always completes and the history stays a
+  /// batch-aligned prefix of the uncancelled run.  When it returns true
+  /// the search stops and returns the best found so far; the first
+  /// batch always runs, so the result is never empty.  Honored by
+  /// surf_search, random_search, genetic_search and annealing_search
+  /// (exhaustive_search takes no options and cannot be cancelled).
+  /// Must be safe for concurrent calls: annealing restart chains
+  /// consult it from pool workers (a wall-clock deadline check
+  /// qualifies).  Unset = never stop early.
+  std::function<bool()> should_stop;
   /// Surrogate options.  surf_search overrides `model.seed` and
   /// `model.n_jobs` from the search's own seed/n_jobs so one knob
   /// governs evaluation and fitting alike.

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 
 #include "core/barracuda.hpp"
@@ -127,7 +128,8 @@ struct TempFile {
   ~TempFile() { cleanup(); }
   void cleanup() {
     std::remove(path.c_str());
-    std::remove((path + ".lock").c_str());  // merge_save's advisory lock
+    std::remove((path + ".lock").c_str());     // merge_save's advisory lock
+    std::remove((path + ".corrupt").c_str());  // kSalvage's quarantine
   }
   std::string path;
 };
@@ -437,6 +439,115 @@ TEST(EvalCachePersistence, WarmTuneFromDiskMatchesColdRun) {
       << "warm tune re-measured a variant already on disk";
   EXPECT_EQ(first.search.history, second.search.history);
   EXPECT_EQ(first.best_timing.total_us, second.best_timing.total_us);
+}
+
+// ---- Persistence recovery (support::RecoveryPolicy::kSalvage) ----
+
+/// A damaged cache file: two parseable records interleaved with every
+/// corruption class load() detects (missing tab, bad number, non-finite
+/// value, torn trailing line).
+std::string corrupt_cache_body() {
+  return "barracuda-evalcache v1\n"
+         "1.5\tgood-key-one\n"
+         "no-tab-on-this-line\n"
+         "not-a-number\tbad-value-key\n"
+         "inf\tnonfinite-key\n"
+         "2.25\tgood-key-two\n"
+         "3.5";  // torn: writer died mid-line
+}
+
+TEST(EvalCacheRecovery, SalvageKeepsExactlyTheParseableRecords) {
+  TempFile file("evalcache_salvage.cache");
+  std::ofstream(file.path) << corrupt_cache_body();
+
+  EvalCache cache;
+  support::SalvageReport report;
+  EXPECT_EQ(cache.load(file.path, support::RecoveryPolicy::kSalvage,
+                       &report),
+            2u);
+  EXPECT_EQ(report.kept, 2u);
+  EXPECT_EQ(report.dropped, 4u);
+  EXPECT_TRUE(report.salvaged());
+  EXPECT_EQ(report.quarantine_path, file.path + ".corrupt");
+
+  double value = 0;
+  ASSERT_TRUE(cache.lookup("good-key-one", &value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  ASSERT_TRUE(cache.lookup("good-key-two", &value));
+  EXPECT_DOUBLE_EQ(value, 2.25);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The damaged original moved aside: a strict load now finds no file,
+  // and the quarantine preserves the evidence byte for byte.
+  EXPECT_THROW(EvalCache().load(file.path), Error);
+  std::ifstream quarantined(report.quarantine_path);
+  std::ostringstream contents;
+  contents << quarantined.rdbuf();
+  EXPECT_EQ(contents.str(), corrupt_cache_body());
+}
+
+TEST(EvalCacheRecovery, SalvageOfBadHeaderKeepsNothing) {
+  // A wrong header means nothing after it is trustworthy as v1 records.
+  TempFile file("evalcache_salvage_header.cache");
+  std::ofstream(file.path) << "barracuda-evalcache v99\n1.5\tlooks-fine\n";
+
+  EvalCache cache;
+  support::SalvageReport report;
+  EXPECT_EQ(cache.load(file.path, support::RecoveryPolicy::kSalvage,
+                       &report),
+            0u);
+  EXPECT_EQ(report.kept, 0u);
+  EXPECT_EQ(report.dropped, 1u);  // the header itself
+  EXPECT_TRUE(report.salvaged());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EvalCacheRecovery, DefaultPolicyStillRejectsLoudly) {
+  TempFile file("evalcache_salvage_default.cache");
+  std::ofstream(file.path) << corrupt_cache_body();
+  EvalCache cache;
+  EXPECT_THROW(cache.load(file.path), Error);
+  // Strict rejection must not quarantine or move anything.
+  EXPECT_TRUE(std::ifstream(file.path).good());
+  EXPECT_FALSE(std::ifstream(file.path + ".corrupt").good());
+}
+
+TEST(EvalCacheRecovery, CleanFileUnderSalvageIsUntouched) {
+  TempFile file("evalcache_salvage_clean.cache");
+  EvalCache cache;
+  cache.store("key", 7.0);
+  cache.save(file.path);
+
+  EvalCache loaded;
+  support::SalvageReport report;
+  EXPECT_EQ(loaded.load(file.path, support::RecoveryPolicy::kSalvage,
+                        &report),
+            1u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_FALSE(report.salvaged());
+  EXPECT_TRUE(std::ifstream(file.path).good());
+  EXPECT_FALSE(std::ifstream(file.path + ".corrupt").good());
+}
+
+// The full recovery round trip the CLI's --recover performs: salvage the
+// corrupt file, then merge_save republishes the clean state, and the
+// next STRICT load succeeds.
+TEST(EvalCacheRecovery, MergeSaveSalvagesAndRepublishesClean) {
+  TempFile file("evalcache_salvage_roundtrip.cache");
+  std::ofstream(file.path) << corrupt_cache_body();
+
+  EvalCache cache;
+  cache.store("in-memory", 9.0);
+  EXPECT_EQ(cache.merge_save(file.path, support::RecoveryPolicy::kSalvage),
+            2u);
+
+  EvalCache reloaded;
+  EXPECT_EQ(reloaded.load(file.path), 3u);  // strict: the file is clean
+  double value = 0;
+  ASSERT_TRUE(reloaded.lookup("good-key-one", &value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  ASSERT_TRUE(reloaded.lookup("in-memory", &value));
+  EXPECT_DOUBLE_EQ(value, 9.0);
 }
 
 // Parallel evaluation inside tune() is bit-identical to sequential and

@@ -26,6 +26,7 @@ struct TempFile {
   void cleanup() {
     std::remove(path.c_str());
     std::remove((path + ".lock").c_str());
+    std::remove((path + ".corrupt").c_str());  // kSalvage's quarantine
   }
   std::string path;
 };
@@ -244,6 +245,121 @@ TEST(PlanRegistryFile, SaveReplacesAtomicallyAndValidatesUpFront) {
   empty_recipe.publish("sig", no_recipe);
   EXPECT_THROW(empty_recipe.save(file.path), Error);
   EXPECT_EQ(read_file(file.path), before);
+}
+
+// ---- Persistence recovery (support::RecoveryPolicy::kSalvage) ----
+
+/// A damaged registry: two parseable entries interleaved with every
+/// per-line corruption class load() detects (field count, bad time,
+/// bad tuned flag, bad variant, unparseable recipe).
+std::string corrupt_registry_body() {
+  const std::string recipe =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=2 registers=1 shared=-";
+  return "barracuda-planregistry v1\n"
+         "10\t1\t0\t" + recipe + "\tgood-sig-one\n"
+         "only\ttwo\n"
+         "not-a-number\t1\t0\t" + recipe + "\tbad-time\n"
+         "10\t2\t0\t" + recipe + "\tbad-tuned-flag\n"
+         "10\t1\tx\t" + recipe + "\tbad-variant\n"
+         "10\t1\t0\tnot a recipe at all\tbad-recipe\n"
+         "20\t0\t1\t" + recipe + "\tgood-sig-two\n";
+}
+
+TEST(PlanRegistryRecovery, SalvageKeepsExactlyTheParseableEntries) {
+  TempFile file("registry_salvage.txt");
+  write_file(file.path, corrupt_registry_body());
+
+  PlanRegistry registry;
+  support::SalvageReport report;
+  EXPECT_EQ(registry.load(file.path, support::RecoveryPolicy::kSalvage,
+                          &report),
+            2u);
+  EXPECT_EQ(report.kept, 2u);
+  EXPECT_EQ(report.dropped, 5u);
+  EXPECT_TRUE(report.salvaged());
+  EXPECT_EQ(report.quarantine_path, file.path + ".corrupt");
+
+  PlanEntry e;
+  ASSERT_TRUE(registry.peek("good-sig-one", &e));
+  EXPECT_EQ(e.modeled_us, 10);
+  EXPECT_TRUE(e.tuned);
+  ASSERT_TRUE(registry.peek("good-sig-two", &e));
+  EXPECT_EQ(e.modeled_us, 20);
+  EXPECT_FALSE(e.tuned);
+  EXPECT_EQ(e.variant, 1u);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Quarantined: a strict load now finds no file, the evidence moved to
+  // `.corrupt` byte for byte.
+  PlanRegistry strict;
+  EXPECT_THROW(strict.load(file.path), Error);
+  EXPECT_EQ(read_file(report.quarantine_path), corrupt_registry_body());
+}
+
+TEST(PlanRegistryRecovery, SalvageOfBadHeaderKeepsNothing) {
+  TempFile file("registry_salvage_header.txt");
+  const std::string recipe =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=2 registers=1 shared=-";
+  write_file(file.path,
+             "barracuda-planregistry v9\n10\t1\t0\t" + recipe + "\tsig\n");
+
+  PlanRegistry registry;
+  support::SalvageReport report;
+  EXPECT_EQ(registry.load(file.path, support::RecoveryPolicy::kSalvage,
+                          &report),
+            0u);
+  EXPECT_EQ(report.kept, 0u);
+  EXPECT_EQ(report.dropped, 1u);  // the header itself
+  EXPECT_TRUE(report.salvaged());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(PlanRegistryRecovery, DefaultPolicyStillRejectsLoudly) {
+  TempFile file("registry_salvage_default.txt");
+  write_file(file.path, corrupt_registry_body());
+  PlanRegistry registry;
+  EXPECT_THROW(registry.load(file.path), Error);
+  // Strict rejection must not quarantine or move anything.
+  EXPECT_TRUE(std::ifstream(file.path).good());
+  EXPECT_FALSE(std::ifstream(file.path + ".corrupt").good());
+}
+
+TEST(PlanRegistryRecovery, CleanFileUnderSalvageIsUntouched) {
+  TempFile file("registry_salvage_clean.txt");
+  PlanRegistry registry;
+  registry.publish("sig", entry(5, true));
+  registry.save(file.path);
+
+  PlanRegistry loaded;
+  support::SalvageReport report;
+  EXPECT_EQ(loaded.load(file.path, support::RecoveryPolicy::kSalvage,
+                        &report),
+            1u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_FALSE(report.salvaged());
+  EXPECT_TRUE(std::ifstream(file.path).good());
+  EXPECT_FALSE(std::ifstream(file.path + ".corrupt").good());
+}
+
+// The full --recover round trip: salvage, merge better-wins, republish
+// clean, and the next STRICT load succeeds.
+TEST(PlanRegistryRecovery, MergeSaveSalvagesAndRepublishesClean) {
+  TempFile file("registry_salvage_roundtrip.txt");
+  write_file(file.path, corrupt_registry_body());
+
+  PlanRegistry registry;
+  registry.publish("good-sig-one", entry(5, true));  // beats the file's 10
+  EXPECT_EQ(registry.merge_save(file.path,
+                                support::RecoveryPolicy::kSalvage),
+            2u);
+
+  PlanRegistry reloaded;
+  EXPECT_EQ(reloaded.load(file.path), 2u);  // strict: the file is clean
+  PlanEntry e;
+  ASSERT_TRUE(reloaded.peek("good-sig-one", &e));
+  EXPECT_EQ(e.modeled_us, 5);  // better-wins merge kept the in-memory plan
+  ASSERT_TRUE(reloaded.peek("good-sig-two", &e));
+  EXPECT_EQ(e.modeled_us, 20);
 }
 
 TEST(Signature, CanonicalizesAcrossNamesAndDevices) {

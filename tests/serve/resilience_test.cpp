@@ -1,0 +1,301 @@
+// Resilient-serving suite: the chaos stress test (injected tune and
+// persistence faults under >= 8 concurrent clients, zero failed
+// requests, fault schedule accounted for deterministically), the retry
+// policy, the per-signature circuit breaker, and the cooperative tune
+// deadline.
+//
+// Runs under the sanitizer matrices in CI (suite name ServeResilience
+// is targeted by -R there); keep the tune budgets small.
+//
+// Determinism note: fault sites draw one value per probe, in probe
+// order, under the fault table's lock — so with prob=1 and a limit,
+// exactly the first `limit` tune attempts fail no matter how the pool
+// interleaves them.  Choosing retry.max_attempts > limit guarantees no
+// single run can exhaust its attempts, which pins every counter:
+// retries == limit, tune_failures == 0, regardless of which run each
+// injected fault lands on.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "serve/signature.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+namespace fault = support::fault;
+
+/// Every test leaves the process-wide fault table clean.
+struct ServeResilience : ::testing::Test {
+  void SetUp() override { fault::clear(); }
+  void TearDown() override { fault::clear(); }
+};
+
+/// Small but non-trivial distinct signatures: the paper's Eqn (1) shape
+/// at several extents, so each has its own tuned plan.
+std::vector<core::TuningProblem> mixed_signatures() {
+  std::vector<core::TuningProblem> problems;
+  for (int n : {3, 4, 5, 6}) {
+    std::string dsl =
+        "dim i j k l m n = " + std::to_string(n) +
+        "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n";
+    problems.push_back(
+        core::TuningProblem::from_dsl(dsl, "n" + std::to_string(n)));
+  }
+  return problems;
+}
+
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.tune.search.max_evaluations = 20;
+  options.tune.search.batch_size = 5;
+  options.tune.max_pool = 128;
+  options.retry.base_delay_ms = 0;  // retry instantly; tests need no pacing
+  return options;
+}
+
+/// A served plan must always be executable: recipe parses, time finite.
+void expect_usable(const ServedPlan& served) {
+  EXPECT_FALSE(served.signature.empty());
+  EXPECT_FALSE(served.plan.recipe_text.empty());
+  EXPECT_NO_THROW((void)core::parse_recipe(served.plan.recipe_text));
+  EXPECT_TRUE(std::isfinite(served.plan.modeled_us));
+  EXPECT_GT(served.plan.modeled_us, 0);
+}
+
+// The chaos acceptance stress: 8 client threads hammer 4 signatures
+// while the first 6 background tune attempts are made to throw.  Every
+// request must be answered with a usable plan (zero client-visible
+// failures), every signature must still end up tuned, and the counters
+// must account for the injected schedule exactly.
+TEST_F(ServeResilience, ChaosServeAnswersEveryRequestAndAccountsFaults) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPasses = 6;
+  constexpr std::size_t kFaults = 6;
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retry.max_attempts = kFaults + 1;  // no run can exhaust
+  fault::enable("serve.tune", 1.0, 42, kFaults);
+
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  std::vector<std::size_t> failed_requests(kClients, 0);
+  std::vector<std::vector<ServedPlan>> served(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t r = 0; r < kPasses * problems.size(); ++r) {
+        const core::TuningProblem& p = problems[(c + r) % problems.size()];
+        try {
+          served[c].push_back(service.get_plan(p, device));
+        } catch (...) {
+          ++failed_requests[c];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.drain();
+
+  // Zero failed get_plan requests: resilience means clients never see
+  // the tuner's trouble.
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failed_requests[c], 0u) << "client " << c;
+    ASSERT_EQ(served[c].size(), kPasses * problems.size());
+    for (const ServedPlan& s : served[c]) expect_usable(s);
+  }
+
+  // The fault schedule, accounted exactly: 6 injected throws -> 6
+  // retries, no exhausted run, every signature tuned.
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kClients * kPasses * problems.size());
+  EXPECT_EQ(stats.tunes_started, problems.size());
+  EXPECT_EQ(stats.tunes_completed, problems.size());
+  EXPECT_EQ(stats.tune_failures, 0u);
+  EXPECT_EQ(stats.retries, kFaults);
+  EXPECT_EQ(stats.breaker_open, 0u);
+  EXPECT_EQ(stats.deadline_expired, 0u);
+  EXPECT_EQ(stats.last_error, "injected fault at serve.tune");
+  EXPECT_EQ(fault::stats("serve.tune").hits, kFaults);
+
+  // Every signature recovered to a tuned plan despite the chaos.
+  for (const core::TuningProblem& p : problems) {
+    PlanEntry entry;
+    ASSERT_TRUE(registry.peek(signature(p, device), &entry));
+    EXPECT_TRUE(entry.tuned);
+  }
+
+  // Persistence chaos, same run: the first registry publish fails
+  // (loudly, temp file cleaned up), the retry succeeds, and serving
+  // state was never harmed.
+  const std::string path = testing::TempDir() + "resilience_registry.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  fault::enable("registry.save.rename", 1.0, 7, 1);
+  EXPECT_THROW(registry.merge_save(path), Error);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_EQ(registry.merge_save(path), 0u);  // fault exhausted: publishes
+  PlanRegistry reloaded;
+  EXPECT_EQ(reloaded.load(path), problems.size());
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+// A signature whose run exhausts every attempt trips its breaker: the
+// fallback keeps being served instantly, no further tunes are
+// scheduled, and reset_breakers() re-admits it.
+TEST_F(ServeResilience, BreakerQuarantinesExhaustedSignatureUntilReset) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  const core::TuningProblem& problem = problems.front();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retry.max_attempts = 2;
+  fault::enable("serve.tune", 1.0, 3, 0);  // every attempt fails
+
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  ServedPlan first = service.get_plan(problem, device);
+  EXPECT_TRUE(first.scheduled_tune);
+  expect_usable(first);
+  service.drain();
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.tunes_started, 1u);
+  EXPECT_EQ(stats.tunes_completed, 0u);
+  EXPECT_EQ(stats.tune_failures, 1u);
+  EXPECT_EQ(stats.retries, 1u);  // one retry before exhaustion
+  EXPECT_EQ(stats.breaker_open, 1u);
+  EXPECT_EQ(stats.last_error, "injected fault at serve.tune");
+
+  TuneFailure failure;
+  ASSERT_TRUE(service.last_failure(first.signature, &failure));
+  EXPECT_EQ(failure.attempts, 2u);
+  EXPECT_EQ(failure.last_error, "injected fault at serve.tune");
+  EXPECT_TRUE(failure.breaker_open);
+  EXPECT_FALSE(service.last_failure("no-such-signature", &failure));
+
+  // Quarantined: requests still answered (fallback), nothing scheduled.
+  ServedPlan quarantined = service.get_plan(problem, device);
+  EXPECT_FALSE(quarantined.scheduled_tune);
+  EXPECT_FALSE(quarantined.plan.tuned);
+  expect_usable(quarantined);
+  EXPECT_EQ(service.stats().tunes_started, 1u);
+
+  // Heal the fault, close the breaker: the next request tunes for real.
+  fault::clear();
+  service.reset_breakers();
+  EXPECT_EQ(service.stats().breaker_open, 0u);
+  ServedPlan retried = service.get_plan(problem, device);
+  EXPECT_TRUE(retried.scheduled_tune);
+  service.drain();
+
+  stats = service.stats();
+  EXPECT_EQ(stats.tunes_started, 2u);
+  EXPECT_EQ(stats.tunes_completed, 1u);
+  EXPECT_EQ(stats.tune_failures, 1u);
+  ServedPlan healed = service.get_plan(problem, device);
+  EXPECT_TRUE(healed.plan.tuned);
+  // The failure record survives as history, breaker bit cleared.
+  ASSERT_TRUE(service.last_failure(first.signature, &failure));
+  EXPECT_FALSE(failure.breaker_open);
+}
+
+// An already-expired deadline still publishes a tuned plan: the search's
+// first batch always runs (cooperative cancellation only fires between
+// batches), so the run completes with its best-so-far instead of
+// failing.
+TEST_F(ServeResilience, ExpiredDeadlinePublishesBestSoFar) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  const core::TuningProblem& problem = problems.front();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.tune.search.max_evaluations = 100;  // the deadline cuts this
+  options.tune_deadline = 1e-9;
+
+  PlanRegistry registry;
+  TuningService service(registry, options);
+  ServedPlan served = service.get_plan(problem, device);
+  expect_usable(served);
+  service.drain();
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.tunes_completed, 1u);
+  EXPECT_EQ(stats.tune_failures, 0u);
+  EXPECT_EQ(stats.breaker_open, 0u);
+  EXPECT_TRUE(stats.last_error.empty());
+
+  PlanEntry entry;
+  ASSERT_TRUE(registry.peek(served.signature, &entry));
+  EXPECT_TRUE(entry.tuned);  // best-of-first-batch, published normally
+}
+
+// Without a deadline the counter stays untouched, and a generous
+// deadline changes nothing about the result.
+TEST_F(ServeResilience, GenerousDeadlineDoesNotTrigger) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  const core::TuningProblem& problem = problems.front();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.tune_deadline = 3600;
+
+  PlanRegistry registry;
+  TuningService service(registry, options);
+  service.get_plan(problem, device);
+  service.drain();
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_expired, 0u);
+  EXPECT_EQ(stats.tunes_completed, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  PlanEntry entry;
+  ASSERT_TRUE(registry.peek(signature(problem, device), &entry));
+  EXPECT_TRUE(entry.tuned);
+}
+
+// Faults on the tune path combined with a deadline: failing attempts
+// stop retrying once the clock runs out, and the run counts as both
+// expired and failed (never hangs, never serves garbage).
+TEST_F(ServeResilience, DeadlineCutsRetryLoopOfFailingTune) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  const core::TuningProblem& problem = problems.front();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retry.max_attempts = 1000000;  // the deadline, not the count,
+  options.tune_deadline = 1e-9;          // must end this run
+  fault::enable("serve.tune", 1.0, 5, 0);
+
+  PlanRegistry registry;
+  TuningService service(registry, options);
+  ServedPlan served = service.get_plan(problem, device);
+  expect_usable(served);  // the fallback answer is still fine
+  service.drain();
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.tune_failures, 1u);
+  EXPECT_EQ(stats.breaker_open, 1u);
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.tunes_completed, 0u);
+}
+
+}  // namespace
+}  // namespace barracuda::serve

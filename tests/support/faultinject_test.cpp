@@ -1,0 +1,185 @@
+// Fault-injection layer unit suite: arming/disarming, deterministic
+// draws, exact schedules via limits, the BARRACUDA_FAULTS grammar, and
+// the ThreadPool::submit containment probe.
+#include "support/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/threadpool.hpp"
+
+namespace barracuda::support::fault {
+namespace {
+
+/// Every test leaves the global fault table clean (the table is
+/// process-wide state; gtest_discover_tests runs each test in its own
+/// process, but belt and braces).
+struct FaultFixture : ::testing::Test {
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+};
+
+using FaultInject = FaultFixture;
+
+TEST_F(FaultInject, DisabledProbesNeverFireOrCount) {
+  EXPECT_FALSE(hit("some.site"));
+  EXPECT_NO_THROW(maybe_throw("some.site"));
+  EXPECT_EQ(stats("some.site").probes, 0u);
+  EXPECT_TRUE(armed_sites().empty());
+}
+
+TEST_F(FaultInject, ProbabilityOneAlwaysFiresAndZeroNever) {
+  enable("always", 1.0, 42);
+  enable("never", 0.0, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(hit("always"));
+    EXPECT_FALSE(hit("never"));
+  }
+  EXPECT_EQ(stats("always").probes, 10u);
+  EXPECT_EQ(stats("always").hits, 10u);
+  EXPECT_EQ(stats("never").probes, 10u);
+  EXPECT_EQ(stats("never").hits, 0u);
+}
+
+TEST_F(FaultInject, OnlyTheArmedSiteFires) {
+  enable("armed.site", 1.0, 1);
+  EXPECT_TRUE(hit("armed.site"));
+  EXPECT_FALSE(hit("other.site"));
+  EXPECT_EQ(stats("other.site").probes, 0u);
+}
+
+TEST_F(FaultInject, MaybeThrowNamesTheSite) {
+  enable("io.write", 1.0, 7);
+  try {
+    maybe_throw("io.write");
+    FAIL() << "expected an injected fault";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "injected fault at io.write");
+  }
+}
+
+TEST_F(FaultInject, LimitGivesExactSchedules) {
+  // prob=1 + limit=3: precisely the first three probes fire, then the
+  // site disarms itself.
+  enable("sched", 1.0, 5, 3);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += hit("sched") ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(stats("sched").hits, 3u);
+  // Disarmed-by-limit: probes stop counting and the site is not listed.
+  EXPECT_EQ(stats("sched").probes, 3u);
+  EXPECT_TRUE(armed_sites().empty());
+}
+
+TEST_F(FaultInject, SameSeedReproducesTheHitSequence) {
+  auto sequence = [](std::uint64_t seed) {
+    enable("det", 0.5, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(hit("det"));
+    disable("det");
+    return fired;
+  };
+  const std::vector<bool> a = sequence(123);
+  const std::vector<bool> b = sequence(123);
+  const std::vector<bool> c = sequence(987);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 1-in-2^64 flake odds, effectively never
+}
+
+TEST_F(FaultInject, ReenableResetsStreamAndCounters) {
+  enable("reset", 1.0, 9);
+  EXPECT_TRUE(hit("reset"));
+  EXPECT_TRUE(hit("reset"));
+  enable("reset", 0.0, 9);
+  EXPECT_FALSE(hit("reset"));
+  EXPECT_EQ(stats("reset").probes, 1u);
+  EXPECT_EQ(stats("reset").hits, 0u);
+}
+
+TEST_F(FaultInject, DisableAndClearDisarm) {
+  enable("a.site", 1.0, 1);
+  enable("b.site", 1.0, 1);
+  EXPECT_EQ(armed_sites().size(), 2u);
+  disable("a.site");
+  EXPECT_FALSE(hit("a.site"));
+  EXPECT_TRUE(hit("b.site"));
+  clear();
+  EXPECT_FALSE(hit("b.site"));
+  EXPECT_TRUE(armed_sites().empty());
+}
+
+TEST_F(FaultInject, EnableValidatesProbability) {
+  EXPECT_THROW(enable("bad", -0.1, 1), Error);
+  EXPECT_THROW(enable("bad", 1.5, 1), Error);
+  EXPECT_THROW(enable("bad", std::nan(""), 1), Error);
+}
+
+TEST_F(FaultInject, ConfigureParsesTheEnvGrammar) {
+  configure("one.site:1:42,two.site:0.5:7:3");
+  EXPECT_EQ(armed_sites().size(), 2u);
+  EXPECT_TRUE(hit("one.site"));
+  // two.site carries the optional limit; exhaust it.
+  enable("two.site", 1.0, 7, 2);
+  EXPECT_TRUE(hit("two.site"));
+  EXPECT_TRUE(hit("two.site"));
+  EXPECT_FALSE(hit("two.site"));
+}
+
+TEST_F(FaultInject, ConfigureRejectsMalformedSpecs) {
+  EXPECT_THROW(configure("missing-fields"), Error);
+  EXPECT_THROW(configure("site:1"), Error);
+  EXPECT_THROW(configure(":1:2"), Error);
+  EXPECT_THROW(configure("site:not-a-prob:2"), Error);
+  EXPECT_THROW(configure("site:1:not-a-seed"), Error);
+  EXPECT_THROW(configure("site:1:2:not-a-limit"), Error);
+  EXPECT_THROW(configure("site:1:2:3:extra"), Error);
+  // An empty spec (and empty items from trailing commas) are no-ops.
+  EXPECT_NO_THROW(configure(""));
+  EXPECT_NO_THROW(configure("ok.site:1:1,"));
+}
+
+// The threadpool.task probe end to end: injected task faults are
+// contained by submit()'s wrapper, counted, and the workers survive to
+// run everything else.
+TEST_F(FaultInject, ThreadPoolTaskFaultsAreContainedAndCounted) {
+  enable("threadpool.task", 1.0, 11, 3);
+  ThreadPool pool(2);
+  constexpr int kTasks = 10;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int finished = 0;
+  int ran = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++ran;
+      ++finished;
+      if (finished == kTasks - 3) done_cv.notify_one();
+    });
+  }
+  // The three faulted tasks never run their body; wait for the rest.
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return finished == kTasks - 3; });
+  }
+  // The drop counter lands in the wrapper's catch, which can still be
+  // unwinding when the last surviving task signals — wait for it.
+  for (int i = 0; i < 5000 && pool.dropped_exceptions() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.dropped_exceptions(), 3u);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(ran, kTasks - 3);
+  }
+}
+
+}  // namespace
+}  // namespace barracuda::support::fault

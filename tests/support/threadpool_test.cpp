@@ -243,5 +243,60 @@ TEST(ThreadPool, SubmitRejectsNullTask) {
   EXPECT_THROW(pool.submit(nullptr), InternalError);
 }
 
+/// The drop counter increments in the wrapper's catch — after the task
+/// body's own completion signal — so tests wait (bounded) for the count
+/// itself instead of racing the unwind.
+void wait_for_dropped(const ThreadPool& pool, std::size_t expected) {
+  for (int i = 0; i < 5000 && pool.dropped_exceptions() < expected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// A fire-and-forget task that throws must not kill its worker: the
+// exception is swallowed, counted, and the pool keeps executing
+// everything behind it.
+TEST(ThreadPool, SubmitContainsEscapingExceptionsAndCountsThem) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+  constexpr int kTasks = 30;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int finished = 0;
+  int survivors = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&, i] {
+      // Count completion in all cases; every third task then throws.
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++finished;
+        if (i % 3 != 0) ++survivors;
+        if (finished == kTasks) done_cv.notify_one();
+      }
+      if (i % 3 == 0) throw Error("task boom");
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return finished == kTasks; });
+  EXPECT_EQ(survivors, kTasks - kTasks / 3);
+  lock.unlock();
+  wait_for_dropped(pool, kTasks / 3);
+  EXPECT_EQ(pool.dropped_exceptions(),
+            static_cast<std::size_t>(kTasks / 3));
+}
+
+// The containment also preserves pool capacity: after many throwing
+// tasks, parallel_for still uses live workers.
+TEST(ThreadPool, WorkersSurviveThrowingSubmits) {
+  ThreadPool pool(3);
+  for (int i = 0; i < 9; ++i) {
+    pool.submit([] { throw Error("boom"); });
+  }
+  std::atomic<int> total{0};
+  pool.parallel_for(30, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 30);
+  wait_for_dropped(pool, 9);
+  EXPECT_EQ(pool.dropped_exceptions(), 9u);
+}
+
 }  // namespace
 }  // namespace barracuda::support

@@ -34,6 +34,21 @@
 //                                invocations start warm and concurrent
 //                                invocations compose to the per-signature
 //                                best (BARRACUDA_REGISTRY works too)
+//   --tune-deadline SECONDS      wall budget per background tune run;
+//                                an expired tune publishes its
+//                                best-so-far plan (0 = unbounded)
+//
+// Persistence robustness:
+//   --recover                    load persisted files (BARRACUDA_CACHE,
+//                                --registry) in salvage mode: keep every
+//                                record that still parses, drop the
+//                                corrupt lines, and quarantine the
+//                                damaged original to <path>.corrupt.
+//                                Without it a corrupt file fails loudly
+//                                (BARRACUDA_RECOVER=1 works too).
+//   Both persistence paths are validated writable at startup, so a
+//   mistyped directory fails immediately with a clear message instead
+//   of after minutes of tuning.
 //
 // With BARRACUDA_CACHE=path in the environment, measured values are
 // loaded from `path` before tuning (if it exists) and merged back after
@@ -42,6 +57,13 @@
 // keep the union of their measurements.  An end-of-run cache summary
 // (entries, hits, misses, hit rate) prints whenever BARRACUDA_CACHE is
 // set.
+//
+// BARRACUDA_FAULTS=site:prob:seed[:limit],... arms the deterministic
+// fault-injection layer (support/faultinject.hpp) for chaos testing;
+// serve mode keeps answering every request under injected tune and
+// persistence failures (retry/backoff + circuit breaker + fallback
+// plans), and end-of-serve persistence failures warn instead of
+// aborting a successful serve run.
 //
 // The input file is OCTOPI DSL text with dim declarations, e.g.
 //   dim i j k l m n = 10
@@ -61,6 +83,8 @@
 #include "core/report.hpp"
 #include "orio/annotations.hpp"
 #include "serve/service.hpp"
+#include "support/paths.hpp"
+#include "support/recovery.hpp"
 #include "support/timer.hpp"
 #include "tensor/einsum.hpp"
 
@@ -74,9 +98,21 @@ int usage(const char* argv0) {
                "[--evals N] [--jobs N] "
                "[--method surf|random|exhaustive] [--shared] "
                "[--emit-cuda FILE] [--emit-orio FILE] [--verify] "
-               "[--serve [--clients N] [--requests M] [--registry FILE]]\n",
+               "[--recover] "
+               "[--serve [--clients N] [--requests M] [--registry FILE] "
+               "[--tune-deadline SECONDS]]\n",
                argv0);
   return 2;
+}
+
+/// One-line summary of a salvage load, printed whenever --recover
+/// actually had to drop records.
+void print_salvage(const char* what, const support::SalvageReport& report) {
+  if (!report.salvaged()) return;
+  std::printf("%s : salvaged %zu records (%zu corrupt lines dropped), "
+              "original quarantined to %s\n",
+              what, report.kept, report.dropped,
+              report.quarantine_path.c_str());
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -131,19 +167,24 @@ int run_serve(const core::TuningProblem& problem,
               const vgpu::DeviceProfile& device,
               const core::TuneOptions& tune_options,
               std::size_t clients, std::size_t requests,
-              const std::string& registry_path) {
+              const std::string& registry_path,
+              support::RecoveryPolicy policy, double tune_deadline) {
   serve::PlanRegistry registry;
   if (!registry_path.empty()) {
     std::ifstream probe(registry_path);
     if (probe.good()) {
       probe.close();
+      support::SalvageReport report;
       std::printf("plan registry    : loaded %zu entries from %s\n",
-                  registry.load(registry_path), registry_path.c_str());
+                  registry.load(registry_path, policy, &report),
+                  registry_path.c_str());
+      print_salvage("plan registry   ", report);
     }
   }
 
   serve::ServeOptions serve_options;
   serve_options.tune = tune_options;
+  serve_options.tune_deadline = tune_deadline;
   serve::TuningService service(registry, serve_options);
 
   // Each client thread records its own latencies; slots are disjoint.
@@ -188,6 +229,12 @@ int run_serve(const core::TuningProblem& problem,
               "completed, %zu failed, %zu rejected by backpressure\n",
               stats.tunes_started, stats.tunes_completed,
               stats.tune_failures, stats.rejected);
+  std::printf("resilience       : %zu retries, %zu breakers open, %zu "
+              "deadline-expired tunes\n",
+              stats.retries, stats.breaker_open, stats.deadline_expired);
+  if (!stats.last_error.empty()) {
+    std::printf("last tune error  : %s\n", stats.last_error.c_str());
+  }
   std::printf("upgrades         : %zu (mean tune latency %.1f ms)\n",
               stats.upgrades,
               stats.tunes_completed
@@ -203,9 +250,20 @@ int run_serve(const core::TuningProblem& problem,
               final.plan.tuned ? "tuned" : "fallback");
 
   if (!registry_path.empty()) {
-    registry.merge_save(registry_path);
-    std::printf("plan registry    : %zu entries saved to %s\n",
-                registry.size(), registry_path.c_str());
+    // Best-effort: the serve run itself succeeded (every request was
+    // answered), so a failing end-of-run publish — full disk, injected
+    // chaos faults — warns loudly instead of turning success into a
+    // non-zero exit.  The next invocation simply starts colder.
+    try {
+      registry.merge_save(registry_path, policy);
+      std::printf("plan registry    : %zu entries saved to %s\n",
+                  registry.size(), registry_path.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "warning: plan registry not saved (%s); serve results "
+                   "for this run are lost on exit\n",
+                   e.what());
+    }
   }
   return 0;
 }
@@ -223,8 +281,12 @@ int main(int argc, char** argv) {
   bool shared = false, do_verify = false, do_report = false;
   bool do_serve = false;
   std::size_t clients = 4, requests = 8;
+  double tune_deadline = 0;
   const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
   std::string registry_path = registry_env ? registry_env : "";
+  const char* recover_env = std::getenv("BARRACUDA_RECOVER");
+  bool recover = recover_env && *recover_env &&
+                 std::strcmp(recover_env, "0") != 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -269,6 +331,14 @@ int main(int argc, char** argv) {
       requests = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--registry") {
       registry_path = next();
+    } else if (arg == "--tune-deadline") {
+      tune_deadline = std::strtod(next(), nullptr);
+      if (tune_deadline < 0) {
+        std::fprintf(stderr, "error: --tune-deadline must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--recover") {
+      recover = true;
     } else if (arg == "--report") {
       do_report = true;
     } else if (arg == "--verify") {
@@ -308,6 +378,10 @@ int main(int argc, char** argv) {
   std::ostringstream text;
   text << in.rdbuf();
 
+  const support::RecoveryPolicy policy = recover
+                                             ? support::RecoveryPolicy::kSalvage
+                                             : support::RecoveryPolicy::kStrict;
+
   try {
     core::TuningProblem problem =
         core::TuningProblem::from_dsl(text.str(), input_path);
@@ -318,12 +392,24 @@ int main(int argc, char** argv) {
     core::EvalCache eval_cache;
     options.eval_cache = &eval_cache;
     const char* cache_path = std::getenv("BARRACUDA_CACHE");
+    // Fail-fast on persistence paths: a mistyped BARRACUDA_CACHE /
+    // BARRACUDA_REGISTRY / --registry directory should abort now with a
+    // clear message, not after minutes of tuning when the end-of-run
+    // save finally trips over it.
+    if (cache_path && *cache_path) {
+      support::validate_writable_path(cache_path, "evaluation cache");
+    }
+    if (!registry_path.empty()) {
+      support::validate_writable_path(registry_path, "plan registry");
+    }
     if (cache_path && *cache_path) {
       std::ifstream probe(cache_path);
       if (probe.good()) {
-        std::size_t n = eval_cache.load(cache_path);
+        support::SalvageReport report;
+        std::size_t n = eval_cache.load(cache_path, policy, &report);
         std::printf("evaluation cache : loaded %zu entries from %s\n", n,
                     cache_path);
+        print_salvage("evaluation cache", report);
       }
     }
     if (method == "random") {
@@ -351,11 +437,19 @@ int main(int argc, char** argv) {
 
     if (do_serve) {
       int rc = run_serve(problem, device, options, clients, requests,
-                         registry_path);
+                         registry_path, policy, tune_deadline);
       if (cache_path && *cache_path) {
-        eval_cache.merge_save(cache_path);
-        std::printf("evaluation cache : %zu entries saved to %s\n",
-                    eval_cache.size(), cache_path);
+        // Best-effort for the same reason as the registry save in
+        // run_serve: persistence trouble must not fail a served run.
+        try {
+          eval_cache.merge_save(cache_path, policy);
+          std::printf("evaluation cache : %zu entries saved to %s\n",
+                      eval_cache.size(), cache_path);
+        } catch (const Error& e) {
+          std::fprintf(stderr,
+                       "warning: evaluation cache not saved (%s)\n",
+                       e.what());
+        }
       }
       cache_summary();
       return rc;
@@ -401,7 +495,7 @@ int main(int argc, char** argv) {
       if (cache_path && *cache_path) {
         // Merge under the advisory lock: concurrent invocations sharing
         // one cache path keep each other's measurements.
-        eval_cache.merge_save(cache_path);
+        eval_cache.merge_save(cache_path, policy);
         std::printf("evaluation cache : %zu entries (%zu hits / %zu misses) "
                     "saved to %s\n",
                     eval_cache.size(), eval_cache.hits(),
