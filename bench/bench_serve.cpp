@@ -12,16 +12,28 @@
 //                 the tune enqueue, or at best a race on a signature
 //                 another client is concurrently publishing.
 //   warm phase  : after drain(), every signature is tuned and every
-//                 request is a registry hit — a mutex-guarded map
-//                 lookup.  This is the steady state a long-running
-//                 service lives in, and must be >= 10x the cold
-//                 throughput (the acceptance gate this harness checks;
-//                 in practice it is orders of magnitude beyond that).
+//                 request is a registry hit — a lock-free shard-snapshot
+//                 read (no mutex anywhere on the path).  This is the
+//                 steady state a long-running service lives in, and must
+//                 be >= 10x the cold throughput AND scale with client
+//                 count (the contention gates this harness checks).
 //
-// Emits the raw rows to BENCH_serve.json for plotting/regression
-// tracking.  Exit status is the 10x gate plus a cleanliness gate on
-// the resilience counters: no faults are injected here, so any retry,
-// tune failure, or open circuit breaker is a real pipeline bug.
+// Scaling gates (the regression guard for the sharded lock-free warm
+// path — the single-mutex registry was flat at ~200-275k req/s from 1
+// to 8 clients):
+//   scaling_efficiency = warm req/s at 8 clients / (8 x warm req/s at
+//   1 client).  Both targets scale with the cores actually present
+//   (min(1, hw/8)): on an 8-core box the gate is the full >= 1M
+//   aggregate req/s and >= 0.5 efficiency; on smaller CI boxes the
+//   pro-rated gate still catches a lock-contention collapse (efficiency
+//   on 1 core cannot exceed ~1/8 no matter the code, but a contended
+//   mutex drives it far below even that).
+//
+// Emits the raw rows plus scaling_efficiency to BENCH_serve.json for
+// plotting/regression tracking.  Exit status is the gates above plus a
+// cleanliness gate on the resilience counters: no faults are injected
+// here, so any retry, tune failure, or open circuit breaker is a real
+// pipeline bug.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +43,7 @@
 
 #include "bench_common.hpp"
 #include "serve/service.hpp"
+#include "support/percentile.hpp"
 #include "support/timer.hpp"
 
 using namespace barracuda;
@@ -92,8 +105,11 @@ PhaseResult run_phase(serve::TuningService& service,
   std::sort(all.begin(), all.end());
   phase.requests = all.size();
   if (!all.empty()) {
-    phase.p50_us = all[all.size() / 2];
-    phase.p95_us = all[std::min(all.size() - 1, all.size() * 95 / 100)];
+    // Shared nearest-rank helper: the old inline math here used
+    // truncating indices (size/2, size*95/100) which over-reports the
+    // rank on small N — e.g. p50 of 4 samples read element 3 of 4.
+    phase.p50_us = support::percentile_sorted(all, 50.0);
+    phase.p95_us = support::percentile_sorted(all, 95.0);
     phase.max_us = all.back();
   }
   return phase;
@@ -171,18 +187,54 @@ int main() {
                    row.single_flight ? "yes" : "NO — BUG"});
   }
   std::printf("%s", table.render().c_str());
+
+  // Contention gates for the sharded lock-free warm path.  Full targets
+  // (>= 1M aggregate req/s at 8 clients, scaling efficiency >= 0.5) are
+  // pro-rated by the cores available: a 1-core CI box cannot scale 8
+  // threads no matter how lock-free the path is, but a contended mutex
+  // still collapses far below the pro-rated floor.
+  const double hw = std::max<double>(
+      1.0, static_cast<double>(std::thread::hardware_concurrency()));
+  const double hw_scale = std::min(1.0, hw / 8.0);
+  const double warm_at_1 = rows.front().warm.throughput();
+  const double warm_at_max = rows.back().warm.throughput();
+  const double scaling_efficiency =
+      warm_at_max /
+      (static_cast<double>(rows.back().clients) * std::max(warm_at_1, 1e-12));
+  const double aggregate_target = 1e6 * hw_scale;
+  const double efficiency_target = 0.5 * hw_scale;
+  const bool aggregate_ok = warm_at_max >= aggregate_target;
+  const bool efficiency_ok = scaling_efficiency >= efficiency_target;
+  all_pass = all_pass && aggregate_ok && efficiency_ok;
+
+  std::printf(
+      "\nwarm aggregate @ %zu clients : %.0f req/s (target %.0f, %s)\n"
+      "scaling efficiency          : %.3f (target %.3f, %s) "
+      "[%zu cores detected]\n",
+      rows.back().clients, warm_at_max, aggregate_target,
+      aggregate_ok ? "pass" : "FAIL", scaling_efficiency, efficiency_target,
+      efficiency_ok ? "pass" : "FAIL", static_cast<std::size_t>(hw));
   std::printf(
       "\nGate: warm-registry throughput >= 10x cold on the repeated-\n"
       "signature workload, tune count == distinct signatures (%zu) at\n"
-      "every client width, and zero retries/failures/open breakers\n"
-      "(nothing injects faults here, so any retry is a pipeline bug).\n",
+      "every client width, zero retries/failures/open breakers (nothing\n"
+      "injects faults here, so any retry is a pipeline bug), and the\n"
+      "core-scaled aggregate-throughput / scaling-efficiency targets\n"
+      "above (full targets: 1M req/s aggregate, 0.5 efficiency).\n",
       problems.size());
 
   const char* json_path = "BENCH_serve.json";
   std::ofstream out(json_path);
-  out << "{\n  \"distinct_signatures\": " << problems.size()
-      << ",\n  \"requests_per_signature\": " << kRequestsPerSignature
-      << ",\n  \"rows\": [\n";
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"distinct_signatures\": %zu,\n"
+                "  \"requests_per_signature\": %zu,\n"
+                "  \"hardware_concurrency\": %zu,\n"
+                "  \"scaling_efficiency\": %.4f,\n"
+                "  \"rows\": [\n",
+                problems.size(), kRequestsPerSignature,
+                static_cast<std::size_t>(hw), scaling_efficiency);
+  out << head;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     char buf[512];

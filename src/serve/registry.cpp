@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -44,6 +46,12 @@ std::string decode_recipe(const std::string& flat) {
   return text;
 }
 
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 bool better_plan(const PlanEntry& a, const PlanEntry& b) {
@@ -51,93 +59,156 @@ bool better_plan(const PlanEntry& a, const PlanEntry& b) {
   return a.tuned && !b.tuned;
 }
 
+std::size_t default_registry_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(64, round_up_pow2(std::max(1u, hw)));
+}
+
+PlanRegistry::PlanRegistry() : PlanRegistry(default_registry_shards()) {}
+
+PlanRegistry::PlanRegistry(std::size_t shards)
+    : shard_count_(round_up_pow2(std::max<std::size_t>(1, shards))),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    shards_[s].snapshot.store(std::make_shared<const ShardMap>(),
+                              std::memory_order_relaxed);
+  }
+}
+
+PlanRegistry::Shard& PlanRegistry::shard_of(
+    const std::string& signature) const {
+  // Power-of-two count: mask the string hash.  Readers and writers for
+  // distinct shards share nothing but the counters.
+  return shards_[std::hash<std::string>{}(signature) & (shard_count_ - 1)];
+}
+
 bool PlanRegistry::lookup(const std::string& signature,
                           PlanEntry* entry) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = plans_.find(signature);
-  if (it == plans_.end()) {
-    ++misses_;
+  const Shard& shard = shard_of(signature);
+  // Acquire pairs with the publisher's release store: the snapshot's map
+  // contents are fully visible.  No lock — this is the warm serving
+  // path.
+  std::shared_ptr<const ShardMap> snap =
+      shard.snapshot.load(std::memory_order_acquire);
+  auto it = snap->find(signature);
+  if (it == snap->end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  ++hits_;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   *entry = it->second;
   return true;
 }
 
 bool PlanRegistry::contains(const std::string& signature) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return plans_.find(signature) != plans_.end();
+  const Shard& shard = shard_of(signature);
+  std::shared_ptr<const ShardMap> snap =
+      shard.snapshot.load(std::memory_order_acquire);
+  return snap->find(signature) != snap->end();
 }
 
 bool PlanRegistry::peek(const std::string& signature,
                         PlanEntry* entry) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = plans_.find(signature);
-  if (it == plans_.end()) return false;
+  const Shard& shard = shard_of(signature);
+  std::shared_ptr<const ShardMap> snap =
+      shard.snapshot.load(std::memory_order_acquire);
+  auto it = snap->find(signature);
+  if (it == snap->end()) return false;
   *entry = it->second;
   return true;
 }
 
 bool PlanRegistry::publish(const std::string& signature,
                            const PlanEntry& entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = plans_.find(signature);
-  if (it == plans_.end()) {
-    plans_.emplace(signature, entry);
-    return true;
-  }
-  if (!better_plan(entry, it->second)) return false;
-  it->second = entry;
-  ++upgrades_;
+  Shard& shard = shard_of(signature);
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  std::shared_ptr<const ShardMap> snap =
+      shard.snapshot.load(std::memory_order_relaxed);
+  auto it = snap->find(signature);
+  const bool is_new = it == snap->end();
+  if (!is_new && !better_plan(entry, it->second)) return false;
+  // Copy-on-write: readers keep the old snapshot until the release
+  // store below, then see the fully built new one.
+  auto next = std::make_shared<ShardMap>(*snap);
+  (*next)[signature] = entry;
+  shard.snapshot.store(std::move(next), std::memory_order_release);
+  if (!is_new) shard.upgrades.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 PlanEntry PlanRegistry::publish_and_get(const std::string& signature,
                                         const PlanEntry& entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = plans_.find(signature);
-  if (it == plans_.end()) {
-    it = plans_.emplace(signature, entry).first;
-  } else if (better_plan(entry, it->second)) {
-    it->second = entry;
-    ++upgrades_;
+  Shard& shard = shard_of(signature);
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  std::shared_ptr<const ShardMap> snap =
+      shard.snapshot.load(std::memory_order_relaxed);
+  auto it = snap->find(signature);
+  if (it != snap->end() && !better_plan(entry, it->second)) {
+    return it->second;
   }
-  return it->second;
+  auto next = std::make_shared<ShardMap>(*snap);
+  (*next)[signature] = entry;
+  if (it != snap->end()) {
+    shard.upgrades.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.snapshot.store(std::move(next), std::memory_order_release);
+  return entry;
 }
 
 std::size_t PlanRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return plans_.size();
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    total += shards_[s].snapshot.load(std::memory_order_acquire)->size();
+  }
+  return total;
 }
 
 std::size_t PlanRegistry::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    total += shards_[s].hits.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 std::size_t PlanRegistry::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    total += shards_[s].misses.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 std::size_t PlanRegistry::upgrades() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return upgrades_;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    total += shards_[s].upgrades.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void PlanRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  plans_.clear();
-  hits_ = 0;
-  misses_ = 0;
-  upgrades_ = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    shard.snapshot.store(std::make_shared<const ShardMap>(),
+                         std::memory_order_release);
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.upgrades.store(0, std::memory_order_relaxed);
+  }
 }
 
 void PlanRegistry::save(const std::string& path) const {
+  // Gather a point-in-time view from the shard snapshots (no locks —
+  // each shard's snapshot is immutable) and sort globally by signature,
+  // so the file is deterministic and byte-identical for any shard
+  // count.
   std::vector<std::pair<std::string, PlanEntry>> entries;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries.assign(plans_.begin(), plans_.end());
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_ptr<const ShardMap> snap =
+        shards_[s].snapshot.load(std::memory_order_acquire);
+    entries.insert(entries.end(), snap->begin(), snap->end());
   }
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -198,6 +269,42 @@ void PlanRegistry::save(const std::string& path) const {
   }
 }
 
+void PlanRegistry::merge_entries(
+    std::vector<std::pair<std::string, PlanEntry>> entries,
+    bool count_upgrades) {
+  // Group by owning shard, then apply each group with ONE copy-on-write
+  // pass per shard: a bulk load of N entries costs O(shards) snapshot
+  // copies, not O(N).
+  std::vector<std::vector<std::pair<std::string, PlanEntry>>> by_shard(
+      shard_count_);
+  for (auto& [sig, entry] : entries) {
+    const std::size_t s = std::hash<std::string>{}(sig) & (shard_count_ - 1);
+    by_shard[s].emplace_back(std::move(sig), std::move(entry));
+  }
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    std::shared_ptr<const ShardMap> snap =
+        shard.snapshot.load(std::memory_order_relaxed);
+    auto next = std::make_shared<ShardMap>(*snap);
+    std::size_t upgrades = 0;
+    for (auto& [sig, entry] : by_shard[s]) {
+      auto it = next->find(sig);
+      if (it == next->end()) {
+        next->emplace(std::move(sig), std::move(entry));
+      } else if (better_plan(entry, it->second)) {
+        it->second = std::move(entry);
+        ++upgrades;
+      }
+    }
+    shard.snapshot.store(std::move(next), std::memory_order_release);
+    if (count_upgrades && upgrades > 0) {
+      shard.upgrades.fetch_add(upgrades, std::memory_order_relaxed);
+    }
+  }
+}
+
 std::size_t PlanRegistry::load(const std::string& path,
                                support::RecoveryPolicy policy,
                                support::SalvageReport* report) {
@@ -223,6 +330,9 @@ std::size_t PlanRegistry::load(const std::string& path,
     // records: salvage keeps zero entries and quarantines below.
     in.setstate(std::ios::eofbit);
   }
+  // Parse everything first (throwing under kStrict leaves the registry
+  // untouched — load stays all-or-nothing), then bulk-merge per shard.
+  std::vector<std::pair<std::string, PlanEntry>> parsed;
   std::size_t loaded = 0;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -268,20 +378,14 @@ std::size_t PlanRegistry::load(const std::string& path,
       fail("unparseable recipe: " + std::string(e.what()));
       continue;
     }
-    // Better-wins merge: a loaded entry only displaces what this
-    // registry already serves when it is actually faster.
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = plans_.find(fields[4]);
-      if (it == plans_.end()) {
-        plans_.emplace(std::move(fields[4]), std::move(entry));
-      } else if (better_plan(entry, it->second)) {
-        it->second = std::move(entry);
-      }
-    }
+    parsed.emplace_back(std::move(fields[4]), std::move(entry));
     ++loaded;
   }
   in.close();
+  // Better-wins merge: a loaded entry only displaces what this registry
+  // already serves when it is actually faster.  Never counts upgrades —
+  // load is replication, not tuning progress.
+  merge_entries(std::move(parsed), /*count_upgrades=*/false);
   local.kept = loaded;
   if (salvage && local.dropped > 0) {
     // Quarantine the damaged original; the salvaged state gets

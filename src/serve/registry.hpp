@@ -12,18 +12,37 @@
 // from a file, not across concurrent processes composing through
 // merge_save().
 //
+// Concurrency (the warm-serving hot path): the map is SHARDED by
+// signature hash — a power-of-two shard count derived from hardware
+// concurrency — and each shard publishes an immutable snapshot
+// (std::shared_ptr<const ShardMap>) through an atomic pointer.  Readers
+// (lookup/contains/peek) take NO lock: they atomically load the shard's
+// current snapshot and search it, so a warm request never contends with
+// a tune publishing, a load() replicating, or a merge_save() composing.
+// Writers serialize per shard on a striped mutex and publish
+// copy-on-write: copy the shard map, apply the better-wins change, swap
+// the snapshot pointer.  Hit/miss/upgrade counters are relaxed per-shard
+// atomics, summed on read.
+//
 // Persistence reuses the EvalCache machinery wholesale: a versioned,
-// line-oriented text format, save() publishing via temp file + atomic
-// rename(2) (readers and post-crash inspectors never see a torn file),
-// merge_save() holding an exclusive flock(2) on `<path>.lock` across
-// load-merge-publish so concurrent processes compose losslessly, and
-// load() rejecting corrupt files loudly instead of serving garbage.
+// line-oriented text format (UNCHANGED by the sharding — files written
+// by single-map builds load here and vice versa; save() still sorts
+// globally by signature so the bytes are deterministic), save()
+// publishing via temp file + atomic rename(2) (readers and post-crash
+// inspectors never see a torn file), merge_save() holding an exclusive
+// flock(2) on `<path>.lock` across load-merge-publish so concurrent
+// processes compose losslessly, and load() rejecting corrupt files
+// loudly instead of serving garbage.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "support/recovery.hpp"
 
@@ -50,28 +69,45 @@ struct PlanEntry {
 /// equal tuned-ness) keep the incumbent, so merges are idempotent.
 bool better_plan(const PlanEntry& a, const PlanEntry& b);
 
+/// The power-of-two shard count a default-constructed PlanRegistry uses:
+/// hardware concurrency rounded up to a power of two, clamped to
+/// [1, 64].
+std::size_t default_registry_shards();
+
 /// Thread-safe signature -> PlanEntry map with better-wins publication.
 /// Safe to share across concurrent get_plan requests and background
-/// tuning workers alike.
+/// tuning workers alike; reads are lock-free snapshot loads (see the
+/// file comment).
 class PlanRegistry {
  public:
+  /// Shard count from default_registry_shards().
+  PlanRegistry();
+  /// Explicit shard count (rounded up to a power of two, >= 1) — for
+  /// tests that pin cross-shard behavior; the on-disk format is
+  /// identical for every shard count.
+  explicit PlanRegistry(std::size_t shards);
+
+  std::size_t shard_count() const { return shard_count_; }
+
   /// True (and sets *entry) when a plan is registered for `signature`.
-  /// Counts as a hit or miss.
+  /// Counts as a hit or miss.  Lock-free.
   bool lookup(const std::string& signature, PlanEntry* entry) const;
 
   /// True when `signature` has a plan, WITHOUT touching the hit/miss
   /// counters (scheduling probes must not distort the serve hit rate).
+  /// Lock-free.
   bool contains(const std::string& signature) const;
 
   /// lookup() without the hit/miss counters — the TuningService's
   /// scheduling probe ("is this entry already tuned?"), which must not
-  /// distort the serve hit rate.
+  /// distort the serve hit rate.  Lock-free.
   bool peek(const std::string& signature, PlanEntry* entry) const;
 
   /// Better-wins publication: installs `entry` when the signature is new
   /// or `entry` beats the incumbent (see better_plan), otherwise keeps
   /// the incumbent.  Returns true when `entry` was installed.  Replacing
-  /// an existing entry counts as an upgrade.
+  /// an existing entry counts as an upgrade.  Takes only the owning
+  /// shard's write lock; concurrent readers are never blocked.
   bool publish(const std::string& signature, const PlanEntry& entry);
 
   /// publish() and read back the resulting incumbent in one atomic step.
@@ -91,11 +127,12 @@ class PlanRegistry {
   void clear();
 
   /// Write every entry to `path` (versioned text, sorted by signature so
-  /// the file is deterministic), via temp file + atomic rename — no
-  /// reader, concurrent or post-crash, can observe a torn file.  Throws
-  /// Error on an unwritable path or an unserializable entry (tab/newline
-  /// in a signature, ';' or tab in recipe text, non-finite modeled_us,
-  /// empty recipe).  Counters are not persisted.
+  /// the file is deterministic and byte-identical for any shard count),
+  /// via temp file + atomic rename — no reader, concurrent or
+  /// post-crash, can observe a torn file.  Throws Error on an unwritable
+  /// path or an unserializable entry (tab/newline in a signature, ';' or
+  /// tab in recipe text, non-finite modeled_us, empty recipe).  Counters
+  /// are not persisted.
   void save(const std::string& path) const;
 
   /// Merge entries from a save()d file into this registry under the
@@ -130,11 +167,29 @@ class PlanRegistry {
       support::RecoveryPolicy policy = support::RecoveryPolicy::kStrict);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, PlanEntry> plans_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
-  std::size_t upgrades_ = 0;
+  using ShardMap = std::unordered_map<std::string, PlanEntry>;
+
+  /// One stripe: an immutable published snapshot readers load atomically
+  /// plus the mutex that serializes this stripe's copy-on-write
+  /// publishers.  Counters are relaxed atomics (hot-path increments,
+  /// summed on read).
+  struct Shard {
+    mutable std::mutex write_mutex;
+    std::atomic<std::shared_ptr<const ShardMap>> snapshot;
+    mutable std::atomic<std::size_t> hits{0};
+    mutable std::atomic<std::size_t> misses{0};
+    std::atomic<std::size_t> upgrades{0};
+  };
+
+  Shard& shard_of(const std::string& signature) const;
+  /// Merge `entries` into their owning shards, one copy-on-write pass
+  /// per shard (load()'s bulk path — O(shards) snapshot copies instead
+  /// of O(entries)).
+  void merge_entries(std::vector<std::pair<std::string, PlanEntry>> entries,
+                     bool count_upgrades);
+
+  std::size_t shard_count_ = 1;  // power of two
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace barracuda::serve

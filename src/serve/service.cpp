@@ -66,10 +66,10 @@ TuningService::~TuningService() {
 
 ServedPlan TuningService::get_plan(const core::TuningProblem& problem,
                                    const vgpu::DeviceProfile& device) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++requests_;
-  }
+  // Warm path: this relaxed increment plus the registry's lock-free
+  // shard-snapshot lookup is ALL a tuned hit does — no service mutex,
+  // no contention with publishing tunes or other readers.
+  requests_.fetch_add(1, std::memory_order_relaxed);
   ServedPlan served;
   served.signature = signature(problem, device);
 
@@ -256,9 +256,14 @@ void TuningService::drain() {
 
 ServeStats TuningService::stats() const {
   ServeStats s;
+  // Hot counter: relaxed atomic read, no lock — see the ServeStats
+  // consistency contract.
+  s.requests = requests_.load(std::memory_order_relaxed);
   {
+    // Tune-path state: mutex_ is contended only by the miss/untuned
+    // path and tune workers, so taking it here never stalls a warm
+    // request.
     std::lock_guard<std::mutex> lock(mutex_);
-    s.requests = requests_;
     s.tunes_started = tunes_started_;
     s.tunes_completed = tunes_completed_;
     s.tune_failures = tune_failures_;
@@ -302,6 +307,69 @@ chill::GpuPlan materialize(const core::TuningProblem& problem,
   chill::Recipe recipe =
       core::parse_recipe(entry.recipe_text, "<plan-registry>");
   return chill::lower_program(variants[entry.variant], recipe);
+}
+
+PrewarmResult prewarm(PlanRegistry& registry,
+                      const octopi::OctopiProgram& program,
+                      const std::vector<vgpu::DeviceProfile>& devices,
+                      const PrewarmOptions& options) {
+  BARRACUDA_CHECK_MSG(!devices.empty(), "prewarm needs at least one device");
+  WallTimer timer;
+  // The cartesian grid: extent specializations x devices.  Each cell is
+  // an independent tune, farmed across the shared pool exactly like
+  // core::tune_specializations — the pool-depth guard keeps the search
+  // inside each pooled tune sequential, so one n_jobs knob bounds the
+  // whole prewarm.
+  std::vector<tensor::Extents> points =
+      program.specializations(options.max_points);
+  struct Cell {
+    const tensor::Extents* extents;
+    const vgpu::DeviceProfile* device;
+  };
+  std::vector<Cell> grid;
+  grid.reserve(points.size() * devices.size());
+  for (const auto& point : points) {
+    for (const auto& device : devices) grid.push_back({&point, &device});
+  }
+
+  std::atomic<std::size_t> tuned{0}, skipped{0}, published{0};
+  support::parallel_apply(
+      support::resolve_jobs(options.tune.search.n_jobs), grid.size(),
+      [&](std::size_t i) {
+        core::TuningProblem problem;
+        problem.name = "prewarm";
+        problem.extents = *grid[i].extents;
+        for (const auto& s : program.statements) {
+          problem.statements.push_back(s.to_contraction());
+        }
+        const std::string sig = signature(problem, *grid[i].device);
+        PlanEntry current;
+        if (registry.peek(sig, &current) && current.tuned) {
+          // Already tuned (a previous prewarm run, or a serving fleet's
+          // merge_save): re-running prewarm only pays for new points.
+          skipped.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        core::TuneResult result =
+            core::tune(problem, *grid[i].device, options.tune);
+        PlanEntry entry;
+        entry.variant = result.best_variant;
+        entry.recipe_text = core::serialize_recipe(result.best_recipe);
+        entry.modeled_us = finite_us(result.modeled_us());
+        entry.tuned = true;
+        tuned.fetch_add(1, std::memory_order_relaxed);
+        if (registry.publish(sig, entry)) {
+          published.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  PrewarmResult result;
+  result.points = grid.size();
+  result.tuned = tuned.load(std::memory_order_relaxed);
+  result.skipped = skipped.load(std::memory_order_relaxed);
+  result.published = published.load(std::memory_order_relaxed);
+  result.seconds = timer.seconds();
+  return result;
 }
 
 PlanEntry fallback_plan(const core::TuningProblem& problem,

@@ -51,6 +51,7 @@
 //            deadline_expired.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -58,8 +59,10 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/barracuda.hpp"
+#include "octopi/ast.hpp"
 #include "serve/registry.hpp"
 #include "serve/signature.hpp"
 
@@ -119,6 +122,15 @@ struct ServedPlan {
 
 /// Point-in-time service counters.  hits/misses/upgrades come from the
 /// shared PlanRegistry and include other services or loads touching it.
+///
+/// Consistency contract: stats() never blocks the warm serving path.
+/// The hot counters (requests, registry hits/misses) are relaxed
+/// atomics read without any lock, so a snapshot taken while traffic is
+/// flowing is "consistent enough" — each counter is exact, but counters
+/// incremented at different points of a request's lifetime may be
+/// observed mid-request (e.g. requests may momentarily exceed
+/// hits + misses).  The tune-path counters are read under the service
+/// mutex, which the warm path no longer touches.
 struct ServeStats {
   std::size_t requests = 0;
   std::size_t registry_hits = 0;
@@ -183,7 +195,12 @@ class TuningService {
   TuningService& operator=(const TuningService&) = delete;
 
   /// Answer a request: never blocks on tuning, never returns a plan
-  /// slower than any previously served for the same signature.
+  /// slower than any previously served for the same signature.  The
+  /// warm (tuned registry hit) path is lock-free: a shard-snapshot read
+  /// plus relaxed counter increments — it never takes the service mutex
+  /// and never contends with a publishing tune, a merge_save, or
+  /// another reader.  The miss/untuned path alone takes the service
+  /// mutex (single-flight scheduling).
   ServedPlan get_plan(const core::TuningProblem& problem,
                       const vgpu::DeviceProfile& device);
 
@@ -192,6 +209,8 @@ class TuningService {
   /// it occupies).
   void drain();
 
+  /// Point-in-time counters.  Never blocks get_plan's warm path — see
+  /// the ServeStats consistency contract.
   ServeStats stats() const;
 
   /// True (and fills *failure) when `signature`'s most recent tune run
@@ -216,6 +235,12 @@ class TuningService {
   PlanRegistry& registry_;
   ServeOptions options_;
 
+  /// The one hot-path counter the service itself owns: bumped with a
+  /// relaxed fetch_add so a warm request touches no lock at all.
+  std::atomic<std::size_t> requests_{0};
+
+  /// mutex_ protects ONLY the tune-scheduling state below — it is taken
+  /// on the miss/untuned path and by tune workers, never by a warm hit.
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
   /// Signatures with a scheduled-or-running background tune.
@@ -227,7 +252,6 @@ class TuningService {
   std::unordered_map<std::string, TuneFailure> failures_;
   std::size_t scheduled_ = 0;
   std::size_t running_ = 0;
-  std::size_t requests_ = 0;
   std::size_t tunes_started_ = 0;
   std::size_t tunes_completed_ = 0;
   std::size_t tune_failures_ = 0;
@@ -253,5 +277,42 @@ chill::GpuPlan materialize(const core::TuningProblem& problem,
 PlanEntry fallback_plan(const core::TuningProblem& problem,
                         const vgpu::DeviceProfile& device,
                         const core::TuneOptions& options = {});
+
+/// Registry pre-warming (the serving analog of tune_specializations):
+/// tune a cartesian grid of extent specializations x devices OFFLINE
+/// into a registry, so a fleet that load()s the resulting file boots
+/// 100% warm — zero cold misses, zero fallback answers, zero background
+/// tunes at serve time.
+struct PrewarmOptions {
+  /// Configuration for the per-point core::tune() runs.
+  /// tune.search.n_jobs also sets the outer grid parallelism: points
+  /// are independent tunes farmed across the shared ThreadPool, exactly
+  /// like core::tune_specializations (the pool-depth guard keeps the
+  /// searches inside each pooled tune sequential).
+  core::TuneOptions tune;
+  /// Cap on the extent grid (OctopiProgram::specializations' cap; the
+  /// lowest corners win).  A program without ranged dims has exactly
+  /// one point.
+  std::size_t max_points = 64;
+};
+
+struct PrewarmResult {
+  std::size_t points = 0;     ///< grid points visited (extents x devices)
+  std::size_t tuned = 0;      ///< full tunes actually run
+  std::size_t skipped = 0;    ///< signatures already tuned in the registry
+  std::size_t published = 0;  ///< tuned entries that won better-wins
+  double seconds = 0;         ///< wall time for the whole grid
+};
+
+/// Tune every (specialization, device) pair of `program`'s extent grid
+/// into `registry` under the better-wins rule, in parallel on the
+/// shared pool.  Signatures the registry already holds a TUNED entry
+/// for are skipped (re-running prewarm over a grown grid only pays for
+/// the new points).  Throws like core::tune on a broken program; the
+/// registry keeps every entry published before the throw.
+PrewarmResult prewarm(PlanRegistry& registry,
+                      const octopi::OctopiProgram& program,
+                      const std::vector<vgpu::DeviceProfile>& devices,
+                      const PrewarmOptions& options = {});
 
 }  // namespace barracuda::serve

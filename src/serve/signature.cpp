@@ -1,21 +1,36 @@
 #include "serve/signature.hpp"
 
-#include <sstream>
+#include <cstdio>
 
 namespace barracuda::serve {
 
 std::string signature(const core::TuningProblem& problem,
                       const vgpu::DeviceProfile& device) {
-  std::ostringstream os;
-  os << device.name << '|';
+  // This runs on EVERY get_plan request — with the registry read now a
+  // lock-free snapshot lookup, signature construction is the biggest
+  // per-request cost on the warm path — so build the string directly
+  // (one reserve, plain appends) instead of through an ostringstream.
+  std::string sig;
+  sig.reserve(64 + 16 * problem.extents.size());
+  sig += device.name;
+  sig += '|';
   // tensor::Extents is an ordered map, so iteration order is the sorted
   // index order regardless of how the DSL declared them.
+  char extent_text[24];
   for (const auto& [index, extent] : problem.extents) {
-    os << index << '=' << extent << ',';
+    sig += index;
+    sig += '=';
+    std::snprintf(extent_text, sizeof extent_text, "%lld",
+                  static_cast<long long>(extent));
+    sig += extent_text;
+    sig += ',';
   }
-  os << '|';
-  for (const auto& stmt : problem.statements) os << stmt.to_string() << ';';
-  return os.str();
+  sig += '|';
+  for (const auto& stmt : problem.statements) {
+    sig += stmt.to_string();
+    sig += ';';
+  }
+  return sig;
 }
 
 std::string signature_of_dsl(std::string_view dsl_text,

@@ -1,16 +1,33 @@
 // Advisory inter-process file locking + atomic-publish helpers shared by
 // the persistent stores (core::EvalCache, serve::PlanRegistry).
 //
-// Protocol: the lock file is `<path>.lock`, created on first use and
-// never deleted; a writer holds an exclusive flock(2) on it across its
-// whole read-modify-write.  flock locks belong to the open file
-// description, so the kernel releases them when the holder exits or
-// crashes — a leftover `.lock` FILE is therefore harmless (stale-lock
-// recovery needs no timeouts or pid probes; the next flock simply
-// succeeds).  Readers that skip the lock are still safe as long as the
-// data file is only ever replaced via atomic rename.  On platforms
-// without flock the lock degrades to a no-op: writers stay crash-safe
-// (rename) but concurrent writers may lose updates.
+// Protocol: the lock file is `<path>.lock`, created on demand by whoever
+// wants the lock and UNLINKED by the releasing holder, so registry and
+// cache directories no longer accumulate stale `.lock` litter across
+// runs.  Unlinking a lock file is racy if done naively (a waiter blocked
+// in flock(2) on the old inode would "acquire" a lock nobody else can
+// see), so acquisition uses the open-lock-stat-verify pattern:
+//
+//   1. open(path, O_CREAT)            — get an fd on whatever inode is
+//                                       at `path` right now
+//   2. flock(fd, LOCK_EX)             — wait for exclusivity on it
+//   3. fstat(fd) == stat(path)?       — still the live lock file?
+//        yes: we hold the lock; done.
+//        no:  the previous holder unlinked it while we waited — our
+//             lock is on a dead inode nobody else will ever open.
+//             Close and retry on the fresh inode.
+//
+// Release unlinks `path` BEFORE dropping the flock: while we hold the
+// exclusive lock we are the only verified holder, so the inode at
+// `path` is still ours to remove, and any waiter blocked on it will
+// fail the verify step and retry.  flock locks belong to the open file
+// description, so a crashed holder's lock (and its leftover file, which
+// the next acquirer simply re-verifies or re-creates) are both inert —
+// stale-lock recovery still needs no timeouts or pid probes.  Readers
+// that skip the lock are still safe as long as the data file is only
+// ever replaced via atomic rename.  On platforms without flock the lock
+// degrades to a no-op: writers stay crash-safe (rename) but concurrent
+// writers may lose updates.
 #pragma once
 
 #include <string>
@@ -18,6 +35,7 @@
 #ifndef _WIN32
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -27,29 +45,49 @@
 namespace barracuda::support {
 
 /// Exclusive advisory lock on `path`, held for the object's lifetime.
+/// The lock file is removed on release (see the protocol above).
 class FileLock {
  public:
-  explicit FileLock(const std::string& path) {
+  explicit FileLock(const std::string& path) : path_(path) {
     // Chaos probe: a lock-acquisition failure (EMFILE, a read-only
     // filesystem, ...) must surface as a clean Error from merge_save,
     // never a partial merge.
     fault::maybe_throw("filelock.acquire");
 #ifndef _WIN32
-    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
-    if (fd_ < 0) {
-      throw Error("cannot open lock file: " + path);
-    }
-    if (::flock(fd_, LOCK_EX) != 0) {
+    for (;;) {
+      fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+      if (fd_ < 0) {
+        throw Error("cannot open lock file: " + path);
+      }
+      if (::flock(fd_, LOCK_EX) != 0) {
+        ::close(fd_);
+        throw Error("cannot lock lock file: " + path);
+      }
+      struct stat held{}, live{};
+      if (::fstat(fd_, &held) != 0) {
+        ::close(fd_);
+        throw Error("cannot stat lock file: " + path);
+      }
+      // Verify the locked inode is still what `path` names.  A failed
+      // stat (ENOENT) or a different inode means the previous holder
+      // unlinked the file while we waited in flock — our exclusivity is
+      // on a dead inode no future waiter will open, so retry on the
+      // fresh one.
+      if (::stat(path.c_str(), &live) == 0 && held.st_dev == live.st_dev &&
+          held.st_ino == live.st_ino) {
+        return;
+      }
       ::close(fd_);
-      throw Error("cannot lock lock file: " + path);
     }
-#else
-    (void)path;
 #endif
   }
   ~FileLock() {
 #ifndef _WIN32
-    ::flock(fd_, LOCK_UN);
+    // Unlink while still holding the exclusive lock: we are the only
+    // verified holder, so the inode at path_ is ours, and waiters
+    // blocked on it fail the verify step and retry on whatever gets
+    // created next.  close() drops the flock.
+    ::unlink(path_.c_str());
     ::close(fd_);
 #endif
   }
@@ -57,6 +95,7 @@ class FileLock {
   FileLock& operator=(const FileLock&) = delete;
 
  private:
+  std::string path_;
   int fd_ = -1;
 };
 

@@ -1,0 +1,36 @@
+// Nearest-rank percentiles for latency summaries.
+//
+// The serving harnesses (bench_serve, the CLI --serve driver) summarize
+// request latencies as p50/p95/max.  Both used to hand-roll the index
+// arithmetic — `all[all.size() * 95 / 100]` — which is a truncating
+// formula that indexes the 94.x-th percentile for most sample counts
+// and reads the upper middle for p50 on even sizes.  The correct
+// nearest-rank statistic lives here once, so every harness agrees and a
+// unit test (tests/support/percentile_test.cpp) can pin the arithmetic
+// on known small vectors.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace barracuda::support {
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element such that at least p% of the sample is <= it, i.e.
+/// sorted[ceil(p/100 * N) - 1].  p must be in (0, 100]; p = 100 is the
+/// maximum.  An empty sample returns 0 (the "no requests" row of a
+/// latency table), never an out-of-range read.
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  BARRACUDA_CHECK_MSG(p > 0 && p <= 100, "percentile must be in (0, 100]");
+  if (sorted.empty()) return 0.0;
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  std::size_t index = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+}  // namespace barracuda::support

@@ -147,7 +147,10 @@ TEST(CacheConcurrency, RemergingIsIdempotentAndAdditive) {
 
 // A stale lock FILE left by a crashed writer must not wedge later
 // writers: flock(2) locks die with their holder, so the leftover file
-// is inert and the next merge_save just proceeds.
+// is inert and the next merge_save just proceeds — and, since FileLock
+// now unlinks on release (open-lock-stat-verify protocol), the last
+// writer also cleans the leftover up instead of re-littering the
+// directory.
 TEST(CacheConcurrency, StaleLockFileFromDeadWriterIsRecovered) {
   TempFile file("cache_concurrency_stale.cache");
   // A writer that crashed after taking the lock leaves the lock file
@@ -155,9 +158,10 @@ TEST(CacheConcurrency, StaleLockFileFromDeadWriterIsRecovered) {
   std::ofstream(file.path + ".lock") << "";
   run_writers(file.path, 2, 5);
   expect_exact_union(file.path, 2, 5);
-  // The data file parses and no temp files linger next to it.
+  // The data file parses, no temp files linger next to it, and the
+  // stale lock file was removed by the last releasing writer.
   std::ifstream lock(file.path + ".lock");
-  EXPECT_TRUE(lock.good()) << "lock file is part of the protocol";
+  EXPECT_FALSE(lock.good()) << "releasing holder must unlink the lock file";
 }
 
 #endif  // !_WIN32

@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -193,6 +195,132 @@ TEST(RegistryConcurrency, ThreadedMergeSaveAlsoConverges) {
     PlanEntry entry;
     ASSERT_TRUE(merged.peek(sig(s), &entry)) << "lost signature " << s;
     EXPECT_EQ(entry, plan_of(best_writer(s, kWriters), s, kWriters));
+  }
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The on-disk format must not depend on how the in-memory map is
+// sharded: save() sorts globally by signature, so an 8-shard registry,
+// a 1-shard registry, and a cross-shard merge_save union must all
+// produce identical bytes for the same entries.
+TEST(RegistryConcurrency, ShardCountInvisibleOnDiskByteForByte) {
+  TempFile sharded_file("registry_sharded_save.txt");
+  TempFile flat_file("registry_flat_save.txt");
+  TempFile merged_file("registry_merged_save.txt");
+
+  constexpr int kWriters = 4;
+  PlanRegistry sharded(8);
+  PlanRegistry flat(1);
+  ASSERT_EQ(sharded.shard_count(), 8u);
+  ASSERT_EQ(flat.shard_count(), 1u);
+  for (int s = 0; s < kSignatures; ++s) {
+    PlanEntry best = plan_of(best_writer(s, kWriters), s, kWriters);
+    sharded.publish(sig(s), best);
+    flat.publish(sig(s), best);
+  }
+  sharded.save(sharded_file.path);
+  flat.save(flat_file.path);
+  EXPECT_EQ(file_bytes(sharded_file.path), file_bytes(flat_file.path))
+      << "shard count leaked into the file format";
+
+  // merge_save from several partial sharded registries must union to
+  // the same bytes as the single-map save of all entries.
+  for (int w = 0; w < kWriters; ++w) {
+    PlanRegistry partial(8);
+    for (int s = 0; s < kSignatures; ++s) {
+      partial.publish(sig(s), plan_of(w, s, kWriters));
+    }
+    partial.merge_save(merged_file.path);
+  }
+  EXPECT_EQ(file_bytes(merged_file.path), file_bytes(flat_file.path))
+      << "cross-shard merge_save diverged from the single-map union";
+}
+
+// Readers race snapshot lookups against writers publishing ever-better
+// plans.  The copy-on-write snapshot protocol guarantees each reader
+// sees a complete, immutable map — under TSan this test is the data-race
+// proof for the lock-free warm path.  Observed modeled_us per signature
+// must be monotone non-increasing (better-wins means published plans
+// only improve).
+TEST(RegistryConcurrency, SnapshotReadsRaceWithPublishesCleanly) {
+  PlanRegistry registry(4);
+  constexpr int kRounds = 40;
+  constexpr int kReaders = 4;
+  // Seed every signature so readers always hit.
+  for (int s = 0; s < kSignatures; ++s) {
+    PlanEntry e = plan_of(0, s, 1);
+    e.modeled_us = 1000.0;
+    registry.publish(sig(s), e);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::vector<double> last(kSignatures, 1e30);
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int s = 0; s < kSignatures; ++s) {
+          PlanEntry entry;
+          if (!registry.lookup(sig(s), &entry)) {
+            violations.fetch_add(1);
+            continue;
+          }
+          if (entry.modeled_us > last[s] + 1e-9) violations.fetch_add(1);
+          last[s] = entry.modeled_us;
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      for (int s = 0; s < kSignatures; ++s) {
+        PlanEntry e = plan_of(0, s, 1);
+        e.variant = static_cast<std::size_t>(round);
+        e.modeled_us = 1000.0 - round;  // strictly better each round
+        registry.publish(sig(s), e);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0)
+      << "reader saw a missing signature or a regressing plan";
+  PlanEntry final_entry;
+  ASSERT_TRUE(registry.peek(sig(0), &final_entry));
+  EXPECT_DOUBLE_EQ(final_entry.modeled_us, 1000.0 - (kRounds - 1));
+}
+
+// Eight writer threads race publish() on every signature with different
+// qualities; better-wins must hold per shard — each signature ends at
+// the global best regardless of arrival order, and upgrade accounting
+// stays coherent.
+TEST(RegistryConcurrency, BetterWinsUnderEightRacingWriters) {
+  PlanRegistry registry(8);
+  constexpr int kWriters = 8;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int s = 0; s < kSignatures; ++s) {
+        registry.publish(sig(s), plan_of(w, s, kWriters));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(registry.size(), static_cast<std::size_t>(kSignatures));
+  for (int s = 0; s < kSignatures; ++s) {
+    PlanEntry entry;
+    ASSERT_TRUE(registry.peek(sig(s), &entry)) << "lost signature " << s;
+    EXPECT_EQ(entry, plan_of(best_writer(s, kWriters), s, kWriters))
+        << "signature " << s << " did not converge to the best plan";
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "octopi/parser.hpp"
 #include "serve/signature.hpp"
 #include "support/threadpool.hpp"
 
@@ -274,6 +275,53 @@ C[i j] = Sum([k], A[i k] * B[k j])
   PlanEntry entry;
   ASSERT_TRUE(registry.peek(sig, &entry));
   EXPECT_TRUE(entry.tuned);
+}
+
+// prewarm() tunes the full cartesian grid (extent specializations x
+// devices) into the registry, each entry tuned, and the signatures
+// match what a live service computes — so serving after a prewarm is
+// 100% warm hits with zero tunes.  A second prewarm over the same grid
+// skips every point (already tuned).
+TEST(TuningService, PrewarmGridServesWarmAcrossDevices) {
+  octopi::OctopiProgram program = octopi::parse_octopi(R"(
+dim i j k l m n = 3..4
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+)");
+  std::vector<vgpu::DeviceProfile> devices = {
+      vgpu::DeviceProfile::tesla_k20(), vgpu::DeviceProfile::gtx980()};
+
+  PlanRegistry registry;
+  PrewarmOptions options;
+  options.tune = fast_options().tune;
+  PrewarmResult result = prewarm(registry, program, devices, options);
+  EXPECT_EQ(result.points, 4u);  // 2 specializations x 2 devices
+  EXPECT_EQ(result.tuned, 4u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_EQ(result.published, 4u);
+  EXPECT_EQ(registry.size(), 4u);
+
+  // Every grid point serves warm, on each device, with no tune started.
+  TuningService service(registry, fast_options());
+  for (int n : {3, 4}) {
+    std::string dsl =
+        "dim i j k l m n = " + std::to_string(n) +
+        "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n";
+    core::TuningProblem problem = core::TuningProblem::from_dsl(dsl);
+    for (const auto& device : devices) {
+      ServedPlan served = service.get_plan(problem, device);
+      EXPECT_EQ(served.source, ServedPlan::Source::kWarm);
+      EXPECT_TRUE(served.plan.tuned);
+      expect_usable(served);
+    }
+  }
+  EXPECT_EQ(service.stats().tunes_started, 0u);
+
+  // Idempotent: the grid is already tuned, so nothing re-runs.
+  PrewarmResult again = prewarm(registry, program, devices, options);
+  EXPECT_EQ(again.points, 4u);
+  EXPECT_EQ(again.tuned, 0u);
+  EXPECT_EQ(again.skipped, 4u);
+  EXPECT_EQ(again.published, 0u);
 }
 
 // materialize() turns a served entry back into an executable GPU plan

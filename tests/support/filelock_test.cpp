@@ -1,0 +1,118 @@
+// Regression suite for the FileLock lifecycle: the lock file must be
+// removed by the releasing holder (no stale `.lock` litter across
+// runs), acquisition must survive a pre-existing stale file AND the
+// unlink race (a waiter whose locked inode was unlinked while it waited
+// must retry, not proceed on a dead inode), and mutual exclusion must
+// hold for threads hammering one path through the full
+// open-lock-verify / unlink-release cycle.
+#include "support/filelock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace barracuda::support {
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+std::string temp_lock(const std::string& name) {
+  std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(FileLock, CreatesOnAcquireAndRemovesOnRelease) {
+  const std::string path = temp_lock("filelock_lifecycle.lock");
+  {
+    FileLock lock(path);
+#ifndef _WIN32
+    EXPECT_TRUE(file_exists(path)) << "lock file must exist while held";
+#endif
+  }
+#ifndef _WIN32
+  EXPECT_FALSE(file_exists(path))
+      << "releasing holder must unlink its lock file";
+#endif
+}
+
+// A stale file left by a crashed holder (flock died with the process,
+// the unlink in the destructor never ran) is simply re-verified and
+// reused — and this holder's release removes it.
+TEST(FileLock, StaleFileFromCrashedHolderIsReusedThenRemoved) {
+  const std::string path = temp_lock("filelock_stale.lock");
+  std::ofstream(path) << "";
+  ASSERT_TRUE(file_exists(path));
+  { FileLock lock(path); }
+#ifndef _WIN32
+  EXPECT_FALSE(file_exists(path));
+#endif
+}
+
+TEST(FileLock, Reacquirable) {
+  const std::string path = temp_lock("filelock_reacquire.lock");
+  for (int i = 0; i < 3; ++i) {
+    FileLock lock(path);
+  }
+#ifndef _WIN32
+  EXPECT_FALSE(file_exists(path));
+#endif
+}
+
+#ifndef _WIN32
+
+// Threads racing the full acquire/release cycle on one path: mutual
+// exclusion must hold through the unlink-on-release races (every
+// read-modify-write of the shared counter is serialized), and the last
+// release leaves no lock file behind.  This is exactly the interleaving
+// the stat-verify step exists for: a waiter that locked an inode the
+// previous holder just unlinked must retry instead of entering the
+// critical section concurrently with the next holder.
+TEST(FileLock, ThreadedMutualExclusionAcrossUnlinkRaces) {
+  const std::string path = temp_lock("filelock_threads.lock");
+  const std::string counter_path = temp_lock("filelock_threads.counter");
+  std::ofstream(counter_path) << 0;
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        FileLock lock(path);
+        // Unsynchronized read-modify-write of a file: only safe if the
+        // lock really is exclusive.
+        int value = 0;
+        {
+          std::ifstream in(counter_path);
+          in >> value;
+        }
+        std::ofstream out(counter_path, std::ios::trunc);
+        out << value + 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int final_value = 0;
+  {
+    std::ifstream in(counter_path);
+    in >> final_value;
+  }
+  EXPECT_EQ(final_value, kThreads * kRounds)
+      << "lost update: two holders were inside the critical section";
+  EXPECT_FALSE(file_exists(path)) << "stale lock litter left behind";
+  std::remove(counter_path.c_str());
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace barracuda::support

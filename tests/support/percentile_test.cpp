@@ -1,0 +1,66 @@
+// Pins the nearest-rank percentile arithmetic on known small vectors —
+// the regression for the off-by-one family of bugs the serving
+// harnesses used to hand-roll (p95 of 100 samples must be the 95th
+// order statistic, index 94, not index 95; p50 of an even-sized sample
+// is the lower middle, not the upper).
+#include "support/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace barracuda::support {
+namespace {
+
+TEST(Percentile, KnownSmallVectors) {
+  const std::vector<double> four = {1, 2, 3, 4};
+  // ceil(0.50 * 4) - 1 = 1: the lower middle, not four[2].
+  EXPECT_DOUBLE_EQ(percentile_sorted(four, 50), 2);
+  // ceil(0.95 * 4) - 1 = 3.
+  EXPECT_DOUBLE_EQ(percentile_sorted(four, 95), 4);
+  EXPECT_DOUBLE_EQ(percentile_sorted(four, 25), 1);
+  EXPECT_DOUBLE_EQ(percentile_sorted(four, 100), 4);
+
+  const std::vector<double> five = {10, 20, 30, 40, 50};
+  // ceil(0.50 * 5) - 1 = 2: the true median of an odd-sized sample.
+  EXPECT_DOUBLE_EQ(percentile_sorted(five, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile_sorted(five, 95), 50);
+  EXPECT_DOUBLE_EQ(percentile_sorted(five, 20), 10);
+  EXPECT_DOUBLE_EQ(percentile_sorted(five, 21), 20);
+}
+
+// The historical bug, pinned exactly: with 100 samples the truncating
+// `size * 95 / 100` indexed element 95 (the 96th order statistic) and
+// `size / 2` indexed element 50 (the 51st).  Nearest-rank wants 94 and
+// 49.
+TEST(Percentile, HundredSamplesHitTheExactOrderStatistic) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 95), 94);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 50), 49);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 99), 98);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 100), 99);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1), 0);
+}
+
+TEST(Percentile, SingleElementAndEmpty) {
+  const std::vector<double> one = {7.5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 1), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 100), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 50), 0.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_THROW((void)percentile_sorted(v, 0), Error);
+  EXPECT_THROW((void)percentile_sorted(v, -5), Error);
+  EXPECT_THROW((void)percentile_sorted(v, 100.5), Error);
+}
+
+}  // namespace
+}  // namespace barracuda::support

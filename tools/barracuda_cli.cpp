@@ -38,6 +38,23 @@
 //                                an expired tune publishes its
 //                                best-so-far plan (0 = unbounded)
 //
+// Prewarm mode (offline registry pre-warming — the serving analog of
+// tune_specializations):
+//   --prewarm                    tune the cartesian grid of the input's
+//                                extent specializations (ranged dims,
+//                                e.g. `dim i j k = 8..16`) x --devices
+//                                into --registry, in parallel on the
+//                                shared pool, so a later --serve run
+//                                boots 100% warm (zero cold misses,
+//                                zero background tunes).  Requires
+//                                --registry; merge-saves under the
+//                                advisory lock, so concurrent prewarms
+//                                and serving fleets compose better-wins
+//   --devices a,b,c              prewarm device list (names as in
+//                                --device; default: the --device value)
+//   --grid N                     cap on the extent grid (default 64,
+//                                lowest corners win)
+//
 // Persistence robustness:
 //   --recover                    load persisted files (BARRACUDA_CACHE,
 //                                --registry) in salvage mode: keep every
@@ -81,10 +98,13 @@
 #include "chill/csource.hpp"
 #include "core/barracuda.hpp"
 #include "core/report.hpp"
+#include "octopi/parser.hpp"
 #include "orio/annotations.hpp"
 #include "serve/service.hpp"
 #include "support/paths.hpp"
+#include "support/percentile.hpp"
 #include "support/recovery.hpp"
+#include "support/str.hpp"
 #include "support/timer.hpp"
 #include "tensor/einsum.hpp"
 
@@ -100,7 +120,8 @@ int usage(const char* argv0) {
                "[--emit-cuda FILE] [--emit-orio FILE] [--verify] "
                "[--recover] "
                "[--serve [--clients N] [--requests M] [--registry FILE] "
-               "[--tune-deadline SECONDS]]\n",
+               "[--tune-deadline SECONDS]] "
+               "[--prewarm --registry FILE [--devices a,b,c] [--grid N]]\n",
                argv0);
   return 2;
 }
@@ -113,6 +134,20 @@ void print_salvage(const char* what, const support::SalvageReport& report) {
               "original quarantined to %s\n",
               what, report.kept, report.dropped,
               report.quarantine_path.c_str());
+}
+
+/// Device model by CLI name; false on an unknown name.
+bool device_by_name(const std::string& name, vgpu::DeviceProfile* out) {
+  if (name == "gtx980") {
+    *out = vgpu::DeviceProfile::gtx980();
+  } else if (name == "k20") {
+    *out = vgpu::DeviceProfile::tesla_k20();
+  } else if (name == "c2050") {
+    *out = vgpu::DeviceProfile::tesla_c2050();
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -211,12 +246,9 @@ int run_serve(const core::TuningProblem& problem,
   std::vector<double> all;
   for (const auto& v : latency_us) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
-  auto pct = [&](double p) {
-    return all.empty()
-               ? 0.0
-               : all[std::min(all.size() - 1,
-                              static_cast<std::size_t>(p * all.size()))];
-  };
+  // Shared nearest-rank helper — the hand-rolled index math this
+  // replaced was off by one rank (see support/percentile.hpp).
+  auto pct = [&](double p) { return support::percentile_sorted(all, p); };
 
   std::printf("serve clients    : %zu threads x %zu requests\n", clients,
               requests);
@@ -241,7 +273,7 @@ int run_serve(const core::TuningProblem& problem,
                   ? 1e3 * stats.tune_seconds_total / stats.tunes_completed
                   : 0.0);
   std::printf("serve latency    : p50 %.1f us, p95 %.1f us, max %.1f us\n",
-              pct(0.50), pct(0.95), all.empty() ? 0.0 : all.back());
+              pct(50), pct(95), all.empty() ? 0.0 : all.back());
 
   // The post-drain answer is the tuned plan every later request gets.
   serve::ServedPlan final = service.get_plan(problem, device);
@@ -268,6 +300,47 @@ int run_serve(const core::TuningProblem& problem,
   return 0;
 }
 
+/// The offline pre-warming driver: tune the extent-grid x device-list
+/// cartesian product into the registry file, so a later --serve boots
+/// 100% warm.  Returns the process exit code.
+int run_prewarm(const octopi::OctopiProgram& program,
+                const std::vector<vgpu::DeviceProfile>& devices,
+                const core::TuneOptions& tune_options, std::size_t grid,
+                const std::string& registry_path,
+                support::RecoveryPolicy policy) {
+  serve::PlanRegistry registry;
+  {
+    std::ifstream probe(registry_path);
+    if (probe.good()) {
+      probe.close();
+      support::SalvageReport report;
+      std::printf("plan registry    : loaded %zu entries from %s\n",
+                  registry.load(registry_path, policy, &report),
+                  registry_path.c_str());
+      print_salvage("plan registry   ", report);
+    }
+  }
+
+  serve::PrewarmOptions options;
+  options.tune = tune_options;
+  options.max_points = grid;
+  serve::PrewarmResult result =
+      serve::prewarm(registry, program, devices, options);
+
+  std::printf("prewarm grid     : %zu points (%zu extent specializations "
+              "x %zu devices)\n",
+              result.points, result.points / devices.size(),
+              devices.size());
+  std::printf("prewarm tunes    : %zu run, %zu skipped (already tuned), "
+              "%zu published, %.2fs\n",
+              result.tuned, result.skipped, result.published,
+              result.seconds);
+  registry.merge_save(registry_path, policy);
+  std::printf("plan registry    : %zu entries saved to %s\n",
+              registry.size(), registry_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +353,9 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool shared = false, do_verify = false, do_report = false;
   bool do_serve = false;
+  bool do_prewarm = false;
+  std::string devices_arg;
+  std::size_t grid = 64;
   std::size_t clients = 4, requests = 8;
   double tune_deadline = 0;
   const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
@@ -325,6 +401,16 @@ int main(int argc, char** argv) {
       load_recipe = next();
     } else if (arg == "--serve") {
       do_serve = true;
+    } else if (arg == "--prewarm") {
+      do_prewarm = true;
+    } else if (arg == "--devices") {
+      devices_arg = next();
+    } else if (arg == "--grid") {
+      grid = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      if (grid == 0) {
+        std::fprintf(stderr, "error: --grid must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--clients") {
       clients = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--requests") {
@@ -357,17 +443,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --clients and --requests must be >= 1\n");
     return 2;
   }
+  if (do_prewarm && do_serve) {
+    std::fprintf(stderr,
+                 "error: --prewarm and --serve are separate modes (prewarm "
+                 "offline, then serve against the registry)\n");
+    return 2;
+  }
+  if (do_prewarm && registry_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --prewarm needs --registry FILE (or "
+                 "BARRACUDA_REGISTRY) to write the warm registry to\n");
+    return 2;
+  }
 
   vgpu::DeviceProfile device;
-  if (device_name == "gtx980") {
-    device = vgpu::DeviceProfile::gtx980();
-  } else if (device_name == "k20") {
-    device = vgpu::DeviceProfile::tesla_k20();
-  } else if (device_name == "c2050") {
-    device = vgpu::DeviceProfile::tesla_c2050();
-  } else {
+  if (!device_by_name(device_name, &device)) {
     std::fprintf(stderr, "error: unknown device %s\n", device_name.c_str());
     return 2;
+  }
+
+  // --devices: the prewarm grid's device axis (default: just --device).
+  std::vector<vgpu::DeviceProfile> prewarm_devices;
+  if (devices_arg.empty()) {
+    prewarm_devices.push_back(device);
+  } else {
+    for (const std::string& name : split(devices_arg, ',')) {
+      vgpu::DeviceProfile d;
+      if (!device_by_name(name, &d)) {
+        std::fprintf(stderr, "error: unknown device %s in --devices\n",
+                     name.c_str());
+        return 2;
+      }
+      prewarm_devices.push_back(d);
+    }
   }
 
   std::ifstream in(input_path);
@@ -383,6 +491,43 @@ int main(int argc, char** argv) {
                                              : support::RecoveryPolicy::kStrict;
 
   try {
+    if (do_prewarm) {
+      // Prewarm parses the OCTOPI program directly (NOT through
+      // TuningProblem::from_dsl): ranged dims — `dim i j k = 8..16` —
+      // are exactly what spans the extent grid, and a prewarm input may
+      // consist of nothing else.
+      octopi::OctopiProgram program =
+          octopi::parse_octopi(text.str(), input_path);
+      core::TuneOptions options;
+      options.search.max_evaluations = evals;
+      options.search.n_jobs = jobs;
+      options.decision.use_shared_memory = shared;
+      support::validate_writable_path(registry_path, "plan registry");
+      core::EvalCache eval_cache;
+      options.eval_cache = &eval_cache;
+      const char* cache_path = std::getenv("BARRACUDA_CACHE");
+      if (cache_path && *cache_path) {
+        support::validate_writable_path(cache_path, "evaluation cache");
+        std::ifstream probe(cache_path);
+        if (probe.good()) {
+          probe.close();
+          support::SalvageReport report;
+          std::printf("evaluation cache : loaded %zu entries from %s\n",
+                      eval_cache.load(cache_path, policy, &report),
+                      cache_path);
+          print_salvage("evaluation cache", report);
+        }
+      }
+      int rc = run_prewarm(program, prewarm_devices, options, grid,
+                           registry_path, policy);
+      if (cache_path && *cache_path) {
+        eval_cache.merge_save(cache_path, policy);
+        std::printf("evaluation cache : %zu entries saved to %s\n",
+                    eval_cache.size(), cache_path);
+      }
+      return rc;
+    }
+
     core::TuningProblem problem =
         core::TuningProblem::from_dsl(text.str(), input_path);
     core::TuneOptions options;
