@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <atomic>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -38,8 +39,17 @@ std::string serialize_recipe(const chill::Recipe& recipe) {
   return os.str();
 }
 
+namespace {
+std::atomic<std::size_t> g_recipe_parses{0};
+}  // namespace
+
+std::size_t recipe_parse_count() {
+  return g_recipe_parses.load(std::memory_order_relaxed);
+}
+
 chill::Recipe parse_recipe(std::string_view text,
                            std::string_view source_name) {
+  g_recipe_parses.fetch_add(1, std::memory_order_relaxed);
   chill::Recipe recipe;
   int line_number = 0;
   for (const auto& raw : split(text, '\n')) {

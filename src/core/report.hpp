@@ -8,6 +8,7 @@
 // full outcome of a tune() run for humans.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "core/barracuda.hpp"
@@ -23,6 +24,13 @@ std::string serialize_recipe(const chill::Recipe& recipe);
 /// chill::lower_program (which validates it against the program).
 chill::Recipe parse_recipe(std::string_view text,
                            std::string_view source_name = "<recipe>");
+
+/// Process-wide count of parse_recipe calls (a relaxed atomic).  The
+/// serving layer's warm path promises ZERO recipe parses per request —
+/// parsed recipes ride inside PlanEntry from load/publish time — and
+/// the batch/LRU tests pin that promise against this counter instead of
+/// trusting the code path by inspection.
+std::size_t recipe_parse_count();
 
 /// Human-readable multi-section report of a tuning run.
 std::string tuning_report(const TuneResult& result,

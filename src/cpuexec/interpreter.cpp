@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 #include "support/timer.hpp"
 #include "tensor/shape.hpp"
 
@@ -31,6 +32,27 @@ const tensor::Tensor& run_sequential(const tcr::TcrProgram& program,
     tensor::evaluate(op, program.extents, env);
   }
   return env.at(program.output_name());
+}
+
+void run_sequential_batch(const tcr::TcrProgram& program,
+                          std::vector<tensor::TensorEnv>& envs,
+                          std::size_t n_jobs) {
+  // Validate ONCE for the whole batch — that is the amortization; the
+  // per-item body is exactly run_sequential minus the validate, so a
+  // batch item and a lone call see identical evaluation order and
+  // identical floating-point results.  Envs are disjoint, which makes
+  // the fan-out embarrassingly parallel: any n_jobs (including nested
+  // calls from pool workers, which parallel_apply runs inline) computes
+  // bit-identical outputs.
+  program.validate();
+  support::parallel_apply(
+      support::resolve_jobs(n_jobs), envs.size(), [&](std::size_t i) {
+        tensor::TensorEnv& env = envs[i];
+        materialize_outputs(program, env);
+        for (const auto& op : program.operations) {
+          tensor::evaluate(op, program.extents, env);
+        }
+      });
 }
 
 const tensor::Tensor& run_fused(const tcr::TcrProgram& program,

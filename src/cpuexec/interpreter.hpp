@@ -3,6 +3,9 @@
 // fusion transformation.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "tcr/fusion.hpp"
 #include "tcr/program.hpp"
 #include "tensor/einsum.hpp"
@@ -13,6 +16,16 @@ namespace barracuda::cpuexec {
 /// zeroed temporaries and outputs as needed).  Returns the final output.
 const tensor::Tensor& run_sequential(const tcr::TcrProgram& program,
                                      tensor::TensorEnv& env);
+
+/// Execute ONE program over a batch of operand sets: `envs[i]` receives
+/// exactly what run_sequential(program, envs[i]) would produce, for
+/// every i.  The program is validated once; the per-env work fans
+/// across the shared thread pool (`n_jobs` as in support::resolve_jobs;
+/// 1 = inline).  Envs are disjoint and each item is the same untouched
+/// sequential evaluation, so results are bit-identical for any n_jobs.
+void run_sequential_batch(const tcr::TcrProgram& program,
+                          std::vector<tensor::TensorEnv>& envs,
+                          std::size_t n_jobs = 0);
 
 /// Execute the fused form produced by tcr::fuse_program.  Semantically
 /// identical to run_sequential; exists to validate fusion legality and to

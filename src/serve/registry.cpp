@@ -372,8 +372,11 @@ std::size_t PlanRegistry::load(const std::string& path,
     entry.recipe_text = decode_recipe(fields[3]);
     try {
       // The recipe must at least parse; lowering validates it against
-      // the program at serve time.
-      core::parse_recipe(entry.recipe_text, path);
+      // the program at serve time.  The validation parse is KEPT in the
+      // entry, so every warm hit on a loaded registry serves the parsed
+      // recipe without ever calling parse_recipe again.
+      entry.parsed = std::make_shared<const chill::Recipe>(
+          core::parse_recipe(entry.recipe_text, path));
     } catch (const Error& e) {
       fail("unparseable recipe: " + std::string(e.what()));
       continue;

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "chill/lower.hpp"
 #include "support/recovery.hpp"
 
 namespace barracuda::serve {
@@ -56,12 +57,23 @@ namespace barracuda::serve {
 struct PlanEntry {
   std::size_t variant = 0;
   /// core::serialize_recipe form (one "kernel N: ..." line per kernel);
-  /// feed through core::parse_recipe + chill::lower_program to execute.
+  /// the PERSISTED form — the file format carries only this text.
   std::string recipe_text;
   double modeled_us = 0;
   bool tuned = false;
+  /// The parsed form of recipe_text, cached at load/publish time so a
+  /// warm hit never calls core::parse_recipe (the registry's lock-free
+  /// lookup copies the shared_ptr, not the recipe).  Never persisted;
+  /// may be null for hand-built entries — materialize() then parses
+  /// once and the executable-plan cache keeps the result.
+  std::shared_ptr<const chill::Recipe> parsed;
 
-  bool operator==(const PlanEntry&) const = default;
+  /// Equality is over the persisted fields only: the parsed cache is a
+  /// derived view of recipe_text, not part of the entry's identity.
+  bool operator==(const PlanEntry& other) const {
+    return variant == other.variant && recipe_text == other.recipe_text &&
+           modeled_us == other.modeled_us && tuned == other.tuned;
+  }
 };
 
 /// True when `a` should replace `b` as the served plan: strictly faster,

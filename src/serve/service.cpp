@@ -52,9 +52,13 @@ double backoff_ms(const RetryPolicy& retry, const std::string& sig,
 }  // namespace
 
 TuningService::TuningService(PlanRegistry& registry, ServeOptions options)
-    : registry_(registry), options_(std::move(options)) {
+    : registry_(registry),
+      options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity) {
   BARRACUDA_CHECK_MSG(options_.queue_capacity >= 1,
                       "serve queue capacity must be >= 1");
+  BARRACUDA_CHECK_MSG(options_.breaker_cooldown >= 0,
+                      "breaker cool-down must be >= 0");
 }
 
 TuningService::~TuningService() {
@@ -64,14 +68,11 @@ TuningService::~TuningService() {
   drain();
 }
 
-ServedPlan TuningService::get_plan(const core::TuningProblem& problem,
-                                   const vgpu::DeviceProfile& device) {
-  // Warm path: this relaxed increment plus the registry's lock-free
-  // shard-snapshot lookup is ALL a tuned hit does — no service mutex,
-  // no contention with publishing tunes or other readers.
-  requests_.fetch_add(1, std::memory_order_relaxed);
+ServedPlan TuningService::serve_signature(std::string sig,
+                                          const core::TuningProblem& problem,
+                                          const vgpu::DeviceProfile& device) {
   ServedPlan served;
-  served.signature = signature(problem, device);
+  served.signature = std::move(sig);
 
   if (registry_.lookup(served.signature, &served.plan)) {
     served.source = ServedPlan::Source::kWarm;
@@ -95,6 +96,137 @@ ServedPlan TuningService::get_plan(const core::TuningProblem& problem,
   return served;
 }
 
+ServedPlan TuningService::get_plan(const core::TuningProblem& problem,
+                                   const vgpu::DeviceProfile& device) {
+  // Warm path: this relaxed increment plus the registry's lock-free
+  // shard-snapshot lookup is ALL a tuned hit does — no service mutex,
+  // no contention with publishing tunes or other readers.
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return serve_signature(signature(problem, device), problem, device);
+}
+
+std::vector<TuningService::SignatureGroup> TuningService::group_batch(
+    const std::vector<core::TuningProblem>& problems,
+    const vgpu::DeviceProfile& device) const {
+  // Group by DISTINCT problem before canonicalizing: structural
+  // equality (statements + extents — exactly what the signature is
+  // built from, the display name excluded) is far cheaper than building
+  // the signature string, so a batch of a thousand identical requests
+  // pays for ONE canonicalization, not a thousand.
+  std::vector<SignatureGroup> groups;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const core::TuningProblem& p = problems[i];
+    SignatureGroup* group = nullptr;
+    for (SignatureGroup& g : groups) {
+      // Extents first: same-kernel-different-shape batches (the common
+      // heterogeneous mix) share identical statements, so comparing
+      // those first would string-compare the whole program before the
+      // extents mismatch finally splits the groups.
+      if (g.problem == &p || (g.problem->extents == p.extents &&
+                              g.problem->statements == p.statements)) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({&p, signature(p, device), {}});
+      group = &groups.back();
+    }
+    group->items.push_back(i);
+  }
+  return groups;
+}
+
+std::vector<ServedPlan> TuningService::get_plan_batch(
+    const std::vector<core::TuningProblem>& problems,
+    const vgpu::DeviceProfile& device) {
+  // Like get_plan's warm path, the batched warm path is mutex-free:
+  // relaxed counter bumps plus one lock-free registry lookup per
+  // DISTINCT signature — the whole point of batching.
+  requests_.fetch_add(problems.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_requests_.fetch_add(problems.size(), std::memory_order_relaxed);
+
+  std::vector<ServedPlan> served(problems.size());
+  std::vector<SignatureGroup> groups = group_batch(problems, device);
+  batch_signature_lookups_.fetch_add(groups.size(),
+                                     std::memory_order_relaxed);
+  for (SignatureGroup& group : groups) {
+    ServedPlan answer =
+        serve_signature(std::move(group.sig), *group.problem, device);
+    for (std::size_t k = 0; k + 1 < group.items.size(); ++k) {
+      served[group.items[k]] = answer;
+      // At most one item per signature group reports the enqueue —
+      // mirroring "at most one request per tune run" of get_plan.
+      answer.scheduled_tune = false;
+    }
+    served[group.items.back()] = std::move(answer);
+  }
+  return served;
+}
+
+std::shared_ptr<const ExecutablePlan> TuningService::executable_for(
+    const ServedPlan& served, const core::TuningProblem& problem,
+    bool* cache_hit) {
+  std::shared_ptr<const ExecutablePlan> cached =
+      plan_cache_.find(served.signature);
+  if (cached && cached->entry == served.plan) {
+    // Fresh hit: the cached plan was lowered from exactly the entry the
+    // registry just served — reuse it outright.
+    plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    *cache_hit = true;
+    return cached;
+  }
+  if (cached) {
+    // A background tune upgraded the entry since this plan was cached:
+    // the cached kernels are for the OLD plan, so re-materialize.
+    plan_cache_stale_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  *cache_hit = false;
+  ExecutablePlan fresh;
+  fresh.entry = served.plan;
+  fresh.plan = materialize(problem, served.plan, options_.tune);
+  return plan_cache_.insert(served.signature, std::move(fresh));
+}
+
+ExecutableServedPlan TuningService::get_executable(
+    const core::TuningProblem& problem, const vgpu::DeviceProfile& device) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ExecutableServedPlan out;
+  out.served = serve_signature(signature(problem, device), problem, device);
+  out.executable = executable_for(out.served, problem, &out.cache_hit);
+  return out;
+}
+
+std::vector<ExecutableServedPlan> TuningService::get_executable_batch(
+    const std::vector<core::TuningProblem>& problems,
+    const vgpu::DeviceProfile& device) {
+  requests_.fetch_add(problems.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_requests_.fetch_add(problems.size(), std::memory_order_relaxed);
+
+  std::vector<ExecutableServedPlan> out(problems.size());
+  std::vector<SignatureGroup> groups = group_batch(problems, device);
+  batch_signature_lookups_.fetch_add(groups.size(),
+                                     std::memory_order_relaxed);
+  for (SignatureGroup& group : groups) {
+    ExecutableServedPlan answer;
+    answer.served =
+        serve_signature(std::move(group.sig), *group.problem, device);
+    // ONE materialization (or LRU hit) per distinct signature; every
+    // item of the group shares the same executable pointer.
+    answer.executable =
+        executable_for(answer.served, *group.problem, &answer.cache_hit);
+    for (std::size_t k = 0; k < group.items.size(); ++k) {
+      out[group.items[k]] = answer;
+      answer.served.scheduled_tune = false;
+    }
+  }
+  return out;
+}
+
 bool TuningService::maybe_schedule(const std::string& sig,
                                    const core::TuningProblem& problem,
                                    const vgpu::DeviceProfile& device) {
@@ -109,21 +241,39 @@ bool TuningService::maybe_schedule(const std::string& sig,
     if (inflight_.contains(sig)) return false;
     // Circuit breaker: a signature that exhausted its retries stays on
     // its fallback plan (served instantly, like any other answer) and
-    // is not rescheduled until reset_breakers() — a poisoned problem
-    // must not eat the tuning queue forever.
-    if (breaker_.contains(sig)) return false;
+    // is not rescheduled — a poisoned problem must not eat the tuning
+    // queue forever.  With a cool-down configured, an open breaker
+    // turns HALF-OPEN once the cool-down has elapsed: this request may
+    // admit exactly one probe tune ("exactly one" is inflight_'s job —
+    // the probe sits there until it resolves, blocking any second
+    // schedule; a failing probe re-opens the breaker with a fresh
+    // clock in run_tune).
+    bool is_probe = false;
+    auto open = breaker_.find(sig);
+    if (open != breaker_.end()) {
+      if (options_.breaker_cooldown <= 0) return false;
+      const double open_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        open->second)
+              .count();
+      if (open_seconds < options_.breaker_cooldown) return false;
+      is_probe = true;
+    }
     PlanEntry current;
     if (registry_.peek(sig, &current) && current.tuned) return false;
     if (scheduled_ + running_ >= options_.queue_capacity) {
       // Backpressure: refuse the enqueue, not the request.  The caller
       // already holds the fallback plan; the signature stays untuned
-      // and a later request retries once the queue drained.
+      // and a later request retries once the queue drained.  A refused
+      // probe stays refusable: the breaker clock is untouched, so the
+      // next request past the cool-down re-attempts it.
       ++rejected_;
       return false;
     }
     inflight_.insert(sig);
     ++scheduled_;
     ++tunes_started_;
+    if (is_probe) ++breaker_probes_;
   }
   // Copies, not references: the tune outlives the request.
   support::ThreadPool::shared().submit(
@@ -202,6 +352,10 @@ void TuningService::run_tune(const std::string& sig,
       tuned.recipe_text = core::serialize_recipe(result.best_recipe);
       tuned.modeled_us = finite_us(result.modeled_us());
       tuned.tuned = true;
+      // Cache the parsed recipe on the entry we already have in hand:
+      // every future warm hit serves this entry without re-parsing.
+      tuned.parsed =
+          std::make_shared<const chill::Recipe>(std::move(result.best_recipe));
       // Better-wins: an upgrade only lands when the tuned plan actually
       // beats the fallback (it always should — the static mapping is a
       // candidate the search compares against), so the served latency
@@ -235,12 +389,18 @@ void TuningService::run_tune(const std::string& sig,
     if (succeeded) {
       ++tunes_completed_;
       tune_seconds_total_ += seconds;
+      // A successful run through a half-open breaker heals it: the
+      // signature leaves quarantine for good (it is now tuned, so
+      // maybe_schedule's peek refuses further runs anyway).
+      if (breaker_.erase(sig) > 0) ++breaker_healed_;
     } else {
       // Exhausted (or deadline-cut) run: the fallback stays in place
-      // and the breaker quarantines the signature until
-      // reset_breakers().
+      // and the breaker quarantines the signature — until
+      // reset_breakers(), or (with a cool-down configured) until the
+      // clock set here admits the next half-open probe.  A failed probe
+      // lands here too, restarting the cool-down from now.
       ++tune_failures_;
-      breaker_.insert(sig);
+      breaker_[sig] = std::chrono::steady_clock::now();
     }
     if (scheduled_ + running_ == 0) idle_cv_.notify_all();
   }
@@ -275,7 +435,18 @@ ServeStats TuningService::stats() const {
     s.in_flight = running_;
     s.queue_depth = scheduled_;
     s.tune_seconds_total = tune_seconds_total_;
+    s.breaker_probes = breaker_probes_;
+    s.breaker_healed = breaker_healed_;
   }
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  s.batch_signature_lookups =
+      batch_signature_lookups_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  s.plan_cache_stale = plan_cache_stale_.load(std::memory_order_relaxed);
+  s.plan_cache_misses = plan_cache_misses_.load(std::memory_order_relaxed);
+  s.plan_cache_evictions = plan_cache_.evictions();
+  s.plan_cache_size = plan_cache_.size();
   s.registry_hits = registry_.hits();
   s.registry_misses = registry_.misses();
   s.upgrades = registry_.upgrades();
@@ -304,6 +475,13 @@ chill::GpuPlan materialize(const core::TuningProblem& problem,
       problem, options.octopi, options.max_joint_variants);
   BARRACUDA_CHECK_MSG(entry.variant < variants.size(),
                       "served plan variant out of range for this problem");
+  // Entries that went through load() or a tune carry their parsed
+  // recipe; warm-path materialization then never touches the parser
+  // (pinned by tests via core::recipe_parse_count).  The text parse is
+  // the fallback for hand-built entries.
+  if (entry.parsed) {
+    return chill::lower_program(variants[entry.variant], *entry.parsed);
+  }
   chill::Recipe recipe =
       core::parse_recipe(entry.recipe_text, "<plan-registry>");
   return chill::lower_program(variants[entry.variant], recipe);
@@ -357,6 +535,8 @@ PrewarmResult prewarm(PlanRegistry& registry,
         entry.recipe_text = core::serialize_recipe(result.best_recipe);
         entry.modeled_us = finite_us(result.modeled_us());
         entry.tuned = true;
+        entry.parsed = std::make_shared<const chill::Recipe>(
+            std::move(result.best_recipe));
         tuned.fetch_add(1, std::memory_order_relaxed);
         if (registry.publish(sig, entry)) {
           published.fetch_add(1, std::memory_order_relaxed);
@@ -387,6 +567,7 @@ PlanEntry fallback_plan(const core::TuningProblem& problem,
   entry.recipe_text = core::serialize_recipe(recipe);
   entry.modeled_us = finite_us(vgpu::model_plan(plan, device).total_us);
   entry.tuned = false;
+  entry.parsed = std::make_shared<const chill::Recipe>(std::move(recipe));
   return entry;
 }
 

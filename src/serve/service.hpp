@@ -41,8 +41,20 @@
 //   Breaker  a signature whose run exhausts every attempt trips a
 //            per-signature circuit breaker: it keeps being served its
 //            fallback plan instantly, but no further tunes are
-//            scheduled for it until reset_breakers().  A poisoned
-//            problem cannot eat the tuning queue forever.
+//            scheduled for it until reset_breakers() — or, with
+//            ServeOptions::breaker_cooldown > 0, until the cool-down
+//            elapses and the breaker goes HALF-OPEN: the next request
+//            admits exactly one probe tune, whose success closes the
+//            breaker (self-healing) and whose failure re-opens it with
+//            a fresh cool-down.  A poisoned problem cannot eat the
+//            tuning queue forever.
+//
+// Batching (get_plan_batch / get_executable_batch): many requests in
+// one call pay the serving overhead — canonicalization, registry
+// lookup, cold fallback, tune enqueue, materialization — once per
+// DISTINCT signature instead of once per item.  This is the serving
+// analog of batched BLAS contractions: one plan amortized across a
+// thousand same-shape kernels.
 //   Deadline tune_deadline > 0 bounds each tune run's wall time
 //            cooperatively: the search checks the budget between
 //            evaluation batches (surf::SearchOptions::should_stop) and
@@ -52,9 +64,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -63,6 +77,7 @@
 
 #include "core/barracuda.hpp"
 #include "octopi/ast.hpp"
+#include "serve/plancache.hpp"
 #include "serve/registry.hpp"
 #include "serve/signature.hpp"
 
@@ -102,6 +117,17 @@ struct ServeOptions {
   /// publishes the best plan it found — the deadline shapes latency,
   /// it does not discard work.
   double tune_deadline = 0;
+  /// Circuit-breaker half-open cool-down in seconds.  0 (the default)
+  /// keeps the PR-5 behavior: an open breaker stays open until
+  /// reset_breakers().  Positive: once a breaker has been open that
+  /// long, the next request for its signature admits exactly ONE probe
+  /// tune (single-flight, like any schedule).  A succeeding probe
+  /// closes the breaker (the node self-heals a transient poison); a
+  /// failing one re-opens it and restarts the cool-down clock.
+  double breaker_cooldown = 0;
+  /// Capacity of the executable-plan LRU (materialized recipe + lowered
+  /// kernels per signature; see serve/plancache.hpp).  Must be >= 1.
+  std::size_t plan_cache_capacity = 128;
 };
 
 /// What one get_plan request was answered with.
@@ -116,8 +142,22 @@ struct ServedPlan {
   };
   Source source = Source::kWarm;
   /// True when this request enqueued the background tune (at most one
-  /// request per tune run returns true).
+  /// request per tune run returns true; in a batch, at most one ITEM
+  /// per distinct signature).
   bool scheduled_tune = false;
+};
+
+/// A served plan together with its ready-to-run materialization from
+/// the executable-plan cache: the enumerated variant lowered under the
+/// entry's (already parsed) recipe.  The executable is shared and
+/// immutable — any number of threads may run it concurrently against
+/// disjoint TensorEnvs (see vgpu::execute_plan_batch).
+struct ExecutableServedPlan {
+  ServedPlan served;
+  std::shared_ptr<const ExecutablePlan> executable;
+  /// True when the executable came straight from the LRU (no
+  /// enumeration, no parse, no lowering on this request).
+  bool cache_hit = false;
 };
 
 /// Point-in-time service counters.  hits/misses/upgrades come from the
@@ -136,6 +176,28 @@ struct ServeStats {
   std::size_t registry_hits = 0;
   std::size_t registry_misses = 0;
   std::size_t upgrades = 0;
+  /// Batched serving (get_plan_batch / get_executable_batch): calls,
+  /// items served through them, and registry lookups those calls made —
+  /// one per DISTINCT signature per batch, so batch_signature_lookups /
+  /// batch_requests is the amortization the batch path bought.  All
+  /// three are relaxed atomics: the batched warm path is as mutex-free
+  /// as the per-request one.
+  std::size_t batches = 0;
+  std::size_t batch_requests = 0;
+  std::size_t batch_signature_lookups = 0;
+  /// Executable-plan LRU: fresh hits (plan reused as-is), stale hits (a
+  /// registry upgrade invalidated the cached plan — re-materialized),
+  /// misses (materialized for the first time), evictions, and current
+  /// size.
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_stale = 0;
+  std::size_t plan_cache_misses = 0;
+  std::size_t plan_cache_evictions = 0;
+  std::size_t plan_cache_size = 0;
+  /// Half-open circuit breaker: probe tunes admitted after the
+  /// cool-down, and breakers closed by a succeeding probe.
+  std::size_t breaker_probes = 0;
+  std::size_t breaker_healed = 0;
   std::size_t tunes_started = 0;
   std::size_t tunes_completed = 0;
   /// Tune runs that exhausted every retry attempt (each trips the
@@ -204,6 +266,35 @@ class TuningService {
   ServedPlan get_plan(const core::TuningProblem& problem,
                       const vgpu::DeviceProfile& device);
 
+  /// Answer N requests in ONE call, amortizing the per-request serving
+  /// overhead across every item that shares a signature: items are
+  /// grouped by canonical signature (heterogeneous batches are fine —
+  /// each distinct problem is canonicalized once), and each distinct
+  /// signature pays ONE registry lookup, ONE cold-path fallback, and at
+  /// most ONE single-flight tune enqueue, no matter how many items map
+  /// to it.  Answers come back in item order and are identical to what
+  /// N get_plan calls would return (scheduled_tune is reported on the
+  /// first item of its signature group).  Like get_plan, the warm path
+  /// takes no lock.
+  std::vector<ServedPlan> get_plan_batch(
+      const std::vector<core::TuningProblem>& problems,
+      const vgpu::DeviceProfile& device);
+
+  /// get_plan plus materialization through the executable-plan LRU: a
+  /// repeat request for an unchanged signature reuses the cached lowered
+  /// kernels outright — no enumeration, no recipe parse, no lowering.
+  /// A registry upgrade (background tune landing) invalidates the
+  /// cached plan on its next request (counted in plan_cache_stale).
+  ExecutableServedPlan get_executable(const core::TuningProblem& problem,
+                                      const vgpu::DeviceProfile& device);
+
+  /// Batched get_executable: one registry lookup AND at most one
+  /// materialization per distinct signature; every item of a signature
+  /// group shares the same ExecutablePlan pointer.
+  std::vector<ExecutableServedPlan> get_executable_batch(
+      const std::vector<core::TuningProblem>& problems,
+      const vgpu::DeviceProfile& device);
+
   /// Block until no background tune is scheduled or running.  Must not
   /// be called from a ThreadPool worker (it would wait on the very pool
   /// it occupies).
@@ -223,9 +314,38 @@ class TuningService {
   void reset_breakers();
 
  private:
+  /// One batch item group: every item index in `items` maps to the same
+  /// canonical signature, computed once.
+  struct SignatureGroup {
+    const core::TuningProblem* problem = nullptr;
+    std::string sig;
+    std::vector<std::size_t> items;
+  };
+
+  /// Group batch items by signature, canonicalizing each DISTINCT
+  /// problem once (duplicates are detected with cheap structural
+  /// equality, not by re-canonicalizing).
+  std::vector<SignatureGroup> group_batch(
+      const std::vector<core::TuningProblem>& problems,
+      const vgpu::DeviceProfile& device) const;
+
+  /// The single-signature serving core shared by every entry point:
+  /// one lookup, cold fallback on miss, single-flight schedule when
+  /// untuned.
+  ServedPlan serve_signature(std::string sig,
+                             const core::TuningProblem& problem,
+                             const vgpu::DeviceProfile& device);
+
+  /// The served plan's executable, from the LRU when fresh, otherwise
+  /// materialized and cached.  Sets *cache_hit accordingly.
+  std::shared_ptr<const ExecutablePlan> executable_for(
+      const ServedPlan& served, const core::TuningProblem& problem,
+      bool* cache_hit);
+
   /// Enqueue the background tune for `sig` unless it is already
-  /// in flight, already tuned, quarantined by its circuit breaker, or
-  /// the queue is full.  Returns whether this call scheduled it.
+  /// in flight, already tuned, quarantined by its circuit breaker (an
+  /// open breaker past its cool-down admits exactly one probe), or the
+  /// queue is full.  Returns whether this call scheduled it.
   bool maybe_schedule(const std::string& sig,
                       const core::TuningProblem& problem,
                       const vgpu::DeviceProfile& device);
@@ -235,9 +355,18 @@ class TuningService {
   PlanRegistry& registry_;
   ServeOptions options_;
 
-  /// The one hot-path counter the service itself owns: bumped with a
-  /// relaxed fetch_add so a warm request touches no lock at all.
+  /// Executable-plan LRU (mutex-free reads; see serve/plancache.hpp).
+  PlanCache plan_cache_;
+
+  /// Hot-path counters the service itself owns: bumped with relaxed
+  /// fetch_adds so warm requests — single or batched — touch no lock.
   std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> batch_requests_{0};
+  std::atomic<std::size_t> batch_signature_lookups_{0};
+  std::atomic<std::size_t> plan_cache_hits_{0};
+  std::atomic<std::size_t> plan_cache_stale_{0};
+  std::atomic<std::size_t> plan_cache_misses_{0};
 
   /// mutex_ protects ONLY the tune-scheduling state below — it is taken
   /// on the miss/untuned path and by tune workers, never by a warm hit.
@@ -245,8 +374,11 @@ class TuningService {
   std::condition_variable idle_cv_;
   /// Signatures with a scheduled-or-running background tune.
   std::unordered_set<std::string> inflight_;
-  /// Signatures quarantined by the circuit breaker.
-  std::unordered_set<std::string> breaker_;
+  /// Open circuit breakers: when each was (re)opened, for the half-open
+  /// cool-down.  "Exactly one probe" needs no extra flag — an admitted
+  /// probe sits in inflight_, which already blocks a second schedule.
+  std::unordered_map<std::string,
+                     std::chrono::steady_clock::time_point> breaker_;
   /// Most recent failing run per signature (attempts + error text;
   /// breaker_open is derived from breaker_ at query time).
   std::unordered_map<std::string, TuneFailure> failures_;
@@ -257,6 +389,8 @@ class TuningService {
   std::size_t tune_failures_ = 0;
   std::size_t retries_ = 0;
   std::size_t deadline_expired_ = 0;
+  std::size_t breaker_probes_ = 0;
+  std::size_t breaker_healed_ = 0;
   std::string last_error_;
   std::size_t rejected_ = 0;
   double tune_seconds_total_ = 0;
@@ -264,9 +398,13 @@ class TuningService {
 
 /// Re-lower a served plan for execution or code emission: enumerate the
 /// problem's joint variants (the same deterministic ascending-flops
-/// order the tuner used), parse the recipe and lower.  `options` must
-/// match the enumeration knobs of the ServeOptions::tune that produced
-/// the entry (octopi + max_joint_variants; defaults match defaults).
+/// order the tuner used) and lower under the entry's recipe — the
+/// cached PlanEntry::parsed form when present (every registry-served
+/// entry), parsing the text only for hand-built entries.  `options`
+/// must match the enumeration knobs of the ServeOptions::tune that
+/// produced the entry (octopi + max_joint_variants; defaults match
+/// defaults).  Prefer TuningService::get_executable, which caches the
+/// result.
 chill::GpuPlan materialize(const core::TuningProblem& problem,
                            const PlanEntry& entry,
                            const core::TuneOptions& options = {});

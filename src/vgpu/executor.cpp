@@ -1,17 +1,22 @@
 #include "vgpu/executor.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 
 namespace barracuda::vgpu {
 namespace {
 
-/// An access precompiled against the iteration-variable slot layout:
-/// addr = offset + sum(coef * value[slot]).
+/// An access precompiled against the iteration-variable slot layout and
+/// a buffer slot table: addr = offset + sum(coef * value[slot]).  The
+/// buffer itself is bound at run time (one table per operand set), so a
+/// compiled access is shareable read-only across a whole batch.
 struct CompiledAccess {
-  const std::vector<double>* buffer_read = nullptr;
-  std::vector<double>* buffer_write = nullptr;
+  std::size_t tensor = 0;  // slot in the bound-buffer table
   std::int64_t offset = 0;
   std::vector<std::pair<std::size_t, std::int64_t>> terms;  // (slot, coef)
 
@@ -22,16 +27,28 @@ struct CompiledAccess {
   }
 };
 
-}  // namespace
+/// One kernel fully compiled: iteration extents plus resolved accesses.
+/// Bounds are checked at compile time against the declared allocation
+/// sizes, so the run loop is check-free.
+struct CompiledKernel {
+  std::vector<std::int64_t> extents;
+  CompiledAccess out;
+  std::vector<CompiledAccess> ins;
+};
 
-void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
+/// Compile `kernel`.  `slot_for` maps a tensor name to its buffer slot
+/// (asserting the tensor is allocated); `size_for` gives the element
+/// count backing that slot, for the reachable-interval bounds check.
+template <typename SlotFor, typename SizeFor>
+CompiledKernel compile_kernel(const chill::Kernel& kernel,
+                              SlotFor&& slot_for, SizeFor&& size_for) {
+  CompiledKernel ck;
   // Iteration variables: grid dims then sequential loops, each a slot.
   std::vector<std::string> names;
-  std::vector<std::int64_t> extents;
   auto add_dim = [&](const chill::GridDim& d) {
     if (d.used()) {
       names.push_back(d.index);
-      extents.push_back(d.extent);
+      ck.extents.push_back(d.extent);
     }
   };
   add_dim(kernel.block_x);
@@ -40,7 +57,7 @@ void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
   add_dim(kernel.thread_x);
   for (const auto& loop : kernel.seq) {
     names.push_back(loop.index);
-    extents.push_back(loop.extent);
+    ck.extents.push_back(loop.extent);
   }
 
   auto slot_of = [&](const std::string& ix) {
@@ -51,14 +68,9 @@ void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
     return static_cast<std::size_t>(it - names.begin());
   };
 
-  auto compile = [&](const chill::AffineAccess& access,
-                     bool writable) -> CompiledAccess {
-    auto it = memory.find(access.tensor);
-    BARRACUDA_CHECK_MSG(it != memory.end(),
-                        "tensor " << access.tensor << " not allocated");
+  auto compile = [&](const chill::AffineAccess& access) -> CompiledAccess {
     CompiledAccess c;
-    c.buffer_read = &it->second;
-    if (writable) c.buffer_write = &it->second;
+    c.tensor = slot_for(access.tensor);
     c.offset = access.offset;
     // Reachable address interval over the full iteration space: positive
     // coefficients push the maximum up, negative ones pull the minimum
@@ -72,9 +84,9 @@ void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
       std::size_t slot = slot_of(term.index);
       c.terms.emplace_back(slot, term.coef);
       if (term.coef > 0) {
-        max_addr += term.coef * (extents[slot] - 1);
+        max_addr += term.coef * (ck.extents[slot] - 1);
       } else {
-        min_addr += term.coef * (extents[slot] - 1);
+        min_addr += term.coef * (ck.extents[slot] - 1);
       }
     }
     BARRACUDA_CHECK_MSG(
@@ -82,53 +94,142 @@ void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
         "access to " << access.tensor
                      << " underruns its allocation (minimum address "
                      << min_addr << ")");
-    BARRACUDA_CHECK_MSG(
-        max_addr < static_cast<std::int64_t>(it->second.size()),
-        "access to " << access.tensor << " overruns its allocation");
+    BARRACUDA_CHECK_MSG(max_addr < size_for(access.tensor),
+                        "access to " << access.tensor
+                                     << " overruns its allocation");
     return c;
   };
 
-  CompiledAccess out = compile(kernel.out, /*writable=*/true);
-  std::vector<CompiledAccess> ins;
-  ins.reserve(kernel.ins.size());
-  for (const auto& in : kernel.ins) ins.push_back(compile(in, false));
-
-  // Full grid sweep; execution order across threads is irrelevant because
-  // distinct threads never write the same output element (grid indices are
-  // parallel loops) and reductions run sequentially inside a thread.
-  tensor::for_each_index(extents, [&](const std::vector<std::int64_t>& iv) {
-    double prod = 1.0;
-    for (const auto& in : ins) prod *= (*in.buffer_read)[in.addr(iv)];
-    (*out.buffer_write)[out.addr(iv)] += prod;
-  });
+  ck.out = compile(kernel.out);
+  ck.ins.reserve(kernel.ins.size());
+  for (const auto& in : kernel.ins) ck.ins.push_back(compile(in));
+  return ck;
 }
 
-void execute_plan(const chill::GpuPlan& plan, tensor::TensorEnv& env) {
-  DeviceMemory memory;
+/// Run a compiled kernel against a buffer table (slot -> flat buffer).
+/// Full grid sweep; execution order across threads is irrelevant because
+/// distinct threads never write the same output element (grid indices
+/// are parallel loops) and reductions run sequentially inside a thread.
+void run_compiled(const CompiledKernel& ck,
+                  const std::vector<std::vector<double>*>& buffers) {
+  std::vector<double>& out = *buffers[ck.out.tensor];
+  tensor::for_each_index(
+      ck.extents, [&](const std::vector<std::int64_t>& iv) {
+        double prod = 1.0;
+        for (const auto& in : ck.ins) {
+          prod *= (*buffers[in.tensor])[in.addr(iv)];
+        }
+        out[ck.out.addr(iv)] += prod;
+      });
+}
+
+/// A GpuPlan compiled once for execution over any number of operand
+/// sets: the buffer slot table (names + declared sizes), the transfer
+/// lists resolved to slots, and every kernel's compiled form.
+struct CompiledPlan {
+  std::vector<std::string> tensor_names;   // slot -> name
+  std::vector<std::int64_t> tensor_sizes;  // slot -> element count
+  std::vector<std::pair<std::string, std::size_t>> h2d;  // (name, slot)
+  std::vector<std::pair<std::string, std::size_t>> d2h;
+  std::vector<CompiledKernel> kernels;
+};
+
+CompiledPlan compile_plan(const chill::GpuPlan& plan) {
+  CompiledPlan cp;
+  std::unordered_map<std::string, std::size_t> slots;
   for (const auto& [name, elems] : plan.tensor_sizes) {
-    memory[name].assign(static_cast<std::size_t>(elems), 0.0);
+    slots.emplace(name, cp.tensor_names.size());
+    cp.tensor_names.push_back(name);
+    cp.tensor_sizes.push_back(elems);
   }
-  for (const auto& name : plan.h2d) {
+  auto slot_for = [&](const std::string& name) {
+    auto it = slots.find(name);
+    BARRACUDA_CHECK_MSG(it != slots.end(),
+                        "tensor " << name << " not allocated");
+    return it->second;
+  };
+  auto size_for = [&](const std::string& name) {
+    return cp.tensor_sizes[slot_for(name)];
+  };
+  for (const auto& name : plan.h2d) cp.h2d.emplace_back(name, slot_for(name));
+  for (const auto& name : plan.d2h) cp.d2h.emplace_back(name, slot_for(name));
+  cp.kernels.reserve(plan.kernels.size());
+  for (const auto& kernel : plan.kernels) {
+    cp.kernels.push_back(compile_kernel(kernel, slot_for, size_for));
+  }
+  return cp;
+}
+
+/// Execute a compiled plan against one operand set: allocate + zero the
+/// device buffers, h2d, run every kernel, d2h.  Identical observable
+/// behavior to the pre-compiled execute_plan — the compilation split
+/// only moves WHEN accesses are resolved, not what they compute.
+void run_plan(const CompiledPlan& cp, tensor::TensorEnv& env) {
+  std::vector<std::vector<double>> memory(cp.tensor_names.size());
+  std::vector<std::vector<double>*> buffers(cp.tensor_names.size());
+  for (std::size_t s = 0; s < memory.size(); ++s) {
+    memory[s].assign(static_cast<std::size_t>(cp.tensor_sizes[s]), 0.0);
+    buffers[s] = &memory[s];
+  }
+  for (const auto& [name, slot] : cp.h2d) {
     auto it = env.find(name);
     BARRACUDA_CHECK_MSG(it != env.end(),
                         "host tensor missing for h2d copy: " << name);
     const tensor::Tensor& t = it->second;
-    BARRACUDA_CHECK_MSG(
-        t.size() == plan.tensor_sizes.at(name),
-        "host/device size mismatch for " << name);
-    std::copy_n(t.data(), t.size(), memory.at(name).begin());
+    BARRACUDA_CHECK_MSG(t.size() == cp.tensor_sizes[slot],
+                        "host/device size mismatch for " << name);
+    std::copy_n(t.data(), t.size(), memory[slot].begin());
   }
-  for (const auto& kernel : plan.kernels) execute_kernel(kernel, memory);
-  for (const auto& name : plan.d2h) {
+  for (const auto& kernel : cp.kernels) run_compiled(kernel, buffers);
+  for (const auto& [name, slot] : cp.d2h) {
     auto it = env.find(name);
     BARRACUDA_CHECK_MSG(it != env.end(),
                         "host tensor missing for d2h copy: " << name);
     tensor::Tensor& t = it->second;
-    BARRACUDA_CHECK_MSG(
-        t.size() == plan.tensor_sizes.at(name),
-        "host/device size mismatch for " << name);
-    std::copy_n(memory.at(name).begin(), t.size(), t.data());
+    BARRACUDA_CHECK_MSG(t.size() == cp.tensor_sizes[slot],
+                        "host/device size mismatch for " << name);
+    std::copy_n(memory[slot].begin(), t.size(), t.data());
   }
+}
+
+}  // namespace
+
+void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory) {
+  // Standalone entry point: build a slot table over the caller's memory
+  // map, compile against it, run once.
+  std::vector<std::vector<double>*> buffers;
+  std::unordered_map<std::string, std::size_t> slots;
+  auto slot_for = [&](const std::string& name) {
+    auto it = memory.find(name);
+    BARRACUDA_CHECK_MSG(it != memory.end(),
+                        "tensor " << name << " not allocated");
+    auto [sit, inserted] = slots.emplace(name, buffers.size());
+    if (inserted) buffers.push_back(&it->second);
+    return sit->second;
+  };
+  auto size_for = [&](const std::string& name) {
+    return static_cast<std::int64_t>(memory.at(name).size());
+  };
+  CompiledKernel ck = compile_kernel(kernel, slot_for, size_for);
+  run_compiled(ck, buffers);
+}
+
+void execute_plan(const chill::GpuPlan& plan, tensor::TensorEnv& env) {
+  run_plan(compile_plan(plan), env);
+}
+
+void execute_plan_batch(const chill::GpuPlan& plan,
+                        std::vector<tensor::TensorEnv>& envs,
+                        std::size_t n_jobs) {
+  // Compile ONCE — slot layouts, bounds checks, transfer lists — then
+  // fan the per-operand-set runs across the shared pool.  Each item
+  // allocates its own device buffers and writes only its own env, and
+  // every item runs the exact single-call evaluation, so results are
+  // bit-identical to execute_plan for any n_jobs (nested calls from
+  // pool workers run inline via the pool-depth guard).
+  const CompiledPlan cp = compile_plan(plan);
+  support::parallel_apply(support::resolve_jobs(n_jobs), envs.size(),
+                          [&](std::size_t i) { run_plan(cp, envs[i]); });
 }
 
 }  // namespace barracuda::vgpu

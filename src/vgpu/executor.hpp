@@ -8,6 +8,7 @@
 // module's.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,5 +41,16 @@ void execute_kernel(const chill::Kernel& kernel, DeviceMemory& memory);
 /// Same thread-safety contract as execute_kernel: safe concurrently on
 /// disjoint TensorEnv instances, with the plan shared read-only.
 void execute_plan(const chill::GpuPlan& plan, tensor::TensorEnv& env);
+
+/// Execute ONE plan over a batch of operand sets: `envs[i]` ends up
+/// exactly as execute_plan(plan, envs[i]) would leave it, for every i.
+/// The plan is compiled once — per-kernel slot layouts, access bounds
+/// checks, transfer lists — and the per-env runs (allocate, h2d,
+/// kernels, d2h) fan across the shared thread pool (`n_jobs` as in
+/// support::resolve_jobs; 1 = inline).  Each item owns its buffers and
+/// env, so results are bit-identical for any n_jobs.
+void execute_plan_batch(const chill::GpuPlan& plan,
+                        std::vector<tensor::TensorEnv>& envs,
+                        std::size_t n_jobs = 0);
 
 }  // namespace barracuda::vgpu

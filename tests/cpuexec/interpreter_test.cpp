@@ -100,5 +100,40 @@ TEST(Interpreter, MeasureReturnsPositiveSeconds) {
   EXPECT_LT(s, 10.0);
 }
 
+// Batched execution is run_sequential, item by item: every env of the
+// batch must end up BIT-identical (tolerance 0.0) to a lone sequential
+// run on the same inputs, for every n_jobs — inline, pooled, and the
+// maximally-parallel width all reduce in the same per-item order.
+TEST(InterpreterBatch, BitIdenticalToSequentialForEveryJobCount) {
+  const std::size_t kBatch = 7;
+  tcr::TcrProgram p = eqn1_program(5);
+
+  std::vector<TensorEnv> reference;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    reference.push_back(inputs(5, 100 + i));  // distinct operand sets
+  }
+  std::vector<TensorEnv> expect = reference;
+  for (auto& env : expect) run_sequential(p, env);
+
+  for (std::size_t n_jobs : {1, 2, 4, 8}) {
+    std::vector<TensorEnv> batch = reference;
+    run_sequential_batch(p, batch, n_jobs);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      EXPECT_TRUE(
+          Tensor::allclose(batch[i].at("V"), expect[i].at("V"), 0.0))
+          << "item " << i << " diverged at n_jobs=" << n_jobs;
+      EXPECT_TRUE(
+          Tensor::allclose(batch[i].at("temp1"), expect[i].at("temp1"), 0.0))
+          << "temp of item " << i << " diverged at n_jobs=" << n_jobs;
+    }
+  }
+}
+
+TEST(InterpreterBatch, EmptyBatchIsANoOp) {
+  tcr::TcrProgram p = eqn1_program(3);
+  std::vector<TensorEnv> none;
+  EXPECT_NO_THROW(run_sequential_batch(p, none, 4));
+}
+
 }  // namespace
 }  // namespace barracuda::cpuexec

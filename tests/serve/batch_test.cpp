@@ -1,0 +1,327 @@
+// Batched serving + executable-plan cache suites (PR 7).
+//
+// ServeBatch pins the batching contract: a heterogeneous batch gets
+// exactly the per-request answers (one registry lookup and at most one
+// tune enqueue per DISTINCT signature), overlapping batches from many
+// threads stay single-flight, and the warm path never re-parses a
+// recipe (core::recipe_parse_count is the witness).  PlanCache pins the
+// LRU of materialized plans: eviction order, the staleness protocol
+// (a background upgrade invalidates the cached kernels), and pointer
+// sharing across a batch.
+//
+// Runs under the sanitizer matrices in CI (suite names ServeBatch /
+// PlanCache are targeted by -R there); keep the tune budgets small.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/report.hpp"
+#include "serve/plancache.hpp"
+#include "serve/service.hpp"
+#include "serve/signature.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+/// Small but non-trivial distinct signatures: the paper's Eqn (1) shape
+/// at several extents, so each has its own tuned plan.
+std::vector<core::TuningProblem> mixed_signatures() {
+  std::vector<core::TuningProblem> problems;
+  for (int n : {3, 4, 5, 6}) {
+    std::string dsl =
+        "dim i j k l m n = " + std::to_string(n) +
+        "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n";
+    problems.push_back(
+        core::TuningProblem::from_dsl(dsl, "n" + std::to_string(n)));
+  }
+  return problems;
+}
+
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.tune.search.max_evaluations = 20;
+  options.tune.search.batch_size = 5;
+  options.tune.max_pool = 128;
+  return options;
+}
+
+/// A heterogeneous batch: every distinct signature appears, several of
+/// them more than once, in an interleaved order.
+std::vector<core::TuningProblem> interleaved_batch(
+    const std::vector<core::TuningProblem>& problems, std::size_t size,
+    std::size_t phase = 0) {
+  std::vector<core::TuningProblem> batch;
+  batch.reserve(size);
+  for (std::size_t k = 0; k < size; ++k) {
+    batch.push_back(problems[(phase + k) % problems.size()]);
+  }
+  return batch;
+}
+
+// A batch answer must be indistinguishable from the per-request
+// answers: same signature, same plan, item by item — while the service
+// did only one registry lookup (and at most one tune enqueue) per
+// distinct signature in the batch.
+TEST(ServeBatch, HeterogeneousBatchMatchesPerRequest) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+  std::vector<core::TuningProblem> batch = interleaved_batch(problems, 11);
+
+  PlanRegistry batch_registry;
+  TuningService batch_service(batch_registry, fast_options());
+  std::vector<ServedPlan> batched = batch_service.get_plan_batch(batch, device);
+  batch_service.drain();
+
+  // Reference answers, one per DISTINCT signature (asking the reference
+  // service twice could race its own background tune): a cold get_plan
+  // always returns the deterministic fallback entry, exactly what every
+  // item of the batch's signature group was answered with.
+  PlanRegistry ref_registry;
+  TuningService ref_service(ref_registry, fast_options());
+  std::unordered_map<std::string, ServedPlan> expected;
+  for (const auto& p : problems) {
+    ServedPlan e = ref_service.get_plan(p, device);
+    expected.emplace(e.signature, std::move(e));
+  }
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto it = expected.find(signature(batch[i], device));
+    ASSERT_NE(it, expected.end()) << "item " << i;
+    EXPECT_EQ(batched[i].signature, it->second.signature) << "item " << i;
+    EXPECT_EQ(batched[i].plan, it->second.plan) << "item " << i;
+  }
+  ref_service.drain();
+
+  ServeStats stats = batch_service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_requests, batch.size());
+  EXPECT_EQ(stats.batch_signature_lookups, problems.size());
+  EXPECT_EQ(stats.requests, batch.size());
+  // One single-flight tune per distinct signature, reported by exactly
+  // one item of each signature group.
+  EXPECT_EQ(stats.tunes_started, problems.size());
+  std::size_t schedulers = 0;
+  for (const ServedPlan& s : batched) schedulers += s.scheduled_tune;
+  EXPECT_EQ(schedulers, problems.size());
+}
+
+// 8 threads fire overlapping batches (every batch contains every
+// signature, phases shifted) at one service: the registry must see one
+// tune per distinct signature, and every item of every batch must carry
+// a usable answer for its own signature.
+TEST(ServeBatch, OverlappingBatchesStaySingleFlight) {
+  const std::size_t kThreads = 8;
+  const std::size_t kBatchesPerThread = 6;
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  PlanRegistry registry;
+  TuningService service(registry, fast_options());
+  std::vector<std::vector<std::vector<ServedPlan>>> answers(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t b = 0; b < kBatchesPerThread; ++b) {
+        std::vector<core::TuningProblem> batch =
+            interleaved_batch(problems, 9, t + b);
+        answers[t].push_back(service.get_plan_batch(batch, device));
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          ASSERT_EQ(answers[t].back()[i].signature,
+                    signature(batch[i], device));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  service.drain();
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.tunes_started, problems.size());
+  EXPECT_EQ(stats.tunes_completed, problems.size());
+  EXPECT_EQ(stats.tune_failures, 0u);
+  EXPECT_EQ(stats.batches, kThreads * kBatchesPerThread);
+  EXPECT_EQ(stats.batch_requests, kThreads * kBatchesPerThread * 9);
+  // Every batch paid one lookup per distinct signature it contained —
+  // batches of 9 over 4 signatures contain all 4.
+  EXPECT_EQ(stats.batch_signature_lookups,
+            kThreads * kBatchesPerThread * problems.size());
+}
+
+// The warm path never parses: entries published by a tune (or loaded
+// from disk) carry their parsed recipe, so serving and materializing
+// warm hits leaves core::recipe_parse_count untouched.
+TEST(ServeBatch, WarmHitsNeverReparse) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  PlanRegistry registry;
+  TuningService service(registry, fast_options());
+  // Warm up: cold pass + drain, so every signature is tuned.
+  for (const auto& p : problems) (void)service.get_plan(p, device);
+  service.drain();
+
+  const std::size_t parses_before = core::recipe_parse_count();
+  for (std::size_t round = 0; round < 3; ++round) {
+    std::vector<core::TuningProblem> batch =
+        interleaved_batch(problems, 13, round);
+    std::vector<ServedPlan> served = service.get_plan_batch(batch, device);
+    for (const ServedPlan& s : served) {
+      EXPECT_EQ(s.source, ServedPlan::Source::kWarm);
+      EXPECT_TRUE(s.plan.tuned);
+    }
+    // Materialization included: the executable path lowers from the
+    // cached parsed recipe, not from text.
+    ExecutableServedPlan ex = service.get_executable(problems[round], device);
+    EXPECT_NE(ex.executable, nullptr);
+  }
+  EXPECT_EQ(core::recipe_parse_count(), parses_before);
+}
+
+// Round-trip the registry through disk: load() parses each entry ONCE
+// up front, and warm serving afterwards stays parse-free.
+TEST(ServeBatch, LoadedRegistryServesWithoutReparsing) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+  const std::string path = testing::TempDir() + "batch_registry_roundtrip.tsv";
+
+  {
+    PlanRegistry registry;
+    TuningService service(registry, fast_options());
+    for (const auto& p : problems) (void)service.get_plan(p, device);
+    service.drain();
+    registry.save(path);
+  }
+
+  PlanRegistry loaded;
+  ASSERT_EQ(loaded.load(path), problems.size());
+  TuningService service(loaded, fast_options());
+  const std::size_t parses_before = core::recipe_parse_count();
+  std::vector<ServedPlan> served =
+      service.get_plan_batch(interleaved_batch(problems, 8), device);
+  for (const ServedPlan& s : served) {
+    EXPECT_EQ(s.source, ServedPlan::Source::kWarm);
+    EXPECT_TRUE(s.plan.tuned);
+  }
+  ExecutableServedPlan ex = service.get_executable(problems.front(), device);
+  EXPECT_NE(ex.executable, nullptr);
+  EXPECT_EQ(core::recipe_parse_count(), parses_before);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+PlanEntry dummy_entry(const std::string& text) {
+  PlanEntry entry;
+  entry.recipe_text = text;
+  entry.modeled_us = 1.0;
+  return entry;
+}
+
+// LRU policy: capacity 2, three inserts; the signature whose recency
+// tick was refreshed by find() survives, the cold one is evicted, and
+// an evicted signature round-trips back in through insert().
+TEST(PlanCache, LruEvictionRoundTrip) {
+  PlanCache cache(2);
+  cache.insert("a", {dummy_entry("ra"), {}});
+  cache.insert("b", {dummy_entry("rb"), {}});
+  ASSERT_NE(cache.find("a"), nullptr);  // refresh a: b is now coldest
+  cache.insert("c", {dummy_entry("rc"), {}});
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find("b"), nullptr);
+  ASSERT_NE(cache.find("a"), nullptr);
+  ASSERT_NE(cache.find("c"), nullptr);
+  EXPECT_EQ(cache.find("a")->entry.recipe_text, "ra");
+
+  // Round-trip: b re-enters, evicting c (a was just refreshed again).
+  cache.insert("b", {dummy_entry("rb2"), {}});
+  EXPECT_EQ(cache.evictions(), 2u);
+  ASSERT_NE(cache.find("b"), nullptr);
+  EXPECT_EQ(cache.find("b")->entry.recipe_text, "rb2");
+  EXPECT_EQ(cache.find("c"), nullptr);
+}
+
+// A reader holding an evicted plan keeps it alive: eviction drops the
+// cache's reference, never the plan under a live shared_ptr.
+TEST(PlanCache, EvictedPlanStaysAliveForHolders) {
+  PlanCache cache(1);
+  std::shared_ptr<const ExecutablePlan> held =
+      cache.insert("a", {dummy_entry("ra"), {}});
+  cache.insert("b", {dummy_entry("rb"), {}});
+  EXPECT_EQ(cache.find("a"), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->entry.recipe_text, "ra");
+}
+
+// The staleness protocol end-to-end: the executable cached from the
+// cold fallback is invalidated when the background tune upgrades the
+// registry entry, then the re-materialized tuned plan is a fresh hit.
+TEST(PlanCache, StaleAfterBackgroundUpgrade) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+  PlanRegistry registry;
+  TuningService service(registry, fast_options());
+
+  ExecutableServedPlan cold = service.get_executable(problems[0], device);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_FALSE(cold.served.plan.tuned);
+  service.drain();  // the background tune upgrades the entry
+
+  ExecutableServedPlan upgraded = service.get_executable(problems[0], device);
+  EXPECT_FALSE(upgraded.cache_hit);  // cached kernels were the fallback's
+  EXPECT_TRUE(upgraded.served.plan.tuned);
+  ExecutableServedPlan warm = service.get_executable(problems[0], device);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.executable, upgraded.executable);
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.plan_cache_stale, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.plan_cache_size, 1u);
+}
+
+// A batch shares ONE executable per distinct signature — the items'
+// shared_ptrs are literally the same object.
+TEST(PlanCache, BatchSharesOneExecutablePerSignature) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+  PlanRegistry registry;
+  TuningService service(registry, fast_options());
+  for (const auto& p : problems) (void)service.get_plan(p, device);
+  service.drain();
+
+  std::vector<core::TuningProblem> batch = interleaved_batch(problems, 10);
+  std::vector<ExecutableServedPlan> served =
+      service.get_executable_batch(batch, device);
+  ASSERT_EQ(served.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_NE(served[i].executable, nullptr);
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      if (served[i].served.signature == served[j].served.signature) {
+        EXPECT_EQ(served[i].executable, served[j].executable);
+      }
+    }
+  }
+  // One materialization per distinct signature, then every later batch
+  // is pure cache hits.
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache_misses + stats.plan_cache_stale,
+            problems.size());
+  std::vector<ExecutableServedPlan> again =
+      service.get_executable_batch(batch, device);
+  ServeStats stats2 = service.stats();
+  EXPECT_EQ(stats2.plan_cache_misses, stats.plan_cache_misses);
+  EXPECT_EQ(stats2.plan_cache_stale, stats.plan_cache_stale);
+  EXPECT_EQ(stats2.plan_cache_hits,
+            stats.plan_cache_hits + problems.size());
+}
+
+}  // namespace
+}  // namespace barracuda::serve

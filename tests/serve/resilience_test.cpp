@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -214,6 +215,74 @@ TEST_F(ServeResilience, BreakerQuarantinesExhaustedSignatureUntilReset) {
   // The failure record survives as history, breaker bit cleared.
   ASSERT_TRUE(service.last_failure(first.signature, &failure));
   EXPECT_FALSE(failure.breaker_open);
+}
+
+// Half-open breakers under chaos: with a cool-down configured, an open
+// breaker admits EXACTLY ONE probe tune once the cool-down elapses.
+// The fault schedule (prob=1, limit=2) makes the first run and the
+// first probe fail deterministically — the failed probe re-opens the
+// breaker with a fresh clock — and the second probe, with the schedule
+// exhausted, succeeds and heals the breaker for good.
+TEST_F(ServeResilience, HalfOpenProbeHealsBreakerAfterCooldown) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  const core::TuningProblem& problem = problems.front();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retry.max_attempts = 1;  // one attempt per run: fail fast
+  options.breaker_cooldown = 0.25;
+  fault::enable("serve.tune", 1.0, 11, 2);  // first run + first probe
+
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  ServedPlan first = service.get_plan(problem, device);
+  EXPECT_TRUE(first.scheduled_tune);
+  service.drain();
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.tune_failures, 1u);
+  EXPECT_EQ(stats.breaker_open, 1u);
+  EXPECT_EQ(stats.breaker_probes, 0u);
+
+  // Inside the cool-down the breaker is fully open: served instantly
+  // from the fallback, no probe admitted.
+  ServedPlan early = service.get_plan(problem, device);
+  EXPECT_FALSE(early.scheduled_tune);
+  expect_usable(early);
+  EXPECT_EQ(service.stats().tunes_started, 1u);
+
+  // Past the cool-down: the next request admits exactly one probe,
+  // which consumes the second injected fault and re-opens the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  ServedPlan probe = service.get_plan(problem, device);
+  EXPECT_TRUE(probe.scheduled_tune);
+  service.drain();
+  stats = service.stats();
+  EXPECT_EQ(stats.tunes_started, 2u);
+  EXPECT_EQ(stats.tune_failures, 2u);
+  EXPECT_EQ(stats.breaker_probes, 1u);
+  EXPECT_EQ(stats.breaker_healed, 0u);
+  EXPECT_EQ(stats.breaker_open, 1u);
+
+  // Second cool-down, second probe: the fault schedule is exhausted, so
+  // the probe tunes for real and heals the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  ServedPlan probe2 = service.get_plan(problem, device);
+  EXPECT_TRUE(probe2.scheduled_tune);
+  service.drain();
+  stats = service.stats();
+  EXPECT_EQ(stats.tunes_started, 3u);
+  EXPECT_EQ(stats.tunes_completed, 1u);
+  EXPECT_EQ(stats.breaker_probes, 2u);
+  EXPECT_EQ(stats.breaker_healed, 1u);
+  EXPECT_EQ(stats.breaker_open, 0u);
+
+  ServedPlan healed = service.get_plan(problem, device);
+  EXPECT_TRUE(healed.plan.tuned);
+  expect_usable(healed);
+  TuneFailure failure;
+  ASSERT_TRUE(service.last_failure(first.signature, &failure));
+  EXPECT_FALSE(failure.breaker_open);  // history survives, breaker closed
 }
 
 // An already-expired deadline still publishes a tuned plan: the search's

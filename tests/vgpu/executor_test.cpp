@@ -253,6 +253,49 @@ TEST(Executor, ConcurrentExecutionsOnDisjointEnvsMatchSequential) {
   }
 }
 
+// Batched plan execution compiles the kernels ONCE and fans the
+// per-operand-set runs across the pool: every env must end up
+// BIT-identical (tolerance 0.0) to execute_plan on the same inputs, for
+// every n_jobs — the pool only changes WHERE an item runs, never the
+// reduction order inside it.
+TEST(ExecutorBatch, BitIdenticalToSingleExecutionForEveryJobCount) {
+  const std::size_t kBatch = 6;
+  tcr::TcrProgram p = eqn1_program(5);
+  auto nests = tcr::build_loop_nests(p);
+  chill::Recipe recipe;
+  for (const auto& nest : nests) {
+    recipe.push_back(tcr::optimized_openacc_config(nest));
+  }
+  chill::GpuPlan plan = chill::lower_program(p, recipe);
+
+  Rng rng(7);
+  std::vector<TensorEnv> reference;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    reference.push_back(random_inputs(p, rng));  // distinct operand sets
+  }
+  std::vector<TensorEnv> expect = reference;
+  for (auto& env : expect) execute_plan(plan, env);
+
+  for (std::size_t n_jobs : {1, 2, 4, 8}) {
+    std::vector<TensorEnv> batch = reference;
+    execute_plan_batch(plan, batch, n_jobs);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      EXPECT_TRUE(Tensor::allclose(batch[i].at(p.output_name()),
+                                   expect[i].at(p.output_name()), 0.0))
+          << "item " << i << " diverged at n_jobs=" << n_jobs;
+    }
+  }
+}
+
+TEST(ExecutorBatch, EmptyBatchIsANoOp) {
+  tcr::TcrProgram p = matmul_program(3);
+  auto nests = tcr::build_loop_nests(p);
+  chill::GpuPlan plan =
+      chill::lower_program(p, {tcr::optimized_openacc_config(nests[0])});
+  std::vector<TensorEnv> none;
+  EXPECT_NO_THROW(execute_plan_batch(plan, none, 4));
+}
+
 TEST(Executor, HostSizeMismatchThrows) {
   tcr::TcrProgram p = matmul_program(3);
   auto nests = tcr::build_loop_nests(p);

@@ -28,6 +28,11 @@
 //                                upgrades, latencies)
 //   --clients N                  serve-mode client threads (default 4)
 //   --requests M                 requests per client     (default 8)
+//   --batch N                    submit requests N at a time through
+//                                get_plan_batch: one signature lookup
+//                                (and at most one tune enqueue) serves
+//                                a whole same-shape batch; the driver
+//                                prints the batch/lookup amortization
 //   --registry FILE              persistent plan registry: loaded before
 //                                serving (if present), merged back after
 //                                under an advisory lock — repeated
@@ -37,6 +42,11 @@
 //   --tune-deadline SECONDS      wall budget per background tune run;
 //                                an expired tune publishes its
 //                                best-so-far plan (0 = unbounded)
+//   --breaker-cooldown SECONDS   half-open circuit breakers: after this
+//                                cool-down an open breaker admits
+//                                exactly one probe tune (success heals
+//                                it, failure re-opens it; 0 = breakers
+//                                stay open until the process exits)
 //
 // Prewarm mode (offline registry pre-warming — the serving analog of
 // tune_specializations):
@@ -119,8 +129,9 @@ int usage(const char* argv0) {
                "[--method surf|random|exhaustive] [--shared] "
                "[--emit-cuda FILE] [--emit-orio FILE] [--verify] "
                "[--recover] "
-               "[--serve [--clients N] [--requests M] [--registry FILE] "
-               "[--tune-deadline SECONDS]] "
+               "[--serve [--clients N] [--requests M] [--batch N] "
+               "[--registry FILE] [--tune-deadline SECONDS] "
+               "[--breaker-cooldown SECONDS]] "
                "[--prewarm --registry FILE [--devices a,b,c] [--grid N]]\n",
                argv0);
   return 2;
@@ -201,9 +212,10 @@ double verify(const core::TuningProblem& problem,
 int run_serve(const core::TuningProblem& problem,
               const vgpu::DeviceProfile& device,
               const core::TuneOptions& tune_options,
-              std::size_t clients, std::size_t requests,
+              std::size_t clients, std::size_t requests, std::size_t batch,
               const std::string& registry_path,
-              support::RecoveryPolicy policy, double tune_deadline) {
+              support::RecoveryPolicy policy, double tune_deadline,
+              double breaker_cooldown) {
   serve::PlanRegistry registry;
   if (!registry_path.empty()) {
     std::ifstream probe(registry_path);
@@ -220,9 +232,13 @@ int run_serve(const core::TuningProblem& problem,
   serve::ServeOptions serve_options;
   serve_options.tune = tune_options;
   serve_options.tune_deadline = tune_deadline;
+  serve_options.breaker_cooldown = breaker_cooldown;
   serve::TuningService service(registry, serve_options);
 
   // Each client thread records its own latencies; slots are disjoint.
+  // With --batch N, a client submits its requests N at a time through
+  // get_plan_batch (one signature lookup serves the whole batch) and
+  // records the amortized per-request latency.
   std::vector<std::vector<double>> latency_us(clients);
   WallTimer wall;
   std::vector<std::thread> threads;
@@ -230,11 +246,29 @@ int run_serve(const core::TuningProblem& problem,
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       latency_us[c].reserve(requests);
-      for (std::size_t r = 0; r < requests; ++r) {
-        WallTimer t;
-        serve::ServedPlan served = service.get_plan(problem, device);
-        latency_us[c].push_back(t.seconds() * 1e6);
-        (void)served;
+      if (batch > 0) {
+        const std::vector<core::TuningProblem> full(batch, problem);
+        for (std::size_t r = 0; r < requests; r += batch) {
+          const std::size_t n = std::min(batch, requests - r);
+          WallTimer t;
+          std::vector<serve::ServedPlan> served =
+              n == batch
+                  ? service.get_plan_batch(full, device)
+                  : service.get_plan_batch(
+                        std::vector<core::TuningProblem>(n, problem), device);
+          const double us = t.seconds() * 1e6;
+          (void)served;
+          for (std::size_t k = 0; k < n; ++k) {
+            latency_us[c].push_back(us / static_cast<double>(n));
+          }
+        }
+      } else {
+        for (std::size_t r = 0; r < requests; ++r) {
+          WallTimer t;
+          serve::ServedPlan served = service.get_plan(problem, device);
+          latency_us[c].push_back(t.seconds() * 1e6);
+          (void)served;
+        }
       }
     });
   }
@@ -257,13 +291,26 @@ int run_serve(const core::TuningProblem& problem,
               serve_seconds > 0 ? stats.requests / serve_seconds : 0.0);
   std::printf("registry         : %zu hits / %zu misses, %zu entries\n",
               stats.registry_hits, stats.registry_misses, registry.size());
+  if (batch > 0) {
+    // The CI smoke greps this line: signature lookups must come in
+    // UNDER the request count, or batching amortized nothing.
+    std::printf("batched serve    : %zu batches (max %zu), %zu requests, "
+                "%zu signature lookups (amortization %.1fx)\n",
+                stats.batches, batch, stats.batch_requests,
+                stats.batch_signature_lookups,
+                stats.batch_signature_lookups
+                    ? static_cast<double>(stats.batch_requests) /
+                          static_cast<double>(stats.batch_signature_lookups)
+                    : 0.0);
+  }
   std::printf("tunes            : %zu started (single-flight), %zu "
               "completed, %zu failed, %zu rejected by backpressure\n",
               stats.tunes_started, stats.tunes_completed,
               stats.tune_failures, stats.rejected);
   std::printf("resilience       : %zu retries, %zu breakers open, %zu "
-              "deadline-expired tunes\n",
-              stats.retries, stats.breaker_open, stats.deadline_expired);
+              "deadline-expired tunes, %zu probes (%zu healed)\n",
+              stats.retries, stats.breaker_open, stats.deadline_expired,
+              stats.breaker_probes, stats.breaker_healed);
   if (!stats.last_error.empty()) {
     std::printf("last tune error  : %s\n", stats.last_error.c_str());
   }
@@ -356,8 +403,8 @@ int main(int argc, char** argv) {
   bool do_prewarm = false;
   std::string devices_arg;
   std::size_t grid = 64;
-  std::size_t clients = 4, requests = 8;
-  double tune_deadline = 0;
+  std::size_t clients = 4, requests = 8, batch = 0;
+  double tune_deadline = 0, breaker_cooldown = 0;
   const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
   std::string registry_path = registry_env ? registry_env : "";
   const char* recover_env = std::getenv("BARRACUDA_RECOVER");
@@ -415,6 +462,18 @@ int main(int argc, char** argv) {
       clients = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--requests") {
       requests = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--batch") {
+      batch = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      if (batch == 0) {
+        std::fprintf(stderr, "error: --batch must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--breaker-cooldown") {
+      breaker_cooldown = std::strtod(next(), nullptr);
+      if (breaker_cooldown < 0) {
+        std::fprintf(stderr, "error: --breaker-cooldown must be >= 0\n");
+        return 2;
+      }
     } else if (arg == "--registry") {
       registry_path = next();
     } else if (arg == "--tune-deadline") {
@@ -581,8 +640,9 @@ int main(int argc, char** argv) {
     };
 
     if (do_serve) {
-      int rc = run_serve(problem, device, options, clients, requests,
-                         registry_path, policy, tune_deadline);
+      int rc = run_serve(problem, device, options, clients, requests, batch,
+                         registry_path, policy, tune_deadline,
+                         breaker_cooldown);
       if (cache_path && *cache_path) {
         // Best-effort for the same reason as the registry save in
         // run_serve: persistence trouble must not fail a served run.
