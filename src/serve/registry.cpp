@@ -21,8 +21,8 @@ namespace {
 
 // On-disk format (line-oriented text; one plan per line):
 //
-//   barracuda-planregistry v1
-//   <modeled_us>\t<tuned 0|1>\t<variant>\t<recipe>\t<signature>
+//   barracuda-planregistry v2
+//   <modeled_us>\t<tuned 0|1>\t<variant>\t<age>\t<hits>\t<recipe>\t<signature>
 //   ...
 //
 // modeled_us prints with %.17g (exact IEEE round-trip).  The recipe
@@ -30,7 +30,15 @@ namespace {
 // ';' so the whole entry stays one line; recipe lines themselves never
 // contain ';' (identifiers, digits, ',', '-', '=').  Signatures are
 // '|'/','/';'-separated to_string()s, free of tabs and newlines.
-constexpr const char* kHeader = "barracuda-planregistry v1";
+//
+// v2 added the two demand columns: `age` counts consecutive saves since
+// the signature was last requested (the age-out policy drops entries
+// whose age reaches the configured limit at save time) and `hits` is
+// the cumulative request count unioned across every process that ever
+// merge_saved this file.  Legacy v1 files (no demand columns) still
+// load; their entries start with fresh demand.
+constexpr const char* kHeader = "barracuda-planregistry v2";
+constexpr const char* kHeaderV1 = "barracuda-planregistry v1";
 
 std::string encode_recipe(const std::string& recipe_text) {
   std::string flat = recipe_text;
@@ -72,6 +80,8 @@ PlanRegistry::PlanRegistry(std::size_t shards)
   for (std::size_t s = 0; s < shard_count_; ++s) {
     shards_[s].snapshot.store(std::make_shared<const ShardMap>(),
                               std::memory_order_relaxed);
+    shards_[s].demand.store(std::make_shared<const DemandMap>(),
+                            std::memory_order_relaxed);
   }
 }
 
@@ -121,38 +131,49 @@ bool PlanRegistry::peek(const std::string& signature,
 bool PlanRegistry::publish(const std::string& signature,
                            const PlanEntry& entry) {
   Shard& shard = shard_of(signature);
-  std::lock_guard<std::mutex> lock(shard.write_mutex);
-  std::shared_ptr<const ShardMap> snap =
-      shard.snapshot.load(std::memory_order_relaxed);
-  auto it = snap->find(signature);
-  const bool is_new = it == snap->end();
-  if (!is_new && !better_plan(entry, it->second)) return false;
-  // Copy-on-write: readers keep the old snapshot until the release
-  // store below, then see the fully built new one.
-  auto next = std::make_shared<ShardMap>(*snap);
-  (*next)[signature] = entry;
-  shard.snapshot.store(std::move(next), std::memory_order_release);
-  if (!is_new) shard.upgrades.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    std::shared_ptr<const ShardMap> snap =
+        shard.snapshot.load(std::memory_order_relaxed);
+    auto it = snap->find(signature);
+    const bool is_new = it == snap->end();
+    if (!is_new && !better_plan(entry, it->second)) return false;
+    // Copy-on-write: readers keep the old snapshot until the release
+    // store below, then see the fully built new one.
+    auto next = std::make_shared<ShardMap>(*snap);
+    (*next)[signature] = entry;
+    shard.snapshot.store(std::move(next), std::memory_order_release);
+    if (!is_new) shard.upgrades.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Every registered entry carries a demand record (the age-out
+  // baseline), even before its first request.
+  ensure_demand(shard, signature);
   return true;
 }
 
 PlanEntry PlanRegistry::publish_and_get(const std::string& signature,
                                         const PlanEntry& entry) {
   Shard& shard = shard_of(signature);
-  std::lock_guard<std::mutex> lock(shard.write_mutex);
-  std::shared_ptr<const ShardMap> snap =
-      shard.snapshot.load(std::memory_order_relaxed);
-  auto it = snap->find(signature);
-  if (it != snap->end() && !better_plan(entry, it->second)) {
-    return it->second;
+  PlanEntry result;
+  {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    std::shared_ptr<const ShardMap> snap =
+        shard.snapshot.load(std::memory_order_relaxed);
+    auto it = snap->find(signature);
+    if (it != snap->end() && !better_plan(entry, it->second)) {
+      result = it->second;
+    } else {
+      auto next = std::make_shared<ShardMap>(*snap);
+      (*next)[signature] = entry;
+      if (it != snap->end()) {
+        shard.upgrades.fetch_add(1, std::memory_order_relaxed);
+      }
+      shard.snapshot.store(std::move(next), std::memory_order_release);
+      result = entry;
+    }
   }
-  auto next = std::make_shared<ShardMap>(*snap);
-  (*next)[signature] = entry;
-  if (it != snap->end()) {
-    shard.upgrades.fetch_add(1, std::memory_order_relaxed);
-  }
-  shard.snapshot.store(std::move(next), std::memory_order_release);
-  return entry;
+  ensure_demand(shard, signature);
+  return result;
 }
 
 std::size_t PlanRegistry::size() const {
@@ -193,43 +214,251 @@ void PlanRegistry::clear() {
     std::lock_guard<std::mutex> lock(shard.write_mutex);
     shard.snapshot.store(std::make_shared<const ShardMap>(),
                          std::memory_order_release);
+    shard.demand.store(std::make_shared<const DemandMap>(),
+                       std::memory_order_release);
     shard.hits.store(0, std::memory_order_relaxed);
     shard.misses.store(0, std::memory_order_relaxed);
     shard.upgrades.store(0, std::memory_order_relaxed);
   }
+  aged_out_.store(0, std::memory_order_relaxed);
+}
+
+std::shared_ptr<PlanRegistry::Demand> PlanRegistry::ensure_demand(
+    Shard& shard, const std::string& signature) const {
+  // Fast path: the record exists — no lock, no copy.
+  std::shared_ptr<const DemandMap> snap =
+      shard.demand.load(std::memory_order_acquire);
+  auto it = snap->find(signature);
+  if (it != snap->end()) return it->second;
+  // First touch: copy-on-write the record in under the shard's write
+  // lock (re-checking — another thread may have won the race).
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  std::shared_ptr<const DemandMap> current =
+      shard.demand.load(std::memory_order_relaxed);
+  auto again = current->find(signature);
+  if (again != current->end()) return again->second;
+  auto record = std::make_shared<Demand>();
+  auto next = std::make_shared<DemandMap>(*current);
+  (*next)[signature] = record;
+  shard.demand.store(std::move(next), std::memory_order_release);
+  return record;
+}
+
+void PlanRegistry::record_demand(const std::string& signature,
+                                 double served_us, std::uint64_t count) {
+  if (count == 0) return;
+  Shard& shard = shard_of(signature);
+  std::shared_ptr<Demand> d = ensure_demand(shard, signature);
+  d->local_hits.fetch_add(count, std::memory_order_relaxed);
+  // -1 = "requested since the last save"; save() folds it to age 0.
+  d->idle.store(-1, std::memory_order_relaxed);
+  d->served_us.record(served_us, count);
+}
+
+void PlanRegistry::absorb_demand(const std::string& signature,
+                                 std::uint64_t file_hits,
+                                 std::uint64_t file_age) {
+  Shard& shard = shard_of(signature);
+  std::shared_ptr<Demand> d;
+  {
+    std::shared_ptr<const DemandMap> snap =
+        shard.demand.load(std::memory_order_acquire);
+    auto it = snap->find(signature);
+    if (it != snap->end()) d = it->second;
+  }
+  if (!d) {
+    // First sighting of this signature: the record IS the file's state
+    // (an ensure_demand() record would start "fresh", wrongly erasing
+    // the file's age).
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    std::shared_ptr<const DemandMap> current =
+        shard.demand.load(std::memory_order_relaxed);
+    auto again = current->find(signature);
+    if (again != current->end()) {
+      d = again->second;
+    } else {
+      d = std::make_shared<Demand>();
+      d->base_hits.store(file_hits, std::memory_order_relaxed);
+      d->idle.store(static_cast<std::int64_t>(file_age),
+                    std::memory_order_relaxed);
+      auto next = std::make_shared<DemandMap>(*current);
+      (*next)[signature] = d;
+      shard.demand.store(std::move(next), std::memory_order_release);
+      return;
+    }
+  }
+  // Request counts: every v2 file carries the union as of its save, so
+  // the baselines reconcile by max, never by addition (addition would
+  // double-count the shared history).
+  std::uint64_t base = d->base_hits.load(std::memory_order_relaxed);
+  while (file_hits > base &&
+         !d->base_hits.compare_exchange_weak(base, file_hits,
+                                             std::memory_order_relaxed)) {
+  }
+  // Ages reconcile by freshest-wins: -1 (requested in this process)
+  // beats any file age, otherwise the smaller age stands.
+  std::int64_t cur = d->idle.load(std::memory_order_relaxed);
+  const auto age = static_cast<std::int64_t>(file_age);
+  while (cur != -1 && age < cur &&
+         !d->idle.compare_exchange_weak(cur, age,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+bool PlanRegistry::demand(const std::string& signature,
+                          DemandStats* stats) const {
+  Shard& shard = shard_of(signature);
+  std::shared_ptr<const DemandMap> snap =
+      shard.demand.load(std::memory_order_acquire);
+  auto it = snap->find(signature);
+  if (it == snap->end()) return false;
+  const Demand& d = *it->second;
+  stats->requests = d.base_hits.load(std::memory_order_relaxed) +
+                    d.local_hits.load(std::memory_order_relaxed);
+  const std::int64_t idle = d.idle.load(std::memory_order_relaxed);
+  stats->idle_generations =
+      idle < 0 ? 0 : static_cast<std::uint64_t>(idle);
+  stats->served_us = d.served_us.snapshot();
+  return true;
+}
+
+std::vector<HotSignature> PlanRegistry::hottest(
+    std::size_t k, std::uint64_t min_requests) const {
+  if (min_requests == 0) min_requests = 1;
+  std::vector<HotSignature> ranked;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_ptr<const DemandMap> demand_snap =
+        shards_[s].demand.load(std::memory_order_acquire);
+    std::shared_ptr<const ShardMap> entry_snap =
+        shards_[s].snapshot.load(std::memory_order_acquire);
+    for (const auto& [sig, d] : *demand_snap) {
+      const std::uint64_t requests =
+          d->base_hits.load(std::memory_order_relaxed) +
+          d->local_hits.load(std::memory_order_relaxed);
+      if (requests < min_requests) continue;
+      auto it = entry_snap->find(sig);
+      if (it == entry_snap->end()) continue;
+      ranked.push_back({sig, requests, it->second.tuned});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const HotSignature& a, const HotSignature& b) {
+              if (a.requests != b.requests) return a.requests > b.requests;
+              return a.signature < b.signature;
+            });
+  if (k > 0 && ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::uint64_t PlanRegistry::demand_requests() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_ptr<const DemandMap> snap =
+        shards_[s].demand.load(std::memory_order_acquire);
+    for (const auto& [sig, d] : *snap) {
+      total += d->base_hits.load(std::memory_order_relaxed) +
+               d->local_hits.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+support::HistogramSnapshot PlanRegistry::served_latency() const {
+  support::HistogramSnapshot merged = support::Histogram().snapshot();
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_ptr<const DemandMap> snap =
+        shards_[s].demand.load(std::memory_order_acquire);
+    for (const auto& [sig, d] : *snap) {
+      merged.merge(d->served_us.snapshot());
+    }
+  }
+  return merged;
 }
 
 void PlanRegistry::save(const std::string& path) const {
+  // Serialize against concurrent save()s on this registry: the
+  // post-publish counter folding below must see its own reads.
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
+
   // Gather a point-in-time view from the shard snapshots (no locks —
   // each shard's snapshot is immutable) and sort globally by signature,
   // so the file is deterministic and byte-identical for any shard
   // count.
-  std::vector<std::pair<std::string, PlanEntry>> entries;
+  struct Row {
+    std::string signature;
+    PlanEntry entry;
+    std::shared_ptr<Demand> demand;  // may be null for hand-built maps
+    std::int64_t idle_read = 0;      // idle value at gather time
+    std::uint64_t local_read = 0;    // local_hits at gather time
+    std::uint64_t age = 0;           // persisted age column
+    std::uint64_t hits = 0;          // persisted hits column
+  };
+  const bool age_out = max_idle_generations_ > 0;
+  std::vector<Row> rows;
+  std::vector<Row> aged;
+  std::uint64_t dropped = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
     std::shared_ptr<const ShardMap> snap =
         shards_[s].snapshot.load(std::memory_order_acquire);
-    entries.insert(entries.end(), snap->begin(), snap->end());
+    std::shared_ptr<const DemandMap> demand_snap =
+        shards_[s].demand.load(std::memory_order_acquire);
+    for (const auto& [signature, entry] : *snap) {
+      Row row;
+      row.signature = signature;
+      row.entry = entry;
+      auto it = demand_snap->find(signature);
+      if (it != demand_snap->end()) {
+        row.demand = it->second;
+        row.idle_read = row.demand->idle.load(std::memory_order_relaxed);
+        row.local_read =
+            row.demand->local_hits.load(std::memory_order_relaxed);
+        row.hits = row.demand->base_hits.load(std::memory_order_relaxed) +
+                   row.local_read;
+      }
+      // A save closes a generation: a signature requested since the
+      // last save persists age 0; an idle one ages by one — but only
+      // when the age-out policy is armed, so policy-free registries
+      // round-trip byte-identically no matter how often they save.
+      row.age = row.idle_read < 0
+                    ? 0
+                    : static_cast<std::uint64_t>(row.idle_read) +
+                          (age_out ? 1 : 0);
+      if (age_out && row.age >= max_idle_generations_) {
+        // `registry.save.ageout` models the age-out branch failing
+        // (fires before any filesystem work, so the target file stays
+        // intact).
+        support::fault::maybe_throw("registry.save.ageout");
+        ++dropped;
+        // The aged entry stops being persisted but its in-memory
+        // demand keeps aging — folded with the kept rows below, only
+        // once the new file has actually published.
+        aged.push_back(std::move(row));
+        continue;
+      }
+      rows.push_back(std::move(row));
+    }
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.signature < b.signature;
+  });
 
   // Validate before touching the filesystem so a serialization error
   // never leaves a partial temp file behind.
-  for (const auto& [signature, entry] : entries) {
-    if (signature.find_first_of("\t\n") != std::string::npos) {
+  for (const Row& row : rows) {
+    if (row.signature.find_first_of("\t\n") != std::string::npos) {
       throw Error("plan registry signature contains tab/newline, "
-                  "not serializable: " + signature);
+                  "not serializable: " + row.signature);
     }
-    if (entry.recipe_text.find_first_of("\t;") != std::string::npos) {
+    if (row.entry.recipe_text.find_first_of("\t;") != std::string::npos) {
       throw Error("plan registry recipe contains tab/';', "
-                  "not serializable (signature " + signature + ")");
+                  "not serializable (signature " + row.signature + ")");
     }
-    if (encode_recipe(entry.recipe_text).empty()) {
+    if (encode_recipe(row.entry.recipe_text).empty()) {
       throw Error("plan registry entry has an empty recipe (signature " +
-                  signature + ")");
+                  row.signature + ")");
     }
-    if (!std::isfinite(entry.modeled_us)) {
-      throw Error("plan registry modeled time for '" + signature +
+    if (!std::isfinite(row.entry.modeled_us)) {
+      throw Error("plan registry modeled time for '" + row.signature +
                   "' is not finite, not serializable");
     }
   }
@@ -246,11 +475,13 @@ void PlanRegistry::save(const std::string& path) const {
     if (!out) throw Error("cannot write plan registry: " + tmp);
     out << kHeader << '\n';
     char time_text[64];
-    for (const auto& [signature, entry] : entries) {
-      std::snprintf(time_text, sizeof time_text, "%.17g", entry.modeled_us);
-      out << time_text << '\t' << (entry.tuned ? 1 : 0) << '\t'
-          << entry.variant << '\t' << encode_recipe(entry.recipe_text)
-          << '\t' << signature << '\n';
+    for (const Row& row : rows) {
+      std::snprintf(time_text, sizeof time_text, "%.17g",
+                    row.entry.modeled_us);
+      out << time_text << '\t' << (row.entry.tuned ? 1 : 0) << '\t'
+          << row.entry.variant << '\t' << row.age << '\t' << row.hits
+          << '\t' << encode_recipe(row.entry.recipe_text) << '\t'
+          << row.signature << '\n';
     }
     out.flush();
     if (!out) {
@@ -267,6 +498,27 @@ void PlanRegistry::save(const std::string& path) const {
     throw Error("cannot publish plan registry: rename " + tmp + " -> " +
                 path);
   }
+  // The file is published; fold what it recorded into the live demand
+  // so the NEXT save unions instead of double-counting: the persisted
+  // hit count becomes the new baseline (local increments recorded since
+  // the gather above survive the subtraction), and the persisted age
+  // becomes the new idle value — unless a request arrived meanwhile
+  // (idle went to -1), which must not be overwritten.
+  auto fold = [](const Row& row) {
+    if (!row.demand) return;
+    std::int64_t expected = row.idle_read;
+    row.demand->idle.compare_exchange_strong(
+        expected, static_cast<std::int64_t>(row.age),
+        std::memory_order_relaxed);
+    row.demand->base_hits.store(row.hits, std::memory_order_relaxed);
+    if (row.local_read > 0) {
+      row.demand->local_hits.fetch_sub(row.local_read,
+                                       std::memory_order_relaxed);
+    }
+  };
+  for (const Row& row : rows) fold(row);
+  for (const Row& row : aged) fold(row);
+  if (dropped > 0) aged_out_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
 void PlanRegistry::merge_entries(
@@ -323,16 +575,37 @@ std::size_t PlanRegistry::load(const std::string& path,
   };
 
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  int version = 0;
+  if (!std::getline(in, line)) {
     reject("not a barracuda plan registry (bad or missing '" +
            std::string(kHeader) + "' header): " + path);
-    // A wrong header means nothing after it is trustworthy as v1
+    in.setstate(std::ios::eofbit);
+  } else if (line == kHeader) {
+    version = 2;
+  } else if (line == kHeaderV1) {
+    version = 1;
+  } else {
+    reject("not a barracuda plan registry (bad or missing '" +
+           std::string(kHeader) + "' header): " + path);
+    // A wrong header means nothing after it is trustworthy as
     // records: salvage keeps zero entries and quarantines below.
     in.setstate(std::ios::eofbit);
   }
   // Parse everything first (throwing under kStrict leaves the registry
   // untouched — load stays all-or-nothing), then bulk-merge per shard.
+  // v1 lines have 5 fields, v2 lines add the age and hits columns.
+  struct FileDemand {
+    std::string signature;
+    std::uint64_t hits = 0;
+    std::uint64_t age = 0;
+  };
+  const std::size_t field_count = version == 1 ? 5 : 7;
+  const char* shape = version == 1
+      ? "expected <us>\\t<tuned>\\t<variant>\\t<recipe>\\t<sig>"
+      : "expected <us>\\t<tuned>\\t<variant>\\t<age>\\t<hits>\\t<recipe>"
+        "\\t<sig>";
   std::vector<std::pair<std::string, PlanEntry>> parsed;
+  std::vector<FileDemand> demand_rows;
   std::size_t loaded = 0;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -343,8 +616,8 @@ std::size_t PlanRegistry::load(const std::string& path,
              std::to_string(line_no) + ": " + msg);
     };
     std::vector<std::string> fields = split(line, '\t');
-    if (fields.size() != 5) {
-      fail("expected <us>\\t<tuned>\\t<variant>\\t<recipe>\\t<sig>");
+    if (fields.size() != field_count) {
+      fail(shape);
       continue;
     }
     PlanEntry entry;
@@ -369,7 +642,22 @@ std::size_t PlanRegistry::load(const std::string& path,
       fail("bad variant index '" + fields[2] + "'");
       continue;
     }
-    entry.recipe_text = decode_recipe(fields[3]);
+    FileDemand demand_row;
+    if (version == 2) {
+      demand_row.age = std::strtoull(fields[3].c_str(), &end, 10);
+      if (end == fields[3].c_str() || *end != '\0') {
+        fail("bad idle age '" + fields[3] + "'");
+        continue;
+      }
+      demand_row.hits = std::strtoull(fields[4].c_str(), &end, 10);
+      if (end == fields[4].c_str() || *end != '\0') {
+        fail("bad hit count '" + fields[4] + "'");
+        continue;
+      }
+    }
+    const std::string& recipe_field = fields[field_count - 2];
+    const std::string& signature = fields[field_count - 1];
+    entry.recipe_text = decode_recipe(recipe_field);
     try {
       // The recipe must at least parse; lowering validates it against
       // the program at serve time.  The validation parse is KEPT in the
@@ -381,7 +669,9 @@ std::size_t PlanRegistry::load(const std::string& path,
       fail("unparseable recipe: " + std::string(e.what()));
       continue;
     }
-    parsed.emplace_back(std::move(fields[4]), std::move(entry));
+    demand_row.signature = signature;
+    demand_rows.push_back(std::move(demand_row));
+    parsed.emplace_back(signature, std::move(entry));
     ++loaded;
   }
   in.close();
@@ -389,6 +679,13 @@ std::size_t PlanRegistry::load(const std::string& path,
   // already serves when it is actually faster.  Never counts upgrades —
   // load is replication, not tuning progress.
   merge_entries(std::move(parsed), /*count_upgrades=*/false);
+  // Demand merges independently of better-wins: even when a loaded
+  // entry loses to a faster incumbent, its recorded demand is real
+  // traffic and joins the union (v1 rows carry hits 0 / age 0 — the
+  // same fresh state a newly published entry gets).
+  for (const FileDemand& row : demand_rows) {
+    absorb_demand(row.signature, row.hits, row.age);
+  }
   local.kept = loaded;
   if (salvage && local.dropped > 0) {
     // Quarantine the damaged original; the salvaged state gets

@@ -33,10 +33,28 @@
 // flock(2) on `<path>.lock` across load-merge-publish so concurrent
 // processes compose losslessly, and load() rejecting corrupt files
 // loudly instead of serving garbage.
+//
+// Demand tracking (the adaptive-serving feedback signal): alongside each
+// shard's plan snapshot lives a demand snapshot — an immutable map from
+// signature to a shared Demand record (relaxed-atomic request counter +
+// wait-free served-latency Histogram + an idle-generation age).  The
+// recording path (record_demand) is lock-free after the first request
+// for a signature: it loads the demand snapshot, finds the shared
+// record, and bumps atomics; only the very first request per signature
+// takes the shard write lock to copy-on-write the record in.  Demand
+// feeds three consumers: hottest() ranks signatures for the
+// TuningService's background re-tuner, served_latency() merges the
+// per-signature histograms for ServeStats, and save() persists the
+// request counter + age so a long-lived registry file both unions demand
+// across processes and (when an age-out policy is set) drops entries
+// nobody has requested for N consecutive generations (a generation =
+// one save).  The v2 file format carries the two demand columns; v1
+// files still load, with demand starting fresh.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +63,7 @@
 #include <vector>
 
 #include "chill/lower.hpp"
+#include "support/histogram.hpp"
 #include "support/recovery.hpp"
 
 namespace barracuda::serve {
@@ -85,6 +104,25 @@ bool better_plan(const PlanEntry& a, const PlanEntry& b);
 /// hardware concurrency rounded up to a power of two, clamped to
 /// [1, 64].
 std::size_t default_registry_shards();
+
+/// Point-in-time demand view for one signature (see
+/// PlanRegistry::demand).
+struct DemandStats {
+  /// Total requests recorded for the signature, including the baseline
+  /// absorbed from loaded v2 files (the cross-process union).
+  std::uint64_t requests = 0;
+  /// Consecutive saves since the signature was last requested (0 when
+  /// requested since the last save — or never saved).
+  std::uint64_t idle_generations = 0;
+  support::HistogramSnapshot served_us;
+};
+
+/// One row of PlanRegistry::hottest(): a signature ranked by demand.
+struct HotSignature {
+  std::string signature;
+  std::uint64_t requests = 0;
+  bool tuned = false;
+};
 
 /// Thread-safe signature -> PlanEntry map with better-wins publication.
 /// Safe to share across concurrent get_plan requests and background
@@ -138,18 +176,71 @@ class PlanRegistry {
   std::size_t upgrades() const;
   void clear();
 
-  /// Write every entry to `path` (versioned text, sorted by signature so
-  /// the file is deterministic and byte-identical for any shard count),
-  /// via temp file + atomic rename — no reader, concurrent or
-  /// post-crash, can observe a torn file.  Throws Error on an unwritable
+  /// Record one served request (or `count` batched ones) for
+  /// `signature`: bumps the relaxed request counter, marks the
+  /// signature fresh for the age-out policy, and records `served_us`
+  /// into its latency histogram.  Lock-free after the signature's first
+  /// request.
+  void record_demand(const std::string& signature, double served_us,
+                     std::uint64_t count = 1);
+
+  /// True (and fills *stats) when demand has been recorded — or loaded
+  /// from a v2 file — for `signature`.  Does not touch hit/miss
+  /// counters.
+  bool demand(const std::string& signature, DemandStats* stats) const;
+
+  /// The signatures with at least max(1, min_requests) recorded
+  /// requests, ranked by request count descending (signature ascending
+  /// on ties, so the ranking is deterministic), truncated to the top
+  /// `k` (k = 0 means no truncation).  `tuned` reflects the registry's
+  /// current entry; signatures without a registered plan are skipped.
+  std::vector<HotSignature> hottest(std::size_t k,
+                                    std::uint64_t min_requests = 1) const;
+
+  /// Sum of every signature's request counter (including loaded
+  /// baselines).
+  std::uint64_t demand_requests() const;
+
+  /// All per-signature served-latency histograms merged into one.
+  support::HistogramSnapshot served_latency() const;
+
+  /// Enable (n >= 1) or disable (n = 0, the default) the age-out
+  /// policy: on save()/merge_save(), an entry whose persisted idle age
+  /// reaches n — i.e. not requested for n consecutive saves — is
+  /// dropped from the FILE (the in-memory registry keeps serving it).
+  /// With the policy disabled, save() never advances ages, so
+  /// save->load->save round-trips are byte-identical.
+  void set_max_idle_generations(std::uint64_t n) { max_idle_generations_ = n; }
+  std::uint64_t max_idle_generations() const { return max_idle_generations_; }
+
+  /// Entries dropped from files by the age-out policy over this
+  /// registry's lifetime.
+  std::uint64_t aged_out() const {
+    return aged_out_.load(std::memory_order_relaxed);
+  }
+
+  /// Write every entry to `path` (versioned v2 text, sorted by signature
+  /// so the file is deterministic and byte-identical for any shard
+  /// count), via temp file + atomic rename — no reader, concurrent or
+  /// post-crash, can observe a torn file.  Persists each entry's demand
+  /// columns (idle age + request count) and, when an age-out policy is
+  /// set, drops entries whose age reaches the limit (counted in
+  /// aged_out()).  On success the in-process demand counters fold into
+  /// the persisted baseline, so repeated merge_saves union counts
+  /// exactly instead of double-counting.  Throws Error on an unwritable
   /// path or an unserializable entry (tab/newline in a signature, ';' or
-  /// tab in recipe text, non-finite modeled_us, empty recipe).  Counters
-  /// are not persisted.
+  /// tab in recipe text, non-finite modeled_us, empty recipe).
+  /// Hit/miss/upgrade counters are not persisted.
   void save(const std::string& path) const;
 
   /// Merge entries from a save()d file into this registry under the
   /// better-wins rule (never counts upgrades — load is replication, not
-  /// tuning progress).  Returns the number of entry lines read.
+  /// tuning progress).  Returns the number of entry lines read.  Reads
+  /// both the current v2 format and legacy v1 files (whose entries load
+  /// with fresh demand).  v2 demand columns are absorbed as a baseline:
+  /// request counts take the max of file and current baseline (each
+  /// file already carries the union at its save time), ages take the
+  /// freshest (smallest) of the two sides.
   ///
   /// Failure handling is governed by `policy` (default kStrict): any
   /// corruption — unrecognized header/version, wrong field count,
@@ -181,13 +272,34 @@ class PlanRegistry {
  private:
   using ShardMap = std::unordered_map<std::string, PlanEntry>;
 
+  /// Live demand state for one signature.  Shared (never copied) so the
+  /// recording path can bump it without holding any lock.  `idle` is -1
+  /// while the signature has been requested (or first published) since
+  /// the last save; save() folds it to the persisted age.  Request
+  /// counts split into the baseline absorbed from files (`base_hits`)
+  /// plus the increments recorded in this process since the last save
+  /// (`local_hits`); their sum is the signature's total demand, and
+  /// save() folds local into base so the union never double-counts.
+  struct Demand {
+    std::atomic<std::uint64_t> base_hits{0};
+    std::atomic<std::uint64_t> local_hits{0};
+    std::atomic<std::int64_t> idle{-1};
+    support::Histogram served_us;
+  };
+  using DemandMap =
+      std::unordered_map<std::string, std::shared_ptr<Demand>>;
+
   /// One stripe: an immutable published snapshot readers load atomically
   /// plus the mutex that serializes this stripe's copy-on-write
   /// publishers.  Counters are relaxed atomics (hot-path increments,
-  /// summed on read).
+  /// summed on read).  The demand snapshot follows the same
+  /// copy-on-write discipline, but its values are SHARED mutable
+  /// records: inserting a signature copies the map, bumping an existing
+  /// one touches only the record's atomics.
   struct Shard {
     mutable std::mutex write_mutex;
     std::atomic<std::shared_ptr<const ShardMap>> snapshot;
+    std::atomic<std::shared_ptr<const DemandMap>> demand;
     mutable std::atomic<std::size_t> hits{0};
     mutable std::atomic<std::size_t> misses{0};
     std::atomic<std::size_t> upgrades{0};
@@ -199,9 +311,22 @@ class PlanRegistry {
   /// of O(entries)).
   void merge_entries(std::vector<std::pair<std::string, PlanEntry>> entries,
                      bool count_upgrades);
+  /// The shard's Demand record for `signature`, inserting a fresh one
+  /// (copy-on-write, under the shard write lock) on first touch.
+  std::shared_ptr<Demand> ensure_demand(Shard& shard,
+                                        const std::string& signature) const;
+  /// Union a loaded file's demand columns into the live record.
+  void absorb_demand(const std::string& signature, std::uint64_t file_hits,
+                     std::uint64_t file_age);
 
   std::size_t shard_count_ = 1;  // power of two
   std::unique_ptr<Shard[]> shards_;
+  std::uint64_t max_idle_generations_ = 0;  // 0 = age-out disabled
+  mutable std::atomic<std::uint64_t> aged_out_{0};
+  /// Serializes save()'s counter folding against concurrent save()s on
+  /// the same registry (merge_save already serializes cross-process via
+  /// the file lock; this covers two threads saving one registry).
+  mutable std::mutex save_mutex_;
 };
 
 }  // namespace barracuda::serve

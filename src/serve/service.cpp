@@ -59,18 +59,54 @@ TuningService::TuningService(PlanRegistry& registry, ServeOptions options)
                       "serve queue capacity must be >= 1");
   BARRACUDA_CHECK_MSG(options_.breaker_cooldown >= 0,
                       "breaker cool-down must be >= 0");
+  BARRACUDA_CHECK_MSG(options_.retune_interval >= 0,
+                      "retune interval must be >= 0");
+  known_.store(std::make_shared<const ContextMap>(),
+               std::memory_order_relaxed);
+  if (options_.retune_interval > 0) {
+    retune_thread_ = std::thread([this] { retune_loop(); });
+  }
 }
 
 TuningService::~TuningService() {
-  // In-flight tasks capture `this`; they must finish before the members
-  // they touch are destroyed.  Their upgrades still land in the
-  // registry, which outlives the service by contract.
+  // Stop the re-tune scheduler FIRST — it must not enqueue new work
+  // while we drain — then let in-flight tasks finish: they capture
+  // `this`, so they must complete before the members they touch are
+  // destroyed.  Their upgrades still land in the registry, which
+  // outlives the service by contract.
+  if (retune_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(retune_mutex_);
+      retune_stop_ = true;
+    }
+    retune_cv_.notify_all();
+    retune_thread_.join();
+  }
   drain();
+}
+
+void TuningService::remember_signature(const std::string& sig,
+                                       const core::TuningProblem& problem,
+                                       const vgpu::DeviceProfile& device) {
+  // Fast path: already known — one lock-free find on the immutable map.
+  std::shared_ptr<const ContextMap> snap =
+      known_.load(std::memory_order_acquire);
+  if (snap->contains(sig)) return;
+  auto context = std::make_shared<const RetuneContext>(
+      RetuneContext{problem, device});
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const ContextMap> current =
+      known_.load(std::memory_order_relaxed);
+  if (current->contains(sig)) return;
+  auto next = std::make_shared<ContextMap>(*current);
+  (*next)[sig] = std::move(context);
+  known_.store(std::move(next), std::memory_order_release);
 }
 
 ServedPlan TuningService::serve_signature(std::string sig,
                                           const core::TuningProblem& problem,
-                                          const vgpu::DeviceProfile& device) {
+                                          const vgpu::DeviceProfile& device,
+                                          std::size_t count) {
   ServedPlan served;
   served.signature = std::move(sig);
 
@@ -80,6 +116,9 @@ ServedPlan TuningService::serve_signature(std::string sig,
       served.scheduled_tune =
           maybe_schedule(served.signature, problem, device);
     }
+    // Demand feeds the adaptive re-tuner: what was served, how often.
+    registry_.record_demand(served.signature, served.plan.modeled_us, count);
+    remember_signature(served.signature, problem, device);
     return served;
   }
 
@@ -93,6 +132,8 @@ ServedPlan TuningService::serve_signature(std::string sig,
   if (!served.plan.tuned) {
     served.scheduled_tune = maybe_schedule(served.signature, problem, device);
   }
+  registry_.record_demand(served.signature, served.plan.modeled_us, count);
+  remember_signature(served.signature, problem, device);
   return served;
 }
 
@@ -152,8 +193,8 @@ std::vector<ServedPlan> TuningService::get_plan_batch(
   batch_signature_lookups_.fetch_add(groups.size(),
                                      std::memory_order_relaxed);
   for (SignatureGroup& group : groups) {
-    ServedPlan answer =
-        serve_signature(std::move(group.sig), *group.problem, device);
+    ServedPlan answer = serve_signature(std::move(group.sig), *group.problem,
+                                        device, group.items.size());
     for (std::size_t k = 0; k + 1 < group.items.size(); ++k) {
       served[group.items[k]] = answer;
       // At most one item per signature group reports the enqueue —
@@ -213,8 +254,8 @@ std::vector<ExecutableServedPlan> TuningService::get_executable_batch(
                                      std::memory_order_relaxed);
   for (SignatureGroup& group : groups) {
     ExecutableServedPlan answer;
-    answer.served =
-        serve_signature(std::move(group.sig), *group.problem, device);
+    answer.served = serve_signature(std::move(group.sig), *group.problem,
+                                    device, group.items.size());
     // ONE materialization (or LRU hit) per distinct signature; every
     // item of the group shares the same executable pointer.
     answer.executable =
@@ -229,7 +270,8 @@ std::vector<ExecutableServedPlan> TuningService::get_executable_batch(
 
 bool TuningService::maybe_schedule(const std::string& sig,
                                    const core::TuningProblem& problem,
-                                   const vgpu::DeviceProfile& device) {
+                                   const vgpu::DeviceProfile& device,
+                                   bool retune) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Single-flight dedup.  Order matters: a finishing tune publishes
@@ -259,8 +301,12 @@ bool TuningService::maybe_schedule(const std::string& sig,
       if (open_seconds < options_.breaker_cooldown) return false;
       is_probe = true;
     }
+    // Re-tunes exist to re-run TUNED signatures with a bigger budget,
+    // so the tuned-refusal guard applies only to the cold path.
     PlanEntry current;
-    if (registry_.peek(sig, &current) && current.tuned) return false;
+    if (!retune && registry_.peek(sig, &current) && current.tuned) {
+      return false;
+    }
     if (scheduled_ + running_ >= options_.queue_capacity) {
       // Backpressure: refuse the enqueue, not the request.  The caller
       // already holds the fallback plan; the signature stays untuned
@@ -276,14 +322,15 @@ bool TuningService::maybe_schedule(const std::string& sig,
     if (is_probe) ++breaker_probes_;
   }
   // Copies, not references: the tune outlives the request.
-  support::ThreadPool::shared().submit(
-      [this, sig, problem, device] { run_tune(sig, problem, device); });
+  support::ThreadPool::shared().submit([this, sig, problem, device, retune] {
+    run_tune(sig, problem, device, retune);
+  });
   return true;
 }
 
 void TuningService::run_tune(const std::string& sig,
                              const core::TuningProblem& problem,
-                             const vgpu::DeviceProfile& device) {
+                             const vgpu::DeviceProfile& device, bool retune) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     --scheduled_;
@@ -299,6 +346,15 @@ void TuningService::run_tune(const std::string& sig,
   // other result.  The timer lives in a shared_ptr because the options
   // copy (and the lambda in it) is moved into core::tune.
   core::TuneOptions tune_options = options_.tune;
+  if (retune) {
+    // Hot plans deserve more search: the multiplied budget is the whole
+    // reason a re-tune can beat the latency-bound cold tune.
+    tune_options.search.max_evaluations =
+        options_.retune_budget > 0
+            ? options_.retune_budget
+            : 4 * std::max<std::size_t>(
+                      1, tune_options.search.max_evaluations);
+  }
   auto expired = std::make_shared<std::atomic<bool>>(false);
   if (options_.tune_deadline > 0) {
     auto clock = std::make_shared<WallTimer>();
@@ -319,6 +375,7 @@ void TuningService::run_tune(const std::string& sig,
   const std::size_t max_attempts =
       std::max<std::size_t>(1, options_.retry.max_attempts);
   bool succeeded = false;
+  bool improved = false;
   std::size_t attempts = 0;
   std::size_t extra_attempts = 0;
   std::string error_text;
@@ -344,8 +401,10 @@ void TuningService::run_tune(const std::string& sig,
     ++attempts;
     try {
       // `serve.tune` models the tune pipeline itself throwing (OOM in
-      // enumeration, a lowering bug on one problem shape, ...).
-      support::fault::maybe_throw("serve.tune");
+      // enumeration, a lowering bug on one problem shape, ...);
+      // `serve.retune` is the same failure on a re-tune run, so chaos
+      // tests can poison re-tunes without touching cold tunes.
+      support::fault::maybe_throw(retune ? "serve.retune" : "serve.tune");
       core::TuneResult result = core::tune(problem, device, tune_options);
       PlanEntry tuned;
       tuned.variant = result.best_variant;
@@ -359,8 +418,10 @@ void TuningService::run_tune(const std::string& sig,
       // Better-wins: an upgrade only lands when the tuned plan actually
       // beats the fallback (it always should — the static mapping is a
       // candidate the search compares against), so the served latency
-      // for this signature is monotone non-increasing.
-      registry_.publish(sig, tuned);
+      // for this signature is monotone non-increasing.  For a re-tune
+      // the same rule is the safety net: a bigger-budget search that
+      // somehow finds nothing better leaves the incumbent untouched.
+      improved = registry_.publish(sig, tuned);
       succeeded = true;
       break;
     } catch (const std::exception& e) {
@@ -389,6 +450,10 @@ void TuningService::run_tune(const std::string& sig,
     if (succeeded) {
       ++tunes_completed_;
       tune_seconds_total_ += seconds;
+      if (retune) {
+        ++retunes_completed_;
+        if (improved) ++retunes_improved_;
+      }
       // A successful run through a half-open breaker heals it: the
       // signature leaves quarantine for good (it is now tuned, so
       // maybe_schedule's peek refuses further runs anyway).
@@ -406,6 +471,92 @@ void TuningService::run_tune(const std::string& sig,
   }
 }
 
+std::vector<std::string> TuningService::retune_pass() {
+  std::vector<std::string> scheduled;
+  const std::size_t top_k = options_.retune_top_k;
+  if (top_k == 0) return scheduled;
+  const std::uint64_t threshold =
+      std::max<std::uint64_t>(1, options_.hot_threshold);
+
+  // Candidates: tuned signatures this service has served (we need the
+  // remembered problem/device to rebuild the tune), ranked by demand
+  // accumulated SINCE their last re-tune — a signature re-tuned once
+  // must earn fresh traffic to qualify again.
+  std::vector<HotSignature> hot = registry_.hottest(0, threshold);
+  std::shared_ptr<const ContextMap> known =
+      known_.load(std::memory_order_acquire);
+  struct Candidate {
+    HotSignature hot;
+    std::uint64_t fresh = 0;
+  };
+  std::vector<Candidate> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (HotSignature& h : hot) {
+      if (!h.tuned) continue;  // the cold path owns untuned signatures
+      if (!known->contains(h.signature)) continue;
+      auto seen = retuned_hits_.find(h.signature);
+      const std::uint64_t baseline =
+          seen == retuned_hits_.end() ? 0 : seen->second;
+      const std::uint64_t fresh =
+          h.requests > baseline ? h.requests - baseline : 0;
+      if (fresh < threshold) continue;
+      candidates.push_back({std::move(h), fresh});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.fresh != b.fresh) return a.fresh > b.fresh;
+              return a.hot.signature < b.hot.signature;
+            });
+  if (candidates.size() > top_k) candidates.resize(top_k);
+
+  for (const Candidate& c : candidates) {
+    try {
+      // `serve.retune.enqueue` models the scheduler failing on one
+      // candidate (e.g. an allocation inside the enqueue): the pass
+      // records the error and moves on — adaptive re-tuning degrades,
+      // serving never does.
+      support::fault::maybe_throw("serve.retune.enqueue");
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last_error_ = e.what();
+      continue;
+    }
+    const RetuneContext& context = *known->at(c.hot.signature);
+    if (maybe_schedule(c.hot.signature, context.problem, context.device,
+                       /*retune=*/true)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++retunes_scheduled_;
+      // The candidate's demand reading becomes the new baseline; a
+      // REFUSED enqueue (in flight, breaker, backpressure) leaves the
+      // baseline alone so the signature stays eligible next pass.
+      retuned_hits_[c.hot.signature] = c.hot.requests;
+      scheduled.push_back(c.hot.signature);
+    }
+  }
+  return scheduled;
+}
+
+void TuningService::retune_loop() {
+  std::unique_lock<std::mutex> lock(retune_mutex_);
+  const auto interval =
+      std::chrono::duration<double>(options_.retune_interval);
+  while (!retune_stop_) {
+    if (retune_cv_.wait_for(lock, interval, [this] { return retune_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    try {
+      retune_pass();
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      last_error_ = e.what();
+    }
+    lock.lock();
+  }
+}
+
 void TuningService::drain() {
   BARRACUDA_CHECK_MSG(!support::ThreadPool::on_worker_thread(),
                       "TuningService::drain() would deadlock on a pool "
@@ -414,10 +565,14 @@ void TuningService::drain() {
   idle_cv_.wait(lock, [this] { return scheduled_ + running_ == 0; });
 }
 
-ServeStats TuningService::stats() const {
+ServeStats TuningService::snapshot() const {
   ServeStats s;
   // Hot counter: relaxed atomic read, no lock — see the ServeStats
-  // consistency contract.
+  // consistency contract.  Every counter below is read exactly once
+  // into the snapshot (atomics with relaxed loads, mutex-guarded tune
+  // state under one lock acquisition), so taking a snapshot while
+  // workers mutate the counters is race-free by construction — there is
+  // no field-by-field copy of live state anywhere.
   s.requests = requests_.load(std::memory_order_relaxed);
   {
     // Tune-path state: mutex_ is contended only by the miss/untuned
@@ -437,6 +592,9 @@ ServeStats TuningService::stats() const {
     s.tune_seconds_total = tune_seconds_total_;
     s.breaker_probes = breaker_probes_;
     s.breaker_healed = breaker_healed_;
+    s.retunes_scheduled = retunes_scheduled_;
+    s.retunes_completed = retunes_completed_;
+    s.retunes_improved = retunes_improved_;
   }
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
@@ -450,6 +608,8 @@ ServeStats TuningService::stats() const {
   s.registry_hits = registry_.hits();
   s.registry_misses = registry_.misses();
   s.upgrades = registry_.upgrades();
+  s.demand_requests = registry_.demand_requests();
+  s.served_latency = registry_.served_latency();
   return s;
 }
 

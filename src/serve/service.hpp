@@ -61,6 +61,20 @@
 //            an expired run publishes the best plan found so far —
 //            an answer, not an error.  Counted in Stats::
 //            deadline_expired.
+//
+// Adaptive re-tuning (the traffic -> budget feedback loop): every served
+// request records demand on the registry (request counter + served-
+// latency histogram, see PlanRegistry::record_demand), and retune_pass()
+// ranks the ALREADY-TUNED signatures by requests accumulated since their
+// last re-tune, picking the top retune_top_k whose fresh demand clears
+// hot_threshold and re-enqueuing them through the SAME single-flight /
+// breaker / backpressure machinery as a cold tune — just with a larger
+// search budget (retune_budget evaluations).  Publication stays
+// better-wins, so a re-tune can only improve or keep the served plan:
+// per-signature served latency is monotone non-increasing across
+// re-tune publishes.  retune_interval > 0 runs the pass on a background
+// scheduler thread; tests and the CLI call retune_pass() directly for
+// deterministic behavior.
 #pragma once
 
 #include <atomic>
@@ -71,6 +85,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -128,6 +143,20 @@ struct ServeOptions {
   /// Capacity of the executable-plan LRU (materialized recipe + lowered
   /// kernels per signature; see serve/plancache.hpp).  Must be >= 1.
   std::size_t plan_cache_capacity = 128;
+  /// Search budget (surf::SearchOptions::max_evaluations) for a
+  /// re-tune run.  0 = 4x the cold-path tune's budget.  Hot plans
+  /// deserve more search than the latency-bound cold tune spent.
+  std::size_t retune_budget = 0;
+  /// Seconds between background retune_pass() runs.  0 (the default)
+  /// starts no scheduler thread — call retune_pass() explicitly.
+  double retune_interval = 0;
+  /// How many of the hottest signatures one retune_pass() re-enqueues.
+  /// 0 disables re-tuning entirely.
+  std::size_t retune_top_k = 4;
+  /// Minimum requests a signature must have accumulated SINCE ITS LAST
+  /// RE-TUNE to qualify as hot (clamped to >= 1) — a signature re-tuned
+  /// once must earn fresh traffic before being re-tuned again.
+  std::uint64_t hot_threshold = 16;
 };
 
 /// What one get_plan request was answered with.
@@ -227,6 +256,17 @@ struct ServeStats {
   /// Total wall seconds inside completed background tunes; divide by
   /// tunes_completed for the mean tune latency.
   double tune_seconds_total = 0;
+  /// Adaptive re-tuning: hot signatures re-enqueued by retune_pass(),
+  /// re-tune runs that completed, and completions whose bigger-budget
+  /// plan actually beat the incumbent (better-wins publish succeeded).
+  std::size_t retunes_scheduled = 0;
+  std::size_t retunes_completed = 0;
+  std::size_t retunes_improved = 0;
+  /// Demand recorded on the shared registry: total requests (including
+  /// baselines loaded from v2 files) and the merged served-latency
+  /// histogram across every signature.
+  std::uint64_t demand_requests = 0;
+  support::HistogramSnapshot served_latency;
 };
 
 /// Per-signature failure record, kept from the most recent tune run
@@ -300,9 +340,26 @@ class TuningService {
   /// it occupies).
   void drain();
 
-  /// Point-in-time counters.  Never blocks get_plan's warm path — see
-  /// the ServeStats consistency contract.
-  ServeStats stats() const;
+  /// Point-in-time counters, each read exactly once (atomics relaxed,
+  /// tune state under the service mutex) — safe to call while worker
+  /// threads mutate every counter.  Never blocks get_plan's warm path —
+  /// see the ServeStats consistency contract.
+  ServeStats snapshot() const;
+
+  /// Alias for snapshot() (the historical name).
+  ServeStats stats() const { return snapshot(); }
+
+  /// Run one adaptive re-tune pass: rank the already-tuned signatures
+  /// this service has served by requests accumulated since their last
+  /// re-tune, and re-enqueue the top ServeOptions::retune_top_k whose
+  /// fresh demand reaches hot_threshold — through the normal
+  /// single-flight / breaker / backpressure machinery, with
+  /// retune_budget evaluations.  Returns the signatures actually
+  /// enqueued (deterministic: demand descending, signature ascending on
+  /// ties).  Publication is better-wins, so served plans only ever
+  /// improve.  Thread-safe; the background scheduler (retune_interval >
+  /// 0) calls exactly this.
+  std::vector<std::string> retune_pass();
 
   /// True (and fills *failure) when `signature`'s most recent tune run
   /// had at least one failing attempt.
@@ -331,10 +388,13 @@ class TuningService {
 
   /// The single-signature serving core shared by every entry point:
   /// one lookup, cold fallback on miss, single-flight schedule when
-  /// untuned.
+  /// untuned.  Records `count` requests of demand (batch groups pass
+  /// their item count) and remembers the (problem, device) context so
+  /// retune_pass() can rebuild the tune inputs later.
   ServedPlan serve_signature(std::string sig,
                              const core::TuningProblem& problem,
-                             const vgpu::DeviceProfile& device);
+                             const vgpu::DeviceProfile& device,
+                             std::size_t count = 1);
 
   /// The served plan's executable, from the LRU when fresh, otherwise
   /// materialized and cached.  Sets *cache_hit accordingly.
@@ -343,14 +403,24 @@ class TuningService {
       bool* cache_hit);
 
   /// Enqueue the background tune for `sig` unless it is already
-  /// in flight, already tuned, quarantined by its circuit breaker (an
+  /// in flight, already tuned (skipped for re-tunes — re-tuning tuned
+  /// entries is the point), quarantined by its circuit breaker (an
   /// open breaker past its cool-down admits exactly one probe), or the
   /// queue is full.  Returns whether this call scheduled it.
   bool maybe_schedule(const std::string& sig,
                       const core::TuningProblem& problem,
-                      const vgpu::DeviceProfile& device);
+                      const vgpu::DeviceProfile& device,
+                      bool retune = false);
   void run_tune(const std::string& sig, const core::TuningProblem& problem,
-                const vgpu::DeviceProfile& device);
+                const vgpu::DeviceProfile& device, bool retune = false);
+  /// Remember the serve context retune_pass() needs to rebuild a tune
+  /// for `sig`.  Lock-free once known (immutable-snapshot find);
+  /// copy-on-write insert under mutex_ on first sight.
+  void remember_signature(const std::string& sig,
+                          const core::TuningProblem& problem,
+                          const vgpu::DeviceProfile& device);
+  /// Body of the retune_interval scheduler thread.
+  void retune_loop();
 
   PlanRegistry& registry_;
   ServeOptions options_;
@@ -394,6 +464,33 @@ class TuningService {
   std::string last_error_;
   std::size_t rejected_ = 0;
   double tune_seconds_total_ = 0;
+  std::size_t retunes_scheduled_ = 0;
+  std::size_t retunes_completed_ = 0;
+  std::size_t retunes_improved_ = 0;
+  /// Request count each signature had when retune_pass() last enqueued
+  /// it — the baseline "fresh demand" is measured against.  Guarded by
+  /// mutex_.
+  std::unordered_map<std::string, std::uint64_t> retuned_hits_;
+
+  /// Serve context per signature for re-tunes: the problem and device a
+  /// future retune_pass() rebuilds core::tune inputs from.  Immutable
+  /// snapshot map, atomically swapped copy-on-write (insert under
+  /// mutex_) so the serve path's existence check is lock-free.
+  struct RetuneContext {
+    core::TuningProblem problem;
+    vgpu::DeviceProfile device;
+  };
+  using ContextMap =
+      std::unordered_map<std::string, std::shared_ptr<const RetuneContext>>;
+  std::atomic<std::shared_ptr<const ContextMap>> known_;
+
+  /// The retune_interval scheduler thread and its stop signal (guarded
+  /// by retune_mutex_, separate from mutex_ so stopping never contends
+  /// with tune workers).
+  std::mutex retune_mutex_;
+  std::condition_variable retune_cv_;
+  bool retune_stop_ = false;
+  std::thread retune_thread_;
 };
 
 /// Re-lower a served plan for execution or code emission: enumerate the

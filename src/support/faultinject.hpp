@@ -31,10 +31,13 @@
 //   evalcache.load           EvalCache::load, before reading
 //   registry.save.open       PlanRegistry::save, before writing the temp
 //   registry.save.rename     PlanRegistry::save, before the atomic rename
+//   registry.save.ageout     PlanRegistry::save, in the age-out drop branch
 //   registry.load            PlanRegistry::load, before reading
 //   filelock.acquire         FileLock, before taking the flock
 //   threadpool.task          ThreadPool::submit, at task invocation
 //   serve.tune               TuningService, at each background tune attempt
+//   serve.retune             TuningService, at each re-tune attempt
+//   serve.retune.enqueue     TuningService::retune_pass, per candidate
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,170 @@
+// Fixed-bucket, mergeable latency histograms for demand tracking.
+//
+// The serving layer records one served-latency sample per request into a
+// per-signature Histogram hung off the plan registry's demand table.  The
+// recording path is called from every client thread concurrently, so it
+// must be wait-free: each bucket is a relaxed atomic counter and min/max
+// are CAS loops, no mutex anywhere.  Bucket edges are deterministic
+// (geometric powers of two over the microsecond range the modeled
+// latencies live in) so two histograms recorded on different machines, in
+// different processes, or merged in either order produce the exact same
+// counts — merge is plain bucket-wise addition, which makes it
+// associative and commutative by construction, the property the
+// cross-process registry merge relies on.
+//
+// Quantiles over bucketed data are inherently interval estimates: the
+// nearest-rank quantile of the underlying raw sample is guaranteed to lie
+// in [quantile_low(p), quantile_high(p)] — the lower and upper edge of
+// the bucket holding the rank (the overflow bucket's upper bound is the
+// recorded maximum).  tests/support/histogram_test.cpp pins the bracket
+// against support::percentile_sorted on the raw samples.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace barracuda::support {
+
+/// Immutable copy of a Histogram's state.  Cheap to merge and to ship
+/// through ServeStats; carries everything needed to answer quantile
+/// bracket queries without touching the live atomics again.
+struct HistogramSnapshot {
+  std::vector<double> edges;          ///< strictly ascending bucket edges
+  std::vector<std::uint64_t> counts;  ///< edges.size() + 1 buckets
+  std::uint64_t total = 0;            ///< sum of counts
+  double min = 0.0;                   ///< smallest recorded value (0 if empty)
+  double max = 0.0;                   ///< largest recorded value (0 if empty)
+
+  /// Bucket-wise addition.  Requires identical edges; min/max combine as
+  /// the usual lattice, so merge is associative and commutative.
+  void merge(const HistogramSnapshot& other) {
+    BARRACUDA_CHECK_MSG(edges == other.edges,
+                        "cannot merge histograms with different bucket edges");
+    BARRACUDA_CHECK(counts.size() == other.counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+    if (other.total > 0) {
+      min = total > 0 ? std::min(min, other.min) : other.min;
+      max = total > 0 ? std::max(max, other.max) : other.max;
+    }
+    total += other.total;
+  }
+
+  /// Lower bound of the bucket containing the nearest-rank p-quantile
+  /// (the same rank rule as percentile_sorted: ceil(p/100 * total)).
+  /// p must be in (0, 100]; an empty histogram returns 0, matching the
+  /// empty-sample rule of percentile_sorted.
+  double quantile_low(double p) const { return quantile_bucket_bound(p, false); }
+
+  /// Upper bound of that bucket; the overflow bucket reports the
+  /// recorded maximum so the bound is always finite.
+  double quantile_high(double p) const { return quantile_bucket_bound(p, true); }
+
+ private:
+  double quantile_bucket_bound(double p, bool upper) const {
+    BARRACUDA_CHECK_MSG(p > 0 && p <= 100, "percentile must be in (0, 100]");
+    if (total == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        if (upper) return i < edges.size() ? edges[i] : max;
+        return i == 0 ? std::min(0.0, min) : edges[i - 1];
+      }
+    }
+    return max;  // unreachable when counts sum to total
+  }
+};
+
+/// Wait-free fixed-bucket histogram.  Bucket i covers [edges[i-1],
+/// edges[i]) with bucket 0 reaching down to -inf and the last (overflow)
+/// bucket up to +inf.  All mutation is relaxed-atomic: exact counts are
+/// still guaranteed (fetch_add never loses increments), only cross-bucket
+/// ordering is unconstrained, which a histogram does not care about.
+class Histogram {
+ public:
+  /// Default edges: 0.25us * 2^i for 25 steps — geometric coverage from
+  /// a quarter microsecond to ~4.2 seconds, the range modeled kernel
+  /// latencies occupy.  Deterministic so independently constructed
+  /// histograms are always mergeable.
+  static std::vector<double> default_edges() {
+    std::vector<double> edges;
+    edges.reserve(25);
+    double e = 0.25;
+    for (int i = 0; i < 25; ++i, e *= 2.0) edges.push_back(e);
+    return edges;
+  }
+
+  explicit Histogram(std::vector<double> edges = default_edges())
+      : edges_(std::move(edges)),
+        counts_(std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size() + 1)) {
+    BARRACUDA_CHECK_MSG(!edges_.empty(), "histogram needs at least one edge");
+    BARRACUDA_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()) &&
+                            std::adjacent_find(edges_.begin(), edges_.end()) ==
+                                edges_.end(),
+                        "histogram edges must be strictly ascending");
+    for (std::size_t i = 0; i <= edges_.size(); ++i)
+      counts_[i].store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+  }
+
+  /// Record `count` occurrences of `value`.  Wait-free apart from the
+  /// min/max CAS loops (which converge immediately absent contention).
+  void record(double value, std::uint64_t count = 1) {
+    BARRACUDA_CHECK_MSG(std::isfinite(value),
+                        "histogram values must be finite");
+    if (count == 0) return;
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::upper_bound(edges_.begin(), edges_.end(), value) - edges_.begin());
+    counts_[bucket].fetch_add(count, std::memory_order_relaxed);
+    double cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Point-in-time copy.  Concurrent record() calls may or may not be
+  /// included (each either fully lands in a later snapshot or not — no
+  /// increment is ever lost), which is the usual relaxed-counter
+  /// contract the serving stats already follow.
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot snap;
+    snap.edges = edges_;
+    snap.counts.resize(edges_.size() + 1);
+    for (std::size_t i = 0; i <= edges_.size(); ++i) {
+      snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+      snap.total += snap.counts[i];
+    }
+    if (snap.total > 0) {
+      snap.min = min_.load(std::memory_order_relaxed);
+      snap.max = max_.load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+}  // namespace barracuda::support

@@ -1,0 +1,571 @@
+// Adaptive-serving acceptance suite: deterministic skewed traffic over
+// concurrent clients proving that retune_pass() targets exactly the
+// hottest signatures, that served plans stay monotone non-increasing
+// across re-tune publishes, that the age-out policy drops only
+// never-requested entries from saved files (hot entries survive
+// save/load/merge round trips with demand counters unioned exactly),
+// that legacy v1 registry files still load, and that injected re-tune
+// faults trip the circuit breaker without ever evicting a hot entry.
+//
+// Runs under the sanitizer matrices in CI (suite name ServeAdaptive is
+// targeted by -R there); keep the tune budgets small.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/signature.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+namespace fault = support::fault;
+
+/// Every test leaves the process-wide fault table clean.
+struct ServeAdaptive : ::testing::Test {
+  void SetUp() override { fault::clear(); }
+  void TearDown() override { fault::clear(); }
+};
+
+/// Unique path under the gtest temp dir, removed (with its lock and
+/// quarantine sibling) on destruction.
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {
+    cleanup();
+  }
+  ~TempFile() { cleanup(); }
+  void cleanup() {
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+    std::remove((path + ".corrupt").c_str());
+  }
+  std::string path;
+};
+
+/// Distinct signatures: the paper's Eqn (1) shape at several extents.
+std::vector<core::TuningProblem> mixed_signatures() {
+  std::vector<core::TuningProblem> problems;
+  for (int n : {3, 4, 5, 6}) {
+    std::string dsl =
+        "dim i j k l m n = " + std::to_string(n) +
+        "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n";
+    problems.push_back(
+        core::TuningProblem::from_dsl(dsl, "n" + std::to_string(n)));
+  }
+  return problems;
+}
+
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.tune.search.max_evaluations = 10;
+  options.tune.search.batch_size = 5;
+  options.tune.max_pool = 64;
+  options.retry.base_delay_ms = 0;
+  return options;
+}
+
+PlanEntry entry(double us, bool tuned, std::size_t variant = 0) {
+  PlanEntry e;
+  e.variant = variant;
+  e.recipe_text =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=2 registers=1 shared=-\n";
+  e.modeled_us = us;
+  e.tuned = tuned;
+  return e;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Deterministic skewed traffic (requests per signature rank 16/8/2/1
+// per thread, 8 threads) must make retune_pass() re-enqueue EXACTLY the
+// top-k by demand — and a second pass with no fresh traffic since the
+// first must schedule nothing (the hot-threshold is measured against
+// requests since the signature's last re-tune, not all time).
+TEST_F(ServeAdaptive, RetunesTargetExactlyTheTopKHotSignatures) {
+  constexpr std::size_t kClients = 8;
+  const std::size_t kSkew[] = {16, 8, 2, 1};
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retune_top_k = 2;
+  options.hot_threshold = 20;  // ranks 0-1 clear it (128/64), 2-3 (16/8) don't
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t s = 0; s < problems.size(); ++s) {
+        for (std::size_t r = 0; r < kSkew[s]; ++r) {
+          (void)service.get_plan(problems[s], device);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.drain();  // re-tuning targets only already-tuned signatures
+
+  // Demand accounting is exact: every request was recorded.
+  DemandStats demand;
+  for (std::size_t s = 0; s < problems.size(); ++s) {
+    ASSERT_TRUE(
+        registry.demand(signature(problems[s], device), &demand));
+    EXPECT_EQ(demand.requests, kClients * kSkew[s]) << "rank " << s;
+    EXPECT_EQ(demand.served_us.total, kClients * kSkew[s]);
+  }
+
+  // hottest() ranks by demand; the skew makes the order total.
+  std::vector<HotSignature> hottest = registry.hottest(0);
+  ASSERT_EQ(hottest.size(), problems.size());
+  for (std::size_t s = 0; s + 1 < hottest.size(); ++s) {
+    EXPECT_GT(hottest[s].requests, hottest[s + 1].requests);
+  }
+  EXPECT_EQ(hottest[0].signature, signature(problems[0], device));
+
+  std::vector<std::string> scheduled = service.retune_pass();
+  std::sort(scheduled.begin(), scheduled.end());
+  std::vector<std::string> expected = {signature(problems[0], device),
+                                       signature(problems[1], device)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(scheduled, expected);
+  service.drain();
+
+  ServeStats stats = service.snapshot();
+  EXPECT_EQ(stats.retunes_scheduled, 2u);
+  EXPECT_EQ(stats.retunes_completed, 2u);
+  EXPECT_EQ(stats.tune_failures, 0u);
+  EXPECT_EQ(stats.demand_requests,
+            kClients * (kSkew[0] + kSkew[1] + kSkew[2] + kSkew[3]));
+
+  // No fresh traffic since the first pass: nothing qualifies again.
+  EXPECT_TRUE(service.retune_pass().empty());
+  EXPECT_EQ(service.snapshot().retunes_scheduled, 2u);
+}
+
+// Better-wins publication makes the served plan monotone per signature:
+// while re-tunes race against serving threads, no thread may ever
+// observe its signature's modeled latency increase.
+TEST_F(ServeAdaptive, ServedPlansMonotoneAcrossRetunePublishes) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPasses = 40;
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.tune.search.max_evaluations = 2;  // starved cold tunes
+  options.retune_budget = 64;
+  options.retune_top_k = 4;
+  options.hot_threshold = 1;
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  // Warm every signature (cold tunes land before the racing phase).
+  for (const core::TuningProblem& p : problems) {
+    (void)service.get_plan(p, device);
+  }
+  service.drain();
+
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Per-thread last-seen latency per signature; served plans may
+      // only improve.
+      std::vector<double> last(problems.size(),
+                               std::numeric_limits<double>::infinity());
+      for (std::size_t r = 0; r < kPasses * problems.size(); ++r) {
+        const std::size_t s = (c + r) % problems.size();
+        ServedPlan served = service.get_plan(problems[s], device);
+        if (served.plan.modeled_us > last[s]) monotone.store(false);
+        last[s] = served.plan.modeled_us;
+      }
+    });
+  }
+  // Re-tune concurrently with the serving threads.
+  std::thread retuner([&] {
+    for (int i = 0; i < 3; ++i) {
+      service.retune_pass();
+      service.drain();
+    }
+  });
+  for (auto& t : clients) t.join();
+  retuner.join();
+  service.drain();
+
+  EXPECT_TRUE(monotone.load());
+  ServeStats stats = service.snapshot();
+  EXPECT_GT(stats.retunes_scheduled, 0u);
+  EXPECT_EQ(stats.tune_failures, 0u);
+  // Monotone across a final snapshot too: the registry's entry for each
+  // signature is tuned and at least as good as any answer observed.
+  for (const core::TuningProblem& p : problems) {
+    PlanEntry e;
+    ASSERT_TRUE(registry.peek(signature(p, device), &e));
+    EXPECT_TRUE(e.tuned);
+  }
+}
+
+// The age-out policy drops exactly the entries nobody requested for
+// max_idle_generations consecutive saves — hot entries survive
+// unconditionally, and a dropped entry keeps being served from memory.
+TEST_F(ServeAdaptive, ColdSignaturesAgeOutOfSavedFileHotSurvive) {
+  TempFile file("adaptive_ageout.txt");
+  PlanRegistry registry;
+  registry.set_max_idle_generations(2);
+  registry.publish("hot", entry(10, true));
+  registry.publish("cold", entry(20, true));
+
+  // Generation 1: both fresh (published this generation), both kept.
+  registry.record_demand("hot", 10);
+  registry.save(file.path);
+  EXPECT_EQ(registry.aged_out(), 0u);
+  {
+    PlanRegistry check;
+    EXPECT_EQ(check.load(file.path), 2u);
+  }
+
+  // Generation 2: only "hot" requested; "cold" now idle 1 of 2 — kept.
+  registry.record_demand("hot", 10);
+  registry.save(file.path);
+  EXPECT_EQ(registry.aged_out(), 0u);
+
+  // Generation 3: "cold" hits idle 2 — dropped from the file; "hot"
+  // (requested again) survives.  The in-memory registry keeps both.
+  registry.record_demand("hot", 10);
+  registry.save(file.path);
+  EXPECT_EQ(registry.aged_out(), 1u);
+  EXPECT_EQ(registry.size(), 2u);
+  PlanEntry still_served;
+  EXPECT_TRUE(registry.peek("cold", &still_served));
+
+  PlanRegistry reloaded;
+  EXPECT_EQ(reloaded.load(file.path), 1u);
+  PlanEntry survivor;
+  ASSERT_TRUE(reloaded.peek("hot", &survivor));
+  EXPECT_EQ(survivor.modeled_us, 10);
+  EXPECT_TRUE(survivor.tuned);
+  EXPECT_FALSE(reloaded.contains("cold"));
+
+  // The survivor's demand came along: 3 requests, requested in the
+  // generation that saved it (idle 0).
+  DemandStats demand;
+  ASSERT_TRUE(reloaded.demand("hot", &demand));
+  EXPECT_EQ(demand.requests, 3u);
+  EXPECT_EQ(demand.idle_generations, 0u);
+}
+
+// Demand counters union exactly across two registries composing through
+// one file: every recorded request is counted once, never twice, no
+// matter how many save/load/merge_save round trips interleave.
+TEST_F(ServeAdaptive, DemandCountersUnionAcrossSaveLoadMergeSave) {
+  TempFile file("adaptive_union.txt");
+
+  PlanRegistry a;
+  a.publish("sig", entry(10, true));
+  a.record_demand("sig", 10, 5);
+  a.save(file.path);
+
+  PlanRegistry b;
+  EXPECT_EQ(b.load(file.path), 1u);
+  DemandStats demand;
+  ASSERT_TRUE(b.demand("sig", &demand));
+  EXPECT_EQ(demand.requests, 5u);  // the baseline came across
+  b.record_demand("sig", 10, 3);
+  ASSERT_TRUE(b.demand("sig", &demand));
+  EXPECT_EQ(demand.requests, 8u);
+  b.merge_save(file.path);  // file now carries the union: 8
+
+  a.record_demand("sig", 10, 2);  // process A kept serving meanwhile
+  a.merge_save(file.path);        // absorbs 8, folds its own 5+2
+
+  PlanRegistry final_check;
+  EXPECT_EQ(final_check.load(file.path), 1u);
+  ASSERT_TRUE(final_check.demand("sig", &demand));
+  // 5 (original) + 3 (B) + 2 (A's fresh) — A's original 5 NOT doubled.
+  EXPECT_EQ(demand.requests, 10u);
+
+  // Idempotent: re-saving with no new traffic changes nothing.
+  final_check.merge_save(file.path);
+  PlanRegistry again;
+  again.load(file.path);
+  ASSERT_TRUE(again.demand("sig", &demand));
+  EXPECT_EQ(demand.requests, 10u);
+}
+
+// Legacy v1 files (5 fields, no demand columns) still load, with
+// equivalent entries and fresh demand.
+TEST_F(ServeAdaptive, V1FormatRegistriesStillLoad) {
+  TempFile file("adaptive_v1.txt");
+  const std::string recipe =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=2 registers=1 shared=-";
+  std::ofstream out(file.path);
+  out << "barracuda-planregistry v1\n"
+      << "12.5\t1\t3\t" << recipe << "\tsigA\n"
+      << "99\t0\t0\t" << recipe << "\tsigB\n";
+  out.close();
+
+  PlanRegistry registry;
+  EXPECT_EQ(registry.load(file.path), 2u);
+  PlanEntry e;
+  ASSERT_TRUE(registry.peek("sigA", &e));
+  EXPECT_EQ(e.modeled_us, 12.5);
+  EXPECT_TRUE(e.tuned);
+  EXPECT_EQ(e.variant, 3u);
+  ASSERT_TRUE(registry.peek("sigB", &e));
+  EXPECT_FALSE(e.tuned);
+
+  // v1 carries no demand: counters start fresh.
+  DemandStats demand;
+  ASSERT_TRUE(registry.demand("sigA", &demand));
+  EXPECT_EQ(demand.requests, 0u);
+  EXPECT_EQ(demand.idle_generations, 0u);
+
+  // Saving re-writes it as v2 with the demand columns.
+  registry.save(file.path);
+  const std::string rewritten = read_file(file.path);
+  EXPECT_EQ(rewritten.rfind("barracuda-planregistry v2\n", 0), 0u);
+}
+
+// ServeStats::snapshot() may race live traffic freely: every counter is
+// read through its own atomic (or under the tune mutex), so concurrent
+// snapshots while clients and re-tunes run must be TSan-clean and
+// internally sane.
+TEST_F(ServeAdaptive, SnapshotRacesLiveTrafficCleanly) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPasses = 25;
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retune_top_k = 2;
+  options.hot_threshold = 1;
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  std::atomic<bool> stop{false};
+  std::thread reporter([&] {
+    while (!stop.load()) {
+      ServeStats s = service.snapshot();
+      // Internal sanity on a racing snapshot: the re-tune counters are
+      // read under one mutex acquisition, so their relations hold even
+      // mid-traffic.  (The demand counter and the histogram are two
+      // separate relaxed reads — exact per counter, not cross-exact.)
+      EXPECT_LE(s.retunes_improved, s.retunes_completed);
+      EXPECT_LE(s.retunes_completed, s.retunes_scheduled);
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t r = 0; r < kPasses * problems.size(); ++r) {
+        (void)service.get_plan(problems[(c + r) % problems.size()], device);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.drain();
+  service.retune_pass();
+  service.drain();
+  stop.store(true);
+  reporter.join();
+
+  ServeStats stats = service.snapshot();
+  EXPECT_EQ(stats.requests, kClients * kPasses * problems.size());
+  EXPECT_EQ(stats.demand_requests, stats.requests);
+}
+
+// The background scheduler thread: with retune_interval set, hot
+// signatures get re-tuned without anyone calling retune_pass(), and the
+// destructor stops the thread cleanly mid-interval.
+TEST_F(ServeAdaptive, BackgroundSchedulerRetunesWithoutExplicitPass) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retune_interval = 0.05;
+  options.retune_top_k = 2;
+  options.hot_threshold = 1;
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  for (int r = 0; r < 20; ++r) (void)service.get_plan(problems[0], device);
+  service.drain();  // the cold tune lands; the signature is now hot
+
+  // The scheduler fires every 50ms; within a generous window it must
+  // have scheduled at least one re-tune.
+  for (int i = 0; i < 100; ++i) {
+    if (service.snapshot().retunes_scheduled > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  service.drain();
+  ServeStats stats = service.snapshot();
+  EXPECT_GT(stats.retunes_scheduled, 0u);
+  EXPECT_EQ(stats.tune_failures, 0u);
+  // Destructor joins the scheduler thread (no hang, no use-after-free;
+  // TSan in CI watches this path).
+}
+
+TEST_F(ServeAdaptive, RejectsNegativeRetuneInterval) {
+  ServeOptions options = fast_options();
+  options.retune_interval = -1;
+  PlanRegistry registry;
+  EXPECT_THROW(TuningService(registry, options), Error);
+}
+
+// Chaos: every re-tune attempt throws.  The failed re-tune trips the
+// signature's circuit breaker like any failing tune — but the hot
+// entry keeps its tuned plan, keeps being served, and is never evicted
+// from a saved file (it is hot, after all).
+TEST_F(ServeAdaptive, FaultedRetuneTripsBreakerAndKeepsHotEntry) {
+  TempFile file("adaptive_chaos.txt");
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  const core::TuningProblem& problem = problems.front();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retry.max_attempts = 2;
+  options.retune_top_k = 1;
+  options.hot_threshold = 1;
+  PlanRegistry registry;
+  registry.set_max_idle_generations(1);
+  TuningService service(registry, options);
+
+  for (int r = 0; r < 10; ++r) (void)service.get_plan(problem, device);
+  service.drain();
+  const std::string sig = signature(problem, device);
+  PlanEntry before;
+  ASSERT_TRUE(registry.peek(sig, &before));
+  EXPECT_TRUE(before.tuned);
+
+  fault::enable("serve.retune", 1.0, 9, 0);  // every re-tune attempt fails
+  ASSERT_EQ(service.retune_pass().size(), 1u);
+  service.drain();
+
+  ServeStats stats = service.snapshot();
+  EXPECT_EQ(stats.retunes_scheduled, 1u);
+  EXPECT_EQ(stats.retunes_completed, 0u);
+  EXPECT_EQ(stats.tune_failures, 1u);
+  EXPECT_EQ(stats.breaker_open, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.last_error, "injected fault at serve.retune");
+  // The cold-path probe never fired — re-tunes have their own site.
+  EXPECT_EQ(fault::stats("serve.tune").hits, 0u);
+
+  // The entry survived the failed re-tune: still tuned, same plan, and
+  // an age-out save keeps it (it was requested this generation).
+  PlanEntry after;
+  ASSERT_TRUE(registry.peek(sig, &after));
+  EXPECT_TRUE(after.tuned);
+  EXPECT_EQ(after.modeled_us, before.modeled_us);
+  registry.save(file.path);
+  EXPECT_EQ(registry.aged_out(), 0u);
+  PlanRegistry reloaded;
+  EXPECT_EQ(reloaded.load(file.path), 1u);
+  ASSERT_TRUE(reloaded.peek(sig, &after));
+  EXPECT_TRUE(after.tuned);
+
+  // Heal: clear faults, close the breaker — the next pass re-tunes for
+  // real (fresh traffic re-qualifies the signature).
+  fault::clear();
+  service.reset_breakers();
+  for (int r = 0; r < 5; ++r) (void)service.get_plan(problem, device);
+  EXPECT_EQ(service.retune_pass().size(), 1u);
+  service.drain();
+  stats = service.snapshot();
+  EXPECT_EQ(stats.retunes_completed, 1u);
+  EXPECT_EQ(stats.breaker_open, 0u);
+}
+
+// A fault in the age-out drop branch aborts the save loudly BEFORE any
+// file is touched: the previous file survives byte-identical and the
+// demand counters are not folded (the next save still counts right).
+TEST_F(ServeAdaptive, AgeOutSaveFaultFailsCleanlyAndPreservesFile) {
+  TempFile file("adaptive_ageout_fault.txt");
+  PlanRegistry registry;
+  registry.set_max_idle_generations(1);
+  registry.publish("hot", entry(10, true));
+  registry.publish("cold", entry(20, true));
+  registry.record_demand("hot", 10);
+  registry.save(file.path);  // generation 1: both kept
+  const std::string saved = read_file(file.path);
+
+  // Generation 2 would drop "cold" — but the drop branch faults.
+  fault::enable("registry.save.ageout", 1.0, 4, 0);
+  registry.record_demand("hot", 10);
+  EXPECT_THROW(registry.save(file.path), Error);
+  EXPECT_EQ(read_file(file.path), saved);  // file untouched
+  EXPECT_EQ(registry.aged_out(), 0u);
+
+  // Healed: the same save drops "cold" and keeps "hot", with the
+  // demand accounting unharmed by the failed attempt.
+  fault::clear();
+  registry.save(file.path);
+  EXPECT_EQ(registry.aged_out(), 1u);
+  PlanRegistry reloaded;
+  EXPECT_EQ(reloaded.load(file.path), 1u);
+  DemandStats demand;
+  ASSERT_TRUE(reloaded.demand("hot", &demand));
+  EXPECT_EQ(demand.requests, 2u);
+}
+
+// A fault while enqueueing one re-tune candidate is contained to that
+// candidate: the pass reports the error and still schedules the rest.
+TEST_F(ServeAdaptive, EnqueueFaultIsContainedPerCandidate) {
+  std::vector<core::TuningProblem> problems = mixed_signatures();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  ServeOptions options = fast_options();
+  options.retune_top_k = 2;
+  options.hot_threshold = 1;
+  PlanRegistry registry;
+  TuningService service(registry, options);
+
+  for (int r = 0; r < 8; ++r) (void)service.get_plan(problems[0], device);
+  for (int r = 0; r < 4; ++r) (void)service.get_plan(problems[1], device);
+  service.drain();
+
+  // Exactly the first candidate's enqueue faults (prob 1, limit 1).
+  fault::enable("serve.retune.enqueue", 1.0, 13, 1);
+  std::vector<std::string> scheduled = service.retune_pass();
+  service.drain();
+
+  ASSERT_EQ(scheduled.size(), 1u);
+  EXPECT_EQ(scheduled[0], signature(problems[1], device));  // the survivor
+  ServeStats stats = service.snapshot();
+  EXPECT_EQ(stats.retunes_scheduled, 1u);
+  EXPECT_EQ(stats.last_error, "injected fault at serve.retune.enqueue");
+
+  // The skipped candidate's baseline was not consumed: with the fault
+  // exhausted, the next pass picks it up.
+  std::vector<std::string> second = service.retune_pass();
+  service.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], signature(problems[0], device));
+  EXPECT_EQ(service.snapshot().retunes_scheduled, 2u);
+}
+
+}  // namespace
+}  // namespace barracuda::serve

@@ -192,8 +192,8 @@ TEST(PlanRegistryFile, CorruptFilesRejectedLoudly) {
   PlanRegistry registry;
   // Missing file.
   EXPECT_THROW(registry.load(file.path), Error);
-  // Wrong/future header.
-  write_file(file.path, "barracuda-planregistry v2\n");
+  // Wrong/future header (v1 and v2 both load; v3 does not exist yet).
+  write_file(file.path, "barracuda-planregistry v3\n");
   EXPECT_THROW(registry.load(file.path), Error);
   write_file(file.path, "something else\n");
   EXPECT_THROW(registry.load(file.path), Error);
@@ -216,6 +216,15 @@ TEST(PlanRegistryFile, CorruptFilesRejectedLoudly) {
   EXPECT_THROW(registry.load(file.path), Error);
   // Unparseable recipe.
   write_file(file.path, header + "12.5\t1\t0\tgarbage\tsig\n");
+  EXPECT_THROW(registry.load(file.path), Error);
+  // v2 demand columns: a non-numeric age or hit count is corruption,
+  // and a v2 line with the v1 field count is a torn line, not legacy.
+  const std::string v2 = "barracuda-planregistry v2\n";
+  write_file(file.path, v2 + "12.5\t1\t0\tx\t7\t" + recipe + "\tsig\n");
+  EXPECT_THROW(registry.load(file.path), Error);
+  write_file(file.path, v2 + "12.5\t1\t0\t1\t3.5\t" + recipe + "\tsig\n");
+  EXPECT_THROW(registry.load(file.path), Error);
+  write_file(file.path, v2 + "12.5\t1\t0\t" + recipe + "\tsig\n");
   EXPECT_THROW(registry.load(file.path), Error);
   // Nothing garbled leaked into the registry.
   EXPECT_EQ(registry.size(), 0u);

@@ -1,0 +1,203 @@
+// Property suite for the wait-free mergeable latency histogram: merge
+// is associative and commutative (the property the cross-process
+// registry merge relies on), concurrent recording loses no increments
+// (run under TSan in CI), and the quantile bracket
+// [quantile_low(p), quantile_high(p)] always contains the nearest-rank
+// percentile of the raw sample (pinned against percentile_sorted, the
+// shared rank rule).
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/percentile.hpp"
+#include "support/rng.hpp"
+
+namespace barracuda::support {
+namespace {
+
+HistogramSnapshot snapshot_of(const std::vector<double>& values) {
+  Histogram h;
+  for (double v : values) h.record(v);
+  return h.snapshot();
+}
+
+TEST(Histogram, DefaultEdgesAreDeterministicAndStrictlyAscending) {
+  const std::vector<double> a = Histogram::default_edges();
+  const std::vector<double> b = Histogram::default_edges();
+  EXPECT_EQ(a, b);  // independently constructed histograms always merge
+  ASSERT_EQ(a.size(), 25u);
+  EXPECT_DOUBLE_EQ(a.front(), 0.25);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], 2.0 * a[i - 1]);
+  }
+}
+
+TEST(Histogram, RejectsBadEdgesAndBadValues) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), Error);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), Error);
+  Histogram h;
+  EXPECT_THROW(h.record(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(h.record(std::numeric_limits<double>::quiet_NaN()), Error);
+}
+
+TEST(Histogram, CountsLandInTheRightBucketsExactly) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);          // bucket 0: (-inf, 1)
+  h.record(1.0);          // bucket 1: [1, 10) — upper_bound puts the edge up
+  h.record(5.0, 3);       // bucket 1, weighted
+  h.record(50.0);         // bucket 2
+  h.record(1e6);          // overflow bucket
+  HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 4u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.total, 7u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 1e6);
+  // Zero-count records are a no-op, not a min/max update.
+  h.record(1e-9, 0);
+  EXPECT_DOUBLE_EQ(h.snapshot().min, 0.5);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Rng rng(20260808);
+  std::vector<std::vector<double>> samples(3);
+  for (auto& s : samples) {
+    const std::size_t n = 16 + rng.index(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back(0.1 * static_cast<double>(1 + rng.index(100000)));
+    }
+  }
+  const HistogramSnapshot a = snapshot_of(samples[0]);
+  const HistogramSnapshot b = snapshot_of(samples[1]);
+  const HistogramSnapshot c = snapshot_of(samples[2]);
+
+  HistogramSnapshot ab_c = a;  // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  HistogramSnapshot a_bc = b;  // a + (b + c), built right-to-left
+  a_bc.merge(c);
+  HistogramSnapshot left = a;
+  left.merge(a_bc);
+  HistogramSnapshot cba = c;  // reversed order entirely
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c.counts, left.counts);
+  EXPECT_EQ(ab_c.counts, cba.counts);
+  EXPECT_EQ(ab_c.total, cba.total);
+  EXPECT_DOUBLE_EQ(ab_c.min, cba.min);
+  EXPECT_DOUBLE_EQ(ab_c.max, cba.max);
+
+  // And merging all three one way equals recording everything into one.
+  std::vector<double> all;
+  for (const auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  const HistogramSnapshot direct = snapshot_of(all);
+  EXPECT_EQ(ab_c.counts, direct.counts);
+  EXPECT_DOUBLE_EQ(ab_c.min, direct.min);
+  EXPECT_DOUBLE_EQ(ab_c.max, direct.max);
+}
+
+TEST(Histogram, MergeRejectsMismatchedEdges) {
+  HistogramSnapshot a = Histogram({1.0, 2.0}).snapshot();
+  HistogramSnapshot b = Histogram({1.0, 3.0}).snapshot();
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(Histogram, MergeWithEmptyPreservesMinMax) {
+  HistogramSnapshot empty = Histogram().snapshot();
+  HistogramSnapshot loaded = snapshot_of({3.0, 7.0});
+  HistogramSnapshot left = loaded;
+  left.merge(empty);
+  EXPECT_DOUBLE_EQ(left.min, 3.0);
+  EXPECT_DOUBLE_EQ(left.max, 7.0);
+  HistogramSnapshot right = empty;
+  right.merge(loaded);
+  EXPECT_DOUBLE_EQ(right.min, 3.0);
+  EXPECT_DOUBLE_EQ(right.max, 7.0);
+  EXPECT_EQ(right.total, 2u);
+}
+
+// 8 threads hammer one histogram; relaxed fetch_add must lose nothing,
+// and min/max must converge to the true extremes.  TSan-clean in CI.
+TEST(Histogram, ConcurrentRecordingLosesNoIncrements) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Values across several buckets, plus pinned extremes so the
+        // expected min/max are exact.
+        h.record(0.5 * static_cast<double>(1 + rng.index(4096)));
+      }
+      h.record(0.125);   // below every default edge
+      h.record(1e7);     // overflow bucket
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, kThreads * (kPerThread + 2));
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : snap.counts) sum += c;
+  EXPECT_EQ(sum, snap.total);
+  EXPECT_DOUBLE_EQ(snap.min, 0.125);
+  EXPECT_DOUBLE_EQ(snap.max, 1e7);
+}
+
+// The quantile bracket property: for any sample and any percentile, the
+// nearest-rank percentile of the raw data lies in
+// [quantile_low(p), quantile_high(p)].
+TEST(Histogram, QuantileBracketsNearestRankPercentile) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values;
+    const std::size_t n = 1 + rng.index(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(0.25 * static_cast<double>(1 + rng.index(20000)));
+    }
+    const HistogramSnapshot snap = snapshot_of(values);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.5, 1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+      const double exact = percentile_sorted(sorted, p);
+      EXPECT_LE(snap.quantile_low(p), exact)
+          << "trial " << trial << " p" << p << " n " << n;
+      EXPECT_GE(snap.quantile_high(p), exact)
+          << "trial " << trial << " p" << p << " n " << n;
+    }
+  }
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  HistogramSnapshot empty = Histogram().snapshot();
+  EXPECT_DOUBLE_EQ(empty.quantile_low(50), 0.0);   // matches
+  EXPECT_DOUBLE_EQ(empty.quantile_high(50), 0.0);  // percentile_sorted({})
+  EXPECT_THROW(empty.quantile_high(0), Error);
+  EXPECT_THROW(empty.quantile_high(-1), Error);
+  EXPECT_THROW(empty.quantile_high(100.5), Error);
+
+  HistogramSnapshot one = snapshot_of({3.0});
+  EXPECT_LE(one.quantile_low(100), 3.0);
+  EXPECT_GE(one.quantile_high(100), 3.0);
+
+  // p = 100 on the overflow bucket reports the recorded max, never inf.
+  HistogramSnapshot big = snapshot_of({1e9});
+  EXPECT_DOUBLE_EQ(big.quantile_high(100), 1e9);
+}
+
+}  // namespace
+}  // namespace barracuda::support

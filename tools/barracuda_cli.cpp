@@ -97,6 +97,7 @@
 //   V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
 #include <cstdio>
 #include <algorithm>
+#include <cinttypes>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -131,7 +132,9 @@ int usage(const char* argv0) {
                "[--recover] "
                "[--serve [--clients N] [--requests M] [--batch N] "
                "[--registry FILE] [--tune-deadline SECONDS] "
-               "[--breaker-cooldown SECONDS]] "
+               "[--breaker-cooldown SECONDS] [--retune-budget N] "
+               "[--retune-interval SECONDS] [--retune-topk K] "
+               "[--hot-threshold N] [--ageout N]] "
                "[--prewarm --registry FILE [--devices a,b,c] [--grid N]]\n",
                argv0);
   return 2;
@@ -215,8 +218,11 @@ int run_serve(const core::TuningProblem& problem,
               std::size_t clients, std::size_t requests, std::size_t batch,
               const std::string& registry_path,
               support::RecoveryPolicy policy, double tune_deadline,
-              double breaker_cooldown) {
+              double breaker_cooldown, std::size_t retune_budget,
+              double retune_interval, std::size_t retune_topk,
+              std::uint64_t hot_threshold, std::size_t ageout) {
   serve::PlanRegistry registry;
+  registry.set_max_idle_generations(ageout);
   if (!registry_path.empty()) {
     std::ifstream probe(registry_path);
     if (probe.good()) {
@@ -233,6 +239,11 @@ int run_serve(const core::TuningProblem& problem,
   serve_options.tune = tune_options;
   serve_options.tune_deadline = tune_deadline;
   serve_options.breaker_cooldown = breaker_cooldown;
+  serve_options.retune_budget = retune_budget;
+  serve_options.retune_interval = retune_interval;
+  serve_options.retune_top_k = retune_topk;
+  serve_options.hot_threshold = hot_threshold;
+  const bool retune_configured = retune_budget > 0 || retune_interval > 0;
   serve::TuningService service(registry, serve_options);
 
   // Each client thread records its own latencies; slots are disjoint.
@@ -275,8 +286,18 @@ int run_serve(const core::TuningProblem& problem,
   for (auto& t : threads) t.join();
   const double serve_seconds = wall.seconds();
   service.drain();
+  if (retune_configured) {
+    // One deterministic end-of-run pass regardless of --retune-interval:
+    // the background scheduler may or may not have woken during a short
+    // run, but the CLI's adaptive report should reflect the traffic it
+    // just generated.  After the first drain the cold tunes have
+    // published (re-tuning only targets already-tuned signatures); the
+    // second drain completes the re-tunes the pass scheduled.
+    service.retune_pass();
+    service.drain();
+  }
 
-  serve::ServeStats stats = service.stats();
+  serve::ServeStats stats = service.snapshot();
   std::vector<double> all;
   for (const auto& v : latency_us) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
@@ -311,6 +332,21 @@ int run_serve(const core::TuningProblem& problem,
               "deadline-expired tunes, %zu probes (%zu healed)\n",
               stats.retries, stats.breaker_open, stats.deadline_expired,
               stats.breaker_probes, stats.breaker_healed);
+  if (retune_configured) {
+    // The CI smoke greps this line: adaptive serving must actually
+    // re-tune the hot signatures, not just count demand.
+    std::printf("adaptive         : %zu re-tunes scheduled, %zu completed, "
+                "%zu improved the served plan\n",
+                stats.retunes_scheduled, stats.retunes_completed,
+                stats.retunes_improved);
+  }
+  if (stats.served_latency.total > 0) {
+    std::printf("demand           : %" PRIu64 " requests recorded, served "
+                "modeled-latency p50 <= %.2f us, p95 <= %.2f us\n",
+                stats.demand_requests,
+                stats.served_latency.quantile_high(50),
+                stats.served_latency.quantile_high(95));
+  }
   if (!stats.last_error.empty()) {
     std::printf("last tune error  : %s\n", stats.last_error.c_str());
   }
@@ -335,8 +371,17 @@ int run_serve(const core::TuningProblem& problem,
     // non-zero exit.  The next invocation simply starts colder.
     try {
       registry.merge_save(registry_path, policy);
-      std::printf("plan registry    : %zu entries saved to %s\n",
-                  registry.size(), registry_path.c_str());
+      if (registry.aged_out() > 0) {
+        // The CLI saves exactly once, so the persisted count is the
+        // in-memory size minus this save's aged-out drops.
+        std::printf("plan registry    : %zu entries saved to %s "
+                    "(%" PRIu64 " idle entries aged out)\n",
+                    registry.size() - static_cast<std::size_t>(registry.aged_out()),
+                    registry_path.c_str(), registry.aged_out());
+      } else {
+        std::printf("plan registry    : %zu entries saved to %s\n",
+                    registry.size(), registry_path.c_str());
+      }
     } catch (const Error& e) {
       std::fprintf(stderr,
                    "warning: plan registry not saved (%s); serve results "
@@ -405,6 +450,10 @@ int main(int argc, char** argv) {
   std::size_t grid = 64;
   std::size_t clients = 4, requests = 8, batch = 0;
   double tune_deadline = 0, breaker_cooldown = 0;
+  std::size_t retune_budget = 0, retune_topk = 4;
+  double retune_interval = 0;
+  std::uint64_t hot_threshold = 16;
+  std::size_t ageout = 0;
   const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
   std::string registry_path = registry_env ? registry_env : "";
   const char* recover_env = std::getenv("BARRACUDA_RECOVER");
@@ -468,6 +517,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --batch must be >= 1\n");
         return 2;
       }
+    } else if (arg == "--retune-budget") {
+      retune_budget =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--retune-interval") {
+      retune_interval = std::strtod(next(), nullptr);
+      if (retune_interval < 0) {
+        std::fprintf(stderr, "error: --retune-interval must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--retune-topk") {
+      retune_topk =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--hot-threshold") {
+      hot_threshold = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--ageout") {
+      ageout = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--breaker-cooldown") {
       breaker_cooldown = std::strtod(next(), nullptr);
       if (breaker_cooldown < 0) {
@@ -642,7 +707,8 @@ int main(int argc, char** argv) {
     if (do_serve) {
       int rc = run_serve(problem, device, options, clients, requests, batch,
                          registry_path, policy, tune_deadline,
-                         breaker_cooldown);
+                         breaker_cooldown, retune_budget, retune_interval,
+                         retune_topk, hot_threshold, ageout);
       if (cache_path && *cache_path) {
         // Best-effort for the same reason as the registry save in
         // run_serve: persistence trouble must not fail a served run.
