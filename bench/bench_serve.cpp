@@ -29,20 +29,30 @@
 //   on 1 core cannot exceed ~1/8 no matter the code, but a contended
 //   mutex drives it far below even that).
 //
+// A distributed phase then runs the same workload against an
+// in-process PlanServer on a Unix socket: remote warm GET_PLAN round
+// trips must sustain >= 0.1x the local warm rate, and a second fresh
+// node sharing the server must warm up with zero tunes of its own.
+//
 // Emits the raw rows plus scaling_efficiency to BENCH_serve.json for
 // plotting/regression tracking.  Exit status is the gates above plus a
 // cleanliness gate on the resilience counters: no faults are injected
 // here, so any retry, tune failure, or open circuit breaker is a real
 // pipeline bug.
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "net/socket.hpp"
+#include "serve/remote/planserver.hpp"
+#include "serve/remote/remoteregistry.hpp"
 #include "serve/service.hpp"
 #include "support/percentile.hpp"
 #include "support/timer.hpp"
@@ -471,6 +481,117 @@ int main() {
               hot_strictly_better ? "pass" : "FAIL");
   all_pass = all_pass && adaptive_ok;
 
+  // Distributed serving: an in-process PlanServer on a Unix socket
+  // stands in for the fleet's L2 tier.  Node 1 tunes the workload and
+  // publishes every plan to the server; then (a) raw remote warm
+  // GET_PLAN throughput is measured over real socket round trips —
+  // each frame paying encode + checksum + syscall + decode — and gated
+  // at >= 0.1x the LOCAL warm rate (per_request_warm above, same 4
+  // client threads), and (b) a second, completely fresh node against
+  // the same server must reach its own warm-hit state with ZERO tunes
+  // of its own: every first-sight signature is a remote hit cached
+  // into L1, every later request a lock-free local hit.
+  const char* kSockPath = "bench_serve_plan.sock";
+  serve::PlanRegistry server_registry;
+  serve::remote::PlanServer plan_server(server_registry);
+  plan_server.listen_unix(kSockPath);
+  plan_server.start();
+  const net::Endpoint server_ep =
+      net::parse_endpoint(std::string("unix:") + kSockPath);
+  auto make_remote = [&] {
+    return std::make_shared<serve::remote::RemoteRegistry>(server_ep);
+  };
+
+  const std::size_t kRemoteClients = 4;
+  serve::PlanRegistry node1_registry;
+  serve::ServeOptions node1_options;
+  node1_options.tune = tune;
+  node1_options.remote = make_remote();
+  serve::TuningService node1(node1_registry, node1_options);
+  (void)run_phase(node1, problems, device, kRemoteClients, 1);
+  node1.drain();  // tunes land and publish to the server
+  const bool node1_synced = node1.anti_entropy_pass();
+  const serve::ServeStats node1_stats = node1.stats();
+
+  std::vector<std::string> signatures;
+  signatures.reserve(problems.size());
+  for (const core::TuningProblem& p : problems) {
+    signatures.push_back(node1.get_plan(p, device).signature);
+  }
+
+  const std::size_t kGetsPerClient = 2000;
+  std::atomic<std::size_t> remote_get_misses{0};
+  PhaseResult remote_warm;
+  {
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(kRemoteClients);
+    for (std::size_t c = 0; c < kRemoteClients; ++c) {
+      threads.emplace_back([&] {
+        // One connection per client thread, like real front-ends.
+        serve::remote::RemoteRegistry link(server_ep);
+        serve::PlanEntry entry;
+        for (std::size_t r = 0; r < kGetsPerClient; ++r) {
+          if (link.fetch(signatures[r % signatures.size()], &entry) !=
+              serve::RemoteStatus::kHit) {
+            remote_get_misses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    remote_warm.seconds = wall.seconds();
+    remote_warm.requests = kRemoteClients * kGetsPerClient;
+  }
+  const double remote_rate = remote_warm.throughput();
+  const double remote_ratio =
+      remote_rate / std::max(per_request_rate, 1e-12);
+  const bool remote_rate_ok =
+      remote_ratio >= 0.1 && remote_get_misses.load() == 0;
+
+  serve::PlanRegistry node2_registry;
+  serve::ServeOptions node2_options;
+  node2_options.tune = tune;
+  node2_options.remote = make_remote();
+  serve::TuningService node2(node2_registry, node2_options);
+  // First sight of every signature: local miss -> remote hit (single
+  // thread, so the count is exact), then the usual warm workload runs
+  // entirely on L1.
+  (void)run_phase(node2, problems, device, 1, 1);
+  const PhaseResult node2_warm = run_phase(node2, problems, device,
+                                           kRemoteClients,
+                                           kRequestsPerSignature);
+  node2.drain();
+  const serve::ServeStats node2_stats = node2.stats();
+  const bool node2_ok = node2_stats.tunes_started == 0 &&
+                        node2_stats.remote_hits == problems.size() &&
+                        node2_stats.remote_misses == 0 &&
+                        node2_stats.remote_errors == 0;
+
+  const serve::remote::PlanServerStats server_stats = plan_server.stats();
+  plan_server.stop();
+
+  TextTable dist_table({"metric", "value"});
+  dist_table.add_row({"remote warm GET req/s", TextTable::fixed(remote_rate, 0)});
+  dist_table.add_row({"local warm req/s", TextTable::fixed(per_request_rate, 0)});
+  dist_table.add_row({"remote/local ratio", TextTable::fixed(remote_ratio, 3)});
+  dist_table.add_row({"remote GET misses", std::to_string(remote_get_misses.load())});
+  dist_table.add_row({"node1 publishes", std::to_string(node1_stats.remote_publishes)});
+  dist_table.add_row({"node1 anti-entropy rounds", std::to_string(node1_stats.anti_entropy_rounds)});
+  dist_table.add_row({"node2 remote hits", std::to_string(node2_stats.remote_hits)});
+  dist_table.add_row({"node2 tunes started", std::to_string(node2_stats.tunes_started)});
+  dist_table.add_row({"node2 warm req/s", TextTable::fixed(node2_warm.throughput(), 0)});
+  dist_table.add_row({"server requests", std::to_string(server_stats.requests)});
+  std::printf("\ndistributed serving (PlanServer over %s, %zu remote "
+              "clients):\n%s",
+              kSockPath, kRemoteClients, dist_table.render().c_str());
+  const bool distributed_ok = remote_rate_ok && node2_ok && node1_synced;
+  std::printf("distributed gate: remote warm >= 0.1x local %s, fresh node "
+              "warms with zero own tunes %s, anti-entropy round %s\n",
+              remote_rate_ok ? "pass" : "FAIL", node2_ok ? "pass" : "FAIL",
+              node1_synced ? "pass" : "FAIL");
+  all_pass = all_pass && distributed_ok;
+
   std::printf(
       "\nGate: warm-registry throughput >= 10x cold on the repeated-\n"
       "signature workload, tune count == distinct signatures (%zu) at\n"
@@ -478,10 +599,13 @@ int main() {
       "injects faults here, so any retry is a pipeline bug), the\n"
       "core-scaled aggregate-throughput / scaling-efficiency targets\n"
       "above (full targets: 1M req/s aggregate, 0.5 efficiency),\n"
-      "batched warm throughput >= 5x per-request warm at batch 64, and\n"
-      "the adaptive re-tuner targeting exactly the top-2 hot signatures\n"
+      "batched warm throughput >= 5x per-request warm at batch 64, the\n"
+      "adaptive re-tuner targeting exactly the top-2 hot signatures\n"
       "with every hot plan no worse and at least one strictly better\n"
-      "than the no-retune control.\n",
+      "than the no-retune control, and the distributed tier serving\n"
+      "remote warm GETs at >= 0.1x the local warm rate with a fresh\n"
+      "node warming from the shared server without a single tune of\n"
+      "its own.\n",
       problems.size());
 
   const char* json_path = "BENCH_serve.json";
@@ -551,11 +675,37 @@ int main() {
   std::snprintf(adaptive_tail, sizeof(adaptive_tail),
                 "  ],\n  \"retunes_scheduled\": %zu,\n"
                 "  \"retunes_completed\": %zu,\n"
-                "  \"retunes_improved\": %zu\n}\n",
+                "  \"retunes_improved\": %zu,\n",
                 adaptive_stats.retunes_scheduled,
                 adaptive_stats.retunes_completed,
                 adaptive_stats.retunes_improved);
   out << adaptive_tail;
+  char dist_buf[768];
+  std::snprintf(
+      dist_buf, sizeof(dist_buf),
+      "  \"distributed\": {\n"
+      "    \"remote_clients\": %zu,\n"
+      "    \"remote_warm_get_per_s\": %.1f,\n"
+      "    \"local_warm_req_per_s\": %.1f,\n"
+      "    \"remote_to_local_ratio\": %.4f,\n"
+      "    \"remote_get_misses\": %zu,\n"
+      "    \"node1_remote_publishes\": %zu,\n"
+      "    \"node1_remote_misses\": %zu,\n"
+      "    \"node1_anti_entropy_rounds\": %zu,\n"
+      "    \"node2_remote_hits\": %zu,\n"
+      "    \"node2_remote_misses\": %zu,\n"
+      "    \"node2_remote_errors\": %zu,\n"
+      "    \"node2_tunes_started\": %zu,\n"
+      "    \"node2_warm_req_per_s\": %.1f,\n"
+      "    \"server_requests\": %zu\n"
+      "  }\n}\n",
+      kRemoteClients, remote_rate, per_request_rate, remote_ratio,
+      remote_get_misses.load(), node1_stats.remote_publishes,
+      node1_stats.remote_misses, node1_stats.anti_entropy_rounds,
+      node2_stats.remote_hits, node2_stats.remote_misses,
+      node2_stats.remote_errors, node2_stats.tunes_started,
+      node2_warm.throughput(), server_stats.requests);
+  out << dist_buf;
   out.close();
   std::printf("raw rows written to %s\n", json_path);
   return all_pass ? 0 : 1;

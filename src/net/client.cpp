@@ -1,0 +1,39 @@
+#include "net/client.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace barracuda::net {
+
+Client::Client(Endpoint endpoint, ClientOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+Client::~Client() { close(); }
+
+void Client::connect() {
+  close();
+  fd_ = connect_endpoint(endpoint_);
+  set_io_timeout(fd_, options_.timeout);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Frame Client::request(const Frame& request_frame) {
+  if (fd_ < 0) throw Error("plan client is not connected");
+  write_frame(fd_, request_frame);
+  Frame response;
+  if (!read_frame(fd_, &response, options_.max_payload)) {
+    throw Error("plan server closed the connection");
+  }
+  return response;
+}
+
+}  // namespace barracuda::net

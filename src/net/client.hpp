@@ -1,0 +1,52 @@
+// Blocking request/response client over the frame protocol: connect to
+// an endpoint, exchange one frame per request().  Not thread-safe —
+// callers that share a Client across threads serialize externally
+// (serve::RemoteRegistry does exactly that, and layers its half-open
+// reconnect breaker on top).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace barracuda::net {
+
+struct ClientOptions {
+  /// Per-operation SO_RCVTIMEO/SO_SNDTIMEO in seconds (<= 0 = block
+  /// forever).  A dead server turns into a bounded Error, never a hang.
+  double timeout = 5.0;
+  std::size_t max_payload = kMaxPayload;
+};
+
+class Client {
+ public:
+  explicit Client(Endpoint endpoint, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// (Re)connect to the endpoint.  Throws Error on failure; the client
+  /// is disconnected afterwards either way until a connect succeeds.
+  void connect();
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  /// One round trip: write `request`, read the response frame.  Throws
+  /// support::Error on transport failure (including timeouts and a
+  /// server that closed the stream), FrameError on a corrupt response.
+  /// Requires connected().
+  Frame request(const Frame& request_frame);
+
+ private:
+  Endpoint endpoint_;
+  ClientOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace barracuda::net

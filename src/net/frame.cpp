@@ -1,0 +1,107 @@
+#include "net/frame.hpp"
+
+#include <limits>
+
+#include "support/faultinject.hpp"
+#include "support/netio.hpp"
+
+namespace barracuda::net {
+namespace {
+
+void put32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t checksum32(std::string_view data) {
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw Error("frame payload too large for the u32 length field: " +
+                std::to_string(frame.payload.size()) + " bytes");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  put32(out, kMagic);
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(frame.op));
+  out.push_back(0);
+  out.push_back(0);
+  put32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put32(out, checksum32(frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+void write_frame(int fd, const Frame& frame) {
+  std::string wire = encode_frame(frame);
+  // `net.frame.corrupt` flips a checksum byte AFTER encoding: the bytes
+  // still frame correctly (magic/version/length intact, the stream stays
+  // aligned) but the receiver must reject the payload as corrupt.
+  if (support::fault::hit("net.frame.corrupt")) {
+    wire[12] = static_cast<char>(wire[12] ^ 0x5a);
+  }
+  support::netio::write_all(fd, wire.data(), wire.size());
+}
+
+bool read_frame(int fd, Frame* out, std::size_t max_payload) {
+  unsigned char header[kFrameHeaderSize];
+  try {
+    if (!support::netio::read_exact(fd, header, sizeof header)) {
+      return false;  // clean close at a frame boundary
+    }
+  } catch (const support::netio::TruncatedRead& e) {
+    throw FrameError(std::string("torn frame header: ") + e.what());
+  }
+  if (get32(header) != kMagic) {
+    throw FrameError("bad frame magic (not a barracuda plan-protocol "
+                     "stream, or the stream lost frame alignment)");
+  }
+  if (header[4] != kVersion) {
+    throw FrameError("unsupported protocol version " +
+                     std::to_string(header[4]) + " (this side speaks " +
+                     std::to_string(kVersion) + ")");
+  }
+  const std::uint32_t length = get32(header + 8);
+  if (!support::netio::frame_length_ok(length, max_payload)) {
+    throw FrameError("declared payload length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(max_payload) +
+                     "-byte limit");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    try {
+      if (!support::netio::read_exact(fd, payload.data(), length)) {
+        throw FrameError("peer closed between frame header and payload");
+      }
+    } catch (const support::netio::TruncatedRead& e) {
+      throw FrameError(std::string("torn frame payload: ") + e.what());
+    }
+  }
+  if (checksum32(payload) != get32(header + 12)) {
+    throw FrameError("frame payload checksum mismatch");
+  }
+  out->op = static_cast<Op>(header[5]);
+  out->payload = std::move(payload);
+  return true;
+}
+
+}  // namespace barracuda::net

@@ -1,0 +1,100 @@
+// The plan-serving wire protocol's framing layer: every message on a
+// connection — request or response, either direction — is one length-
+// prefixed binary frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic      0x42435031 ("BCP1"), little-endian
+//        4     1  version    protocol version, currently 1
+//        5     1  op         operation / status code (see Op)
+//        6     2  reserved   must be written as 0, ignored on read
+//        8     4  length     payload byte count, little-endian
+//       12     4  checksum   FNV-1a-32 of the payload, little-endian
+//       16     n  payload    `length` opaque bytes
+//
+// Versioning rules: the magic never changes; a receiver rejects any
+// version it does not speak (there is exactly one, so a mismatch is a
+// hard FrameError — no negotiation).  New operations extend the Op
+// space without a version bump; removing or redefining a field bumps
+// `version`.  Unknown op codes pass framing and are rejected by the
+// dispatcher (kError response), so old servers fail new requests
+// cleanly instead of desynchronizing the stream.
+//
+// Failure taxonomy: read_frame returns false ONLY on a clean
+// end-of-stream at a frame boundary (the peer hung up between frames —
+// a normal close).  Everything else that is wrong with the bytes — bad
+// magic, unsupported version, a declared length beyond the receiver's
+// limit, a checksum mismatch, or a peer that disappeared mid-frame —
+// throws FrameError: the stream can no longer be trusted to be
+// frame-aligned and the connection must be dropped.  Transport errors
+// (reset, timeout) surface as support::Error from the netio layer.
+//
+// Fault site: `net.frame.corrupt` flips a checksum byte in write_frame's
+// encoded bytes, so chaos runs exercise the receiver's rejection path
+// with real corrupt frames on real sockets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace barracuda::net {
+
+/// A protocol violation on the stream: the connection is no longer
+/// frame-aligned and must be closed.
+class FrameError : public Error {
+ public:
+  explicit FrameError(const std::string& what) : Error(what) {}
+};
+
+constexpr std::uint32_t kMagic = 0x42435031;  // "BCP1" when dumped LE
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kFrameHeaderSize = 16;
+
+/// Default cap on one frame's payload.  A full-registry anti-entropy
+/// exchange is the largest message (one ~200-byte line per plan), so
+/// 64 MiB covers hundreds of thousands of entries with room to spare.
+constexpr std::size_t kMaxPayload = 64u << 20;
+
+/// Operation and status codes.  Requests use the low range, responses
+/// the 0x40+ range; one byte on the wire.
+enum class Op : std::uint8_t {
+  kPing = 1,      ///< liveness probe; payload echoed back
+  kGetPlan = 2,   ///< payload: signature -> kOk(plan line) | kNotFound
+  kPutPlan = 3,   ///< payload: plan line -> kOk("1" accepted | "0" kept)
+  kSync = 4,      ///< payload: full registry text -> kOk(server's text)
+  kStats = 5,     ///< payload empty -> kOk(key\tvalue lines)
+  kOk = 0x40,     ///< success response
+  kNotFound = 0x41,  ///< GET_PLAN response: signature unknown
+  kError = 0x7f,  ///< failure response; payload is the error text
+};
+
+/// One protocol message: an op code plus its opaque payload bytes.
+struct Frame {
+  Op op = Op::kPing;
+  std::string payload;
+};
+
+/// FNV-1a-32 over the payload — cheap, endian-free, and plenty to catch
+/// the torn/flipped bytes framing exists to detect (this is corruption
+/// detection, not cryptography).
+std::uint32_t checksum32(std::string_view data);
+
+/// The frame's wire bytes (header + payload).  Throws Error when the
+/// payload exceeds the u32 length field.
+std::string encode_frame(const Frame& frame);
+
+/// Write one frame to `fd` (with the `net.frame.corrupt` fault probe
+/// applied to the encoded bytes).  Throws support::Error on I/O failure.
+void write_frame(int fd, const Frame& frame);
+
+/// Read one frame from `fd`.  Returns false on a clean end-of-stream at
+/// a frame boundary; throws FrameError on any protocol violation and
+/// support::Error on transport failure.  `max_payload` bounds the
+/// declared length BEFORE any allocation.
+bool read_frame(int fd, Frame* out, std::size_t max_payload = kMaxPayload);
+
+}  // namespace barracuda::net

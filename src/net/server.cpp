@@ -1,0 +1,275 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/socket.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+
+namespace barracuda::net {
+
+Server::Server(Handler handler, ServerOptions options)
+    : handler_(std::move(handler)), options_(options) {
+  options_.workers = std::max<std::size_t>(1, options_.workers);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw Error(std::string("cannot create server wake pipe: ") +
+                std::strerror(errno));
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  ::fcntl(wake_read_, F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_write_, F_SETFL, O_NONBLOCK);
+}
+
+Server::~Server() { stop(); }
+
+std::uint16_t Server::listen_tcp(const std::string& host,
+                                 std::uint16_t port) {
+  BARRACUDA_CHECK_MSG(!started_, "add listeners before Server::start()");
+  std::uint16_t bound = 0;
+  listeners_.push_back(net::listen_tcp(host, port, &bound));
+  return bound;
+}
+
+void Server::listen_unix(const std::string& path) {
+  BARRACUDA_CHECK_MSG(!started_, "add listeners before Server::start()");
+  listeners_.push_back(net::listen_unix(path));
+  unix_paths_.push_back(path);
+}
+
+void Server::start() {
+  BARRACUDA_CHECK_MSG(!listeners_.empty(),
+                      "Server::start() needs at least one listener");
+  BARRACUDA_CHECK_MSG(!started_, "Server::start() called twice");
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop(); });
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+void Server::wake() {
+  const char byte = 1;
+  // Nonblocking: a full pipe already guarantees a pending wake-up.
+  (void)!::write(wake_write_, &byte, 1);
+}
+
+void Server::apply_returned(std::vector<std::pair<int, bool>> returned) {
+  // Lock-free over the fds themselves: only the loop (and final stop()
+  // cleanup) ever closes or re-polls a connection, so an fd handed back
+  // here cannot be raced by a worker.
+  for (const auto& [fd, close_it] : returned) {
+    if (close_it) {
+      ::close(fd);
+      closed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle_conns_.insert(fd);
+    }
+  }
+}
+
+void Server::loop() {
+  std::vector<pollfd> fds;
+  std::vector<int> poll_conns;
+  for (;;) {
+    // Absorb workers' hand-backs first so a kept-alive connection is in
+    // this round's poll set.
+    std::vector<std::pair<int, bool>> returned;
+    bool stopping = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      returned.swap(returned_);
+      stopping = stopping_;
+    }
+    apply_returned(std::move(returned));
+    if (stopping) return;
+
+    fds.clear();
+    poll_conns.clear();
+    fds.push_back({wake_read_, POLLIN, 0});
+    for (int lfd : listeners_) fds.push_back({lfd, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int cfd : idle_conns_) {
+        poll_conns.push_back(cfd);
+        fds.push_back({cfd, POLLIN, 0});
+      }
+    }
+
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;  // a broken poll set is unrecoverable; stop() cleans up
+    }
+    if (rc == 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_read_, buf, sizeof buf) > 0) {
+      }
+    }
+
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      if ((fds[1 + i].revents & POLLIN) == 0) continue;
+      const int cfd = ::accept(listeners_[i], nullptr, nullptr);
+      if (cfd < 0) continue;
+      // `net.accept` models accept-path failure (fd exhaustion, a
+      // refused TLS handshake in richer stacks): the connection is
+      // dropped before it ever reaches the poll set.
+      if (support::fault::hit("net.accept")) {
+        ::close(cfd);
+        faulted_accepts_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      set_io_timeout(cfd, options_.io_timeout);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle_conns_.insert(cfd);
+    }
+
+    bool dispatched = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < poll_conns.size(); ++i) {
+        const pollfd& p = fds[1 + listeners_.size() + i];
+        if (p.revents == 0) continue;
+        // Readable, hung up, or errored: hand it to a worker either
+        // way — the read will observe EOF/failure and close it.
+        if (idle_conns_.erase(poll_conns[i]) > 0) {
+          ready_.push_back(poll_conns[i]);
+          ++in_flight_;
+          dispatched = true;
+        }
+      }
+    }
+    if (dispatched) work_cv_.notify_all();
+  }
+}
+
+void Server::worker() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !ready_.empty() || stopping_; });
+      if (ready_.empty()) return;  // stopping and drained
+      fd = ready_.front();
+      ready_.pop_front();
+    }
+
+    bool close_conn = false;
+    try {
+      Frame request;
+      if (!read_frame(fd, &request, options_.max_payload)) {
+        close_conn = true;  // clean close at a frame boundary
+      } else {
+        frames_.fetch_add(1, std::memory_order_relaxed);
+        Frame response;
+        try {
+          response = handler_(request);
+        } catch (const std::exception& e) {
+          // The stream is intact — only this request failed.  Reply
+          // kError and keep serving the connection.
+          handler_errors_.fetch_add(1, std::memory_order_relaxed);
+          response = {Op::kError, e.what()};
+        }
+        write_frame(fd, response);
+      }
+    } catch (const FrameError& e) {
+      // Corrupt frame: tell the peer why (best effort — its reader may
+      // be gone) and drop the connection; nothing after a torn frame
+      // can be trusted to be frame-aligned.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        write_frame(fd, {Op::kError, e.what()});
+      } catch (...) {
+      }
+      close_conn = true;
+    } catch (const std::exception&) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      close_conn = true;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      returned_.push_back({fd, close_conn});
+      --in_flight_;
+    }
+    wake();
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) {
+      if (!started_ && !stopped_) {
+        // Never started: release the listeners and pipe directly.
+        stopped_ = true;
+      } else {
+        return;
+      }
+    }
+    stopping_ = true;
+  }
+  wake();
+  work_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Workers drain ready_ (their wait predicate passes while work
+  // remains), then exit on the empty queue.
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Everything is single-threaded from here: close what the workers
+  // handed back, the still-idle connections, the listeners, the pipe.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [fd, close_it] : returned_) {
+      ::close(fd);
+      closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    returned_.clear();
+    for (int fd : idle_conns_) {
+      ::close(fd);
+      closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    idle_conns_.clear();
+  }
+  for (int fd : listeners_) ::close(fd);
+  listeners_.clear();
+  for (const std::string& path : unix_paths_) ::unlink(path.c_str());
+  unix_paths_.clear();
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  wake_read_ = wake_write_ = -1;
+  stopped_ = true;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.handler_errors = handler_errors_.load(std::memory_order_relaxed);
+  s.io_errors = io_errors_.load(std::memory_order_relaxed);
+  s.faulted_accepts = faulted_accepts_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.open_connections = idle_conns_.size() + in_flight_;
+  }
+  return s;
+}
+
+}  // namespace barracuda::net

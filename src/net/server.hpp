@@ -1,0 +1,149 @@
+// A poll(2)-driven request/response server over the frame protocol.
+//
+// Architecture (one event loop, W worker threads):
+//
+//   loop thread    polls the listeners, a self-wake pipe, and every
+//                  connection that is NOT currently being serviced.
+//                  A readable connection is marked in-flight and pushed
+//                  to the worker queue; accepting, closing, and fd
+//                  bookkeeping happen ONLY here (plus stop()), so a
+//                  worker can never race the loop on an fd's lifetime.
+//   worker threads pop a connection, read exactly one frame (blocking,
+//                  bounded by the per-fd SO_RCVTIMEO), run the handler,
+//                  write the response, then hand the fd back to the
+//                  loop (return-to-poll, or close-after-error) through
+//                  the returned queue + wake pipe.
+//
+// One frame per dispatch keeps a chatty client from monopolizing a
+// worker: between its requests the connection sits back in the poll
+// set like everyone else's.
+//
+// Failure policy per connection:
+//   clean EOF at a frame boundary   normal close (counted in closed)
+//   FrameError (corrupt frame)      counted in protocol_errors, a
+//                                   best-effort kError response is
+//                                   sent, the connection is closed —
+//                                   a desynchronized stream is dead
+//   handler throws                  counted in handler_errors, kError
+//                                   response, connection STAYS OPEN
+//                                   (framing is intact; the request
+//                                   merely failed)
+//   transport error                 counted in io_errors, closed
+//
+// Fault site: `net.accept` fires in the accept path — an accepted
+// connection is immediately closed, modeling accept/setup failure.
+//
+// stop() is graceful: the loop exits, workers drain every already-
+// dispatched connection (responses are still written), then all fds
+// close.  Listeners on Unix-domain paths unlink their socket files.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace barracuda::net {
+
+struct ServerOptions {
+  /// Worker threads servicing dispatched connections.  Clamped to >= 1.
+  std::size_t workers = 4;
+  /// Per-frame payload cap handed to read_frame.
+  std::size_t max_payload = kMaxPayload;
+  /// Per-connection SO_RCVTIMEO/SO_SNDTIMEO in seconds: the bound on
+  /// how long a stalled peer can hold a worker.  <= 0 disables.
+  double io_timeout = 30.0;
+};
+
+/// Point-in-time server counters (all monotone except open_connections).
+struct ServerStats {
+  std::size_t accepted = 0;
+  std::size_t closed = 0;
+  std::size_t frames = 0;           ///< well-formed frames dispatched
+  std::size_t protocol_errors = 0;  ///< corrupt frames (connection dropped)
+  std::size_t handler_errors = 0;   ///< handler exceptions (kError replies)
+  std::size_t io_errors = 0;        ///< transport failures mid-service
+  std::size_t faulted_accepts = 0;  ///< connections dropped by net.accept
+  std::size_t open_connections = 0;
+};
+
+/// The frame server.  Handler runs on worker threads — possibly several
+/// concurrently — and must be thread-safe; whatever it returns is the
+/// response frame.  A throwing handler produces a kError response.
+class Server {
+ public:
+  using Handler = std::function<Frame(const Frame&)>;
+
+  explicit Server(Handler handler, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Add a TCP listener (port 0 = ephemeral).  Returns the bound port.
+  /// Must be called before start().
+  std::uint16_t listen_tcp(const std::string& host, std::uint16_t port);
+
+  /// Add a Unix-domain listener at `path` (stale socket files are
+  /// replaced; the file is unlinked on stop).  Must precede start().
+  void listen_unix(const std::string& path);
+
+  /// Launch the event loop and workers.  Requires >= 1 listener.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain dispatched requests,
+  /// close every connection and listener.  Idempotent.
+  void stop();
+
+  bool running() const { return started_ && !stopped_; }
+
+  ServerStats stats() const;
+
+ private:
+  void loop();
+  void worker();
+  void wake();
+  /// Apply workers' (fd, close?) hand-backs; loop/stop only.
+  void apply_returned(std::vector<std::pair<int, bool>> returned);
+
+  Handler handler_;
+  ServerOptions options_;
+
+  std::vector<int> listeners_;
+  std::vector<std::string> unix_paths_;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Guards the queues, the connection set, and stopping_.
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<int> ready_;                         ///< dispatched, awaiting a worker
+  std::vector<std::pair<int, bool>> returned_;    ///< (fd, close?) from workers
+  std::unordered_set<int> idle_conns_;            ///< owned by the poll set
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> closed_{0};
+  std::atomic<std::size_t> frames_{0};
+  std::atomic<std::size_t> protocol_errors_{0};
+  std::atomic<std::size_t> handler_errors_{0};
+  std::atomic<std::size_t> io_errors_{0};
+  std::atomic<std::size_t> faulted_accepts_{0};
+};
+
+}  // namespace barracuda::net

@@ -1,0 +1,196 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace barracuda::net {
+namespace {
+
+std::string errno_text(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+std::uint16_t parse_port(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value > 65535) {
+    throw Error("bad port '" + text + "' (expected 0..65535)");
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+/// getaddrinfo for a numeric-or-named IPv4/IPv6 host.
+struct AddrList {
+  addrinfo* head = nullptr;
+  ~AddrList() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+void resolve(const std::string& host, std::uint16_t port, bool passive,
+             AddrList* out) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                               service.c_str(), &hints, &out->head);
+  if (rc != 0) {
+    throw Error("cannot resolve '" + host + "': " + ::gai_strerror(rc));
+  }
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw Error("unix socket path empty or too long (max " +
+                std::to_string(sizeof addr.sun_path - 1) +
+                " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& text) {
+  Endpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = text.substr(5);
+    if (ep.path.empty()) throw Error("empty unix socket path in '" + text + "'");
+    return ep;
+  }
+  std::string rest = text;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    throw Error("bad endpoint '" + text +
+                "' (expected unix:PATH, tcp:HOST:PORT, or HOST:PORT)");
+  }
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = rest.substr(0, colon);
+  ep.port = parse_port(rest.substr(colon + 1));
+  return ep;
+}
+
+std::string to_string(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) return "unix:" + endpoint.path;
+  return (endpoint.host.empty() ? std::string("127.0.0.1") : endpoint.host) +
+         ":" + std::to_string(endpoint.port);
+}
+
+int listen_tcp(const std::string& host, std::uint16_t port,
+               std::uint16_t* bound_port) {
+  AddrList addrs;
+  resolve(host, port, /*passive=*/true, &addrs);
+  int fd = -1;
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = addrs.head; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = errno_text("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0) {
+      break;
+    }
+    last_error = errno_text("bind/listen");
+    ::close(fd);
+    fd = -1;
+  }
+  if (fd < 0) {
+    throw Error("cannot listen on " + host + ":" + std::to_string(port) +
+                " (" + last_error + ")");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_storage bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ::close(fd);
+      throw Error(errno_text("getsockname"));
+    }
+    if (bound.ss_family == AF_INET) {
+      *bound_port =
+          ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else {
+      *bound_port =
+          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return fd;
+}
+
+int listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(errno_text("socket(AF_UNIX)"));
+  // The path belongs to this server: a stale socket file from a crashed
+  // predecessor must not block the bind.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string text = errno_text("bind/listen on " + path);
+    ::close(fd);
+    throw Error(text);
+  }
+  return fd;
+}
+
+int connect_endpoint(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_address(endpoint.path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw Error(errno_text("socket(AF_UNIX)"));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      const std::string text = errno_text("connect to " + endpoint.path);
+      ::close(fd);
+      throw Error(text);
+    }
+    return fd;
+  }
+  AddrList addrs;
+  resolve(endpoint.host, endpoint.port, /*passive=*/false, &addrs);
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = addrs.head; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = errno_text("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) return fd;
+    last_error = errno_text("connect");
+    ::close(fd);
+  }
+  throw Error("cannot connect to " + to_string(endpoint) + " (" +
+              last_error + ")");
+}
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace barracuda::net

@@ -1,0 +1,52 @@
+// Socket plumbing shared by the plan server and client: endpoint
+// parsing (`unix:PATH`, `tcp:HOST:PORT`, bare `HOST:PORT`), TCP and
+// Unix-domain listeners, and blocking connects with per-fd I/O
+// timeouts.  Everything returns plain file descriptors — ownership
+// stays with the caller (the server's event loop, the client's
+// connection object).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace barracuda::net {
+
+/// A parsed server address.
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;  ///< TCP host (name or numeric)
+  std::uint16_t port = 0;
+  std::string path;  ///< Unix-domain socket path
+};
+
+/// Parse `unix:PATH`, `tcp:HOST:PORT`, or `HOST:PORT` (an empty host
+/// means 127.0.0.1; TCP port 0 asks the kernel for an ephemeral port).
+/// Throws Error on malformed text.
+Endpoint parse_endpoint(const std::string& text);
+
+/// Human-readable form for logs and reports.
+std::string to_string(const Endpoint& endpoint);
+
+/// Bind + listen a TCP socket on host:port (SO_REUSEADDR set; port 0 =
+/// ephemeral).  Stores the actually bound port in *bound_port when
+/// non-null.  Returns the listening fd; throws Error on failure.
+int listen_tcp(const std::string& host, std::uint16_t port,
+               std::uint16_t* bound_port = nullptr);
+
+/// Bind + listen a Unix-domain socket at `path` (an existing socket
+/// file is unlinked first — the path belongs to this server).  Returns
+/// the listening fd; throws Error on failure (including a path too long
+/// for sockaddr_un).
+int listen_unix(const std::string& path);
+
+/// Blocking connect to `endpoint`.  Returns the connected fd; throws
+/// Error on failure.
+int connect_endpoint(const Endpoint& endpoint);
+
+/// Arm SO_RCVTIMEO and SO_SNDTIMEO on `fd` so a stalled peer turns
+/// into a bounded I/O error instead of a wedged thread.  seconds <= 0
+/// leaves the fd blocking forever.
+void set_io_timeout(int fd, double seconds);
+
+}  // namespace barracuda::net

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -40,20 +41,6 @@ namespace {
 constexpr const char* kHeader = "barracuda-planregistry v2";
 constexpr const char* kHeaderV1 = "barracuda-planregistry v1";
 
-std::string encode_recipe(const std::string& recipe_text) {
-  std::string flat = recipe_text;
-  std::replace(flat.begin(), flat.end(), '\n', ';');
-  while (!flat.empty() && flat.back() == ';') flat.pop_back();
-  return flat;
-}
-
-std::string decode_recipe(const std::string& flat) {
-  std::string text = flat;
-  std::replace(text.begin(), text.end(), ';', '\n');
-  text.push_back('\n');
-  return text;
-}
-
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
   while (p < n) p <<= 1;
@@ -65,6 +52,20 @@ std::size_t round_up_pow2(std::size_t n) {
 bool better_plan(const PlanEntry& a, const PlanEntry& b) {
   if (a.modeled_us != b.modeled_us) return a.modeled_us < b.modeled_us;
   return a.tuned && !b.tuned;
+}
+
+std::string flatten_recipe(const std::string& recipe_text) {
+  std::string flat = recipe_text;
+  std::replace(flat.begin(), flat.end(), '\n', ';');
+  while (!flat.empty() && flat.back() == ';') flat.pop_back();
+  return flat;
+}
+
+std::string unflatten_recipe(const std::string& flat) {
+  std::string text = flat;
+  std::replace(text.begin(), text.end(), ';', '\n');
+  text.push_back('\n');
+  return text;
 }
 
 std::size_t default_registry_shards() {
@@ -375,15 +376,10 @@ support::HistogramSnapshot PlanRegistry::served_latency() const {
   return merged;
 }
 
-void PlanRegistry::save(const std::string& path) const {
-  // Serialize against concurrent save()s on this registry: the
-  // post-publish counter folding below must see its own reads.
-  std::lock_guard<std::mutex> save_lock(save_mutex_);
-
-  // Gather a point-in-time view from the shard snapshots (no locks —
-  // each shard's snapshot is immutable) and sort globally by signature,
-  // so the file is deterministic and byte-identical for any shard
-  // count.
+/// The shared serialization core of save() and to_text(): a gathered
+/// point-in-time view (rows to persist, rows diverted by age-out) plus
+/// the demand readings fold_rows() needs once the bytes have published.
+struct PlanRegistry::SaveBatch {
   struct Row {
     std::string signature;
     PlanEntry entry;
@@ -393,9 +389,22 @@ void PlanRegistry::save(const std::string& path) const {
     std::uint64_t age = 0;           // persisted age column
     std::uint64_t hits = 0;          // persisted hits column
   };
-  const bool age_out = max_idle_generations_ > 0;
   std::vector<Row> rows;
   std::vector<Row> aged;
+  std::uint64_t dropped = 0;
+};
+
+std::unique_ptr<PlanRegistry::SaveBatch> PlanRegistry::gather_rows(
+    bool apply_ageout) const {
+  // Gather a point-in-time view from the shard snapshots (no locks —
+  // each shard's snapshot is immutable) and sort globally by signature,
+  // so the serialized text is deterministic and byte-identical for any
+  // shard count.
+  using Row = SaveBatch::Row;
+  auto batch = std::make_unique<SaveBatch>();
+  const bool age_out = apply_ageout;
+  std::vector<Row>& rows = batch->rows;
+  std::vector<Row>& aged = batch->aged;
   std::uint64_t dropped = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
     std::shared_ptr<const ShardMap> snap =
@@ -441,9 +450,10 @@ void PlanRegistry::save(const std::string& path) const {
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return a.signature < b.signature;
   });
+  batch->dropped = dropped;
 
-  // Validate before touching the filesystem so a serialization error
-  // never leaves a partial temp file behind.
+  // Validate at gather time so a serialization error never leaves a
+  // partial temp file (or a half-built wire payload) behind.
   for (const Row& row : rows) {
     if (row.signature.find_first_of("\t\n") != std::string::npos) {
       throw Error("plan registry signature contains tab/newline, "
@@ -453,7 +463,7 @@ void PlanRegistry::save(const std::string& path) const {
       throw Error("plan registry recipe contains tab/';', "
                   "not serializable (signature " + row.signature + ")");
     }
-    if (encode_recipe(row.entry.recipe_text).empty()) {
+    if (flatten_recipe(row.entry.recipe_text).empty()) {
       throw Error("plan registry entry has an empty recipe (signature " +
                   row.signature + ")");
     }
@@ -462,6 +472,68 @@ void PlanRegistry::save(const std::string& path) const {
                   "' is not finite, not serializable");
     }
   }
+  return batch;
+}
+
+std::string PlanRegistry::render_rows(const SaveBatch& batch) {
+  std::string text = kHeader;
+  text.push_back('\n');
+  char time_text[64];
+  for (const SaveBatch::Row& row : batch.rows) {
+    std::snprintf(time_text, sizeof time_text, "%.17g",
+                  row.entry.modeled_us);
+    text += time_text;
+    text.push_back('\t');
+    text += row.entry.tuned ? '1' : '0';
+    text.push_back('\t');
+    text += std::to_string(row.entry.variant);
+    text.push_back('\t');
+    text += std::to_string(row.age);
+    text.push_back('\t');
+    text += std::to_string(row.hits);
+    text.push_back('\t');
+    text += flatten_recipe(row.entry.recipe_text);
+    text.push_back('\t');
+    text += row.signature;
+    text.push_back('\n');
+  }
+  return text;
+}
+
+void PlanRegistry::fold_rows(const SaveBatch& batch) const {
+  // The serialized bytes have published; fold what they recorded into
+  // the live demand so the NEXT serialization unions instead of
+  // double-counting: the persisted hit count becomes the new baseline
+  // (local increments recorded since the gather survive the
+  // subtraction), and the persisted age becomes the new idle value —
+  // unless a request arrived meanwhile (idle went to -1), which must
+  // not be overwritten.
+  auto fold = [](const SaveBatch::Row& row) {
+    if (!row.demand) return;
+    std::int64_t expected = row.idle_read;
+    row.demand->idle.compare_exchange_strong(
+        expected, static_cast<std::int64_t>(row.age),
+        std::memory_order_relaxed);
+    row.demand->base_hits.store(row.hits, std::memory_order_relaxed);
+    if (row.local_read > 0) {
+      row.demand->local_hits.fetch_sub(row.local_read,
+                                       std::memory_order_relaxed);
+    }
+  };
+  for (const SaveBatch::Row& row : batch.rows) fold(row);
+  for (const SaveBatch::Row& row : batch.aged) fold(row);
+  if (batch.dropped > 0) {
+    aged_out_.fetch_add(batch.dropped, std::memory_order_relaxed);
+  }
+}
+
+void PlanRegistry::save(const std::string& path) const {
+  // Serialize against concurrent save()s on this registry: the
+  // post-publish counter folding must see its own reads.
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
+  std::unique_ptr<SaveBatch> batch =
+      gather_rows(/*apply_ageout=*/max_idle_generations_ > 0);
+  const std::string text = render_rows(*batch);
 
   // Atomic publish, exactly like EvalCache::save: complete temp file,
   // then rename(2) over the target — readers see the previous complete
@@ -473,16 +545,7 @@ void PlanRegistry::save(const std::string& path) const {
     // disk, unwritable directory) — same path as a real ofstream error.
     std::ofstream out(support::fault::hit("registry.save.open") ? "" : tmp);
     if (!out) throw Error("cannot write plan registry: " + tmp);
-    out << kHeader << '\n';
-    char time_text[64];
-    for (const Row& row : rows) {
-      std::snprintf(time_text, sizeof time_text, "%.17g",
-                    row.entry.modeled_us);
-      out << time_text << '\t' << (row.entry.tuned ? 1 : 0) << '\t'
-          << row.entry.variant << '\t' << row.age << '\t' << row.hits
-          << '\t' << encode_recipe(row.entry.recipe_text) << '\t'
-          << row.signature << '\n';
-    }
+    out << text;
     out.flush();
     if (!out) {
       out.close();
@@ -498,27 +561,19 @@ void PlanRegistry::save(const std::string& path) const {
     throw Error("cannot publish plan registry: rename " + tmp + " -> " +
                 path);
   }
-  // The file is published; fold what it recorded into the live demand
-  // so the NEXT save unions instead of double-counting: the persisted
-  // hit count becomes the new baseline (local increments recorded since
-  // the gather above survive the subtraction), and the persisted age
-  // becomes the new idle value — unless a request arrived meanwhile
-  // (idle went to -1), which must not be overwritten.
-  auto fold = [](const Row& row) {
-    if (!row.demand) return;
-    std::int64_t expected = row.idle_read;
-    row.demand->idle.compare_exchange_strong(
-        expected, static_cast<std::int64_t>(row.age),
-        std::memory_order_relaxed);
-    row.demand->base_hits.store(row.hits, std::memory_order_relaxed);
-    if (row.local_read > 0) {
-      row.demand->local_hits.fetch_sub(row.local_read,
-                                       std::memory_order_relaxed);
-    }
-  };
-  for (const Row& row : rows) fold(row);
-  for (const Row& row : aged) fold(row);
-  if (dropped > 0) aged_out_.fetch_add(dropped, std::memory_order_relaxed);
+  fold_rows(*batch);
+}
+
+std::string PlanRegistry::to_text() const {
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
+  // No age-out over the wire: ageing is a generation of the FILE, and
+  // an anti-entropy exchange must ship everything this node serves.
+  std::unique_ptr<SaveBatch> batch = gather_rows(/*apply_ageout=*/false);
+  std::string text = render_rows(*batch);
+  // Handing the bytes to the caller counts as publishing them — the
+  // folded baseline is exactly what the text carries.
+  fold_rows(*batch);
+  return text;
 }
 
 void PlanRegistry::merge_entries(
@@ -557,16 +612,12 @@ void PlanRegistry::merge_entries(
   }
 }
 
-std::size_t PlanRegistry::load(const std::string& path,
-                               support::RecoveryPolicy policy,
-                               support::SalvageReport* report) {
+std::size_t PlanRegistry::merge_stream(std::istream& in,
+                                       const std::string& source,
+                                       support::RecoveryPolicy policy,
+                                       support::SalvageReport* local_report) {
   const bool salvage = policy == support::RecoveryPolicy::kSalvage;
-  support::SalvageReport local;
-  // `registry.load` models an unreadable file — failing before any
-  // record lands keeps load() all-or-nothing under fault injection too.
-  support::fault::maybe_throw("registry.load");
-  std::ifstream in(path);
-  if (!in) throw Error("cannot read plan registry: " + path);
+  support::SalvageReport& local = *local_report;
 
   // Under kSalvage a malformed line is dropped instead of thrown.
   auto reject = [&](const std::string& message) {
@@ -578,7 +629,7 @@ std::size_t PlanRegistry::load(const std::string& path,
   int version = 0;
   if (!std::getline(in, line)) {
     reject("not a barracuda plan registry (bad or missing '" +
-           std::string(kHeader) + "' header): " + path);
+           std::string(kHeader) + "' header): " + source);
     in.setstate(std::ios::eofbit);
   } else if (line == kHeader) {
     version = 2;
@@ -586,9 +637,9 @@ std::size_t PlanRegistry::load(const std::string& path,
     version = 1;
   } else {
     reject("not a barracuda plan registry (bad or missing '" +
-           std::string(kHeader) + "' header): " + path);
+           std::string(kHeader) + "' header): " + source);
     // A wrong header means nothing after it is trustworthy as
-    // records: salvage keeps zero entries and quarantines below.
+    // records: salvage keeps zero entries (load() quarantines).
     in.setstate(std::ios::eofbit);
   }
   // Parse everything first (throwing under kStrict leaves the registry
@@ -612,7 +663,7 @@ std::size_t PlanRegistry::load(const std::string& path,
     ++line_no;
     if (line.empty()) continue;
     auto fail = [&](const std::string& msg) {
-      reject("corrupt plan registry at " + path + ":" +
+      reject("corrupt plan registry at " + source + ":" +
              std::to_string(line_no) + ": " + msg);
     };
     std::vector<std::string> fields = split(line, '\t');
@@ -657,14 +708,14 @@ std::size_t PlanRegistry::load(const std::string& path,
     }
     const std::string& recipe_field = fields[field_count - 2];
     const std::string& signature = fields[field_count - 1];
-    entry.recipe_text = decode_recipe(recipe_field);
+    entry.recipe_text = unflatten_recipe(recipe_field);
     try {
       // The recipe must at least parse; lowering validates it against
       // the program at serve time.  The validation parse is KEPT in the
       // entry, so every warm hit on a loaded registry serves the parsed
       // recipe without ever calling parse_recipe again.
       entry.parsed = std::make_shared<const chill::Recipe>(
-          core::parse_recipe(entry.recipe_text, path));
+          core::parse_recipe(entry.recipe_text, source));
     } catch (const Error& e) {
       fail("unparseable recipe: " + std::string(e.what()));
       continue;
@@ -674,7 +725,6 @@ std::size_t PlanRegistry::load(const std::string& path,
     parsed.emplace_back(signature, std::move(entry));
     ++loaded;
   }
-  in.close();
   // Better-wins merge: a loaded entry only displaces what this registry
   // already serves when it is actually faster.  Never counts upgrades —
   // load is replication, not tuning progress.
@@ -687,6 +737,21 @@ std::size_t PlanRegistry::load(const std::string& path,
     absorb_demand(row.signature, row.hits, row.age);
   }
   local.kept = loaded;
+  return loaded;
+}
+
+std::size_t PlanRegistry::load(const std::string& path,
+                               support::RecoveryPolicy policy,
+                               support::SalvageReport* report) {
+  const bool salvage = policy == support::RecoveryPolicy::kSalvage;
+  support::SalvageReport local;
+  // `registry.load` models an unreadable file — failing before any
+  // record lands keeps load() all-or-nothing under fault injection too.
+  support::fault::maybe_throw("registry.load");
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read plan registry: " + path);
+  const std::size_t loaded = merge_stream(in, path, policy, &local);
+  in.close();
   if (salvage && local.dropped > 0) {
     // Quarantine the damaged original; the salvaged state gets
     // re-published by the caller's next save.
@@ -697,6 +762,20 @@ std::size_t PlanRegistry::load(const std::string& path,
     }
     local.quarantine_path = quarantine;
   }
+  if (report) *report = local;
+  return loaded;
+}
+
+std::size_t PlanRegistry::merge_text(const std::string& text,
+                                     const std::string& source,
+                                     support::RecoveryPolicy policy,
+                                     support::SalvageReport* report) {
+  // The in-memory twin of load(): same parse, same better-wins entry
+  // merge, same max/freshest demand union — but the bytes came off the
+  // wire (or a test), so there is no file to quarantine.
+  support::SalvageReport local;
+  std::istringstream in(text);
+  const std::size_t loaded = merge_stream(in, source, policy, &local);
   if (report) *report = local;
   return loaded;
 }

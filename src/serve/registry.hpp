@@ -55,6 +55,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -99,6 +100,13 @@ struct PlanEntry {
 /// or equally fast but tuned where `b` is a fallback.  Ties (equal time,
 /// equal tuned-ness) keep the incumbent, so merges are idempotent.
 bool better_plan(const PlanEntry& a, const PlanEntry& b);
+
+/// The registry file format's one-line recipe encoding: newlines become
+/// ';' (recipe lines themselves never contain ';'), trailing separators
+/// trimmed.  Shared with the wire protocol's plan records.
+std::string flatten_recipe(const std::string& recipe_text);
+/// Inverse of flatten_recipe (restores the trailing newline).
+std::string unflatten_recipe(const std::string& flat);
 
 /// The power-of-two shard count a default-constructed PlanRegistry uses:
 /// hardware concurrency rounded up to a power of two, clamped to
@@ -233,6 +241,28 @@ class PlanRegistry {
   /// Hit/miss/upgrade counters are not persisted.
   void save(const std::string& path) const;
 
+  /// The registry serialized to the v2 text format — the same bytes
+  /// save() writes, minus the filesystem: no age-out (every entry is
+  /// included with its current age, nothing advances or drops) and no
+  /// temp/rename dance.  Demand counters fold into the serialized
+  /// baseline exactly like a successful save(), so the text carries the
+  /// union and repeated exchanges never double-count — this is the
+  /// anti-entropy payload of the distributed tier.  Throws Error on an
+  /// unserializable entry (same validation as save()).
+  std::string to_text() const;
+
+  /// Merge registry text (v2 or v1, as produced by to_text()/save())
+  /// into this registry: better-wins on entries, max/freshest union on
+  /// demand — identical semantics to load(), with `source` standing in
+  /// for the file path in error messages.  No quarantine is written
+  /// (there is no file); under kSalvage malformed lines are dropped and
+  /// counted in `report`.  Returns the number of entry lines read.
+  /// This is how a node absorbs a peer's anti-entropy exchange.
+  std::size_t merge_text(const std::string& text, const std::string& source,
+                         support::RecoveryPolicy policy =
+                             support::RecoveryPolicy::kStrict,
+                         support::SalvageReport* report = nullptr);
+
   /// Merge entries from a save()d file into this registry under the
   /// better-wins rule (never counts upgrades — load is replication, not
   /// tuning progress).  Returns the number of entry lines read.  Reads
@@ -318,6 +348,26 @@ class PlanRegistry {
   /// Union a loaded file's demand columns into the live record.
   void absorb_demand(const std::string& signature, std::uint64_t file_hits,
                      std::uint64_t file_age);
+  /// A gathered, validated, sorted point-in-time view of every entry
+  /// plus the demand readings needed to fold counters after a
+  /// successful publish — the shared core of save() and to_text().
+  /// Defined in registry.cpp; the unique_ptr is only ever materialized
+  /// there.
+  struct SaveBatch;
+  /// Snapshot + validate + sort (throws on unserializable entries;
+  /// `apply_ageout` advances ages and diverts aged-out rows).
+  std::unique_ptr<SaveBatch> gather_rows(bool apply_ageout) const;
+  /// The v2 text for a gathered batch.
+  static std::string render_rows(const SaveBatch& batch);
+  /// Fold the batch's demand readings into the persisted baseline —
+  /// call ONLY after the serialized bytes have actually been published
+  /// (renamed into place, or handed to the network layer).
+  void fold_rows(const SaveBatch& batch) const;
+  /// Parse v2/v1 registry text from `in` and merge it (better-wins +
+  /// demand union) — the shared core of load() and merge_text().
+  std::size_t merge_stream(std::istream& in, const std::string& source,
+                           support::RecoveryPolicy policy,
+                           support::SalvageReport* local);
 
   std::size_t shard_count_ = 1;  // power of two
   std::unique_ptr<Shard[]> shards_;

@@ -1,0 +1,180 @@
+#include "serve/remote/planserver.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "serve/remote/wire.hpp"
+#include "support/error.hpp"
+
+namespace barracuda::serve::remote {
+
+PlanServer::PlanServer(PlanRegistry& registry, PlanServerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      server_([this](const net::Frame& f) { return handle(f); },
+              options_.net) {}
+
+PlanServer::~PlanServer() { stop(); }
+
+std::uint16_t PlanServer::listen_tcp(const std::string& host,
+                                     std::uint16_t port) {
+  return server_.listen_tcp(host, port);
+}
+
+void PlanServer::listen_unix(const std::string& path) {
+  server_.listen_unix(path);
+}
+
+void PlanServer::start() {
+  server_.start();
+  if (!options_.registry_path.empty() && options_.flush_interval > 0) {
+    flush_thread_ = std::thread([this] { flush_loop(); });
+  }
+}
+
+bool PlanServer::flush() {
+  if (options_.registry_path.empty()) return true;
+  try {
+    registry_.merge_save(options_.registry_path, options_.policy);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::exception& e) {
+    flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    last_error_ = e.what();
+    return false;
+  }
+}
+
+void PlanServer::flush_loop() {
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  const auto interval =
+      std::chrono::duration<double>(options_.flush_interval);
+  while (!flush_stop_) {
+    if (flush_cv_.wait_for(lock, interval, [this] { return flush_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    flush();
+    lock.lock();
+  }
+}
+
+void PlanServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Order matters for the graceful-shutdown guarantee: stop accepting
+  // and DRAIN in-flight requests first (their PUTs/SYNCs still land),
+  // then persist the final state.
+  server_.stop();
+  if (flush_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      flush_stop_ = true;
+    }
+    flush_cv_.notify_all();
+    flush_thread_.join();
+  }
+  flush();
+}
+
+net::Frame PlanServer::handle(const net::Frame& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (request.op) {
+    case net::Op::kPing:
+      pings_.fetch_add(1, std::memory_order_relaxed);
+      return {net::Op::kOk, request.payload};
+    case net::Op::kGetPlan: {
+      gets_.fetch_add(1, std::memory_order_relaxed);
+      PlanEntry entry;
+      // peek, not lookup: remote traffic must not distort the server
+      // registry's own hit/miss counters (the client records the miss).
+      if (!registry_.peek(request.payload, &entry)) {
+        return {net::Op::kNotFound, ""};
+      }
+      get_hits_.fetch_add(1, std::memory_order_relaxed);
+      return {net::Op::kOk, encode_plan(request.payload, entry)};
+    }
+    case net::Op::kPutPlan: {
+      puts_.fetch_add(1, std::memory_order_relaxed);
+      std::string signature;
+      PlanEntry entry;
+      // A malformed record throws -> the net layer replies kError and
+      // keeps the connection; the registry is never touched.
+      decode_plan(request.payload, &signature, &entry);
+      const bool accepted = registry_.publish(signature, entry);
+      if (accepted) put_accepted_.fetch_add(1, std::memory_order_relaxed);
+      return {net::Op::kOk, accepted ? "1" : "0"};
+    }
+    case net::Op::kSync: {
+      syncs_.fetch_add(1, std::memory_order_relaxed);
+      if (!request.payload.empty()) {
+        // Strict parse: a corrupt sync payload rejects the whole round
+        // (merge_stream parses everything before merging anything), so
+        // the server registry stays consistent.
+        sync_entries_in_.fetch_add(
+            registry_.merge_text(request.payload, "<sync>"),
+            std::memory_order_relaxed);
+      }
+      return {net::Op::kOk, registry_.to_text()};
+    }
+    case net::Op::kStats:
+      stats_requests_.fetch_add(1, std::memory_order_relaxed);
+      return {net::Op::kOk, stats_text()};
+    default:
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      throw Error("unknown plan-protocol op " +
+                  std::to_string(static_cast<unsigned>(request.op)));
+  }
+}
+
+std::string PlanServer::stats_text() const {
+  const PlanServerStats s = stats();
+  std::string out;
+  auto line = [&out](const char* key, std::size_t value) {
+    out += key;
+    out.push_back('\t');
+    out += std::to_string(value);
+    out.push_back('\n');
+  };
+  line("requests", s.requests);
+  line("gets", s.gets);
+  line("get_hits", s.get_hits);
+  line("puts", s.puts);
+  line("put_accepted", s.put_accepted);
+  line("syncs", s.syncs);
+  line("sync_entries_in", s.sync_entries_in);
+  line("pings", s.pings);
+  line("bad_requests", s.bad_requests);
+  line("flushes", s.flushes);
+  line("flush_failures", s.flush_failures);
+  line("registry_size", registry_.size());
+  line("protocol_errors", s.net.protocol_errors);
+  line("open_connections", s.net.open_connections);
+  return out;
+}
+
+PlanServerStats PlanServer::stats() const {
+  PlanServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.get_hits = get_hits_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.put_accepted = put_accepted_.load(std::memory_order_relaxed);
+  s.syncs = syncs_.load(std::memory_order_relaxed);
+  s.sync_entries_in = sync_entries_in_.load(std::memory_order_relaxed);
+  s.pings = pings_.load(std::memory_order_relaxed);
+  s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.flush_failures = flush_failures_.load(std::memory_order_relaxed);
+  s.net = server_.stats();
+  return s;
+}
+
+std::string PlanServer::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+}  // namespace barracuda::serve::remote

@@ -1,0 +1,130 @@
+// PlanServer: a PlanRegistry behind the frame protocol — the L2 tier N
+// front-end processes share one logical registry through.
+//
+// Operations (all better-wins, so the server's registry is as monotone
+// as any local one):
+//
+//   PING      liveness; payload echoed
+//   GET_PLAN  signature -> the server's current entry (kNotFound when
+//             unknown).  Uses peek(), so remote lookups do not distort
+//             the server registry's own hit/miss counters.
+//   PUT_PLAN  offer one entry; the reply says whether it won
+//   SYNC      full anti-entropy: the client's to_text() registry merges
+//             in (better-wins entries, max/freshest demand union), the
+//             server's to_text() goes back — after one round trip both
+//             sides hold the exact union
+//   STATS     key\tvalue counter lines, for operators and tests
+//
+// Persistence: with a registry_path configured the server merge_saves
+// on a flush-interval timer and — always — on stop(), so a SIGTERM'd
+// server leaves the fleet's union on disk (through the same atomic
+// temp+rename and flock protocol every other writer uses).  stop() is
+// the graceful-shutdown path: drain in-flight requests, final save,
+// then return; it never throws (save failures land in stats/last_error
+// — shutdown must reach exit 0).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "serve/registry.hpp"
+#include "support/recovery.hpp"
+
+namespace barracuda::serve::remote {
+
+struct PlanServerOptions {
+  net::ServerOptions net;
+  /// Registry file to merge_save into ("" = in-memory only).
+  std::string registry_path;
+  /// Seconds between background merge_saves (0 = only at stop()).
+  double flush_interval = 0;
+  /// Recovery policy for absorbing the existing file on merge_save.
+  support::RecoveryPolicy policy = support::RecoveryPolicy::kStrict;
+};
+
+struct PlanServerStats {
+  std::size_t requests = 0;
+  std::size_t gets = 0;
+  std::size_t get_hits = 0;
+  std::size_t puts = 0;
+  std::size_t put_accepted = 0;
+  std::size_t syncs = 0;
+  std::size_t sync_entries_in = 0;  ///< entry lines absorbed from SYNCs
+  std::size_t pings = 0;
+  std::size_t stats_requests = 0;
+  std::size_t bad_requests = 0;     ///< well-framed but unknown ops
+  std::size_t flushes = 0;          ///< successful merge_saves
+  std::size_t flush_failures = 0;
+  net::ServerStats net;
+};
+
+class PlanServer {
+ public:
+  /// The registry must outlive the server; it may be shared with other
+  /// in-process users (every op is just a registry call).
+  explicit PlanServer(PlanRegistry& registry, PlanServerOptions options = {});
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Listener setup, before start().  listen_tcp returns the bound port
+  /// (useful with port 0).
+  std::uint16_t listen_tcp(const std::string& host, std::uint16_t port);
+  void listen_unix(const std::string& path);
+
+  void start();
+
+  /// Graceful shutdown: drain in-flight requests, close connections,
+  /// stop the flush timer, run the final merge_save.  Never throws;
+  /// idempotent.
+  void stop();
+
+  /// Run one merge_save now (no-op without a registry_path).  Returns
+  /// false on failure (recorded in stats).
+  bool flush();
+
+  PlanServerStats stats() const;
+  /// Most recent flush failure text ("" when none).
+  std::string last_error() const;
+
+  PlanRegistry& registry() { return registry_; }
+
+ private:
+  net::Frame handle(const net::Frame& request);
+  std::string stats_text() const;
+  void flush_loop();
+
+  PlanRegistry& registry_;
+  PlanServerOptions options_;
+  net::Server server_;
+
+  std::thread flush_thread_;
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  bool flush_stop_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
+
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> gets_{0};
+  std::atomic<std::size_t> get_hits_{0};
+  std::atomic<std::size_t> puts_{0};
+  std::atomic<std::size_t> put_accepted_{0};
+  std::atomic<std::size_t> syncs_{0};
+  std::atomic<std::size_t> sync_entries_in_{0};
+  std::atomic<std::size_t> pings_{0};
+  std::atomic<std::size_t> stats_requests_{0};
+  std::atomic<std::size_t> bad_requests_{0};
+  std::atomic<std::size_t> flushes_{0};
+  std::atomic<std::size_t> flush_failures_{0};
+};
+
+}  // namespace barracuda::serve::remote

@@ -1,0 +1,183 @@
+#include "serve/remote/remoteregistry.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "serve/remote/wire.hpp"
+#include "support/error.hpp"
+
+namespace barracuda::serve::remote {
+
+namespace {
+
+net::ClientOptions client_options(const RemoteRegistryOptions& options) {
+  net::ClientOptions out;
+  out.timeout = options.timeout;
+  out.max_payload = options.max_payload;
+  return out;
+}
+
+}  // namespace
+
+RemoteRegistry::RemoteRegistry(net::Endpoint endpoint,
+                               RemoteRegistryOptions options)
+    : options_(options),
+      client_(std::move(endpoint), client_options(options)) {}
+
+bool RemoteRegistry::ensure_link() {
+  if (client_.connected()) return true;
+  const auto now = std::chrono::steady_clock::now();
+  if (down_) {
+    const std::chrono::duration<double> since_down = now - down_since_;
+    if (since_down.count() < options_.reconnect_cooldown) {
+      return false;  // breaker open: serve local-only, do not even try
+    }
+    // Half-open: this call is the single reconnect probe.
+    ++reconnect_probes_;
+  }
+  try {
+    client_.connect();
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    down_ = true;
+    down_since_ = std::chrono::steady_clock::now();
+    return false;
+  }
+  if (down_) {
+    down_ = false;
+    ++reconnect_healed_;
+  }
+  return true;
+}
+
+void RemoteRegistry::fail_link(const char* op, const std::exception& error) {
+  ++errors_;
+  last_error_ = std::string(op) + ": " + error.what();
+  client_.close();
+  down_ = true;
+  down_since_ = std::chrono::steady_clock::now();
+}
+
+bool RemoteRegistry::roundtrip(const char* op, const net::Frame& request,
+                               net::Frame* response) {
+  // Caller holds mutex_.
+  if (!ensure_link()) {
+    ++errors_;
+    return false;
+  }
+  try {
+    *response = client_.request(request);
+  } catch (const std::exception& e) {
+    fail_link(op, e);  // transport failure: drop the link, open breaker
+    return false;
+  }
+  if (response->op == net::Op::kError) {
+    // The server rejected THIS request but the transport works: count
+    // the error, keep the link.  (A server that additionally closed the
+    // connection surfaces as a transport failure on the next round
+    // trip, which opens the breaker then.)
+    ++errors_;
+    last_error_ = std::string(op) + ": server error: " + response->payload;
+    return false;
+  }
+  return true;
+}
+
+RemoteStatus RemoteRegistry::fetch(const std::string& signature,
+                                   PlanEntry* entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++gets_;
+  net::Frame response;
+  if (!roundtrip("get_plan", {net::Op::kGetPlan, signature}, &response)) {
+    return RemoteStatus::kUnavailable;
+  }
+  if (response.op == net::Op::kNotFound) return RemoteStatus::kMiss;
+  try {
+    std::string decoded_signature;
+    decode_plan(response.payload, &decoded_signature, entry);
+    if (decoded_signature != signature) {
+      throw Error("plan server answered for signature '" + decoded_signature +
+                  "', asked for '" + signature + "'");
+    }
+  } catch (const std::exception& e) {
+    // A server speaking the protocol but returning garbage records is
+    // as unusable as a dead one — same degradation path.
+    fail_link("get_plan", e);
+    return RemoteStatus::kUnavailable;
+  }
+  ++get_hits_;
+  return RemoteStatus::kHit;
+}
+
+bool RemoteRegistry::publish(const std::string& signature,
+                             const PlanEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++puts_;
+  net::Frame request{net::Op::kPutPlan, ""};
+  try {
+    request.payload = encode_plan(signature, entry);
+  } catch (const std::exception& e) {
+    ++errors_;
+    last_error_ = std::string("put_plan: ") + e.what();
+    return false;
+  }
+  net::Frame response;
+  if (!roundtrip("put_plan", request, &response)) return false;
+  const bool accepted = response.payload == "1";
+  if (accepted) ++put_accepted_;
+  return accepted;
+}
+
+bool RemoteRegistry::sync(PlanRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++syncs_;
+  net::Frame request{net::Op::kSync, ""};
+  try {
+    request.payload = registry.to_text();
+  } catch (const std::exception& e) {
+    ++errors_;
+    last_error_ = std::string("sync: ") + e.what();
+    return false;
+  }
+  net::Frame response;
+  if (!roundtrip("sync", request, &response)) return false;
+  try {
+    registry.merge_text(response.payload, "<plan-server>");
+  } catch (const std::exception& e) {
+    fail_link("sync", e);
+    return false;
+  }
+  return true;
+}
+
+bool RemoteRegistry::ping() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  net::Frame response;
+  return roundtrip("ping", {net::Op::kPing, "barracuda"}, &response);
+}
+
+bool RemoteRegistry::stats_text(std::string* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  net::Frame response;
+  if (!roundtrip("stats", {net::Op::kStats, ""}, &response)) return false;
+  *out = response.payload;
+  return true;
+}
+
+RemoteRegistryStats RemoteRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RemoteRegistryStats s;
+  s.gets = gets_;
+  s.get_hits = get_hits_;
+  s.puts = puts_;
+  s.put_accepted = put_accepted_;
+  s.syncs = syncs_;
+  s.errors = errors_;
+  s.reconnect_probes = reconnect_probes_;
+  s.reconnect_healed = reconnect_healed_;
+  s.link_up = client_.connected();
+  s.last_error = last_error_;
+  return s;
+}
+
+}  // namespace barracuda::serve::remote

@@ -1,0 +1,109 @@
+// RemoteRegistry: the production RemoteBackend — a blocking frame
+// client to a PlanServer, wrapped in the same half-open breaker shape
+// the TuningService uses for poisoned tunes, applied to the CONNECTION:
+//
+//   closed (link up)   operations run; any transport failure closes the
+//                      socket and opens the breaker
+//   open               operations return kUnavailable/false instantly —
+//                      the node serves local-only, no client ever waits
+//                      on a dead server — until reconnect_cooldown has
+//                      elapsed
+//   half-open          the next operation admits exactly ONE reconnect
+//                      probe (callers serialize on the link mutex, so
+//                      "exactly one" is structural): success heals the
+//                      link and runs the operation; failure re-opens
+//                      the breaker with a fresh cool-down
+//
+// An application-level kError response (the server rejected one
+// request) counts as an error but does NOT open the breaker — the
+// transport demonstrably works.  A server that closed the connection
+// after a protocol error surfaces as a transport failure on the next
+// operation, which is what trips the breaker and later exercises the
+// reconnect probe.
+//
+// Fault site: `serve.remote.publish` is armed at the TuningService's
+// publish call site (the layer above), so this class stays a pure
+// transport.  `net.read`/`net.write`/`net.frame.corrupt` fire inside
+// the frame I/O this class performs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/client.hpp"
+#include "serve/remotebackend.hpp"
+
+namespace barracuda::serve::remote {
+
+struct RemoteRegistryOptions {
+  /// Per-operation socket timeout in seconds.
+  double timeout = 5.0;
+  /// Seconds an opened link breaker waits before admitting one
+  /// reconnect probe.
+  double reconnect_cooldown = 1.0;
+  std::size_t max_payload = net::kMaxPayload;
+};
+
+struct RemoteRegistryStats {
+  std::size_t gets = 0;
+  std::size_t get_hits = 0;
+  std::size_t puts = 0;
+  std::size_t put_accepted = 0;
+  std::size_t syncs = 0;
+  std::size_t errors = 0;         ///< failed operations (any cause)
+  std::size_t reconnect_probes = 0;
+  std::size_t reconnect_healed = 0;
+  bool link_up = false;
+  std::string last_error;
+};
+
+class RemoteRegistry : public RemoteBackend {
+ public:
+  explicit RemoteRegistry(net::Endpoint endpoint,
+                          RemoteRegistryOptions options = {});
+
+  // RemoteBackend: never throws, never blocks past the socket timeout.
+  RemoteStatus fetch(const std::string& signature, PlanEntry* entry) override;
+  bool publish(const std::string& signature, const PlanEntry& entry) override;
+  bool sync(PlanRegistry& registry) override;
+
+  /// Liveness round trip (also a cheap way to force a reconnect probe).
+  bool ping();
+
+  /// The server's STATS text; false when unavailable.
+  bool stats_text(std::string* out);
+
+  RemoteRegistryStats stats() const;
+
+  const net::Endpoint& endpoint() const { return client_.endpoint(); }
+
+ private:
+  /// Under mutex_: true when the link is usable — connected, or
+  /// (re)connected by this call.  Applies the breaker policy.
+  bool ensure_link();
+  /// Under mutex_: record a failed operation and open the breaker.
+  void fail_link(const char* op, const std::exception& error);
+  /// One guarded round trip; kError responses do not drop the link.
+  bool roundtrip(const char* op, const net::Frame& request,
+                 net::Frame* response);
+
+  RemoteRegistryOptions options_;
+  mutable std::mutex mutex_;  ///< serializes the link and all RTTs
+  net::Client client_;
+  bool down_ = false;
+  std::chrono::steady_clock::time_point down_since_{};
+  std::string last_error_;
+
+  std::size_t gets_ = 0;
+  std::size_t get_hits_ = 0;
+  std::size_t puts_ = 0;
+  std::size_t put_accepted_ = 0;
+  std::size_t syncs_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t reconnect_probes_ = 0;
+  std::size_t reconnect_healed_ = 0;
+};
+
+}  // namespace barracuda::serve::remote

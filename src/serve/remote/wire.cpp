@@ -1,0 +1,88 @@
+#include "serve/remote/wire.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace barracuda::serve::remote {
+
+std::string encode_plan(const std::string& signature,
+                        const PlanEntry& entry) {
+  if (signature.find_first_of("\t\n") != std::string::npos) {
+    throw Error("plan signature contains tab/newline, not encodable: " +
+                signature);
+  }
+  if (entry.recipe_text.find_first_of("\t;") != std::string::npos) {
+    throw Error("plan recipe contains tab/';', not encodable (signature " +
+                signature + ")");
+  }
+  const std::string flat = flatten_recipe(entry.recipe_text);
+  if (flat.empty()) {
+    throw Error("plan entry has an empty recipe (signature " + signature +
+                ")");
+  }
+  if (!std::isfinite(entry.modeled_us)) {
+    throw Error("plan modeled time for '" + signature +
+                "' is not finite, not encodable");
+  }
+  char time_text[64];
+  std::snprintf(time_text, sizeof time_text, "%.17g", entry.modeled_us);
+  std::string out = time_text;
+  out.push_back('\t');
+  out += entry.tuned ? '1' : '0';
+  out.push_back('\t');
+  out += std::to_string(entry.variant);
+  out.push_back('\t');
+  out += flat;
+  out.push_back('\t');
+  out += signature;
+  return out;
+}
+
+void decode_plan(const std::string& text, std::string* signature,
+                 PlanEntry* entry) {
+  const std::vector<std::string> fields = split(text, '\t');
+  if (fields.size() != 5) {
+    throw Error("malformed wire plan record (expected "
+                "<us>\\t<tuned>\\t<variant>\\t<recipe>\\t<sig>, got " +
+                std::to_string(fields.size()) + " fields)");
+  }
+  PlanEntry decoded;
+  char* end = nullptr;
+  decoded.modeled_us = std::strtod(fields[0].c_str(), &end);
+  if (end == fields[0].c_str() || *end != '\0' ||
+      !std::isfinite(decoded.modeled_us)) {
+    throw Error("bad modeled time in wire plan record: '" + fields[0] + "'");
+  }
+  if (fields[1] == "0") {
+    decoded.tuned = false;
+  } else if (fields[1] == "1") {
+    decoded.tuned = true;
+  } else {
+    throw Error("bad tuned flag in wire plan record: '" + fields[1] + "'");
+  }
+  decoded.variant =
+      static_cast<std::size_t>(std::strtoull(fields[2].c_str(), &end, 10));
+  if (end == fields[2].c_str() || *end != '\0') {
+    throw Error("bad variant index in wire plan record: '" + fields[2] + "'");
+  }
+  decoded.recipe_text = unflatten_recipe(fields[3]);
+  // Parse-at-decode keeps the remote warm path zero-reparse, exactly
+  // like load()'s parse-at-load — and validates the recipe before the
+  // entry can reach any registry.
+  decoded.parsed = std::make_shared<const chill::Recipe>(
+      core::parse_recipe(decoded.recipe_text, "<plan-wire>"));
+  if (fields[4].empty()) {
+    throw Error("empty signature in wire plan record");
+  }
+  *signature = fields[4];
+  *entry = std::move(decoded);
+}
+
+}  // namespace barracuda::serve::remote

@@ -1,0 +1,28 @@
+// Payload encodings for the plan protocol's GET_PLAN/PUT_PLAN ops: one
+// (signature, PlanEntry) pair as a single tab-separated text line,
+// deliberately the same record shape as the registry file format
+//
+//   <modeled_us>\t<tuned 0|1>\t<variant>\t<recipe-flattened>\t<signature>
+//
+// so anything that can read a v1 registry line can read a wire plan.
+// SYNC payloads need no encoder of their own — they carry full
+// PlanRegistry::to_text() / merge_text() v2 registry text.
+#pragma once
+
+#include <string>
+
+#include "serve/registry.hpp"
+
+namespace barracuda::serve::remote {
+
+/// Encode one plan record.  Throws Error on unserializable entries
+/// (same validation rules as PlanRegistry::save).
+std::string encode_plan(const std::string& signature, const PlanEntry& entry);
+
+/// Decode one plan record into (*signature, *entry), parsing the recipe
+/// into entry->parsed so a remote hit serves zero-reparse like a warm
+/// local one.  Throws Error on malformed text.
+void decode_plan(const std::string& text, std::string* signature,
+                 PlanEntry* entry);
+
+}  // namespace barracuda::serve::remote

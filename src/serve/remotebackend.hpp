@@ -1,0 +1,48 @@
+// The TuningService's view of a remote (L2) plan tier, kept free of any
+// network headers: the service consults a RemoteBackend on a local
+// (L1) registry miss, publishes freshly tuned plans through it, and
+// periodically runs full anti-entropy syncs against it.  The production
+// implementation is serve::remote::RemoteRegistry (a socket client with
+// a half-open reconnect breaker); tests substitute in-process fakes.
+//
+// Contract: implementations NEVER throw and NEVER block unboundedly —
+// a broken or slow backend must degrade the node to local-only
+// serving, not fail or stall a request.  Failures are reported through
+// the return values (kUnavailable / false).
+#pragma once
+
+#include <string>
+
+#include "serve/registry.hpp"
+
+namespace barracuda::serve {
+
+enum class RemoteStatus {
+  kHit,          ///< the backend returned a plan
+  kMiss,         ///< the backend is healthy but has no plan
+  kUnavailable,  ///< the backend cannot be reached right now
+};
+
+class RemoteBackend {
+ public:
+  virtual ~RemoteBackend() = default;
+
+  /// Look `signature` up on the backend; fills *entry on kHit.
+  virtual RemoteStatus fetch(const std::string& signature,
+                             PlanEntry* entry) = 0;
+
+  /// Offer `entry` to the backend (better-wins on its side).  Returns
+  /// true when the backend ACCEPTED the offer as an improvement; false
+  /// on "already have better" and on failure alike — publish is
+  /// best-effort by design.
+  virtual bool publish(const std::string& signature,
+                       const PlanEntry& entry) = 0;
+
+  /// One full anti-entropy round: push `registry`'s state, absorb the
+  /// backend's in return (both sides converge to the exact union —
+  /// better-wins entries, max/freshest demand).  Returns false when the
+  /// round could not complete.
+  virtual bool sync(PlanRegistry& registry) = 0;
+};
+
+}  // namespace barracuda::serve

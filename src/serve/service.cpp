@@ -61,26 +61,33 @@ TuningService::TuningService(PlanRegistry& registry, ServeOptions options)
                       "breaker cool-down must be >= 0");
   BARRACUDA_CHECK_MSG(options_.retune_interval >= 0,
                       "retune interval must be >= 0");
+  BARRACUDA_CHECK_MSG(options_.anti_entropy_interval >= 0,
+                      "anti-entropy interval must be >= 0");
   known_.store(std::make_shared<const ContextMap>(),
                std::memory_order_relaxed);
   if (options_.retune_interval > 0) {
     retune_thread_ = std::thread([this] { retune_loop(); });
   }
+  if (options_.remote && options_.anti_entropy_interval > 0) {
+    anti_entropy_thread_ = std::thread([this] { anti_entropy_loop(); });
+  }
 }
 
 TuningService::~TuningService() {
-  // Stop the re-tune scheduler FIRST — it must not enqueue new work
-  // while we drain — then let in-flight tasks finish: they capture
-  // `this`, so they must complete before the members they touch are
-  // destroyed.  Their upgrades still land in the registry, which
-  // outlives the service by contract.
-  if (retune_thread_.joinable()) {
+  // Stop the maintenance threads FIRST — neither the re-tune scheduler
+  // nor the anti-entropy sync may start new work while we drain — then
+  // let in-flight tasks finish: they capture `this`, so they must
+  // complete before the members they touch are destroyed.  Their
+  // upgrades still land in the registry, which outlives the service by
+  // contract.
+  if (retune_thread_.joinable() || anti_entropy_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(retune_mutex_);
       retune_stop_ = true;
     }
     retune_cv_.notify_all();
-    retune_thread_.join();
+    if (retune_thread_.joinable()) retune_thread_.join();
+    if (anti_entropy_thread_.joinable()) anti_entropy_thread_.join();
   }
   drain();
 }
@@ -120,6 +127,46 @@ ServedPlan TuningService::serve_signature(std::string sig,
     registry_.record_demand(served.signature, served.plan.modeled_us, count);
     remember_signature(served.signature, problem, device);
     return served;
+  }
+
+  // Local (L1) miss: consult the remote (L2) tier first — a fleet that
+  // already tuned this signature answers it here, and the node inherits
+  // the plan instead of redoing the tune.  The backend contract says
+  // fetch never throws and never blocks unboundedly, but a remote tier
+  // must NEVER be able to fail a request, so the call is fenced anyway.
+  if (options_.remote) {
+    PlanEntry fetched;
+    RemoteStatus status = RemoteStatus::kUnavailable;
+    try {
+      status = options_.remote->fetch(served.signature, &fetched);
+    } catch (...) {
+      status = RemoteStatus::kUnavailable;
+    }
+    switch (status) {
+      case RemoteStatus::kHit: {
+        remote_hits_.fetch_add(1, std::memory_order_relaxed);
+        served.source = ServedPlan::Source::kRemote;
+        // Publish into L1 better-wins and serve what the registry then
+        // holds — same monotonicity rule as the cold path.
+        served.plan = registry_.publish_and_get(served.signature, fetched);
+        if (!served.plan.tuned) {
+          served.scheduled_tune =
+              maybe_schedule(served.signature, problem, device);
+        }
+        registry_.record_demand(served.signature, served.plan.modeled_us,
+                                count);
+        remember_signature(served.signature, problem, device);
+        return served;
+      }
+      case RemoteStatus::kMiss:
+        remote_misses_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RemoteStatus::kUnavailable:
+        // Degraded to local-only for this request; the backend's own
+        // breaker decides when to probe the link again.
+        remote_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
   }
 
   // Cold signature: compute the cheap fallback, publish it better-wins
@@ -379,6 +426,8 @@ void TuningService::run_tune(const std::string& sig,
   std::size_t attempts = 0;
   std::size_t extra_attempts = 0;
   std::string error_text;
+  PlanEntry tuned;  // hoisted: a successful run's entry outlives the
+                    // loop so it can be published to the remote tier
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       // Retrying after the deadline expired (or an external should_stop
@@ -406,7 +455,7 @@ void TuningService::run_tune(const std::string& sig,
       // tests can poison re-tunes without touching cold tunes.
       support::fault::maybe_throw(retune ? "serve.retune" : "serve.tune");
       core::TuneResult result = core::tune(problem, device, tune_options);
-      PlanEntry tuned;
+      tuned = PlanEntry{};
       tuned.variant = result.best_variant;
       tuned.recipe_text = core::serialize_recipe(result.best_recipe);
       tuned.modeled_us = finite_us(result.modeled_us());
@@ -431,6 +480,31 @@ void TuningService::run_tune(const std::string& sig,
     }
   }
 
+  // Share the win with the fleet: offer the tuned entry to the remote
+  // tier (better-wins on the server side), outside any service lock.
+  // Best-effort by contract — a dead or refusing backend costs one
+  // remote_errors tick, never the tune.  `serve.remote.publish` models
+  // this publish step itself failing (e.g. encoding a pathological
+  // entry) independently of the socket-level net.* sites.
+  std::string remote_error_text;
+  if (succeeded && options_.remote) {
+    try {
+      support::fault::maybe_throw("serve.remote.publish");
+      // false covers both "backend already holds better" and "backend
+      // unreachable" — the backend's own stats split those; only an
+      // accepted offer counts as a publish here.
+      if (options_.remote->publish(sig, tuned)) {
+        remote_publishes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const std::exception& e) {
+      remote_errors_.fetch_add(1, std::memory_order_relaxed);
+      remote_error_text = e.what();
+    } catch (...) {
+      remote_errors_.fetch_add(1, std::memory_order_relaxed);
+      remote_error_text = "non-standard exception";
+    }
+  }
+
   const double seconds = timer.seconds();
   const bool was_expired = expired->load(std::memory_order_relaxed);
   {
@@ -445,6 +519,11 @@ void TuningService::run_tune(const std::string& sig,
       TuneFailure& record = failures_[sig];
       record.attempts = attempts;
       record.last_error = error_text;
+    }
+    // A failed remote publish is diagnostic, not a tune failure: no
+    // failure record, no breaker — the tuned plan IS serving locally.
+    if (!remote_error_text.empty()) {
+      last_error_ = "remote publish: " + remote_error_text;
     }
     if (was_expired) ++deadline_expired_;
     if (succeeded) {
@@ -557,6 +636,41 @@ void TuningService::retune_loop() {
   }
 }
 
+bool TuningService::anti_entropy_pass() {
+  if (!options_.remote) return false;
+  bool completed = false;
+  try {
+    completed = options_.remote->sync(registry_);
+  } catch (...) {
+    completed = false;  // backends must not throw; fence anyway
+  }
+  if (completed) {
+    anti_entropy_rounds_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    remote_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return completed;
+}
+
+void TuningService::anti_entropy_loop() {
+  // Same shape as retune_loop, sharing its stop signal: both are
+  // periodic maintenance ticks that must never hold a lock while
+  // working.  A failed round is already counted by anti_entropy_pass
+  // (the backend's breaker turns a dead server into instant false, so
+  // the loop stays cheap while degraded and heals when a probe does).
+  std::unique_lock<std::mutex> lock(retune_mutex_);
+  const auto interval =
+      std::chrono::duration<double>(options_.anti_entropy_interval);
+  while (!retune_stop_) {
+    if (retune_cv_.wait_for(lock, interval, [this] { return retune_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    anti_entropy_pass();
+    lock.lock();
+  }
+}
+
 void TuningService::drain() {
   BARRACUDA_CHECK_MSG(!support::ThreadPool::on_worker_thread(),
                       "TuningService::drain() would deadlock on a pool "
@@ -605,6 +719,12 @@ ServeStats TuningService::snapshot() const {
   s.plan_cache_misses = plan_cache_misses_.load(std::memory_order_relaxed);
   s.plan_cache_evictions = plan_cache_.evictions();
   s.plan_cache_size = plan_cache_.size();
+  s.remote_hits = remote_hits_.load(std::memory_order_relaxed);
+  s.remote_misses = remote_misses_.load(std::memory_order_relaxed);
+  s.remote_publishes = remote_publishes_.load(std::memory_order_relaxed);
+  s.remote_errors = remote_errors_.load(std::memory_order_relaxed);
+  s.anti_entropy_rounds =
+      anti_entropy_rounds_.load(std::memory_order_relaxed);
   s.registry_hits = registry_.hits();
   s.registry_misses = registry_.misses();
   s.upgrades = registry_.upgrades();

@@ -94,6 +94,7 @@
 #include "octopi/ast.hpp"
 #include "serve/plancache.hpp"
 #include "serve/registry.hpp"
+#include "serve/remotebackend.hpp"
 #include "serve/signature.hpp"
 
 namespace barracuda::serve {
@@ -157,6 +158,20 @@ struct ServeOptions {
   /// RE-TUNE to qualify as hot (clamped to >= 1) — a signature re-tuned
   /// once must earn fresh traffic before being re-tuned again.
   std::uint64_t hot_threshold = 16;
+  /// Remote (L2) plan tier.  When set, a LOCAL registry miss consults
+  /// the backend before falling back to the cold path: a remote hit is
+  /// published into the local registry (better-wins) and served like a
+  /// warm answer — the node inherits the fleet's tuning instead of
+  /// redoing it.  Freshly tuned plans are published back through the
+  /// backend (best-effort; counted in ServeStats::remote_errors when
+  /// it fails).  The warm L1 path never touches the backend.  nullptr
+  /// (the default) keeps the service purely local.
+  std::shared_ptr<RemoteBackend> remote;
+  /// Seconds between background anti-entropy rounds against `remote`
+  /// (full-registry sync; see RemoteBackend::sync).  0 (the default)
+  /// starts no thread — call anti_entropy_pass() explicitly.  Ignored
+  /// without a remote backend.
+  double anti_entropy_interval = 0;
 };
 
 /// What one get_plan request was answered with.
@@ -166,8 +181,9 @@ struct ServedPlan {
   /// registry's current best for the signature at answer time.
   PlanEntry plan;
   enum class Source {
-    kWarm,  ///< registry hit
-    kCold,  ///< fallback computed by this request
+    kWarm,    ///< local registry hit
+    kCold,    ///< fallback computed by this request
+    kRemote,  ///< local miss answered by the remote (L2) plan tier
   };
   Source source = Source::kWarm;
   /// True when this request enqueued the background tune (at most one
@@ -262,6 +278,16 @@ struct ServeStats {
   std::size_t retunes_scheduled = 0;
   std::size_t retunes_completed = 0;
   std::size_t retunes_improved = 0;
+  /// Remote (L2) plan tier, all zero without ServeOptions::remote:
+  /// local misses answered by the backend (each skipped a cold tune),
+  /// local misses the backend also missed, tuned plans published back,
+  /// failed backend operations (the node degraded to local-only for
+  /// that op), and completed anti-entropy rounds.
+  std::size_t remote_hits = 0;
+  std::size_t remote_misses = 0;
+  std::size_t remote_publishes = 0;
+  std::size_t remote_errors = 0;
+  std::size_t anti_entropy_rounds = 0;
   /// Demand recorded on the shared registry: total requests (including
   /// baselines loaded from v2 files) and the merged served-latency
   /// histogram across every signature.
@@ -361,6 +387,15 @@ class TuningService {
   /// 0) calls exactly this.
   std::vector<std::string> retune_pass();
 
+  /// Run one anti-entropy round against ServeOptions::remote: push the
+  /// local registry's full state, absorb the backend's in return (both
+  /// converge to the exact union — better-wins entries, max/freshest
+  /// demand).  Returns true when the round completed; false without a
+  /// backend or when it is unavailable (counted in remote_errors).
+  /// Thread-safe; the background thread (anti_entropy_interval > 0)
+  /// calls exactly this.
+  bool anti_entropy_pass();
+
   /// True (and fills *failure) when `signature`'s most recent tune run
   /// had at least one failing attempt.
   bool last_failure(const std::string& signature, TuneFailure* failure) const;
@@ -421,6 +456,9 @@ class TuningService {
                           const vgpu::DeviceProfile& device);
   /// Body of the retune_interval scheduler thread.
   void retune_loop();
+  /// Body of the anti_entropy_interval sync thread (shares the retune
+  /// stop signal — both are periodic maintenance loops).
+  void anti_entropy_loop();
 
   PlanRegistry& registry_;
   ServeOptions options_;
@@ -437,6 +475,14 @@ class TuningService {
   std::atomic<std::size_t> plan_cache_hits_{0};
   std::atomic<std::size_t> plan_cache_stale_{0};
   std::atomic<std::size_t> plan_cache_misses_{0};
+  /// Remote (L2) tier counters — relaxed atomics because the fetch and
+  /// publish sites run outside mutex_ (fetch on the miss path before
+  /// scheduling, publish on the tune worker after its run).
+  std::atomic<std::size_t> remote_hits_{0};
+  std::atomic<std::size_t> remote_misses_{0};
+  std::atomic<std::size_t> remote_publishes_{0};
+  std::atomic<std::size_t> remote_errors_{0};
+  std::atomic<std::size_t> anti_entropy_rounds_{0};
 
   /// mutex_ protects ONLY the tune-scheduling state below — it is taken
   /// on the miss/untuned path and by tune workers, never by a warm hit.
@@ -491,6 +537,7 @@ class TuningService {
   std::condition_variable retune_cv_;
   bool retune_stop_ = false;
   std::thread retune_thread_;
+  std::thread anti_entropy_thread_;
 };
 
 /// Re-lower a served plan for execution or code emission: enumerate the

@@ -38,6 +38,15 @@
 //   serve.tune               TuningService, at each background tune attempt
 //   serve.retune             TuningService, at each re-tune attempt
 //   serve.retune.enqueue     TuningService::retune_pass, per candidate
+//   serve.remote.publish     TuningService::run_tune, before offering a
+//                            tuned plan to the remote tier
+//   net.accept               net::Server, each accepted connection (hit()
+//                            true = drop the connection immediately)
+//   net.read                 netio::read_exact, per call (client and server)
+//   net.write                netio::write_all, per call (client and server)
+//   net.frame.corrupt        net::write_frame, per frame (hit() true =
+//                            flip a checksum byte on the wire — the
+//                            receiver must reject the frame)
 #pragma once
 
 #include <atomic>

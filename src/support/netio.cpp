@@ -1,0 +1,70 @@
+#include "support/netio.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/faultinject.hpp"
+
+namespace barracuda::support::netio {
+namespace {
+
+std::string errno_text(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool read_exact(int fd, void* data, std::size_t size) {
+  // `net.read` models the whole span failing (reset, timeout) — it
+  // fires before any byte moves so callers see an ordinary I/O error.
+  fault::maybe_throw("net.read");
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Error("socket read timed out after " + std::to_string(got) +
+                    "/" + std::to_string(size) + " bytes");
+      }
+      throw Error(errno_text("socket read"));
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean end-of-stream
+      throw TruncatedRead("peer closed mid-read after " +
+                          std::to_string(got) + "/" + std::to_string(size) +
+                          " bytes");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  fault::maybe_throw("net.write");
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that closed turns into EPIPE, not SIGPIPE.
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, p + sent, size - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Error("socket write timed out after " + std::to_string(sent) +
+                    "/" + std::to_string(size) + " bytes");
+      }
+      throw Error(errno_text("socket write"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace barracuda::support::netio

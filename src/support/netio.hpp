@@ -1,0 +1,60 @@
+// Robust file-descriptor I/O for the network tier (and any other fd
+// stream): the POSIX read(2)/write(2) contract lets the kernel deliver
+// partial transfers and EINTR at will, so every caller that wants
+// "exactly N bytes or a clean error" needs the same retry loop.  This
+// header is that loop, written once and shared by the frame codec, the
+// plan-server event loop and the blocking client.
+//
+// Error taxonomy (what the distributed tier's recovery logic keys on):
+//
+//   read_exact -> false     the peer closed BEFORE the first byte — a
+//                           normal end-of-stream, not an error.
+//   TruncatedRead           the peer closed MID-transfer: some bytes of
+//                           the requested span arrived, the rest never
+//                           will.  For a framed protocol this is always
+//                           a protocol violation (a torn frame).
+//   Error                   a real I/O failure (ECONNRESET, timeout via
+//                           SO_RCVTIMEO/SO_SNDTIMEO, EBADF, ...).
+//
+// Fault sites: `net.read` fires at the top of read_exact and `net.write`
+// at the top of write_all, so BARRACUDA_FAULTS can fail socket I/O with
+// the same deterministic schedules the persistence sites use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace barracuda::support::netio {
+
+/// The peer closed the stream partway through a read_exact span.
+class TruncatedRead : public Error {
+ public:
+  using Error::Error;
+  explicit TruncatedRead(const std::string& what) : Error(what) {}
+};
+
+/// Read exactly `size` bytes from `fd` into `data`, retrying partial
+/// reads and EINTR.  Returns true on success; false when the stream was
+/// already at end-of-file (zero bytes read).  Throws TruncatedRead when
+/// EOF arrives after the first byte, Error on any other failure
+/// (including an SO_RCVTIMEO timeout).
+bool read_exact(int fd, void* data, std::size_t size);
+
+/// Write all `size` bytes of `data` to `fd`, retrying partial writes
+/// and EINTR.  Sends with MSG_NOSIGNAL so a dead peer surfaces as an
+/// EPIPE Error instead of killing the process with SIGPIPE (plain
+/// write(2) is used for non-socket fds).  Throws Error on failure.
+void write_all(int fd, const void* data, std::size_t size);
+
+/// Bounded frame-length validation: true when a declared payload length
+/// is within the receiver's limit.  A length-prefixed protocol MUST
+/// check this before allocating or reading the payload — a corrupt or
+/// hostile 4-byte length field must never turn into a multi-gigabyte
+/// allocation or an endless read.
+inline bool frame_length_ok(std::uint64_t declared, std::size_t limit) {
+  return declared <= static_cast<std::uint64_t>(limit);
+}
+
+}  // namespace barracuda::support::netio

@@ -1,0 +1,176 @@
+// The framing layer's codec contract: byte-exact header layout, FNV-1a
+// checksums, round trips over real fds, and — the part that matters for
+// a server on an open port — rejection of every corrupt-frame shape
+// (bad magic, wrong version, oversized length, flipped payload bytes,
+// torn header, torn payload) as a FrameError, never a hang or a bogus
+// accepted frame.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "net/frame.hpp"
+#include "support/faultinject.hpp"
+#include "support/netio.hpp"
+
+using namespace barracuda;
+namespace netio = support::netio;
+
+namespace {
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_writer() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+/// Write raw bytes (possibly a deliberately broken frame) to the fd.
+void send_raw(int fd, const std::string& bytes) {
+  netio::write_all(fd, bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+TEST(NetFrame, EncodesTheDocumentedLayout) {
+  net::Frame frame{net::Op::kGetPlan, "sig"};
+  const std::string wire = net::encode_frame(frame);
+  ASSERT_EQ(net::kFrameHeaderSize + 3, wire.size());
+  // magic, little-endian
+  EXPECT_EQ(0x31, static_cast<unsigned char>(wire[0]));
+  EXPECT_EQ(0x50, static_cast<unsigned char>(wire[1]));
+  EXPECT_EQ(0x43, static_cast<unsigned char>(wire[2]));
+  EXPECT_EQ(0x42, static_cast<unsigned char>(wire[3]));
+  EXPECT_EQ(net::kVersion, static_cast<unsigned char>(wire[4]));
+  EXPECT_EQ(static_cast<unsigned char>(net::Op::kGetPlan),
+            static_cast<unsigned char>(wire[5]));
+  EXPECT_EQ(0, wire[6]);
+  EXPECT_EQ(0, wire[7]);
+  // length 3, little-endian
+  EXPECT_EQ(3, wire[8]);
+  EXPECT_EQ(0, wire[9]);
+  EXPECT_EQ("sig", wire.substr(net::kFrameHeaderSize));
+}
+
+TEST(NetFrame, ChecksumIsFnv1a32) {
+  // Independently computed FNV-1a-32 reference values.
+  EXPECT_EQ(0x811c9dc5u, net::checksum32(""));
+  EXPECT_EQ(0xe40c292cu, net::checksum32("a"));
+  EXPECT_EQ(0xbf9cf968u, net::checksum32("foobar"));
+}
+
+TEST(NetFrame, RoundTripsOverARealSocket) {
+  SocketPair pair;
+  net::Frame sent{net::Op::kSync, std::string("payload\nwith\nlines\0x", 20)};
+  net::write_frame(pair.fds[1], sent);
+  net::Frame got;
+  ASSERT_TRUE(net::read_frame(pair.fds[0], &got));
+  EXPECT_EQ(sent.op, got.op);
+  EXPECT_EQ(sent.payload, got.payload);
+}
+
+TEST(NetFrame, RoundTripsAnEmptyPayload) {
+  SocketPair pair;
+  net::write_frame(pair.fds[1], {net::Op::kStats, ""});
+  net::Frame got;
+  ASSERT_TRUE(net::read_frame(pair.fds[0], &got));
+  EXPECT_EQ(net::Op::kStats, got.op);
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(NetFrame, CleanEofAtFrameBoundaryReturnsFalse) {
+  SocketPair pair;
+  pair.close_writer();
+  net::Frame got;
+  EXPECT_FALSE(net::read_frame(pair.fds[0], &got));
+}
+
+TEST(NetFrame, RejectsBadMagic) {
+  SocketPair pair;
+  std::string wire = net::encode_frame({net::Op::kPing, "x"});
+  wire[0] ^= 0xff;
+  send_raw(pair.fds[1], wire);
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}
+
+TEST(NetFrame, RejectsUnsupportedVersion) {
+  SocketPair pair;
+  std::string wire = net::encode_frame({net::Op::kPing, "x"});
+  wire[4] = static_cast<char>(net::kVersion + 1);
+  send_raw(pair.fds[1], wire);
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}
+
+TEST(NetFrame, RejectsOversizedDeclaredLengthBeforeReadingIt) {
+  SocketPair pair;
+  std::string wire = net::encode_frame({net::Op::kPing, "x"});
+  // Declare a 256 MiB payload (none of which will ever be sent): the
+  // reader must reject from the header alone, without blocking on the
+  // missing bytes or allocating the declared size.
+  wire[8] = 0;
+  wire[9] = 0;
+  wire[10] = 0;
+  wire[11] = 0x10;
+  send_raw(pair.fds[1], wire.substr(0, net::kFrameHeaderSize));
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}
+
+TEST(NetFrame, RejectsChecksumMismatch) {
+  SocketPair pair;
+  std::string wire = net::encode_frame({net::Op::kPutPlan, "plan line"});
+  wire[net::kFrameHeaderSize] ^= 0x01;  // flip a payload byte
+  send_raw(pair.fds[1], wire);
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}
+
+TEST(NetFrame, RejectsTornHeader) {
+  SocketPair pair;
+  const std::string wire = net::encode_frame({net::Op::kPing, "x"});
+  send_raw(pair.fds[1], wire.substr(0, 7));  // part of a header, then EOF
+  pair.close_writer();
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}
+
+TEST(NetFrame, RejectsTornPayload) {
+  SocketPair pair;
+  const std::string wire = net::encode_frame({net::Op::kSync, "full text"});
+  send_raw(pair.fds[1], wire.substr(0, wire.size() - 3));
+  pair.close_writer();
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}
+
+TEST(NetFrame, RejectsPayloadBeyondCallerLimit) {
+  SocketPair pair;
+  net::write_frame(pair.fds[1], {net::Op::kSync, std::string(1024, 'p')});
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got, /*max_payload=*/512),
+               net::FrameError);
+}
+
+TEST(NetFrame, CorruptFaultSiteProducesRejectableFrames) {
+  // Arm net.frame.corrupt at probability 1: every written frame has a
+  // checksum byte flipped on the wire, and every read must reject it —
+  // the exact chaos-drill path CI runs against the live server.
+  support::fault::enable("net.frame.corrupt", 1.0, 7);
+  SocketPair pair;
+  net::write_frame(pair.fds[1], {net::Op::kPing, "corrupt me"});
+  support::fault::clear();  // disarm before asserting
+  net::Frame got;
+  EXPECT_THROW(net::read_frame(pair.fds[0], &got), net::FrameError);
+}

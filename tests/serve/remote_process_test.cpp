@@ -1,0 +1,423 @@
+// The distributed tier's multi-process correctness gate: REAL client
+// processes (fork + execv of this binary in a --role) against a plan
+// server, asserting the properties the single-process suites cannot —
+// the server registry converges to the EXACT union of disjoint client
+// sets (demand included, reconciled by max), racing PUTs from separate
+// processes stay better-wins monotone, a SIGTERM'd server process
+// drains and exits 0 with the union on disk, and a SIGKILL landing
+// mid-merge_save never leaves a torn file.
+//
+// This suite owns its binary and its main(): role dispatch must happen
+// before gtest sees argv, and the forked children execv immediately
+// (no non-async-signal-safe work in the forked child), which keeps the
+// test sanitizer-clean even though the parent runs a threaded
+// in-process server.  Child failures surface as distinct exit codes,
+// never as gtest assertions.
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "serve/registry.hpp"
+#include "serve/remote/planserver.hpp"
+#include "serve/remote/remoteregistry.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+namespace remote = barracuda::serve::remote;
+
+// Child exit codes (anything nonzero fails the parent's wait).
+enum RoleExit {
+  kRoleOk = 0,
+  kRoleThrew = 1,
+  kRoleConvergeTimeout = 2,
+  kRoleUnionMismatch = 3,
+  kRoleMonotoneViolation = 4,
+  kRoleFetchMiss = 5,
+  kRoleFlushFailed = 6,
+  kRoleSaverOutlived = 7,
+  kRoleBadArgs = 8,
+};
+
+constexpr int kClients = 3;
+constexpr int kPlansPerClient = 6;
+constexpr int kSaverSignatures = 12;
+const char* const kRaceSig = "device|n=4,|race";
+
+std::string sig(int s) { return "device|n=4,|sig" + std::to_string(s); }
+
+/// The one plan the signature's owning client contributes — a function
+/// of the signature alone, so parent and children agree on the exact
+/// union without communicating.
+PlanEntry owned_plan(int s) {
+  PlanEntry e;
+  e.variant = static_cast<std::size_t>(s);
+  e.recipe_text = "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=" +
+                  std::to_string(s % 7 + 1) + " registers=1 shared=-\n";
+  e.modeled_us = 100.0 + s;
+  e.tuned = s % 2 == 0;
+  return e;
+}
+
+/// Client `writer`'s offer for the contended signature: client 0 holds
+/// the global best (100 us), so better-wins must converge there.
+PlanEntry race_plan(int writer) {
+  PlanEntry e;
+  e.variant = static_cast<std::size_t>(writer);
+  e.recipe_text = "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=" +
+                  std::to_string(writer + 1) + " registers=1 shared=-\n";
+  e.modeled_us = 100.0 + writer;
+  e.tuned = false;
+  return e;
+}
+
+#ifndef _WIN32
+
+/// Bounded wait for the server to come up: the breaker makes each
+/// failed ping cheap, the short cooldown lets the next loop iteration
+/// probe again.
+bool wait_for_server(remote::RemoteRegistry& link) {
+  for (int i = 0; i < 400; ++i) {
+    if (link.ping()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+remote::RemoteRegistry make_link(const std::string& endpoint_text) {
+  remote::RemoteRegistryOptions options;
+  options.timeout = 5.0;
+  options.reconnect_cooldown = 0.02;
+  return remote::RemoteRegistry(net::parse_endpoint(endpoint_text), options);
+}
+
+/// --role client <endpoint> <index>: publish a disjoint six-signature
+/// set plus a contended offer, record demand, then anti-entropy-sync
+/// until this process sees the full union — exact entries, best race
+/// plan, demand at the cross-client max.
+int run_client_role(const std::string& endpoint_text, int index) {
+  PlanRegistry local(4);
+  for (int i = 0; i < kPlansPerClient; ++i) {
+    const int s = index * kPlansPerClient + i;
+    local.publish(sig(s), owned_plan(s));
+  }
+  local.publish(kRaceSig, race_plan(index));
+  // Demand reconciles by max, not sum: client c records 3*(c+1)
+  // requests, so every converged party must read exactly 3*kClients.
+  local.record_demand(kRaceSig, 25.0, static_cast<std::uint64_t>(3 * (index + 1)));
+
+  remote::RemoteRegistry link = make_link(endpoint_text);
+  if (!wait_for_server(link)) return kRoleConvergeTimeout;
+
+  // Exercise the PUT path too: every disjoint signature is news to the
+  // server, so each offer must be accepted.
+  for (int i = 0; i < kPlansPerClient; ++i) {
+    const int s = index * kPlansPerClient + i;
+    if (!link.publish(sig(s), owned_plan(s))) return kRoleUnionMismatch;
+  }
+
+  const std::size_t want_size =
+      static_cast<std::size_t>(kClients * kPlansPerClient) + 1;
+  const std::uint64_t want_demand = 3 * kClients;
+  bool converged = false;
+  for (int round = 0; round < 600 && !converged; ++round) {
+    if (!link.sync(local)) return kRoleConvergeTimeout;
+    DemandStats demand;
+    PlanEntry race;
+    converged = local.size() == want_size && local.peek(kRaceSig, &race) &&
+                race.modeled_us == race_plan(0).modeled_us &&
+                local.demand(kRaceSig, &demand) &&
+                demand.requests == want_demand;
+    if (!converged) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!converged) return kRoleConvergeTimeout;
+
+  // The union is exact: every client's disjoint set, byte-for-byte.
+  for (int s = 0; s < kClients * kPlansPerClient; ++s) {
+    PlanEntry entry;
+    if (!local.peek(sig(s), &entry)) return kRoleUnionMismatch;
+    if (!(entry == owned_plan(s))) return kRoleUnionMismatch;
+  }
+  PlanEntry race;
+  if (link.fetch(kRaceSig, &race) != RemoteStatus::kHit) return kRoleFetchMiss;
+  if (!(race == race_plan(0))) return kRoleUnionMismatch;
+  DemandStats demand;
+  if (!local.demand(kRaceSig, &demand) || demand.requests != want_demand) {
+    return kRoleUnionMismatch;
+  }
+  return kRoleOk;
+}
+
+/// --role racer <endpoint> <index>: hammer PUT_PLAN on one signature in
+/// a scrambled quality order while checking that every fetched
+/// incumbent is no worse than the last one this process observed —
+/// better-wins monotonicity across racing processes.
+int run_racer_role(const std::string& endpoint_text, int index) {
+  remote::RemoteRegistry link = make_link(endpoint_text);
+  if (!wait_for_server(link)) return kRoleConvergeTimeout;
+  double last_seen = 1e300;
+  for (int k = 0; k < 50; ++k) {
+    PlanEntry offer = race_plan(index);
+    // 7 is invertible mod 50, so each racer walks all 50 qualities in a
+    // distinct order and hits the global best (100 us) exactly once.
+    offer.modeled_us = 100.0 + (k * 7 + index * 3) % 50;
+    offer.variant = static_cast<std::size_t>(k);
+    link.publish(kRaceSig, offer);
+    PlanEntry got;
+    if (link.fetch(kRaceSig, &got) != RemoteStatus::kHit) return kRoleFetchMiss;
+    if (got.modeled_us > last_seen + 1e-9) return kRoleMonotoneViolation;
+    last_seen = got.modeled_us;
+  }
+  return kRoleOk;
+}
+
+volatile std::sig_atomic_t g_role_term = 0;
+void role_term_handler(int) { g_role_term = 1; }
+
+/// --role server <unix-socket-path> <registry-path>: a whole plan-server
+/// process, the shape the CLI's --plan-server mode runs — SIGTERM must
+/// drain, merge_save, and exit 0.
+int run_server_role(const std::string& socket_path,
+                    const std::string& registry_path) {
+  std::signal(SIGTERM, role_term_handler);
+  PlanRegistry registry;
+  remote::PlanServerOptions options;
+  options.registry_path = registry_path;
+  remote::PlanServer server(registry, options);
+  server.listen_unix(socket_path);
+  server.start();
+  while (!g_role_term) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.stop();
+  return server.stats().flush_failures == 0 ? kRoleOk : kRoleFlushFailed;
+}
+
+/// --role saver <registry-path> <index>: merge_save in a tight loop
+/// with ever-improving plans until killed.  The parent SIGKILLs this
+/// process at arbitrary offsets; the atomic temp+rename protocol must
+/// keep the target file loadable under the STRICT policy regardless of
+/// where the kill lands.
+int run_saver_role(const std::string& registry_path, int index) {
+  for (int iter = 0; iter < 200000; ++iter) {
+    PlanRegistry registry(1);
+    for (int s = 0; s < kSaverSignatures; ++s) {
+      PlanEntry e = owned_plan(s);
+      e.modeled_us -= (iter % 64) * 0.001 + index * 0.0001;
+      registry.publish(sig(s), e);
+    }
+    registry.merge_save(registry_path);
+  }
+  return kRoleSaverOutlived;
+}
+
+int run_role(int argc, char** argv) {
+  if (argc < 5) return kRoleBadArgs;
+  const std::string role = argv[2];
+  const std::string a = argv[3];
+  const std::string b = argv[4];
+  try {
+    if (role == "client") return run_client_role(a, std::atoi(b.c_str()));
+    if (role == "racer") return run_racer_role(a, std::atoi(b.c_str()));
+    if (role == "server") return run_server_role(a, b);
+    if (role == "saver") return run_saver_role(a, std::atoi(b.c_str()));
+  } catch (...) {
+    return kRoleThrew;
+  }
+  return kRoleBadArgs;
+}
+
+/// fork + immediate execv of this binary in a role.  Nothing but
+/// async-signal-safe calls run in the forked child, so spawning from
+/// the threaded parent is safe under TSan.
+pid_t spawn_role(const std::string& role, const std::string& a,
+                 const std::string& b) {
+  std::vector<std::string> args = {"/proc/self/exe", "--role", role, a, b};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Wait for `pid` and return its exit code; -1 when it died on a
+/// signal.
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -2;
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// Unique temp-dir path removed on destruction (socket files and
+/// registry files alike, plus the registry's .lock sidecar).
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path(testing::TempDir() + name) {
+    cleanup();
+  }
+  ~TempPath() { cleanup(); }
+  void cleanup() {
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+  }
+  std::string path;
+};
+
+// Three client processes with disjoint plan sets all anti-entropy-sync
+// against one in-process server: every process — and the server — must
+// end at the exact union (entries byte-for-byte, demand at the
+// cross-client max, the contended signature at the global best).
+TEST(RemoteProcess, ThreeClientProcessesConvergeToTheExactUnion) {
+  TempPath sock("remote_process_union.sock");
+  PlanRegistry registry(8);
+  remote::PlanServer server(registry);
+  server.listen_unix(sock.path);
+  server.start();
+
+  std::vector<pid_t> pids;
+  for (int c = 0; c < kClients; ++c) {
+    pids.push_back(spawn_role("client", "unix:" + sock.path,
+                              std::to_string(c)));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(kRoleOk, wait_exit(pids[static_cast<std::size_t>(c)]))
+        << "client " << c;
+  }
+
+  // The server holds the exact union too.
+  EXPECT_EQ(static_cast<std::size_t>(kClients * kPlansPerClient) + 1,
+            registry.size());
+  for (int s = 0; s < kClients * kPlansPerClient; ++s) {
+    PlanEntry entry;
+    ASSERT_TRUE(registry.peek(sig(s), &entry)) << "lost signature " << s;
+    EXPECT_EQ(owned_plan(s), entry) << "signature " << s;
+  }
+  PlanEntry race;
+  ASSERT_TRUE(registry.peek(kRaceSig, &race));
+  EXPECT_EQ(race_plan(0), race) << "contended signature not at the best";
+  DemandStats demand;
+  ASSERT_TRUE(registry.demand(kRaceSig, &demand));
+  EXPECT_EQ(static_cast<std::uint64_t>(3 * kClients), demand.requests)
+      << "demand must reconcile by max, not sum";
+  server.stop();
+}
+
+// Racing PUT_PLAN streams from separate processes: each racer checks
+// that the incumbent it reads back never regresses, and the server
+// ends at the global best quality every racer offered exactly once.
+TEST(RemoteProcess, RacingPutsFromSeparateProcessesStayMonotone) {
+  TempPath sock("remote_process_race.sock");
+  PlanRegistry registry(8);
+  remote::PlanServer server(registry);
+  server.listen_unix(sock.path);
+  server.start();
+
+  std::vector<pid_t> pids;
+  for (int r = 0; r < kClients; ++r) {
+    pids.push_back(spawn_role("racer", "unix:" + sock.path,
+                              std::to_string(r)));
+  }
+  for (int r = 0; r < kClients; ++r) {
+    EXPECT_EQ(kRoleOk, wait_exit(pids[static_cast<std::size_t>(r)]))
+        << "racer " << r;
+  }
+  PlanEntry final_entry;
+  ASSERT_TRUE(registry.peek(kRaceSig, &final_entry));
+  EXPECT_DOUBLE_EQ(100.0, final_entry.modeled_us)
+      << "racing puts did not converge to the best offer";
+  server.stop();
+}
+
+// A SIGTERM'd server process is a graceful shutdown, not a crash: it
+// must exit 0 and leave everything clients published on disk, demand
+// included, loadable under the strict recovery policy.
+TEST(RemoteProcess, SigtermedServerExitsZeroWithTheUnionOnDisk) {
+  TempPath sock("remote_process_server.sock");
+  TempPath file("remote_process_server_registry.txt");
+  const pid_t pid = spawn_role("server", sock.path, file.path);
+
+  remote::RemoteRegistry link = make_link("unix:" + sock.path);
+  ASSERT_TRUE(wait_for_server(link)) << "server process never came up";
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_TRUE(link.publish(sig(s), owned_plan(s)));
+  }
+  // Demand travels by SYNC; the final merge_save must persist it.
+  PlanRegistry local(2);
+  local.publish(sig(0), owned_plan(0));
+  local.record_demand(sig(0), 30.0, 4);
+  EXPECT_TRUE(link.sync(local));
+
+  ASSERT_EQ(0, kill(pid, SIGTERM));
+  EXPECT_EQ(kRoleOk, wait_exit(pid)) << "server did not exit 0 on SIGTERM";
+
+  PlanRegistry loaded;
+  ASSERT_NO_THROW(loaded.load(file.path));  // strict policy
+  EXPECT_EQ(5u, loaded.size());
+  for (int s = 0; s < 5; ++s) {
+    PlanEntry entry;
+    ASSERT_TRUE(loaded.peek(sig(s), &entry)) << "lost signature " << s;
+    EXPECT_EQ(owned_plan(s), entry);
+  }
+  DemandStats demand;
+  ASSERT_TRUE(loaded.demand(sig(0), &demand));
+  EXPECT_EQ(4u, demand.requests);
+}
+
+// SIGKILL — no handlers, no unwinding — landing at arbitrary points of
+// a merge_save loop must never tear the shared file: crash-safety
+// comes from the atomic rename, and the strict loader is the proof.
+TEST(RemoteProcess, KillDuringMergeSaveNeverTearsTheFile) {
+  TempPath file("remote_process_kill_save.txt");
+  {
+    PlanRegistry seed(1);
+    for (int s = 0; s < kSaverSignatures; ++s) seed.publish(sig(s), owned_plan(s));
+    seed.save(file.path);
+  }
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const pid_t pid = spawn_role("saver", file.path, std::to_string(round));
+    std::this_thread::sleep_for(std::chrono::milliseconds(3 + round * 7));
+    ASSERT_EQ(0, kill(pid, SIGKILL));
+    int status = 0;
+    ASSERT_EQ(pid, waitpid(pid, &status, 0));
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    PlanRegistry loaded;
+    ASSERT_NO_THROW(loaded.load(file.path))
+        << "kill mid-save left a torn file";
+    EXPECT_EQ(static_cast<std::size_t>(kSaverSignatures), loaded.size());
+  }
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace barracuda::serve
+
+int main(int argc, char** argv) {
+#ifndef _WIN32
+  if (argc > 2 && std::string(argv[1]) == "--role") {
+    return barracuda::serve::run_role(argc, argv);
+  }
+#endif
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,403 @@
+// The distributed serving tier, exercised in-process over real Unix
+// sockets: PlanServer operations (get/put/better-wins/ping/stats), full
+// anti-entropy convergence (entries AND demand union exactly), the
+// TuningService's L1/L2 path (a remote hit serves without tuning and
+// warms the local registry), remote publish of fresh tunes, degraded
+// local-only serving against a dead endpoint, the half-open reconnect
+// breaker healing once the server appears, and the socket fault sites.
+//
+// Runs under the sanitizer matrices in CI (suite name ServeRemote is
+// targeted by -R there); keep tune budgets small.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "serve/registry.hpp"
+#include "serve/remote/planserver.hpp"
+#include "serve/remote/remoteregistry.hpp"
+#include "serve/service.hpp"
+#include "support/faultinject.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+namespace remote = barracuda::serve::remote;
+
+/// Unique Unix-socket path under the gtest temp dir (kept short —
+/// sun_path is only ~100 bytes).
+struct SocketPath {
+  explicit SocketPath(const std::string& name)
+      : path(testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~SocketPath() { std::remove(path.c_str()); }
+  net::Endpoint endpoint() const {
+    net::Endpoint ep;
+    ep.kind = net::Endpoint::Kind::kUnix;
+    ep.path = path;
+    return ep;
+  }
+  std::string path;
+};
+
+PlanEntry entry(double us, bool tuned, std::size_t variant = 0) {
+  PlanEntry e;
+  e.variant = variant;
+  e.recipe_text =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=2 registers=1 shared=-\n";
+  e.modeled_us = us;
+  e.tuned = tuned;
+  return e;
+}
+
+/// A started in-process plan server on a fresh UDS path.
+struct ServerFixture {
+  SocketPath sock;
+  PlanRegistry registry;
+  remote::PlanServer server;
+  explicit ServerFixture(const std::string& name,
+                         remote::PlanServerOptions options = {})
+      : sock(name), server(registry, options) {
+    server.listen_unix(sock.path);
+    server.start();
+  }
+  std::shared_ptr<remote::RemoteRegistry> client(
+      remote::RemoteRegistryOptions options = {}) const {
+    return std::make_shared<remote::RemoteRegistry>(sock.endpoint(), options);
+  }
+};
+
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.tune.search.max_evaluations = 20;
+  options.tune.search.batch_size = 5;
+  options.tune.max_pool = 128;
+  return options;
+}
+
+core::TuningProblem small_problem(int n = 4) {
+  std::string dsl =
+      "dim i j k l m n = " + std::to_string(n) +
+      "\nV[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n";
+  return core::TuningProblem::from_dsl(dsl, "n" + std::to_string(n));
+}
+
+}  // namespace
+
+TEST(ServeRemote, GetPutPingStatsOverUnixSocket) {
+  ServerFixture fx("remote_basic.sock");
+  auto client = fx.client();
+
+  EXPECT_TRUE(client->ping());
+
+  // Unknown signature: a clean miss, not an error.
+  PlanEntry got;
+  EXPECT_EQ(RemoteStatus::kMiss, client->fetch("sig", &got));
+
+  // Publish, then fetch it back field-exact (and parsed-at-decode).
+  EXPECT_TRUE(client->publish("sig", entry(100, true, 2)));
+  ASSERT_EQ(RemoteStatus::kHit, client->fetch("sig", &got));
+  EXPECT_EQ(100, got.modeled_us);
+  EXPECT_TRUE(got.tuned);
+  EXPECT_EQ(2u, got.variant);
+  EXPECT_TRUE(got.parsed != nullptr);
+
+  // Better-wins on the server: slower offers are kept out.
+  EXPECT_FALSE(client->publish("sig", entry(200, true)));
+  EXPECT_TRUE(client->publish("sig", entry(50, true)));
+  ASSERT_TRUE(fx.registry.peek("sig", &got));
+  EXPECT_EQ(50, got.modeled_us);
+
+  std::string stats;
+  ASSERT_TRUE(client->stats_text(&stats));
+  EXPECT_NE(std::string::npos, stats.find("registry_size\t1"));
+  EXPECT_NE(std::string::npos, stats.find("puts\t3"));
+
+  const remote::RemoteRegistryStats cs = client->stats();
+  EXPECT_EQ(2u, cs.gets);
+  EXPECT_EQ(1u, cs.get_hits);
+  EXPECT_EQ(3u, cs.puts);
+  EXPECT_EQ(2u, cs.put_accepted);
+  EXPECT_EQ(0u, cs.errors);
+  EXPECT_TRUE(cs.link_up);
+}
+
+TEST(ServeRemote, SyncConvergesToTheExactUnionIncludingDemand) {
+  ServerFixture fx("remote_sync.sock");
+  // Server side: sigA (fast) + sigC, with recorded demand on sigA.
+  fx.registry.publish("sigA", entry(10, true));
+  fx.registry.publish("sigC", entry(30, false));
+  fx.registry.record_demand("sigA", 10, 7);
+
+  // Client side: sigA (slower — must lose), sigB, demand on sigA too.
+  PlanRegistry local;
+  local.publish("sigA", entry(20, true));
+  local.publish("sigB", entry(5, true));
+  local.record_demand("sigA", 20, 4);
+
+  auto client = fx.client();
+  ASSERT_TRUE(client->sync(local));
+
+  // Both sides now hold the exact 3-entry union with sigA at 10us.
+  for (PlanRegistry* reg : {&local, &fx.registry}) {
+    EXPECT_EQ(3u, reg->size());
+    PlanEntry e;
+    ASSERT_TRUE(reg->peek("sigA", &e));
+    EXPECT_EQ(10, e.modeled_us);
+    EXPECT_TRUE(reg->contains("sigB"));
+    EXPECT_TRUE(reg->contains("sigC"));
+  }
+  // Demand: fresh traffic adds, shared history does not.  The client's
+  // 4 requests fold into its serialized baseline and the server's 7
+  // locally recorded ones are new traffic on top of it — both sides
+  // converge to 11.  What must NOT happen is re-adding on later rounds:
+  // once 11 is the shared baseline, echoes reconcile by max.
+  DemandStats demand;
+  ASSERT_TRUE(local.demand("sigA", &demand));
+  EXPECT_EQ(11u, demand.requests);
+  ASSERT_TRUE(fx.registry.demand("sigA", &demand));
+  EXPECT_EQ(11u, demand.requests);
+
+  // A second identical round is a no-op (anti-entropy is idempotent —
+  // in particular the demand baselines stop growing).
+  ASSERT_TRUE(client->sync(local));
+  EXPECT_EQ(3u, local.size());
+  EXPECT_EQ(3u, fx.registry.size());
+  ASSERT_TRUE(local.demand("sigA", &demand));
+  EXPECT_EQ(11u, demand.requests);
+  ASSERT_TRUE(fx.registry.demand("sigA", &demand));
+  EXPECT_EQ(11u, demand.requests);
+}
+
+TEST(ServeRemote, ServiceServesRemoteHitsWithoutTuning) {
+  ServerFixture fx("remote_l2.sock");
+  core::TuningProblem problem = small_problem();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  // Pre-tune the signature ON THE SERVER: one node's tune, another
+  // node's warm start.
+  PlanRegistry seed_registry;
+  ServeOptions seed_options = fast_options();
+  {
+    TuningService seeder(seed_registry, seed_options);
+    seeder.get_plan(problem, device);
+    seeder.drain();
+  }
+  const std::string sig = signature(problem, device);
+  PlanEntry tuned;
+  ASSERT_TRUE(seed_registry.peek(sig, &tuned));
+  ASSERT_TRUE(tuned.tuned);
+  fx.registry.publish(sig, tuned);
+
+  // A fresh node with the remote tier: its FIRST request is answered
+  // from L2 — tuned plan, no background tune, and the local registry
+  // warms for every request after.
+  PlanRegistry local;
+  ServeOptions options = fast_options();
+  options.remote = fx.client();
+  TuningService service(local, options);
+
+  ServedPlan first = service.get_plan(problem, device);
+  EXPECT_EQ(ServedPlan::Source::kRemote, first.source);
+  EXPECT_TRUE(first.plan.tuned);
+  EXPECT_FALSE(first.scheduled_tune);
+  EXPECT_EQ(tuned.modeled_us, first.plan.modeled_us);
+
+  ServedPlan second = service.get_plan(problem, device);
+  EXPECT_EQ(ServedPlan::Source::kWarm, second.source);
+
+  service.drain();
+  const ServeStats stats = service.snapshot();
+  EXPECT_EQ(1u, stats.remote_hits);
+  EXPECT_EQ(0u, stats.remote_misses);
+  EXPECT_EQ(0u, stats.tunes_started);
+  EXPECT_EQ(0u, stats.remote_errors);
+}
+
+TEST(ServeRemote, FreshTunesArePublishedToTheServer) {
+  ServerFixture fx("remote_pub.sock");
+  core::TuningProblem problem = small_problem(5);
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  PlanRegistry local;
+  ServeOptions options = fast_options();
+  options.remote = fx.client();
+  TuningService service(local, options);
+
+  ServedPlan served = service.get_plan(problem, device);
+  EXPECT_EQ(ServedPlan::Source::kCold, served.source);  // L2 missed too
+  service.drain();
+
+  const ServeStats stats = service.snapshot();
+  EXPECT_EQ(1u, stats.remote_misses);
+  EXPECT_EQ(1u, stats.tunes_started);
+  EXPECT_EQ(1u, stats.remote_publishes);
+
+  // The tuned plan reached the server registry, better-wins.
+  const std::string sig = signature(problem, device);
+  PlanEntry on_server;
+  ASSERT_TRUE(fx.registry.peek(sig, &on_server));
+  EXPECT_TRUE(on_server.tuned);
+}
+
+TEST(ServeRemote, AntiEntropyPassConvergesServiceAndServer) {
+  ServerFixture fx("remote_ae.sock");
+  fx.registry.publish("other-node-sig", entry(42, true));
+
+  PlanRegistry local;
+  local.publish("my-sig", entry(7, true));
+  ServeOptions options = fast_options();
+  options.remote = fx.client();
+  TuningService service(local, options);
+
+  EXPECT_TRUE(service.anti_entropy_pass());
+  EXPECT_EQ(2u, local.size());
+  EXPECT_EQ(2u, fx.registry.size());
+  EXPECT_TRUE(local.contains("other-node-sig"));
+  EXPECT_TRUE(fx.registry.contains("my-sig"));
+  EXPECT_EQ(1u, service.snapshot().anti_entropy_rounds);
+}
+
+TEST(ServeRemote, DeadEndpointDegradesToLocalOnlyServing) {
+  SocketPath sock("remote_dead.sock");  // nothing listens here
+  core::TuningProblem problem = small_problem();
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  PlanRegistry local;
+  ServeOptions options = fast_options();
+  remote::RemoteRegistryOptions ropts;
+  ropts.timeout = 1.0;
+  ropts.reconnect_cooldown = 30.0;  // breaker stays open for the test
+  auto backend = std::make_shared<remote::RemoteRegistry>(sock.endpoint(),
+                                                          ropts);
+  options.remote = backend;
+  TuningService service(local, options);
+
+  // Every request is answered (fallback -> tuned), nothing throws, and
+  // after the first failure the open breaker short-circuits: exactly
+  // one connect attempt, not one per request.
+  for (int i = 0; i < 8; ++i) {
+    ServedPlan served = service.get_plan(problem, device);
+    EXPECT_FALSE(served.signature.empty());
+    EXPECT_FALSE(served.plan.recipe_text.empty());
+  }
+  service.drain();
+  EXPECT_FALSE(service.anti_entropy_pass());
+
+  const ServeStats stats = service.snapshot();
+  EXPECT_GE(stats.remote_errors, 2u);  // the first fetch + the sync
+  EXPECT_EQ(0u, stats.remote_hits);
+  EXPECT_EQ(1u, stats.tunes_started);  // tuned locally despite the tier
+
+  const remote::RemoteRegistryStats link = backend->stats();
+  EXPECT_FALSE(link.link_up);
+  EXPECT_EQ(0u, link.reconnect_probes);  // cool-down never elapsed
+}
+
+TEST(ServeRemote, ReconnectProbeHealsTheLinkAfterCooldown) {
+  SocketPath sock("remote_heal.sock");
+  remote::RemoteRegistryOptions ropts;
+  ropts.timeout = 1.0;
+  ropts.reconnect_cooldown = 0.05;
+  remote::RemoteRegistry backend(sock.endpoint(), ropts);
+
+  // Server down: the op fails and opens the breaker; inside the
+  // cool-down further ops short-circuit without touching the socket.
+  EXPECT_FALSE(backend.ping());
+  EXPECT_FALSE(backend.ping());
+  remote::RemoteRegistryStats s = backend.stats();
+  EXPECT_FALSE(s.link_up);
+  EXPECT_EQ(0u, s.reconnect_probes);
+
+  // Bring the server up, let the cool-down elapse: the next op is the
+  // single half-open probe, and it heals the link.
+  PlanRegistry registry;
+  remote::PlanServer server(registry);
+  server.listen_unix(sock.path);
+  server.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(backend.ping());
+
+  s = backend.stats();
+  EXPECT_TRUE(s.link_up);
+  EXPECT_EQ(1u, s.reconnect_probes);
+  EXPECT_EQ(1u, s.reconnect_healed);
+  server.stop();
+}
+
+TEST(ServeRemote, SocketFaultsDegradeThenHeal) {
+  ServerFixture fx("remote_faults.sock");
+  fx.registry.publish("sig", entry(10, true));
+
+  remote::RemoteRegistryOptions ropts;
+  ropts.reconnect_cooldown = 0.0;  // probe immediately — the test's focus
+                                   // is fault-then-recover, not pacing
+  auto client = fx.client(ropts);
+
+  // One guaranteed read fault: the op fails, the link drops...
+  support::fault::enable("net.read", 1.0, 11, /*limit=*/1);
+  PlanEntry got;
+  EXPECT_EQ(RemoteStatus::kUnavailable, client->fetch("sig", &got));
+  support::fault::clear();
+  // ...and the very next op probes, heals, and serves.
+  EXPECT_EQ(RemoteStatus::kHit, client->fetch("sig", &got));
+
+  // Same dance through the write path.
+  support::fault::enable("net.write", 1.0, 13, /*limit=*/1);
+  EXPECT_EQ(RemoteStatus::kUnavailable, client->fetch("sig", &got));
+  support::fault::clear();
+  EXPECT_EQ(RemoteStatus::kHit, client->fetch("sig", &got));
+
+  // Corrupt-frame fault on OUR writes: the server rejects the frame
+  // (kError reply, then it drops the connection).  The kError response
+  // proves the transport works, so the client keeps the link for this
+  // op; the server-side close surfaces as a transport failure on the
+  // NEXT op, and the one after that probes and heals.
+  support::fault::enable("net.frame.corrupt", 1.0, 17, /*limit=*/1);
+  EXPECT_EQ(RemoteStatus::kUnavailable, client->fetch("sig", &got));
+  support::fault::clear();
+  EXPECT_EQ(RemoteStatus::kUnavailable, client->fetch("sig", &got));
+  EXPECT_EQ(RemoteStatus::kHit, client->fetch("sig", &got));
+  EXPECT_GE(fx.server.stats().net.protocol_errors, 1u);
+
+  const remote::RemoteRegistryStats s = client->stats();
+  EXPECT_TRUE(s.link_up);
+  EXPECT_EQ(4u, s.errors);
+  EXPECT_EQ(3u, s.reconnect_healed);
+}
+
+TEST(ServeRemote, PublishFaultCostsThePublishNotTheTune) {
+  ServerFixture fx("remote_pubfault.sock");
+  core::TuningProblem problem = small_problem(6);
+  auto device = vgpu::DeviceProfile::tesla_k20();
+
+  PlanRegistry local;
+  ServeOptions options = fast_options();
+  options.remote = fx.client();
+  TuningService service(local, options);
+
+  support::fault::enable("serve.remote.publish", 1.0, 23);
+  service.get_plan(problem, device);
+  service.drain();
+  support::fault::clear();
+
+  const ServeStats stats = service.snapshot();
+  EXPECT_EQ(1u, stats.tunes_completed);  // the tune itself succeeded
+  EXPECT_EQ(0u, stats.tune_failures);
+  EXPECT_EQ(0u, stats.remote_publishes);
+  EXPECT_GE(stats.remote_errors, 1u);
+  // The plan serves tuned locally; the server just never heard of it.
+  const std::string sig = signature(problem, device);
+  PlanEntry e;
+  ASSERT_TRUE(local.peek(sig, &e));
+  EXPECT_TRUE(e.tuned);
+  EXPECT_FALSE(fx.registry.contains(sig));
+}
+
+}  // namespace barracuda::serve

@@ -47,6 +47,35 @@
 //                                exactly one probe tune (success heals
 //                                it, failure re-opens it; 0 = breakers
 //                                stay open until the process exits)
+//   --remote ADDR                distributed serving: consult a plan
+//                                server (unix:PATH or tcp:HOST:PORT) on
+//                                every local registry miss (L2 tier),
+//                                publish freshly tuned plans back to it,
+//                                and run one anti-entropy sync before
+//                                and after serving — a fresh node
+//                                against a warm server serves 0-miss
+//                                warm with zero tunes of its own.  A
+//                                dead server degrades the node to
+//                                local-only serving (half-open
+//                                reconnect probes heal the link);
+//                                requests NEVER fail on remote trouble
+//   --anti-entropy-interval S    seconds between background full-sync
+//                                rounds against --remote (0 = only the
+//                                explicit start/end syncs)
+//
+// Plan-server mode (the network side of distributed serving):
+//   --plan-server ADDR           run a plan server instead of tuning:
+//                                serve GET_PLAN/PUT_PLAN/SYNC/STATS on
+//                                ADDR (unix:PATH or tcp:HOST:PORT; TCP
+//                                port 0 picks an ephemeral port, printed
+//                                on stdout) until SIGINT/SIGTERM, then
+//                                drain in-flight requests, merge-save
+//                                --registry (if set), print stats, and
+//                                exit 0.  No input file needed
+//   --server-threads N           plan-server worker threads (default 4)
+//   --flush-interval SECONDS     background merge-save period for the
+//                                server's --registry (0 = only at
+//                                shutdown)
 //
 // Prewarm mode (offline registry pre-warming — the serving analog of
 // tune_specializations):
@@ -97,10 +126,13 @@
 //   V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
 #include <cstdio>
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -109,8 +141,11 @@
 #include "chill/csource.hpp"
 #include "core/barracuda.hpp"
 #include "core/report.hpp"
+#include "net/socket.hpp"
 #include "octopi/parser.hpp"
 #include "orio/annotations.hpp"
+#include "serve/remote/planserver.hpp"
+#include "serve/remote/remoteregistry.hpp"
 #include "serve/service.hpp"
 #include "support/paths.hpp"
 #include "support/percentile.hpp"
@@ -134,9 +169,13 @@ int usage(const char* argv0) {
                "[--registry FILE] [--tune-deadline SECONDS] "
                "[--breaker-cooldown SECONDS] [--retune-budget N] "
                "[--retune-interval SECONDS] [--retune-topk K] "
-               "[--hot-threshold N] [--ageout N]] "
-               "[--prewarm --registry FILE [--devices a,b,c] [--grid N]]\n",
-               argv0);
+               "[--hot-threshold N] [--ageout N] [--remote ADDR] "
+               "[--anti-entropy-interval SECONDS]] "
+               "[--prewarm --registry FILE [--devices a,b,c] [--grid N]]\n"
+               "       %s --plan-server ADDR [--registry FILE] "
+               "[--server-threads N] [--flush-interval SECONDS] "
+               "[--ageout N] [--recover]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -209,6 +248,81 @@ double verify(const core::TuningProblem& problem,
   return err;
 }
 
+/// SIGINT/SIGTERM land here in --plan-server mode: the serving loop
+/// polls the flag and runs the graceful shutdown (drain, final
+/// merge-save, exit 0).
+volatile std::sig_atomic_t g_stop_server = 0;
+void handle_stop_signal(int) { g_stop_server = 1; }
+
+/// The plan-server driver: serve the frame protocol on ADDR until a
+/// stop signal, then drain, merge-save the registry, print stats.
+/// Returns the process exit code.
+int run_plan_server(const std::string& addr, const std::string& registry_path,
+                    support::RecoveryPolicy policy, std::size_t threads,
+                    double flush_interval, std::size_t ageout) {
+  serve::PlanRegistry registry;
+  registry.set_max_idle_generations(ageout);
+  if (!registry_path.empty()) {
+    support::validate_writable_path(registry_path, "plan registry");
+    std::ifstream probe(registry_path);
+    if (probe.good()) {
+      probe.close();
+      support::SalvageReport report;
+      std::printf("plan registry    : loaded %zu entries from %s\n",
+                  registry.load(registry_path, policy, &report),
+                  registry_path.c_str());
+      print_salvage("plan registry   ", report);
+    }
+  }
+
+  serve::remote::PlanServerOptions options;
+  options.net.workers = threads;
+  options.registry_path = registry_path;
+  options.flush_interval = flush_interval;
+  options.policy = policy;
+  serve::remote::PlanServer server(registry, options);
+
+  net::Endpoint endpoint = net::parse_endpoint(addr);
+  if (endpoint.kind == net::Endpoint::Kind::kUnix) {
+    server.listen_unix(endpoint.path);
+  } else {
+    endpoint.port = server.listen_tcp(endpoint.host, endpoint.port);
+  }
+  // Scripted smokes background this process and wait for the line
+  // before starting clients — flush so it is visible immediately.
+  std::printf("plan server      : listening on %s (%zu workers)\n",
+              net::to_string(endpoint).c_str(), threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.start();
+  while (!g_stop_server) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Graceful shutdown: stop accepting, drain in-flight requests (their
+  // PUTs/SYNCs still land), final merge-save, report, exit 0.
+  server.stop();
+
+  const serve::remote::PlanServerStats s = server.stats();
+  std::printf("plan requests    : %zu total (%zu gets [%zu hits], %zu puts "
+              "[%zu accepted], %zu syncs [%zu entries in], %zu pings)\n",
+              s.requests, s.gets, s.get_hits, s.puts, s.put_accepted,
+              s.syncs, s.sync_entries_in, s.pings);
+  std::printf("plan connections : %zu accepted, %zu protocol errors, %zu "
+              "handler errors, %zu io errors, %zu faulted accepts\n",
+              s.net.accepted, s.net.protocol_errors, s.net.handler_errors,
+              s.net.io_errors, s.net.faulted_accepts);
+  std::printf("plan registry    : %zu entries held (%zu flushes, %zu "
+              "failed)\n",
+              registry.size(), s.flushes, s.flush_failures);
+  if (!server.last_error().empty()) {
+    std::fprintf(stderr, "warning: plan registry flush trouble (%s)\n",
+                 server.last_error().c_str());
+  }
+  return 0;
+}
+
 /// The serve-bench driver: N client threads fire M requests each at a
 /// TuningService over one PlanRegistry, then the single-flight tune
 /// drains and the stats print.  Returns the process exit code.
@@ -220,7 +334,8 @@ int run_serve(const core::TuningProblem& problem,
               support::RecoveryPolicy policy, double tune_deadline,
               double breaker_cooldown, std::size_t retune_budget,
               double retune_interval, std::size_t retune_topk,
-              std::uint64_t hot_threshold, std::size_t ageout) {
+              std::uint64_t hot_threshold, std::size_t ageout,
+              const std::string& remote_addr, double anti_entropy_interval) {
   serve::PlanRegistry registry;
   registry.set_max_idle_generations(ageout);
   if (!registry_path.empty()) {
@@ -243,8 +358,22 @@ int run_serve(const core::TuningProblem& problem,
   serve_options.retune_interval = retune_interval;
   serve_options.retune_top_k = retune_topk;
   serve_options.hot_threshold = hot_threshold;
+  std::shared_ptr<serve::remote::RemoteRegistry> remote;
+  if (!remote_addr.empty()) {
+    remote = std::make_shared<serve::remote::RemoteRegistry>(
+        net::parse_endpoint(remote_addr));
+    serve_options.remote = remote;
+    serve_options.anti_entropy_interval = anti_entropy_interval;
+  }
   const bool retune_configured = retune_budget > 0 || retune_interval > 0;
   serve::TuningService service(registry, serve_options);
+  if (remote) {
+    // Inherit the fleet's tuning up front: one sync round makes a fresh
+    // node as warm as the server before the first request arrives (the
+    // CI smoke greps for the resulting 0-miss serve).  A dead server
+    // just degrades this to a no-op — serving must start regardless.
+    service.anti_entropy_pass();
+  }
 
   // Each client thread records its own latencies; slots are disjoint.
   // With --batch N, a client submits its requests N at a time through
@@ -296,6 +425,11 @@ int run_serve(const core::TuningProblem& problem,
     service.retune_pass();
     service.drain();
   }
+  if (remote) {
+    // Final sync: whatever this run tuned (and whatever publish calls
+    // the chaos faults ate) reaches the server before we report.
+    service.anti_entropy_pass();
+  }
 
   serve::ServeStats stats = service.snapshot();
   std::vector<double> all;
@@ -332,6 +466,21 @@ int run_serve(const core::TuningProblem& problem,
               "deadline-expired tunes, %zu probes (%zu healed)\n",
               stats.retries, stats.breaker_open, stats.deadline_expired,
               stats.breaker_probes, stats.breaker_healed);
+  if (remote) {
+    // The CI smoke greps this line: distributed serving must actually
+    // consult and feed the L2 tier, and anti-entropy must run.
+    std::printf("remote           : %zu hits / %zu misses, %zu publishes, "
+                "%zu errors, %zu anti-entropy rounds\n",
+                stats.remote_hits, stats.remote_misses,
+                stats.remote_publishes, stats.remote_errors,
+                stats.anti_entropy_rounds);
+    const serve::remote::RemoteRegistryStats link = remote->stats();
+    std::printf("remote link      : %s (%s), %zu failed ops, %zu reconnect "
+                "probes (%zu healed)\n",
+                link.link_up ? "up" : "down",
+                net::to_string(remote->endpoint()).c_str(), link.errors,
+                link.reconnect_probes, link.reconnect_healed);
+  }
   if (retune_configured) {
     // The CI smoke greps this line: adaptive serving must actually
     // re-tune the hot signatures, not just count demand.
@@ -454,6 +603,9 @@ int main(int argc, char** argv) {
   double retune_interval = 0;
   std::uint64_t hot_threshold = 16;
   std::size_t ageout = 0;
+  std::string plan_server_addr, remote_addr;
+  std::size_t server_threads = 4;
+  double flush_interval = 0, anti_entropy_interval = 0;
   const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
   std::string registry_path = registry_env ? registry_env : "";
   const char* recover_env = std::getenv("BARRACUDA_RECOVER");
@@ -533,6 +685,30 @@ int main(int argc, char** argv) {
       hot_threshold = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--ageout") {
       ageout = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--plan-server") {
+      plan_server_addr = next();
+    } else if (arg == "--server-threads") {
+      server_threads =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      if (server_threads == 0) {
+        std::fprintf(stderr, "error: --server-threads must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--flush-interval") {
+      flush_interval = std::strtod(next(), nullptr);
+      if (flush_interval < 0) {
+        std::fprintf(stderr, "error: --flush-interval must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--remote") {
+      remote_addr = next();
+    } else if (arg == "--anti-entropy-interval") {
+      anti_entropy_interval = std::strtod(next(), nullptr);
+      if (anti_entropy_interval < 0) {
+        std::fprintf(stderr,
+                     "error: --anti-entropy-interval must be >= 0\n");
+        return 2;
+      }
     } else if (arg == "--breaker-cooldown") {
       breaker_cooldown = std::strtod(next(), nullptr);
       if (breaker_cooldown < 0) {
@@ -562,9 +738,33 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  // Plan-server mode needs no input program — it serves plans, it does
+  // not tune them — and composes with no other mode.
+  if (!plan_server_addr.empty()) {
+    if (do_serve || do_prewarm || !input_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --plan-server is its own mode (run clients with "
+                   "--serve --remote against it)\n");
+      return 2;
+    }
+    const support::RecoveryPolicy policy =
+        recover ? support::RecoveryPolicy::kSalvage
+                : support::RecoveryPolicy::kStrict;
+    try {
+      return run_plan_server(plan_server_addr, registry_path, policy,
+                             server_threads, flush_interval, ageout);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   if (input_path.empty() || evals == 0) return usage(argv[0]);
   if (do_serve && (clients == 0 || requests == 0)) {
     std::fprintf(stderr, "error: --clients and --requests must be >= 1\n");
+    return 2;
+  }
+  if (!remote_addr.empty() && !do_serve) {
+    std::fprintf(stderr, "error: --remote requires --serve\n");
     return 2;
   }
   if (do_prewarm && do_serve) {
@@ -708,7 +908,8 @@ int main(int argc, char** argv) {
       int rc = run_serve(problem, device, options, clients, requests, batch,
                          registry_path, policy, tune_deadline,
                          breaker_cooldown, retune_budget, retune_interval,
-                         retune_topk, hot_threshold, ageout);
+                         retune_topk, hot_threshold, ageout, remote_addr,
+                         anti_entropy_interval);
       if (cache_path && *cache_path) {
         // Best-effort for the same reason as the registry save in
         // run_serve: persistence trouble must not fail a served run.
