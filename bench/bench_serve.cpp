@@ -592,6 +592,107 @@ int main() {
               node1_synced ? "pass" : "FAIL");
   all_pass = all_pass && distributed_ok;
 
+  // Replicated fleet: the same warm GET workload against a TWO-replica
+  // fleet, then with the PRIMARY stopped.  Losing a replica costs one
+  // transport failure plus breaker-bounded skips, never correctness —
+  // the gate pins the one-down warm rate at >= 0.5x the two-replica
+  // rate (every surviving request pays the cheap open-breaker check on
+  // the dead endpoint, nothing pays a reconnect within the cooldown).
+  // A hedged link with a deliberately absurd threshold (1 us) then
+  // forces the hedge path on effectively every read: correctness must
+  // hold (zero misses) while the hedge counters light up.
+  const char* kFleetSockA = "bench_serve_fleet_a.sock";
+  const char* kFleetSockB = "bench_serve_fleet_b.sock";
+  serve::PlanRegistry fleet_a_registry;
+  serve::PlanRegistry fleet_b_registry;
+  fleet_a_registry.merge_text(server_registry.to_text(), "<seed>");
+  fleet_b_registry.merge_text(server_registry.to_text(), "<seed>");
+  auto fleet_server_a = std::make_unique<serve::remote::PlanServer>(
+      fleet_a_registry);
+  fleet_server_a->listen_unix(kFleetSockA);
+  fleet_server_a->start();
+  serve::remote::PlanServer fleet_server_b(fleet_b_registry);
+  fleet_server_b.listen_unix(kFleetSockB);
+  fleet_server_b.start();
+  const std::vector<net::Endpoint> fleet_eps = {
+      net::parse_endpoint(std::string("unix:") + kFleetSockA),
+      net::parse_endpoint(std::string("unix:") + kFleetSockB)};
+
+  const std::size_t kFleetGets = 3000;
+  serve::remote::RemoteRegistryOptions fleet_options;
+  // Longer than either measured phase: the dead primary is probed once
+  // and then skipped for the rest of the one-down measurement.
+  fleet_options.reconnect_cooldown = 30.0;
+  serve::remote::RemoteRegistry fleet_link(fleet_eps, fleet_options);
+  std::size_t fleet_misses = 0;
+  auto run_fleet_gets = [&](serve::remote::RemoteRegistry& link,
+                            std::size_t count) {
+    PhaseResult phase;
+    WallTimer wall;
+    serve::PlanEntry entry;
+    for (std::size_t r = 0; r < count; ++r) {
+      if (link.fetch(signatures[r % signatures.size()], &entry) !=
+          serve::RemoteStatus::kHit) {
+        ++fleet_misses;
+      }
+    }
+    phase.seconds = wall.seconds();
+    phase.requests = count;
+    return phase;
+  };
+  const PhaseResult fleet_two_up = run_fleet_gets(fleet_link, kFleetGets);
+
+  // Hedged reads while both replicas are alive: the 1 us threshold
+  // loses to any real round trip, so essentially every read hedges.
+  serve::remote::RemoteRegistryOptions hedge_options;
+  hedge_options.hedge_threshold = 1e-6;
+  hedge_options.timeout = 5.0;
+  const std::size_t kHedgeGets = 500;
+  serve::remote::RemoteRegistry hedge_link(fleet_eps, hedge_options);
+  const PhaseResult hedged = run_fleet_gets(hedge_link, kHedgeGets);
+  const serve::RemoteTelemetry hedge_telemetry = hedge_link.telemetry();
+
+  // Stop the PRIMARY and measure again on the same link: the first
+  // fetch pays the transport failure and opens the breaker (run before
+  // the timed region — that cost is the detection, not the steady
+  // state the gate pins).
+  fleet_server_a.reset();
+  {
+    serve::PlanEntry entry;
+    (void)fleet_link.fetch(signatures[0], &entry);
+  }
+  const PhaseResult fleet_one_down = run_fleet_gets(fleet_link, kFleetGets);
+  const serve::remote::RemoteRegistryStats fleet_stats = fleet_link.stats();
+  fleet_server_b.stop();
+
+  const double failover_ratio = fleet_one_down.throughput() /
+                                std::max(fleet_two_up.throughput(), 1e-12);
+  const bool failover_ok = failover_ratio >= 0.5 && fleet_misses == 0;
+  const bool hedge_ok = hedge_telemetry.hedges > 0;
+  TextTable fleet_table({"metric", "value"});
+  fleet_table.add_row({"two-replica warm GET req/s",
+                       TextTable::fixed(fleet_two_up.throughput(), 0)});
+  fleet_table.add_row({"one-down warm GET req/s",
+                       TextTable::fixed(fleet_one_down.throughput(), 0)});
+  fleet_table.add_row({"one-down / two-replica",
+                       TextTable::fixed(failover_ratio, 3)});
+  fleet_table.add_row({"failovers", std::to_string(fleet_stats.failovers)});
+  fleet_table.add_row({"hedged GET req/s",
+                       TextTable::fixed(hedged.throughput(), 0)});
+  fleet_table.add_row({"hedges", std::to_string(hedge_telemetry.hedges)});
+  fleet_table.add_row({"hedge wins",
+                       std::to_string(hedge_telemetry.hedge_wins)});
+  fleet_table.add_row({"fleet GET misses", std::to_string(fleet_misses)});
+  std::printf("\nreplicated fleet (2 plan servers, primary stopped "
+              "mid-benchmark):\n%s",
+              fleet_table.render().c_str());
+  std::printf("fleet gate: one-down warm >= 0.5x two-replica %s, zero "
+              "misses %s, hedges observed %s\n",
+              failover_ratio >= 0.5 ? "pass" : "FAIL",
+              fleet_misses == 0 ? "pass" : "FAIL",
+              hedge_ok ? "pass" : "FAIL");
+  all_pass = all_pass && failover_ok && hedge_ok;
+
   std::printf(
       "\nGate: warm-registry throughput >= 10x cold on the repeated-\n"
       "signature workload, tune count == distinct signatures (%zu) at\n"
@@ -605,7 +706,9 @@ int main() {
       "than the no-retune control, and the distributed tier serving\n"
       "remote warm GETs at >= 0.1x the local warm rate with a fresh\n"
       "node warming from the shared server without a single tune of\n"
-      "its own.\n",
+      "its own, plus the replicated-fleet gates: one-down warm GETs at\n"
+      ">= 0.5x the two-replica rate with zero misses, and hedged reads\n"
+      "staying correct under a threshold that forces the hedge path.\n",
       problems.size());
 
   const char* json_path = "BENCH_serve.json";
@@ -698,7 +801,7 @@ int main() {
       "    \"node2_tunes_started\": %zu,\n"
       "    \"node2_warm_req_per_s\": %.1f,\n"
       "    \"server_requests\": %zu\n"
-      "  }\n}\n",
+      "  },\n",
       kRemoteClients, remote_rate, per_request_rate, remote_ratio,
       remote_get_misses.load(), node1_stats.remote_publishes,
       node1_stats.remote_misses, node1_stats.anti_entropy_rounds,
@@ -706,6 +809,30 @@ int main() {
       node2_stats.remote_errors, node2_stats.tunes_started,
       node2_warm.throughput(), server_stats.requests);
   out << dist_buf;
+  char fleet_buf[768];
+  std::snprintf(
+      fleet_buf, sizeof(fleet_buf),
+      "  \"failover\": {\n"
+      "    \"replicas\": 2,\n"
+      "    \"two_up_warm_get_per_s\": %.1f,\n"
+      "    \"one_down_warm_get_per_s\": %.1f,\n"
+      "    \"one_down_to_two_up_ratio\": %.4f,\n"
+      "    \"failovers\": %zu,\n"
+      "    \"dead_endpoint_unavailable\": %zu,\n"
+      "    \"fleet_get_misses\": %zu\n"
+      "  },\n"
+      "  \"hedge\": {\n"
+      "    \"threshold_s\": %.0e,\n"
+      "    \"hedged_get_per_s\": %.1f,\n"
+      "    \"hedges\": %zu,\n"
+      "    \"hedge_wins\": %zu\n"
+      "  }\n}\n",
+      fleet_two_up.throughput(), fleet_one_down.throughput(), failover_ratio,
+      fleet_stats.failovers,
+      fleet_stats.endpoints.empty() ? 0 : fleet_stats.endpoints[0].unavailable,
+      fleet_misses, hedge_options.hedge_threshold, hedged.throughput(),
+      hedge_telemetry.hedges, hedge_telemetry.hedge_wins);
+  out << fleet_buf;
   out.close();
   std::printf("raw rows written to %s\n", json_path);
   return all_pass ? 0 : 1;

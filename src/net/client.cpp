@@ -15,7 +15,7 @@ Client::~Client() { close(); }
 
 void Client::connect() {
   close();
-  fd_ = connect_endpoint(endpoint_);
+  fd_ = connect_endpoint(endpoint_, options_.connect_timeout);
   set_io_timeout(fd_, options_.timeout);
 }
 

@@ -17,6 +17,10 @@ struct ClientOptions {
   /// Per-operation SO_RCVTIMEO/SO_SNDTIMEO in seconds (<= 0 = block
   /// forever).  A dead server turns into a bounded Error, never a hang.
   double timeout = 5.0;
+  /// Bound on connect(2) itself in seconds (<= 0 = kernel default,
+  /// which can be minutes against a black-holed endpoint).  The I/O
+  /// timeout above only starts once the connection exists.
+  double connect_timeout = 5.0;
   std::size_t max_payload = kMaxPayload;
 };
 

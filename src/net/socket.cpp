@@ -5,14 +5,17 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 
 namespace barracuda::net {
 namespace {
@@ -50,6 +53,64 @@ void resolve(const std::string& host, std::uint16_t port, bool passive,
   if (rc != 0) {
     throw Error("cannot resolve '" + host + "': " + ::gai_strerror(rc));
   }
+}
+
+/// connect(2) bounded by `seconds` (<= 0 = plain blocking connect):
+/// flip the fd non-blocking, start the connect, poll for writability,
+/// then read SO_ERROR for the kernel's verdict — the only portable way
+/// to bound the three-way handshake itself (SO_SNDTIMEO does not apply
+/// to connect on Linux).  Returns 0 with the fd restored to blocking
+/// mode on success; fills *error_text and returns -1 otherwise (the
+/// caller closes the fd).
+int timed_connect(int fd, const sockaddr* addr, socklen_t len,
+                  double seconds, std::string* error_text) {
+  if (seconds <= 0) {
+    if (::connect(fd, addr, len) != 0) {
+      *error_text = errno_text("connect");
+      return -1;
+    }
+    return 0;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    *error_text = errno_text("fcntl(O_NONBLOCK)");
+    return -1;
+  }
+  if (::connect(fd, addr, len) != 0) {
+    if (errno != EINPROGRESS) {
+      *error_text = errno_text("connect");
+      return -1;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms = static_cast<int>(seconds * 1000.0) + 1;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      *error_text = errno_text("poll(connect)");
+      return -1;
+    }
+    if (ready == 0) {
+      *error_text = "connect timed out";
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+      *error_text = errno_text("getsockopt(SO_ERROR)");
+      return -1;
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      *error_text = errno_text("connect");
+      return -1;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    *error_text = errno_text("fcntl(restore blocking)");
+    return -1;
+  }
+  return 0;
 }
 
 sockaddr_un unix_address(const std::string& path) {
@@ -153,30 +214,41 @@ int listen_unix(const std::string& path) {
   return fd;
 }
 
-int connect_endpoint(const Endpoint& endpoint) {
+int connect_endpoint(const Endpoint& endpoint, double connect_timeout) {
+  // `net.connect` models an unreachable or black-holed endpoint.  The
+  // probe rides the real failure branch (close + throw, same text
+  // shape) so callers exercise the ordinary error path, and it draws
+  // once per connect_endpoint call — not per resolved address — so hit
+  // counts stay deterministic for multi-homed hosts.
+  const bool fault_fired = support::fault::hit("net.connect");
   if (endpoint.kind == Endpoint::Kind::kUnix) {
     const sockaddr_un addr = unix_address(endpoint.path);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw Error(errno_text("socket(AF_UNIX)"));
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) != 0) {
-      const std::string text = errno_text("connect to " + endpoint.path);
+    std::string text = "injected fault at net.connect";
+    if (fault_fired ||
+        timed_connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr, connect_timeout, &text) != 0) {
       ::close(fd);
-      throw Error(text);
+      throw Error(text + " (connect to " + endpoint.path + ")");
     }
     return fd;
   }
   AddrList addrs;
   resolve(endpoint.host, endpoint.port, /*passive=*/false, &addrs);
-  std::string last_error = "no usable address";
-  for (addrinfo* ai = addrs.head; ai != nullptr; ai = ai->ai_next) {
+  std::string last_error =
+      fault_fired ? "injected fault at net.connect" : "no usable address";
+  for (addrinfo* ai = addrs.head; ai != nullptr && !fault_fired;
+       ai = ai->ai_next) {
     const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) {
       last_error = errno_text("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) return fd;
-    last_error = errno_text("connect");
+    if (timed_connect(fd, ai->ai_addr, ai->ai_addrlen, connect_timeout,
+                      &last_error) == 0) {
+      return fd;
+    }
     ::close(fd);
   }
   throw Error("cannot connect to " + to_string(endpoint) + " (" +

@@ -40,9 +40,13 @@ int listen_tcp(const std::string& host, std::uint16_t port,
 /// for sockaddr_un).
 int listen_unix(const std::string& path);
 
-/// Blocking connect to `endpoint`.  Returns the connected fd; throws
-/// Error on failure.
-int connect_endpoint(const Endpoint& endpoint);
+/// Connect to `endpoint`.  connect_timeout > 0 bounds the connect(2)
+/// itself (non-blocking connect + poll), so a black-holed endpoint
+/// costs at most that many seconds instead of the kernel default;
+/// <= 0 keeps the historical fully blocking connect.  Returns the
+/// connected fd (restored to blocking mode); throws Error on failure.
+/// Fault site: `net.connect` fires inside the real failure branch.
+int connect_endpoint(const Endpoint& endpoint, double connect_timeout = 0);
 
 /// Arm SO_RCVTIMEO and SO_SNDTIMEO on `fd` so a stalled peer turns
 /// into a bounded I/O error instead of a wedged thread.  seconds <= 0

@@ -12,7 +12,13 @@ PlanServer::PlanServer(PlanRegistry& registry, PlanServerOptions options)
     : registry_(registry),
       options_(std::move(options)),
       server_([this](const net::Frame& f) { return handle(f); },
-              options_.net) {}
+              options_.net) {
+  peers_.reserve(options_.peers.size());
+  for (const net::Endpoint& peer : options_.peers) {
+    peers_.push_back(
+        std::make_unique<RemoteRegistry>(peer, options_.peer_link));
+  }
+}
 
 PlanServer::~PlanServer() { stop(); }
 
@@ -29,6 +35,9 @@ void PlanServer::start() {
   server_.start();
   if (!options_.registry_path.empty() && options_.flush_interval > 0) {
     flush_thread_ = std::thread([this] { flush_loop(); });
+  }
+  if (!peers_.empty() && options_.gossip_interval > 0) {
+    gossip_thread_ = std::thread([this] { gossip_loop(); });
   }
 }
 
@@ -60,6 +69,42 @@ void PlanServer::flush_loop() {
   }
 }
 
+std::size_t PlanServer::gossip_pass() {
+  std::size_t completed = 0;
+  for (auto& peer : peers_) {
+    // sync() pushes the full registry and merges the peer's reply, and
+    // the peer's SYNC handler does the mirror-image merge — one round
+    // trip converges the PAIR to the exact union (better-wins entries,
+    // max-reconciled demand), so repeated rounds are idempotent.
+    if (peer->sync(registry_) == RemoteWrite::kOk) {
+      gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
+      ++completed;
+    } else {
+      gossip_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return completed;
+}
+
+void PlanServer::gossip_loop() {
+  // Same shape as flush_loop, sharing its stop signal: both are
+  // periodic maintenance ticks that must never hold a lock while
+  // working.  A dead peer is already bounded by the peer link's
+  // breaker, so the loop stays cheap while partitioned and converges
+  // again when the peer heals.
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  const auto interval =
+      std::chrono::duration<double>(options_.gossip_interval);
+  while (!flush_stop_) {
+    if (flush_cv_.wait_for(lock, interval, [this] { return flush_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    gossip_pass();
+    lock.lock();
+  }
+}
+
 void PlanServer::stop() {
   if (stopped_) return;
   stopped_ = true;
@@ -67,14 +112,13 @@ void PlanServer::stop() {
   // and DRAIN in-flight requests first (their PUTs/SYNCs still land),
   // then persist the final state.
   server_.stop();
-  if (flush_thread_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(flush_mutex_);
-      flush_stop_ = true;
-    }
-    flush_cv_.notify_all();
-    flush_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    flush_stop_ = true;
   }
+  flush_cv_.notify_all();
+  if (flush_thread_.joinable()) flush_thread_.join();
+  if (gossip_thread_.joinable()) gossip_thread_.join();
   flush();
 }
 
@@ -148,6 +192,8 @@ std::string PlanServer::stats_text() const {
   line("bad_requests", s.bad_requests);
   line("flushes", s.flushes);
   line("flush_failures", s.flush_failures);
+  line("gossip_rounds", s.gossip_rounds);
+  line("gossip_failures", s.gossip_failures);
   line("registry_size", registry_.size());
   line("protocol_errors", s.net.protocol_errors);
   line("open_connections", s.net.open_connections);
@@ -168,6 +214,8 @@ PlanServerStats PlanServer::stats() const {
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.flushes = flushes_.load(std::memory_order_relaxed);
   s.flush_failures = flush_failures_.load(std::memory_order_relaxed);
+  s.gossip_rounds = gossip_rounds_.load(std::memory_order_relaxed);
+  s.gossip_failures = gossip_failures_.load(std::memory_order_relaxed);
   s.net = server_.stats();
   return s;
 }

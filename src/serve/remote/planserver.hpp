@@ -22,17 +22,30 @@
 // the graceful-shutdown path: drain in-flight requests, final save,
 // then return; it never throws (save failures land in stats/last_error
 // — shutdown must reach exit 0).
+//
+// Replication: with `peers` configured the server also runs a gossip
+// loop — each round is one pairwise SYNC per peer through an ordinary
+// RemoteRegistry link (the same v2 anti-entropy payload and max-demand
+// reconciliation clients use), so a replica set converges to the exact
+// union with no client online.  Better-wins + max-reconciled demand
+// make rounds idempotent and order-free: a partitioned-then-healed
+// pair converges byte-for-byte.  A dead peer costs one bounded failed
+// round per interval (the link's breaker short-circuits the rest) and
+// heals automatically when the peer returns.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/server.hpp"
 #include "serve/registry.hpp"
+#include "serve/remote/remoteregistry.hpp"
 #include "support/recovery.hpp"
 
 namespace barracuda::serve::remote {
@@ -45,6 +58,12 @@ struct PlanServerOptions {
   double flush_interval = 0;
   /// Recovery policy for absorbing the existing file on merge_save.
   support::RecoveryPolicy policy = support::RecoveryPolicy::kStrict;
+  /// Peer replicas to gossip with (periodic pairwise SYNC exchanges).
+  std::vector<net::Endpoint> peers;
+  /// Seconds between gossip rounds (0 = only explicit gossip_pass()).
+  double gossip_interval = 0;
+  /// Socket options for the peer links (timeouts + reconnect breaker).
+  RemoteRegistryOptions peer_link;
 };
 
 struct PlanServerStats {
@@ -60,6 +79,8 @@ struct PlanServerStats {
   std::size_t bad_requests = 0;     ///< well-framed but unknown ops
   std::size_t flushes = 0;          ///< successful merge_saves
   std::size_t flush_failures = 0;
+  std::size_t gossip_rounds = 0;    ///< completed pairwise peer SYNCs
+  std::size_t gossip_failures = 0;  ///< peer SYNCs that could not complete
   net::ServerStats net;
 };
 
@@ -89,6 +110,14 @@ class PlanServer {
   /// false on failure (recorded in stats).
   bool flush();
 
+  /// One pairwise SYNC with every configured peer: push this server's
+  /// registry, absorb each peer's in return (the peer's handler does
+  /// the mirror-image merge, so one round trip converges the pair to
+  /// the union).  Returns how many peer exchanges completed.  Never
+  /// throws; a dead peer just counts a gossip failure.  The background
+  /// loop (gossip_interval > 0) calls exactly this.
+  std::size_t gossip_pass();
+
   PlanServerStats stats() const;
   /// Most recent flush failure text ("" when none).
   std::string last_error() const;
@@ -99,12 +128,15 @@ class PlanServer {
   net::Frame handle(const net::Frame& request);
   std::string stats_text() const;
   void flush_loop();
+  void gossip_loop();
 
   PlanRegistry& registry_;
   PlanServerOptions options_;
   net::Server server_;
+  std::vector<std::unique_ptr<RemoteRegistry>> peers_;
 
   std::thread flush_thread_;
+  std::thread gossip_thread_;
   std::mutex flush_mutex_;
   std::condition_variable flush_cv_;
   bool flush_stop_ = false;
@@ -125,6 +157,8 @@ class PlanServer {
   std::atomic<std::size_t> bad_requests_{0};
   std::atomic<std::size_t> flushes_{0};
   std::atomic<std::size_t> flush_failures_{0};
+  std::atomic<std::size_t> gossip_rounds_{0};
+  std::atomic<std::size_t> gossip_failures_{0};
 };
 
 }  // namespace barracuda::serve::remote

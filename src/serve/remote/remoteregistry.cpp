@@ -13,82 +13,235 @@ namespace {
 net::ClientOptions client_options(const RemoteRegistryOptions& options) {
   net::ClientOptions out;
   out.timeout = options.timeout;
+  out.connect_timeout = options.connect_timeout;
   out.max_payload = options.max_payload;
   return out;
 }
 
 }  // namespace
 
+/// One replica: its client, its breaker, its counters.  The mutex
+/// serializes the connection and all round trips on THIS endpoint;
+/// different endpoints proceed concurrently (that is what makes a
+/// hedge a race and not a queue).
+struct RemoteRegistry::Link {
+  Link(net::Endpoint ep, const net::ClientOptions& copts)
+      : client(std::move(ep), copts) {}
+
+  std::mutex mutex;
+  net::Client client;
+  bool down = false;
+  std::chrono::steady_clock::time_point down_since{};
+  std::size_t errors = 0;
+  std::size_t unavailable = 0;
+  std::size_t reconnect_probes = 0;
+  std::size_t reconnect_healed = 0;
+  std::string last_error;
+};
+
+RemoteRegistry::RemoteRegistry(std::vector<net::Endpoint> endpoints,
+                               RemoteRegistryOptions options)
+    : options_(options) {
+  if (endpoints.empty()) {
+    throw Error("RemoteRegistry needs at least one endpoint");
+  }
+  const net::ClientOptions copts = client_options(options);
+  links_.reserve(endpoints.size());
+  for (net::Endpoint& ep : endpoints) {
+    links_.push_back(std::make_unique<Link>(std::move(ep), copts));
+  }
+}
+
 RemoteRegistry::RemoteRegistry(net::Endpoint endpoint,
                                RemoteRegistryOptions options)
-    : options_(options),
-      client_(std::move(endpoint), client_options(options)) {}
+    : RemoteRegistry(std::vector<net::Endpoint>{std::move(endpoint)},
+                     options) {}
 
-bool RemoteRegistry::ensure_link() {
-  if (client_.connected()) return true;
+RemoteRegistry::~RemoteRegistry() {
+  // Abandoned hedge round trips still reference links_; their futures
+  // block until the socket timeout bounds them out.
+  std::lock_guard<std::mutex> lock(hedge_mutex_);
+  hedge_pending_.clear();
+}
+
+bool RemoteRegistry::ensure_link(Link& link) {
+  if (link.client.connected()) return true;
   const auto now = std::chrono::steady_clock::now();
-  if (down_) {
-    const std::chrono::duration<double> since_down = now - down_since_;
+  if (link.down) {
+    const std::chrono::duration<double> since_down = now - link.down_since;
     if (since_down.count() < options_.reconnect_cooldown) {
-      return false;  // breaker open: serve local-only, do not even try
+      return false;  // breaker open: fail over, do not even try
     }
     // Half-open: this call is the single reconnect probe.
-    ++reconnect_probes_;
+    ++link.reconnect_probes;
   }
   try {
-    client_.connect();
+    link.client.connect();
   } catch (const std::exception& e) {
-    last_error_ = e.what();
-    down_ = true;
-    down_since_ = std::chrono::steady_clock::now();
+    link.last_error = e.what();
+    link.down = true;
+    link.down_since = std::chrono::steady_clock::now();
     return false;
   }
-  if (down_) {
-    down_ = false;
-    ++reconnect_healed_;
+  if (link.down) {
+    link.down = false;
+    ++link.reconnect_healed;
   }
   return true;
 }
 
-void RemoteRegistry::fail_link(const char* op, const std::exception& error) {
-  ++errors_;
-  last_error_ = std::string(op) + ": " + error.what();
-  client_.close();
-  down_ = true;
-  down_since_ = std::chrono::steady_clock::now();
+void RemoteRegistry::fail_link_locked(Link& link, const char* op,
+                                      const std::exception& error) {
+  link.last_error = std::string(op) + ": " + error.what();
+  link.client.close();
+  link.down = true;
+  link.down_since = std::chrono::steady_clock::now();
 }
 
-bool RemoteRegistry::roundtrip(const char* op, const net::Frame& request,
-                               net::Frame* response) {
-  // Caller holds mutex_.
-  if (!ensure_link()) {
-    ++errors_;
-    return false;
+bool RemoteRegistry::breaker_open(Link& link) {
+  // try_lock, not lock: a busy link (e.g. an abandoned hedge round trip
+  // still draining) is alive enough to hedge against — this check is an
+  // optimization to skip a KNOWN-dead primary, never worth blocking on.
+  std::unique_lock<std::mutex> lock(link.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (link.client.connected() || !link.down) return false;
+  const std::chrono::duration<double> since_down =
+      std::chrono::steady_clock::now() - link.down_since;
+  return since_down.count() < options_.reconnect_cooldown;
+}
+
+RemoteRegistry::LinkResult RemoteRegistry::roundtrip_on(
+    Link& link, const char* op, const net::Frame& request,
+    net::Frame* response) {
+  std::lock_guard<std::mutex> lock(link.mutex);
+  if (!ensure_link(link)) {
+    ++link.unavailable;
+    return LinkResult::kUnavailable;
   }
   try {
-    *response = client_.request(request);
+    *response = link.client.request(request);
   } catch (const std::exception& e) {
-    fail_link(op, e);  // transport failure: drop the link, open breaker
-    return false;
+    // Transport failure: drop the link, open this endpoint's breaker.
+    fail_link_locked(link, op, e);
+    ++link.unavailable;
+    return LinkResult::kUnavailable;
   }
   if (response->op == net::Op::kError) {
     // The server rejected THIS request but the transport works: count
     // the error, keep the link.  (A server that additionally closed the
     // connection surfaces as a transport failure on the next round
     // trip, which opens the breaker then.)
-    ++errors_;
-    last_error_ = std::string(op) + ": server error: " + response->payload;
-    return false;
+    ++link.errors;
+    link.last_error = std::string(op) + ": server error: " + response->payload;
+    return LinkResult::kError;
   }
-  return true;
+  return LinkResult::kOk;
+}
+
+void RemoteRegistry::park(std::future<LinkResult> pending) {
+  std::lock_guard<std::mutex> lock(hedge_mutex_);
+  // Reap settled strays so the vector stays tiny under steady hedging.
+  for (auto it = hedge_pending_.begin(); it != hedge_pending_.end();) {
+    if (it->wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      it = hedge_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  hedge_pending_.push_back(std::move(pending));
+}
+
+RemoteRegistry::LinkResult RemoteRegistry::fleet_get(
+    const net::Frame& request, net::Frame* response, std::size_t* winner) {
+  bool any_error = false;
+  const bool hedge_armed = options_.hedge_threshold > 0 && links_.size() > 1;
+  if (hedge_armed && !breaker_open(*links_.front())) {
+    // Hedged primary attempt: run the primary round trip on the side,
+    // give it hedge_threshold seconds, then race the other replicas.
+    Link& primary = *links_.front();
+    auto holder = std::make_shared<net::Frame>();
+    auto pending = std::async(std::launch::async,
+                              [this, &primary, request, holder] {
+                                return roundtrip_on(primary, "get_plan",
+                                                    request, holder.get());
+                              });
+    const auto threshold =
+        std::chrono::duration<double>(options_.hedge_threshold);
+    if (pending.wait_for(threshold) == std::future_status::ready) {
+      const LinkResult r = pending.get();
+      if (r == LinkResult::kOk) {
+        *response = *holder;
+        *winner = 0;
+        return r;
+      }
+      if (r == LinkResult::kError) any_error = true;
+      // fall through to the plain failover walk over the other replicas
+    } else {
+      hedges_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t j = 1; j < links_.size(); ++j) {
+        const LinkResult r = roundtrip_on(*links_[j], "get_plan", request,
+                                          response);
+        if (r == LinkResult::kOk) {
+          hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+          *winner = j;
+          // The slow primary keeps running, bounded by the socket
+          // timeout; never awaited inline on a serving path.
+          park(std::move(pending));
+          return r;
+        }
+        if (r == LinkResult::kError) any_error = true;
+      }
+      // Every hedge lost: the slow primary answer is all that is left.
+      const LinkResult r = pending.get();
+      if (r == LinkResult::kOk) {
+        *response = *holder;
+        *winner = 0;
+        return r;
+      }
+      if (r == LinkResult::kError) any_error = true;
+      return any_error ? LinkResult::kError : LinkResult::kUnavailable;
+    }
+    // Primary answered quickly but failed: fail over, endpoints 1..n.
+    for (std::size_t i = 1; i < links_.size(); ++i) {
+      const LinkResult r =
+          roundtrip_on(*links_[i], "get_plan", request, response);
+      if (r == LinkResult::kOk) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        *winner = i;
+        return r;
+      }
+      if (r == LinkResult::kError) any_error = true;
+    }
+    return any_error ? LinkResult::kError : LinkResult::kUnavailable;
+  }
+  // Plain deterministic walk in listed order; the first healthy
+  // replica answers, everything before it was a failover casualty.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkResult r = roundtrip_on(*links_[i], "get_plan", request,
+                                      response);
+    if (r == LinkResult::kOk) {
+      if (i > 0) failovers_.fetch_add(1, std::memory_order_relaxed);
+      *winner = i;
+      return r;
+    }
+    if (r == LinkResult::kError) any_error = true;
+  }
+  return any_error ? LinkResult::kError : LinkResult::kUnavailable;
 }
 
 RemoteStatus RemoteRegistry::fetch(const std::string& signature,
                                    PlanEntry* entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++gets_;
+  gets_.fetch_add(1, std::memory_order_relaxed);
   net::Frame response;
-  if (!roundtrip("get_plan", {net::Op::kGetPlan, signature}, &response)) {
+  std::size_t winner = 0;
+  const LinkResult result =
+      fleet_get({net::Op::kGetPlan, signature}, &response, &winner);
+  if (result == LinkResult::kError) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return RemoteStatus::kError;
+  }
+  if (result == LinkResult::kUnavailable) {
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
     return RemoteStatus::kUnavailable;
   }
   if (response.op == net::Op::kNotFound) return RemoteStatus::kMiss;
@@ -101,83 +254,191 @@ RemoteStatus RemoteRegistry::fetch(const std::string& signature,
     }
   } catch (const std::exception& e) {
     // A server speaking the protocol but returning garbage records is
-    // as unusable as a dead one — same degradation path.
-    fail_link("get_plan", e);
+    // as unusable as a dead one — same degradation path, charged to
+    // the replica that answered.
+    Link& link = *links_[winner];
+    {
+      std::lock_guard<std::mutex> lock(link.mutex);
+      fail_link_locked(link, "get_plan", e);
+      ++link.unavailable;
+    }
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
     return RemoteStatus::kUnavailable;
   }
-  ++get_hits_;
+  get_hits_.fetch_add(1, std::memory_order_relaxed);
   return RemoteStatus::kHit;
 }
 
-bool RemoteRegistry::publish(const std::string& signature,
-                             const PlanEntry& entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++puts_;
+RemoteWrite RemoteRegistry::publish(const std::string& signature,
+                                    const PlanEntry& entry) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
   net::Frame request{net::Op::kPutPlan, ""};
   try {
     request.payload = encode_plan(signature, entry);
   } catch (const std::exception& e) {
-    ++errors_;
-    last_error_ = std::string("put_plan: ") + e.what();
-    return false;
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    note_error(std::string("put_plan: ") + e.what());
+    return RemoteWrite::kError;
   }
-  net::Frame response;
-  if (!roundtrip("put_plan", request, &response)) return false;
-  const bool accepted = response.payload == "1";
-  if (accepted) ++put_accepted_;
-  return accepted;
+  // Fan out to every replica — better-wins makes duplicates idempotent,
+  // and a replica the op cannot reach simply learns the entry later via
+  // gossip.
+  bool any_ok = false;
+  bool accepted = false;
+  bool any_app_error = false;
+  for (auto& link : links_) {
+    net::Frame response;
+    switch (roundtrip_on(*link, "put_plan", request, &response)) {
+      case LinkResult::kOk:
+        any_ok = true;
+        if (response.payload == "1") accepted = true;
+        break;
+      case LinkResult::kError:
+        any_app_error = true;
+        break;
+      case LinkResult::kUnavailable:
+        break;
+    }
+  }
+  if (!any_ok) {
+    if (any_app_error) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return RemoteWrite::kError;
+    }
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    return RemoteWrite::kUnavailable;
+  }
+  if (!accepted) return RemoteWrite::kRejected;
+  put_accepted_.fetch_add(1, std::memory_order_relaxed);
+  return RemoteWrite::kOk;
 }
 
-bool RemoteRegistry::sync(PlanRegistry& registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++syncs_;
-  net::Frame request{net::Op::kSync, ""};
-  try {
-    request.payload = registry.to_text();
-  } catch (const std::exception& e) {
-    ++errors_;
-    last_error_ = std::string("sync: ") + e.what();
-    return false;
+RemoteWrite RemoteRegistry::sync(PlanRegistry& registry) {
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  bool any_ok = false;
+  bool any_app_error = false;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    Link& link = *links_[i];
+    net::Frame request{net::Op::kSync, ""};
+    try {
+      // Re-encoded per replica on purpose: the payload for replica i+1
+      // already contains whatever replica i's reply taught us, so one
+      // fan-out pass converges the whole set through this client.
+      request.payload = registry.to_text();
+    } catch (const std::exception& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      note_error(std::string("sync: ") + e.what());
+      return RemoteWrite::kError;
+    }
+    net::Frame response;
+    const LinkResult result = roundtrip_on(link, "sync", request, &response);
+    if (result == LinkResult::kUnavailable) continue;
+    if (result == LinkResult::kError) {
+      any_app_error = true;
+      continue;
+    }
+    try {
+      registry.merge_text(response.payload, "<plan-server>");
+      any_ok = true;
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(link.mutex);
+      fail_link_locked(link, "sync", e);
+      ++link.unavailable;
+    }
   }
-  net::Frame response;
-  if (!roundtrip("sync", request, &response)) return false;
-  try {
-    registry.merge_text(response.payload, "<plan-server>");
-  } catch (const std::exception& e) {
-    fail_link("sync", e);
-    return false;
+  if (any_ok) return RemoteWrite::kOk;
+  if (any_app_error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return RemoteWrite::kError;
   }
-  return true;
+  unavailable_.fetch_add(1, std::memory_order_relaxed);
+  return RemoteWrite::kUnavailable;
 }
 
 bool RemoteRegistry::ping() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  net::Frame response;
-  return roundtrip("ping", {net::Op::kPing, "barracuda"}, &response);
+  for (auto& link : links_) {
+    net::Frame response;
+    if (roundtrip_on(*link, "ping", {net::Op::kPing, "barracuda"},
+                     &response) == LinkResult::kOk) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool RemoteRegistry::stats_text(std::string* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  net::Frame response;
-  if (!roundtrip("stats", {net::Op::kStats, ""}, &response)) return false;
-  *out = response.payload;
-  return true;
+  for (auto& link : links_) {
+    net::Frame response;
+    if (roundtrip_on(*link, "stats", {net::Op::kStats, ""}, &response) ==
+        LinkResult::kOk) {
+      *out = response.payload;
+      return true;
+    }
+  }
+  return false;
+}
+
+RemoteTelemetry RemoteRegistry::telemetry() const {
+  RemoteTelemetry t;
+  t.failovers = failovers_.load(std::memory_order_relaxed);
+  t.hedges = hedges_.load(std::memory_order_relaxed);
+  t.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  return t;
+}
+
+void RemoteRegistry::note_error(const std::string& text) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  last_error_ = text;
 }
 
 RemoteRegistryStats RemoteRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   RemoteRegistryStats s;
-  s.gets = gets_;
-  s.get_hits = get_hits_;
-  s.puts = puts_;
-  s.put_accepted = put_accepted_;
-  s.syncs = syncs_;
-  s.errors = errors_;
-  s.reconnect_probes = reconnect_probes_;
-  s.reconnect_healed = reconnect_healed_;
-  s.link_up = client_.connected();
-  s.last_error = last_error_;
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.get_hits = get_hits_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.put_accepted = put_accepted_.load(std::memory_order_relaxed);
+  s.syncs = syncs_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.unavailable = unavailable_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.hedges = hedges_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    s.last_error = last_error_;
+  }
+  s.endpoints.reserve(links_.size());
+  for (const auto& link_ptr : links_) {
+    Link& link = *link_ptr;
+    std::lock_guard<std::mutex> lock(link.mutex);
+    EndpointStats es;
+    es.endpoint = net::to_string(link.client.endpoint());
+    es.link_up = link.client.connected();
+    es.errors = link.errors;
+    es.unavailable = link.unavailable;
+    es.reconnect_probes = link.reconnect_probes;
+    es.reconnect_healed = link.reconnect_healed;
+    es.last_error = link.last_error;
+    s.reconnect_probes += link.reconnect_probes;
+    s.reconnect_healed += link.reconnect_healed;
+    if (link.client.connected()) s.link_up = true;
+    if (s.last_error.empty() && !link.last_error.empty()) {
+      s.last_error = link.last_error;
+    }
+    s.endpoints.push_back(std::move(es));
+  }
   return s;
+}
+
+std::vector<net::Endpoint> RemoteRegistry::endpoints() const {
+  std::vector<net::Endpoint> out;
+  out.reserve(links_.size());
+  for (const auto& link : links_) out.push_back(link->client.endpoint());
+  return out;
+}
+
+const net::Endpoint& RemoteRegistry::endpoint() const {
+  return links_.front()->client.endpoint();
 }
 
 }  // namespace barracuda::serve::remote

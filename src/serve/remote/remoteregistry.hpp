@@ -1,36 +1,63 @@
 // RemoteRegistry: the production RemoteBackend — a blocking frame
-// client to a PlanServer, wrapped in the same half-open breaker shape
-// the TuningService uses for poisoned tunes, applied to the CONNECTION:
+// client over a plan-server replica SET, wrapped in the same half-open
+// breaker shape the TuningService uses for poisoned tunes, applied
+// PER ENDPOINT:
 //
 //   closed (link up)   operations run; any transport failure closes the
-//                      socket and opens the breaker
-//   open               operations return kUnavailable/false instantly —
-//                      the node serves local-only, no client ever waits
-//                      on a dead server — until reconnect_cooldown has
-//                      elapsed
-//   half-open          the next operation admits exactly ONE reconnect
-//                      probe (callers serialize on the link mutex, so
-//                      "exactly one" is structural): success heals the
-//                      link and runs the operation; failure re-opens
-//                      the breaker with a fresh cool-down
+//                      socket and opens that endpoint's breaker
+//   open               operations skip the endpoint instantly — traffic
+//                      fails over to the next replica in listed order,
+//                      no client ever waits on a dead server — until
+//                      reconnect_cooldown has elapsed
+//   half-open          the next operation on the endpoint admits
+//                      exactly ONE reconnect probe (callers serialize
+//                      on the link mutex, so "exactly one" is
+//                      structural): success heals the link and runs
+//                      the operation; failure re-opens the breaker
+//                      with a fresh cool-down
+//
+// Fleet semantics (endpoints are tried in listed order — deterministic
+// selection, the first endpoint is the primary):
+//
+//   GET_PLAN   served by the first healthy replica; a transport failure
+//              fails over to the next one, and only when EVERY replica
+//              is unreachable does the op report kUnavailable.  A miss
+//              from a healthy replica is authoritative (gossip keeps
+//              replicas converged, so asking the others would only buy
+//              latency).
+//   PUT/SYNC   fan out to every replica; better-wins makes duplicate
+//              publishes idempotent, and each SYNC re-encodes the
+//              local registry so later replicas receive what earlier
+//              ones taught us.  kOk when at least one replica
+//              completed the round.
+//   hedging    with hedge_threshold > 0, a GET_PLAN the primary has
+//              not answered within the threshold races a duplicate on
+//              the next replica and the FIRST answer wins; the slow
+//              primary round trip is parked (bounded by the socket
+//              timeout) and reaped later, never awaited inline.
 //
 // An application-level kError response (the server rejected one
-// request) counts as an error but does NOT open the breaker — the
-// transport demonstrably works.  A server that closed the connection
-// after a protocol error surfaces as a transport failure on the next
-// operation, which is what trips the breaker and later exercises the
-// reconnect probe.
+// request) counts against that endpoint but does NOT open its breaker
+// — the transport demonstrably works.  A server that closed the
+// connection after a protocol error surfaces as a transport failure on
+// the next operation, which is what trips the breaker and later
+// exercises the reconnect probe.
 //
-// Fault site: `serve.remote.publish` is armed at the TuningService's
+// Fault sites: `serve.remote.publish` is armed at the TuningService's
 // publish call site (the layer above), so this class stays a pure
-// transport.  `net.read`/`net.write`/`net.frame.corrupt` fire inside
-// the frame I/O this class performs.
+// transport.  `net.connect` fires inside connect_endpoint;
+// `net.read`/`net.write`/`net.frame.corrupt` fire inside the frame I/O
+// this class performs.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "net/client.hpp"
 #include "serve/remotebackend.hpp"
@@ -40,10 +67,28 @@ namespace barracuda::serve::remote {
 struct RemoteRegistryOptions {
   /// Per-operation socket timeout in seconds.
   double timeout = 5.0;
+  /// Bound on connect(2) per attempt (see net::ClientOptions).
+  double connect_timeout = 5.0;
   /// Seconds an opened link breaker waits before admitting one
   /// reconnect probe.
   double reconnect_cooldown = 1.0;
+  /// Hedged reads: > 0 arms hedging — a GET_PLAN the primary has not
+  /// answered within this many seconds races a duplicate on the next
+  /// healthy replica, first answer wins.  0 (the default) disables
+  /// hedging.  Only meaningful with >= 2 endpoints.
+  double hedge_threshold = 0;
   std::size_t max_payload = net::kMaxPayload;
+};
+
+/// Per-endpoint health and failure counters.
+struct EndpointStats {
+  std::string endpoint;
+  bool link_up = false;
+  std::size_t errors = 0;       ///< app-level kError replies
+  std::size_t unavailable = 0;  ///< transport failures + breaker skips
+  std::size_t reconnect_probes = 0;
+  std::size_t reconnect_healed = 0;
+  std::string last_error;
 };
 
 struct RemoteRegistryStats {
@@ -52,58 +97,98 @@ struct RemoteRegistryStats {
   std::size_t puts = 0;
   std::size_t put_accepted = 0;
   std::size_t syncs = 0;
-  std::size_t errors = 0;         ///< failed operations (any cause)
-  std::size_t reconnect_probes = 0;
-  std::size_t reconnect_healed = 0;
-  bool link_up = false;
+  std::size_t errors = 0;       ///< ops that ended in an app-level error
+  std::size_t unavailable = 0;  ///< ops with no reachable replica at all
+  std::size_t failovers = 0;    ///< reads answered past a failed primary
+  std::size_t hedges = 0;       ///< hedged reads launched
+  std::size_t hedge_wins = 0;   ///< hedges the second replica won
+  std::size_t reconnect_probes = 0;  ///< summed across endpoints
+  std::size_t reconnect_healed = 0;  ///< summed across endpoints
+  bool link_up = false;  ///< true when ANY endpoint is connected
   std::string last_error;
+  std::vector<EndpointStats> endpoints;
 };
 
 class RemoteRegistry : public RemoteBackend {
  public:
+  /// Single-replica form (the PR-9 star topology).
   explicit RemoteRegistry(net::Endpoint endpoint,
                           RemoteRegistryOptions options = {});
+  /// Replica-set form: endpoints are tried in the given order.  Throws
+  /// Error when `endpoints` is empty.
+  explicit RemoteRegistry(std::vector<net::Endpoint> endpoints,
+                          RemoteRegistryOptions options = {});
+  ~RemoteRegistry() override;
 
-  // RemoteBackend: never throws, never blocks past the socket timeout.
+  // RemoteBackend: never throws, never blocks past the socket timeout
+  // (times the endpoint count, when every replica must be probed).
   RemoteStatus fetch(const std::string& signature, PlanEntry* entry) override;
-  bool publish(const std::string& signature, const PlanEntry& entry) override;
-  bool sync(PlanRegistry& registry) override;
+  RemoteWrite publish(const std::string& signature,
+                      const PlanEntry& entry) override;
+  RemoteWrite sync(PlanRegistry& registry) override;
+  RemoteTelemetry telemetry() const override;
 
-  /// Liveness round trip (also a cheap way to force a reconnect probe).
+  /// Liveness round trip: true when ANY replica answers (also a cheap
+  /// way to force reconnect probes).
   bool ping();
 
-  /// The server's STATS text; false when unavailable.
+  /// The STATS text of the first replica that answers; false when none
+  /// does.
   bool stats_text(std::string* out);
 
   RemoteRegistryStats stats() const;
 
-  const net::Endpoint& endpoint() const { return client_.endpoint(); }
+  std::vector<net::Endpoint> endpoints() const;
+  /// The primary endpoint (kept for single-replica callers and logs).
+  const net::Endpoint& endpoint() const;
 
  private:
-  /// Under mutex_: true when the link is usable — connected, or
+  struct Link;
+  /// Per-endpoint attempt verdict, folded into the op-level result.
+  enum class LinkResult { kOk, kError, kUnavailable };
+
+  /// Under link.mutex: true when the link is usable — connected, or
   /// (re)connected by this call.  Applies the breaker policy.
-  bool ensure_link();
-  /// Under mutex_: record a failed operation and open the breaker.
-  void fail_link(const char* op, const std::exception& error);
-  /// One guarded round trip; kError responses do not drop the link.
-  bool roundtrip(const char* op, const net::Frame& request,
-                 net::Frame* response);
+  bool ensure_link(Link& link);
+  /// Under link.mutex: record a failed operation and open the breaker.
+  void fail_link_locked(Link& link, const char* op,
+                        const std::exception& error);
+  /// One guarded round trip on one endpoint; kError responses do not
+  /// drop the link.
+  LinkResult roundtrip_on(Link& link, const char* op,
+                          const net::Frame& request, net::Frame* response);
+  /// True when the endpoint's breaker is open (still cooling down).
+  bool breaker_open(Link& link);
+  /// GET with failover (and hedging when armed): *winner is the index
+  /// of the replica that answered.
+  LinkResult fleet_get(const net::Frame& request, net::Frame* response,
+                       std::size_t* winner);
+  /// Stash an abandoned hedge round trip; reaps settled ones.
+  void park(std::future<LinkResult> pending);
+
+  void note_error(const std::string& text);
 
   RemoteRegistryOptions options_;
-  mutable std::mutex mutex_;  ///< serializes the link and all RTTs
-  net::Client client_;
-  bool down_ = false;
-  std::chrono::steady_clock::time_point down_since_{};
-  std::string last_error_;
+  std::vector<std::unique_ptr<Link>> links_;
 
-  std::size_t gets_ = 0;
-  std::size_t get_hits_ = 0;
-  std::size_t puts_ = 0;
-  std::size_t put_accepted_ = 0;
-  std::size_t syncs_ = 0;
-  std::size_t errors_ = 0;
-  std::size_t reconnect_probes_ = 0;
-  std::size_t reconnect_healed_ = 0;
+  std::atomic<std::size_t> gets_{0};
+  std::atomic<std::size_t> get_hits_{0};
+  std::atomic<std::size_t> puts_{0};
+  std::atomic<std::size_t> put_accepted_{0};
+  std::atomic<std::size_t> syncs_{0};
+  std::atomic<std::size_t> errors_{0};
+  std::atomic<std::size_t> unavailable_{0};
+  std::atomic<std::size_t> failovers_{0};
+  std::atomic<std::size_t> hedges_{0};
+  std::atomic<std::size_t> hedge_wins_{0};
+
+  mutable std::mutex error_mutex_;
+  std::string last_error_;  ///< op-level failures (e.g. encoding)
+
+  // Declared after links_ so abandoned hedges (whose lambdas touch a
+  // Link) are drained before any Link is destroyed.
+  std::mutex hedge_mutex_;
+  std::vector<std::future<LinkResult>> hedge_pending_;
 };
 
 }  // namespace barracuda::serve::remote

@@ -2,15 +2,20 @@
 // network headers: the service consults a RemoteBackend on a local
 // (L1) registry miss, publishes freshly tuned plans through it, and
 // periodically runs full anti-entropy syncs against it.  The production
-// implementation is serve::remote::RemoteRegistry (a socket client with
-// a half-open reconnect breaker); tests substitute in-process fakes.
+// implementation is serve::remote::RemoteRegistry (a socket client over
+// a replica SET with per-endpoint half-open breakers, failover, and
+// optional hedged reads); tests substitute in-process fakes.
 //
 // Contract: implementations NEVER throw and NEVER block unboundedly —
 // a broken or slow backend must degrade the node to local-only
 // serving, not fail or stall a request.  Failures are reported through
-// the return values (kUnavailable / false).
+// the return values, which distinguish "the tier answered and said no"
+// (kError — transport works, request rejected) from "no replica could
+// be reached at all" (kUnavailable) so the service's stats and the
+// operator's failover picture stay honest.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "serve/registry.hpp"
@@ -20,7 +25,26 @@ namespace barracuda::serve {
 enum class RemoteStatus {
   kHit,          ///< the backend returned a plan
   kMiss,         ///< the backend is healthy but has no plan
-  kUnavailable,  ///< the backend cannot be reached right now
+  kError,        ///< a replica was reached but rejected the request
+  kUnavailable,  ///< no replica could be reached right now
+};
+
+/// Result of a write-shaped backend operation (publish / sync).
+enum class RemoteWrite {
+  kOk,           ///< completed; for publish: accepted as an improvement
+  kRejected,     ///< completed; the backend already holds better
+  kError,        ///< a replica was reached but rejected the request
+  kUnavailable,  ///< no replica could be reached right now
+};
+
+/// Replication-level counters a backend may expose (all zero for
+/// single-endpoint or in-process backends): reads answered by a
+/// non-primary replica after the primary failed, hedged reads
+/// launched, and hedges the second replica won.
+struct RemoteTelemetry {
+  std::size_t failovers = 0;
+  std::size_t hedges = 0;
+  std::size_t hedge_wins = 0;
 };
 
 class RemoteBackend {
@@ -31,18 +55,23 @@ class RemoteBackend {
   virtual RemoteStatus fetch(const std::string& signature,
                              PlanEntry* entry) = 0;
 
-  /// Offer `entry` to the backend (better-wins on its side).  Returns
-  /// true when the backend ACCEPTED the offer as an improvement; false
-  /// on "already have better" and on failure alike — publish is
-  /// best-effort by design.
-  virtual bool publish(const std::string& signature,
-                       const PlanEntry& entry) = 0;
+  /// Offer `entry` to the backend (better-wins on its side, fanned out
+  /// to every healthy replica — duplicates are idempotent).  kOk when
+  /// at least one replica ACCEPTED the offer as an improvement;
+  /// kRejected when every reachable replica already held better —
+  /// publish is best-effort by design.
+  virtual RemoteWrite publish(const std::string& signature,
+                              const PlanEntry& entry) = 0;
 
   /// One full anti-entropy round: push `registry`'s state, absorb the
   /// backend's in return (both sides converge to the exact union —
-  /// better-wins entries, max/freshest demand).  Returns false when the
-  /// round could not complete.
-  virtual bool sync(PlanRegistry& registry) = 0;
+  /// better-wins entries, max/freshest demand).  kOk when at least one
+  /// round completed.
+  virtual RemoteWrite sync(PlanRegistry& registry) = 0;
+
+  /// Replication counters; the default suits backends with nothing to
+  /// report.
+  virtual RemoteTelemetry telemetry() const { return {}; }
 };
 
 }  // namespace barracuda::serve

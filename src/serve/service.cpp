@@ -161,10 +161,16 @@ ServedPlan TuningService::serve_signature(std::string sig,
       case RemoteStatus::kMiss:
         remote_misses_.fetch_add(1, std::memory_order_relaxed);
         break;
-      case RemoteStatus::kUnavailable:
-        // Degraded to local-only for this request; the backend's own
-        // breaker decides when to probe the link again.
+      case RemoteStatus::kError:
+        // A replica answered and rejected the request — the transport
+        // works, so this is an application problem, not a dead fleet.
         remote_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RemoteStatus::kUnavailable:
+        // No replica reachable: degraded to local-only for this
+        // request; the backend's per-endpoint breakers decide when to
+        // probe the links again.
+        remote_unavailable_.fetch_add(1, std::memory_order_relaxed);
         break;
     }
   }
@@ -490,11 +496,20 @@ void TuningService::run_tune(const std::string& sig,
   if (succeeded && options_.remote) {
     try {
       support::fault::maybe_throw("serve.remote.publish");
-      // false covers both "backend already holds better" and "backend
-      // unreachable" — the backend's own stats split those; only an
-      // accepted offer counts as a publish here.
-      if (options_.remote->publish(sig, tuned)) {
-        remote_publishes_.fetch_add(1, std::memory_order_relaxed);
+      // Only an accepted offer counts as a publish; "backend already
+      // holds better" is the idempotent fan-out case and costs nothing.
+      switch (options_.remote->publish(sig, tuned)) {
+        case RemoteWrite::kOk:
+          remote_publishes_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RemoteWrite::kRejected:
+          break;
+        case RemoteWrite::kError:
+          remote_errors_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RemoteWrite::kUnavailable:
+          remote_unavailable_.fetch_add(1, std::memory_order_relaxed);
+          break;
       }
     } catch (const std::exception& e) {
       remote_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -638,18 +653,25 @@ void TuningService::retune_loop() {
 
 bool TuningService::anti_entropy_pass() {
   if (!options_.remote) return false;
-  bool completed = false;
+  RemoteWrite result = RemoteWrite::kError;
   try {
-    completed = options_.remote->sync(registry_);
+    result = options_.remote->sync(registry_);
   } catch (...) {
-    completed = false;  // backends must not throw; fence anyway
+    result = RemoteWrite::kError;  // backends must not throw; fence anyway
   }
-  if (completed) {
-    anti_entropy_rounds_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    remote_errors_.fetch_add(1, std::memory_order_relaxed);
+  switch (result) {
+    case RemoteWrite::kOk:
+    case RemoteWrite::kRejected:  // sync never rejects; treat as done
+      anti_entropy_rounds_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case RemoteWrite::kError:
+      remote_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case RemoteWrite::kUnavailable:
+      remote_unavailable_.fetch_add(1, std::memory_order_relaxed);
+      return false;
   }
-  return completed;
+  return false;
 }
 
 void TuningService::anti_entropy_loop() {
@@ -723,6 +745,15 @@ ServeStats TuningService::snapshot() const {
   s.remote_misses = remote_misses_.load(std::memory_order_relaxed);
   s.remote_publishes = remote_publishes_.load(std::memory_order_relaxed);
   s.remote_errors = remote_errors_.load(std::memory_order_relaxed);
+  s.remote_unavailable = remote_unavailable_.load(std::memory_order_relaxed);
+  if (options_.remote) {
+    // Replication counters live on the backend (it owns the endpoint
+    // set); the snapshot mirrors them so one struct tells the story.
+    const RemoteTelemetry t = options_.remote->telemetry();
+    s.remote_failovers = t.failovers;
+    s.remote_hedges = t.hedges;
+    s.remote_hedge_wins = t.hedge_wins;
+  }
   s.anti_entropy_rounds =
       anti_entropy_rounds_.load(std::memory_order_relaxed);
   s.registry_hits = registry_.hits();

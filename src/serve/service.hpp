@@ -163,9 +163,10 @@ struct ServeOptions {
   /// published into the local registry (better-wins) and served like a
   /// warm answer — the node inherits the fleet's tuning instead of
   /// redoing it.  Freshly tuned plans are published back through the
-  /// backend (best-effort; counted in ServeStats::remote_errors when
-  /// it fails).  The warm L1 path never touches the backend.  nullptr
-  /// (the default) keeps the service purely local.
+  /// backend (best-effort; failures count in ServeStats::remote_errors
+  /// or remote_unavailable depending on whether a replica answered).
+  /// The warm L1 path never touches the backend.  nullptr (the
+  /// default) keeps the service purely local.
   std::shared_ptr<RemoteBackend> remote;
   /// Seconds between background anti-entropy rounds against `remote`
   /// (full-registry sync; see RemoteBackend::sync).  0 (the default)
@@ -281,12 +282,21 @@ struct ServeStats {
   /// Remote (L2) plan tier, all zero without ServeOptions::remote:
   /// local misses answered by the backend (each skipped a cold tune),
   /// local misses the backend also missed, tuned plans published back,
-  /// failed backend operations (the node degraded to local-only for
-  /// that op), and completed anti-entropy rounds.
+  /// backend operations rejected at the app level (a replica answered
+  /// and said no), backend operations with no reachable replica at all
+  /// (the node degraded to local-only for that op), and completed
+  /// anti-entropy rounds.  The replication counters mirror the
+  /// backend's RemoteTelemetry: reads answered by a non-primary
+  /// replica after the primary failed, hedged reads launched, and
+  /// hedges the second replica won.
   std::size_t remote_hits = 0;
   std::size_t remote_misses = 0;
   std::size_t remote_publishes = 0;
   std::size_t remote_errors = 0;
+  std::size_t remote_unavailable = 0;
+  std::size_t remote_failovers = 0;
+  std::size_t remote_hedges = 0;
+  std::size_t remote_hedge_wins = 0;
   std::size_t anti_entropy_rounds = 0;
   /// Demand recorded on the shared registry: total requests (including
   /// baselines loaded from v2 files) and the merged served-latency
@@ -391,7 +401,8 @@ class TuningService {
   /// local registry's full state, absorb the backend's in return (both
   /// converge to the exact union — better-wins entries, max/freshest
   /// demand).  Returns true when the round completed; false without a
-  /// backend or when it is unavailable (counted in remote_errors).
+  /// backend or when it failed (counted in remote_errors or
+  /// remote_unavailable depending on whether a replica answered).
   /// Thread-safe; the background thread (anti_entropy_interval > 0)
   /// calls exactly this.
   bool anti_entropy_pass();
@@ -482,6 +493,7 @@ class TuningService {
   std::atomic<std::size_t> remote_misses_{0};
   std::atomic<std::size_t> remote_publishes_{0};
   std::atomic<std::size_t> remote_errors_{0};
+  std::atomic<std::size_t> remote_unavailable_{0};
   std::atomic<std::size_t> anti_entropy_rounds_{0};
 
   /// mutex_ protects ONLY the tune-scheduling state below — it is taken

@@ -42,6 +42,9 @@
 //                            tuned plan to the remote tier
 //   net.accept               net::Server, each accepted connection (hit()
 //                            true = drop the connection immediately)
+//   net.connect              net::connect_endpoint, per connect attempt
+//                            (hit() true = the real failure branch runs:
+//                            close + throw, as for an unreachable host)
 //   net.read                 netio::read_exact, per call (client and server)
 //   net.write                netio::write_all, per call (client and server)
 //   net.frame.corrupt        net::write_frame, per frame (hit() true =

@@ -1,0 +1,114 @@
+// connect_endpoint's bounded connect and its fault site: a positive
+// connect_timeout takes the non-blocking connect+poll path (and must
+// still succeed against live listeners, Unix and TCP alike), failures
+// name the endpoint, and an armed `net.connect` probe rides the REAL
+// failure branch — close + throw, the same path an unreachable host
+// takes — with deterministic one-draw-per-call accounting.
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+#include <string>
+
+#include "net/socket.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+
+namespace barracuda::net {
+namespace {
+
+#ifndef _WIN32
+
+/// Unique Unix-socket path under the gtest temp dir.
+struct SocketPath {
+  explicit SocketPath(const std::string& name)
+      : path(testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~SocketPath() { std::remove(path.c_str()); }
+  Endpoint endpoint() const {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = path;
+    return ep;
+  }
+  std::string path;
+};
+
+TEST(NetSocket, BoundedConnectSucceedsAgainstLiveListeners) {
+  // Unix: the timeout path flips the fd non-blocking and back — the
+  // returned fd must still behave like a plain blocking socket.
+  SocketPath sock("net_socket_bounded.sock");
+  const int unix_listener = listen_unix(sock.path);
+  ASSERT_GE(unix_listener, 0);
+  const int unix_fd = connect_endpoint(sock.endpoint(), 2.0);
+  EXPECT_GE(unix_fd, 0);
+  ::close(unix_fd);
+  ::close(unix_listener);
+
+  // TCP loopback on an ephemeral port, same bounded path.
+  std::uint16_t port = 0;
+  const int tcp_listener = listen_tcp("127.0.0.1", 0, &port);
+  ASSERT_GE(tcp_listener, 0);
+  Endpoint tcp;
+  tcp.kind = Endpoint::Kind::kTcp;
+  tcp.host = "127.0.0.1";
+  tcp.port = port;
+  const int tcp_fd = connect_endpoint(tcp, 2.0);
+  EXPECT_GE(tcp_fd, 0);
+  ::close(tcp_fd);
+  ::close(tcp_listener);
+}
+
+TEST(NetSocket, ConnectFailureNamesTheEndpoint) {
+  SocketPath missing("net_socket_missing.sock");
+  try {
+    connect_endpoint(missing.endpoint(), 2.0);
+    FAIL() << "connect to a missing path must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(std::string::npos, what.find(missing.path))
+        << "error must name the path: " << what;
+    EXPECT_NE(std::string::npos, what.find("connect")) << what;
+  }
+}
+
+TEST(NetSocket, ConnectFaultRidesTheRealFailureBranch) {
+  // The listener is alive the whole time: only the armed probe makes
+  // the connect fail, proving the fault rides the failure branch
+  // rather than short-circuiting around the socket work.
+  SocketPath sock("net_socket_fault.sock");
+  const int listener = listen_unix(sock.path);
+  ASSERT_GE(listener, 0);
+
+  support::fault::clear();
+  support::fault::enable("net.connect", 1.0, 42, /*limit=*/1);
+  try {
+    connect_endpoint(sock.endpoint(), 2.0);
+    FAIL() << "armed net.connect probe must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(std::string::npos, what.find("injected fault at net.connect"))
+        << what;
+    EXPECT_NE(std::string::npos, what.find(sock.path))
+        << "even the injected failure names the endpoint: " << what;
+  }
+  const support::fault::SiteStats stats = support::fault::stats("net.connect");
+  EXPECT_EQ(1u, stats.probes);
+  EXPECT_EQ(1u, stats.hits);
+
+  // limit=1 disarmed the site: the very next connect goes through.
+  const int fd = connect_endpoint(sock.endpoint(), 2.0);
+  EXPECT_GE(fd, 0);
+  ::close(fd);
+  ::close(listener);
+  support::fault::clear();
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace barracuda::net

@@ -1,0 +1,278 @@
+// The replicated plan-server fleet, exercised in-process over real
+// Unix sockets: deterministic failover of reads to the next healthy
+// replica, authoritative misses (a converged fleet is not asked
+// twice), PUT fan-out reaching every replica with idempotent
+// duplicates, hedged reads racing a stalled primary, and peer gossip
+// converging two servers to byte-identical registries — including a
+// partition that heals.
+//
+// Runs under the sanitizer matrices in CI (suite name ServeFleet is
+// targeted by -R there); keep every timeout short and every socket a
+// UDS path.
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "serve/registry.hpp"
+#include "serve/remote/planserver.hpp"
+#include "serve/remote/remoteregistry.hpp"
+
+namespace barracuda::serve {
+namespace {
+
+namespace remote = barracuda::serve::remote;
+
+/// Unique Unix-socket path under the gtest temp dir (kept short —
+/// sun_path is only ~100 bytes).
+struct SocketPath {
+  explicit SocketPath(const std::string& name)
+      : path(testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~SocketPath() { std::remove(path.c_str()); }
+  net::Endpoint endpoint() const {
+    net::Endpoint ep;
+    ep.kind = net::Endpoint::Kind::kUnix;
+    ep.path = path;
+    return ep;
+  }
+  std::string path;
+};
+
+PlanEntry entry(double us, bool tuned, std::size_t variant = 0) {
+  PlanEntry e;
+  e.variant = variant;
+  e.recipe_text =
+      "kernel 1: tx=i ty=1 bx=j by=1 seq=k unroll=2 registers=1 shared=-\n";
+  e.modeled_us = us;
+  e.tuned = tuned;
+  return e;
+}
+
+/// A started in-process plan server on a fresh UDS path.
+struct ServerFixture {
+  SocketPath sock;
+  PlanRegistry registry;
+  remote::PlanServer server;
+  explicit ServerFixture(const std::string& name,
+                         remote::PlanServerOptions options = {})
+      : sock(name), server(registry, options) {
+    server.listen_unix(sock.path);
+    server.start();
+  }
+};
+
+/// A fleet link over the given replicas, listed order = failover order.
+remote::RemoteRegistry fleet_link(
+    const std::vector<net::Endpoint>& endpoints,
+    remote::RemoteRegistryOptions options = {}) {
+  return remote::RemoteRegistry(endpoints, options);
+}
+
+TEST(ServeFleet, ReadsFailOverToTheNextHealthyReplica) {
+  auto a = std::make_unique<ServerFixture>("fleet_failover_a.sock");
+  ServerFixture b("fleet_failover_b.sock");
+
+  remote::RemoteRegistryOptions options;
+  options.timeout = 2.0;
+  options.connect_timeout = 2.0;
+  options.reconnect_cooldown = 5.0;  // a probed-dead endpoint stays skipped
+  remote::RemoteRegistry fleet =
+      fleet_link({a->sock.endpoint(), b.sock.endpoint()}, options);
+
+  ASSERT_EQ(RemoteWrite::kOk, fleet.publish("sig", entry(100, true)));
+  PlanEntry got;
+  ASSERT_EQ(RemoteStatus::kHit, fleet.fetch("sig", &got));
+  EXPECT_EQ(0u, fleet.telemetry().failovers) << "healthy primary answered";
+
+  // Kill the primary: reads must keep hitting, answered by the second
+  // replica, and the casualty must be charged to endpoint 0 only.
+  a.reset();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(RemoteStatus::kHit, fleet.fetch("sig", &got)) << "round " << i;
+    EXPECT_EQ(100, got.modeled_us);
+  }
+  const remote::RemoteRegistryStats stats = fleet.stats();
+  EXPECT_GE(stats.failovers, 1u);
+  ASSERT_EQ(2u, stats.endpoints.size());
+  EXPECT_GE(stats.endpoints[0].unavailable, 1u);
+  EXPECT_EQ(0u, stats.endpoints[1].unavailable);
+  EXPECT_EQ(0u, stats.endpoints[1].errors);
+  // Every failed-over read charges the dead endpoint (that is the
+  // unavailability ledger), but the open breaker makes each charge
+  // cheap: within the cooldown the endpoint is never re-dialed.
+  ASSERT_EQ(RemoteStatus::kHit, fleet.fetch("sig", &got));
+  EXPECT_EQ(0u, fleet.stats().endpoints[0].reconnect_probes)
+      << "the open breaker must not re-dial the dead primary";
+}
+
+TEST(ServeFleet, MissesAreAuthoritativeWithoutFailover) {
+  ServerFixture a("fleet_miss_a.sock");
+  ServerFixture b("fleet_miss_b.sock");
+  remote::RemoteRegistry fleet =
+      fleet_link({a.sock.endpoint(), b.sock.endpoint()});
+
+  // Even when the second replica HAS the plan, a primary miss is final:
+  // gossip keeps replicas converged, so asking around only buys latency.
+  b.registry.publish("sig", entry(100, true));
+  PlanEntry got;
+  EXPECT_EQ(RemoteStatus::kMiss, fleet.fetch("sig", &got));
+  EXPECT_EQ(0u, fleet.telemetry().failovers);
+  EXPECT_EQ(0u, b.server.stats().gets) << "the miss must not fan out";
+}
+
+TEST(ServeFleet, PutsFanOutToEveryReplicaAndDuplicatesStayIdempotent) {
+  ServerFixture a("fleet_fanout_a.sock");
+  ServerFixture b("fleet_fanout_b.sock");
+  remote::RemoteRegistry fleet =
+      fleet_link({a.sock.endpoint(), b.sock.endpoint()});
+
+  ASSERT_EQ(RemoteWrite::kOk, fleet.publish("sig", entry(100, true, 3)));
+  PlanEntry got_a;
+  PlanEntry got_b;
+  ASSERT_TRUE(a.registry.peek("sig", &got_a));
+  ASSERT_TRUE(b.registry.peek("sig", &got_b));
+  EXPECT_EQ(got_a, got_b);
+  EXPECT_EQ(3u, got_a.variant);
+
+  // The same offer again is old news everywhere: kRejected, and neither
+  // registry changes.
+  EXPECT_EQ(RemoteWrite::kRejected, fleet.publish("sig", entry(100, true, 3)));
+  // A better offer wins everywhere.
+  EXPECT_EQ(RemoteWrite::kOk, fleet.publish("sig", entry(50, true)));
+  ASSERT_TRUE(a.registry.peek("sig", &got_a));
+  ASSERT_TRUE(b.registry.peek("sig", &got_b));
+  EXPECT_EQ(50, got_a.modeled_us);
+  EXPECT_EQ(50, got_b.modeled_us);
+}
+
+#ifndef _WIN32
+TEST(ServeFleet, HedgedReadRacesAStalledPrimary) {
+  // The stalled primary: a listener that accepts connections (the
+  // backlog does, at least) but never answers a frame — connect and
+  // write succeed, the read blocks until the socket timeout.
+  SocketPath stalled("fleet_hedge_stall.sock");
+  const int listener = net::listen_unix(stalled.path);
+  ASSERT_GE(listener, 0);
+  ServerFixture healthy("fleet_hedge_b.sock");
+  healthy.registry.publish("sig", entry(100, true));
+
+  remote::RemoteRegistryOptions options;
+  options.timeout = 1.0;           // bounds the abandoned primary read
+  options.hedge_threshold = 0.02;  // hedge long before that timeout
+  {
+    remote::RemoteRegistry fleet =
+        fleet_link({stalled.endpoint(), healthy.sock.endpoint()}, options);
+
+    const auto before = std::chrono::steady_clock::now();
+    PlanEntry got;
+    ASSERT_EQ(RemoteStatus::kHit, fleet.fetch("sig", &got));
+    const std::chrono::duration<double> took =
+        std::chrono::steady_clock::now() - before;
+    EXPECT_EQ(100, got.modeled_us);
+    // The hedge answered: well under the 1 s the primary read needs to
+    // give up (generous margin, CI sanitizer builds are slow).
+    EXPECT_LT(took.count(), 0.9);
+    const RemoteTelemetry t = fleet.telemetry();
+    EXPECT_GE(t.hedges, 1u);
+    EXPECT_GE(t.hedge_wins, 1u);
+    // Destruction drains the parked primary round trip (bounded by the
+    // socket timeout) — the scope exit is the assertion.
+  }
+  ::close(listener);
+}
+#endif  // !_WIN32
+
+TEST(ServeFleet, GossipConvergesPeersToByteIdenticalRegistries) {
+  // Manual gossip (interval 0 keeps the loop thread out of the test):
+  // one gossip_pass from A converges the PAIR — A pushes its registry,
+  // B merges and replies with the union, A merges the reply.
+  SocketPath sock_a("fleet_gossip_a.sock");
+  SocketPath sock_b("fleet_gossip_b.sock");
+
+  remote::PlanServerOptions options_a;
+  options_a.peers.push_back(sock_b.endpoint());
+  options_a.peer_link.reconnect_cooldown = 0.0;
+  PlanRegistry reg_a;
+  remote::PlanServer a(reg_a, options_a);
+  a.listen_unix(sock_a.path);
+  a.start();
+
+  PlanRegistry reg_b;
+  remote::PlanServer b(reg_b, {});
+  b.listen_unix(sock_b.path);
+  b.start();
+
+  reg_a.publish("sig_a", entry(100, true, 1));
+  reg_a.record_demand("sig_a", 25.0, 7);
+  reg_b.publish("sig_b", entry(200, false, 2));
+  reg_b.publish("sig_both", entry(90, true));
+  reg_a.publish("sig_both", entry(110, true));  // B's is better — B wins
+
+  ASSERT_EQ(1u, a.gossip_pass());
+  EXPECT_EQ(3u, reg_a.size());
+  EXPECT_EQ(3u, reg_b.size());
+  EXPECT_EQ(reg_a.to_text(), reg_b.to_text()) << "pair did not converge";
+  PlanEntry got;
+  ASSERT_TRUE(reg_a.peek("sig_both", &got));
+  EXPECT_EQ(90, got.modeled_us) << "better-wins must hold under gossip";
+  DemandStats demand;
+  ASSERT_TRUE(reg_b.demand("sig_a", &demand));
+  EXPECT_EQ(7u, demand.requests) << "demand must ride the gossip payload";
+
+  // Idempotence: another round moves nothing.
+  const std::string before = reg_a.to_text();
+  ASSERT_EQ(1u, a.gossip_pass());
+  EXPECT_EQ(before, reg_a.to_text());
+  EXPECT_EQ(before, reg_b.to_text());
+  EXPECT_EQ(2u, a.stats().gossip_rounds);
+  EXPECT_EQ(0u, a.stats().gossip_failures);
+}
+
+TEST(ServeFleet, PartitionedPeerHealsAndGossipConverges) {
+  // A's peer endpoint exists before the peer does: every gossip pass
+  // fails cheaply (counted, breaker-bounded) until the peer comes up,
+  // then the next pass converges the pair.
+  SocketPath sock_a("fleet_partition_a.sock");
+  SocketPath sock_b("fleet_partition_b.sock");
+
+  remote::PlanServerOptions options_a;
+  options_a.peers.push_back(sock_b.endpoint());
+  options_a.peer_link.reconnect_cooldown = 0.0;
+  options_a.peer_link.connect_timeout = 0.5;
+  PlanRegistry reg_a;
+  remote::PlanServer a(reg_a, options_a);
+  a.listen_unix(sock_a.path);
+  a.start();
+  reg_a.publish("sig_a", entry(100, true));
+
+  EXPECT_EQ(0u, a.gossip_pass()) << "no peer yet: the pass must fail";
+  EXPECT_GE(a.stats().gossip_failures, 1u);
+
+  // The partition heals: B appears on the advertised path with its own
+  // partition-era writes.
+  PlanRegistry reg_b;
+  remote::PlanServer b(reg_b, {});
+  b.listen_unix(sock_b.path);
+  b.start();
+  reg_b.publish("sig_b", entry(200, false));
+
+  ASSERT_EQ(1u, a.gossip_pass()) << "healed peer must gossip";
+  EXPECT_EQ(2u, reg_a.size());
+  EXPECT_EQ(2u, reg_b.size());
+  EXPECT_EQ(reg_a.to_text(), reg_b.to_text())
+      << "partitioned-then-healed pair did not converge byte-for-byte";
+}
+
+}  // namespace
+}  // namespace barracuda::serve

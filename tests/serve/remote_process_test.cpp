@@ -4,8 +4,11 @@
 // the server registry converges to the EXACT union of disjoint client
 // sets (demand included, reconciled by max), racing PUTs from separate
 // processes stay better-wins monotone, a SIGTERM'd server process
-// drains and exits 0 with the union on disk, and a SIGKILL landing
-// mid-merge_save never leaves a torn file.
+// drains and exits 0 with the union on disk, a SIGKILL landing
+// mid-merge_save never leaves a torn file, and a two-replica fleet
+// survives one replica being SIGKILLed mid-serve: zero failed client
+// requests, the restarted replica rejoins via gossip, and both
+// replicas' final on-disk registries are byte-identical.
 //
 // This suite owns its binary and its main(): role dispatch must happen
 // before gtest sees argv, and the forked children execv immediately
@@ -24,6 +27,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -103,6 +108,18 @@ remote::RemoteRegistry make_link(const std::string& endpoint_text) {
   return remote::RemoteRegistry(net::parse_endpoint(endpoint_text), options);
 }
 
+/// A two-replica fleet link: listed order is failover order.
+remote::RemoteRegistry make_fleet_link(const std::string& primary,
+                                       const std::string& secondary) {
+  remote::RemoteRegistryOptions options;
+  options.timeout = 5.0;
+  options.reconnect_cooldown = 0.05;
+  return remote::RemoteRegistry(
+      std::vector<net::Endpoint>{net::parse_endpoint(primary),
+                                 net::parse_endpoint(secondary)},
+      options);
+}
+
 /// --role client <endpoint> <index>: publish a disjoint six-signature
 /// set plus a contended offer, record demand, then anti-entropy-sync
 /// until this process sees the full union — exact entries, best race
@@ -125,7 +142,9 @@ int run_client_role(const std::string& endpoint_text, int index) {
   // server, so each offer must be accepted.
   for (int i = 0; i < kPlansPerClient; ++i) {
     const int s = index * kPlansPerClient + i;
-    if (!link.publish(sig(s), owned_plan(s))) return kRoleUnionMismatch;
+    if (link.publish(sig(s), owned_plan(s)) != RemoteWrite::kOk) {
+      return kRoleUnionMismatch;
+    }
   }
 
   const std::size_t want_size =
@@ -133,7 +152,9 @@ int run_client_role(const std::string& endpoint_text, int index) {
   const std::uint64_t want_demand = 3 * kClients;
   bool converged = false;
   for (int round = 0; round < 600 && !converged; ++round) {
-    if (!link.sync(local)) return kRoleConvergeTimeout;
+    if (link.sync(local) != RemoteWrite::kOk) {
+      return kRoleConvergeTimeout;
+    }
     DemandStats demand;
     PlanEntry race;
     converged = local.size() == want_size && local.peek(kRaceSig, &race) &&
@@ -205,6 +226,39 @@ int run_server_role(const std::string& socket_path,
   return server.stats().flush_failures == 0 ? kRoleOk : kRoleFlushFailed;
 }
 
+/// --role replica <unix-socket-path> <registry-path> <peer-socket-path>:
+/// one member of a two-replica fleet — a plan server that boots from its
+/// on-disk registry (when one exists), flushes on a short interval, and
+/// gossips with its peer so the pair converges with no client online.
+/// SIGTERM drains, merge_saves, and exits 0; SIGKILL is the crash the
+/// parent inflicts on purpose.
+int run_replica_role(const std::string& socket_path,
+                     const std::string& registry_path,
+                     const std::string& peer_socket) {
+  std::signal(SIGTERM, role_term_handler);
+  PlanRegistry registry;
+  try {
+    registry.load(registry_path);
+  } catch (...) {
+    // First boot: no on-disk state yet.  (A torn file is impossible —
+    // merge_save is atomic — so swallowing here cannot hide corruption.)
+  }
+  remote::PlanServerOptions options;
+  options.registry_path = registry_path;
+  options.flush_interval = 0.05;
+  options.peers.push_back(net::parse_endpoint("unix:" + peer_socket));
+  options.gossip_interval = 0.05;
+  options.peer_link.reconnect_cooldown = 0.05;
+  remote::PlanServer server(registry, options);
+  server.listen_unix(socket_path);
+  server.start();
+  while (!g_role_term) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.stop();
+  return server.stats().flush_failures == 0 ? kRoleOk : kRoleFlushFailed;
+}
+
 /// --role saver <registry-path> <index>: merge_save in a tight loop
 /// with ever-improving plans until killed.  The parent SIGKILLs this
 /// process at arbitrary offsets; the atomic temp+rename protocol must
@@ -228,10 +282,14 @@ int run_role(int argc, char** argv) {
   const std::string role = argv[2];
   const std::string a = argv[3];
   const std::string b = argv[4];
+  const std::string c = argc > 5 ? argv[5] : "";
   try {
     if (role == "client") return run_client_role(a, std::atoi(b.c_str()));
     if (role == "racer") return run_racer_role(a, std::atoi(b.c_str()));
     if (role == "server") return run_server_role(a, b);
+    if (role == "replica") {
+      return c.empty() ? kRoleBadArgs : run_replica_role(a, b, c);
+    }
     if (role == "saver") return run_saver_role(a, std::atoi(b.c_str()));
   } catch (...) {
     return kRoleThrew;
@@ -243,8 +301,9 @@ int run_role(int argc, char** argv) {
 /// async-signal-safe calls run in the forked child, so spawning from
 /// the threaded parent is safe under TSan.
 pid_t spawn_role(const std::string& role, const std::string& a,
-                 const std::string& b) {
+                 const std::string& b, const std::string& c = "") {
   std::vector<std::string> args = {"/proc/self/exe", "--role", role, a, b};
+  if (!c.empty()) args.push_back(c);
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& arg : args) argv.push_back(arg.data());
@@ -357,13 +416,13 @@ TEST(RemoteProcess, SigtermedServerExitsZeroWithTheUnionOnDisk) {
   remote::RemoteRegistry link = make_link("unix:" + sock.path);
   ASSERT_TRUE(wait_for_server(link)) << "server process never came up";
   for (int s = 0; s < 5; ++s) {
-    EXPECT_TRUE(link.publish(sig(s), owned_plan(s)));
+    EXPECT_EQ(RemoteWrite::kOk, link.publish(sig(s), owned_plan(s)));
   }
   // Demand travels by SYNC; the final merge_save must persist it.
   PlanRegistry local(2);
   local.publish(sig(0), owned_plan(0));
   local.record_demand(sig(0), 30.0, 4);
-  EXPECT_TRUE(link.sync(local));
+  EXPECT_EQ(RemoteWrite::kOk, link.sync(local));
 
   ASSERT_EQ(0, kill(pid, SIGTERM));
   EXPECT_EQ(kRoleOk, wait_exit(pid)) << "server did not exit 0 on SIGTERM";
@@ -405,6 +464,132 @@ TEST(RemoteProcess, KillDuringMergeSaveNeverTearsTheFile) {
         << "kill mid-save left a torn file";
     EXPECT_EQ(static_cast<std::size_t>(kSaverSignatures), loaded.size());
   }
+}
+
+/// Whole-file slurp for the byte-identical on-disk comparison.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The fleet's survival story, end to end: two replica processes gossip
+// with each other, a client serves against both, one replica is
+// SIGKILLed in the middle of the fetch loop — and not a single client
+// request may fail.  The unavailability is charged to the dead endpoint
+// only, post-kill publishes land on the survivor, the killed replica
+// restarts from its on-disk registry and rejoins via gossip, and after
+// graceful shutdown both replicas' registries are byte-identical: the
+// exact union, max-reconciled demand included.
+TEST(RemoteProcess, ReplicaKilledMidServeFailsOverAndRejoinsViaGossip) {
+  TempPath sock_a("remote_fleet_a.sock");
+  TempPath sock_b("remote_fleet_b.sock");
+  TempPath reg_a("remote_fleet_a_registry.txt");
+  TempPath reg_b("remote_fleet_b_registry.txt");
+
+  pid_t pid_a = spawn_role("replica", sock_a.path, reg_a.path, sock_b.path);
+  const pid_t pid_b =
+      spawn_role("replica", sock_b.path, reg_b.path, sock_a.path);
+
+  remote::RemoteRegistry probe_a = make_link("unix:" + sock_a.path);
+  remote::RemoteRegistry probe_b = make_link("unix:" + sock_b.path);
+  ASSERT_TRUE(wait_for_server(probe_a)) << "replica A never came up";
+  ASSERT_TRUE(wait_for_server(probe_b)) << "replica B never came up";
+
+  remote::RemoteRegistry fleet =
+      make_fleet_link("unix:" + sock_a.path, "unix:" + sock_b.path);
+  constexpr int kFleetPlans = 8;
+  for (int s = 0; s < kFleetPlans; ++s) {
+    ASSERT_EQ(RemoteWrite::kOk, fleet.publish(sig(s), owned_plan(s)));
+  }
+  // Demand enters through replica A only; gossip must carry it (it
+  // rides the same SYNC payload as the entry, so once B holds the
+  // entry it holds the demand too).
+  PlanRegistry demand_carrier(2);
+  demand_carrier.publish(kRaceSig, race_plan(0));
+  demand_carrier.record_demand(kRaceSig, 25.0, 9);
+  ASSERT_EQ(RemoteWrite::kOk, probe_a.sync(demand_carrier));
+  bool gossiped = false;
+  for (int i = 0; i < 600 && !gossiped; ++i) {
+    PlanEntry got;
+    gossiped = probe_b.fetch(kRaceSig, &got) == RemoteStatus::kHit;
+    if (!gossiped) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(gossiped) << "A-to-B gossip never delivered the seed entry";
+  // Let replica A's flush interval persist the pre-kill state, so the
+  // restart below genuinely boots from an on-disk registry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // The serve loop the kill lands in: every fetch must hit, before,
+  // during, and after the primary dies.
+  std::size_t failed = 0;
+  for (int round = 0; round < 40; ++round) {
+    if (round == 12) {
+      ASSERT_EQ(0, kill(pid_a, SIGKILL));
+    }
+    PlanEntry got;
+    const int s = round % kFleetPlans;
+    if (fleet.fetch(sig(s), &got) != RemoteStatus::kHit ||
+        !(got == owned_plan(s))) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(0u, failed) << "client requests failed while a replica was down";
+  {
+    int status = 0;
+    ASSERT_EQ(pid_a, waitpid(pid_a, &status, 0));
+    ASSERT_TRUE(WIFSIGNALED(status));
+  }
+  const remote::RemoteRegistryStats mid = fleet.stats();
+  EXPECT_GT(mid.failovers, 0u) << "traffic never failed over";
+  ASSERT_EQ(2u, mid.endpoints.size());
+  EXPECT_GT(mid.endpoints[0].unavailable, 0u)
+      << "the dead endpoint must be charged";
+  EXPECT_EQ(0u, mid.endpoints[1].unavailable)
+      << "the healthy endpoint must not be charged";
+
+  // Publishes while A is down reach the survivor and count as accepted.
+  for (int s = kFleetPlans; s < kFleetPlans + 2; ++s) {
+    ASSERT_EQ(RemoteWrite::kOk, fleet.publish(sig(s), owned_plan(s)));
+  }
+
+  // Restart A on the same socket and registry file: it boots from its
+  // pre-kill on-disk state and must recover the post-kill plans from B
+  // via gossip alone — no client pushes them.
+  pid_a = spawn_role("replica", sock_a.path, reg_a.path, sock_b.path);
+  remote::RemoteRegistry probe_a2 = make_link("unix:" + sock_a.path);
+  ASSERT_TRUE(wait_for_server(probe_a2)) << "restarted replica never came up";
+  bool rejoined = false;
+  for (int i = 0; i < 600 && !rejoined; ++i) {
+    PlanEntry got;
+    rejoined =
+        probe_a2.fetch(sig(kFleetPlans + 1), &got) == RemoteStatus::kHit;
+    if (!rejoined) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(rejoined) << "restarted replica never learned post-kill plans";
+  for (int s = 0; s < kFleetPlans + 2; ++s) {
+    PlanEntry got;
+    EXPECT_EQ(RemoteStatus::kHit, probe_a2.fetch(sig(s), &got))
+        << "signature " << s;
+  }
+
+  // Graceful shutdown: both final merge_saves must agree byte for byte.
+  ASSERT_EQ(0, kill(pid_a, SIGTERM));
+  ASSERT_EQ(0, kill(pid_b, SIGTERM));
+  EXPECT_EQ(kRoleOk, wait_exit(pid_a)) << "restarted replica A";
+  EXPECT_EQ(kRoleOk, wait_exit(pid_b)) << "replica B";
+
+  PlanRegistry loaded_a;
+  PlanRegistry loaded_b;
+  ASSERT_NO_THROW(loaded_a.load(reg_a.path));
+  ASSERT_NO_THROW(loaded_b.load(reg_b.path));
+  EXPECT_EQ(static_cast<std::size_t>(kFleetPlans + 2) + 1, loaded_a.size());
+  DemandStats demand;
+  ASSERT_TRUE(loaded_a.demand(kRaceSig, &demand));
+  EXPECT_EQ(9u, demand.requests) << "demand lost on the way to disk";
+  EXPECT_EQ(read_file(reg_a.path), read_file(reg_b.path))
+      << "replica registries diverged";
 }
 
 #endif  // !_WIN32

@@ -101,7 +101,7 @@ TEST(ServeRemote, GetPutPingStatsOverUnixSocket) {
   EXPECT_EQ(RemoteStatus::kMiss, client->fetch("sig", &got));
 
   // Publish, then fetch it back field-exact (and parsed-at-decode).
-  EXPECT_TRUE(client->publish("sig", entry(100, true, 2)));
+  EXPECT_EQ(RemoteWrite::kOk, client->publish("sig", entry(100, true, 2)));
   ASSERT_EQ(RemoteStatus::kHit, client->fetch("sig", &got));
   EXPECT_EQ(100, got.modeled_us);
   EXPECT_TRUE(got.tuned);
@@ -109,8 +109,8 @@ TEST(ServeRemote, GetPutPingStatsOverUnixSocket) {
   EXPECT_TRUE(got.parsed != nullptr);
 
   // Better-wins on the server: slower offers are kept out.
-  EXPECT_FALSE(client->publish("sig", entry(200, true)));
-  EXPECT_TRUE(client->publish("sig", entry(50, true)));
+  EXPECT_EQ(RemoteWrite::kRejected, client->publish("sig", entry(200, true)));
+  EXPECT_EQ(RemoteWrite::kOk, client->publish("sig", entry(50, true)));
   ASSERT_TRUE(fx.registry.peek("sig", &got));
   EXPECT_EQ(50, got.modeled_us);
 
@@ -142,7 +142,7 @@ TEST(ServeRemote, SyncConvergesToTheExactUnionIncludingDemand) {
   local.record_demand("sigA", 20, 4);
 
   auto client = fx.client();
-  ASSERT_TRUE(client->sync(local));
+  ASSERT_EQ(RemoteWrite::kOk, client->sync(local));
 
   // Both sides now hold the exact 3-entry union with sigA at 10us.
   for (PlanRegistry* reg : {&local, &fx.registry}) {
@@ -166,7 +166,7 @@ TEST(ServeRemote, SyncConvergesToTheExactUnionIncludingDemand) {
 
   // A second identical round is a no-op (anti-entropy is idempotent —
   // in particular the demand baselines stop growing).
-  ASSERT_TRUE(client->sync(local));
+  ASSERT_EQ(RemoteWrite::kOk, client->sync(local));
   EXPECT_EQ(3u, local.size());
   EXPECT_EQ(3u, fx.registry.size());
   ASSERT_TRUE(local.demand("sigA", &demand));
@@ -291,7 +291,10 @@ TEST(ServeRemote, DeadEndpointDegradesToLocalOnlyServing) {
   EXPECT_FALSE(service.anti_entropy_pass());
 
   const ServeStats stats = service.snapshot();
-  EXPECT_GE(stats.remote_errors, 2u);  // the first fetch + the sync
+  // A dead endpoint is UNREACHABLE, not an app-level error — the split
+  // keeps failover decisions and reports honest.
+  EXPECT_GE(stats.remote_unavailable, 2u);  // the first fetch + the sync
+  EXPECT_EQ(0u, stats.remote_errors);
   EXPECT_EQ(0u, stats.remote_hits);
   EXPECT_EQ(1u, stats.tunes_started);  // tuned locally despite the tier
 
@@ -360,7 +363,7 @@ TEST(ServeRemote, SocketFaultsDegradeThenHeal) {
   // op; the server-side close surfaces as a transport failure on the
   // NEXT op, and the one after that probes and heals.
   support::fault::enable("net.frame.corrupt", 1.0, 17, /*limit=*/1);
-  EXPECT_EQ(RemoteStatus::kUnavailable, client->fetch("sig", &got));
+  EXPECT_EQ(RemoteStatus::kError, client->fetch("sig", &got));
   support::fault::clear();
   EXPECT_EQ(RemoteStatus::kUnavailable, client->fetch("sig", &got));
   EXPECT_EQ(RemoteStatus::kHit, client->fetch("sig", &got));
@@ -368,8 +371,15 @@ TEST(ServeRemote, SocketFaultsDegradeThenHeal) {
 
   const remote::RemoteRegistryStats s = client->stats();
   EXPECT_TRUE(s.link_up);
-  EXPECT_EQ(4u, s.errors);
+  // The split ledger: one app-level rejection (the corrupt frame the
+  // server bounced), three transport failures (read fault, write
+  // fault, server-closed link), three heals.
+  EXPECT_EQ(1u, s.errors);
+  EXPECT_EQ(3u, s.unavailable);
   EXPECT_EQ(3u, s.reconnect_healed);
+  ASSERT_EQ(1u, s.endpoints.size());
+  EXPECT_EQ(1u, s.endpoints[0].errors);
+  EXPECT_EQ(3u, s.endpoints[0].unavailable);
 }
 
 TEST(ServeRemote, PublishFaultCostsThePublishNotTheTune) {

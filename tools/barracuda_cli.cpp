@@ -47,18 +47,29 @@
 //                                exactly one probe tune (success heals
 //                                it, failure re-opens it; 0 = breakers
 //                                stay open until the process exits)
-//   --remote ADDR                distributed serving: consult a plan
+//   --remote ADDR[,ADDR...]      distributed serving: consult a plan
 //                                server (unix:PATH or tcp:HOST:PORT) on
 //                                every local registry miss (L2 tier),
 //                                publish freshly tuned plans back to it,
 //                                and run one anti-entropy sync before
 //                                and after serving — a fresh node
 //                                against a warm server serves 0-miss
-//                                warm with zero tunes of its own.  A
-//                                dead server degrades the node to
-//                                local-only serving (half-open
-//                                reconnect probes heal the link);
-//                                requests NEVER fail on remote trouble
+//                                warm with zero tunes of its own.
+//                                Several addresses form a REPLICA SET:
+//                                reads fail over in listed order
+//                                (first = primary), writes fan out to
+//                                every healthy replica, and each
+//                                endpoint carries its own half-open
+//                                breaker — one dead replica costs
+//                                nothing but failovers, a fully dead
+//                                fleet degrades the node to local-only
+//                                serving; requests NEVER fail on
+//                                remote trouble
+//   --hedge-threshold S          hedged reads: a remote GET the primary
+//                                has not answered within S seconds
+//                                races a duplicate on the next replica,
+//                                first answer wins (0 = off; needs >= 2
+//                                --remote endpoints)
 //   --anti-entropy-interval S    seconds between background full-sync
 //                                rounds against --remote (0 = only the
 //                                explicit start/end syncs)
@@ -76,6 +87,15 @@
 //   --flush-interval SECONDS     background merge-save period for the
 //                                server's --registry (0 = only at
 //                                shutdown)
+//   --peers ADDR[,ADDR...]       replica peers to gossip with: each
+//                                gossip round runs one pairwise SYNC
+//                                per peer (the same v2 anti-entropy
+//                                payload clients use), so a replica
+//                                set converges to the exact union —
+//                                better-wins entries, max-reconciled
+//                                demand — with no client online
+//   --gossip-interval SECONDS    seconds between gossip rounds
+//                                (default 1 when --peers is set)
 //
 // Prewarm mode (offline registry pre-warming — the serving analog of
 // tune_specializations):
@@ -169,11 +189,13 @@ int usage(const char* argv0) {
                "[--registry FILE] [--tune-deadline SECONDS] "
                "[--breaker-cooldown SECONDS] [--retune-budget N] "
                "[--retune-interval SECONDS] [--retune-topk K] "
-               "[--hot-threshold N] [--ageout N] [--remote ADDR] "
+               "[--hot-threshold N] [--ageout N] [--remote ADDR[,ADDR...]] "
+               "[--hedge-threshold SECONDS] "
                "[--anti-entropy-interval SECONDS]] "
                "[--prewarm --registry FILE [--devices a,b,c] [--grid N]]\n"
                "       %s --plan-server ADDR [--registry FILE] "
                "[--server-threads N] [--flush-interval SECONDS] "
+               "[--peers ADDR[,ADDR...]] [--gossip-interval SECONDS] "
                "[--ageout N] [--recover]\n",
                argv0, argv0);
   return 2;
@@ -248,6 +270,16 @@ double verify(const core::TuningProblem& problem,
   return err;
 }
 
+/// Parse a comma-separated endpoint list (`--remote`, `--peers`).
+/// Empty items are ignored; throws Error on malformed addresses.
+std::vector<net::Endpoint> parse_endpoint_list(const std::string& csv) {
+  std::vector<net::Endpoint> out;
+  for (const std::string& item : split(csv, ',')) {
+    if (!item.empty()) out.push_back(net::parse_endpoint(item));
+  }
+  return out;
+}
+
 /// SIGINT/SIGTERM land here in --plan-server mode: the serving loop
 /// polls the flag and runs the graceful shutdown (drain, final
 /// merge-save, exit 0).
@@ -259,7 +291,8 @@ void handle_stop_signal(int) { g_stop_server = 1; }
 /// Returns the process exit code.
 int run_plan_server(const std::string& addr, const std::string& registry_path,
                     support::RecoveryPolicy policy, std::size_t threads,
-                    double flush_interval, std::size_t ageout) {
+                    double flush_interval, std::size_t ageout,
+                    const std::string& peers_csv, double gossip_interval) {
   serve::PlanRegistry registry;
   registry.set_max_idle_generations(ageout);
   if (!registry_path.empty()) {
@@ -280,6 +313,8 @@ int run_plan_server(const std::string& addr, const std::string& registry_path,
   options.registry_path = registry_path;
   options.flush_interval = flush_interval;
   options.policy = policy;
+  options.peers = parse_endpoint_list(peers_csv);
+  options.gossip_interval = gossip_interval;
   serve::remote::PlanServer server(registry, options);
 
   net::Endpoint endpoint = net::parse_endpoint(addr);
@@ -292,6 +327,16 @@ int run_plan_server(const std::string& addr, const std::string& registry_path,
   // before starting clients — flush so it is visible immediately.
   std::printf("plan server      : listening on %s (%zu workers)\n",
               net::to_string(endpoint).c_str(), threads);
+  if (!options.peers.empty()) {
+    std::string names;
+    for (const net::Endpoint& peer : options.peers) {
+      if (!names.empty()) names += ", ";
+      names += net::to_string(peer);
+    }
+    std::printf("plan gossip      : %zu peer(s) [%s], every %.2fs\n",
+                options.peers.size(), names.c_str(),
+                options.gossip_interval);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_stop_signal);
@@ -316,6 +361,10 @@ int run_plan_server(const std::string& addr, const std::string& registry_path,
   std::printf("plan registry    : %zu entries held (%zu flushes, %zu "
               "failed)\n",
               registry.size(), s.flushes, s.flush_failures);
+  if (!options.peers.empty()) {
+    std::printf("plan gossip      : %zu rounds completed, %zu failed\n",
+                s.gossip_rounds, s.gossip_failures);
+  }
   if (!server.last_error().empty()) {
     std::fprintf(stderr, "warning: plan registry flush trouble (%s)\n",
                  server.last_error().c_str());
@@ -335,7 +384,8 @@ int run_serve(const core::TuningProblem& problem,
               double breaker_cooldown, std::size_t retune_budget,
               double retune_interval, std::size_t retune_topk,
               std::uint64_t hot_threshold, std::size_t ageout,
-              const std::string& remote_addr, double anti_entropy_interval) {
+              const std::string& remote_addr, double anti_entropy_interval,
+              double hedge_threshold) {
   serve::PlanRegistry registry;
   registry.set_max_idle_generations(ageout);
   if (!registry_path.empty()) {
@@ -360,8 +410,10 @@ int run_serve(const core::TuningProblem& problem,
   serve_options.hot_threshold = hot_threshold;
   std::shared_ptr<serve::remote::RemoteRegistry> remote;
   if (!remote_addr.empty()) {
+    serve::remote::RemoteRegistryOptions remote_options;
+    remote_options.hedge_threshold = hedge_threshold;
     remote = std::make_shared<serve::remote::RemoteRegistry>(
-        net::parse_endpoint(remote_addr));
+        parse_endpoint_list(remote_addr), remote_options);
     serve_options.remote = remote;
     serve_options.anti_entropy_interval = anti_entropy_interval;
   }
@@ -470,16 +522,26 @@ int run_serve(const core::TuningProblem& problem,
     // The CI smoke greps this line: distributed serving must actually
     // consult and feed the L2 tier, and anti-entropy must run.
     std::printf("remote           : %zu hits / %zu misses, %zu publishes, "
-                "%zu errors, %zu anti-entropy rounds\n",
+                "%zu errors, %zu unreachable, %zu anti-entropy rounds\n",
                 stats.remote_hits, stats.remote_misses,
                 stats.remote_publishes, stats.remote_errors,
-                stats.anti_entropy_rounds);
+                stats.remote_unavailable, stats.anti_entropy_rounds);
     const serve::remote::RemoteRegistryStats link = remote->stats();
-    std::printf("remote link      : %s (%s), %zu failed ops, %zu reconnect "
-                "probes (%zu healed)\n",
-                link.link_up ? "up" : "down",
-                net::to_string(remote->endpoint()).c_str(), link.errors,
-                link.reconnect_probes, link.reconnect_healed);
+    if (link.endpoints.size() > 1 || stats.remote_hedges > 0) {
+      // Fleet smokes grep this line: one dead replica must show up as
+      // failovers here, never as failed requests above.
+      std::printf("remote fleet     : %zu endpoints, %zu failovers, %zu "
+                  "hedges (%zu won)\n",
+                  link.endpoints.size(), stats.remote_failovers,
+                  stats.remote_hedges, stats.remote_hedge_wins);
+    }
+    for (const serve::remote::EndpointStats& ep : link.endpoints) {
+      std::printf("remote link      : %s (%s), %zu failed ops (%zu app / "
+                  "%zu unreachable), %zu reconnect probes (%zu healed)\n",
+                  ep.link_up ? "up" : "down", ep.endpoint.c_str(),
+                  ep.errors + ep.unavailable, ep.errors, ep.unavailable,
+                  ep.reconnect_probes, ep.reconnect_healed);
+    }
   }
   if (retune_configured) {
     // The CI smoke greps this line: adaptive serving must actually
@@ -603,9 +665,10 @@ int main(int argc, char** argv) {
   double retune_interval = 0;
   std::uint64_t hot_threshold = 16;
   std::size_t ageout = 0;
-  std::string plan_server_addr, remote_addr;
+  std::string plan_server_addr, remote_addr, peers_csv;
   std::size_t server_threads = 4;
   double flush_interval = 0, anti_entropy_interval = 0;
+  double hedge_threshold = 0, gossip_interval = -1;
   const char* registry_env = std::getenv("BARRACUDA_REGISTRY");
   std::string registry_path = registry_env ? registry_env : "";
   const char* recover_env = std::getenv("BARRACUDA_RECOVER");
@@ -702,6 +765,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--remote") {
       remote_addr = next();
+    } else if (arg == "--hedge-threshold") {
+      hedge_threshold = std::strtod(next(), nullptr);
+      if (hedge_threshold < 0) {
+        std::fprintf(stderr, "error: --hedge-threshold must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--peers") {
+      peers_csv = next();
+    } else if (arg == "--gossip-interval") {
+      gossip_interval = std::strtod(next(), nullptr);
+      if (gossip_interval < 0) {
+        std::fprintf(stderr, "error: --gossip-interval must be >= 0\n");
+        return 2;
+      }
     } else if (arg == "--anti-entropy-interval") {
       anti_entropy_interval = std::strtod(next(), nullptr);
       if (anti_entropy_interval < 0) {
@@ -751,8 +828,14 @@ int main(int argc, char** argv) {
         recover ? support::RecoveryPolicy::kSalvage
                 : support::RecoveryPolicy::kStrict;
     try {
+      // --gossip-interval without an explicit value defaults to 1s once
+      // peers exist; without peers it is meaningless either way.
+      const double gossip =
+          gossip_interval >= 0 ? gossip_interval
+                               : (peers_csv.empty() ? 0.0 : 1.0);
       return run_plan_server(plan_server_addr, registry_path, policy,
-                             server_threads, flush_interval, ageout);
+                             server_threads, flush_interval, ageout,
+                             peers_csv, gossip);
     } catch (const Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -765,6 +848,17 @@ int main(int argc, char** argv) {
   }
   if (!remote_addr.empty() && !do_serve) {
     std::fprintf(stderr, "error: --remote requires --serve\n");
+    return 2;
+  }
+  if (!peers_csv.empty() || gossip_interval >= 0) {
+    // plan_server_addr handled above; reaching here means serve mode.
+    std::fprintf(stderr,
+                 "error: --peers/--gossip-interval require --plan-server\n");
+    return 2;
+  }
+  if (hedge_threshold > 0 && remote_addr.find(',') == std::string::npos) {
+    std::fprintf(stderr,
+                 "error: --hedge-threshold needs >= 2 --remote endpoints\n");
     return 2;
   }
   if (do_prewarm && do_serve) {
@@ -909,7 +1003,7 @@ int main(int argc, char** argv) {
                          registry_path, policy, tune_deadline,
                          breaker_cooldown, retune_budget, retune_interval,
                          retune_topk, hot_threshold, ageout, remote_addr,
-                         anti_entropy_interval);
+                         anti_entropy_interval, hedge_threshold);
       if (cache_path && *cache_path) {
         // Best-effort for the same reason as the registry save in
         // run_serve: persistence trouble must not fail a served run.
